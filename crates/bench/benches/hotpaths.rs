@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks of the mechanisms on CORD's critical path:
+//! clock comparisons (§2.7.2 notes these must be "simple dedicated
+//! circuitry" — here we check they are nanosecond-scale in software),
+//! line-history updates, and full detector access handling.
+
+use cord_clocks::policy::ClockPolicy;
+use cord_clocks::scalar::ScalarTime;
+use cord_clocks::vector::VectorClock;
+use cord_clocks::window16;
+use cord_core::history::LineHistory;
+use cord_core::{CordConfig, CordDetector};
+use cord_sim::observer::{AccessEvent, AccessKind, AccessPath, CoreId, MemoryObserver};
+use cord_trace::types::{Addr, ThreadId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_clock_compares(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clocks");
+    let policy = ClockPolicy::cord();
+    g.bench_function("scalar_race_test", |b| {
+        b.iter(|| {
+            let clk = black_box(ScalarTime::new(12345));
+            let ts = black_box(ScalarTime::new(12340));
+            black_box(clk.is_race_with(ts) | policy.is_synchronized(clk, ts))
+        })
+    });
+    g.bench_function("window16_race_test", |b| {
+        b.iter(|| {
+            let clk = black_box(0xFFF0u16);
+            let ts = black_box(0x0010u16);
+            black_box(window16::is_race_with(clk, ts) | window16::is_synchronized_after(clk, ts, 16))
+        })
+    });
+    let a = VectorClock::from_components(vec![5, 9, 2, 7]);
+    let b4 = VectorClock::from_components(vec![5, 10, 2, 7]);
+    g.bench_function("vector_le_4", |b| {
+        b.iter(|| black_box(black_box(&a).le(black_box(&b4))))
+    });
+    let a16 = VectorClock::from_components((0..16).collect());
+    let b16 = VectorClock::from_components((1..17).collect());
+    g.bench_function("vector_le_16", |b| {
+        b.iter(|| black_box(black_box(&a16).le(black_box(&b16))))
+    });
+    g.finish();
+}
+
+fn bench_line_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_history");
+    g.bench_function("push_and_set", |b| {
+        let mut h: LineHistory<ScalarTime> = LineHistory::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            h.push_stamp(ScalarTime::new(t), 2);
+            h.newest_mut().unwrap().set((t % 16) as usize, t.is_multiple_of(2));
+            black_box(h.any_conflict((t % 16) as usize, true))
+        })
+    });
+    g.finish();
+}
+
+fn bench_detector_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector");
+    g.bench_function("cord_on_access_l1_hit", |b| {
+        let mut det = CordDetector::new(CordConfig::paper(), 4, 4);
+        // Warm the line so subsequent accesses take the bit-hit path.
+        let warm = AccessEvent {
+            core: CoreId(0),
+            thread: ThreadId(0),
+            addr: Addr::new(0x40),
+            kind: AccessKind::DataRead,
+            path: AccessPath::FillFromMemory,
+            instr_index: 0,
+            cycle: 0,
+        };
+        det.on_access(&warm);
+        let hit = AccessEvent {
+            path: AccessPath::L1Hit,
+            instr_index: 1,
+            ..warm
+        };
+        b.iter(|| black_box(det.on_access(black_box(&hit))))
+    });
+    g.bench_function("cord_on_access_miss", |b| {
+        let mut det = CordDetector::new(CordConfig::paper(), 4, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let ev = AccessEvent {
+                core: CoreId((i % 4) as u8),
+                thread: ThreadId((i % 4) as u16),
+                addr: Addr::new((i % 512) * 64),
+                kind: AccessKind::DataWrite,
+                path: AccessPath::FillFromMemory,
+                instr_index: i,
+                cycle: i,
+            };
+            black_box(det.on_access(black_box(&ev)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clock_compares,
+    bench_line_history,
+    bench_detector_access
+);
+criterion_main!(benches);

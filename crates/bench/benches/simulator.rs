@@ -1,0 +1,61 @@
+//! Criterion benchmarks of whole simulated runs: the baseline machine,
+//! the machine with CORD attached (the Figure 11 comparison in
+//! miniature), and the Ideal oracle.
+
+use cord_core::{CordConfig, CordDetector};
+use cord_detectors::IdealDetector;
+use cord_sim::config::MachineConfig;
+use cord_sim::engine::{InjectionPlan, Machine};
+use cord_sim::observer::NullObserver;
+use cord_workloads::{kernel, AppKind, ScaleClass};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulated_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_runs");
+    g.sample_size(20);
+    for app in [AppKind::Cholesky, AppKind::Fft, AppKind::Barnes] {
+        let w = kernel(app, ScaleClass::Tiny, 4, 42);
+        g.bench_function(format!("{}_baseline", w.name()), |b| {
+            b.iter(|| {
+                let m = Machine::new(
+                    MachineConfig::paper_4core(),
+                    &w,
+                    NullObserver,
+                    1,
+                    InjectionPlan::none(),
+                );
+                black_box(m.run().expect("ok").0.stats.cycles)
+            })
+        });
+        g.bench_function(format!("{}_cord", w.name()), |b| {
+            b.iter(|| {
+                let det = CordDetector::new(CordConfig::paper(), 4, 4);
+                let m = Machine::new(
+                    MachineConfig::paper_4core(),
+                    &w,
+                    det,
+                    1,
+                    InjectionPlan::none(),
+                );
+                black_box(m.run().expect("ok").0.stats.cycles)
+            })
+        });
+        g.bench_function(format!("{}_ideal", w.name()), |b| {
+            b.iter(|| {
+                let det = IdealDetector::new(4);
+                let m = Machine::new(
+                    MachineConfig::infinite_cache(),
+                    &w,
+                    det,
+                    1,
+                    InjectionPlan::none(),
+                );
+                black_box(m.run().expect("ok").0.stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulated_runs);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Command-line harness regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p cord-bench --bin figures -- all
+//! cargo run --release -p cord-bench --bin figures -- fig12 --injections 50
+//! cargo run --release -p cord-bench --bin figures -- fig11 --scale paper
+//! ```
+//!
+//! Subcommands: `table1`, `fig10`..`fig17`, `logsize`, `area`, `replay`,
+//! `ablations`, `cachestats`, `replaypar`, `directory`, `recordonly`,
+//! `cachesweep`, `threadsweep`, `all`. Options: `--injections N`,
+//! `--scale tiny|small|paper`, `--seed S`, `--json PATH` (dump the raw
+//! sweep results).
+
+use cord_bench::figures;
+use cord_bench::sweep::{ScaleClassOpt, SweepOptions, SweepResults};
+use cord_workloads::ScaleClass;
+use std::time::Instant;
+
+struct Args {
+    command: String,
+    injections: usize,
+    scale: ScaleClassOpt,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: "all".to_string(),
+        injections: 24,
+        scale: ScaleClassOpt::Small,
+        seed: 2006,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut first = true;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--injections" => {
+                args.injections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--injections needs a number");
+            }
+            "--scale" => {
+                args.scale = match it.next().as_deref() {
+                    Some("tiny") => ScaleClassOpt::Tiny,
+                    Some("small") => ScaleClassOpt::Small,
+                    Some("paper") => ScaleClassOpt::Paper,
+                    other => panic!("unknown scale {other:?}"),
+                };
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--json" => {
+                args.json = Some(it.next().expect("--json needs a path"));
+            }
+            cmd if first => {
+                args.command = cmd.to_string();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        first = false;
+    }
+    args
+}
+
+fn scale_of(s: ScaleClassOpt) -> ScaleClass {
+    s.into()
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = SweepOptions {
+        injections_per_app: args.injections,
+        scale: args.scale,
+        threads: 4,
+        seed: args.seed,
+    };
+    let needs_sweep = matches!(
+        args.command.as_str(),
+        "fig10" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "all"
+    );
+    let sweep: Option<SweepResults> = if needs_sweep {
+        eprintln!(
+            "running injection sweep: {} injections/app at {:?} scale...",
+            opts.injections_per_app, opts.scale
+        );
+        let t0 = Instant::now();
+        let s = figures::default_sweep(&opts);
+        eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        if let Some(path) = &args.json {
+            std::fs::write(path, serde_json::to_string_pretty(&s).expect("serialize"))
+                .expect("write json");
+            eprintln!("raw sweep results written to {path}");
+        }
+        Some(s)
+    } else {
+        None
+    };
+
+    let scale = scale_of(args.scale);
+    let cmd = args.command.as_str();
+    if cmd == "table1" || cmd == "all" {
+        println!("{}", figures::table1(scale));
+    }
+    if let Some(s) = &sweep {
+        if cmd == "fig10" || cmd == "all" {
+            println!("{}", figures::fig10(s));
+        }
+    }
+    if cmd == "fig11" || cmd == "all" {
+        println!("{}", figures::fig11(scale, &[args.seed, args.seed + 1, args.seed + 2]));
+    }
+    if let Some(s) = &sweep {
+        for (name, f) in [
+            ("fig12", figures::fig12 as fn(&SweepResults) -> figures::FigureTable),
+            ("fig13", figures::fig13),
+            ("fig14", figures::fig14),
+            ("fig15", figures::fig15),
+            ("fig16", figures::fig16),
+            ("fig17", figures::fig17),
+        ] {
+            if cmd == name || cmd == "all" {
+                println!("{}", f(s));
+            }
+        }
+    }
+    if cmd == "logsize" || cmd == "all" {
+        println!("{}", figures::logsize(scale, args.seed));
+    }
+    if cmd == "area" || cmd == "all" {
+        println!("{}", figures::area_table());
+    }
+    if cmd == "replay" || cmd == "all" {
+        println!("{}", figures::replay_check(ScaleClass::Tiny, args.seed, 2));
+    }
+    if cmd == "ablations" || cmd == "all" {
+        println!(
+            "{}",
+            figures::ablations(ScaleClass::Tiny, args.seed, args.injections.min(10))
+        );
+    }
+    if cmd == "cachestats" || cmd == "all" {
+        println!("{}", figures::cache_stats(scale, args.seed));
+    }
+    if cmd == "replaypar" || cmd == "all" {
+        println!("{}", figures::replay_concurrency(scale, args.seed));
+    }
+    if cmd == "directory" || cmd == "all" {
+        println!("{}", figures::directory_extension(scale, args.seed));
+    }
+    if cmd == "recordonly" || cmd == "all" {
+        println!("{}", figures::record_only_cost(scale, args.seed));
+    }
+    if cmd == "cachesweep" {
+        println!("{}", figures::cache_size_sweep(args.seed, args.injections.min(16)));
+    }
+    if cmd == "threadsweep" {
+        println!("{}", figures::thread_sweep(args.seed, args.injections.min(16)));
+    }
+}

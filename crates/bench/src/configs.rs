@@ -1,0 +1,121 @@
+//! The detector configurations compared in §4.
+
+use cord_core::CordConfig;
+use cord_detectors::VcConfig;
+use cord_sim::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// A named detector configuration from the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorConfig {
+    /// CORD with the given `D` (the paper's default is 16; Figures 16–17
+    /// sweep 1, 4, 16, 256).
+    Cord {
+        /// The sync-read clock-update window.
+        d: u64,
+    },
+    /// Vector clocks, two timestamps per line, unlimited cache
+    /// (InfCache, §4.3).
+    VcInfCache,
+    /// Vector clocks limited to the L2 (the "vector clock" reference of
+    /// Figures 12–13/16–17).
+    VcL2Cache,
+    /// Vector clocks limited to the L1 (the severe constraint of
+    /// Figures 14–15).
+    VcL1Cache,
+    /// The Ideal oracle: vector clocks, infinite cache, unlimited
+    /// per-word history.
+    Ideal,
+}
+
+impl DetectorConfig {
+    /// The figure label.
+    pub fn label(self) -> String {
+        match self {
+            DetectorConfig::Cord { d } => format!("CORD-D{d}"),
+            DetectorConfig::VcInfCache => "InfCache".to_string(),
+            DetectorConfig::VcL2Cache => "L2Cache(VC)".to_string(),
+            DetectorConfig::VcL1Cache => "L1Cache(VC)".to_string(),
+            DetectorConfig::Ideal => "Ideal".to_string(),
+        }
+    }
+
+    /// The machine this configuration runs on: Ideal and InfCache use
+    /// the infinite-cache machine ("Ideal's L2 cache is infinite and
+    /// always hits", §4.2), everything else uses the paper's 4-core CMP.
+    pub fn machine(self) -> MachineConfig {
+        match self {
+            DetectorConfig::Ideal | DetectorConfig::VcInfCache => MachineConfig::infinite_cache(),
+            _ => MachineConfig::paper_4core(),
+        }
+    }
+
+    /// The CORD detector configuration, when this is a CORD variant.
+    pub fn cord_config(self) -> Option<CordConfig> {
+        match self {
+            DetectorConfig::Cord { d } => Some(CordConfig::with_d(d)),
+            _ => None,
+        }
+    }
+
+    /// The vector-clock detector configuration, when applicable.
+    pub fn vc_config(self) -> Option<VcConfig> {
+        match self {
+            DetectorConfig::VcInfCache => Some(VcConfig::inf_cache()),
+            DetectorConfig::VcL2Cache => Some(VcConfig::l2_cache()),
+            DetectorConfig::VcL1Cache => Some(VcConfig::l1_cache()),
+            _ => None,
+        }
+    }
+
+    /// Every configuration any figure needs, so one sweep serves all of
+    /// Figures 12–17.
+    pub fn all_for_sweep() -> Vec<DetectorConfig> {
+        vec![
+            DetectorConfig::Cord { d: 1 },
+            DetectorConfig::Cord { d: 4 },
+            DetectorConfig::Cord { d: 16 },
+            DetectorConfig::Cord { d: 256 },
+            DetectorConfig::VcInfCache,
+            DetectorConfig::VcL2Cache,
+            DetectorConfig::VcL1Cache,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_figure_style() {
+        assert_eq!(DetectorConfig::Cord { d: 16 }.label(), "CORD-D16");
+        assert_eq!(DetectorConfig::VcL2Cache.label(), "L2Cache(VC)");
+    }
+
+    #[test]
+    fn machines_match_paper_setup() {
+        assert!(
+            DetectorConfig::Ideal.machine().l2.capacity_bytes
+                > DetectorConfig::VcL2Cache.machine().l2.capacity_bytes
+        );
+        assert_eq!(
+            DetectorConfig::Cord { d: 16 }.machine(),
+            MachineConfig::paper_4core()
+        );
+    }
+
+    #[test]
+    fn config_conversions() {
+        assert_eq!(
+            DetectorConfig::Cord { d: 4 }.cord_config().unwrap().policy.d(),
+            4
+        );
+        assert!(DetectorConfig::Cord { d: 4 }.vc_config().is_none());
+        assert_eq!(
+            DetectorConfig::VcL1Cache.vc_config().unwrap().capacity,
+            cord_detectors::CapacityMode::Level(cord_sim::observer::Level::L1)
+        );
+        assert_eq!(DetectorConfig::all_for_sweep().len(), 7);
+    }
+}

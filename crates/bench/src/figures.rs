@@ -1,0 +1,756 @@
+//! Computation and rendering of every table and figure in §4.
+
+use crate::configs::DetectorConfig;
+use crate::sweep::{SweepOptions, SweepResults};
+use cord_core::{area, CordConfig, ExperimentHarness};
+use cord_sim::config::MachineConfig;
+use cord_sim::engine::InjectionPlan;
+use cord_workloads::{all_apps, kernel, ScaleClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a figure's values should be displayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    /// Render as a percentage.
+    Percent,
+    /// Render as a plain ratio.
+    Ratio,
+    /// Render as bytes.
+    Bytes,
+    /// Render as a count.
+    Count,
+}
+
+/// One regenerated figure or table: app rows × configuration columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureTable {
+    /// Figure identifier and description.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`; `None` = undefined (no
+    /// manifested runs for that app).
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+    /// Display unit.
+    pub unit: Unit,
+    /// Free-form note (the paper's corresponding headline number).
+    pub note: String,
+}
+
+impl FigureTable {
+    fn format_value(&self, v: Option<f64>) -> String {
+        match v {
+            None => "-".to_string(),
+            Some(x) => match self.unit {
+                Unit::Percent => format!("{:.1}%", x * 100.0),
+                Unit::Ratio => format!("{x:.4}"),
+                Unit::Bytes => format!("{:.1}KB", x / 1024.0),
+                Unit::Count => format!("{x:.0}"),
+            },
+        }
+    }
+
+    /// Appends an `Average` row (mean over defined values per column).
+    pub fn with_average(mut self) -> Self {
+        let ncols = self.columns.len();
+        let mut avg = vec![None; ncols];
+        for (c, slot) in avg.iter_mut().enumerate() {
+            let vals: Vec<f64> = self
+                .rows
+                .iter()
+                .filter_map(|(_, vs)| vs.get(c).copied().flatten())
+                .collect();
+            if !vals.is_empty() {
+                *slot = Some(vals.iter().sum::<f64>() / vals.len() as f64);
+            }
+        }
+        self.rows.push(("Average".to_string(), avg));
+        self
+    }
+
+    /// The `Average` row's value for a column label, if present.
+    pub fn average_of(&self, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == "Average")
+            .and_then(|(_, vs)| vs.get(c).copied().flatten())
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        if !self.note.is_empty() {
+            writeln!(f, "   ({})", self.note)?;
+        }
+        write!(f, "{:12}", "app")?;
+        for c in &self.columns {
+            write!(f, " {c:>12}")?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label:12}")?;
+            for v in vals {
+                write!(f, " {:>12}", self.format_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn rate_table(
+    title: &str,
+    note: &str,
+    results: &SweepResults,
+    columns: &[(&str, &str, bool)], // (header, config label, raw?) vs base in 4th
+    bases: &[&str],
+) -> FigureTable {
+    let mut rows: Vec<(String, Vec<Option<f64>>)> = results
+        .apps
+        .iter()
+        .map(|app| {
+            let vals = columns
+                .iter()
+                .zip(bases)
+                .map(|((_, label, raw), base)| {
+                    if *raw {
+                        app.race_rate_vs(label, base)
+                    } else {
+                        app.problem_rate_vs(label, base)
+                    }
+                })
+                .collect();
+            (app.app.clone(), vals)
+        })
+        .collect();
+    // The Average row pools numerators and denominators across apps,
+    // like the paper's averages "based on more than a hundred manifested
+    // errors per configuration" — robust against per-app outliers with
+    // tiny denominators.
+    let avg = columns
+        .iter()
+        .zip(bases)
+        .map(|((_, label, raw), base)| {
+            let (mut num, mut den) = (0u64, 0u64);
+            for app in &results.apps {
+                if *raw {
+                    num += app.races_found(label);
+                    den += if *base == "Ideal" {
+                        app.runs.iter().map(|r| r.ideal.races).sum::<u64>()
+                    } else {
+                        app.races_found(base)
+                    };
+                } else {
+                    num += app.problems_found(label) as u64;
+                    den += if *base == "Ideal" {
+                        app.manifested().count() as u64
+                    } else {
+                        app.problems_found(base) as u64
+                    };
+                }
+            }
+            (den > 0).then(|| num as f64 / den as f64)
+        })
+        .collect();
+    rows.push(("Average".to_string(), avg));
+    FigureTable {
+        title: title.to_string(),
+        columns: columns.iter().map(|(h, _, _)| h.to_string()).collect(),
+        rows,
+        unit: Unit::Percent,
+        note: note.to_string(),
+    }
+}
+
+/// Figure 10: percentage of injected sync removals that manifested at
+/// least one data race (per the Ideal oracle).
+pub fn fig10(results: &SweepResults) -> FigureTable {
+    let rows = results
+        .apps
+        .iter()
+        .map(|a| (a.app.clone(), vec![Some(a.manifestation_rate())]))
+        .collect();
+    FigureTable {
+        title: "Figure 10: injections manifesting >=1 data race (Ideal)".into(),
+        columns: vec!["manifested".into()],
+        rows,
+        unit: Unit::Percent,
+        note: "paper: varies widely per app; many removals are redundant".into(),
+    }
+    .with_average()
+}
+
+/// Figure 11: execution time with CORD relative to a machine with no
+/// recording/DRD support. Averages several seeds to damp scheduling
+/// noise on small inputs.
+pub fn fig11(scale: ScaleClass, seeds: &[u64]) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let mut ratios = Vec::new();
+            for &seed in seeds {
+                let w = kernel(app, scale, 4, seed);
+                let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+                ratios.push(h.overhead(&w, &CordConfig::paper()));
+            }
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            (app.name().to_string(), vec![Some(avg)])
+        })
+        .collect();
+    FigureTable {
+        title: "Figure 11: execution time with CORD (baseline = 1.0)".into(),
+        columns: vec!["rel. time".into()],
+        rows,
+        unit: Unit::Ratio,
+        note: "paper: 0.4% average overhead, 3% worst case (cholesky)".into(),
+    }
+    .with_average()
+}
+
+/// Figure 12: CORD's problem detection rate vs. the vector-clock scheme
+/// and vs. Ideal.
+pub fn fig12(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 12: problem detection rate (CORD-D16)",
+        "paper: 83% of vector clocks, 77% of Ideal on average",
+        results,
+        &[
+            ("vs VC", "CORD-D16", false),
+            ("vs Ideal", "CORD-D16", false),
+        ],
+        &["L2Cache(VC)", "Ideal"],
+    )
+}
+
+/// Figure 13: CORD's raw data-race detection rate vs. VC and Ideal.
+pub fn fig13(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 13: raw data race detection rate (CORD-D16)",
+        "paper: ~20% of Ideal — raw detection is sacrificed, problem detection retained",
+        results,
+        &[("vs VC", "CORD-D16", true), ("vs Ideal", "CORD-D16", true)],
+        &["L2Cache(VC)", "Ideal"],
+    )
+}
+
+/// Figure 14: problem detection with limited access histories
+/// (InfCache / L2Cache / L1Cache, all vector clocks), relative to Ideal.
+pub fn fig14(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 14: problem detection with limited histories (VC)",
+        "paper: few problems lost until the severe L1Cache limit",
+        results,
+        &[
+            ("InfCache", "InfCache", false),
+            ("L2Cache", "L2Cache(VC)", false),
+            ("L1Cache", "L1Cache(VC)", false),
+        ],
+        &["Ideal", "Ideal", "Ideal"],
+    )
+}
+
+/// Figure 15: raw race detection for the same three configurations.
+pub fn fig15(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 15: raw race detection with limited histories (VC)",
+        "paper: 2 ts/line alone misses 18% of races; L2/L1 limits miss most",
+        results,
+        &[
+            ("InfCache", "InfCache", true),
+            ("L2Cache", "L2Cache(VC)", true),
+            ("L1Cache", "L1Cache(VC)", true),
+        ],
+        &["Ideal", "Ideal", "Ideal"],
+    )
+}
+
+/// Figure 16: problem detection of scalar clocks at D ∈ {1,4,16,256},
+/// relative to the vector-clock L2Cache configuration.
+pub fn fig16(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 16: problem detection vs D (scalar clocks, rel. to VC)",
+        "paper: major gains up to D=16; D=256 helps only barnes",
+        results,
+        &[
+            ("D1", "CORD-D1", false),
+            ("D4", "CORD-D4", false),
+            ("D16", "CORD-D16", false),
+            ("D256", "CORD-D256", false),
+        ],
+        &["L2Cache(VC)"; 4],
+    )
+}
+
+/// Figure 17: raw race detection for the same D sweep.
+pub fn fig17(results: &SweepResults) -> FigureTable {
+    rate_table(
+        "Figure 17: raw race detection vs D (scalar clocks, rel. to VC)",
+        "paper: D=1 loses most raw detection; improves up to D=16",
+        results,
+        &[
+            ("D1", "CORD-D1", true),
+            ("D4", "CORD-D4", true),
+            ("D16", "CORD-D16", true),
+            ("D256", "CORD-D256", true),
+        ],
+        &["L2Cache(VC)"; 4],
+    )
+}
+
+/// Table 1: applications and input sets (paper's vs. this
+/// reproduction's workload sizes).
+pub fn table1(scale: ScaleClass) -> String {
+    let mut out = String::from("== Table 1: applications and input sets ==\n");
+    out.push_str(&format!(
+        "{:12} {:>12} {:>12} {:>12} {:>10}\n",
+        "app", "paper input", "ops", "sync ops", "threads"
+    ));
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, 42);
+        let c = w.op_counts();
+        let sync = c.locks + c.unlocks + c.flag_sets + c.flag_waits + c.barriers;
+        out.push_str(&format!(
+            "{:12} {:>12} {:>12} {:>12} {:>10}\n",
+            app.name(),
+            app.paper_input(),
+            w.total_ops(),
+            sync,
+            w.num_threads()
+        ));
+    }
+    out
+}
+
+/// §3.3: order-log size per application ("less than 1MB for the entire
+/// execution" in the paper's full runs).
+pub fn logsize(scale: ScaleClass, seed: u64) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            let out = h.run_cord(&w, &CordConfig::paper());
+            (app.name().to_string(), vec![Some(out.log_bytes as f64)])
+        })
+        .collect();
+    FigureTable {
+        title: "Order-recording log size (8 bytes/entry)".into(),
+        columns: vec!["log size".into()],
+        rows,
+        unit: Unit::Bytes,
+        note: "paper: < 1MB per full application run".into(),
+    }
+    .with_average()
+}
+
+/// §2.3–§2.4: the timestamp state area model.
+pub fn area_table() -> FigureTable {
+    let rows = vec![
+        (
+            "CORD scalar".to_string(),
+            vec![Some(area::scalar_overhead(2))],
+        ),
+        (
+            "VC 2 threads".to_string(),
+            vec![Some(area::vector_overhead(2, 2))],
+        ),
+        (
+            "VC 4 threads".to_string(),
+            vec![Some(area::vector_overhead(4, 2))],
+        ),
+        (
+            "VC 16 threads".to_string(),
+            vec![Some(area::vector_overhead(16, 2))],
+        ),
+        (
+            "per-word VC4".to_string(),
+            vec![Some(area::per_word_vector_overhead(4))],
+        ),
+    ];
+    FigureTable {
+        title: "Timestamp state as fraction of cache data area (§2.3)".into(),
+        columns: vec!["overhead".into()],
+        rows,
+        unit: Unit::Percent,
+        note: "paper: 19% scalar (thread-count independent), 38% for 4-thread VC, 200% per-word".into(),
+    }
+}
+
+/// §3.3: replay verification across all applications, with and without
+/// injections. Value 1.0 = replay reproduced the recording.
+pub fn replay_check(scale: ScaleClass, seed: u64, injections: u64) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            let mut ok = h
+                .verify_replay(&w, &CordConfig::paper(), InjectionPlan::none())
+                .is_ok();
+            for n in 0..injections {
+                ok &= h
+                    .verify_replay(&w, &CordConfig::paper(), InjectionPlan::remove_nth(n))
+                    .is_ok();
+            }
+            (app.name().to_string(), vec![Some(f64::from(u8::from(ok)))])
+        })
+        .collect();
+    FigureTable {
+        title: "Deterministic replay verification (1 = exact)".into(),
+        columns: vec!["replay ok".into()],
+        rows,
+        unit: Unit::Ratio,
+        note: "paper: the entire execution can always be accurately replayed".into(),
+    }
+}
+
+/// The default full sweep used by Figures 10 and 12–17.
+pub fn default_sweep(opts: &SweepOptions) -> SweepResults {
+    crate::sweep::sweep_all(&DetectorConfig::all_for_sweep(), opts)
+}
+
+/// Ablation study over the design choices DESIGN.md calls out: problem
+/// detections over injected runs with each mechanism individually
+/// altered, against the shipping configuration.
+pub fn ablations(scale: ScaleClass, seed: u64, injections: usize) -> FigureTable {
+    use cord_core::CordDetector;
+    use cord_inject::Campaign;
+    use cord_sim::engine::Machine;
+
+    type Variant = (&'static str, fn() -> CordConfig);
+    let variants: [Variant; 5] = [
+        ("CORD", CordConfig::paper),
+        ("1 ts/line", || CordConfig::paper().single_timestamp()),
+        ("no mem-ts", || CordConfig::paper().without_mem_ts()),
+        ("no data-upd", || {
+            let mut c = CordConfig::paper();
+            c.policy = c.policy.update_on_data_races(false);
+            c
+        }),
+        ("inc-always", || {
+            let mut c = CordConfig::paper();
+            c.policy = c.policy.increment_on_all_accesses(true);
+            c
+        }),
+    ];
+    let apps = [
+        cord_workloads::AppKind::Barnes,
+        cord_workloads::AppKind::Cholesky,
+        cord_workloads::AppKind::Ocean,
+        cord_workloads::AppKind::Radix,
+        cord_workloads::AppKind::Volrend,
+        cord_workloads::AppKind::WaterN2,
+    ];
+    let machine = MachineConfig::paper_4core();
+    let rows = apps
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let campaign = Campaign::plan(&machine, &w, injections, seed ^ app as u64);
+            let vals = variants
+                .iter()
+                .map(|(_, mk)| {
+                    let mut found = 0u64;
+                    for (i, plan) in campaign.plans().enumerate() {
+                        let det = CordDetector::new(mk(), 4, machine.cores);
+                        let m =
+                            Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
+                        let (_, det) = m.run().expect("run ok");
+                        found += u64::from(!det.races().is_empty());
+                    }
+                    Some(found as f64)
+                })
+                .collect();
+            (app.name().to_string(), vals)
+        })
+        .collect();
+    FigureTable {
+        title: "Ablations: injected runs with >=1 detection, per configuration".into(),
+        columns: variants.iter().map(|(n, _)| n.to_string()).collect(),
+        rows,
+        unit: Unit::Count,
+        note: "1 ts/line = Fig 2; no mem-ts = Fig 6 (may FALSELY detect!); \
+               no data-upd = Fig 3 ablation; inc-always = Fig 5"
+            .into(),
+    }
+    .with_average()
+}
+
+/// Cache and bus behaviour of the baseline machine per application (the
+/// methodology backdrop of §3.1: reduced caches preserve realistic hit
+/// rates and bus traffic).
+pub fn cache_stats(scale: ScaleClass, seed: u64) -> String {
+    let mut out = String::from("== Baseline cache/bus behaviour (paper 4-core machine) ==\n");
+    out.push_str(&format!(
+        "{:12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
+        "app", "accesses", "L1 hit%", "L2 hit%", "c2c%", "mem%", "cycles"
+    ));
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+        let s = h.run_baseline(&w).stats;
+        let total = s.total_accesses() as f64;
+        out.push_str(&format!(
+            "{:12} {:>9} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9}\n",
+            app.name(),
+            s.total_accesses(),
+            100.0 * s.l1_hits as f64 / total,
+            100.0 * s.l2_hits as f64 / total,
+            100.0 * s.sibling_fills as f64 / total,
+            100.0 * s.memory_fills as f64 / total,
+            s.cycles,
+        ));
+    }
+    out
+}
+
+/// Extension (§5 comparison point): timestamp-bus traffic of full CORD
+/// vs. a record-only configuration (order recording without DRD, like
+/// Xu et al.'s flight data recorder).
+pub fn record_only_cost(scale: ScaleClass, seed: u64) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            let full = h.run_cord(&w, &CordConfig::paper());
+            let rec = h.run_cord(&w, &CordConfig::paper().record_only());
+            (
+                app.name().to_string(),
+                vec![
+                    Some(full.sim.stats.observer_addr_transactions as f64),
+                    Some(rec.sim.stats.observer_addr_transactions as f64),
+                    Some(rec.log_bytes as f64 / full.log_bytes.max(1) as f64),
+                ],
+            )
+        })
+        .collect();
+    FigureTable {
+        title: "Extension: timestamp-bus transactions, full CORD vs record-only".into(),
+        columns: vec!["full txns".into(), "rec-only txns".into(), "log ratio".into()],
+        rows,
+        unit: Unit::Count,
+        note: "record-only drops the race-check broadcasts; the order log is unchanged in role"
+            .into(),
+    }
+    .with_average()
+}
+
+/// Sensitivity extension: problem detection as the L2 capacity backing
+/// the timestamp storage shrinks or grows (the paper fixes 32 KB; this
+/// sweep shows how much of Figure 14's story is capacity).
+pub fn cache_size_sweep(seed: u64, injections: usize) -> FigureTable {
+    use cord_core::CordDetector;
+    use cord_inject::Campaign;
+    use cord_sim::config::CacheGeometry;
+    use cord_sim::engine::Machine;
+
+    let sizes_kb = [8u64, 16, 32, 64, 128];
+    let apps = [
+        cord_workloads::AppKind::Barnes,
+        cord_workloads::AppKind::Cholesky,
+        cord_workloads::AppKind::Raytrace,
+        cord_workloads::AppKind::WaterN2,
+    ];
+    let rows = apps
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, ScaleClass::Small, 4, seed);
+            let base_machine = MachineConfig::paper_4core();
+            let campaign = Campaign::plan(&base_machine, &w, injections, seed ^ app as u64);
+            let vals = sizes_kb
+                .iter()
+                .map(|&kb| {
+                    let mut mc = MachineConfig::paper_4core();
+                    mc.l2 = CacheGeometry::new(kb * 1024, 8);
+                    mc.l1 = CacheGeometry::new((kb * 1024 / 4).max(4096), 4);
+                    let mut found = 0u64;
+                    for (i, plan) in campaign.plans().enumerate() {
+                        let det = CordDetector::new(CordConfig::paper(), 4, mc.cores);
+                        let m = Machine::new(mc.clone(), &w, det, seed + i as u64, plan);
+                        let (_, det) = m.run().expect("run ok");
+                        found += u64::from(!det.races().is_empty());
+                    }
+                    Some(found as f64)
+                })
+                .collect();
+            (app.name().to_string(), vals)
+        })
+        .collect();
+    FigureTable {
+        title: "Extension: CORD detections vs L2 capacity (counts over injected runs)".into(),
+        columns: sizes_kb.iter().map(|kb| format!("L2={kb}KB")).collect(),
+        rows,
+        unit: Unit::Count,
+        note: "timestamp storage scales with the cache; larger caches keep more history".into(),
+    }
+    .with_average()
+}
+
+/// Sensitivity extension: CORD across thread counts (the scalar scheme's
+/// state is thread-count independent, §2.4 — detection should not
+/// collapse as threads grow toward the core count).
+pub fn thread_sweep(seed: u64, injections: usize) -> FigureTable {
+    use cord_core::CordDetector;
+    use cord_inject::Campaign;
+    use cord_sim::engine::Machine;
+
+    let counts = [2usize, 4, 6, 8];
+    let apps = [
+        cord_workloads::AppKind::Cholesky,
+        cord_workloads::AppKind::Ocean,
+        cord_workloads::AppKind::Radix,
+        cord_workloads::AppKind::Volrend,
+    ];
+    let machine = MachineConfig::paper_4core();
+    let rows = apps
+        .into_iter()
+        .map(|app| {
+            let vals = counts
+                .iter()
+                .map(|&threads| {
+                    let w = kernel(app, ScaleClass::Tiny, threads, seed);
+                    let campaign =
+                        Campaign::plan(&machine, &w, injections, seed ^ app as u64);
+                    let mut found = 0u64;
+                    for (i, plan) in campaign.plans().enumerate() {
+                        let det = CordDetector::new(CordConfig::paper(), threads, machine.cores);
+                        let m = Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
+                        let (_, det) = m.run().expect("run ok");
+                        found += u64::from(!det.races().is_empty());
+                    }
+                    Some(found as f64)
+                })
+                .collect();
+            (app.name().to_string(), vals)
+        })
+        .collect();
+    FigureTable {
+        title: "Extension: CORD detections vs thread count (counts over injected runs)".into(),
+        columns: counts.iter().map(|c| format!("{c} thr")).collect(),
+        rows,
+        unit: Unit::Count,
+        note: "scalar state is thread-count independent (§2.4); >4 threads time-multiplex".into(),
+    }
+    .with_average()
+}
+
+/// The §2.5 directory extension: CORD overhead and detection parity
+/// under directory coherence vs. the paper's snooping machine.
+pub fn directory_extension(scale: ScaleClass, seed: u64) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let snoop = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            let dir =
+                ExperimentHarness::new(MachineConfig::paper_4core_directory()).with_seed(seed);
+            let s = snoop.overhead(&w, &CordConfig::paper());
+            let d = dir.overhead(&w, &CordConfig::paper());
+            (app.name().to_string(), vec![Some(s), Some(d)])
+        })
+        .collect();
+    FigureTable {
+        title: "Extension (§2.5): CORD overhead under snooping vs directory coherence".into(),
+        columns: vec!["snooping".into(), "directory".into()],
+        rows,
+        unit: Unit::Ratio,
+        note: "the mechanism is coherence-agnostic; only indirection latency differs".into(),
+    }
+    .with_average()
+}
+
+/// Replay-concurrency analysis (§2.7.1 future work): how many
+/// logical-time waves each app's log contains and the idealized parallel
+/// replay speedup.
+pub fn replay_concurrency(scale: ScaleClass, seed: u64) -> FigureTable {
+    let rows = all_apps()
+        .into_iter()
+        .map(|app| {
+            let w = kernel(app, scale, 4, seed);
+            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            let out = h.run_cord(&w, &CordConfig::paper());
+            let p = cord_core::replay::replay_parallelism(&out.order_log);
+            (app.name().to_string(), vec![Some(p.mean_width)])
+        })
+        .collect();
+    FigureTable {
+        title: "Idealized parallel-replay speedup (mean segments per wave)".into(),
+        columns: vec!["speedup".into()],
+        rows,
+        unit: Unit::Ratio,
+        note: "§2.7.1: equal-clock segments are conflict-free and can replay concurrently".into(),
+    }
+    .with_average()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ScaleClassOpt;
+
+    fn tiny_sweep() -> SweepResults {
+        default_sweep(&SweepOptions {
+            injections_per_app: 3,
+            scale: ScaleClassOpt::Tiny,
+            threads: 4,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn figures_render_and_average() {
+        let s = tiny_sweep();
+        for fig in [
+            fig10(&s),
+            fig12(&s),
+            fig13(&s),
+            fig14(&s),
+            fig15(&s),
+            fig16(&s),
+            fig17(&s),
+        ] {
+            let text = fig.to_string();
+            assert!(text.contains("Average"));
+            assert_eq!(fig.rows.len(), 13); // 12 apps + average
+        }
+    }
+
+    #[test]
+    fn area_numbers_match_paper() {
+        let t = area_table();
+        let cord = t.rows[0].1[0].unwrap();
+        let vc4 = t.rows[2].1[0].unwrap();
+        assert!((cord - 0.19).abs() < 0.01);
+        assert!((vc4 - 0.38).abs() < 0.01);
+    }
+
+    #[test]
+    fn table1_lists_all_apps() {
+        let t = table1(ScaleClass::Tiny);
+        for app in all_apps() {
+            assert!(t.contains(app.name()), "missing {}", app.name());
+        }
+    }
+
+    #[test]
+    fn replay_check_passes_everywhere() {
+        let t = replay_check(ScaleClass::Tiny, 11, 2);
+        for (app, vals) in &t.rows {
+            assert_eq!(vals[0], Some(1.0), "{app} replay failed");
+        }
+    }
+
+    #[test]
+    fn logsize_is_positive_and_modest() {
+        let t = logsize(ScaleClass::Tiny, 3);
+        for (app, vals) in &t.rows {
+            let bytes = vals[0].unwrap();
+            assert!(bytes > 0.0, "{app} produced no log");
+            assert!(bytes < 1024.0 * 1024.0, "{app} log exceeds 1MB at tiny scale");
+        }
+    }
+}

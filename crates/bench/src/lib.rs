@@ -1,0 +1,26 @@
+//! Experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4).
+//!
+//! * [`configs`] — the named detector configurations the paper compares
+//!   (CORD at each `D`, the vector-clock InfCache/L2Cache/L1Cache
+//!   variants, the Ideal oracle) and the machine each runs on.
+//! * [`sweep`] — the §3.4 injection sweep: per application, plan a
+//!   uniform campaign of synchronization removals, run every
+//!   configuration on every injected run, and record who found what.
+//! * [`figures`] — turns sweep results into the paper's metrics
+//!   (problem detection rate, raw race detection rate, manifestation
+//!   rate, execution-time overhead, log sizes, area model) and renders
+//!   them as text tables.
+//!
+//! The `figures` binary (`cargo run -p cord-bench --bin figures`) is the
+//! command-line entry point; see EXPERIMENTS.md for the paper-vs-measured
+//! record.
+
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod figures;
+pub mod sweep;
+
+pub use configs::DetectorConfig;
+pub use sweep::{AppSweep, RunRecord, SweepOptions, SweepResults};

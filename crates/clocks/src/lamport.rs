@@ -1,0 +1,147 @@
+//! Classical Lamport clocks (paper §2.4, first paragraph).
+//!
+//! A Lamport clock is a `(sequence, thread-id)` pair that induces a
+//! *total* order on events: sequence numbers compare first and thread IDs
+//! break ties. The paper starts from this scheme and then observes that
+//! total ordering is counterproductive for race detection — equal
+//! sequence numbers should be treated as *concurrent* — which motivates
+//! the bare [`crate::scalar::ScalarTime`]. We keep Lamport clocks around
+//! both for documentation value and because the order log replayer uses
+//! their total order to sequence log entries deterministically.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Lamport clock: a sequence number with a tie-breaking thread ID.
+///
+/// `LamportClock` implements [`Ord`]: `(seq, tid)` lexicographic order,
+/// which is a total order over all events in the system.
+///
+/// # Examples
+///
+/// ```
+/// use cord_clocks::lamport::LamportClock;
+///
+/// let a = LamportClock::new(4, 0);
+/// let b = LamportClock::new(4, 1);
+/// // Equal sequence numbers are tie-broken by thread ID.
+/// assert!(a < b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LamportClock {
+    seq: u64,
+    tid: u16,
+}
+
+impl LamportClock {
+    /// Creates a clock with the given sequence number owned by `tid`.
+    #[inline]
+    pub const fn new(seq: u64, tid: u16) -> Self {
+        LamportClock { seq, tid }
+    }
+
+    /// The sequence-number component.
+    #[inline]
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// The tie-breaking thread ID.
+    #[inline]
+    pub const fn tid(self) -> u16 {
+        self.tid
+    }
+
+    /// Lamport receive rule: on observing a message (here: a timestamped
+    /// memory location) the local clock becomes
+    /// `max(local, observed) + 1` while keeping the local thread ID.
+    #[inline]
+    #[must_use]
+    pub fn receive(self, observed: LamportClock) -> Self {
+        LamportClock {
+            seq: self.seq.max(observed.seq) + 1,
+            tid: self.tid,
+        }
+    }
+
+    /// Lamport local-event rule: increment the sequence number.
+    #[inline]
+    #[must_use]
+    pub fn tick(self) -> Self {
+        LamportClock {
+            seq: self.seq + 1,
+            tid: self.tid,
+        }
+    }
+}
+
+impl PartialOrd for LamportClock {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LamportClock {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.seq, self.tid).cmp(&(other.seq, other.tid))
+    }
+}
+
+impl fmt::Display for LamportClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@T{}", self.seq, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_breaks_ties_by_tid() {
+        let a = LamportClock::new(3, 2);
+        let b = LamportClock::new(3, 5);
+        let c = LamportClock::new(4, 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn receive_takes_max_plus_one() {
+        let local = LamportClock::new(3, 1);
+        let seen = LamportClock::new(9, 0);
+        let updated = local.receive(seen);
+        assert_eq!(updated, LamportClock::new(10, 1));
+        // Receiving something older still ticks.
+        let updated2 = updated.receive(LamportClock::new(2, 0));
+        assert_eq!(updated2, LamportClock::new(11, 1));
+    }
+
+    #[test]
+    fn tick_increments_seq_only() {
+        let c = LamportClock::new(7, 3).tick();
+        assert_eq!(c.seq(), 8);
+        assert_eq!(c.tid(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", LamportClock::new(12, 4)), "12@T4");
+    }
+
+    #[test]
+    fn receive_produces_strictly_greater_clock() {
+        // The defining Lamport property: the receiver's new clock is
+        // strictly after both its old clock and the observed one.
+        for s in 0..8 {
+            for o in 0..8 {
+                let local = LamportClock::new(s, 1);
+                let seen = LamportClock::new(o, 0);
+                let next = local.receive(seen);
+                assert!(next > local);
+                assert!(next > seen);
+            }
+        }
+    }
+}

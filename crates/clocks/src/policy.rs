@@ -1,0 +1,251 @@
+//! Clock-update policy: the exact rules of paper §2.4 and §2.6, factored
+//! into one place so CORD and the ablation configurations share a single
+//! implementation.
+//!
+//! The rules, with references to the figures they come from:
+//!
+//! * **Update on every race** (Fig 3): whenever a clock–timestamp
+//!   comparison finds a race (`clk <= ts`), the thread's clock becomes
+//!   `ts + 1`. The paper argues "overlapping" races are very likely the
+//!   same underlying bug, so losing them is acceptable; an ablation knob
+//!   restricts updates to synchronization races.
+//! * **Increment only after sync writes** (Figs 4–5): the thread's clock
+//!   ticks once *after* each synchronization write. Incrementing on reads
+//!   or data writes would hide real races (Fig 5); never incrementing
+//!   would miss the pre-/post-synchronization distinction (Fig 4).
+//! * **Sync-read `+D` updates** (Figs 8–9): a synchronization read jumps
+//!   the reader's clock to at least `ts_write + D` while every other
+//!   update uses `+1`. This creates a `D`-wide gap that only genuine
+//!   synchronization can create, so the DRD test
+//!   [`crate::scalar::ScalarTime::is_synchronized_after`] can tell
+//!   synchronization-induced ordering from incidental ordering.
+//! * **Migration `+D`** (§2.7.4): when a thread starts running on a new
+//!   processor its clock advances by `D`, "synchronizing" it with its own
+//!   past execution on the other processor to avoid self-races.
+
+use crate::scalar::ScalarTime;
+
+/// The D window and ablation knobs governing scalar-clock updates.
+///
+/// Use [`ClockPolicy::cord`] for the paper's shipping configuration
+/// (D = 16) or [`ClockPolicy::with_d`] to reproduce the Figure 16/17
+/// sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use cord_clocks::policy::ClockPolicy;
+/// use cord_clocks::scalar::ScalarTime;
+///
+/// let p = ClockPolicy::with_d(4);
+/// // A race against ts=9 pulls the clock to 10, not 9+D: only sync reads
+/// // use the D-sized jump (Fig 9).
+/// assert_eq!(
+///     p.race_update(ScalarTime::new(7), ScalarTime::new(9)),
+///     ScalarTime::new(10),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockPolicy {
+    d: u64,
+    update_on_data_races: bool,
+    increment_on_all_accesses: bool,
+}
+
+impl ClockPolicy {
+    /// The paper's shipping CORD configuration: `D = 16` (the sweet spot
+    /// of Figures 16–17), clock updates on all races, increments only on
+    /// sync writes.
+    pub fn cord() -> Self {
+        Self::with_d(16)
+    }
+
+    /// The naive scalar-clock baseline (`D = 1`, the "D1" bars of
+    /// Figures 16–17).
+    pub fn naive_scalar() -> Self {
+        Self::with_d(1)
+    }
+
+    /// A CORD policy with an explicit `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`; the comparison rules require `D >= 1`.
+    pub fn with_d(d: u64) -> Self {
+        assert!(d >= 1, "the D window must be at least 1");
+        ClockPolicy {
+            d,
+            update_on_data_races: true,
+            increment_on_all_accesses: false,
+        }
+    }
+
+    /// Ablation: when `false`, clock updates happen only on
+    /// synchronization races (the alternative the paper rejects in §2.4
+    /// because it floods the log and the bug report with races from a
+    /// single underlying problem).
+    #[must_use]
+    pub fn update_on_data_races(mut self, yes: bool) -> Self {
+        self.update_on_data_races = yes;
+        self
+    }
+
+    /// Ablation: when `true`, the clock increments after *every* shared
+    /// access like a textbook Lamport clock (the behaviour Figs 4–5 show
+    /// to be harmful and overflow-prone).
+    #[must_use]
+    pub fn increment_on_all_accesses(mut self, yes: bool) -> Self {
+        self.increment_on_all_accesses = yes;
+        self
+    }
+
+    /// The D window.
+    #[inline]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// Whether data races update the clock (see
+    /// [`ClockPolicy::update_on_data_races`]).
+    #[inline]
+    pub fn updates_on_data_races(&self) -> bool {
+        self.update_on_data_races
+    }
+
+    /// Whether every access ticks the clock (see
+    /// [`ClockPolicy::increment_on_all_accesses`]).
+    #[inline]
+    pub fn increments_on_all_accesses(&self) -> bool {
+        self.increment_on_all_accesses
+    }
+
+    /// Clock update after a race outcome is observed (both for
+    /// order-recording and DRD, §2.4): the new clock is `ts + 1` if that
+    /// is an advance, otherwise unchanged.
+    #[inline]
+    #[must_use]
+    pub fn race_update(&self, clk: ScalarTime, ts: ScalarTime) -> ScalarTime {
+        clk.max(ts.succ())
+    }
+
+    /// Clock update performed by a synchronization read (§2.6): the new
+    /// clock is at least `ts_write + D`.
+    #[inline]
+    #[must_use]
+    pub fn sync_read_update(&self, clk: ScalarTime, ts_write: ScalarTime) -> ScalarTime {
+        clk.max(ts_write.advanced(self.d))
+    }
+
+    /// Clock increment applied after a synchronization write (Fig 4).
+    #[inline]
+    #[must_use]
+    pub fn post_sync_write(&self, clk: ScalarTime) -> ScalarTime {
+        clk.succ()
+    }
+
+    /// Clock advance applied when a thread migrates onto a processor
+    /// (§2.7.4): `+D` "synchronizes" the thread with its own stale
+    /// timestamps left in the previous processor's caches.
+    #[inline]
+    #[must_use]
+    pub fn migration_update(&self, clk: ScalarTime) -> ScalarTime {
+        clk.advanced(self.d)
+    }
+
+    /// DRD synchronization test at this policy's `D` — see
+    /// [`ScalarTime::is_synchronized_after`].
+    #[inline]
+    pub fn is_synchronized(&self, clk: ScalarTime, ts: ScalarTime) -> bool {
+        clk.is_synchronized_after(ts, self.d)
+    }
+}
+
+impl Default for ClockPolicy {
+    /// The paper's CORD configuration ([`ClockPolicy::cord`]).
+    fn default() -> Self {
+        Self::cord()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cord_default_d_is_16() {
+        assert_eq!(ClockPolicy::cord().d(), 16);
+        assert_eq!(ClockPolicy::default(), ClockPolicy::cord());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_d_rejected() {
+        let _ = ClockPolicy::with_d(0);
+    }
+
+    #[test]
+    fn race_update_is_ts_plus_one() {
+        let p = ClockPolicy::with_d(16);
+        assert_eq!(
+            p.race_update(ScalarTime::new(3), ScalarTime::new(9)),
+            ScalarTime::new(10)
+        );
+        // Already ahead: no regression.
+        assert_eq!(
+            p.race_update(ScalarTime::new(20), ScalarTime::new(9)),
+            ScalarTime::new(20)
+        );
+    }
+
+    #[test]
+    fn sync_read_jumps_by_d() {
+        let p = ClockPolicy::with_d(4);
+        assert_eq!(
+            p.sync_read_update(ScalarTime::new(1), ScalarTime::new(1)),
+            ScalarTime::new(5),
+        );
+        // Figure 9 scenario: Thread B reads lock written at ts=1 with
+        // D=4 => clock 5; a later data-race update against ts=5 gives 6.
+        let clk = p.sync_read_update(ScalarTime::new(2), ScalarTime::new(1));
+        assert_eq!(clk, ScalarTime::new(5));
+        let clk = p.race_update(clk, ScalarTime::new(5));
+        assert_eq!(clk, ScalarTime::new(6));
+    }
+
+    #[test]
+    fn post_sync_write_ticks_once() {
+        let p = ClockPolicy::cord();
+        assert_eq!(p.post_sync_write(ScalarTime::new(1)), ScalarTime::new(2));
+    }
+
+    #[test]
+    fn migration_advances_by_d() {
+        let p = ClockPolicy::with_d(16);
+        assert_eq!(
+            p.migration_update(ScalarTime::new(100)),
+            ScalarTime::new(116)
+        );
+    }
+
+    #[test]
+    fn figure8_scenario_detected_with_d_gt_2() {
+        // Fig 8: both threads do 2 sync writes (clk 1->2->3) and the data
+        // races on Q/X/Y are separated by fewer than 3 ticks; with D=1
+        // they look synchronized, with D=4 they are detected.
+        let naive = ClockPolicy::with_d(1);
+        let tuned = ClockPolicy::with_d(4);
+        let reader_clk = ScalarTime::new(4);
+        let ts_write = ScalarTime::new(2);
+        assert!(naive.is_synchronized(reader_clk, ts_write)); // missed
+        assert!(!tuned.is_synchronized(reader_clk, ts_write)); // detected
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let p = ClockPolicy::cord()
+            .update_on_data_races(false)
+            .increment_on_all_accesses(true);
+        assert!(!p.updates_on_data_races());
+        assert!(p.increments_on_all_accesses());
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain integer scalar logical time (paper §2.4).
+//!
+//! CORD drops the tie-breaking thread IDs of Lamport clocks and uses a
+//! bare integer: two events with the *same* scalar time are treated as
+//! concurrent rather than being totally ordered. This is exactly what a
+//! race detector wants — "a race is now found when the thread's current
+//! clock is less than **or equal to** the timestamp of a conflicting
+//! access" (§2.4).
+//!
+//! The hardware stores these as 16-bit values with a sliding-window
+//! comparison (see [`crate::window16`]); this module uses `u64` as the
+//! unbounded mathematical reference. Property tests in `window16` prove
+//! the two agree while the window invariant holds.
+
+use std::fmt;
+
+/// An unbounded scalar logical time.
+///
+/// `ScalarTime` is a newtype over `u64`; ordering is plain integer
+/// ordering. Use [`ScalarTime::is_race_with`] and
+/// [`ScalarTime::is_synchronized_after`] for the paper's comparison
+/// semantics rather than raw `<`/`>` where the intent matters.
+///
+/// # Examples
+///
+/// ```
+/// use cord_clocks::scalar::ScalarTime;
+///
+/// let clk = ScalarTime::new(5);
+/// let ts = ScalarTime::new(5);
+/// // Equal scalar times are concurrent => a race.
+/// assert!(clk.is_race_with(ts));
+/// assert!(!ScalarTime::new(6).is_race_with(ts));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ScalarTime(u64);
+
+impl ScalarTime {
+    /// The initial logical time of every thread and memory location.
+    pub const ZERO: ScalarTime = ScalarTime(0);
+
+    /// Creates a scalar time from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        ScalarTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time advanced by `n` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows `u64` (which would
+    /// require more than 10^19 synchronization operations).
+    #[inline]
+    #[must_use]
+    pub fn advanced(self, n: u64) -> Self {
+        ScalarTime(self.0 + n)
+    }
+
+    /// The successor time, `self + 1`.
+    #[inline]
+    #[must_use]
+    pub fn succ(self) -> Self {
+        self.advanced(1)
+    }
+
+    /// Order-recording race test (§2.4): a thread at clock `self`
+    /// accessing a location last conflicting-accessed at `ts` participates
+    /// in a race iff `self <= ts`. If `self > ts` the accesses are already
+    /// transitively ordered and nothing needs to be recorded.
+    #[inline]
+    pub fn is_race_with(self, ts: ScalarTime) -> bool {
+        self.0 <= ts.0
+    }
+
+    /// Data-race-detection synchronization test (§2.6): the access at
+    /// clock `self` counts as *synchronized after* the access timestamped
+    /// `ts` only when `self >= ts + d`. With `d == 1` this degenerates to
+    /// the order-recording rule; larger `d` opens the "window of
+    /// opportunity" that lets the DRD scheme distinguish clock advances
+    /// caused by synchronization from advances caused by other events.
+    #[inline]
+    pub fn is_synchronized_after(self, ts: ScalarTime, d: u64) -> bool {
+        self.0 >= ts.0.saturating_add(d)
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: ScalarTime) -> ScalarTime {
+        ScalarTime(self.0.max(other.0))
+    }
+}
+
+impl From<u64> for ScalarTime {
+    fn from(ticks: u64) -> Self {
+        ScalarTime(ticks)
+    }
+}
+
+impl From<ScalarTime> for u64 {
+    fn from(t: ScalarTime) -> u64 {
+        t.0
+    }
+}
+
+impl fmt::Display for ScalarTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(ScalarTime::default(), ScalarTime::ZERO);
+        assert_eq!(ScalarTime::ZERO.ticks(), 0);
+    }
+
+    #[test]
+    fn succ_and_advanced() {
+        let t = ScalarTime::new(41);
+        assert_eq!(t.succ(), ScalarTime::new(42));
+        assert_eq!(t.advanced(9), ScalarTime::new(50));
+    }
+
+    #[test]
+    fn race_when_equal_or_behind() {
+        let ts = ScalarTime::new(10);
+        assert!(ScalarTime::new(9).is_race_with(ts));
+        assert!(ScalarTime::new(10).is_race_with(ts));
+        assert!(!ScalarTime::new(11).is_race_with(ts));
+    }
+
+    #[test]
+    fn synchronized_requires_d_gap() {
+        let ts = ScalarTime::new(10);
+        // d = 1: same as strict ordering.
+        assert!(ScalarTime::new(11).is_synchronized_after(ts, 1));
+        assert!(!ScalarTime::new(10).is_synchronized_after(ts, 1));
+        // d = 4: a gap of 1..3 is "ordered for recording but racy for DRD".
+        assert!(!ScalarTime::new(13).is_synchronized_after(ts, 4));
+        assert!(ScalarTime::new(14).is_synchronized_after(ts, 4));
+    }
+
+    #[test]
+    fn drd_window_is_superset_of_recording_races() {
+        // Every pair that is a race for order-recording is also a data
+        // race for DRD at any d >= 1.
+        for clk in 0..30u64 {
+            for ts in 0..30u64 {
+                let c = ScalarTime::new(clk);
+                let t = ScalarTime::new(ts);
+                if c.is_race_with(t) {
+                    for d in 1..5 {
+                        assert!(!c.is_synchronized_after(t, d));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_d_does_not_wrap() {
+        let ts = ScalarTime::new(u64::MAX - 1);
+        assert!(!ScalarTime::new(5).is_synchronized_after(ts, 1 << 40));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let t = ScalarTime::from(7u64);
+        assert_eq!(format!("{t}"), "t7");
+        assert_eq!(u64::from(t), 7);
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        assert_eq!(
+            ScalarTime::new(3).max(ScalarTime::new(9)),
+            ScalarTime::new(9)
+        );
+    }
+}

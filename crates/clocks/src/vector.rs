@@ -1,0 +1,257 @@
+//! Vector clocks (Fidge/Mattern), used by the paper's *Ideal* oracle and
+//! the vector-clock comparison configurations of §4.3.
+//!
+//! A vector clock has one scalar component per thread. It captures the
+//! happens-before relation *exactly*: `a` happened before `b` iff
+//! `a <= b` componentwise (and `a != b`); otherwise the two are
+//! concurrent. The paper cites Valot's result that no scheme with fewer
+//! than N components can be exact for N threads — which is precisely why
+//! CORD's scalar clocks must miss some races (Figures 16–17 quantify the
+//! loss).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Result of comparing two vector clocks under happens-before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Causality {
+    /// `a` happened strictly before `b`.
+    Before,
+    /// `a` happened strictly after `b`.
+    After,
+    /// Identical vectors (same event, or no information either way).
+    Equal,
+    /// Neither ordered — the events are concurrent (a race if they
+    /// conflict).
+    Concurrent,
+}
+
+/// A fixed-width vector clock with one `u64` component per thread.
+///
+/// The width is set at construction time and all operations panic if two
+/// clocks of different widths are mixed — widths are a per-run constant
+/// (the thread count), so a mismatch is always a program error.
+///
+/// # Examples
+///
+/// ```
+/// use cord_clocks::vector::{Causality, VectorClock};
+///
+/// let mut a = VectorClock::new(2);
+/// let mut b = VectorClock::new(2);
+/// a.tick(0); // a = [1, 0]
+/// b.tick(1); // b = [0, 1]
+/// assert_eq!(a.causality(&b), Causality::Concurrent);
+///
+/// b.join(&a); // b = [1, 1]: b has now observed a
+/// assert_eq!(a.causality(&b), Causality::Before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock for `width` threads.
+    pub fn new(width: usize) -> Self {
+        VectorClock {
+            components: vec![0; width],
+        }
+    }
+
+    /// Creates a clock from explicit components.
+    pub fn from_components(components: Vec<u64>) -> Self {
+        VectorClock { components }
+    }
+
+    /// Number of thread components.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component for thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= self.width()`.
+    #[inline]
+    pub fn component(&self, tid: usize) -> u64 {
+        self.components[tid]
+    }
+
+    /// Increments thread `tid`'s own component (a local event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= self.width()`.
+    #[inline]
+    pub fn tick(&mut self, tid: usize) {
+        self.components[tid] += 1;
+    }
+
+    /// Joins (componentwise max) `other` into `self` — the "receive"
+    /// operation that propagates causality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "joining vector clocks of different widths"
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns `true` iff `self` happened before **or equals** `other`
+    /// (componentwise `<=`).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.width(), other.width());
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Full happens-before classification of `self` relative to `other`.
+    pub fn causality(&self, other: &VectorClock) -> Causality {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+
+    /// Returns `true` iff the two clocks are concurrent — the race
+    /// condition for conflicting accesses.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.causality(other) == Causality::Concurrent
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.components.iter()
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// Partial order: `Some(Less)` iff happened-before, `None` iff
+    /// concurrent.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.causality(other) {
+            Causality::Before => Some(Ordering::Less),
+            Causality::After => Some(Ordering::Greater),
+            Causality::Equal => Some(Ordering::Equal),
+            Causality::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    /// Formats as `<c0,c1,...>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(parts: &[u64]) -> VectorClock {
+        VectorClock::from_components(parts.to_vec())
+    }
+
+    #[test]
+    fn new_is_zero() {
+        let c = VectorClock::new(3);
+        assert_eq!(c.width(), 3);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn tick_is_local() {
+        let mut c = VectorClock::new(3);
+        c.tick(1);
+        c.tick(1);
+        c.tick(2);
+        assert_eq!(c, vc(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        a.join(&vc(&[1, 4, 5]));
+        assert_eq!(a, vc(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn causality_classification() {
+        assert_eq!(vc(&[1, 0]).causality(&vc(&[1, 0])), Causality::Equal);
+        assert_eq!(vc(&[1, 0]).causality(&vc(&[1, 1])), Causality::Before);
+        assert_eq!(vc(&[1, 1]).causality(&vc(&[1, 0])), Causality::After);
+        assert_eq!(vc(&[1, 0]).causality(&vc(&[0, 1])), Causality::Concurrent);
+    }
+
+    #[test]
+    fn concurrent_is_symmetric() {
+        let a = vc(&[2, 0, 1]);
+        let b = vc(&[0, 3, 1]);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+    }
+
+    #[test]
+    fn partial_ord_matches_causality() {
+        assert_eq!(
+            vc(&[1, 0]).partial_cmp(&vc(&[2, 0])),
+            Some(Ordering::Less)
+        );
+        assert_eq!(vc(&[1, 0]).partial_cmp(&vc(&[0, 1])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn join_width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        a.join(&VectorClock::new(3));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", vc(&[1, 2, 3])), "<1,2,3>");
+    }
+
+    #[test]
+    fn message_passing_transitivity() {
+        // T0 ticks, T1 observes T0 then ticks, T2 observes T1:
+        // T0's event must be Before T2's final clock (transitivity).
+        let mut t0 = VectorClock::new(3);
+        t0.tick(0);
+        let e0 = t0.clone();
+
+        let mut t1 = VectorClock::new(3);
+        t1.join(&e0);
+        t1.tick(1);
+
+        let mut t2 = VectorClock::new(3);
+        t2.join(&t1);
+        t2.tick(2);
+
+        assert_eq!(e0.causality(&t2), Causality::Before);
+    }
+}

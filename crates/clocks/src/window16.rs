@@ -1,0 +1,283 @@
+//! 16-bit sliding-window timestamp comparison (paper §2.7.5).
+//!
+//! CORD stores 16-bit timestamps in cache lines to keep the area overhead
+//! at 19% of cache data capacity. Sixteen-bit clocks overflow, so the
+//! hardware compares them *modulo 2^16* under the assumption that all
+//! live timestamps fall within a window of `2^15 - 1` ticks ending at the
+//! current clock. A cache walker evicts timestamps that are about to fall
+//! out of the window, and clock updates that would grow the window past
+//! its limit stall (the paper observes such stalls never trigger in
+//! practice because the walker keeps up).
+//!
+//! This module provides the windowed comparison primitives and
+//! [`WindowTracker`], the bookkeeping the cache walker relies on. The
+//! property tests at the bottom prove that, while the window invariant
+//! holds, every windowed comparison agrees with the unbounded
+//! [`ScalarTime`](crate::scalar::ScalarTime) comparison — which is the
+//! justification for the rest of the code base using `u64` clocks as the
+//! reference implementation.
+
+/// Maximum spread between the oldest live timestamp and the newest clock
+/// for windowed comparisons to be exact: `2^15 - 1`.
+pub const WINDOW: u16 = i16::MAX as u16; // 32767
+
+/// A 16-bit hardware timestamp as stored in a cache line.
+pub type Ts16 = u16;
+
+/// Truncates an unbounded logical time to its 16-bit hardware encoding.
+#[inline]
+pub fn truncate(ticks: u64) -> Ts16 {
+    (ticks & 0xFFFF) as u16
+}
+
+/// Windowed `a < b`: `a` is strictly older than `b` assuming both lie in
+/// a window of [`WINDOW`] ticks.
+///
+/// # Examples
+///
+/// ```
+/// use cord_clocks::window16::{wrapped_lt, truncate};
+///
+/// // Near the wrap point, 65530 is still older than 5 (= 65541 mod 2^16).
+/// assert!(wrapped_lt(truncate(65530), truncate(65541)));
+/// assert!(!wrapped_lt(truncate(65541), truncate(65530)));
+/// ```
+#[inline]
+pub fn wrapped_lt(a: Ts16, b: Ts16) -> bool {
+    let diff = b.wrapping_sub(a);
+    diff != 0 && diff <= WINDOW
+}
+
+/// Windowed `a <= b`.
+#[inline]
+pub fn wrapped_le(a: Ts16, b: Ts16) -> bool {
+    b.wrapping_sub(a) <= WINDOW
+}
+
+/// Windowed distance `b - a`, meaningful when `wrapped_le(a, b)`.
+#[inline]
+pub fn wrapped_distance(a: Ts16, b: Ts16) -> u16 {
+    b.wrapping_sub(a)
+}
+
+/// Windowed order-recording race test: races iff `clk <= ts` (mirrors
+/// [`ScalarTime::is_race_with`](crate::scalar::ScalarTime::is_race_with)).
+#[inline]
+pub fn is_race_with(clk: Ts16, ts: Ts16) -> bool {
+    wrapped_le(clk, ts)
+}
+
+/// Windowed DRD synchronization test: synchronized iff `clk >= ts + d`
+/// (mirrors
+/// [`ScalarTime::is_synchronized_after`](crate::scalar::ScalarTime::is_synchronized_after)).
+/// `d` must be much smaller than [`WINDOW`] for the result to be exact,
+/// which holds for all values the paper sweeps (max 256).
+#[inline]
+pub fn is_synchronized_after(clk: Ts16, ts: Ts16, d: u16) -> bool {
+    // synchronized <=> ts + d <= clk within the window.
+    wrapped_le(ts.wrapping_add(d), clk)
+}
+
+/// Tracks the minimum (oldest) live timestamp so the cache walker can
+/// enforce the window invariant (§2.7.5).
+///
+/// The real hardware keeps, per cache, the minimum timestamp found during
+/// the walker's last pass and stalls clock updates that would exceed
+/// `min + WINDOW`. The simulator uses this type both to decide which
+/// timestamps the walker must evict and to *check* (in tests) that no
+/// comparison was ever performed outside the window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowTracker {
+    /// Oldest unbounded timestamp still live in the tracked cache.
+    min_live: Option<u64>,
+    /// Newest unbounded clock value observed.
+    max_clock: u64,
+    /// Count of comparisons that would have been outside the window (0 in
+    /// a correct configuration).
+    violations: u64,
+}
+
+impl WindowTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a timestamp with unbounded value `ts` is now live.
+    pub fn on_timestamp_live(&mut self, ts: u64) {
+        self.min_live = Some(self.min_live.map_or(ts, |m| m.min(ts)));
+        self.max_clock = self.max_clock.max(ts);
+    }
+
+    /// Recomputes the minimum after a walker pass over `live` timestamps.
+    pub fn rescan<I: IntoIterator<Item = u64>>(&mut self, live: I) {
+        self.min_live = live.into_iter().min();
+    }
+
+    /// Records a clock advance; returns `true` if the advance keeps the
+    /// window invariant, `false` if the hardware would have to stall
+    /// until the walker evicts old timestamps.
+    pub fn on_clock_advance(&mut self, clk: u64) -> bool {
+        self.max_clock = self.max_clock.max(clk);
+        let ok = self.within_window();
+        if !ok {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// `true` while all live timestamps are within [`WINDOW`] of the
+    /// newest clock.
+    pub fn within_window(&self) -> bool {
+        match self.min_live {
+            None => true,
+            Some(min) => self.max_clock - min <= u64::from(WINDOW),
+        }
+    }
+
+    /// Timestamps older than this bound must be evicted by the walker to
+    /// keep headroom; the walker evicts anything older than
+    /// `max_clock - WINDOW/2` (half-window hysteresis).
+    pub fn eviction_bound(&self) -> u64 {
+        self.max_clock.saturating_sub(u64::from(WINDOW) / 2)
+    }
+
+    /// Number of would-be stalls observed (0 when the walker keeps up,
+    /// matching the paper's "no such stalls actually occur").
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Oldest live unbounded timestamp, if any.
+    pub fn min_live(&self) -> Option<u64> {
+        self.min_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarTime;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_constant() {
+        assert_eq!(WINDOW, 32767);
+    }
+
+    #[test]
+    fn lt_basic() {
+        assert!(wrapped_lt(1, 2));
+        assert!(!wrapped_lt(2, 1));
+        assert!(!wrapped_lt(5, 5));
+    }
+
+    #[test]
+    fn lt_across_wrap() {
+        assert!(wrapped_lt(u16::MAX, 0));
+        assert!(wrapped_lt(u16::MAX - 10, 20));
+        assert!(!wrapped_lt(20, u16::MAX - 10));
+    }
+
+    #[test]
+    fn le_includes_equal() {
+        assert!(wrapped_le(7, 7));
+        assert!(wrapped_le(u16::MAX, 3));
+    }
+
+    #[test]
+    fn race_test_matches_semantics() {
+        // clk <= ts means race.
+        assert!(is_race_with(5, 5));
+        assert!(is_race_with(4, 5));
+        assert!(!is_race_with(6, 5));
+        // across wrap: clk=2 (really 65538), ts=65535: clk > ts, no race.
+        assert!(!is_race_with(2, u16::MAX));
+    }
+
+    #[test]
+    fn synchronized_with_d_across_wrap() {
+        // ts = 65534, d = 16 => synchronized from (65534+16) mod 2^16 = 14.
+        assert!(is_synchronized_after(14, u16::MAX - 1, 16));
+        assert!(!is_synchronized_after(13, u16::MAX - 1, 16));
+    }
+
+    #[test]
+    fn tracker_flags_violation() {
+        let mut t = WindowTracker::new();
+        t.on_timestamp_live(0);
+        assert!(t.on_clock_advance(u64::from(WINDOW)));
+        assert!(!t.on_clock_advance(u64::from(WINDOW) + 1));
+        assert_eq!(t.violations(), 1);
+    }
+
+    #[test]
+    fn tracker_rescan_restores_headroom() {
+        let mut t = WindowTracker::new();
+        t.on_timestamp_live(0);
+        t.on_timestamp_live(40_000);
+        assert!(!t.on_clock_advance(40_000)); // 0 is too old
+        t.rescan([40_000]); // walker evicted the stale entry
+        assert!(t.on_clock_advance(40_001));
+        assert_eq!(t.min_live(), Some(40_000));
+    }
+
+    #[test]
+    fn eviction_bound_has_half_window_hysteresis() {
+        let mut t = WindowTracker::new();
+        t.on_timestamp_live(100_000);
+        assert_eq!(t.eviction_bound(), 100_000 - u64::from(WINDOW) / 2);
+    }
+
+    proptest! {
+        /// While |clk - ts| <= WINDOW, the windowed comparison agrees
+        /// with the unbounded ScalarTime comparison — the correctness
+        /// argument for using u64 clocks as the reference model.
+        #[test]
+        fn windowed_race_test_equals_unbounded(
+            base in 0u64..u64::from(u32::MAX),
+            clk_off in 0u64..=u64::from(WINDOW),
+            ts_off in 0u64..=u64::from(WINDOW),
+        ) {
+            let clk = base + clk_off;
+            let ts = base + ts_off;
+            prop_assume!(clk.abs_diff(ts) <= u64::from(WINDOW));
+            let wide = ScalarTime::new(clk).is_race_with(ScalarTime::new(ts));
+            let narrow = is_race_with(truncate(clk), truncate(ts));
+            prop_assert_eq!(wide, narrow);
+        }
+
+        #[test]
+        fn windowed_sync_test_equals_unbounded(
+            base in 0u64..u64::from(u32::MAX),
+            clk_off in 0u64..=u64::from(WINDOW) - 256,
+            ts_off in 0u64..=u64::from(WINDOW) - 256,
+            d in 1u16..=256,
+        ) {
+            let clk = base + clk_off;
+            let ts = base + ts_off;
+            prop_assume!(clk.abs_diff(ts) + u64::from(d) <= u64::from(WINDOW));
+            let wide = ScalarTime::new(clk)
+                .is_synchronized_after(ScalarTime::new(ts), u64::from(d));
+            let narrow = is_synchronized_after(truncate(clk), truncate(ts), d);
+            prop_assert_eq!(wide, narrow);
+        }
+
+        #[test]
+        fn wrapped_lt_antisymmetric(a: u16, b: u16) {
+            prop_assume!(a != b);
+            // Exactly one of a<b, b<a within a half-range window, except
+            // the ambiguous antipodal distance.
+            let d = b.wrapping_sub(a);
+            prop_assume!(d != WINDOW + 1); // antipodal: both false
+            prop_assert!(wrapped_lt(a, b) ^ wrapped_lt(b, a));
+        }
+
+        #[test]
+        fn distance_inverts_advance(a: u16, d in 0u16..=WINDOW) {
+            let b = a.wrapping_add(d);
+            prop_assert!(wrapped_le(a, b));
+            prop_assert_eq!(wrapped_distance(a, b), d);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Analytic chip-area model for timestamp state (§2.3–§2.4).
+//!
+//! The paper quantifies the cache-area cost of each design point:
+//!
+//! * per-word vector timestamps with four 16-bit components → **200%**
+//!   of the cache's data area;
+//! * two per-line 4×16-bit vector timestamps with per-word access bits →
+//!   **38%**;
+//! * CORD's two per-line 16-bit scalar timestamps with per-word access
+//!   bits → **19%**, *independent of the number of threads*.
+//!
+//! These functions reproduce those numbers and generalize them over
+//! thread counts, so the `figures area` harness can regenerate the
+//! paper's comparisons and show vector state growing linearly while
+//! scalar state stays flat.
+
+use cord_trace::types::LINE_BYTES;
+
+/// Bits in one hardware timestamp component (16, §2.4).
+pub const TS_BITS: u64 = 16;
+/// Words per line (16 for 64-byte lines of 4-byte words).
+const WORDS: u64 = LINE_BYTES / 4;
+/// Data bits per cache line.
+const LINE_BITS: u64 = LINE_BYTES * 8;
+
+/// Per-line CORD state in bits for scalar timestamps: `ts_per_line`
+/// entries of (16-bit timestamp + 16 read bits + 16 write bits), plus
+/// the two check-filter bits.
+pub fn scalar_state_bits(ts_per_line: u64) -> u64 {
+    ts_per_line * (TS_BITS + 2 * WORDS) + 2
+}
+
+/// Per-line state in bits for vector timestamps supporting `threads`
+/// threads.
+pub fn vector_state_bits(threads: u64, ts_per_line: u64) -> u64 {
+    ts_per_line * (threads * TS_BITS + 2 * WORDS) + 2
+}
+
+/// Per-line state in bits for *per-word* vector timestamps (the ideal
+/// organization the paper dismisses as a 200% overhead).
+pub fn per_word_vector_state_bits(threads: u64) -> u64 {
+    WORDS * threads * TS_BITS
+}
+
+/// Overhead of scalar CORD state relative to the line's data bits.
+pub fn scalar_overhead(ts_per_line: u64) -> f64 {
+    scalar_state_bits(ts_per_line) as f64 / LINE_BITS as f64
+}
+
+/// Overhead of per-line vector state relative to the line's data bits.
+pub fn vector_overhead(threads: u64, ts_per_line: u64) -> f64 {
+    vector_state_bits(threads, ts_per_line) as f64 / LINE_BITS as f64
+}
+
+/// Overhead of per-word vector timestamps relative to the line's data
+/// bits.
+pub fn per_word_vector_overhead(threads: u64) -> f64 {
+    per_word_vector_state_bits(threads) as f64 / LINE_BITS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cord_scalar_state_is_19_percent() {
+        // 2 x (16 + 32) + 2 = 98 bits over 512 data bits = 19.1%.
+        assert_eq!(scalar_state_bits(2), 98);
+        let o = scalar_overhead(2);
+        assert!((o - 0.19).abs() < 0.005, "got {o}");
+    }
+
+    #[test]
+    fn four_thread_vector_state_is_38_percent() {
+        // 2 x (64 + 32) + 2 = 194 bits over 512 = 37.9%.
+        assert_eq!(vector_state_bits(4, 2), 194);
+        let o = vector_overhead(4, 2);
+        assert!((o - 0.38).abs() < 0.005, "got {o}");
+    }
+
+    #[test]
+    fn per_word_vectors_cost_200_percent() {
+        // 16 words x 4 threads x 16 bits = 1024 bits over 512 = 200%.
+        let o = per_word_vector_overhead(4);
+        assert!((o - 2.0).abs() < 1e-9, "got {o}");
+    }
+
+    #[test]
+    fn scalar_state_is_thread_count_independent() {
+        // The paper: vector state "grows in linear proportion to the
+        // number of supported threads" while CORD "supports any number
+        // of threads" at the same 19%.
+        assert_eq!(scalar_overhead(2), scalar_overhead(2));
+        assert!(vector_overhead(16, 2) > 2.0 * vector_overhead(4, 2));
+        // 2-thread vector state equals CORD's scalar budget roughly:
+        // "vector timestamps used in prior work require the same amount
+        // of state to support only two threads".
+        let two_thread = vector_overhead(2, 2);
+        let cord = scalar_overhead(2);
+        assert!((two_thread - cord - 0.0625).abs() < 0.01); // one extra 16-bit component x2
+    }
+}

@@ -1,0 +1,60 @@
+//! The CORD mechanism (Prvulovic, HPCA 2006): cost-effective
+//! order-recording and data race detection with scalar clocks.
+//!
+//! This crate implements the paper's contribution on top of the
+//! `cord-sim` substrate:
+//!
+//! * [`history`] — per-cache-line access histories: two timestamps per
+//!   line with per-word read/write bits and check-filter bits (§2.3,
+//!   §2.7.2).
+//! * [`memts`] — the whole-memory read/write timestamp pair that keeps
+//!   order recording correct across displacements (§2.5).
+//! * [`detector`] — the CORD detector: clock comparisons, race-check
+//!   broadcasts, the D-window DRD rule, migration handling, and the
+//!   cache walker (§2.4, §2.6, §2.7).
+//! * [`record`] — the 8-bytes-per-entry order log (§2.7.1).
+//! * [`replay`] — deterministic replay from the log with outcome
+//!   verification (§3.3).
+//! * [`area`] — the analytic 19%-vs-38%-vs-200% state-overhead model
+//!   (§2.3).
+//! * [`harness`] — one-call experiment runs.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_core::{CordConfig, ExperimentHarness};
+//! use cord_sim::config::MachineConfig;
+//! use cord_trace::builder::WorkloadBuilder;
+//!
+//! let mut b = WorkloadBuilder::new("quick", 2);
+//! let flag = b.alloc_flag();
+//! let data = b.alloc_words(1);
+//! b.thread_mut(0).write(data.word(0)).flag_set(flag);
+//! b.thread_mut(1).flag_wait(flag).read(data.word(0));
+//! let w = b.build();
+//!
+//! let h = ExperimentHarness::new(MachineConfig::paper_4core());
+//! let out = h.run_cord(&w, &CordConfig::paper());
+//! assert!(out.races.is_empty()); // flag-synchronized: no data race
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+pub mod detector;
+pub mod harness;
+pub mod history;
+pub mod logfmt;
+pub mod memts;
+pub mod record;
+pub mod replay;
+
+pub use config::CordConfig;
+pub use detector::{CordDetector, CordStats, RaceReport};
+pub use harness::{CordOutcome, ExperimentHarness};
+pub use history::{HistEntry, LineHistory};
+pub use memts::MemTimestamps;
+pub use record::{LogEntry, OrderRecorder, LOG_ENTRY_BYTES};
+pub use logfmt::{decode as decode_log, encode as encode_log, LogDecodeError};
+pub use replay::{replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport};

@@ -1,0 +1,121 @@
+//! Main-memory timestamps (§2.5).
+//!
+//! CORD keeps exactly **one read and one write timestamp for the entire
+//! main memory**: when a line's history entry is displaced from a cache,
+//! its timestamp folds into the memory read timestamp (if any word's read
+//! bit was set) and/or the memory write timestamp (if any write bit was
+//! set), taking the maximum. Memory becomes "a very large block that
+//! shares a single timestamp, which allows correct order-recording":
+//! any later fetch from memory compares against these timestamps and can
+//! never miss an ordering through a displaced line, at the cost of
+//! extreme conservatism (Figure 7) — which is why detections that used a
+//! memory timestamp are not *reported* as data races.
+//!
+//! In the snooping machine every cache keeps a replica and broadcasts a
+//! change; we model the replicas as one coherent pair and account the
+//! broadcast as an address-bus transaction.
+
+use crate::history::HistEntry;
+use cord_clocks::scalar::ScalarTime;
+
+/// The pair of whole-memory timestamps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTimestamps {
+    read: ScalarTime,
+    write: ScalarTime,
+}
+
+impl MemTimestamps {
+    /// Both timestamps at zero (nothing displaced yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memory read timestamp.
+    #[inline]
+    pub fn read(&self) -> ScalarTime {
+        self.read
+    }
+
+    /// The memory write timestamp.
+    #[inline]
+    pub fn write(&self) -> ScalarTime {
+        self.write
+    }
+
+    /// Folds a displaced history entry in; returns `true` if either
+    /// timestamp changed (a broadcast is needed).
+    pub fn fold(&mut self, entry: &HistEntry<ScalarTime>) -> bool {
+        let mut changed = false;
+        if entry.any_read() && entry.stamp > self.read {
+            self.read = entry.stamp;
+            changed = true;
+        }
+        if entry.any_written() && entry.stamp > self.write {
+            self.write = entry.stamp;
+            changed = true;
+        }
+        changed
+    }
+
+    /// The timestamps a memory response carries for an access of the
+    /// given mode: a read conflicts only with past writes; a write
+    /// conflicts with past reads *and* writes, so it must order after
+    /// the larger of the two.
+    pub fn relevant_for(&self, incoming_is_write: bool) -> ScalarTime {
+        if incoming_is_write {
+            self.read.max(self.write)
+        } else {
+            self.write
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(stamp: u64, read: bool, write: bool) -> HistEntry<ScalarTime> {
+        let mut e = HistEntry::new(ScalarTime::new(stamp));
+        if read {
+            e.set(0, false);
+        }
+        if write {
+            e.set(1, true);
+        }
+        e
+    }
+
+    #[test]
+    fn fold_takes_maximum_per_mode() {
+        let mut m = MemTimestamps::new();
+        assert!(m.fold(&entry(5, true, false)));
+        assert_eq!(m.read(), ScalarTime::new(5));
+        assert_eq!(m.write(), ScalarTime::ZERO);
+        assert!(m.fold(&entry(3, false, true)));
+        assert_eq!(m.write(), ScalarTime::new(3));
+        // Older stamps change nothing.
+        assert!(!m.fold(&entry(2, true, true)));
+        assert_eq!(m.read(), ScalarTime::new(5));
+        assert_eq!(m.write(), ScalarTime::new(3));
+    }
+
+    #[test]
+    fn entry_with_no_bits_folds_to_nothing() {
+        let mut m = MemTimestamps::new();
+        let e = HistEntry::new(ScalarTime::new(100));
+        assert!(!m.fold(&e));
+        assert_eq!(m, MemTimestamps::new());
+    }
+
+    #[test]
+    fn relevant_timestamp_per_mode() {
+        let mut m = MemTimestamps::new();
+        m.fold(&entry(7, true, false));
+        m.fold(&entry(4, false, true));
+        // A read orders against past writes only.
+        assert_eq!(m.relevant_for(false), ScalarTime::new(4));
+        // A write orders against both; the read ts dominates here.
+        assert_eq!(m.relevant_for(true), ScalarTime::new(7));
+    }
+}

@@ -1,0 +1,25 @@
+//! Comparison detectors for the CORD evaluation (§4.3–§4.4).
+//!
+//! The paper measures CORD against:
+//!
+//! * the **Ideal** oracle — vector clocks, unlimited caches, and an
+//!   unlimited number of access-history entries, which "detects all
+//!   dynamically occurring data races" and defines the denominator of
+//!   every detection-rate figure ([`ideal::IdealDetector`]);
+//! * **vector-clock configurations with realistic buffering limits** —
+//!   the same two-timestamps-per-line + per-word-access-bits structure
+//!   as CORD but with vector timestamps, at three capacities:
+//!   *InfCache* (unlimited cache), *L2Cache* (the default 32 KB L2), and
+//!   *L1Cache* (timestamps only for L1-resident lines)
+//!   ([`vc_limited::VcLimitedDetector`]).
+//!
+//! Both implement [`MemoryObserver`](cord_sim::observer::MemoryObserver)
+//! and attach to the same simulator runs as CORD.
+
+#![warn(missing_docs)]
+
+pub mod ideal;
+pub mod vc_limited;
+
+pub use ideal::{IdealDetector, IdealRace};
+pub use vc_limited::{CapacityMode, VcConfig, VcLimitedDetector, VcRace};

@@ -1,0 +1,181 @@
+//! Synchronization fault injection (paper §3.4).
+//!
+//! "We model this kind of error by injecting a single dynamic instance
+//! of missing synchronization into each run of the application.
+//! Injection is random with a uniform distribution, so each dynamic
+//! synchronization operation has an equal chance of being removed."
+//!
+//! The removable instances are lock calls (removed together with their
+//! matching unlock) and flag-wait calls; a barrier's internal mutex and
+//! flag-wait instances are individually removable, which models the
+//! paper's deliberately *elusive* errors (removing a whole barrier would
+//! cause thousands of races and be trivially detectable).
+//!
+//! The simulator enumerates dynamic removable instances in dispatch
+//! order; this crate counts them with a dry run and draws target indices
+//! uniformly, producing one [`InjectionPlan`] per experiment run.
+
+#![warn(missing_docs)]
+
+use cord_sim::config::MachineConfig;
+use cord_sim::engine::{InjectionPlan, Machine};
+use cord_sim::observer::NullObserver;
+use cord_trace::program::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counts the dynamic removable synchronization instances of one run
+/// (a fault-free dry run with no detector attached).
+///
+/// # Panics
+///
+/// Panics if the workload deadlocks (impossible after validation).
+pub fn count_instances(machine: &MachineConfig, workload: &Workload, seed: u64) -> u64 {
+    let m = Machine::new(
+        machine.clone(),
+        workload,
+        NullObserver,
+        seed,
+        InjectionPlan::none(),
+    );
+    let (out, _) = m.run().expect("dry run deadlocked");
+    out.stats.removable_sync_instances
+}
+
+/// A set of injection runs for one application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Campaign {
+    /// Total dynamic removable instances observed in the dry run.
+    pub total_instances: u64,
+    /// The target instance of each planned run.
+    pub targets: Vec<u64>,
+}
+
+impl Campaign {
+    /// Draws `runs` uniform targets over `total_instances` without
+    /// replacement (falling back to all instances when there are fewer
+    /// than `runs`). The paper performs "between 20 and 100 injections
+    /// per application".
+    pub fn uniform(total_instances: u64, runs: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets = if total_instances <= runs as u64 {
+            (0..total_instances).collect()
+        } else {
+            // Floyd's algorithm for a uniform sample without replacement.
+            let mut chosen = std::collections::BTreeSet::new();
+            let k = runs as u64;
+            for j in total_instances - k..total_instances {
+                let t = rng.gen_range(0..=j);
+                if !chosen.insert(t) {
+                    chosen.insert(j);
+                }
+            }
+            chosen.into_iter().collect()
+        };
+        Campaign {
+            total_instances,
+            targets,
+        }
+    }
+
+    /// Plans a campaign for a workload on a machine: dry-run count, then
+    /// uniform target selection.
+    pub fn plan(
+        machine: &MachineConfig,
+        workload: &Workload,
+        runs: usize,
+        seed: u64,
+    ) -> Self {
+        let total = count_instances(machine, workload, seed);
+        Self::uniform(total, runs, seed)
+    }
+
+    /// The injection plans, one per run.
+    pub fn plans(&self) -> impl Iterator<Item = InjectionPlan> + '_ {
+        self.targets.iter().map(|&n| InjectionPlan::remove_nth(n))
+    }
+
+    /// Number of planned runs.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` if no runs are planned (no removable sync in the
+    /// workload).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_trace::builder::WorkloadBuilder;
+
+    fn demo_workload() -> Workload {
+        let mut b = WorkloadBuilder::new("demo", 2);
+        let l = b.alloc_lock();
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0)
+            .lock(l)
+            .update(d.word(0))
+            .unlock(l)
+            .flag_set(g);
+        b.thread_mut(1)
+            .lock(l)
+            .update(d.word(0))
+            .unlock(l)
+            .flag_wait(g);
+        b.build()
+    }
+
+    #[test]
+    fn dry_run_counts_lock_and_wait_instances() {
+        let w = demo_workload();
+        let n = count_instances(&MachineConfig::paper_4core(), &w, 1);
+        // 2 lock calls + 1 flag wait.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn uniform_targets_are_distinct_and_in_range() {
+        let c = Campaign::uniform(100, 30, 7);
+        assert_eq!(c.len(), 30);
+        let set: std::collections::HashSet<_> = c.targets.iter().collect();
+        assert_eq!(set.len(), 30, "sampling is without replacement");
+        assert!(c.targets.iter().all(|&t| t < 100));
+    }
+
+    #[test]
+    fn small_populations_enumerate_exhaustively() {
+        let c = Campaign::uniform(5, 30, 7);
+        assert_eq!(c.targets, vec![0, 1, 2, 3, 4]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn zero_instances_plan_nothing() {
+        let c = Campaign::uniform(0, 10, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn plan_end_to_end() {
+        let w = demo_workload();
+        let c = Campaign::plan(&MachineConfig::paper_4core(), &w, 10, 3);
+        assert_eq!(c.total_instances, 3);
+        assert_eq!(c.len(), 3);
+        let plans: Vec<_> = c.plans().collect();
+        assert_eq!(plans[0], InjectionPlan::remove_nth(0));
+    }
+
+    #[test]
+    fn campaigns_are_seed_deterministic() {
+        let a = Campaign::uniform(1000, 50, 9);
+        let b = Campaign::uniform(1000, 50, 9);
+        assert_eq!(a, b);
+        let c = Campaign::uniform(1000, 50, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,339 @@
+//! Set-associative cache arrays with MESI line states and LRU
+//! replacement.
+//!
+//! This module provides the mechanical storage layer; the coherence
+//! *protocol* (who supplies data, who invalidates) lives in
+//! [`crate::memsys`]. Lines are tracked by [`LineAddr`]; data values are
+//! not stored — the simulator models timing and coherence, while the
+//! functional outcome of each access is tracked separately by
+//! [`crate::truth`].
+
+use crate::config::CacheGeometry;
+use cord_trace::types::LineAddr;
+
+/// MESI coherence state of a cached line (absence from the cache is the
+/// Invalid state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mesi {
+    /// Modified: sole copy, dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly other copies, clean.
+    Shared,
+}
+
+impl Mesi {
+    /// `true` if this copy may be written without a bus transaction.
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, Mesi::Modified | Mesi::Exclusive)
+    }
+
+    /// `true` if a write-back is needed when the line leaves the cache.
+    #[inline]
+    pub fn dirty(self) -> bool {
+        matches!(self, Mesi::Modified)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: LineAddr,
+    state: Mesi,
+    lru: u64,
+}
+
+/// An evicted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Its state at eviction (dirty ⇒ write-back).
+    pub state: Mesi,
+}
+
+/// Storage for the sets: dense for realistic caches, sparse for the
+/// paper's "infinite" configurations (eagerly allocating millions of
+/// empty sets would dominate run time).
+#[derive(Debug, Clone)]
+enum SetStore {
+    Dense(Vec<Vec<Entry>>),
+    Sparse(std::collections::HashMap<u64, Vec<Entry>>),
+}
+
+/// Above this set count the cache stores sets sparsely.
+const SPARSE_THRESHOLD: u64 = 1 << 14;
+
+/// One set-associative cache array.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: SetStore,
+    tick: u64,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = if geometry.num_sets() > SPARSE_THRESHOLD {
+            SetStore::Sparse(std::collections::HashMap::new())
+        } else {
+            SetStore::Dense((0..geometry.num_sets()).map(|_| Vec::new()).collect())
+        };
+        Cache {
+            geometry,
+            sets,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> u64 {
+        line.0 % self.geometry.num_sets()
+    }
+
+    #[inline]
+    fn set(&self, idx: u64) -> Option<&Vec<Entry>> {
+        match &self.sets {
+            SetStore::Dense(v) => Some(&v[idx as usize]),
+            SetStore::Sparse(m) => m.get(&idx),
+        }
+    }
+
+    #[inline]
+    fn set_mut(&mut self, idx: u64) -> &mut Vec<Entry> {
+        match &mut self.sets {
+            SetStore::Dense(v) => &mut v[idx as usize],
+            SetStore::Sparse(m) => m.entry(idx).or_default(),
+        }
+    }
+
+    /// The state of `line` if present.
+    pub fn probe(&self, line: LineAddr) -> Option<Mesi> {
+        self.set(self.set_index(line))?
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.state)
+    }
+
+    /// `true` if `line` is present in any state.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line).is_some()
+    }
+
+    /// Marks `line` most-recently-used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn touch(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let e = self
+            .set_mut(idx)
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("touch of absent line");
+        e.lru = tick;
+    }
+
+    /// Changes the state of a present line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn set_state(&mut self, line: LineAddr, state: Mesi) {
+        let idx = self.set_index(line);
+        let e = self
+            .set_mut(idx)
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("set_state of absent line");
+        e.state = state;
+    }
+
+    /// Inserts `line` with `state`, evicting the LRU entry of a full set.
+    /// Returns the victim, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (callers must use
+    /// [`Cache::set_state`] for state changes).
+    pub fn insert(&mut self, line: LineAddr, state: Mesi) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.geometry.ways as usize;
+        let idx = self.set_index(line);
+        let set = self.set_mut(idx);
+        assert!(
+            !set.iter().any(|e| e.line == line),
+            "insert of already-present line {line}"
+        );
+        let victim = if set.len() == ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("full set is nonempty");
+            let v = set.swap_remove(vi);
+            Some(Victim {
+                line: v.line,
+                state: v.state,
+            })
+        } else {
+            None
+        };
+        set.push(Entry {
+            line,
+            state,
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Removes `line` (invalidation); returns its prior state if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<Mesi> {
+        let idx = self.set_index(line);
+        let set = match &mut self.sets {
+            SetStore::Dense(v) => &mut v[idx as usize],
+            SetStore::Sparse(m) => m.get_mut(&idx)?,
+        };
+        let pos = set.iter().position(|e| e.line == line)?;
+        Some(set.swap_remove(pos).state)
+    }
+
+    /// Iterates over all resident lines and their states.
+    pub fn lines(&self) -> Box<dyn Iterator<Item = (LineAddr, Mesi)> + '_> {
+        match &self.sets {
+            SetStore::Dense(v) => Box::new(
+                v.iter().flat_map(|s| s.iter().map(|e| (e.line, e.state))),
+            ),
+            SetStore::Sparse(m) => Box::new(
+                m.values().flat_map(|s| s.iter().map(|e| (e.line, e.state))),
+            ),
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        match &self.sets {
+            SetStore::Dense(v) => v.iter().map(Vec::len).sum(),
+            SetStore::Sparse(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 2 ways x 2 sets.
+        Cache::new(CacheGeometry::new(4 * 64, 2))
+    }
+
+    #[test]
+    fn insert_probe_remove_roundtrip() {
+        let mut c = small_cache();
+        assert_eq!(c.probe(LineAddr(0)), None);
+        assert!(c.insert(LineAddr(0), Mesi::Exclusive).is_none());
+        assert_eq!(c.probe(LineAddr(0)), Some(Mesi::Exclusive));
+        assert_eq!(c.remove(LineAddr(0)), Some(Mesi::Exclusive));
+        assert_eq!(c.probe(LineAddr(0)), None);
+        assert_eq!(c.remove(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = small_cache();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers, 2 sets).
+        c.insert(LineAddr(0), Mesi::Shared);
+        c.insert(LineAddr(2), Mesi::Shared);
+        c.touch(LineAddr(0)); // 2 is now LRU
+        let v = c.insert(LineAddr(4), Mesi::Shared).expect("eviction");
+        assert_eq!(v.line, LineAddr(2));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), Mesi::Shared);
+        c.insert(LineAddr(1), Mesi::Shared); // odd -> set 1
+        c.insert(LineAddr(2), Mesi::Shared);
+        assert!(c.insert(LineAddr(3), Mesi::Shared).is_none());
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn set_state_changes_in_place() {
+        let mut c = small_cache();
+        c.insert(LineAddr(6), Mesi::Shared);
+        c.set_state(LineAddr(6), Mesi::Modified);
+        assert_eq!(c.probe(LineAddr(6)), Some(Mesi::Modified));
+        assert!(Mesi::Modified.dirty());
+        assert!(Mesi::Modified.writable());
+        assert!(Mesi::Exclusive.writable());
+        assert!(!Mesi::Shared.writable());
+        assert!(!Mesi::Shared.dirty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_insert_panics() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), Mesi::Shared);
+        c.insert(LineAddr(0), Mesi::Shared);
+    }
+
+    #[test]
+    fn lines_iterates_everything() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), Mesi::Shared);
+        c.insert(LineAddr(1), Mesi::Modified);
+        let mut got: Vec<_> = c.lines().collect();
+        got.sort_by_key(|(l, _)| l.0);
+        assert_eq!(
+            got,
+            vec![(LineAddr(0), Mesi::Shared), (LineAddr(1), Mesi::Modified)]
+        );
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use crate::config::CacheGeometry;
+
+    #[test]
+    fn huge_caches_use_sparse_storage_transparently() {
+        // 256 MB, 16-way: far past the sparse threshold.
+        let mut c = Cache::new(CacheGeometry::new(256 * 1024 * 1024, 16));
+        assert!(matches!(c.sets, SetStore::Sparse(_)));
+        for i in 0..1000u64 {
+            assert!(c.insert(LineAddr(i * 7919), Mesi::Shared).is_none());
+        }
+        assert_eq!(c.occupancy(), 1000);
+        assert_eq!(c.probe(LineAddr(7919)), Some(Mesi::Shared));
+        c.set_state(LineAddr(7919), Mesi::Modified);
+        c.touch(LineAddr(7919));
+        assert_eq!(c.remove(LineAddr(7919)), Some(Mesi::Modified));
+        assert_eq!(c.occupancy(), 999);
+        assert_eq!(c.lines().count(), 999);
+        assert_eq!(c.remove(LineAddr(424242)), None);
+    }
+
+    #[test]
+    fn paper_caches_stay_dense() {
+        let c = Cache::new(CacheGeometry::new(32 * 1024, 8));
+        assert!(matches!(c.sets, SetStore::Dense(_)));
+    }
+}

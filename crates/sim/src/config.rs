@@ -1,0 +1,256 @@
+//! Machine configuration: core count, cache geometry, and bus/memory
+//! timing.
+//!
+//! Defaults follow the paper's experimental setup (§3.1): a 4-processor
+//! CMP at 4 GHz with private 8 KB L1 and 32 KB L2 caches (reduced sizes,
+//! per Woo et al., to preserve realistic hit rates on reduced inputs), a
+//! 128-bit 1 GHz on-chip data bus, an address/timestamp bus at half the
+//! data-bus frequency (§4.1), a 200 MHz quad-pumped 64-bit memory bus,
+//! 600-cycle round-trip memory latency, and 20-cycle L2-to-L2 round
+//! trips. All times in this crate are in processor cycles.
+
+use cord_trace::types::LINE_BYTES;
+
+/// Coherence organization (§2.5 sketches the directory extension of
+/// CORD's snooping protocol; the detector is oblivious to the choice —
+/// only miss/upgrade timing changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceKind {
+    /// Broadcast snooping over the shared buses (the paper's machine).
+    SnoopingBus,
+    /// A directory at the memory controller: misses and upgrades pay an
+    /// indirection (lookup + forward) before data moves, and
+    /// invalidations are directed rather than broadcast.
+    Directory,
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (must match [`LINE_BYTES`]).
+    pub line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, checking divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact number of sets of `ways`
+    /// lines, or if `line_bytes` differs from the global [`LINE_BYTES`].
+    pub fn new(capacity_bytes: u64, ways: u32) -> Self {
+        let g = CacheGeometry {
+            capacity_bytes,
+            ways,
+            line_bytes: LINE_BYTES,
+        };
+        assert_eq!(g.line_bytes, LINE_BYTES);
+        assert!(
+            capacity_bytes.is_multiple_of(u64::from(ways) * LINE_BYTES),
+            "capacity {capacity_bytes} not divisible into {ways}-way sets of {LINE_BYTES}B lines"
+        );
+        assert!(g.num_sets().is_power_of_two(), "set count must be a power of two");
+        g
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / (u64::from(self.ways) * self.line_bytes)
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+}
+
+/// Full machine configuration.
+///
+/// Construct with [`MachineConfig::paper_4core`] and adjust fields, or
+/// build a custom one for sensitivity studies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processor cores (= threads, unless migrating).
+    pub cores: usize,
+    /// Private L1 geometry.
+    pub l1: CacheGeometry,
+    /// Private L2 geometry.
+    pub l2: CacheGeometry,
+    /// L1 hit latency (cycles).
+    pub l1_hit_cycles: u64,
+    /// L2 hit latency (cycles), including the L1 miss.
+    pub l2_hit_cycles: u64,
+    /// Round-trip latency of an L2-to-L2 (cache-to-cache) transfer.
+    pub cache_to_cache_cycles: u64,
+    /// Round-trip latency of a memory fetch.
+    pub memory_cycles: u64,
+    /// Data-bus occupancy of one line transfer (128-bit bus at 1/4 core
+    /// frequency: 64 B / 16 B per bus cycle × 4 core cycles = 16).
+    pub data_bus_line_occupancy: u64,
+    /// Address/timestamp-bus occupancy of one transaction (half the data
+    /// bus frequency: one slot = 8 core cycles).
+    pub addr_bus_slot_cycles: u64,
+    /// Memory-bus occupancy of one line transfer (quad-pumped 64-bit at
+    /// 200 MHz: 32 B per bus cycle × 20 core cycles / bus cycle = 40).
+    pub mem_bus_line_occupancy: u64,
+    /// Cycles an instruction may wait for its in-flight race check
+    /// before retirement is delayed (§3.1's "rare retirement delay").
+    pub race_check_retire_window: u64,
+    /// Context-switch penalty when a thread is (re)scheduled onto a
+    /// core (only relevant when threads outnumber cores).
+    pub reschedule_cycles: u64,
+    /// Coherence organization.
+    pub coherence: CoherenceKind,
+    /// Directory lookup + forward latency added to cache-to-cache
+    /// transfers and upgrades in [`CoherenceKind::Directory`] mode.
+    pub directory_lookup_cycles: u64,
+    /// Maximum per-op scheduling jitter in cycles (models timing noise so
+    /// different seeds produce different interleavings; 0 disables).
+    pub jitter_cycles: u32,
+    /// Rotate thread-to-core assignments at every barrier release
+    /// (exercises §2.7.4 thread migration).
+    pub migrate_at_barriers: bool,
+    /// Capture per-thread resolved access streams for replay
+    /// verification (memory-proportional to trace length).
+    pub capture_resolved: bool,
+}
+
+impl MachineConfig {
+    /// The paper's 4-core CMP (§3.1).
+    pub fn paper_4core() -> Self {
+        MachineConfig {
+            cores: 4,
+            l1: CacheGeometry::new(8 * 1024, 4),
+            l2: CacheGeometry::new(32 * 1024, 8),
+            l1_hit_cycles: 2,
+            l2_hit_cycles: 12,
+            cache_to_cache_cycles: 20,
+            memory_cycles: 600,
+            data_bus_line_occupancy: 16,
+            addr_bus_slot_cycles: 8,
+            mem_bus_line_occupancy: 40,
+            race_check_retire_window: 20,
+            reschedule_cycles: 400,
+            coherence: CoherenceKind::SnoopingBus,
+            directory_lookup_cycles: 16,
+            jitter_cycles: 3,
+            migrate_at_barriers: false,
+            capture_resolved: false,
+        }
+    }
+
+    /// A machine with effectively infinite caches, used by the paper's
+    /// *Ideal* and *InfCache* configurations ("Ideal's L2 cache is
+    /// infinite and always hits").
+    pub fn infinite_cache() -> Self {
+        let mut cfg = Self::paper_4core();
+        // 256 MB, enough that the reduced workloads never evict.
+        cfg.l1 = CacheGeometry::new(64 * 1024 * 1024, 16);
+        cfg.l2 = CacheGeometry::new(256 * 1024 * 1024, 16);
+        cfg
+    }
+
+    /// The paper's machine with the §2.5 directory extension instead of
+    /// snooping.
+    pub fn paper_4core_directory() -> Self {
+        MachineConfig {
+            coherence: CoherenceKind::Directory,
+            ..Self::paper_4core()
+        }
+    }
+
+    /// Returns a copy with `capture_resolved` enabled.
+    #[must_use]
+    pub fn with_resolved_capture(mut self) -> Self {
+        self.capture_resolved = true;
+        self
+    }
+
+    /// Returns a copy with barrier-time thread migration enabled.
+    #[must_use]
+    pub fn with_barrier_migration(mut self) -> Self {
+        self.migrate_at_barriers = true;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L1 is larger than the L2 (inclusion would be
+    /// impossible) or there are no cores.
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "need at least one core");
+        assert!(
+            self.l1.capacity_bytes <= self.l2.capacity_bytes,
+            "L1 must not exceed L2 (inclusive hierarchy)"
+        );
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_4core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let c = MachineConfig::paper_4core();
+        c.validate();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.num_sets(), 32); // 8KB / (4 * 64B)
+        assert_eq!(c.l2.num_sets(), 64); // 32KB / (8 * 64B)
+        assert_eq!(c.l1.num_lines(), 128);
+        assert_eq!(c.l2.num_lines(), 512);
+    }
+
+    #[test]
+    fn bus_occupancies_match_paper_math() {
+        let c = MachineConfig::paper_4core();
+        // 64B over a 128-bit (16B) bus at 1/4 core clock.
+        assert_eq!(c.data_bus_line_occupancy, 16);
+        // Address bus at half the data bus rate.
+        assert_eq!(c.addr_bus_slot_cycles, 8);
+        // 64B over quad-pumped 64-bit (32B/bus-cycle) at 1/20 core clock.
+        assert_eq!(c.mem_bus_line_occupancy, 40);
+    }
+
+    #[test]
+    fn infinite_cache_is_huge() {
+        let c = MachineConfig::infinite_cache();
+        c.validate();
+        assert!(c.l2.capacity_bytes >= 256 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheGeometry::new(3 * 64, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 must not exceed")]
+    fn l1_bigger_than_l2_rejected() {
+        let mut c = MachineConfig::paper_4core();
+        c.l1 = CacheGeometry::new(64 * 1024, 4);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = MachineConfig::paper_4core()
+            .with_resolved_capture()
+            .with_barrier_migration();
+        assert!(c.capture_resolved);
+        assert!(c.migrate_at_barriers);
+    }
+}

@@ -1,0 +1,1087 @@
+//! The discrete-event execution engine.
+//!
+//! Each thread runs pinned to one core (optionally migrating at barrier
+//! releases, §2.7.4). The engine repeatedly picks the runnable core with
+//! the smallest ready time and executes its next *step* to completion —
+//! either a memory access (timed through the coherent
+//! [`MemorySystem`](crate::memsys::MemorySystem)) or a control action of
+//! a synchronization primitive. Synchronization ops from the workload
+//! expand into the labeled access sequences the paper's modified
+//! synchronization libraries emit:
+//!
+//! * `lock`: a sync read of the lock word, then a sync write that takes
+//!   it (blocked acquirers re-read on wake, observing the releaser's sync
+//!   write — this is the race outcome that orders release before
+//!   acquire);
+//! * `unlock` / `flag set` / `flag reset`: one sync write;
+//! * `flag wait`: a sync read; if unset, block and re-read on wake;
+//! * `barrier`: lock + counter read/update + (last arrival: counter
+//!   reset, next-flag reset, current-flag set) + unlock + flag wait, the
+//!   sense-reversing mutex+flag composition of §3.4.
+//!
+//! Fault injection (§3.4) removes the Nth dynamic *removable* sync
+//! instance — a lock call (with its matching unlock) or a flag-wait call;
+//! barrier-internal instances are individually removable, which is what
+//! makes the injected errors elusive. The functional arrival counting in
+//! [`SyncManager`](crate::sync::SyncManager) still completes, so runs
+//! always terminate; only the ordering (and the accesses) disappear.
+
+use crate::config::MachineConfig;
+use crate::memsys::{MemEvent, MemorySystem};
+use crate::observer::{AccessEvent, AccessKind, AccessPath, CoreId, MemoryObserver};
+use crate::stats::SimStats;
+use crate::sync::SyncManager;
+use crate::truth::{GroundTruth, TruthSummary};
+use cord_trace::op::Op;
+use cord_trace::program::Workload;
+use cord_trace::types::{Addr, BarrierId, FlagId, LockId, ThreadId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Which dynamic synchronization instance (if any) to remove (§3.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Zero-based index (in dynamic dispatch order) of the removable
+    /// sync instance to remove; `None` runs fault-free.
+    pub remove_instance: Option<u64>,
+}
+
+impl InjectionPlan {
+    /// A fault-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Remove the `n`-th dynamic removable sync instance.
+    pub fn remove_nth(n: u64) -> Self {
+        InjectionPlan {
+            remove_instance: Some(n),
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No core can make progress but not all threads finished.
+    Deadlock {
+        /// Cycle of the stall.
+        cycle: u64,
+        /// Threads that have not finished.
+        stuck_threads: Vec<ThreadId>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock {
+                cycle,
+                stuck_threads,
+            } => write!(
+                f,
+                "deadlock at cycle {cycle}: {} thread(s) stuck",
+                stuck_threads.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Everything a run produces besides the observer itself.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Timing and traffic statistics.
+    pub stats: SimStats,
+    /// Functional outcome (per-thread hashes, optional resolved streams).
+    pub truth: TruthSummary,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Access { addr: Addr, kind: AccessKind },
+    LockSpin(LockId),
+    LockGranted(LockId),
+    LockTake(LockId),
+    Release(LockId),
+    SetFlag(FlagId),
+    ResetFlag(FlagId),
+    WaitFlag(FlagId),
+    BarrierCtl(BarrierId),
+    BarrierWait(BarrierId, u64),
+    BarrierUnlock(BarrierId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    BlockedOnLock,
+    BlockedOnFlag,
+    Done,
+}
+
+#[derive(Debug)]
+struct CoreCtx {
+    thread: ThreadId,
+    op_idx: usize,
+    steps: VecDeque<Step>,
+    status: Status,
+    ready_at: u64,
+    instr: u64,
+    skip_unlocks: HashSet<u32>,
+    barrier_lock_skipped: bool,
+    finish: u64,
+}
+
+impl CoreCtx {
+    fn new(thread: ThreadId) -> Self {
+        CoreCtx {
+            thread,
+            op_idx: 0,
+            steps: VecDeque::new(),
+            status: Status::Ready,
+            ready_at: 0,
+            instr: 0,
+            skip_unlocks: HashSet::new(),
+            barrier_lock_skipped: false,
+            finish: 0,
+        }
+    }
+}
+
+/// A configured machine ready to run one workload with one observer.
+pub struct Machine<'w, O: MemoryObserver> {
+    cfg: MachineConfig,
+    workload: &'w Workload,
+    observer: O,
+    memsys: MemorySystem,
+    sync: SyncManager,
+    /// Per-thread execution contexts (indexed by thread id).
+    ctxs: Vec<CoreCtx>,
+    /// Which core each thread currently runs on (None = waiting for a
+    /// core; threads may outnumber cores, §2.4).
+    core_of: Vec<Option<usize>>,
+    /// The core each thread last ran on (to detect migrations, §2.7.4).
+    last_core: Vec<Option<usize>>,
+    /// Cores with no thread currently scheduled.
+    free_cores: Vec<usize>,
+    truth: GroundTruth,
+    stats: SimStats,
+    rng: SmallRng,
+    plan: InjectionPlan,
+    next_instance: u64,
+    pending_migration: bool,
+}
+
+impl<'w, O: MemoryObserver> Machine<'w, O> {
+    /// Builds a machine for `workload` with the given observer, seed
+    /// (scheduling jitter), and injection plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has more threads than the machine has
+    /// cores, or fails validation.
+    pub fn new(
+        cfg: MachineConfig,
+        workload: &'w Workload,
+        observer: O,
+        seed: u64,
+        plan: InjectionPlan,
+    ) -> Self {
+        cfg.validate();
+        workload
+            .validate()
+            .expect("workload failed structural validation");
+        let n = workload.num_threads();
+        let layout = workload.layout();
+        let sync = SyncManager::new(
+            layout.total_locks(),
+            layout.total_flags(),
+            layout.barriers(),
+            n,
+        );
+        let ctxs = (0..n).map(|t| CoreCtx::new(ThreadId(t as u16))).collect();
+        let truth = GroundTruth::new(n, cfg.capture_resolved);
+        let core_of: Vec<Option<usize>> = (0..n)
+            .map(|t| if t < cfg.cores { Some(t) } else { None })
+            .collect();
+        let free_cores: Vec<usize> = (n.min(cfg.cores)..cfg.cores).collect();
+        Machine {
+            memsys: MemorySystem::new(cfg.clone()),
+            last_core: core_of.clone(),
+            core_of,
+            free_cores,
+            cfg,
+            workload,
+            observer,
+            sync,
+            ctxs,
+            truth,
+            stats: SimStats::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            plan,
+            next_instance: 0,
+            pending_migration: false,
+        }
+    }
+
+    /// Runs to completion, returning the output and the observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no core can make progress while
+    /// threads remain unfinished (impossible for validated workloads).
+    pub fn run(mut self) -> Result<(RunOutput, O), SimError> {
+        loop {
+            if self.pending_migration {
+                self.pending_migration = false;
+                self.rotate_threads();
+            }
+            let next = self
+                .ctxs
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_some())
+                .min_by_key(|(i, c)| (c.ready_at, *i))
+                .map(|(i, _)| i);
+            match next {
+                Some(t) => {
+                    self.step_core(t);
+                    // A finished thread frees its core; a *blocked*
+                    // thread keeps it until another thread actually
+                    // needs one (so with threads <= cores everything
+                    // stays pinned, and with more threads than cores the
+                    // scheduler preempts blocked holders on demand —
+                    // "real systems may have many more threads than
+                    // processors", §2.4).
+                    if self.ctxs[t].status == Status::Done {
+                        self.release_core(t);
+                    }
+                }
+                None => {
+                    if self.ctxs.iter().all(|c| c.status == Status::Done) {
+                        break;
+                    }
+                    // Ready threads without cores + free cores => schedule.
+                    if self.schedule_waiting_threads() {
+                        continue;
+                    }
+                    let cycle = self.ctxs.iter().map(|c| c.ready_at).max().unwrap_or(0);
+                    return Err(SimError::Deadlock {
+                        cycle,
+                        stuck_threads: self
+                            .ctxs
+                            .iter()
+                            .filter(|c| c.status != Status::Done)
+                            .map(|c| c.thread)
+                            .collect(),
+                    });
+                }
+            }
+        }
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> (RunOutput, O) {
+        let n = self.ctxs.len();
+        let mut instr_counts = vec![0u64; n];
+        let mut per_core = vec![0u64; n];
+        for (i, c) in self.ctxs.iter().enumerate() {
+            instr_counts[c.thread.index()] = c.instr;
+            per_core[i] = c.finish;
+        }
+        self.stats.cycles = per_core.iter().copied().max().unwrap_or(0);
+        self.stats.per_core_cycles = per_core;
+        self.stats.instr_counts = instr_counts.clone();
+        self.stats.data_bus_busy = self.memsys.buses.data.busy_cycles();
+        self.stats.data_bus_wait = self.memsys.buses.data.contention_cycles();
+        self.stats.addr_bus_busy = self.memsys.buses.addr.busy_cycles();
+        self.stats.addr_bus_wait = self.memsys.buses.addr.contention_cycles();
+        self.stats.mem_bus_busy = self.memsys.buses.mem.busy_cycles();
+        self.stats.ts_bus_busy = self.memsys.buses.ts.busy_cycles();
+        self.observer.on_run_end(&instr_counts);
+        (
+            RunOutput {
+                stats: self.stats,
+                truth: self.truth.into_summary(),
+            },
+            self.observer,
+        )
+    }
+
+    /// Releases thread `t`'s core (it finished) and hands it to a
+    /// waiting Ready thread, if any.
+    fn release_core(&mut self, t: usize) {
+        let Some(core) = self.core_of[t].take() else {
+            return;
+        };
+        let now = self.ctxs[t].ready_at;
+        self.free_cores.push(core);
+        self.schedule_waiting_threads_at(now);
+    }
+
+    /// Assigns cores (free ones first, then cores preempted from blocked
+    /// holders) to Ready-but-unscheduled threads. Returns `true` if any
+    /// assignment happened.
+    fn schedule_waiting_threads(&mut self) -> bool {
+        let now = self
+            .ctxs
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_none())
+            .map(|(_, c)| c.ready_at)
+            .min()
+            .unwrap_or(0);
+        self.schedule_waiting_threads_at(now)
+    }
+
+    fn schedule_waiting_threads_at(&mut self, now: u64) -> bool {
+        let mut any = false;
+        loop {
+            let next = self
+                .ctxs
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_none())
+                .min_by_key(|(i, c)| (c.ready_at, *i))
+                .map(|(i, _)| i);
+            let Some(t) = next else { break };
+            if !self.acquire_core_for(t, now) {
+                break;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Finds a core for thread `t`: a free one, or one preempted from a
+    /// blocked holder. Grants it with the §2.7.4 migration bump when the
+    /// core differs from the thread's previous one.
+    fn acquire_core_for(&mut self, t: usize, at: u64) -> bool {
+        debug_assert!(self.core_of[t].is_none());
+        let core = self.free_cores.pop().or_else(|| {
+            (0..self.ctxs.len())
+                .find(|&v| {
+                    self.core_of[v].is_some()
+                        && matches!(
+                            self.ctxs[v].status,
+                            Status::BlockedOnLock | Status::BlockedOnFlag
+                        )
+                })
+                .and_then(|v| self.core_of[v].take())
+        });
+        let Some(core) = core else {
+            return false;
+        };
+        self.core_of[t] = Some(core);
+        let ctx = &mut self.ctxs[t];
+        ctx.ready_at = ctx.ready_at.max(at) + self.cfg.reschedule_cycles;
+        if self.last_core[t] != Some(core) {
+            let from = self.last_core[t].unwrap_or(core);
+            self.observer.on_thread_migrated(
+                ThreadId(t as u16),
+                CoreId(from as u8),
+                CoreId(core as u8),
+            );
+            self.stats.migrations += 1;
+        }
+        self.last_core[t] = Some(core);
+        true
+    }
+
+    /// Consumes one removable-sync-instance index; `true` if this
+    /// instance is the injection target.
+    fn take_instance(&mut self) -> bool {
+        let idx = self.next_instance;
+        self.next_instance += 1;
+        self.stats.removable_sync_instances += 1;
+        if self.plan.remove_instance == Some(idx) {
+            self.stats.injection_applied = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step_core(&mut self, c: usize) {
+        if let Some(step) = self.ctxs[c].steps.pop_front() {
+            self.exec_step(c, step);
+            return;
+        }
+        let thread = self.ctxs[c].thread;
+        let op_idx = self.ctxs[c].op_idx;
+        let prog = self.workload.thread(thread);
+        match prog.ops().get(op_idx) {
+            None => {
+                let ctx = &mut self.ctxs[c];
+                ctx.status = Status::Done;
+                ctx.finish = ctx.ready_at;
+            }
+            Some(op) => {
+                self.ctxs[c].op_idx += 1;
+                self.expand_op(c, *op);
+            }
+        }
+    }
+
+    fn expand_op(&mut self, c: usize, op: Op) {
+        let layout = self.workload.layout();
+        match op {
+            Op::Read(a) => self.ctxs[c].steps.push_back(Step::Access {
+                addr: a,
+                kind: AccessKind::DataRead,
+            }),
+            Op::Write(a) => self.ctxs[c].steps.push_back(Step::Access {
+                addr: a,
+                kind: AccessKind::DataWrite,
+            }),
+            Op::Compute(n) => {
+                let ctx = &mut self.ctxs[c];
+                ctx.ready_at += u64::from(n);
+                ctx.instr += u64::from(n);
+            }
+            Op::Lock(l) => {
+                if self.take_instance() {
+                    self.ctxs[c].skip_unlocks.insert(l.0);
+                } else {
+                    self.ctxs[c].steps.push_back(Step::LockSpin(l));
+                }
+            }
+            Op::Unlock(l) => {
+                if !self.ctxs[c].skip_unlocks.remove(&l.0) {
+                    self.ctxs[c].steps.push_back(Step::Release(l));
+                }
+            }
+            Op::FlagSet(g) => self.ctxs[c].steps.push_back(Step::SetFlag(g)),
+            Op::FlagReset(g) => self.ctxs[c].steps.push_back(Step::ResetFlag(g)),
+            Op::FlagWait(g) => {
+                if !self.take_instance() {
+                    self.ctxs[c].steps.push_back(Step::WaitFlag(g));
+                }
+            }
+            Op::Barrier(b) => {
+                let counter = layout.barrier_counter_addr(b);
+                if self.take_instance() {
+                    self.ctxs[c].barrier_lock_skipped = true;
+                } else {
+                    let bl = layout.barrier_lock(b);
+                    self.ctxs[c].steps.push_back(Step::LockSpin(bl));
+                }
+                let ctx = &mut self.ctxs[c];
+                ctx.steps.push_back(Step::Access {
+                    addr: counter,
+                    kind: AccessKind::DataRead,
+                });
+                ctx.steps.push_back(Step::Access {
+                    addr: counter,
+                    kind: AccessKind::DataWrite,
+                });
+                ctx.steps.push_back(Step::BarrierCtl(b));
+            }
+        }
+    }
+
+    fn exec_step(&mut self, c: usize, step: Step) {
+        let layout = *self.workload.layout();
+        match step {
+            Step::Access { addr, kind } => {
+                self.do_access(c, addr, kind);
+            }
+            Step::LockSpin(l) => {
+                self.do_access(c, layout.lock_addr(l), AccessKind::SyncRead);
+                let thread = self.ctxs[c].thread;
+                if self.sync.try_acquire(l, thread) {
+                    self.ctxs[c].steps.push_front(Step::LockTake(l));
+                } else {
+                    self.ctxs[c].status = Status::BlockedOnLock;
+                }
+            }
+            Step::LockGranted(l) => {
+                // Woken by a release that transferred us the lock: the
+                // re-read observes the releaser's sync write, which is
+                // the race outcome ordering release before acquire.
+                self.do_access(c, layout.lock_addr(l), AccessKind::SyncRead);
+                self.ctxs[c].steps.push_front(Step::LockTake(l));
+            }
+            Step::LockTake(l) => {
+                self.do_access(c, layout.lock_addr(l), AccessKind::SyncWrite);
+            }
+            Step::Release(l) => {
+                let done = self.do_access(c, layout.lock_addr(l), AccessKind::SyncWrite);
+                let thread = self.ctxs[c].thread;
+                if let Some(next) = self.sync.release(l, thread) {
+                    self.wake(next, done, Step::LockGranted(l));
+                }
+            }
+            Step::SetFlag(g) => {
+                let done = self.do_access(c, layout.flag_addr(g), AccessKind::SyncWrite);
+                for tid in self.sync.flag_set(g) {
+                    self.wake(tid, done, Step::WaitFlag(g));
+                }
+            }
+            Step::ResetFlag(g) => {
+                self.do_access(c, layout.flag_addr(g), AccessKind::SyncWrite);
+                self.sync.flag_reset(g);
+            }
+            Step::WaitFlag(g) => {
+                self.do_access(c, layout.flag_addr(g), AccessKind::SyncRead);
+                if !self.sync.flag_is_set(g) {
+                    let thread = self.ctxs[c].thread;
+                    self.sync.flag_enqueue(g, thread);
+                    self.ctxs[c].status = Status::BlockedOnFlag;
+                }
+            }
+            Step::BarrierCtl(b) => {
+                let thread = self.ctxs[c].thread;
+                let arrival = self.sync.barrier_arrive(b, thread);
+                let (f0, f1) = layout.barrier_flags(b);
+                let cur = if arrival.episode.is_multiple_of(2) { f0 } else { f1 };
+                let next = if arrival.episode.is_multiple_of(2) { f1 } else { f0 };
+                let ctx = &mut self.ctxs[c];
+                if arrival.is_last {
+                    // Reset the counter, arm the next episode's flag,
+                    // release this episode, drop the internal lock.
+                    ctx.steps.push_front(Step::BarrierUnlock(b));
+                    ctx.steps.push_front(Step::SetFlag(cur));
+                    ctx.steps.push_front(Step::ResetFlag(next));
+                    ctx.steps.push_front(Step::Access {
+                        addr: layout.barrier_counter_addr(b),
+                        kind: AccessKind::DataWrite,
+                    });
+                    if self.cfg.migrate_at_barriers {
+                        self.pending_migration = true;
+                    }
+                } else {
+                    ctx.steps.push_front(Step::BarrierWait(b, arrival.episode));
+                    ctx.steps.push_front(Step::BarrierUnlock(b));
+                }
+            }
+            Step::BarrierWait(b, episode) => {
+                if !self.take_instance() {
+                    let (f0, f1) = layout.barrier_flags(b);
+                    let flag = if episode % 2 == 0 { f0 } else { f1 };
+                    self.ctxs[c].steps.push_front(Step::WaitFlag(flag));
+                }
+            }
+            Step::BarrierUnlock(b) => {
+                if self.ctxs[c].barrier_lock_skipped {
+                    self.ctxs[c].barrier_lock_skipped = false;
+                } else {
+                    self.ctxs[c]
+                        .steps
+                        .push_front(Step::Release(layout.barrier_lock(b)));
+                }
+            }
+        }
+    }
+
+    /// Wakes `thread` at time `at`, prepending `resume` to its steps; if
+    /// the thread lost its core while blocked, it queues for the next
+    /// free one.
+    fn wake(&mut self, thread: ThreadId, at: u64, resume: Step) {
+        let t = thread.index();
+        let ctx = &mut self.ctxs[t];
+        debug_assert_ne!(ctx.status, Status::Ready, "waking a ready thread");
+        ctx.status = Status::Ready;
+        ctx.ready_at = ctx.ready_at.max(at);
+        ctx.steps.push_front(resume);
+        if self.core_of[t].is_none() {
+            self.acquire_core_for(t, at);
+        }
+    }
+
+    /// Executes one timed memory access; returns its completion cycle.
+    fn do_access(&mut self, c: usize, addr: Addr, kind: AccessKind) -> u64 {
+        let jitter = if self.cfg.jitter_cycles > 0 {
+            u64::from(self.rng.gen_range(0..=self.cfg.jitter_cycles))
+        } else {
+            0
+        };
+        let core = CoreId(self.core_of[c].expect("running thread has a core") as u8);
+        let thread = self.ctxs[c].thread;
+        let start = self.ctxs[c].ready_at + jitter;
+        let res = self.memsys.access(core, addr, kind.is_write(), start);
+
+        // Requester-side events (fills, capacity victims) precede the
+        // access; remote *invalidations* are part of the access's own
+        // bus transaction, whose snoop race-checks must see the
+        // victimized histories — so those are delivered after
+        // `on_access` (§2.7.2: "snooping hits in other caches result in
+        // data race checks").
+        for ev in &res.events {
+            match ev {
+                MemEvent::Removed(rm) if rm.cause != crate::observer::RemovalCause::Invalidation => {
+                    let out = self.observer.on_line_removed(rm);
+                    self.charge_observer(out, res.done);
+                }
+                MemEvent::Filled { core, level, line } => {
+                    self.observer.on_line_filled(*core, *level, *line);
+                }
+                MemEvent::Removed(_) => {}
+            }
+        }
+
+        let instr_index = self.ctxs[c].instr;
+        let ev = AccessEvent {
+            core,
+            thread,
+            addr,
+            kind,
+            path: res.path,
+            instr_index,
+            cycle: start,
+        };
+        let out = self.observer.on_access(&ev);
+        let stall = self.charge_observer(out, res.done);
+
+        for mev in &res.events {
+            if let MemEvent::Removed(rm) = mev {
+                if rm.cause == crate::observer::RemovalCause::Invalidation {
+                    let out = self.observer.on_line_removed(rm);
+                    self.charge_observer(out, res.done);
+                }
+            }
+        }
+
+        self.truth.commit(thread, instr_index, addr, kind);
+        self.ctxs[c].instr += 1;
+        self.ctxs[c].ready_at = res.done + stall;
+
+        match kind {
+            AccessKind::DataRead => self.stats.data_reads += 1,
+            AccessKind::DataWrite => self.stats.data_writes += 1,
+            AccessKind::SyncRead => self.stats.sync_reads += 1,
+            AccessKind::SyncWrite => self.stats.sync_writes += 1,
+        }
+        match res.path {
+            AccessPath::L1Hit => self.stats.l1_hits += 1,
+            AccessPath::L2Hit => self.stats.l2_hits += 1,
+            AccessPath::UpgradeHit => self.stats.upgrades += 1,
+            AccessPath::FillFromSibling(_) => self.stats.sibling_fills += 1,
+            AccessPath::FillFromMemory => self.stats.memory_fills += 1,
+        }
+        res.done
+    }
+
+    /// Charges observer-issued transactions on the timestamp bus. The
+    /// processor consumes data without waiting for the CORD comparison
+    /// (§3.1), but an instruction whose race check is still in flight
+    /// when it would otherwise retire is delayed — so the core stalls by
+    /// however far the check's completion runs past the retirement
+    /// window. Posted broadcasts (memory-timestamp updates) only occupy
+    /// the bus. Returns the retirement stall, which the caller adds to
+    /// the core's ready time.
+    fn charge_observer(&mut self, out: crate::observer::ObserverOutcome, at: u64) -> u64 {
+        let slot = self.cfg.addr_bus_slot_cycles;
+        let mut stall = 0;
+        for _ in 0..out.race_check_requests {
+            let start = self.memsys.buses.ts.acquire(at, slot);
+            let done = start + slot;
+            let retire_by = at + self.cfg.race_check_retire_window;
+            stall = stall.max(done.saturating_sub(retire_by));
+        }
+        for _ in 0..out.posted_transactions {
+            self.memsys.buses.ts.acquire(at, slot);
+        }
+        self.stats.observer_addr_transactions += u64::from(out.total());
+        self.stats.retirement_stall_cycles += stall;
+        stall
+    }
+
+    /// Rotates scheduled threads to the next core (barrier-release
+    /// migration, §2.7.4).
+    fn rotate_threads(&mut self) {
+        let scheduled: Vec<usize> = (0..self.ctxs.len())
+            .filter(|&t| self.core_of[t].is_some())
+            .collect();
+        if scheduled.len() < 2 {
+            return;
+        }
+        let cores: Vec<usize> = scheduled.iter().map(|&t| self.core_of[t].unwrap()).collect();
+        for (k, &t) in scheduled.iter().enumerate() {
+            let from = cores[k];
+            let to = cores[(k + 1) % cores.len()];
+            self.core_of[t] = Some(to);
+            self.last_core[t] = Some(to);
+            if from != to {
+                self.observer.on_thread_migrated(
+                    ThreadId(t as u16),
+                    CoreId(from as u8),
+                    CoreId(to as u8),
+                );
+                self.stats.migrations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use cord_trace::builder::WorkloadBuilder;
+
+    fn run_workload(w: &Workload, seed: u64) -> RunOutput {
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            w,
+            NullObserver,
+            seed,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        out
+    }
+
+    #[test]
+    fn single_thread_sequential_run() {
+        let mut b = WorkloadBuilder::new("seq", 1);
+        let d = b.alloc_words(4);
+        b.thread_mut(0)
+            .write(d.word(0))
+            .read(d.word(0))
+            .compute(100)
+            .write(d.word(1));
+        let w = b.build();
+        let out = run_workload(&w, 1);
+        assert_eq!(out.stats.data_reads, 1);
+        assert_eq!(out.stats.data_writes, 2);
+        assert_eq!(out.stats.instr_counts[0], 103);
+        assert!(out.stats.cycles > 600); // at least one memory fetch
+        assert_eq!(out.stats.memory_fills, 1);
+        assert!(out.stats.l1_hits >= 2);
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion_ordering() {
+        let mut b = WorkloadBuilder::new("lock", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let out = run_workload(&w, 7);
+        // 2 acquires (read+write) + 2 releases (write) minimum; the
+        // blocked acquirer re-reads, adding one more sync read.
+        assert!(out.stats.sync_writes >= 4);
+        assert!(out.stats.sync_reads >= 2);
+        assert_eq!(out.stats.data_reads, 2);
+        assert_eq!(out.stats.data_writes, 2);
+    }
+
+    #[test]
+    fn flag_orders_producer_consumer() {
+        let mut b = WorkloadBuilder::new("flag", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(5000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let out = run_workload(&w, 3);
+        // The consumer blocked (its first flag read saw unset) and was
+        // woken, so it read the flag at least twice.
+        assert!(out.stats.sync_reads >= 2);
+        assert_eq!(out.stats.sync_writes, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let mut b = WorkloadBuilder::new("barrier", 4);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(16);
+        for t in 0..4 {
+            b.thread_mut(t)
+                .compute((t as u32 + 1) * 1000)
+                .write(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(((t + 1) % 4) as u64));
+        }
+        let w = b.build();
+        let out = run_workload(&w, 11);
+        // Each thread: 1 write + 1 read data, plus 2 counter accesses.
+        assert_eq!(out.stats.data_writes, 4 + 4 + 1); // +1 counter reset
+        assert_eq!(out.stats.data_reads, 4 + 4);
+        // 4 removable instances for the internal lock + 3 for waits.
+        assert_eq!(out.stats.removable_sync_instances, 7);
+        assert!(!out.stats.injection_applied);
+    }
+
+    #[test]
+    fn barrier_repeats_across_episodes() {
+        let mut b = WorkloadBuilder::new("barrier2", 3);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_words(3);
+        for t in 0..3 {
+            let tb = &mut b.thread_mut(t);
+            for _ in 0..4 {
+                tb.write(d.word(t as u64)).barrier(bar);
+            }
+        }
+        let w = b.build();
+        let out = run_workload(&w, 5);
+        assert_eq!(out.stats.data_writes, 3 * 4 + 3 * 4 + 4); // data + counter inc per arrival + resets
+    }
+
+    #[test]
+    fn injection_removes_lock_and_its_unlock() {
+        let mut b = WorkloadBuilder::new("inj", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let baseline = run_workload(&w, 9);
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            9,
+            InjectionPlan::remove_nth(0),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert!(out.stats.injection_applied);
+        // The removed acquire+release eliminates sync accesses.
+        assert!(out.stats.sync_writes < baseline.stats.sync_writes);
+        assert_eq!(out.stats.removable_sync_instances, 2);
+    }
+
+    #[test]
+    fn injection_removes_flag_wait() {
+        let mut b = WorkloadBuilder::new("injf", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(10_000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            13,
+            InjectionPlan::remove_nth(0),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert!(out.stats.injection_applied);
+        // The reader no longer waits: it finishes long before the writer.
+        assert!(out.stats.per_core_cycles[1] < out.stats.per_core_cycles[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = WorkloadBuilder::new("det", 4);
+        let l = b.alloc_lock();
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(64);
+        for t in 0..4 {
+            let tb = &mut b.thread_mut(t);
+            for i in 0..16 {
+                tb.lock(l)
+                    .update(d.word((t as u64 * 16 + i) % 64))
+                    .unlock(l)
+                    .compute(50);
+            }
+            tb.barrier(bar);
+        }
+        let w = b.build();
+        let a = run_workload(&w, 42);
+        let b2 = run_workload(&w, 42);
+        assert_eq!(a.stats, b2.stats);
+        assert_eq!(a.truth.thread_hashes, b2.truth.thread_hashes);
+        // A different seed gives a different schedule (almost surely).
+        let c = run_workload(&w, 43);
+        assert_ne!(a.stats.cycles, c.stats.cycles);
+    }
+
+    #[test]
+    fn migration_rotates_threads_at_barriers() {
+        let mut b = WorkloadBuilder::new("mig", 4);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(4);
+        for t in 0..4 {
+            b.thread_mut(t)
+                .write(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(t as u64));
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core().with_barrier_migration(),
+            &w,
+            NullObserver,
+            17,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert_eq!(out.stats.migrations, 8); // 4 threads x 2 barriers
+        // After migrating away, the second read misses (data is in the
+        // old core's cache).
+        assert!(out.stats.sibling_fills > 0);
+    }
+
+    #[test]
+    fn truth_reflects_lock_serialization() {
+        // With a lock, the two updates serialize; the final version
+        // count is exactly 2 writes regardless of schedule.
+        let mut b = WorkloadBuilder::new("truth", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let out = run_workload(&w, 21);
+        // Truth counts every committed access, sync included.
+        assert_eq!(
+            out.truth.total_writes,
+            out.stats.data_writes + out.stats.sync_writes
+        );
+        assert_eq!(
+            out.truth.total_reads,
+            out.stats.data_reads + out.stats.sync_reads
+        );
+        assert_eq!(out.stats.data_writes, 2);
+        assert_eq!(out.stats.data_reads, 2);
+    }
+
+    #[test]
+    fn resolved_capture_produces_streams() {
+        let mut b = WorkloadBuilder::new("cap", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core().with_resolved_capture(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        let streams = out.truth.resolved.expect("captured");
+        assert_eq!(streams.len(), 2);
+        assert!(streams[0].iter().any(|r| r.kind == AccessKind::SyncWrite));
+        assert!(streams[1].iter().any(|r| r.kind == AccessKind::DataRead));
+    }
+}
+
+#[cfg(test)]
+mod engine_edge_tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use cord_trace::builder::WorkloadBuilder;
+
+    /// Fewer threads than cores: the spare cores stay idle and the run
+    /// completes normally.
+    #[test]
+    fn fewer_threads_than_cores() {
+        let mut b = WorkloadBuilder::new("two-of-four", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert_eq!(out.stats.instr_counts.len(), 2);
+        assert!(out.stats.cycles > 0);
+    }
+
+    /// Flag reset makes a flag reusable: a second wait after a reset
+    /// blocks until the second set.
+    #[test]
+    fn flag_reset_enables_reuse() {
+        let mut b = WorkloadBuilder::new("flag-reuse", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(2);
+        b.thread_mut(0)
+            .compute(5_000)
+            .write(d.word(0))
+            .flag_set(g)
+            .compute(50_000)
+            .write(d.word(1))
+            .flag_set(g);
+        b.thread_mut(1)
+            .flag_wait(g)
+            .read(d.word(0))
+            .flag_reset(g)
+            .flag_wait(g)
+            .read(d.word(1));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        // The consumer's second read happens after the producer's second
+        // write: its core finishes after the 50k-cycle gap.
+        assert!(out.stats.per_core_cycles[1] > 50_000);
+    }
+
+    /// With jitter disabled the machine is fully deterministic across
+    /// any two seeds.
+    #[test]
+    fn zero_jitter_removes_seed_sensitivity() {
+        let mut b = WorkloadBuilder::new("nojit", 2);
+        let d = b.alloc_line_aligned(8);
+        for t in 0..2 {
+            for i in 0..4 {
+                b.thread_mut(t).update(d.word((t as u64 * 4 + i) % 8)).compute(10);
+            }
+        }
+        let w = b.build();
+        let run = |seed| {
+            let mut cfg = MachineConfig::paper_4core();
+            cfg.jitter_cycles = 0;
+            let m = Machine::new(cfg, &w, NullObserver, seed, InjectionPlan::none());
+            m.run().expect("ok").0.stats
+        };
+        assert_eq!(run(1), run(999));
+    }
+
+    /// A lock under heavy contention hands off FIFO: every thread gets
+    /// its critical section (run terminates) and sync writes match
+    /// 2 per acquire-release pair.
+    #[test]
+    fn contended_lock_serves_all_threads() {
+        let mut b = WorkloadBuilder::new("contend", 4);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..4 {
+            for _ in 0..5 {
+                b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+            }
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            3,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        // 20 acquires (take write) + 20 releases.
+        assert_eq!(out.stats.sync_writes, 40);
+        assert_eq!(out.stats.data_reads, 20);
+        assert_eq!(out.stats.data_writes, 20);
+    }
+}

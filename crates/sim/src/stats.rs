@@ -1,0 +1,97 @@
+//! Run statistics: timing, cache behaviour, bus traffic.
+
+/// Aggregate statistics of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Execution time: the cycle at which the last core finished.
+    pub cycles: u64,
+    /// Finish time of each core.
+    pub per_core_cycles: Vec<u64>,
+    /// Total retired instructions per thread.
+    pub instr_counts: Vec<u64>,
+    /// Data reads committed.
+    pub data_reads: u64,
+    /// Data writes committed.
+    pub data_writes: u64,
+    /// Synchronization reads committed.
+    pub sync_reads: u64,
+    /// Synchronization writes committed.
+    pub sync_writes: u64,
+    /// Accesses satisfied by the local L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied by the local L2.
+    pub l2_hits: u64,
+    /// Hits that required a shared→modified upgrade broadcast.
+    pub upgrades: u64,
+    /// Misses served by another core's cache.
+    pub sibling_fills: u64,
+    /// Misses served by main memory.
+    pub memory_fills: u64,
+    /// Busy cycles of the data bus.
+    pub data_bus_busy: u64,
+    /// Contention (wait) cycles on the data bus.
+    pub data_bus_wait: u64,
+    /// Busy cycles of the address/timestamp bus.
+    pub addr_bus_busy: u64,
+    /// Contention (wait) cycles on the address/timestamp bus.
+    pub addr_bus_wait: u64,
+    /// Busy cycles of the memory bus.
+    pub mem_bus_busy: u64,
+    /// Dynamic removable synchronization instances encountered (lock
+    /// acquisitions and flag waits, including barrier-internal ones).
+    pub removable_sync_instances: u64,
+    /// `true` if the injection plan's target instance was reached and
+    /// removed during this run.
+    pub injection_applied: bool,
+    /// Extra timestamp-bus transactions issued by the observer (race
+    /// check requests + memory-timestamp update broadcasts).
+    pub observer_addr_transactions: u64,
+    /// Busy cycles of the timestamp bus.
+    pub ts_bus_busy: u64,
+    /// Cycles cores spent stalled on in-flight race checks at
+    /// retirement (§3.1).
+    pub retirement_stall_cycles: u64,
+    /// Thread migrations performed.
+    pub migrations: u64,
+}
+
+impl SimStats {
+    /// Total memory accesses of all kinds.
+    pub fn total_accesses(&self) -> u64 {
+        self.data_reads + self.data_writes + self.sync_reads + self.sync_writes
+    }
+
+    /// Fraction of accesses that hit in L1 (0 when there were none).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = SimStats {
+            data_reads: 6,
+            data_writes: 2,
+            sync_reads: 1,
+            sync_writes: 1,
+            l1_hits: 5,
+            ..SimStats::default()
+        };
+        assert_eq!(s.total_accesses(), 10);
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_rate() {
+        assert_eq!(SimStats::default().l1_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Synchronization semantics: mutexes, flags, and sense-reversing
+//! barriers.
+//!
+//! The manager enforces *functional* synchronization behaviour (who may
+//! proceed, who blocks, who wakes whom); the engine separately emits the
+//! labeled memory accesses each primitive performs so detectors observe
+//! the same traffic the paper's modified synchronization libraries
+//! generate. Keeping semantics here — rather than deriving them from
+//! simulated memory values — means fault injection can remove a
+//! primitive's *accesses and ordering* without ever deadlocking the
+//! simulation; see DESIGN.md.
+
+use cord_trace::types::{BarrierId, FlagId, LockId, ThreadId};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlagState {
+    set: bool,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BarrierState {
+    /// Per-thread arrival counts. Episode `k` is complete when every
+    /// participant has arrived at least `k + 1` times. Counting per
+    /// thread (rather than a single counter) keeps the barrier sane when
+    /// fault injection removes a thread's barrier *wait*: the escaped
+    /// thread's early arrival at the next episode must not be confused
+    /// with a missing participant of the current one.
+    arrivals: Vec<u64>,
+    /// Number of episodes already released.
+    released: u64,
+}
+
+/// Functional state of all synchronization objects in a run.
+#[derive(Debug, Clone)]
+pub struct SyncManager {
+    locks: Vec<LockState>,
+    flags: Vec<FlagState>,
+    barriers: Vec<BarrierState>,
+    participants: usize,
+}
+
+/// Result of arriving at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierArrival {
+    /// The episode this arrival belongs to (selects the release flag:
+    /// `episode % 2`).
+    pub episode: u64,
+    /// `true` for the last arrival, which releases the barrier.
+    pub is_last: bool,
+}
+
+impl SyncManager {
+    /// A manager for `total_locks`/`total_flags`/`barriers` objects
+    /// (including barrier-internal locks and flags) shared by
+    /// `participants` threads.
+    pub fn new(total_locks: u32, total_flags: u32, barriers: u32, participants: usize) -> Self {
+        SyncManager {
+            locks: vec![LockState::default(); total_locks as usize],
+            flags: vec![FlagState::default(); total_flags as usize],
+            barriers: vec![BarrierState::default(); barriers as usize],
+            participants,
+        }
+    }
+
+    /// Attempts to acquire `lock` for `thread`; on failure the thread is
+    /// enqueued as a waiter and `false` is returned (the caller must
+    /// block it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already holds the lock (workload validation
+    /// prevents this for user locks).
+    pub fn try_acquire(&mut self, lock: LockId, thread: ThreadId) -> bool {
+        let st = &mut self.locks[lock.0 as usize];
+        match st.holder {
+            None => {
+                st.holder = Some(thread);
+                true
+            }
+            Some(h) => {
+                assert_ne!(h, thread, "{thread} re-acquiring held lock #{}", lock.0);
+                st.waiters.push_back(thread);
+                false
+            }
+        }
+    }
+
+    /// Releases `lock`; if a waiter exists it becomes the new holder and
+    /// is returned so the engine can wake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is not the holder.
+    pub fn release(&mut self, lock: LockId, thread: ThreadId) -> Option<ThreadId> {
+        let st = &mut self.locks[lock.0 as usize];
+        assert_eq!(
+            st.holder,
+            Some(thread),
+            "{thread} releasing lock #{} it does not hold",
+            lock.0
+        );
+        match st.waiters.pop_front() {
+            Some(next) => {
+                st.holder = Some(next);
+                Some(next)
+            }
+            None => {
+                st.holder = None;
+                None
+            }
+        }
+    }
+
+    /// Current holder of `lock`.
+    pub fn holder(&self, lock: LockId) -> Option<ThreadId> {
+        self.locks[lock.0 as usize].holder
+    }
+
+    /// Whether `flag` is currently set.
+    pub fn flag_is_set(&self, flag: FlagId) -> bool {
+        self.flags[flag.0 as usize].set
+    }
+
+    /// Sets `flag` and returns all waiters to wake.
+    pub fn flag_set(&mut self, flag: FlagId) -> Vec<ThreadId> {
+        let st = &mut self.flags[flag.0 as usize];
+        st.set = true;
+        st.waiters.drain(..).collect()
+    }
+
+    /// Clears `flag`.
+    pub fn flag_reset(&mut self, flag: FlagId) {
+        self.flags[flag.0 as usize].set = false;
+    }
+
+    /// Enqueues `thread` as a waiter on an unset `flag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is already set (callers check first).
+    pub fn flag_enqueue(&mut self, flag: FlagId, thread: ThreadId) {
+        let st = &mut self.flags[flag.0 as usize];
+        assert!(!st.set, "enqueue on already-set flag #{}", flag.0);
+        st.waiters.push_back(thread);
+    }
+
+    /// Registers `thread`'s arrival at `barrier`. The arrival's episode
+    /// is the thread's own arrival ordinal; the arrival that makes every
+    /// participant's count exceed the released-episode count is the last
+    /// one and releases the episode.
+    pub fn barrier_arrive(&mut self, barrier: BarrierId, thread: ThreadId) -> BarrierArrival {
+        let participants = self.participants;
+        let st = &mut self.barriers[barrier.0 as usize];
+        if st.arrivals.is_empty() {
+            st.arrivals = vec![0; participants];
+        }
+        st.arrivals[thread.index()] += 1;
+        let episode = st.arrivals[thread.index()] - 1;
+        let completes = st.arrivals.iter().all(|&a| a > st.released);
+        if completes {
+            st.released += 1;
+        }
+        BarrierArrival {
+            episode,
+            is_last: completes,
+        }
+    }
+
+    /// The episode a newly arriving thread at `barrier` would join
+    /// (the count of episodes it has already passed).
+    pub fn barrier_episode(&self, barrier: BarrierId) -> u64 {
+        self.barriers[barrier.0 as usize].released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn uncontended_lock_acquires_immediately() {
+        let mut s = SyncManager::new(1, 0, 0, 2);
+        assert!(s.try_acquire(LockId(0), t(0)));
+        assert_eq!(s.holder(LockId(0)), Some(t(0)));
+        assert_eq!(s.release(LockId(0), t(0)), None);
+        assert_eq!(s.holder(LockId(0)), None);
+    }
+
+    #[test]
+    fn contended_lock_queues_fifo() {
+        let mut s = SyncManager::new(1, 0, 0, 3);
+        assert!(s.try_acquire(LockId(0), t(0)));
+        assert!(!s.try_acquire(LockId(0), t(1)));
+        assert!(!s.try_acquire(LockId(0), t(2)));
+        // Release hands the lock to the first waiter.
+        assert_eq!(s.release(LockId(0), t(0)), Some(t(1)));
+        assert_eq!(s.holder(LockId(0)), Some(t(1)));
+        assert_eq!(s.release(LockId(0), t(1)), Some(t(2)));
+        assert_eq!(s.release(LockId(0), t(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_by_non_holder_panics() {
+        let mut s = SyncManager::new(1, 0, 0, 2);
+        s.try_acquire(LockId(0), t(0));
+        s.release(LockId(0), t(1));
+    }
+
+    #[test]
+    fn flags_wake_all_waiters() {
+        let mut s = SyncManager::new(0, 1, 0, 3);
+        assert!(!s.flag_is_set(FlagId(0)));
+        s.flag_enqueue(FlagId(0), t(1));
+        s.flag_enqueue(FlagId(0), t(2));
+        let woken = s.flag_set(FlagId(0));
+        assert_eq!(woken, vec![t(1), t(2)]);
+        assert!(s.flag_is_set(FlagId(0)));
+        s.flag_reset(FlagId(0));
+        assert!(!s.flag_is_set(FlagId(0)));
+    }
+
+    #[test]
+    fn barrier_counts_and_advances_episodes() {
+        let mut s = SyncManager::new(0, 0, 1, 3);
+        let b = BarrierId(0);
+        assert_eq!(s.barrier_episode(b), 0);
+        let a0 = s.barrier_arrive(b, t(0));
+        let a1 = s.barrier_arrive(b, t(1));
+        assert!(!a0.is_last && !a1.is_last);
+        let a2 = s.barrier_arrive(b, t(2));
+        assert!(a2.is_last);
+        assert_eq!(a2.episode, 0);
+        // Next episode begins fresh.
+        assert_eq!(s.barrier_episode(b), 1);
+        let b0 = s.barrier_arrive(b, t(0));
+        assert_eq!(b0.episode, 1);
+        assert!(!b0.is_last);
+    }
+
+    #[test]
+    fn runaway_thread_cannot_release_an_episode_twice() {
+        // A thread whose barrier wait was injected away arrives at the
+        // next episode before the laggards finish the current one; its
+        // early arrival must not complete episode 0 a second time.
+        let mut s = SyncManager::new(0, 0, 1, 3);
+        let b = BarrierId(0);
+        s.barrier_arrive(b, t(0));
+        s.barrier_arrive(b, t(1));
+        // t0 escapes its wait and arrives again — episode 1 for t0.
+        let early = s.barrier_arrive(b, t(0));
+        assert_eq!(early.episode, 1);
+        assert!(!early.is_last, "episode 0 is not complete yet");
+        // t2 finally arrives: NOW episode 0 releases.
+        let last = s.barrier_arrive(b, t(2));
+        assert!(last.is_last);
+        assert_eq!(last.episode, 0);
+        assert_eq!(s.barrier_episode(b), 1);
+        // Completing episode 1 needs t1 and t2 again (t0 already there).
+        assert!(!s.barrier_arrive(b, t(1)).is_last);
+        let l2 = s.barrier_arrive(b, t(2));
+        assert!(l2.is_last);
+        assert_eq!(l2.episode, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ground-truth functional outcomes, used to verify deterministic replay.
+//!
+//! The simulator commits memory accesses one at a time in global time
+//! order, which defines a sequentially consistent execution. For every
+//! word we track a monotonically increasing *write version*; each read
+//! observes the version of the last write to its word. A run's outcome is
+//! summarized as one order-sensitive hash per thread over
+//! `(instr_index, addr, kind, observed_version)` tuples — two executions
+//! have identical per-thread hashes iff every thread observed exactly the
+//! same reads-see-writes relation in the same program order, which is the
+//! correctness criterion for CORD's deterministic replay (§3.3: "the
+//! entire execution can be accurately replayed").
+
+use crate::observer::AccessKind;
+use cord_trace::types::{Addr, ThreadId};
+use std::collections::HashMap;
+
+/// One access in a thread's resolved (post-expansion) stream, captured
+/// when [`MachineConfig::capture_resolved`](crate::config::MachineConfig)
+/// is on. The replayer re-executes these streams under the order log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedAccess {
+    /// Thread-local instruction index *before* the access retires.
+    pub instr_index: u64,
+    /// Word accessed.
+    pub addr: Addr,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// FNV-1a step over a 64-bit value.
+#[inline]
+pub fn fnv_fold(hash: u64, value: u64) -> u64 {
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = hash;
+    for b in value.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Tracks write versions and per-thread outcome hashes during a run.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Per-word write version (how many writes this word has seen).
+    /// Versions are per-word, not global, so reorderings of
+    /// *non-conflicting* accesses leave every hash unchanged — replay
+    /// verification must only be sensitive to conflict outcomes.
+    versions: HashMap<u64, u64>,
+    thread_hashes: Vec<u64>,
+    resolved: Option<Vec<Vec<ResolvedAccess>>>,
+    total_writes: u64,
+    total_reads: u64,
+}
+
+impl GroundTruth {
+    /// A tracker for `threads` threads; pass `capture_resolved = true` to
+    /// also record per-thread resolved access streams for the replayer.
+    pub fn new(threads: usize, capture_resolved: bool) -> Self {
+        GroundTruth {
+            versions: HashMap::new(),
+            thread_hashes: vec![FNV_OFFSET; threads],
+            resolved: capture_resolved.then(|| vec![Vec::new(); threads]),
+            total_writes: 0,
+            total_reads: 0,
+        }
+    }
+
+    /// Commits one access and folds its outcome into the thread's hash.
+    pub fn commit(&mut self, thread: ThreadId, instr_index: u64, addr: Addr, kind: AccessKind) {
+        let version = if kind.is_write() {
+            self.total_writes += 1;
+            let v = self.versions.entry(addr.byte()).or_insert(0);
+            *v += 1;
+            *v
+        } else {
+            self.total_reads += 1;
+            self.versions.get(&addr.byte()).copied().unwrap_or(0)
+        };
+        let h = &mut self.thread_hashes[thread.index()];
+        *h = fnv_fold(*h, instr_index);
+        *h = fnv_fold(*h, addr.byte());
+        *h = fnv_fold(*h, kind.is_write() as u64);
+        *h = fnv_fold(*h, version);
+        if let Some(streams) = &mut self.resolved {
+            streams[thread.index()].push(ResolvedAccess {
+                instr_index,
+                addr,
+                kind,
+            });
+        }
+    }
+
+    /// Finalizes into a summary.
+    pub fn into_summary(self) -> TruthSummary {
+        TruthSummary {
+            thread_hashes: self.thread_hashes,
+            resolved: self.resolved,
+            total_writes: self.total_writes,
+            total_reads: self.total_reads,
+        }
+    }
+}
+
+/// The functional outcome of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthSummary {
+    /// Order-sensitive outcome hash per thread.
+    pub thread_hashes: Vec<u64>,
+    /// Per-thread resolved access streams (present iff capture was on).
+    pub resolved: Option<Vec<Vec<ResolvedAccess>>>,
+    /// Total committed writes.
+    pub total_writes: u64,
+    /// Total committed reads.
+    pub total_reads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn identical_commit_sequences_hash_identically() {
+        let mut a = GroundTruth::new(2, false);
+        let mut b = GroundTruth::new(2, false);
+        for g in [&mut a, &mut b] {
+            g.commit(t(0), 0, Addr::new(0x40), AccessKind::DataWrite);
+            g.commit(t(1), 0, Addr::new(0x40), AccessKind::DataRead);
+        }
+        assert_eq!(a.into_summary().thread_hashes, b.into_summary().thread_hashes);
+    }
+
+    #[test]
+    fn read_sees_latest_write_version() {
+        // Different write orders change what the reader observes and so
+        // change the reader's hash.
+        let mut a = GroundTruth::new(3, false);
+        a.commit(t(0), 0, Addr::new(0x40), AccessKind::DataWrite);
+        a.commit(t(1), 0, Addr::new(0x40), AccessKind::DataWrite);
+        a.commit(t(2), 0, Addr::new(0x40), AccessKind::DataRead);
+
+        let mut b = GroundTruth::new(3, false);
+        b.commit(t(1), 0, Addr::new(0x40), AccessKind::DataWrite);
+        b.commit(t(0), 0, Addr::new(0x40), AccessKind::DataWrite);
+        b.commit(t(2), 0, Addr::new(0x40), AccessKind::DataRead);
+
+        let sa = a.into_summary();
+        let sb = b.into_summary();
+        // The reader in run A saw version 2 from t1, in run B saw
+        // version 2 from t0 — versions are positional so the hashes for
+        // the *writers* differ while the reader's happens to match; the
+        // full vector comparison distinguishes the runs.
+        assert_ne!(sa.thread_hashes, sb.thread_hashes);
+    }
+
+    #[test]
+    fn read_before_any_write_sees_version_zero() {
+        let mut g = GroundTruth::new(1, false);
+        g.commit(t(0), 0, Addr::new(0x80), AccessKind::DataRead);
+        let s = g.into_summary();
+        assert_eq!(s.total_reads, 1);
+        assert_eq!(s.total_writes, 0);
+    }
+
+    #[test]
+    fn resolved_streams_capture_order() {
+        let mut g = GroundTruth::new(2, true);
+        g.commit(t(0), 0, Addr::new(0x40), AccessKind::DataWrite);
+        g.commit(t(0), 1, Addr::new(0x44), AccessKind::DataRead);
+        g.commit(t(1), 5, Addr::new(0x40), AccessKind::SyncRead);
+        let s = g.into_summary();
+        let streams = s.resolved.expect("captured");
+        assert_eq!(streams[0].len(), 2);
+        assert_eq!(streams[1].len(), 1);
+        assert_eq!(streams[0][1].addr, Addr::new(0x44));
+        assert_eq!(streams[1][0].instr_index, 5);
+    }
+
+    #[test]
+    fn fnv_fold_is_order_sensitive() {
+        let a = fnv_fold(fnv_fold(FNV_OFFSET, 1), 2);
+        let b = fnv_fold(fnv_fold(FNV_OFFSET, 2), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: randomized access sequences never violate the MESI
+//! and inclusion invariants of the memory system.
+
+use cord_sim::config::MachineConfig;
+use cord_sim::memsys::MemorySystem;
+use cord_sim::observer::CoreId;
+use cord_trace::types::Addr;
+use proptest::prelude::*;
+
+/// Checks the global coherence invariants over every line either cache
+/// level holds.
+fn check_invariants(m: &MemorySystem, cores: usize) {
+    use cord_sim::cache::Mesi;
+    use std::collections::HashMap;
+    let mut holders: HashMap<u64, Vec<(usize, Mesi)>> = HashMap::new();
+    for c in 0..cores {
+        let core = CoreId(c as u8);
+        // Inclusion + state mirroring.
+        for (line, l1state) in m.l1_of(core).lines() {
+            let l2state = m
+                .l2_of(core)
+                .probe(line)
+                .unwrap_or_else(|| panic!("inclusion violated: {line} in L1 not L2"));
+            assert_eq!(l1state, l2state, "state mismatch for {line} on {core}");
+        }
+        for (line, state) in m.l2_of(core).lines() {
+            holders.entry(line.0).or_default().push((c, state));
+        }
+    }
+    // Single-writer: a Modified or Exclusive copy excludes all others.
+    for (line, hs) in holders {
+        let exclusive = hs
+            .iter()
+            .filter(|(_, s)| matches!(s, Mesi::Modified | Mesi::Exclusive))
+            .count();
+        if exclusive > 0 {
+            assert_eq!(
+                hs.len(),
+                1,
+                "line {line:#x}: M/E copy coexists with others: {hs:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of reads/writes from any cores leaves the
+    /// hierarchy coherent, with monotone time and bounded occupancy.
+    #[test]
+    fn random_traffic_preserves_coherence(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u64..128, proptest::bool::ANY),
+            1..300,
+        )
+    ) {
+        let cfg = MachineConfig::paper_4core();
+        let mut m = MemorySystem::new(cfg.clone());
+        let mut now = 0u64;
+        for (core, word, write) in ops {
+            let addr = Addr::new(word * 4);
+            let res = m.access(CoreId(core), addr, write, now);
+            prop_assert!(res.done > now, "time must advance");
+            now += 7; // issue the next access a bit later
+            check_invariants(&m, cfg.cores);
+            for c in 0..cfg.cores {
+                let core = CoreId(c as u8);
+                prop_assert!(m.l1_of(core).occupancy() as u64 <= cfg.l1.num_lines());
+                prop_assert!(m.l2_of(core).occupancy() as u64 <= cfg.l2.num_lines());
+            }
+        }
+    }
+
+    /// A write leaves the writer as the sole (Modified) holder.
+    #[test]
+    fn writes_end_modified_and_exclusive(
+        warm in proptest::collection::vec((0u8..4, 0u64..32), 0..40),
+        writer in 0u8..4,
+        word in 0u64..32,
+    ) {
+        let mut m = MemorySystem::new(MachineConfig::paper_4core());
+        let mut now = 0;
+        for (core, w) in warm {
+            now = m.access(CoreId(core), Addr::new(w * 4), false, now).done;
+        }
+        let addr = Addr::new(word * 4);
+        m.access(CoreId(writer), addr, true, now + 10);
+        let line = addr.line();
+        prop_assert_eq!(
+            m.l2_of(CoreId(writer)).probe(line),
+            Some(cord_sim::cache::Mesi::Modified)
+        );
+        for c in 0..4u8 {
+            if c != writer {
+                prop_assert!(!m.l2_of(CoreId(c)).contains(line));
+            }
+        }
+    }
+}

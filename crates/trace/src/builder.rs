@@ -1,0 +1,313 @@
+//! Fluent construction of [`Workload`]s.
+
+use crate::layout::AddressLayout;
+use crate::op::Op;
+use crate::program::{ThreadProgram, Workload};
+use crate::types::{Addr, BarrierId, FlagId, LockId, WordRange, LINE_BYTES, WORD_BYTES};
+
+/// Builder for a [`Workload`]: allocates synchronization objects and data
+/// ranges, then lets each thread's program be emitted through
+/// [`ThreadBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use cord_trace::builder::WorkloadBuilder;
+///
+/// let mut b = WorkloadBuilder::new("pipeline", 2);
+/// let flag = b.alloc_flag();
+/// let buf = b.alloc_line_aligned(16);
+/// b.thread_mut(0).write(buf.word(0)).flag_set(flag);
+/// b.thread_mut(1).flag_wait(flag).read(buf.word(0));
+/// let w = b.build();
+/// w.validate().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    name: String,
+    threads: Vec<Vec<Op>>,
+    locks: u32,
+    flags: u32,
+    barriers: u32,
+    data_cursor: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a workload named `name` with `num_threads` empty threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn new(name: impl Into<String>, num_threads: usize) -> Self {
+        assert!(num_threads > 0, "a workload needs at least one thread");
+        WorkloadBuilder {
+            name: name.into(),
+            threads: vec![Vec::new(); num_threads],
+            locks: 0,
+            flags: 0,
+            barriers: 0,
+            data_cursor: 0,
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Allocates a new mutex.
+    pub fn alloc_lock(&mut self) -> LockId {
+        let id = LockId(self.locks);
+        self.locks += 1;
+        id
+    }
+
+    /// Allocates `n` new mutexes (e.g. one per hash bucket).
+    pub fn alloc_locks(&mut self, n: u32) -> Vec<LockId> {
+        (0..n).map(|_| self.alloc_lock()).collect()
+    }
+
+    /// Allocates a new flag (condition variable).
+    pub fn alloc_flag(&mut self) -> FlagId {
+        let id = FlagId(self.flags);
+        self.flags += 1;
+        id
+    }
+
+    /// Allocates `n` new flags.
+    pub fn alloc_flags(&mut self, n: u32) -> Vec<FlagId> {
+        (0..n).map(|_| self.alloc_flag()).collect()
+    }
+
+    /// Allocates a new barrier.
+    pub fn alloc_barrier(&mut self) -> BarrierId {
+        let id = BarrierId(self.barriers);
+        self.barriers += 1;
+        id
+    }
+
+    /// Allocates `words` contiguous data words.
+    pub fn alloc_words(&mut self, words: u64) -> WordRange {
+        let base = Addr::new(self.data_cursor * WORD_BYTES);
+        self.data_cursor += words;
+        WordRange::new(base, words)
+    }
+
+    /// Allocates `words` data words starting on a fresh cache line, so
+    /// the range shares no line with earlier allocations (workloads use
+    /// this to control — or deliberately create — false sharing).
+    pub fn alloc_line_aligned(&mut self, words: u64) -> WordRange {
+        let words_per_line = LINE_BYTES / WORD_BYTES;
+        self.data_cursor = self.data_cursor.div_ceil(words_per_line) * words_per_line;
+        self.alloc_words(words)
+    }
+
+    /// Access to thread `t`'s program builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn thread_mut(&mut self, t: usize) -> ThreadBuilder<'_> {
+        assert!(t < self.threads.len(), "thread {t} out of range");
+        ThreadBuilder {
+            ops: &mut self.threads[t],
+        }
+    }
+
+    /// Finalizes the workload.
+    pub fn build(self) -> Workload {
+        let layout = AddressLayout::new(self.locks, self.flags, self.barriers, self.data_cursor);
+        Workload::new(
+            self.name,
+            self.threads.into_iter().map(ThreadProgram::from_ops).collect(),
+            layout,
+        )
+    }
+}
+
+/// Emits operations into one thread's program; methods chain.
+#[derive(Debug)]
+pub struct ThreadBuilder<'a> {
+    ops: &'a mut Vec<Op>,
+}
+
+impl ThreadBuilder<'_> {
+    /// Emits a data read of `addr`.
+    pub fn read(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Read(addr));
+        self
+    }
+
+    /// Emits a data write of `addr`.
+    pub fn write(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Write(addr));
+        self
+    }
+
+    /// Emits a read-modify-write of `addr` (a read followed by a write).
+    pub fn update(&mut self, addr: Addr) -> &mut Self {
+        self.read(addr).write(addr)
+    }
+
+    /// Emits reads of `n` consecutive words starting at `base`.
+    pub fn read_span(&mut self, base: Addr, n: u64) -> &mut Self {
+        for i in 0..n {
+            self.read(base.offset_words(i));
+        }
+        self
+    }
+
+    /// Emits writes of `n` consecutive words starting at `base`.
+    pub fn write_span(&mut self, base: Addr, n: u64) -> &mut Self {
+        for i in 0..n {
+            self.write(base.offset_words(i));
+        }
+        self
+    }
+
+    /// Emits a lock acquisition.
+    pub fn lock(&mut self, l: LockId) -> &mut Self {
+        self.ops.push(Op::Lock(l));
+        self
+    }
+
+    /// Emits a lock release.
+    pub fn unlock(&mut self, l: LockId) -> &mut Self {
+        self.ops.push(Op::Unlock(l));
+        self
+    }
+
+    /// Emits a flag set.
+    pub fn flag_set(&mut self, g: FlagId) -> &mut Self {
+        self.ops.push(Op::FlagSet(g));
+        self
+    }
+
+    /// Emits a flag wait.
+    pub fn flag_wait(&mut self, g: FlagId) -> &mut Self {
+        self.ops.push(Op::FlagWait(g));
+        self
+    }
+
+    /// Emits a flag reset.
+    pub fn flag_reset(&mut self, g: FlagId) -> &mut Self {
+        self.ops.push(Op::FlagReset(g));
+        self
+    }
+
+    /// Emits a barrier arrival.
+    pub fn barrier(&mut self, b: BarrierId) -> &mut Self {
+        self.ops.push(Op::Barrier(b));
+        self
+    }
+
+    /// Emits `cycles` of local computation (skipped when 0).
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        if cycles > 0 {
+            self.ops.push(Op::Compute(cycles));
+        }
+        self
+    }
+
+    /// Emits a whole critical section: `lock(l)`, the body, `unlock(l)`.
+    pub fn critical_section(
+        &mut self,
+        l: LockId,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.lock(l);
+        body(self);
+        self.unlock(l)
+    }
+
+    /// Number of ops emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocators_hand_out_distinct_ids() {
+        let mut b = WorkloadBuilder::new("t", 1);
+        assert_eq!(b.alloc_lock(), LockId(0));
+        assert_eq!(b.alloc_lock(), LockId(1));
+        assert_eq!(b.alloc_flag(), FlagId(0));
+        assert_eq!(b.alloc_barrier(), BarrierId(0));
+        let ls = b.alloc_locks(3);
+        assert_eq!(ls, vec![LockId(2), LockId(3), LockId(4)]);
+    }
+
+    #[test]
+    fn data_allocations_do_not_overlap() {
+        let mut b = WorkloadBuilder::new("t", 1);
+        let a = b.alloc_words(5);
+        let c = b.alloc_words(3);
+        assert_eq!(a.end(), c.base());
+    }
+
+    #[test]
+    fn line_aligned_allocation_starts_fresh_line() {
+        let mut b = WorkloadBuilder::new("t", 1);
+        let _ = b.alloc_words(3);
+        let r = b.alloc_line_aligned(4);
+        assert_eq!(r.base().byte() % LINE_BYTES, 0);
+        assert_ne!(r.base().byte(), 0); // skipped past the first alloc
+    }
+
+    #[test]
+    fn thread_builder_chains_and_builds() {
+        let mut b = WorkloadBuilder::new("t", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(2);
+        b.thread_mut(0)
+            .critical_section(l, |tb| {
+                tb.update(d.word(0));
+            })
+            .compute(10);
+        b.thread_mut(1).lock(l).read(d.word(0)).unlock(l);
+        let w = b.build();
+        w.validate().unwrap();
+        assert_eq!(w.thread(crate::types::ThreadId(0)).len(), 5);
+        assert_eq!(w.total_ops(), 8);
+    }
+
+    #[test]
+    fn span_helpers_emit_consecutive_words() {
+        let mut b = WorkloadBuilder::new("t", 1);
+        let d = b.alloc_words(4);
+        b.thread_mut(0).read_span(d.base(), 2).write_span(d.word(2), 2);
+        let w = b.build();
+        let ops = w.thread(crate::types::ThreadId(0)).ops().to_vec();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Read(d.word(0)),
+                Op::Read(d.word(1)),
+                Op::Write(d.word(2)),
+                Op::Write(d.word(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn compute_zero_is_elided() {
+        let mut b = WorkloadBuilder::new("t", 1);
+        b.thread_mut(0).compute(0);
+        assert!(b.thread_mut(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = WorkloadBuilder::new("t", 0);
+    }
+}

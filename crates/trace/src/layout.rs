@@ -1,0 +1,219 @@
+//! Address-space layout: where data and synchronization objects live.
+//!
+//! Synchronization variables are ordinary memory locations in the paper —
+//! what distinguishes them is that the (modified) synchronization library
+//! accesses them with labeled instructions. The layout gives every lock
+//! and flag its own cache line in a dedicated region above the data heap
+//! so workload generators can lay out data freely below it, and so a
+//! barrier's constituent objects (its internal mutex, its two
+//! sense-reversing flags, and its arrival counter word) resolve to stable
+//! addresses.
+
+use crate::types::{Addr, BarrierId, FlagId, LockId, LINE_BYTES};
+
+/// First byte of the synchronization-object region. Data allocations must
+/// stay below this.
+pub const SYNC_BASE: u64 = 0x1000_0000;
+
+/// Maps synchronization object IDs to memory addresses.
+///
+/// Lock and flag IDs are split into *user* IDs (allocated by the workload
+/// builder) followed by *barrier-internal* IDs: barrier `b` owns lock
+/// `user_locks + b` and flags `user_flags + 2b` / `user_flags + 2b + 1`
+/// (the two sense-reversing generations).
+///
+/// # Examples
+///
+/// ```
+/// use cord_trace::layout::AddressLayout;
+/// use cord_trace::types::{BarrierId, LockId};
+///
+/// let l = AddressLayout::new(2, 1, 1, 4096);
+/// // Barrier 0's internal mutex is lock id 2 (after the 2 user locks).
+/// assert_eq!(l.barrier_lock(BarrierId(0)), LockId(2));
+/// // Every sync object gets its own cache line.
+/// assert_ne!(
+///     l.lock_addr(LockId(0)).line(),
+///     l.lock_addr(LockId(1)).line()
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressLayout {
+    user_locks: u32,
+    user_flags: u32,
+    barriers: u32,
+    data_words: u64,
+}
+
+impl AddressLayout {
+    /// Creates a layout for the given object counts and data-heap size
+    /// (in words).
+    pub fn new(user_locks: u32, user_flags: u32, barriers: u32, data_words: u64) -> Self {
+        AddressLayout {
+            user_locks,
+            user_flags,
+            barriers,
+            data_words,
+        }
+    }
+
+    /// Number of user-allocated locks.
+    pub fn user_locks(&self) -> u32 {
+        self.user_locks
+    }
+
+    /// Number of user-allocated flags.
+    pub fn user_flags(&self) -> u32 {
+        self.user_flags
+    }
+
+    /// Number of barriers.
+    pub fn barriers(&self) -> u32 {
+        self.barriers
+    }
+
+    /// Size of the data heap in words.
+    pub fn data_words(&self) -> u64 {
+        self.data_words
+    }
+
+    /// Total locks including one internal lock per barrier.
+    pub fn total_locks(&self) -> u32 {
+        self.user_locks + self.barriers
+    }
+
+    /// Total flags including two internal flags per barrier.
+    pub fn total_flags(&self) -> u32 {
+        self.user_flags + 2 * self.barriers
+    }
+
+    /// Address of a lock word (one line per lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range (≥ [`AddressLayout::total_locks`]).
+    pub fn lock_addr(&self, lock: LockId) -> Addr {
+        assert!(lock.0 < self.total_locks(), "lock id {} out of range", lock.0);
+        Addr::new(SYNC_BASE + u64::from(lock.0) * LINE_BYTES)
+    }
+
+    /// Address of a flag word (one line per flag, after all locks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range (≥ [`AddressLayout::total_flags`]).
+    pub fn flag_addr(&self, flag: FlagId) -> Addr {
+        assert!(flag.0 < self.total_flags(), "flag id {} out of range", flag.0);
+        let base = SYNC_BASE + u64::from(self.total_locks()) * LINE_BYTES;
+        Addr::new(base + u64::from(flag.0) * LINE_BYTES)
+    }
+
+    /// The internal mutex protecting barrier `b`'s arrival counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn barrier_lock(&self, b: BarrierId) -> LockId {
+        assert!(b.0 < self.barriers, "barrier id {} out of range", b.0);
+        LockId(self.user_locks + b.0)
+    }
+
+    /// The two sense-reversing release flags of barrier `b`; episode `e`
+    /// uses flag `e % 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn barrier_flags(&self, b: BarrierId) -> (FlagId, FlagId) {
+        assert!(b.0 < self.barriers, "barrier id {} out of range", b.0);
+        (
+            FlagId(self.user_flags + 2 * b.0),
+            FlagId(self.user_flags + 2 * b.0 + 1),
+        )
+    }
+
+    /// Address of barrier `b`'s arrival-counter word. The counter is a
+    /// *data* word protected by [`AddressLayout::barrier_lock`], exactly
+    /// as in the paper's barrier implementation — removing the internal
+    /// lock exposes real data races on this counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn barrier_counter_addr(&self, b: BarrierId) -> Addr {
+        assert!(b.0 < self.barriers, "barrier id {} out of range", b.0);
+        let base = SYNC_BASE
+            + (u64::from(self.total_locks()) + u64::from(self.total_flags())) * LINE_BYTES;
+        Addr::new(base + u64::from(b.0) * LINE_BYTES)
+    }
+
+    /// `true` if `addr` belongs to the synchronization-object region
+    /// (including barrier counters).
+    pub fn is_sync_region(&self, addr: Addr) -> bool {
+        addr.byte() >= SYNC_BASE
+    }
+
+    /// One byte past the last address the layout uses (for sizing
+    /// simulated memory).
+    pub fn address_space_end(&self) -> u64 {
+        SYNC_BASE
+            + (u64::from(self.total_locks())
+                + u64::from(self.total_flags())
+                + u64::from(self.barriers))
+                * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_counts_include_barrier_internals() {
+        let l = AddressLayout::new(3, 2, 2, 1024);
+        assert_eq!(l.total_locks(), 5);
+        assert_eq!(l.total_flags(), 6);
+    }
+
+    #[test]
+    fn each_object_has_its_own_line() {
+        let l = AddressLayout::new(2, 2, 1, 0);
+        let mut lines = std::collections::HashSet::new();
+        for i in 0..l.total_locks() {
+            assert!(lines.insert(l.lock_addr(LockId(i)).line()));
+        }
+        for i in 0..l.total_flags() {
+            assert!(lines.insert(l.flag_addr(FlagId(i)).line()));
+        }
+        assert!(lines.insert(l.barrier_counter_addr(BarrierId(0)).line()));
+    }
+
+    #[test]
+    fn barrier_internal_ids_follow_user_ids() {
+        let l = AddressLayout::new(4, 3, 2, 0);
+        assert_eq!(l.barrier_lock(BarrierId(0)), LockId(4));
+        assert_eq!(l.barrier_lock(BarrierId(1)), LockId(5));
+        assert_eq!(l.barrier_flags(BarrierId(1)), (FlagId(5), FlagId(6)));
+    }
+
+    #[test]
+    fn sync_region_classification() {
+        let l = AddressLayout::new(1, 0, 0, 64);
+        assert!(!l.is_sync_region(Addr::new(0x100)));
+        assert!(l.is_sync_region(l.lock_addr(LockId(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lock_panics() {
+        AddressLayout::new(1, 0, 0, 0).lock_addr(LockId(1));
+    }
+
+    #[test]
+    fn address_space_end_covers_everything() {
+        let l = AddressLayout::new(2, 2, 2, 0);
+        let end = l.address_space_end();
+        assert!(l.barrier_counter_addr(BarrierId(1)).byte() < end);
+        assert!(l.flag_addr(FlagId(5)).byte() < end);
+    }
+}

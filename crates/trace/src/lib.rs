@@ -1,0 +1,53 @@
+//! Thread-program model for the CORD reproduction.
+//!
+//! The paper runs Splash-2 binaries on an execution-driven simulator with
+//! modified synchronization libraries that *label* synchronization
+//! accesses (§2.7.3). This crate is the equivalent interface layer: a
+//! workload is a set of per-thread programs over a small operation
+//! vocabulary — data reads/writes, synchronization primitives
+//! (locks, flags, barriers), and compute delays — and the simulator in
+//! `cord-sim` executes those programs, expanding each synchronization
+//! primitive into the labeled memory accesses the hardware would see.
+//!
+//! Key types:
+//!
+//! * [`Op`] — one dynamic operation of a thread.
+//! * [`ThreadProgram`] — a thread's operation stream.
+//! * [`Workload`] — all threads plus the shared [`layout::AddressLayout`]
+//!   that maps synchronization objects to memory addresses.
+//! * [`builder::WorkloadBuilder`] — the API workload generators use.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_trace::builder::WorkloadBuilder;
+//!
+//! let mut b = WorkloadBuilder::new("demo", 2);
+//! let lock = b.alloc_lock();
+//! let shared = b.alloc_words(1);
+//! for t in 0..2 {
+//!     b.thread_mut(t)
+//!         .lock(lock)
+//!         .read(shared.word(0))
+//!         .write(shared.word(0))
+//!         .unlock(lock)
+//!         .compute(100);
+//! }
+//! let w = b.build();
+//! assert_eq!(w.num_threads(), 2);
+//! w.validate().expect("well-formed");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod layout;
+pub mod op;
+pub mod program;
+pub mod textfmt;
+pub mod types;
+
+pub use builder::WorkloadBuilder;
+pub use op::Op;
+pub use program::{ThreadProgram, Workload, WorkloadError};
+pub use types::{Addr, BarrierId, FlagId, LockId, ThreadId, WordRange, LINE_BYTES, WORD_BYTES};

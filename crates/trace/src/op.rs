@@ -1,0 +1,130 @@
+//! The operation vocabulary of thread programs.
+
+use crate::types::{Addr, BarrierId, FlagId, LockId};
+use std::fmt;
+
+/// One dynamic operation in a thread's program.
+///
+/// Data accesses name a word address directly. Synchronization primitives
+/// name an object ID; the simulator resolves the ID to an address through
+/// the workload's [`AddressLayout`](crate::layout::AddressLayout) and
+/// expands the primitive into labeled synchronization loads/stores
+/// (acquire spins, release stores, barrier arrivals) exactly as the
+/// paper's modified synchronization libraries would emit them.
+///
+/// `Compute(n)` models `n` cycles of purely local work between memory
+/// operations; it also advances the instruction counter used by the order
+/// log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Data load of one word.
+    Read(Addr),
+    /// Data store of one word.
+    Write(Addr),
+    /// Acquire a mutex (spin of sync reads, then a sync write).
+    Lock(LockId),
+    /// Release a mutex (one sync write).
+    Unlock(LockId),
+    /// Set a flag / condition (one sync write).
+    FlagSet(FlagId),
+    /// Wait until a flag is set (spin of sync reads).
+    FlagWait(FlagId),
+    /// Reset a flag to unset (one sync write) so it can be reused.
+    FlagReset(FlagId),
+    /// Arrive at and wait for a sense-reversing barrier. Expanded by the
+    /// simulator into lock/count/flag sub-primitives (§3.4: barrier
+    /// synchronization "uses a combination of mutex and flag operations in
+    /// its implementation").
+    Barrier(BarrierId),
+    /// `n` cycles (and `n` instructions) of local computation.
+    Compute(u32),
+}
+
+impl Op {
+    /// `true` for the two data-access variants.
+    #[inline]
+    pub fn is_data_access(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+
+    /// `true` for synchronization primitives (everything except data
+    /// accesses and compute).
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        !self.is_data_access() && !matches!(self, Op::Compute(_))
+    }
+
+    /// `true` for primitives the fault injector may remove: lock
+    /// acquisitions and flag waits (§3.4). Unlocks are removed *with*
+    /// their lock, never independently; flag sets are never removed.
+    #[inline]
+    pub fn is_removable_sync(&self) -> bool {
+        matches!(self, Op::Lock(_) | Op::FlagWait(_))
+    }
+
+    /// Number of instructions this op retires (for the order log's
+    /// instruction counts). Every op is one instruction except `Compute`,
+    /// which retires one instruction per cycle of work.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => u64::from(*n),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(a) => write!(f, "RD {a}"),
+            Op::Write(a) => write!(f, "WR {a}"),
+            Op::Lock(l) => write!(f, "LOCK #{}", l.0),
+            Op::Unlock(l) => write!(f, "UNLOCK #{}", l.0),
+            Op::FlagSet(g) => write!(f, "SET #{}", g.0),
+            Op::FlagWait(g) => write!(f, "WAIT #{}", g.0),
+            Op::FlagReset(g) => write!(f, "RESET #{}", g.0),
+            Op::Barrier(b) => write!(f, "BARRIER #{}", b.0),
+            Op::Compute(n) => write!(f, "COMPUTE {n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Op::Read(Addr::new(0)).is_data_access());
+        assert!(Op::Write(Addr::new(4)).is_data_access());
+        assert!(!Op::Lock(LockId(0)).is_data_access());
+        assert!(Op::Lock(LockId(0)).is_sync());
+        assert!(Op::Barrier(BarrierId(0)).is_sync());
+        assert!(!Op::Compute(5).is_sync());
+        assert!(!Op::Compute(5).is_data_access());
+    }
+
+    #[test]
+    fn removable_set_matches_paper() {
+        assert!(Op::Lock(LockId(1)).is_removable_sync());
+        assert!(Op::FlagWait(FlagId(1)).is_removable_sync());
+        assert!(!Op::Unlock(LockId(1)).is_removable_sync());
+        assert!(!Op::FlagSet(FlagId(1)).is_removable_sync());
+        assert!(!Op::Barrier(BarrierId(0)).is_removable_sync());
+        assert!(!Op::Read(Addr::new(0)).is_removable_sync());
+    }
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(Op::Read(Addr::new(0)).instructions(), 1);
+        assert_eq!(Op::Compute(250).instructions(), 250);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Op::Read(Addr::new(0x40))), "RD 0x40");
+        assert_eq!(format!("{}", Op::Lock(LockId(2))), "LOCK #2");
+        assert_eq!(format!("{}", Op::Compute(9)), "COMPUTE 9");
+    }
+}

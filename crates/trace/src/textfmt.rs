@@ -1,0 +1,292 @@
+//! A line-oriented text format for workloads.
+//!
+//! Lets generated workloads be dumped for inspection, diffed, shipped to
+//! external tools, or checked in as regression fixtures. The format is
+//! deliberately trivial:
+//!
+//! ```text
+//! # cord workload v1
+//! workload fft threads=4 locks=0 flags=0 barriers=1 data_words=1024
+//! thread 0
+//!   read 0x100
+//!   write 0x104
+//!   lock 0
+//!   unlock 0
+//!   flag_set 0
+//!   flag_wait 0
+//!   flag_reset 0
+//!   barrier 0
+//!   compute 50
+//! thread 1
+//!   ...
+//! ```
+//!
+//! `locks`/`flags`/`barriers` in the header are the *user* object counts
+//! (barrier-internal objects are derived). Round-tripping any valid
+//! workload is lossless.
+
+use crate::layout::AddressLayout;
+use crate::op::Op;
+use crate::program::{ThreadProgram, Workload};
+use crate::types::{Addr, BarrierId, FlagId, LockId};
+use std::fmt::Write as _;
+
+/// Magic first line of the format.
+pub const HEADER: &str = "# cord workload v1";
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first line is not [`HEADER`].
+    BadHeader,
+    /// The `workload …` line is missing or malformed.
+    BadWorkloadLine {
+        /// The offending line number (1-based).
+        line: usize,
+    },
+    /// An operation line could not be parsed.
+    BadOp {
+        /// The offending line number (1-based).
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A `thread N` header is out of order or out of range.
+    BadThread {
+        /// The offending line number (1-based).
+        line: usize,
+    },
+    /// An op appeared before any `thread N` header.
+    OpOutsideThread {
+        /// The offending line number (1-based).
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing '{HEADER}' header"),
+            ParseError::BadWorkloadLine { line } => {
+                write!(f, "line {line}: malformed workload line")
+            }
+            ParseError::BadOp { line, text } => write!(f, "line {line}: bad op '{text}'"),
+            ParseError::BadThread { line } => write!(f, "line {line}: bad thread header"),
+            ParseError::OpOutsideThread { line } => {
+                write!(f, "line {line}: op before any 'thread N' header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn op_line(op: &Op) -> String {
+    match op {
+        Op::Read(a) => format!("  read {:#x}", a.byte()),
+        Op::Write(a) => format!("  write {:#x}", a.byte()),
+        Op::Lock(l) => format!("  lock {}", l.0),
+        Op::Unlock(l) => format!("  unlock {}", l.0),
+        Op::FlagSet(g) => format!("  flag_set {}", g.0),
+        Op::FlagWait(g) => format!("  flag_wait {}", g.0),
+        Op::FlagReset(g) => format!("  flag_reset {}", g.0),
+        Op::Barrier(b) => format!("  barrier {}", b.0),
+        Op::Compute(n) => format!("  compute {n}"),
+    }
+}
+
+/// Serializes a workload to the text format.
+pub fn to_text(w: &Workload) -> String {
+    let l = w.layout();
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(
+        out,
+        "workload {} threads={} locks={} flags={} barriers={} data_words={}",
+        w.name(),
+        w.num_threads(),
+        l.user_locks(),
+        l.user_flags(),
+        l.barriers(),
+        l.data_words(),
+    );
+    for (t, prog) in w.threads().iter().enumerate() {
+        let _ = writeln!(out, "thread {t}");
+        for op in prog.iter() {
+            let _ = writeln!(out, "{}", op_line(op));
+        }
+    }
+    out
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_kv(tok: &str, key: &str) -> Option<u64> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .and_then(parse_u64)
+}
+
+/// Parses a workload from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first malformed line. The
+/// parsed workload is additionally structurally validated.
+pub fn from_text(text: &str) -> Result<Workload, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, first) = lines.next().ok_or(ParseError::BadHeader)?;
+    if first.trim() != HEADER {
+        return Err(ParseError::BadHeader);
+    }
+    let (wline_no, wline) = lines.next().ok_or(ParseError::BadWorkloadLine { line: 2 })?;
+    let toks: Vec<&str> = wline.split_whitespace().collect();
+    let err = ParseError::BadWorkloadLine { line: wline_no + 1 };
+    if toks.len() != 7 || toks[0] != "workload" {
+        return Err(err.clone());
+    }
+    let name = toks[1].to_string();
+    let threads = parse_kv(toks[2], "threads").ok_or(err.clone())? as usize;
+    let locks = parse_kv(toks[3], "locks").ok_or(err.clone())? as u32;
+    let flags = parse_kv(toks[4], "flags").ok_or(err.clone())? as u32;
+    let barriers = parse_kv(toks[5], "barriers").ok_or(err.clone())? as u32;
+    let data_words = parse_kv(toks[6], "data_words").ok_or(err)?;
+
+    let mut programs: Vec<Vec<Op>> = vec![Vec::new(); threads];
+    let mut current: Option<usize> = None;
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("thread ") {
+            let t: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::BadThread { line: line_no })?;
+            if t >= threads {
+                return Err(ParseError::BadThread { line: line_no });
+            }
+            current = Some(t);
+            continue;
+        }
+        let t = current.ok_or(ParseError::OpOutsideThread { line: line_no })?;
+        let bad = || ParseError::BadOp {
+            line: line_no,
+            text: line.to_string(),
+        };
+        let (word, arg) = line.split_once(' ').ok_or_else(bad)?;
+        let arg = arg.trim();
+        let op = match word {
+            "read" => Op::Read(Addr::new(parse_u64(arg).ok_or_else(bad)?)),
+            "write" => Op::Write(Addr::new(parse_u64(arg).ok_or_else(bad)?)),
+            "lock" => Op::Lock(LockId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "unlock" => Op::Unlock(LockId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "flag_set" => Op::FlagSet(FlagId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "flag_wait" => Op::FlagWait(FlagId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "flag_reset" => Op::FlagReset(FlagId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "barrier" => Op::Barrier(BarrierId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "compute" => Op::Compute(parse_u64(arg).ok_or_else(bad)? as u32),
+            _ => return Err(bad()),
+        };
+        programs[t].push(op);
+    }
+
+    let layout = AddressLayout::new(locks, flags, barriers, data_words);
+    Ok(Workload::new(
+        name,
+        programs.into_iter().map(ThreadProgram::from_ops).collect(),
+        layout,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkloadBuilder;
+
+    fn demo() -> Workload {
+        let mut b = WorkloadBuilder::new("demo", 2);
+        let l = b.alloc_lock();
+        let g = b.alloc_flag();
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(4);
+        b.thread_mut(0)
+            .lock(l)
+            .update(d.word(0))
+            .unlock(l)
+            .flag_set(g)
+            .barrier(bar)
+            .compute(99);
+        b.thread_mut(1)
+            .flag_wait(g)
+            .flag_reset(g)
+            .read(d.word(0))
+            .barrier(bar);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let w = demo();
+        let text = to_text(&w);
+        let back = from_text(&text).expect("parses");
+        assert_eq!(w, back);
+        back.validate().expect("still valid");
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let text = to_text(&demo());
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("workload demo threads=2 locks=1 flags=1 barriers=1"));
+        assert!(text.contains("  lock 0"));
+        assert!(text.contains("  flag_wait 0"));
+        assert!(text.contains("  compute 99"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut text = to_text(&demo());
+        text.push_str("\n# trailing comment\n\n");
+        assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn header_required() {
+        assert_eq!(from_text("nope"), Err(ParseError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let text = format!("{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\nthread 0\n  frobnicate 3\n");
+        match from_text(&text) {
+            Err(ParseError::BadOp { line: 4, .. }) => {}
+            other => panic!("expected BadOp at line 4, got {other:?}"),
+        }
+        let text = format!("{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\n  read 0x0\n");
+        assert!(matches!(
+            from_text(&text),
+            Err(ParseError::OpOutsideThread { line: 3 })
+        ));
+        let text = format!("{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\nthread 9\n");
+        assert!(matches!(from_text(&text), Err(ParseError::BadThread { line: 3 })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseError::BadOp {
+            line: 7,
+            text: "xyz".into(),
+        };
+        assert!(format!("{e}").contains("line 7"));
+    }
+}

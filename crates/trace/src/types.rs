@@ -1,0 +1,228 @@
+//! Fundamental identifiers and address arithmetic.
+//!
+//! The simulated machine uses 64-byte cache lines of sixteen 4-byte words,
+//! matching the paper's line geometry ("with 64-byte cache lines…",
+//! §2.3). All data accesses are word-granular, like the per-word access
+//! bits CORD keeps.
+
+use std::fmt;
+
+/// Bytes per cache line (64, as in the paper).
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per data word (4); CORD keeps read/write bits per word.
+pub const WORD_BYTES: u64 = 4;
+/// Words per cache line (16).
+pub const WORDS_PER_LINE: u64 = LINE_BYTES / WORD_BYTES;
+
+/// A thread identifier (the paper uses 16-bit thread IDs in log entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// The thread index as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+///
+/// Word-aligned for all accesses; use [`Addr::line`] and [`Addr::word_in_line`]
+/// to decompose into the cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Constructs an address, checking word alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte` is not 4-byte aligned.
+    #[inline]
+    pub fn new(byte: u64) -> Self {
+        assert!(byte.is_multiple_of(WORD_BYTES), "address {byte:#x} is not word-aligned");
+        Addr(byte)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn byte(self) -> u64 {
+        self.0
+    }
+
+    /// The address of the cache line containing this word.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The word index (0..16) of this address within its line.
+    #[inline]
+    pub const fn word_in_line(self) -> usize {
+        ((self.0 % LINE_BYTES) / WORD_BYTES) as usize
+    }
+
+    /// The address `n` words after this one.
+    #[inline]
+    #[must_use]
+    pub const fn offset_words(self, n: u64) -> Addr {
+        Addr(self.0 + n * WORD_BYTES)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Byte address of the first word in the line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A mutex identifier; resolved to an address by the workload's layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// A flag (condition) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlagId(pub u32);
+
+/// A barrier identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(pub u32);
+
+/// A contiguous range of data words allocated by the workload builder.
+///
+/// # Examples
+///
+/// ```
+/// use cord_trace::types::{Addr, WordRange};
+///
+/// let r = WordRange::new(Addr::new(0x100), 8);
+/// assert_eq!(r.word(3), Addr::new(0x10c));
+/// assert_eq!(r.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordRange {
+    base: Addr,
+    words: u64,
+}
+
+impl WordRange {
+    /// A range of `words` words starting at `base`.
+    pub fn new(base: Addr, words: u64) -> Self {
+        WordRange { base, words }
+    }
+
+    /// The `i`-th word of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn word(&self, i: u64) -> Addr {
+        assert!(i < self.words, "word index {i} out of range {}", self.words);
+        self.base.offset_words(i)
+    }
+
+    /// Like [`WordRange::word`] but wraps the index, handy for strided
+    /// sweeps.
+    #[inline]
+    pub fn word_wrapping(&self, i: u64) -> Addr {
+        self.base.offset_words(i % self.words)
+    }
+
+    /// First address of the range.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of words.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.words
+    }
+
+    /// `true` if the range holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    /// One address past the end of the range.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.base.offset_words(self.words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry() {
+        assert_eq!(WORDS_PER_LINE, 16);
+        let a = Addr::new(0x1044);
+        assert_eq!(a.line(), LineAddr(0x41));
+        assert_eq!(a.word_in_line(), 1);
+        assert_eq!(a.line().base(), Addr::new(0x1040));
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn misaligned_address_rejected() {
+        let _ = Addr::new(0x1001);
+    }
+
+    #[test]
+    fn offset_words_advances_bytes() {
+        assert_eq!(Addr::new(0x100).offset_words(4), Addr::new(0x110));
+    }
+
+    #[test]
+    fn word_range_indexing() {
+        let r = WordRange::new(Addr::new(0x200), 4);
+        assert_eq!(r.word(0), Addr::new(0x200));
+        assert_eq!(r.word(3), Addr::new(0x20c));
+        assert_eq!(r.word_wrapping(5), Addr::new(0x204));
+        assert_eq!(r.end(), Addr::new(0x210));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_range_bounds_checked() {
+        WordRange::new(Addr::new(0x200), 4).word(4);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", ThreadId(3)), "T3");
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{}", LineAddr(2)), "L0x2");
+    }
+}

@@ -1,0 +1,120 @@
+//! `barnes` — Barnes-Hut N-body (paper input: `n2048`).
+//!
+//! Per timestep: a tree-build phase where every thread inserts its
+//! bodies into the shared octree under *fine-grain per-cell locks*
+//! (hashed into a pool, like Splash-2's lock array), then a barrier,
+//! then a force phase that reads a body-dependent sample of tree cells
+//! (heavily read-shared, no locks) and writes the owned bodies, then a
+//! position-update phase. This is the paper's canonical
+//! many-small-critical-sections app.
+
+use crate::common::{sample_indices, KernelParams};
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+const BODY_WORDS: u64 = 8; // position, velocity, force, mass...
+const CELL_WORDS: u64 = 4;
+const CELL_LOCKS: u32 = 32;
+const TIMESTEPS: u64 = 2;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let bodies = 128 * p.scale;
+    let cells = bodies / 2;
+    let mut b = WorkloadBuilder::new("barnes", p.threads);
+    let body_arr = b.alloc_line_aligned(bodies * BODY_WORDS);
+    let cell_arr = b.alloc_line_aligned(cells * CELL_WORDS);
+    let locks = b.alloc_locks(CELL_LOCKS);
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0xBA4);
+
+    // Pre-draw each body's insertion path and interaction sample.
+    let paths: Vec<Vec<u64>> = (0..bodies)
+        .map(|_| sample_indices(&mut rng, 3, cells))
+        .collect();
+    let interactions: Vec<Vec<u64>> = (0..bodies)
+        .map(|_| sample_indices(&mut rng, 8, cells))
+        .collect();
+
+    for t in 0..p.threads {
+        let own = p.chunk(bodies, t);
+        let tb = &mut b.thread_mut(t);
+        for _step in 0..TIMESTEPS {
+            // Tree build: insert each owned body along its cell path.
+            for body in own.clone() {
+                tb.read(body_arr.word(body * BODY_WORDS));
+                for &cell in &paths[body as usize] {
+                    // Walking a tree level costs address arithmetic and
+                    // subdivision tests before the locked insertion.
+                    tb.compute(24);
+                    let lock = locks[(cell % u64::from(CELL_LOCKS)) as usize];
+                    tb.lock(lock);
+                    tb.update(cell_arr.word(cell * CELL_WORDS));
+                    tb.update(cell_arr.word(cell * CELL_WORDS + 1));
+                    tb.unlock(lock);
+                }
+            }
+            tb.barrier(barrier);
+            // Center-of-mass propagation: each thread sweeps its own
+            // slice of cells, reading two sampled "child" cells and
+            // folding them into the owned cell — Splash-2's upward pass
+            // (lock-free: cell ownership is partitioned, children are
+            // read-only here, ordered by the barriers on both sides).
+            for cell in p.chunk(cells, t) {
+                let child_a = (2 * cell + 1) % cells;
+                let child_b = (2 * cell + 2) % cells;
+                // Children are read at words 0/1 (stable since the
+                // build phase); the fold writes words 2/3 of the owned
+                // cell only, so nothing in this phase conflicts.
+                tb.read(cell_arr.word(child_a * CELL_WORDS));
+                tb.read(cell_arr.word(child_b * CELL_WORDS + 1));
+                tb.compute(8);
+                tb.write(cell_arr.word(cell * CELL_WORDS + 2));
+                tb.write(cell_arr.word(cell * CELL_WORDS + 3));
+            }
+            tb.barrier(barrier);
+            // Force computation: read-shared tree traversal, write own
+            // body's force words.
+            for body in own.clone() {
+                for &cell in &interactions[body as usize] {
+                    tb.read(cell_arr.word(cell * CELL_WORDS));
+                    tb.read(cell_arr.word(cell * CELL_WORDS + 2));
+                    // Gravity kernel: ~20 FLOPs per interaction.
+                    tb.compute(20);
+                }
+                tb.compute(32);
+                tb.write(body_arr.word(body * BODY_WORDS + 4));
+                tb.write(body_arr.word(body * BODY_WORDS + 5));
+            }
+            tb.barrier(barrier);
+            // Position update: own bodies only.
+            for body in own.clone() {
+                tb.update(body_arr.word(body * BODY_WORDS));
+                tb.update(body_arr.word(body * BODY_WORDS + 1));
+            }
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_grain_locks_and_phases() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 4,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // 3 lock acquisitions per body per timestep.
+        assert_eq!(c.locks, 128 * 3 * TIMESTEPS);
+        assert_eq!(c.barriers, 4 * TIMESTEPS * 4);
+        assert!(w.layout().user_locks() == CELL_LOCKS);
+    }
+}

@@ -1,0 +1,84 @@
+//! `cholesky` — sparse Cholesky factorization (paper input: `tk23.O`).
+//!
+//! Supernode tasks come off a global queue; completing one updates a
+//! handful of dependent columns, each under that column's lock. The
+//! critical sections are tiny and very frequent — §4.1 singles cholesky
+//! out as the worst overhead case because "frequent synchronization …
+//! results in many timestamp changes, which cause bursts of timestamp
+//! removals and race check requests".
+
+use crate::common::{sample_indices, KernelParams, TaskQueue};
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+const COL_WORDS: u64 = 8;
+const COL_LOCKS: u32 = 16;
+const UPDATES_PER_TASK: usize = 4;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let tasks_per_thread = 24 * p.scale;
+    let columns = 32 * p.scale;
+    let mut b = WorkloadBuilder::new("cholesky", p.threads);
+    let col_arr = b.alloc_line_aligned(columns * COL_WORDS);
+    let queue = TaskQueue::alloc(&mut b);
+    let locks = b.alloc_locks(COL_LOCKS);
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0xC40);
+
+    let total = tasks_per_thread * p.threads as u64;
+    let task_cols: Vec<u64> = sample_indices(&mut rng, total as usize, columns);
+    let task_updates: Vec<Vec<u64>> = (0..total)
+        .map(|_| sample_indices(&mut rng, UPDATES_PER_TASK, columns))
+        .collect();
+
+    for t in 0..p.threads {
+        let tb = &mut b.thread_mut(t);
+        for i in 0..tasks_per_thread {
+            queue.take(tb);
+            let id = (t as u64 * tasks_per_thread + i) as usize;
+            // Factor the supernode's column — under its lock, because
+            // concurrent tasks may be adding updates to it.
+            let col = task_cols[id];
+            let col_lock = locks[(col % u64::from(COL_LOCKS)) as usize];
+            tb.lock(col_lock);
+            for w in 0..COL_WORDS {
+                tb.read(col_arr.word(col * COL_WORDS + w));
+            }
+            tb.unlock(col_lock);
+            tb.compute(20);
+            // Tiny locked updates to each dependent column.
+            for &dep in &task_updates[id] {
+                let lock = locks[(dep % u64::from(COL_LOCKS)) as usize];
+                tb.lock(lock);
+                tb.update(col_arr.word(dep * COL_WORDS));
+                tb.update(col_arr.word(dep * COL_WORDS + 1));
+                tb.unlock(lock);
+            }
+        }
+        tb.barrier(barrier);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_heavy_profile() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 11,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // Queue take + 4 column locks per task.
+        assert_eq!(c.locks, (2 + UPDATES_PER_TASK as u64) * 24 * 4);
+        // Locks per data access is high — the overhead driver.
+        let rate = c.locks as f64 / (c.reads + c.writes) as f64;
+        assert!(rate > 0.15, "cholesky must be sync-heavy, got {rate}");
+    }
+}

@@ -1,0 +1,160 @@
+//! `fft` — the Splash-2 six-step FFT (paper input: `m16`).
+//!
+//! The six-step algorithm over an n×n matrix of complex values:
+//! transpose, row FFTs, twiddle multiplication (against a read-shared
+//! roots-of-unity table), transpose, row FFTs, final transpose. Threads
+//! own contiguous row bands; each transpose makes every thread read
+//! columns out of every other thread's band — the all-to-all
+//! communication FFT is known for. The only synchronization is the
+//! barrier between steps.
+
+use crate::common::KernelParams;
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::program::Workload;
+use cord_trace::types::WordRange;
+
+/// Words per complex element (re, im).
+const CPLX: u64 = 2;
+
+fn elem(m: &WordRange, n: u64, r: u64, c: u64) -> cord_trace::types::Addr {
+    m.word((r * n + c) * CPLX)
+}
+
+/// Transpose `from` into `to` for the rows in `rows` (reads cross every
+/// band, writes stay in the owned band).
+fn transpose(
+    tb: &mut ThreadBuilder<'_>,
+    from: &WordRange,
+    to: &WordRange,
+    n: u64,
+    rows: std::ops::Range<u64>,
+) {
+    for r in rows {
+        for c in 0..n {
+            tb.read(elem(from, n, c, r));
+            tb.write(elem(to, n, r, c));
+        }
+        tb.compute(n as u32);
+    }
+}
+
+/// In-place FFT of the owned rows of `m`, optionally multiplying by the
+/// read-shared twiddle table.
+fn row_ffts(
+    tb: &mut ThreadBuilder<'_>,
+    m: &WordRange,
+    roots: Option<&WordRange>,
+    n: u64,
+    rows: std::ops::Range<u64>,
+) {
+    for r in rows {
+        for c in 0..n {
+            tb.read(elem(m, n, r, c));
+        }
+        // O(n log n) butterflies per row.
+        tb.compute((4 * n) as u32);
+        if let Some(roots) = roots {
+            for c in 0..n {
+                tb.read(roots.word((r * n + c) % roots.len()));
+            }
+            tb.compute(n as u32);
+        }
+        for c in 0..n {
+            tb.write(elem(m, n, r, c));
+        }
+    }
+}
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let n = 16 * p.scale.isqrt().max(1);
+    let mut b = WorkloadBuilder::new("fft", p.threads);
+    let src = b.alloc_line_aligned(n * n * CPLX);
+    let work = b.alloc_line_aligned(n * n * CPLX);
+    let roots = b.alloc_line_aligned(n * CPLX);
+    let barrier = b.alloc_barrier();
+
+    for t in 0..p.threads {
+        let rows = p.chunk(n, t);
+        let tb = &mut b.thread_mut(t);
+
+        // Step 1: transpose src -> work.
+        transpose(tb, &src, &work, n, rows.clone());
+        tb.barrier(barrier);
+        // Step 2: row FFTs on work.
+        row_ffts(tb, &work, None, n, rows.clone());
+        tb.barrier(barrier);
+        // Step 3: twiddle multiply + row FFTs (reads the shared roots).
+        row_ffts(tb, &work, Some(&roots), n, rows.clone());
+        tb.barrier(barrier);
+        // Step 4: transpose work -> src.
+        transpose(tb, &work, &src, n, rows.clone());
+        tb.barrier(barrier);
+        // Step 5: row FFTs on src.
+        row_ffts(tb, &src, None, n, rows.clone());
+        tb.barrier(barrier);
+        // Step 6: final transpose src -> work.
+        transpose(tb, &src, &work, n, rows);
+        tb.barrier(barrier);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_steps_of_barriers_and_no_locks() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        assert_eq!(c.locks, 0, "fft uses no user locks");
+        assert_eq!(c.barriers as usize, 6 * 4);
+        assert!(c.reads > 0 && c.writes > 0);
+    }
+
+    #[test]
+    fn transpose_reads_cross_bands() {
+        // Thread 0's step-1 reads must touch words outside its own band.
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        let n = 16u64;
+        let own_band_end = (n / 4) * n * CPLX; // thread 0's src words
+        let crosses = w
+            .thread(cord_trace::types::ThreadId(0))
+            .iter()
+            .filter_map(|op| match op {
+                cord_trace::op::Op::Read(a) => Some(a.byte() / 4),
+                _ => None,
+            })
+            .any(|w| w >= own_band_end && w < n * n * CPLX);
+        assert!(crosses, "transpose must read other threads' rows");
+    }
+
+    #[test]
+    fn twiddle_table_is_read_shared_never_written() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        let n = 16u64;
+        // Roots live right after the two matrices.
+        let roots_start = 2 * n * n * CPLX * 4; // byte offset (line-aligned regions are contiguous here)
+        let writes_roots = w.threads().iter().flat_map(|t| t.iter()).any(|op| {
+            matches!(op, cord_trace::op::Op::Write(a) if a.byte() >= roots_start)
+        });
+        assert!(!writes_roots, "the twiddle table must be read-only");
+    }
+}

@@ -1,0 +1,137 @@
+//! `lu` — blocked dense LU factorization (paper input: `512x512`).
+//!
+//! A G×G grid of B×B-word blocks with 2-D scatter ownership. Each
+//! elimination step factors the diagonal block, then the perimeter
+//! blocks (reading the diagonal), then the interior (reading its
+//! perimeter pair), with a barrier after each sub-phase — LU's
+//! signature coarse-grain barrier pattern.
+
+use crate::common::KernelParams;
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::program::Workload;
+use cord_trace::types::WordRange;
+
+const GRID: u64 = 4;
+
+struct Matrix {
+    blocks: WordRange,
+    block_words: u64,
+}
+
+impl Matrix {
+    fn block(&self, i: u64, j: u64) -> u64 {
+        (i * GRID + j) * self.block_words
+    }
+
+    fn read_block(&self, tb: &mut ThreadBuilder<'_>, i: u64, j: u64) {
+        let base = self.block(i, j);
+        for w in 0..self.block_words {
+            tb.read(self.blocks.word(base + w));
+        }
+        // Dense factorization kernels run O(B^3) arithmetic over O(B^2)
+        // words; keep the trace's compute:access ratio realistic.
+        tb.compute(6 * self.block_words as u32);
+    }
+
+    fn update_block(&self, tb: &mut ThreadBuilder<'_>, i: u64, j: u64) {
+        let base = self.block(i, j);
+        for w in 0..self.block_words {
+            tb.read(self.blocks.word(base + w));
+            tb.compute(24);
+            tb.write(self.blocks.word(base + w));
+        }
+    }
+}
+
+fn owner(p: &KernelParams, i: u64, j: u64) -> usize {
+    ((i * GRID + j) % p.threads as u64) as usize
+}
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let block_dim = 4 * p.scale.isqrt().max(1);
+    let block_words = block_dim * block_dim;
+    let mut b = WorkloadBuilder::new("lu", p.threads);
+    let blocks = b.alloc_line_aligned(GRID * GRID * block_words);
+    let m = Matrix {
+        blocks,
+        block_words,
+    };
+    let barrier = b.alloc_barrier();
+
+    for k in 0..GRID {
+        // Diagonal factorization by its owner.
+        for t in 0..p.threads {
+            let tb = &mut b.thread_mut(t);
+            if owner(&p, k, k) == t {
+                m.update_block(tb, k, k);
+                tb.compute(2 * block_words as u32);
+            }
+            tb.barrier(barrier);
+        }
+        // Perimeter: row k and column k blocks read the diagonal.
+        for t in 0..p.threads {
+            let tb = &mut b.thread_mut(t);
+            for x in k + 1..GRID {
+                if owner(&p, k, x) == t {
+                    m.read_block(tb, k, k);
+                    m.update_block(tb, k, x);
+                }
+                if owner(&p, x, k) == t {
+                    m.read_block(tb, k, k);
+                    m.update_block(tb, x, k);
+                }
+            }
+            tb.compute(block_words as u32);
+            tb.barrier(barrier);
+        }
+        // Interior updates read their perimeter pair.
+        for t in 0..p.threads {
+            let tb = &mut b.thread_mut(t);
+            for i in k + 1..GRID {
+                for j in k + 1..GRID {
+                    if owner(&p, i, j) == t {
+                        m.read_block(tb, i, k);
+                        m.read_block(tb, k, j);
+                        m.update_block(tb, i, j);
+                    }
+                }
+            }
+            tb.compute(block_words as u32);
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_barrier_phased() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        assert_eq!(c.locks, 0);
+        // 3 barriers per step x GRID steps x 4 threads.
+        assert_eq!(c.barriers, 3 * GRID * 4);
+    }
+
+    #[test]
+    fn later_steps_shrink_work() {
+        // The interior shrinks as k grows; total ops stay bounded.
+        let p = KernelParams {
+            threads: 2,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        assert!(w.total_ops() > 500);
+    }
+}

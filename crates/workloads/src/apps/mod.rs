@@ -1,0 +1,14 @@
+//! One module per Table-1 application.
+
+pub mod barnes;
+pub mod cholesky;
+pub mod fft;
+pub mod fmm;
+pub mod lu;
+pub mod ocean;
+pub mod radiosity;
+pub mod radix;
+pub mod raytrace;
+pub mod volrend;
+pub mod water_n2;
+pub mod water_sp;

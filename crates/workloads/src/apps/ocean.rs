@@ -1,0 +1,172 @@
+//! `ocean` — ocean current simulation with a multigrid solver (paper
+//! input: `130x130`).
+//!
+//! Each timestep runs a W-ish multigrid cycle like Splash-2's ocean:
+//! red/black relaxation sweeps on the fine grid (5-point stencil whose
+//! up/down reads cross the neighbouring thread's row band), *restriction*
+//! of the residual onto a half-resolution coarse grid, relaxation there,
+//! and *prolongation* back onto the fine grid — plus a lock-protected
+//! global error reduction and a barrier after every phase.
+
+use crate::common::{locked_accumulate, KernelParams};
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::program::Workload;
+use cord_trace::types::WordRange;
+
+const TIMESTEPS: u64 = 2;
+
+fn cell(g: &WordRange, cols: u64, r: u64, c: u64) -> cord_trace::types::Addr {
+    g.word(r * cols + c)
+}
+
+/// One red/black relaxation sweep over the owned rows of `grid`
+/// (dimension `dim`), reading `from` with the 5-point stencil.
+fn relax(
+    tb: &mut ThreadBuilder<'_>,
+    from: &WordRange,
+    to: &WordRange,
+    dim: u64,
+    rows: std::ops::Range<u64>,
+) {
+    for r in rows {
+        for c in 0..dim {
+            if r > 0 {
+                tb.read(cell(from, dim, r - 1, c));
+            }
+            tb.read(cell(from, dim, r, c));
+            if r + 1 < dim {
+                tb.read(cell(from, dim, r + 1, c));
+            }
+            tb.compute(5);
+            tb.write(cell(to, dim, r, c));
+        }
+        tb.compute(dim as u32);
+    }
+}
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let dim = 16 * p.scale.isqrt().max(1);
+    let coarse_dim = dim / 2;
+    let mut b = WorkloadBuilder::new("ocean", p.threads);
+    let grid_a = b.alloc_line_aligned(dim * dim);
+    let grid_b = b.alloc_line_aligned(dim * dim);
+    let coarse = b.alloc_line_aligned(coarse_dim * coarse_dim);
+    // Double-buffered: the coarse relaxation reads `coarse` and writes
+    // `coarse_out`, so boundary reads never race with neighbour writes.
+    let coarse_out = b.alloc_line_aligned(coarse_dim * coarse_dim);
+    let err = b.alloc_line_aligned(1);
+    let err_lock = b.alloc_lock();
+    let barrier = b.alloc_barrier();
+
+    for t in 0..p.threads {
+        let rows = p.chunk(dim, t);
+        let coarse_rows = p.chunk(coarse_dim, t);
+        let tb = &mut b.thread_mut(t);
+        for step in 0..TIMESTEPS {
+            let (fine_from, fine_to) = if step % 2 == 0 {
+                (&grid_a, &grid_b)
+            } else {
+                (&grid_b, &grid_a)
+            };
+            // Fine-grid relaxation.
+            relax(tb, fine_from, fine_to, dim, rows.clone());
+            locked_accumulate(tb, err_lock, &err, 0);
+            tb.barrier(barrier);
+            // Restriction: average 2x2 fine cells into one coarse cell.
+            for r in coarse_rows.clone() {
+                for c in 0..coarse_dim {
+                    tb.read(cell(fine_to, dim, 2 * r, 2 * c));
+                    tb.read(cell(fine_to, dim, 2 * r + 1, 2 * c));
+                    tb.read(cell(fine_to, dim, 2 * r, 2 * c + 1));
+                    tb.read(cell(fine_to, dim, 2 * r + 1, 2 * c + 1));
+                    tb.compute(4);
+                    tb.write(cell(&coarse, coarse_dim, r, c));
+                }
+            }
+            tb.barrier(barrier);
+            // Coarse-grid relaxation: read `coarse`, write own rows of
+            // `coarse_out` (Jacobi, double-buffered).
+            relax(tb, &coarse, &coarse_out, coarse_dim, coarse_rows.clone());
+            tb.barrier(barrier);
+            // Prolongation: correct the owned fine rows from the coarse
+            // solution (reads cross coarse bands at boundaries).
+            for r in rows.clone() {
+                let cr = (r / 2).min(coarse_dim - 1);
+                for c in 0..dim {
+                    let cc = (c / 2).min(coarse_dim - 1);
+                    tb.read(cell(&coarse_out, coarse_dim, cr, cc));
+                    tb.compute(2);
+                    tb.write(cell(fine_to, dim, r, c));
+                }
+            }
+            locked_accumulate(tb, err_lock, &err, 0);
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multigrid_cycle_structure() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 3,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // Two locked reductions per timestep per thread.
+        assert_eq!(c.locks, 2 * TIMESTEPS * 4);
+        // Four barrier phases per timestep.
+        assert_eq!(c.barriers, 4 * TIMESTEPS * 4);
+        assert!(c.reads > c.writes, "stencils read more than they write");
+    }
+
+    #[test]
+    fn boundary_rows_are_shared() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 3,
+            scale: 1,
+        };
+        let w = build(p);
+        let dim = 16u64;
+        // Thread 0 owns rows 0..8; its fine stencil must read row 8
+        // (thread 1's first row) of grid A.
+        let row8_words: Vec<u64> = (0..dim).map(|c| 8 * dim + c).collect();
+        let reads_row8 = w
+            .thread(cord_trace::types::ThreadId(0))
+            .iter()
+            .filter_map(|op| match op {
+                cord_trace::op::Op::Read(a) => Some(a.byte() / 4),
+                _ => None,
+            })
+            .any(|word| row8_words.contains(&word));
+        assert!(reads_row8);
+    }
+
+    #[test]
+    fn restriction_feeds_the_coarse_grid() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 3,
+            scale: 1,
+        };
+        let w = build(p);
+        // The coarse grid starts after the two fine grids.
+        let dim = 16u64;
+        let coarse_start_word = 2 * dim * dim;
+        let writes_coarse = w.threads().iter().flat_map(|t| t.iter()).any(|op| {
+            matches!(op, cord_trace::op::Op::Write(a)
+                if a.byte() / 4 >= coarse_start_word
+                && a.byte() / 4 < coarse_start_word + (dim / 2) * (dim / 2))
+        });
+        assert!(writes_coarse, "the coarse grid must be written");
+    }
+}

@@ -1,0 +1,106 @@
+//! `radiosity` — hierarchical radiosity (paper input: `-test`).
+//!
+//! The most dynamic Splash-2 app: per-thread distributed task queues
+//! with periodic stealing from the neighbour's queue, and per-patch
+//! locks around energy-transfer updates to shared patches. Queue and
+//! patch locks dominate the synchronization profile; there is a single
+//! final barrier.
+
+use crate::common::{sample_indices, KernelParams, TaskQueue};
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+const PATCH_WORDS: u64 = 4;
+const PATCH_LOCKS: u32 = 16;
+/// Every Nth task is taken from the neighbour's queue (work stealing).
+const STEAL_PERIOD: u64 = 5;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let tasks_per_thread = 48 * p.scale;
+    let patches = 64 * p.scale;
+    let mut b = WorkloadBuilder::new("radiosity", p.threads);
+    let patch_arr = b.alloc_line_aligned(patches * PATCH_WORDS);
+    let queues: Vec<TaskQueue> = (0..p.threads).map(|_| TaskQueue::alloc(&mut b)).collect();
+    let locks = b.alloc_locks(PATCH_LOCKS);
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0x4AD);
+
+    // Each task transfers energy between a source and destination patch.
+    let total_tasks = tasks_per_thread * p.threads as u64;
+    let pairs: Vec<(u64, u64)> = (0..total_tasks)
+        .map(|_| {
+            let s = sample_indices(&mut rng, 2, patches);
+            (s[0], s[1])
+        })
+        .collect();
+
+    for t in 0..p.threads {
+        let tb = &mut b.thread_mut(t);
+        for i in 0..tasks_per_thread {
+            // Dequeue — mostly own queue, sometimes the neighbour's.
+            let q = if i % STEAL_PERIOD == STEAL_PERIOD - 1 && p.threads > 1 {
+                &queues[(t + 1) % p.threads]
+            } else {
+                &queues[t]
+            };
+            q.take(tb);
+            // Process: read the source patch under its lock (others may
+            // be updating it), then a locked update of the destination.
+            // The locks are taken sequentially, never nested, so lock
+            // ordering cannot deadlock.
+            let (src, dst) = pairs[(t as u64 * tasks_per_thread + i) as usize];
+            let src_lock = locks[(src % u64::from(PATCH_LOCKS)) as usize];
+            tb.lock(src_lock);
+            for w in 0..PATCH_WORDS {
+                tb.read(patch_arr.word(src * PATCH_WORDS + w));
+            }
+            tb.unlock(src_lock);
+            tb.compute(48);
+            let lock = locks[(dst % u64::from(PATCH_LOCKS)) as usize];
+            tb.lock(lock);
+            tb.update(patch_arr.word(dst * PATCH_WORDS));
+            tb.update(patch_arr.word(dst * PATCH_WORDS + 1));
+            tb.unlock(lock);
+        }
+        tb.barrier(barrier);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_and_patch_locks_dominate() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 6,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // 3 lock acquisitions per task (queue + source + destination).
+        assert_eq!(c.locks, 3 * 48 * 4);
+        assert_eq!(c.barriers, 4);
+    }
+
+    #[test]
+    fn stealing_touches_neighbour_queue() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 6,
+            scale: 1,
+        };
+        let w = build(p);
+        // Thread 0 must lock thread 1's queue lock (LockId 1) at least
+        // once. Queue locks are allocated first: ids 0..threads.
+        let uses_neighbour = w
+            .thread(cord_trace::types::ThreadId(0))
+            .iter()
+            .any(|op| matches!(op, cord_trace::op::Op::Lock(l) if l.0 == 1));
+        assert!(uses_neighbour);
+    }
+}

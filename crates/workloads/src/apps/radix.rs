@@ -1,0 +1,106 @@
+//! `radix` — parallel radix sort (paper input: `256K keys`).
+//!
+//! Per digit pass: local histogram over the thread's key chunk, a
+//! lock-protected accumulation into the shared global histogram, a
+//! prefix computed by thread 0, and the permutation phase whose
+//! scattered writes spray across the whole destination array (the
+//! all-to-all data movement radix is famous for). Barriers separate the
+//! phases; one lock guards the global histogram.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+use rand::Rng;
+
+const BUCKETS: u64 = 16;
+const PASSES: u64 = 2;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let keys = 512 * p.scale;
+    let mut b = WorkloadBuilder::new("radix", p.threads);
+    let src = b.alloc_line_aligned(keys);
+    let dst = b.alloc_line_aligned(keys);
+    let global_hist = b.alloc_line_aligned(BUCKETS);
+    let local_hist: Vec<_> = (0..p.threads)
+        .map(|_| b.alloc_line_aligned(BUCKETS))
+        .collect();
+    let hist_lock = b.alloc_lock();
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0xAD1);
+
+    // Pre-draw the scatter destinations. The real sort's destinations
+    // come from the prefix sums and are *disjoint*; a seeded permutation
+    // per pass preserves that (colliding writes would be genuine data
+    // races in a race-free program).
+    let scatter: Vec<Vec<u64>> = (0..PASSES)
+        .map(|_| {
+            let mut perm: Vec<u64> = (0..keys).collect();
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            perm
+        })
+        .collect();
+
+    #[allow(clippy::needless_range_loop)] // t indexes threads and their histograms
+    for t in 0..p.threads {
+        let chunk = p.chunk(keys, t);
+        let tb = &mut b.thread_mut(t);
+        for pass in 0..PASSES {
+            let (from, to) = if pass % 2 == 0 { (&src, &dst) } else { (&dst, &src) };
+            // Local histogram.
+            for k in chunk.clone() {
+                tb.read(from.word(k));
+                tb.compute(3);
+                tb.update(local_hist[t].word(k % BUCKETS));
+            }
+            tb.compute(64);
+            tb.barrier(barrier);
+            // Accumulate into the shared histogram under the lock.
+            tb.lock(hist_lock);
+            for bkt in 0..BUCKETS {
+                tb.read(local_hist[t].word(bkt));
+                tb.update(global_hist.word(bkt));
+            }
+            tb.unlock(hist_lock);
+            tb.barrier(barrier);
+            // Thread 0 computes the prefix sums.
+            if t == 0 {
+                for bkt in 0..BUCKETS {
+                    tb.update(global_hist.word(bkt));
+                }
+            }
+            tb.barrier(barrier);
+            // Permute: scattered writes across the destination.
+            for k in chunk.clone() {
+                tb.read(from.word(k));
+                tb.compute(3);
+                tb.write(to.word(scatter[pass as usize][k as usize]));
+            }
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_and_sync_mix() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 2,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        assert_eq!(c.locks as usize, 4 * PASSES as usize);
+        assert_eq!(c.barriers, 4 * PASSES * 4);
+        // The permute phase writes every key once per pass.
+        assert!(c.writes >= 512 * PASSES);
+    }
+}

@@ -1,0 +1,132 @@
+//! `raytrace` — parallel ray tracer (paper input: `teapot`).
+//!
+//! A single global tile queue feeds all threads; rendering a pixel
+//! traces a ray through the read-shared BSP tree — a root-to-leaf
+//! descent whose upper levels are touched by every ray (hot, heavily
+//! read-shared lines) and whose leaves point at contiguous primitive
+//! blocks — then writes the thread's own framebuffer region. The only
+//! lock is the queue's; contention on it is the app's main sync cost.
+
+use crate::common::{KernelParams, TaskQueue};
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::program::Workload;
+use cord_trace::types::WordRange;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const TILE_PIXELS: u64 = 16;
+/// Levels of the BSP descent per ray.
+const BSP_DEPTH: u64 = 5;
+/// Words per BSP node (plane, children, bbox).
+const NODE_WORDS: u64 = 4;
+/// Words per primitive block at a leaf.
+const PRIM_WORDS: u64 = 8;
+
+/// One ray: descend the BSP from the root (node 0) taking seeded
+/// branches, then shade against the leaf's primitive block.
+fn trace_ray(
+    tb: &mut ThreadBuilder<'_>,
+    bsp: &WordRange,
+    prims: &WordRange,
+    rng: &mut SmallRng,
+) {
+    let mut node = 0u64;
+    let node_count = bsp.len() / NODE_WORDS;
+    for _level in 0..BSP_DEPTH {
+        tb.read(bsp.word(node * NODE_WORDS));
+        tb.read(bsp.word(node * NODE_WORDS + 1));
+        tb.compute(6);
+        // Children of node n are 2n+1 / 2n+2 (wrapped).
+        node = (2 * node + 1 + u64::from(rng.gen_bool(0.5))) % node_count;
+    }
+    // Shade against the leaf's primitive block (contiguous reads).
+    let prim_blocks = prims.len() / PRIM_WORDS;
+    let block = node % prim_blocks;
+    for w in 0..PRIM_WORDS {
+        tb.read(prims.word(block * PRIM_WORDS + w));
+    }
+    tb.compute(40);
+}
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let tiles_per_thread = 16 * p.scale;
+    let bsp_nodes = 64 * p.scale;
+    let prim_words = 512 * p.scale;
+    let mut b = WorkloadBuilder::new("raytrace", p.threads);
+    let bsp = b.alloc_line_aligned(bsp_nodes * NODE_WORDS);
+    let prims = b.alloc_line_aligned(prim_words);
+    let framebuf = b.alloc_line_aligned(tiles_per_thread * p.threads as u64 * TILE_PIXELS);
+    let queue = TaskQueue::alloc(&mut b);
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0x4A1);
+
+    for t in 0..p.threads {
+        let tb = &mut b.thread_mut(t);
+        for tile in 0..tiles_per_thread {
+            queue.take(tb);
+            let tile_base = (t as u64 * tiles_per_thread + tile) * TILE_PIXELS;
+            for px in 0..TILE_PIXELS {
+                trace_ray(tb, &bsp, &prims, &mut rng);
+                tb.write(framebuf.word(tile_base + px));
+            }
+        }
+        tb.barrier(barrier);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_driven_read_shared_scene() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 7,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        assert_eq!(c.locks, 16 * 4); // one queue take per tile
+        // Scene reads dominate framebuffer writes heavily.
+        assert!(c.reads > 3 * c.writes);
+        assert_eq!(w.layout().user_locks(), 1);
+    }
+
+    #[test]
+    fn bsp_root_is_read_by_every_thread() {
+        // The root node's words are the hottest read-shared lines.
+        let p = KernelParams {
+            threads: 4,
+            seed: 7,
+            scale: 1,
+        };
+        let w = build(p);
+        for t in 0..4 {
+            let reads_root = w
+                .thread(cord_trace::types::ThreadId(t))
+                .iter()
+                .any(|op| matches!(op, cord_trace::op::Op::Read(a) if a.byte() == 0));
+            assert!(reads_root, "thread {t} never visits the BSP root");
+        }
+    }
+
+    #[test]
+    fn scene_is_never_written() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 7,
+            scale: 1,
+        };
+        let w = build(p);
+        // BSP + primitives occupy the first (64*4 + 512) words.
+        let scene_end = (64 * NODE_WORDS + 512) * 4;
+        let writes_scene = w.threads().iter().flat_map(|t| t.iter()).any(
+            |op| matches!(op, cord_trace::op::Op::Write(a) if a.byte() < scene_end),
+        );
+        assert!(!writes_scene, "the scene must be read-only");
+    }
+}

@@ -1,0 +1,128 @@
+//! `volrend` — shear-warp volume renderer (paper input: `head-sd2`).
+//!
+//! Like raytrace, a tile queue over read-shared data, but the per-pixel
+//! work is a ray *march*: an octree descent to skip empty space (hot
+//! shared upper levels) followed by a run of consecutive voxel samples
+//! along the ray (streaming reads with strong spatial locality),
+//! rendered frame by frame with a barrier between frames and a small
+//! locked counter for the adaptive-sampling bookkeeping.
+
+use crate::common::{KernelParams, TaskQueue};
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::program::Workload;
+use cord_trace::types::WordRange;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const FRAMES: u64 = 2;
+const TILE_PIXELS: u64 = 8;
+/// Octree levels descended per ray.
+const OCTREE_DEPTH: u64 = 3;
+const NODE_WORDS: u64 = 2;
+/// Consecutive voxels sampled along the ray.
+const MARCH_STEPS: u64 = 6;
+
+fn march_ray(
+    tb: &mut ThreadBuilder<'_>,
+    octree: &WordRange,
+    volume: &WordRange,
+    rng: &mut SmallRng,
+) {
+    // Empty-space skipping: descend the octree from the root.
+    let mut node = 0u64;
+    let node_count = octree.len() / NODE_WORDS;
+    for _ in 0..OCTREE_DEPTH {
+        tb.read(octree.word(node * NODE_WORDS));
+        tb.compute(4);
+        node = (8 * node + 1 + rng.gen_range(0..8)) % node_count;
+    }
+    // March: consecutive voxels starting where the ray enters.
+    let start = rng.gen_range(0..volume.len().saturating_sub(MARCH_STEPS));
+    for s in 0..MARCH_STEPS {
+        tb.read(volume.word(start + s));
+        tb.compute(3); // classify + composite
+    }
+}
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let tiles_per_thread = 8 * p.scale;
+    let volume_words = 2048 * p.scale;
+    let octree_nodes = 64 * p.scale;
+    let mut b = WorkloadBuilder::new("volrend", p.threads);
+    let octree = b.alloc_line_aligned(octree_nodes * NODE_WORDS);
+    let volume = b.alloc_line_aligned(volume_words);
+    let image = b.alloc_line_aligned(tiles_per_thread * p.threads as u64 * TILE_PIXELS);
+    let queue = TaskQueue::alloc(&mut b);
+    let counter = b.alloc_line_aligned(1);
+    let counter_lock = b.alloc_lock();
+    let barrier = b.alloc_barrier();
+    let mut rng = p.rng(0x701);
+
+    for t in 0..p.threads {
+        let tb = &mut b.thread_mut(t);
+        for _frame in 0..FRAMES {
+            for tile in 0..tiles_per_thread {
+                queue.take(tb);
+                let tile_base = (t as u64 * tiles_per_thread + tile) * TILE_PIXELS;
+                for px in 0..TILE_PIXELS {
+                    march_ray(tb, &octree, &volume, &mut rng);
+                    tb.write(image.word(tile_base + px));
+                }
+            }
+            // Adaptive-sampling bookkeeping.
+            tb.lock(counter_lock);
+            tb.update(counter.word(0));
+            tb.unlock(counter_lock);
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_frame_barriers_and_queue() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 8,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        assert_eq!(c.barriers, FRAMES * 4);
+        // Queue takes + per-frame counter locks.
+        assert_eq!(c.locks, (8 * FRAMES + FRAMES) * 4);
+        assert!(c.reads > c.writes);
+    }
+
+    #[test]
+    fn ray_march_has_spatial_locality() {
+        // Consecutive volume reads land on consecutive words far more
+        // often than a uniform sampler would produce.
+        let p = KernelParams {
+            threads: 1,
+            seed: 8,
+            scale: 1,
+        };
+        let w = build(p);
+        let reads: Vec<u64> = w
+            .thread(cord_trace::types::ThreadId(0))
+            .iter()
+            .filter_map(|op| match op {
+                cord_trace::op::Op::Read(a) => Some(a.byte() / 4),
+                _ => None,
+            })
+            .collect();
+        let consecutive = reads.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            consecutive * 2 > reads.len(),
+            "marching must make most reads consecutive ({consecutive}/{})",
+            reads.len()
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! `water-sp` — water simulation with spatial decomposition (paper
+//! input: `2^16`).
+//!
+//! The spatial variant replaces the O(n²) pair loop with a 3-D cell
+//! grid: threads own cell slabs, read neighbouring cells' molecules
+//! (boundary sharing like ocean, but over linked cell lists), and only
+//! boundary-cell force accumulations need locks — so water-sp
+//! synchronizes far less than water-n2, as in Splash-2.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+const CELLS_PER_SIDE: u64 = 4;
+const MOLS_PER_CELL: u64 = 4;
+const MOL_WORDS: u64 = 8;
+const TIMESTEPS: u64 = 2;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let side = CELLS_PER_SIDE * p.scale.isqrt().max(1);
+    let cells = side * side;
+    let mols = cells * MOLS_PER_CELL;
+    let mut b = WorkloadBuilder::new("water-sp", p.threads);
+    let mol_arr = b.alloc_line_aligned(mols * MOL_WORDS);
+    let cell_locks = b.alloc_locks(side as u32);
+    let barrier = b.alloc_barrier();
+
+    let mol_of = |cell: u64, i: u64| (cell * MOLS_PER_CELL + i) * MOL_WORDS;
+
+    for t in 0..p.threads {
+        // Threads own row-slabs of the cell grid.
+        let rows = p.chunk(side, t);
+        let tb = &mut b.thread_mut(t);
+        for _step in 0..TIMESTEPS {
+            for r in rows.clone() {
+                for c in 0..side {
+                    let cell = r * side + c;
+                    // Read own cell's molecules (positions).
+                    for i in 0..MOLS_PER_CELL {
+                        tb.read(mol_arr.word(mol_of(cell, i)));
+                        tb.read(mol_arr.word(mol_of(cell, i) + 1));
+                    }
+                    // Read every molecule of the neighbour cells
+                    // (up/down cross the slab boundary — the spatial
+                    // method's only inter-thread sharing).
+                    for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                        let nr = r as i64 + dr;
+                        let nc = c as i64 + dc;
+                        if nr >= 0 && nr < side as i64 && nc >= 0 && nc < side as i64 {
+                            let ncell = nr as u64 * side + nc as u64;
+                            for i in 0..MOLS_PER_CELL {
+                                tb.read(mol_arr.word(mol_of(ncell, i)));
+                            }
+                            tb.compute(12 * MOLS_PER_CELL as u32);
+                        }
+                    }
+                    tb.compute(48);
+                    // Force writes: own-cell molecules, lock only at
+                    // slab boundaries where a neighbour also updates.
+                    let boundary = r == rows.start || r + 1 == rows.end;
+                    if boundary {
+                        let lock = cell_locks[(r % side) as usize];
+                        tb.lock(lock);
+                        tb.update(mol_arr.word(mol_of(cell, 0) + 4));
+                        tb.unlock(lock);
+                    } else {
+                        tb.update(mol_arr.word(mol_of(cell, 0) + 4));
+                    }
+                }
+            }
+            tb.barrier(barrier);
+            // Position update over owned molecules.
+            for r in rows.clone() {
+                for c in 0..side {
+                    let cell = r * side + c;
+                    tb.write(mol_arr.word(mol_of(cell, 0)));
+                }
+            }
+            tb.barrier(barrier);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_locks_than_water_n2() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 10,
+            scale: 1,
+        };
+        let sp = build(p);
+        sp.validate().unwrap();
+        let n2 = crate::apps::water_n2::build(p);
+        let sp_c = sp.op_counts();
+        let n2_c = n2.op_counts();
+        let sp_rate = sp_c.locks as f64 / (sp_c.reads + sp_c.writes).max(1) as f64;
+        let n2_rate = n2_c.locks as f64 / (n2_c.reads + n2_c.writes).max(1) as f64;
+        assert!(
+            sp_rate < n2_rate,
+            "spatial water must sync less: {sp_rate} vs {n2_rate}"
+        );
+    }
+}

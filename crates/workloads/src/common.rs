@@ -1,0 +1,144 @@
+//! Shared building blocks for the Splash-2-analogue kernels.
+
+use cord_trace::builder::{ThreadBuilder, WorkloadBuilder};
+use cord_trace::types::{LockId, WordRange};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-kernel generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Deterministic seed for data-dependent-looking access patterns.
+    pub seed: u64,
+    /// Linear problem scale (each kernel interprets it in its own
+    /// units — bodies, matrix dimension, keys…).
+    pub scale: u64,
+}
+
+impl KernelParams {
+    /// A deterministic RNG derived from the seed and a stream label, so
+    /// each generation phase draws independent but reproducible numbers.
+    pub fn rng(&self, stream: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream)
+    }
+
+    /// Contiguous chunk of `total` items owned by thread `t` (block
+    /// partitioning, the Splash-2 default).
+    pub fn chunk(&self, total: u64, t: usize) -> std::ops::Range<u64> {
+        let p = self.threads as u64;
+        let t = t as u64;
+        let base = total / p;
+        let rem = total % p;
+        let start = t * base + t.min(rem);
+        let len = base + u64::from(t < rem);
+        start..start + len
+    }
+}
+
+/// A centralized work queue: a head counter protected by a lock, the
+/// idiom radiosity/raytrace/volrend/cholesky use for dynamic load
+/// balancing. Each `take` emits `lock; read head; write head; unlock`.
+///
+/// The *processed* task indices are assigned round-robin at generation
+/// time (our traces are static), but the queue's shared-counter accesses
+/// — which is what the detectors see — are identical to a dynamic
+/// queue's.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskQueue {
+    lock: LockId,
+    head: WordRange,
+}
+
+impl TaskQueue {
+    /// Allocates a queue (one lock + one counter word).
+    pub fn alloc(b: &mut WorkloadBuilder) -> Self {
+        let lock = b.alloc_lock();
+        let head = b.alloc_line_aligned(1);
+        TaskQueue { lock, head }
+    }
+
+    /// Emits one dequeue operation into `tb`.
+    pub fn take(&self, tb: &mut ThreadBuilder<'_>) {
+        tb.lock(self.lock);
+        tb.update(self.head.word(0));
+        tb.unlock(self.lock);
+    }
+}
+
+/// Emits a read-modify-write of a shared accumulator under its lock —
+/// the global-reduction idiom (ocean's error norm, water's potential
+/// energy sums).
+pub fn locked_accumulate(tb: &mut ThreadBuilder<'_>, lock: LockId, cell: &WordRange, word: u64) {
+    tb.lock(lock);
+    tb.update(cell.word(word));
+    tb.unlock(lock);
+}
+
+/// Draws `count` distinct-ish indices below `bound` (sampling with
+/// replacement; callers tolerate duplicates).
+pub fn sample_indices(rng: &mut SmallRng, count: usize, bound: u64) -> Vec<u64> {
+    (0..count).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 0,
+        };
+        let total = 13;
+        let mut covered = 0;
+        let mut expected_start = 0;
+        for t in 0..4 {
+            let r = p.chunk(total, t);
+            assert_eq!(r.start, expected_start);
+            expected_start = r.end;
+            covered += r.end - r.start;
+        }
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn rng_streams_are_independent_and_stable() {
+        let p = KernelParams {
+            threads: 2,
+            seed: 7,
+            scale: 0,
+        };
+        let a: u64 = p.rng(0).gen();
+        let a2: u64 = p.rng(0).gen();
+        let b: u64 = p.rng(1).gen();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn task_queue_emits_locked_counter_update() {
+        let mut b = WorkloadBuilder::new("q", 1);
+        let q = TaskQueue::alloc(&mut b);
+        q.take(&mut b.thread_mut(0));
+        let w = b.build();
+        w.validate().unwrap();
+        assert_eq!(w.total_ops(), 4); // lock, read, write, unlock
+    }
+
+    #[test]
+    fn sample_indices_in_bounds() {
+        let p = KernelParams {
+            threads: 1,
+            seed: 3,
+            scale: 0,
+        };
+        let mut rng = p.rng(9);
+        for i in sample_indices(&mut rng, 100, 17) {
+            assert!(i < 17);
+        }
+    }
+}

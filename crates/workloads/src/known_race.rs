@@ -1,0 +1,86 @@
+//! A workload with a *pre-existing* data race, mirroring §3.4's
+//! observation that "several Splash-2 applications already have data
+//! races that are discovered by CORD. Almost all are only potential
+//! portability problems, but at least one is an actual bug."
+//!
+//! The classic offender is the unprotected progress/flag check idiom: a
+//! worker updates a shared progress counter under a lock, while a
+//! monitor thread polls the counter *without* the lock (benign on
+//! machines with strong coherence, a portability bug elsewhere). CORD
+//! and the Ideal oracle both flag it; the lock-protected accesses stay
+//! clean.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+use cord_trace::types::Addr;
+
+/// Word address of the racy progress counter in
+/// [`unprotected_progress_counter`], for tests that want to check the
+/// reported race points at the right variable.
+pub const PROGRESS_WORD: Addr = Addr(0);
+
+/// Builds the unprotected-progress-counter workload: `threads - 1`
+/// workers bump a locked counter; the last thread polls it unlocked.
+///
+/// # Panics
+///
+/// Panics if `p.threads < 2`.
+pub fn unprotected_progress_counter(p: KernelParams) -> Workload {
+    assert!(p.threads >= 2, "need a worker and a monitor");
+    let mut b = WorkloadBuilder::new("known-race", p.threads);
+    let progress = b.alloc_line_aligned(1);
+    debug_assert_eq!(progress.word(0), PROGRESS_WORD);
+    let lock = b.alloc_lock();
+    let work = b.alloc_line_aligned(64 * p.scale);
+    let rounds = 8 * p.scale;
+
+    for t in 0..p.threads - 1 {
+        let tb = &mut b.thread_mut(t);
+        for r in 0..rounds {
+            tb.update(work.word((t as u64 * rounds + r) % (64 * p.scale)));
+            tb.compute(120);
+            // Correctly protected counter update.
+            tb.lock(lock);
+            tb.update(progress.word(0));
+            tb.unlock(lock);
+        }
+    }
+    // The monitor polls the counter WITHOUT taking the lock — the
+    // portability bug the paper found shipping in Splash-2.
+    let monitor = p.threads - 1;
+    let tb = &mut b.thread_mut(monitor);
+    for _ in 0..rounds {
+        tb.read(progress.word(0));
+        tb.compute(400);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = unprotected_progress_counter(p);
+        w.validate().unwrap();
+        assert_eq!(w.name(), "known-race");
+    }
+
+    #[test]
+    #[should_panic(expected = "need a worker")]
+    fn single_thread_rejected() {
+        let p = KernelParams {
+            threads: 1,
+            seed: 1,
+            scale: 1,
+        };
+        let _ = unprotected_progress_counter(p);
+    }
+}

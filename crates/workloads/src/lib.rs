@@ -1,0 +1,275 @@
+//! Splash-2-analogue workload kernels (Table 1 of the paper).
+//!
+//! The paper evaluates on the twelve Splash-2 applications with reduced
+//! input sets. Running the original binaries requires an ISA-level
+//! simulator; what CORD's metrics actually depend on is (i) which
+//! accesses conflict across threads, (ii) how synchronization orders
+//! them, and (iii) the cache residency/reuse distance of the shared
+//! data. Each kernel here reproduces its namesake's *synchronization
+//! structure and sharing pattern* over deterministic per-thread access
+//! streams (see DESIGN.md for the substitution argument):
+//!
+//! | Kernel | Sync structure |
+//! |---|---|
+//! | `barnes` | fine-grain per-cell locks for tree build + phase barriers |
+//! | `cholesky` | task queue + per-column locks (frequent, bursty sync — the paper's worst overhead case) |
+//! | `fft` | barrier-phased all-to-all transpose |
+//! | `fmm` | per-cell locks + phased tree passes |
+//! | `lu` | barrier-per-step blocked factorization |
+//! | `ocean` | stencil with boundary sharing + barriers + locked reductions |
+//! | `radiosity` | distributed task queues with stealing, per-patch locks |
+//! | `radix` | per-digit histogram/prefix/permute with locks + barriers |
+//! | `raytrace` | tile task queue over a read-shared scene |
+//! | `volrend` | tile task queue over a read-shared volume |
+//! | `water-n2` | O(n²) pair forces with per-molecule locks + barriers |
+//! | `water-sp` | spatial cells, neighbour reads, fewer locks |
+//!
+//! # Example
+//!
+//! ```
+//! use cord_workloads::{kernel, AppKind, ScaleClass};
+//!
+//! let w = kernel(AppKind::Fft, ScaleClass::Tiny, 4, 1);
+//! assert_eq!(w.num_threads(), 4);
+//! w.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod common;
+pub mod known_race;
+
+use cord_trace::program::Workload;
+
+/// The twelve applications of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    /// Barnes-Hut N-body (tree locks + barriers).
+    Barnes,
+    /// Sparse Cholesky factorization (task queue, frequent sync).
+    Cholesky,
+    /// Six-step FFT (barrier-phased transpose).
+    Fft,
+    /// Fast multipole method (cell locks + phases).
+    Fmm,
+    /// Blocked dense LU (barrier per step).
+    Lu,
+    /// Ocean current simulation (stencil + barriers + reductions).
+    Ocean,
+    /// Hierarchical radiosity (task stealing + patch locks).
+    Radiosity,
+    /// Radix sort (histogram/prefix/permute).
+    Radix,
+    /// Ray tracer (tile queue over read-shared scene).
+    Raytrace,
+    /// Volume renderer (tile queue over read-shared volume).
+    Volrend,
+    /// Water, O(n²) pairs (molecule locks + barriers).
+    WaterN2,
+    /// Water, spatial decomposition.
+    WaterSp,
+}
+
+impl AppKind {
+    /// The canonical lowercase name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Barnes => "barnes",
+            AppKind::Cholesky => "cholesky",
+            AppKind::Fft => "fft",
+            AppKind::Fmm => "fmm",
+            AppKind::Lu => "lu",
+            AppKind::Ocean => "ocean",
+            AppKind::Radiosity => "radiosity",
+            AppKind::Radix => "radix",
+            AppKind::Raytrace => "raytrace",
+            AppKind::Volrend => "volrend",
+            AppKind::WaterN2 => "water-n2",
+            AppKind::WaterSp => "water-sp",
+        }
+    }
+
+    /// The input set the paper used (Table 1).
+    pub fn paper_input(self) -> &'static str {
+        match self {
+            AppKind::Barnes => "n2048",
+            AppKind::Cholesky => "tk23.O",
+            AppKind::Fft => "m16",
+            AppKind::Fmm => "2048",
+            AppKind::Lu => "512x512",
+            AppKind::Ocean => "130x130",
+            AppKind::Radiosity => "-test",
+            AppKind::Radix => "256K keys",
+            AppKind::Raytrace => "teapot",
+            AppKind::Volrend => "head-sd2",
+            AppKind::WaterN2 => "2^16",
+            AppKind::WaterSp => "2^16",
+        }
+    }
+}
+
+/// All twelve applications, in the paper's (alphabetical) figure order.
+pub fn all_apps() -> [AppKind; 12] {
+    [
+        AppKind::Barnes,
+        AppKind::Cholesky,
+        AppKind::Fft,
+        AppKind::Fmm,
+        AppKind::Lu,
+        AppKind::Ocean,
+        AppKind::Radiosity,
+        AppKind::Radix,
+        AppKind::Raytrace,
+        AppKind::Volrend,
+        AppKind::WaterN2,
+        AppKind::WaterSp,
+    ]
+}
+
+/// Problem-size classes. `Tiny` keeps injection sweeps fast in CI;
+/// `Small` is the default for the figure harness; `Paper` approaches the
+/// paper's reduced Splash-2 inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScaleClass {
+    /// A few thousand operations per run.
+    Tiny,
+    /// Tens of thousands of operations per run.
+    Small,
+    /// Hundreds of thousands of operations per run.
+    Paper,
+}
+
+impl ScaleClass {
+    /// The linear scale factor each kernel multiplies its base size by.
+    pub fn factor(self) -> u64 {
+        match self {
+            ScaleClass::Tiny => 1,
+            ScaleClass::Small => 4,
+            ScaleClass::Paper => 16,
+        }
+    }
+}
+
+/// Builds the named kernel at the given scale.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. The result always passes
+/// [`Workload::validate`].
+pub fn kernel(kind: AppKind, scale: ScaleClass, threads: usize, seed: u64) -> Workload {
+    let params = common::KernelParams {
+        threads,
+        seed,
+        scale: scale.factor(),
+    };
+    let w = match kind {
+        AppKind::Barnes => apps::barnes::build(params),
+        AppKind::Cholesky => apps::cholesky::build(params),
+        AppKind::Fft => apps::fft::build(params),
+        AppKind::Fmm => apps::fmm::build(params),
+        AppKind::Lu => apps::lu::build(params),
+        AppKind::Ocean => apps::ocean::build(params),
+        AppKind::Radiosity => apps::radiosity::build(params),
+        AppKind::Radix => apps::radix::build(params),
+        AppKind::Raytrace => apps::raytrace::build(params),
+        AppKind::Volrend => apps::volrend::build(params),
+        AppKind::WaterN2 => apps::water_n2::build(params),
+        AppKind::WaterSp => apps::water_sp::build(params),
+    };
+    debug_assert!(w.validate().is_ok(), "{} failed validation", kind.name());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_validates_at_every_scale() {
+        for kind in all_apps() {
+            for scale in [ScaleClass::Tiny, ScaleClass::Small] {
+                let w = kernel(kind, scale, 4, 42);
+                w.validate()
+                    .unwrap_or_else(|e| panic!("{} {scale:?}: {e}", kind.name()));
+                assert_eq!(w.num_threads(), 4);
+                assert!(w.total_ops() > 100, "{} too small", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scales_grow_monotonically() {
+        for kind in all_apps() {
+            let tiny = kernel(kind, ScaleClass::Tiny, 4, 1).total_ops();
+            let small = kernel(kind, ScaleClass::Small, 4, 1).total_ops();
+            assert!(
+                small > tiny,
+                "{}: small ({small}) not larger than tiny ({tiny})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        for kind in [AppKind::Barnes, AppKind::Radix, AppKind::Raytrace] {
+            let a = kernel(kind, ScaleClass::Tiny, 4, 9);
+            let b = kernel(kind, ScaleClass::Tiny, 4, 9);
+            assert_eq!(a, b);
+            let c = kernel(kind, ScaleClass::Tiny, 4, 10);
+            assert_ne!(a, c, "{} ignores its seed", kind.name());
+        }
+    }
+
+    #[test]
+    fn thread_counts_other_than_four_work() {
+        for kind in all_apps() {
+            for threads in [1, 2, 3] {
+                let w = kernel(kind, ScaleClass::Tiny, threads, 5);
+                w.validate()
+                    .unwrap_or_else(|e| panic!("{} x{threads}: {e}", kind.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_inputs_are_stable() {
+        assert_eq!(AppKind::WaterN2.name(), "water-n2");
+        assert_eq!(AppKind::Radix.paper_input(), "256K keys");
+        assert_eq!(all_apps().len(), 12);
+    }
+
+    #[test]
+    fn sync_mix_matches_structure() {
+        // Barrier-phased kernels have barriers; queue kernels have locks.
+        let fft = kernel(AppKind::Fft, ScaleClass::Tiny, 4, 1).op_counts();
+        assert!(fft.barriers > 0);
+        let ray = kernel(AppKind::Raytrace, ScaleClass::Tiny, 4, 1).op_counts();
+        assert!(ray.locks > 10, "raytrace is queue-driven");
+        let chol = kernel(AppKind::Cholesky, ScaleClass::Tiny, 4, 1).op_counts();
+        let lu = kernel(AppKind::Lu, ScaleClass::Tiny, 4, 1).op_counts();
+        // Cholesky synchronizes far more often per data access than LU
+        // (the property behind its worst-case overhead in Figure 11).
+        let chol_rate = chol.locks as f64 / (chol.reads + chol.writes) as f64;
+        let lu_rate = lu.locks as f64 / (lu.reads + lu.writes) as f64;
+        assert!(chol_rate > 2.0 * lu_rate);
+    }
+}
+
+#[cfg(test)]
+mod textfmt_tests {
+    use super::*;
+    use cord_trace::textfmt;
+
+    #[test]
+    fn every_kernel_roundtrips_through_the_text_format() {
+        for kind in all_apps() {
+            let w = kernel(kind, ScaleClass::Tiny, 4, 7);
+            let text = textfmt::to_text(&w);
+            let back = textfmt::from_text(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(w, back, "{} did not round-trip", kind.name());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Trace inspection: dump any kernel's per-thread operation streams in
+//! the line-oriented text format, round-trip them, and summarize.
+//!
+//! ```text
+//! cargo run --release --example trace_dump -- cholesky
+//! cargo run --release --example trace_dump -- fft > fft.cordtrace
+//! ```
+
+use cord::trace::textfmt;
+use cord::workloads::{all_apps, kernel, AppKind, ScaleClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = args.get(1).map(String::as_str).unwrap_or("cholesky");
+    let app = all_apps()
+        .into_iter()
+        .find(|a| a.name() == app_name)
+        .unwrap_or(AppKind::Cholesky);
+
+    let workload = kernel(app, ScaleClass::Tiny, 4, 42);
+    let text = textfmt::to_text(&workload);
+
+    // Round-trip as a self-check before printing.
+    let back = textfmt::from_text(&text).expect("the dump parses back");
+    assert_eq!(workload, back);
+
+    let counts = workload.op_counts();
+    eprintln!(
+        "# {}: {} threads, {} ops ({} reads, {} writes, {} locks, {} barriers), {} text bytes",
+        workload.name(),
+        workload.num_threads(),
+        workload.total_ops(),
+        counts.reads,
+        counts.writes,
+        counts.locks,
+        counts.barriers,
+        text.len(),
+    );
+    print!("{text}");
+}

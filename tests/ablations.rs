@@ -1,0 +1,248 @@
+//! Ablation tests: each knob DESIGN.md calls out changes behaviour the
+//! way the paper's figures say it should.
+
+use cord::core::{CordConfig, CordDetector};
+use cord::sim::config::MachineConfig;
+use cord::sim::engine::{InjectionPlan, Machine};
+use cord::trace::program::Workload;
+use cord::trace::WorkloadBuilder;
+use cord::workloads::{kernel, AppKind, ScaleClass};
+
+fn run_cord(w: &Workload, cfg: CordConfig, seed: u64, plan: InjectionPlan) -> CordDetector {
+    let det = CordDetector::new(cfg, w.num_threads(), 4);
+    let m = Machine::new(MachineConfig::paper_4core(), w, det, seed, plan);
+    let (_, det) = m.run().expect("no deadlock");
+    det
+}
+
+/// Figure 6: without main-memory timestamps, synchronization through a
+/// displaced lock line is missed and a *false* data race is reported.
+#[test]
+fn removing_mem_ts_creates_false_positives() {
+    // Producer writes X, releases a lock, then displaces *only the lock
+    // line* from its cache by streaming lines that map to the same L2
+    // set; the consumer then acquires the lock from memory and reads X
+    // (whose timestamp is still cached at the producer). This is
+    // Figure 6's scenario.
+    let mut b = WorkloadBuilder::new("fig6", 2);
+    let l = b.alloc_lock();
+    let xs = b.alloc_line_aligned(32);
+    let x = xs.word(16); // second line of the region: not L2 set 0
+    let filler = b.alloc_line_aligned(16 * 1024);
+    b.thread_mut(0).lock(l).write(x).unlock(l);
+    {
+        // The lock lives at SYNC_BASE, whose line maps to L2 set 0 (64
+        // sets); touch 12 filler lines in the same set to evict it.
+        let sets = MachineConfig::paper_4core().l2.num_sets();
+        let base_line = filler.base().line().0;
+        let skip = (sets - base_line % sets) % sets;
+        let t0 = &mut b.thread_mut(0);
+        for j in 0..12u64 {
+            t0.write(filler.word((skip + j * sets) * 16));
+        }
+    }
+    b.thread_mut(1).compute(800_000).lock(l).read(x).unlock(l);
+    let w = b.build();
+    assert_ne!(x.line().0 % 64, 0, "X must not share the lock's L2 set");
+
+    let with_memts = run_cord(&w, CordConfig::paper(), 3, InjectionPlan::none());
+    assert!(
+        with_memts.races().is_empty(),
+        "memory timestamps must keep this clean: {:?}",
+        with_memts.races()
+    );
+    assert!(
+        with_memts.mem_timestamps().write() > cord::clocks::ScalarTime::ZERO,
+        "the lock line must actually have been displaced into the memory timestamps"
+    );
+
+    let without = run_cord(
+        &w,
+        CordConfig::paper().without_mem_ts(),
+        3,
+        InjectionPlan::none(),
+    );
+    assert!(
+        !without.races().is_empty(),
+        "without memory timestamps the displaced synchronization must be missed \
+         and a false race on X reported"
+    );
+}
+
+/// Figure 2: a single timestamp per line erases history on every clock
+/// change; two timestamps preserve it. Measured as raw detections over
+/// injected runs of a lock-heavy kernel.
+#[test]
+fn single_timestamp_per_line_detects_no_more_than_two() {
+    let w = kernel(AppKind::WaterN2, ScaleClass::Tiny, 4, 13);
+    let mut one_total = 0u64;
+    let mut two_total = 0u64;
+    for n in 0..8 {
+        let plan = InjectionPlan::remove_nth(n * 37);
+        let one = run_cord(&w, CordConfig::paper().single_timestamp(), 100 + n, plan);
+        let two = run_cord(&w, CordConfig::paper(), 100 + n, plan);
+        one_total += one.races().len() as u64;
+        two_total += two.races().len() as u64;
+    }
+    assert!(
+        two_total >= one_total,
+        "two timestamps per line must not detect fewer races ({two_total} vs {one_total})"
+    );
+}
+
+/// Figure 5: incrementing the clock on every access (instead of only
+/// after sync writes) hides races.
+#[test]
+fn increment_on_every_access_hides_races() {
+    // Unsynchronized write/read pair with a little benign activity in
+    // between on the reader side.
+    let mut b = WorkloadBuilder::new("fig5", 2);
+    let x = b.alloc_line_aligned(1);
+    let y = b.alloc_line_aligned(8);
+    b.thread_mut(0).write(x.word(0));
+    {
+        let t1 = &mut b.thread_mut(1);
+        t1.compute(100_000);
+        for i in 0..8 {
+            t1.read(y.word(i));
+        }
+        for i in 0..8 {
+            t1.write(y.word(i));
+        }
+        t1.read(x.word(0));
+    }
+    let w = b.build();
+
+    let normal = run_cord(&w, CordConfig::paper(), 5, InjectionPlan::none());
+    assert!(
+        !normal.races().is_empty(),
+        "the unsynchronized read of X must be detected"
+    );
+
+    let mut bad_cfg = CordConfig::paper();
+    bad_cfg.policy = bad_cfg.policy.increment_on_all_accesses(true);
+    let bad = run_cord(&w, bad_cfg, 5, InjectionPlan::none());
+    let bad_x_races = bad
+        .races()
+        .iter()
+        .filter(|r| r.addr == cord::trace::Addr::new(0))
+        .count();
+    assert_eq!(
+        bad_x_races, 0,
+        "per-access increments inflate the reader's clock past D and hide the race"
+    );
+}
+
+/// Figures 16/17 in miniature: larger D detects at least as many of the
+/// staged races as smaller D on a fixed interleaving.
+#[test]
+fn d_window_is_monotone_on_staged_races() {
+    let build = || {
+        let mut b = WorkloadBuilder::new("dmono", 2);
+        let l0 = b.alloc_lock();
+        let l1 = b.alloc_lock();
+        let x = b.alloc_line_aligned(4);
+        let private = b.alloc_line_aligned(2);
+        {
+            let t0 = &mut b.thread_mut(0);
+            for i in 0..4 {
+                t0.lock(l0).update(private.word(0)).unlock(l0);
+                t0.write(x.word(i));
+            }
+        }
+        {
+            // The reader churns its own (disjoint) lock first so its
+            // clock ends a few ticks above the writer's timestamps, then
+            // reads X with no synchronization connecting the two threads
+            // — the Figure 8 "similar sync rates" pattern.
+            let t1 = &mut b.thread_mut(1);
+            for _ in 0..6 {
+                t1.lock(l1).update(private.word(1)).unlock(l1);
+            }
+            t1.compute(400_000);
+            for i in 0..4 {
+                t1.read(x.word(i));
+            }
+        }
+        b.build()
+    };
+    let mut last = 0usize;
+    for d in [1u64, 4, 16, 256] {
+        let det = run_cord(&build(), CordConfig::with_d(d), 21, InjectionPlan::none());
+        let races = det.races().len();
+        assert!(
+            races >= last,
+            "D={d} found {races} races, fewer than a smaller D ({last})"
+        );
+        last = races;
+    }
+    assert!(last > 0, "D=256 must catch the staged races");
+}
+
+/// §2.7.5: the cache walker keeps the 16-bit sliding window intact — no
+/// violations in any run.
+#[test]
+fn window_walker_reports_no_violations() {
+    for app in [AppKind::Cholesky, AppKind::Barnes, AppKind::Radiosity] {
+        let w = kernel(app, ScaleClass::Small, 4, 7);
+        let det = run_cord(&w, CordConfig::paper(), 7, InjectionPlan::none());
+        assert_eq!(
+            det.stats().window_violations,
+            0,
+            "{}: sliding-window violations",
+            w.name()
+        );
+    }
+}
+
+/// The check-filter bits are purely an optimization: disabling them must
+/// not change what is detected, only how many broadcasts are issued.
+#[test]
+fn check_filters_do_not_change_detection() {
+    let w = kernel(AppKind::Lu, ScaleClass::Tiny, 4, 3);
+    for plan in [InjectionPlan::none(), InjectionPlan::remove_nth(5)] {
+        let with = run_cord(&w, CordConfig::paper(), 9, plan);
+        let mut cfg = CordConfig::paper();
+        cfg.check_filters = false;
+        let without = run_cord(&w, cfg, 9, plan);
+        assert_eq!(
+            with.races().len(),
+            without.races().len(),
+            "filters changed detection under {plan:?}"
+        );
+        assert!(
+            with.stats().race_check_broadcasts <= without.stats().race_check_broadcasts,
+            "filters must not add broadcasts"
+        );
+    }
+}
+
+/// §2.7.5 end-to-end: the 16-bit hardware comparison (shadow-audited on
+/// every cache-timestamp comparison) never disagrees with the unbounded
+/// reference while the walker maintains the window.
+#[test]
+fn sixteen_bit_datapath_agrees_with_reference() {
+    for app in [
+        AppKind::Barnes,
+        AppKind::Cholesky,
+        AppKind::Fft,
+        AppKind::Radiosity,
+        AppKind::WaterN2,
+    ] {
+        for plan in [InjectionPlan::none(), InjectionPlan::remove_nth(2)] {
+            let w = kernel(app, ScaleClass::Small, 4, 29);
+            let det = run_cord(&w, CordConfig::paper(), 29, plan);
+            assert!(
+                det.stats().window16_audits > 0,
+                "{}: no comparisons audited",
+                w.name()
+            );
+            assert_eq!(
+                det.stats().window16_mismatches,
+                0,
+                "{}: 16-bit datapath diverged from the reference",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Cross-crate integration tests: workloads × simulator × detectors ×
+//! replay, end to end.
+
+use cord::core::{CordConfig, CordDetector, ExperimentHarness};
+use cord::detectors::{IdealDetector, VcConfig, VcLimitedDetector};
+use cord::inject::Campaign;
+use cord::sim::config::MachineConfig;
+use cord::sim::engine::{InjectionPlan, Machine};
+use cord::workloads::{all_apps, kernel, AppKind, ScaleClass};
+
+/// §3.4 requirement: production-run detection must be free of false
+/// alarms. Every kernel, clean run, three detectors, several seeds.
+#[test]
+fn no_detector_fires_on_clean_runs() {
+    for app in all_apps() {
+        let w = kernel(app, ScaleClass::Tiny, 4, 42);
+        for seed in [1, 99] {
+            let det = CordDetector::new(CordConfig::paper(), 4, 4);
+            let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+            let (_, det) = m.run().expect("no deadlock");
+            assert!(
+                det.races().is_empty(),
+                "{} seed {seed}: CORD false positives {:?}",
+                w.name(),
+                det.races()
+            );
+
+            let det = IdealDetector::new(4);
+            let m = Machine::new(
+                MachineConfig::infinite_cache(),
+                &w,
+                det,
+                seed,
+                InjectionPlan::none(),
+            );
+            let (_, det) = m.run().expect("no deadlock");
+            assert!(
+                det.races().is_empty(),
+                "{} seed {seed}: Ideal false positives {:?}",
+                w.name(),
+                det.races()
+            );
+
+            let det = VcLimitedDetector::new(VcConfig::l2_cache(), 4, 4);
+            let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+            let (_, det) = m.run().expect("no deadlock");
+            assert!(
+                det.races().is_empty(),
+                "{} seed {seed}: VC false positives {:?}",
+                w.name(),
+                det.races()
+            );
+        }
+    }
+}
+
+/// §3.3: "we performed numerous tests, with and without data race
+/// injections, to verify that the entire execution can be accurately
+/// replayed". Every kernel, clean + two injected runs.
+#[test]
+fn replay_is_exact_for_every_kernel() {
+    for app in all_apps() {
+        let w = kernel(app, ScaleClass::Tiny, 4, 17);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(17);
+        h.verify_replay(&w, &CordConfig::paper(), InjectionPlan::none())
+            .unwrap_or_else(|e| panic!("{} clean replay failed: {e}", w.name()));
+        let total = Campaign::plan(&MachineConfig::paper_4core(), &w, 2, 3).targets;
+        for n in total {
+            h.verify_replay(&w, &CordConfig::paper(), InjectionPlan::remove_nth(n))
+                .unwrap_or_else(|e| panic!("{} injected({n}) replay failed: {e}", w.name()));
+        }
+    }
+}
+
+/// Injected synchronization bugs manifest and CORD catches a healthy
+/// fraction across the suite (paper: 77% of manifested problems).
+#[test]
+fn cord_detects_injected_problems_across_suite() {
+    let mut manifested = 0u32;
+    let mut caught = 0u32;
+    for app in all_apps() {
+        let w = kernel(app, ScaleClass::Tiny, 4, 5);
+        let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 6, 11);
+        for (i, plan) in campaign.plans().enumerate() {
+            let seed = 500 + i as u64;
+            let ideal = IdealDetector::new(4);
+            let m = Machine::new(MachineConfig::infinite_cache(), &w, ideal, seed, plan);
+            let (_, ideal) = m.run().expect("ok");
+            if !ideal.found_any() {
+                continue;
+            }
+            manifested += 1;
+            let cord = CordDetector::new(CordConfig::paper(), 4, 4);
+            let m = Machine::new(MachineConfig::paper_4core(), &w, cord, seed, plan);
+            let (_, cord) = m.run().expect("ok");
+            caught += u32::from(!cord.races().is_empty());
+        }
+    }
+    assert!(manifested >= 10, "too few manifested injections: {manifested}");
+    let rate = f64::from(caught) / f64::from(manifested);
+    assert!(
+        rate > 0.4,
+        "problem detection rate {rate:.2} collapsed ({caught}/{manifested})"
+    );
+}
+
+/// The order log is compact: well under the paper's 1 MB bound even
+/// proportionally (our runs are far shorter).
+#[test]
+fn order_logs_are_compact() {
+    for app in all_apps() {
+        let w = kernel(app, ScaleClass::Tiny, 4, 23);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(23);
+        let out = h.run_cord(&w, &CordConfig::paper());
+        assert!(out.log_bytes > 0, "{}: empty log", w.name());
+        assert!(
+            out.log_bytes < 512 * 1024,
+            "{}: log too large ({} bytes)",
+            w.name(),
+            out.log_bytes
+        );
+        // 8 bytes per entry, exactly.
+        assert_eq!(out.log_bytes, out.order_log.len() as u64 * 8);
+    }
+}
+
+/// Thread migration (§2.7.4) introduces no false positives in any
+/// kernel.
+#[test]
+fn migration_is_clean_across_kernels() {
+    for app in [AppKind::Fft, AppKind::Lu, AppKind::Ocean, AppKind::WaterSp] {
+        let w = kernel(app, ScaleClass::Tiny, 4, 31);
+        let mc = MachineConfig::paper_4core().with_barrier_migration();
+        let det = CordDetector::new(CordConfig::paper(), 4, mc.cores);
+        let m = Machine::new(mc, &w, det, 31, InjectionPlan::none());
+        let (out, det) = m.run().expect("no deadlock");
+        assert!(out.stats.migrations > 0, "{}: no migrations happened", w.name());
+        assert!(
+            det.races().is_empty(),
+            "{}: migration-induced false positives {:?}",
+            w.name(),
+            det.races()
+        );
+    }
+}
+
+/// Different seeds produce different interleavings but identical
+/// functional outcomes for data-race-free programs (per-thread hashes of
+/// reads-see-writes may legitimately differ only when ordering differs —
+/// here we check determinism per seed instead).
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let w = kernel(AppKind::Cholesky, ScaleClass::Tiny, 4, 3);
+    let run = |seed| {
+        let det = CordDetector::new(CordConfig::paper(), 4, 4);
+        let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+        let (out, det) = m.run().expect("ok");
+        (out.stats, out.truth.thread_hashes, det.recorder().bytes())
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7).0.cycles, run(8).0.cycles);
+}
+
+/// §3.4: pre-existing races (the unprotected-progress-counter idiom
+/// found shipping in Splash-2) are discovered by CORD and by the oracle,
+/// pointing at the right variable.
+#[test]
+fn known_preexisting_race_is_discovered() {
+    use cord::workloads::common::KernelParams;
+    use cord::workloads::known_race::{unprotected_progress_counter, PROGRESS_WORD};
+    let w = unprotected_progress_counter(KernelParams {
+        threads: 4,
+        seed: 2,
+        scale: 2,
+    });
+    let det = CordDetector::new(CordConfig::paper(), 4, 4);
+    let m = Machine::new(MachineConfig::paper_4core(), &w, det, 2, InjectionPlan::none());
+    let (_, cord) = m.run().expect("ok");
+    assert!(
+        cord.races().iter().any(|r| r.addr == PROGRESS_WORD),
+        "CORD must flag the unprotected counter: {:?}",
+        cord.races()
+    );
+    let det = IdealDetector::new(4);
+    let m = Machine::new(
+        MachineConfig::infinite_cache(),
+        &w,
+        det,
+        2,
+        InjectionPlan::none(),
+    );
+    let (_, ideal) = m.run().expect("ok");
+    assert!(ideal.raced_words().contains(&PROGRESS_WORD));
+    // No false positives elsewhere: every report targets the counter.
+    assert!(cord.races().iter().all(|r| r.addr == PROGRESS_WORD));
+}
+
+/// The hardware 8-byte log encoding round-trips a real recorded run and
+/// the decoded log still replays it (the full §2.7.1 + §3.3 pipeline).
+#[test]
+fn hardware_log_encoding_survives_record_and_replay() {
+    use cord::core::{logfmt, replay_and_verify};
+    let w = kernel(AppKind::Radix, ScaleClass::Tiny, 4, 37);
+    let machine = MachineConfig::paper_4core().with_resolved_capture();
+    let det = CordDetector::new(CordConfig::paper(), 4, machine.cores);
+    let m = Machine::new(machine, &w, det, 37, InjectionPlan::remove_nth(4));
+    let (out, det) = m.run().expect("ok");
+
+    // Encode to the wire format, decode, and replay from the decoded log.
+    let bytes = logfmt::encode(det.recorder().entries());
+    let decoded = logfmt::decode(&bytes, 4).expect("wire log decodes");
+    assert_eq!(decoded, det.recorder().entries());
+    let resolved = out.truth.resolved.as_ref().expect("captured");
+    replay_and_verify(
+        &decoded,
+        resolved,
+        &out.stats.instr_counts,
+        &out.truth.thread_hashes,
+    )
+    .expect("decoded hardware log replays the run exactly");
+}
+
+/// Replay-parallelism analysis on a real log: wave widths are bounded by
+/// the thread count's concurrency and the mean is at least 1.
+#[test]
+fn replay_parallelism_is_sane_on_real_logs() {
+    use cord::core::replay_parallelism;
+    let w = kernel(AppKind::WaterN2, ScaleClass::Tiny, 4, 41);
+    let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(41);
+    let out = h.run_cord(&w, &CordConfig::paper());
+    let p = replay_parallelism(&out.order_log);
+    assert_eq!(p.segments, out.order_log.len());
+    assert!(p.mean_width >= 1.0);
+    assert!(p.waves <= p.segments);
+    assert!(p.max_width >= 1);
+}
+
+/// §2.4: "real systems may have many more threads than processors" —
+/// eight threads time-multiplex onto the 4-core machine. CORD stays
+/// false-positive-free (the §2.7.4 migration bump covers descheduled
+/// threads' stale timestamps) and the recorded order still replays
+/// exactly.
+#[test]
+fn more_threads_than_cores_is_clean_and_replays() {
+    for threads in [6usize, 8] {
+        let w = kernel(AppKind::Cholesky, ScaleClass::Tiny, threads, 47);
+        let machine = MachineConfig::paper_4core();
+        let det = CordDetector::new(CordConfig::paper(), threads, machine.cores);
+        let m = Machine::new(machine.clone(), &w, det, 47, InjectionPlan::none());
+        let (out, det) = m.run().expect("no deadlock");
+        assert_eq!(out.stats.instr_counts.len(), threads);
+        assert!(
+            out.stats.migrations > 0,
+            "{threads} threads on 4 cores must migrate"
+        );
+        assert!(
+            det.races().is_empty(),
+            "{threads}-thread false positives: {:?}",
+            det.races()
+        );
+        assert!(det.stats().migration_bumps > 0);
+
+        // Replay verification with time multiplexing.
+        let h = ExperimentHarness::new(machine).with_seed(47);
+        h.verify_replay(&w, &CordConfig::paper(), InjectionPlan::none())
+            .unwrap_or_else(|e| panic!("{threads}-thread replay failed: {e}"));
+    }
+}
+
+/// Injected bugs remain detectable with oversubscribed threads; the
+/// Ideal oracle still defines manifestation.
+#[test]
+fn oversubscribed_injection_detection_works() {
+    let threads = 6;
+    // volrend manifests nearly always (its queue waits order everything).
+    let w = kernel(AppKind::Volrend, ScaleClass::Tiny, threads, 53);
+    let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 12, 9);
+    let mut manifested = 0;
+    let mut caught = 0;
+    for (i, plan) in campaign.plans().enumerate() {
+        let seed = 700 + i as u64;
+        let ideal = IdealDetector::new(threads);
+        let m = Machine::new(MachineConfig::infinite_cache(), &w, ideal, seed, plan);
+        let (_, ideal) = m.run().expect("ok");
+        if !ideal.found_any() {
+            continue;
+        }
+        manifested += 1;
+        let cord = CordDetector::new(CordConfig::paper(), threads, 4);
+        let m = Machine::new(MachineConfig::paper_4core(), &w, cord, seed, plan);
+        let (_, cord) = m.run().expect("ok");
+        caught += u32::from(!cord.races().is_empty());
+    }
+    // At least some manifest and CORD catches at least one.
+    assert!(manifested > 0, "no injections manifested");
+    assert!(caught > 0, "CORD caught nothing ({manifested} manifested)");
+}
