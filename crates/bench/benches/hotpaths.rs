@@ -27,7 +27,9 @@ fn bench_clock_compares(c: &mut Criterion) {
         b.iter(|| {
             let clk = black_box(0xFFF0u16);
             let ts = black_box(0x0010u16);
-            black_box(window16::is_race_with(clk, ts) | window16::is_synchronized_after(clk, ts, 16))
+            black_box(
+                window16::is_race_with(clk, ts) | window16::is_synchronized_after(clk, ts, 16),
+            )
         })
     });
     let a = VectorClock::from_components(vec![5, 9, 2, 7]);
@@ -51,7 +53,9 @@ fn bench_line_history(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             h.push_stamp(ScalarTime::new(t), 2);
-            h.newest_mut().unwrap().set((t % 16) as usize, t.is_multiple_of(2));
+            h.newest_mut()
+                .unwrap()
+                .set((t % 16) as usize, t.is_multiple_of(2));
             black_box(h.any_conflict((t % 16) as usize, true))
         })
     });

@@ -4,17 +4,24 @@
 //! cargo run --release -p cord-bench --bin figures -- all
 //! cargo run --release -p cord-bench --bin figures -- fig12 --injections 50
 //! cargo run --release -p cord-bench --bin figures -- fig11 --scale paper
+//! cargo run --release -p cord-bench --bin figures -- all --checkpoint sweep.ckpt.json
 //! ```
 //!
 //! Subcommands: `table1`, `fig10`..`fig17`, `logsize`, `area`, `replay`,
 //! `ablations`, `cachestats`, `replaypar`, `directory`, `recordonly`,
 //! `cachesweep`, `threadsweep`, `all`. Options: `--injections N`,
 //! `--scale tiny|small|paper`, `--seed S`, `--json PATH` (dump the raw
-//! sweep results).
+//! sweep results), `--checkpoint PATH` (persist partial sweep results
+//! after every app and resume from them on restart).
 
+use cord_bench::checkpoint::sweep_all_checkpointed;
 use cord_bench::figures;
 use cord_bench::sweep::{ScaleClassOpt, SweepOptions, SweepResults};
+use cord_bench::DetectorConfig;
+use cord_json::ToJson;
 use cord_workloads::ScaleClass;
+use std::error::Error;
+use std::path::Path;
 use std::time::Instant;
 
 struct Args {
@@ -23,15 +30,17 @@ struct Args {
     scale: ScaleClassOpt,
     seed: u64,
     json: Option<String>,
+    checkpoint: Option<String>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         command: "all".to_string(),
         injections: 24,
         scale: ScaleClassOpt::Small,
         seed: 2006,
         json: None,
+        checkpoint: None,
     };
     let mut it = std::env::args().skip(1);
     let mut first = true;
@@ -41,46 +50,50 @@ fn parse_args() -> Args {
                 args.injections = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--injections needs a number");
+                    .ok_or("--injections needs a number")?;
             }
             "--scale" => {
                 args.scale = match it.next().as_deref() {
                     Some("tiny") => ScaleClassOpt::Tiny,
                     Some("small") => ScaleClassOpt::Small,
                     Some("paper") => ScaleClassOpt::Paper,
-                    other => panic!("unknown scale {other:?}"),
+                    other => return Err(format!("unknown scale {other:?}")),
                 };
             }
             "--seed" => {
                 args.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number");
+                    .ok_or("--seed needs a number")?;
             }
             "--json" => {
-                args.json = Some(it.next().expect("--json needs a path"));
+                args.json = Some(it.next().ok_or("--json needs a path")?);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?);
             }
             cmd if first => {
                 args.command = cmd.to_string();
             }
-            other => panic!("unknown argument {other}"),
+            other => return Err(format!("unknown argument {other}")),
         }
         first = false;
     }
-    args
+    Ok(args)
 }
 
 fn scale_of(s: ScaleClassOpt) -> ScaleClass {
     s.into()
 }
 
-fn main() {
-    let args = parse_args();
+fn main() -> Result<(), Box<dyn Error>> {
+    let args = parse_args()?;
     let opts = SweepOptions {
         injections_per_app: args.injections,
         scale: args.scale,
         threads: 4,
         seed: args.seed,
+        ..SweepOptions::default()
     };
     let needs_sweep = matches!(
         args.command.as_str(),
@@ -92,11 +105,18 @@ fn main() {
             opts.injections_per_app, opts.scale
         );
         let t0 = Instant::now();
-        let s = figures::default_sweep(&opts);
+        let configs = DetectorConfig::all_for_sweep();
+        let s = match &args.checkpoint {
+            Some(path) => sweep_all_checkpointed(&configs, &opts, Path::new(path))?,
+            None => cord_bench::sweep::sweep_all(&configs, &opts),
+        };
         eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        let failures = figures::failure_summary(&s);
+        if !failures.is_empty() {
+            eprint!("{failures}");
+        }
         if let Some(path) = &args.json {
-            std::fs::write(path, serde_json::to_string_pretty(&s).expect("serialize"))
-                .expect("write json");
+            std::fs::write(path, s.to_json().to_string_pretty())?;
             eprintln!("raw sweep results written to {path}");
         }
         Some(s)
@@ -115,11 +135,17 @@ fn main() {
         }
     }
     if cmd == "fig11" || cmd == "all" {
-        println!("{}", figures::fig11(scale, &[args.seed, args.seed + 1, args.seed + 2]));
+        println!(
+            "{}",
+            figures::fig11(scale, &[args.seed, args.seed + 1, args.seed + 2])?
+        );
     }
     if let Some(s) = &sweep {
         for (name, f) in [
-            ("fig12", figures::fig12 as fn(&SweepResults) -> figures::FigureTable),
+            (
+                "fig12",
+                figures::fig12 as fn(&SweepResults) -> figures::FigureTable,
+            ),
             ("fig13", figures::fig13),
             ("fig14", figures::fig14),
             ("fig15", figures::fig15),
@@ -130,9 +156,13 @@ fn main() {
                 println!("{}", f(s));
             }
         }
+        let failures = figures::failure_summary(s);
+        if !failures.is_empty() {
+            println!("{failures}");
+        }
     }
     if cmd == "logsize" || cmd == "all" {
-        println!("{}", figures::logsize(scale, args.seed));
+        println!("{}", figures::logsize(scale, args.seed)?);
     }
     if cmd == "area" || cmd == "all" {
         println!("{}", figures::area_table());
@@ -143,25 +173,32 @@ fn main() {
     if cmd == "ablations" || cmd == "all" {
         println!(
             "{}",
-            figures::ablations(ScaleClass::Tiny, args.seed, args.injections.min(10))
+            figures::ablations(ScaleClass::Tiny, args.seed, args.injections.min(10))?
         );
     }
     if cmd == "cachestats" || cmd == "all" {
-        println!("{}", figures::cache_stats(scale, args.seed));
+        println!("{}", figures::cache_stats(scale, args.seed)?);
     }
     if cmd == "replaypar" || cmd == "all" {
-        println!("{}", figures::replay_concurrency(scale, args.seed));
+        println!("{}", figures::replay_concurrency(scale, args.seed)?);
     }
     if cmd == "directory" || cmd == "all" {
-        println!("{}", figures::directory_extension(scale, args.seed));
+        println!("{}", figures::directory_extension(scale, args.seed)?);
     }
     if cmd == "recordonly" || cmd == "all" {
-        println!("{}", figures::record_only_cost(scale, args.seed));
+        println!("{}", figures::record_only_cost(scale, args.seed)?);
     }
     if cmd == "cachesweep" {
-        println!("{}", figures::cache_size_sweep(args.seed, args.injections.min(16)));
+        println!(
+            "{}",
+            figures::cache_size_sweep(args.seed, args.injections.min(16))?
+        );
     }
     if cmd == "threadsweep" {
-        println!("{}", figures::thread_sweep(args.seed, args.injections.min(16)));
+        println!(
+            "{}",
+            figures::thread_sweep(args.seed, args.injections.min(16))?
+        );
     }
+    Ok(())
 }

@@ -1,0 +1,186 @@
+//! Checkpoint/resume for injection sweeps.
+//!
+//! A full sweep is minutes of simulation; losing it to a crash or a
+//! ^C near the end means starting over. [`sweep_all_checkpointed`]
+//! serializes the partial [`SweepResults`] to a JSON checkpoint after
+//! every completed [`AppSweep`], keyed by a hash of the sweep options
+//! and configuration set; a restart with the same parameters loads the
+//! checkpoint and skips the apps already swept. Because every run is
+//! seeded deterministically (see [`run_seed`](crate::sweep::run_seed)),
+//! a resumed sweep is bit-identical to an uninterrupted one.
+//!
+//! Checkpoint file layout:
+//!
+//! ```json
+//! {
+//!   "options_hash": 1234567,
+//!   "options": { ... },
+//!   "apps": [ { "app": "barnes", ... }, ... ]
+//! }
+//! ```
+
+use crate::configs::DetectorConfig;
+use crate::sweep::{sweep_app, AppSweep, SweepOptions, SweepResults};
+use cord_json::{obj, FromJson, Json, ToJson};
+use cord_workloads::all_apps;
+use std::io;
+use std::path::Path;
+
+/// Hash identifying a (options, configuration set) pair. A checkpoint
+/// written under a different hash is ignored rather than resumed: its
+/// per-run seeds and targets would not line up.
+pub fn options_hash(opts: &SweepOptions, configs: &[DetectorConfig]) -> u64 {
+    // FNV-1a over the canonical option encoding plus the config labels.
+    let mut canonical = opts.to_json().to_string_compact();
+    for c in configs {
+        canonical.push('|');
+        canonical.push_str(&c.label());
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A partially completed sweep loaded from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The [`options_hash`] the partial results were produced under.
+    pub options_hash: u64,
+    /// The options of the interrupted sweep.
+    pub options: SweepOptions,
+    /// Apps already swept, in sweep order.
+    pub apps: Vec<AppSweep>,
+}
+
+impl Checkpoint {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("options_hash", self.options_hash.to_json()),
+            ("options", self.options.to_json()),
+            ("apps", self.apps.to_json()),
+        ])
+    }
+
+    fn parse(text: &str) -> Result<Checkpoint, cord_json::JsonError> {
+        let v = Json::parse(text)?;
+        Ok(Checkpoint {
+            options_hash: u64::from_json(v.field("options_hash")?)?,
+            options: SweepOptions::from_json(v.field("options")?)?,
+            apps: Vec::<AppSweep>::from_json(v.field("apps")?)?,
+        })
+    }
+
+    /// Loads a checkpoint if `path` exists and holds a matching hash.
+    /// A missing file, unreadable JSON, or a hash mismatch all mean
+    /// "start from scratch" — never an error that kills the sweep.
+    pub fn load_matching(path: &Path, hash: u64) -> Option<Checkpoint> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let cp = Checkpoint::parse(&text).ok()?;
+        (cp.options_hash == hash).then_some(cp)
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename), so a kill
+    /// mid-write leaves the previous checkpoint intact.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json().to_string_pretty())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// [`sweep_all`](crate::sweep::sweep_all) with checkpoint/resume: loads
+/// `checkpoint` if it matches the options, skips apps already swept,
+/// and rewrites the checkpoint after each app. The result is
+/// bit-identical to an uninterrupted sweep with the same parameters.
+///
+/// # Errors
+///
+/// Returns the I/O error if a checkpoint write fails (simulation
+/// results are never silently dropped).
+pub fn sweep_all_checkpointed(
+    configs: &[DetectorConfig],
+    opts: &SweepOptions,
+    checkpoint: &Path,
+) -> io::Result<SweepResults> {
+    let hash = options_hash(opts, configs);
+    let mut done = Checkpoint::load_matching(checkpoint, hash)
+        .map(|cp| cp.apps)
+        .unwrap_or_default();
+    for app in all_apps() {
+        let name = app.name();
+        if done.iter().any(|a| a.app == name) {
+            continue;
+        }
+        done.push(sweep_app(app, configs, opts));
+        Checkpoint {
+            options_hash: hash,
+            options: *opts,
+            apps: done.clone(),
+        }
+        .store(checkpoint)?;
+    }
+    // Order by the canonical app order (a resumed checkpoint already is;
+    // this guards against a reordered app list between versions).
+    let order: Vec<&str> = all_apps().into_iter().map(|a| a.name()).collect();
+    done.sort_by_key(|a| order.iter().position(|n| *n == a.app));
+    Ok(SweepResults {
+        options: *opts,
+        apps: done,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ScaleClassOpt;
+
+    fn quick_opts() -> SweepOptions {
+        SweepOptions {
+            injections_per_app: 2,
+            scale: ScaleClassOpt::Tiny,
+            threads: 4,
+            seed: 13,
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn hash_depends_on_options_and_configs() {
+        let a = options_hash(&quick_opts(), &[DetectorConfig::Cord { d: 16 }]);
+        let b = options_hash(
+            &SweepOptions {
+                seed: 14,
+                ..quick_opts()
+            },
+            &[DetectorConfig::Cord { d: 16 }],
+        );
+        let c = options_hash(&quick_opts(), &[DetectorConfig::Cord { d: 4 }]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            options_hash(&quick_opts(), &[DetectorConfig::Cord { d: 16 }])
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_ignored() {
+        let dir = std::env::temp_dir().join("cord-checkpoint-test-mismatch");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sweep.json");
+        let cp = Checkpoint {
+            options_hash: 1,
+            options: quick_opts(),
+            apps: Vec::new(),
+        };
+        cp.store(&path).expect("store");
+        assert_eq!(Checkpoint::load_matching(&path, 1), Some(cp));
+        assert_eq!(Checkpoint::load_matching(&path, 2), None);
+        std::fs::write(&path, "not json").expect("write");
+        assert_eq!(Checkpoint::load_matching(&path, 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,10 +3,9 @@
 use cord_core::CordConfig;
 use cord_detectors::VcConfig;
 use cord_sim::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// A named detector configuration from the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetectorConfig {
     /// CORD with the given `D` (the paper's default is 16; Figures 16–17
     /// sweep 1, 4, 16, 256).
@@ -26,6 +25,12 @@ pub enum DetectorConfig {
     /// The Ideal oracle: vector clocks, infinite cache, unlimited
     /// per-word history.
     Ideal,
+    /// A deliberately faulty detector for fault-tolerance tests: runs
+    /// with an odd seed panic (caught by the sweep's per-run isolation
+    /// boundary and recorded as `RunStatus::Panicked`), even-seeded runs
+    /// report zero races, so a probed sweep mixes panicked and completed
+    /// records. Never part of [`DetectorConfig::all_for_sweep`].
+    PanicProbe,
 }
 
 impl DetectorConfig {
@@ -37,6 +42,7 @@ impl DetectorConfig {
             DetectorConfig::VcL2Cache => "L2Cache(VC)".to_string(),
             DetectorConfig::VcL1Cache => "L1Cache(VC)".to_string(),
             DetectorConfig::Ideal => "Ideal".to_string(),
+            DetectorConfig::PanicProbe => "PanicProbe".to_string(),
         }
     }
 
@@ -108,7 +114,11 @@ mod tests {
     #[test]
     fn config_conversions() {
         assert_eq!(
-            DetectorConfig::Cord { d: 4 }.cord_config().unwrap().policy.d(),
+            DetectorConfig::Cord { d: 4 }
+                .cord_config()
+                .unwrap()
+                .policy
+                .d(),
             4
         );
         assert!(DetectorConfig::Cord { d: 4 }.vc_config().is_none());

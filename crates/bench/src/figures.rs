@@ -2,15 +2,14 @@
 
 use crate::configs::DetectorConfig;
 use crate::sweep::{SweepOptions, SweepResults};
-use cord_core::{area, CordConfig, ExperimentHarness};
+use cord_core::{area, CordConfig, CordError, ExperimentHarness};
 use cord_sim::config::MachineConfig;
 use cord_sim::engine::InjectionPlan;
 use cord_workloads::{all_apps, kernel, ScaleClass};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a figure's values should be displayed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Unit {
     /// Render as a percentage.
     Percent,
@@ -23,7 +22,7 @@ pub enum Unit {
 }
 
 /// One regenerated figure or table: app rows × configuration columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureTable {
     /// Figure identifier and description.
     pub title: String,
@@ -139,7 +138,7 @@ fn rate_table(
                 if *raw {
                     num += app.races_found(label);
                     den += if *base == "Ideal" {
-                        app.runs.iter().map(|r| r.ideal.races).sum::<u64>()
+                        app.ideal_races()
                     } else {
                         app.races_found(base)
                     };
@@ -186,28 +185,31 @@ pub fn fig10(results: &SweepResults) -> FigureTable {
 /// Figure 11: execution time with CORD relative to a machine with no
 /// recording/DRD support. Averages several seeds to damp scheduling
 /// noise on small inputs.
-pub fn fig11(scale: ScaleClass, seeds: &[u64]) -> FigureTable {
-    let rows = all_apps()
-        .into_iter()
-        .map(|app| {
-            let mut ratios = Vec::new();
-            for &seed in seeds {
-                let w = kernel(app, scale, 4, seed);
-                let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-                ratios.push(h.overhead(&w, &CordConfig::paper()));
-            }
-            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-            (app.name().to_string(), vec![Some(avg)])
-        })
-        .collect();
-    FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run (clean runs on an
+/// unwatchdogged machine cannot fail in practice).
+pub fn fig11(scale: ScaleClass, seeds: &[u64]) -> Result<FigureTable, CordError> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let mut ratios = Vec::new();
+        for &seed in seeds {
+            let w = kernel(app, scale, 4, seed);
+            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+            ratios.push(h.overhead(&w, &CordConfig::paper())?);
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        rows.push((app.name().to_string(), vec![Some(avg)]));
+    }
+    Ok(FigureTable {
         title: "Figure 11: execution time with CORD (baseline = 1.0)".into(),
         columns: vec!["rel. time".into()],
         rows,
         unit: Unit::Ratio,
         note: "paper: 0.4% average overhead, 3% worst case (cholesky)".into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// Figure 12: CORD's problem detection rate vs. the vector-clock scheme
@@ -326,24 +328,26 @@ pub fn table1(scale: ScaleClass) -> String {
 
 /// §3.3: order-log size per application ("less than 1MB for the entire
 /// execution" in the paper's full runs).
-pub fn logsize(scale: ScaleClass, seed: u64) -> FigureTable {
-    let rows = all_apps()
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, scale, 4, seed);
-            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-            let out = h.run_cord(&w, &CordConfig::paper());
-            (app.name().to_string(), vec![Some(out.log_bytes as f64)])
-        })
-        .collect();
-    FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn logsize(scale: ScaleClass, seed: u64) -> Result<FigureTable, CordError> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+        let out = h.run_cord(&w, &CordConfig::paper())?;
+        rows.push((app.name().to_string(), vec![Some(out.log_bytes as f64)]));
+    }
+    Ok(FigureTable {
         title: "Order-recording log size (8 bytes/entry)".into(),
         columns: vec!["log size".into()],
         rows,
         unit: Unit::Bytes,
         note: "paper: < 1MB per full application run".into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// §2.3–§2.4: the timestamp state area model.
@@ -375,7 +379,8 @@ pub fn area_table() -> FigureTable {
         columns: vec!["overhead".into()],
         rows,
         unit: Unit::Percent,
-        note: "paper: 19% scalar (thread-count independent), 38% for 4-thread VC, 200% per-word".into(),
+        note: "paper: 19% scalar (thread-count independent), 38% for 4-thread VC, 200% per-word"
+            .into(),
     }
 }
 
@@ -415,7 +420,15 @@ pub fn default_sweep(opts: &SweepOptions) -> SweepResults {
 /// Ablation study over the design choices DESIGN.md calls out: problem
 /// detections over injected runs with each mechanism individually
 /// altered, against the shipping configuration.
-pub fn ablations(scale: ScaleClass, seed: u64, injections: usize) -> FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn ablations(
+    scale: ScaleClass,
+    seed: u64,
+    injections: usize,
+) -> Result<FigureTable, CordError> {
     use cord_core::CordDetector;
     use cord_inject::Campaign;
     use cord_sim::engine::Machine;
@@ -445,29 +458,24 @@ pub fn ablations(scale: ScaleClass, seed: u64, injections: usize) -> FigureTable
         cord_workloads::AppKind::WaterN2,
     ];
     let machine = MachineConfig::paper_4core();
-    let rows = apps
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, scale, 4, seed);
-            let campaign = Campaign::plan(&machine, &w, injections, seed ^ app as u64);
-            let vals = variants
-                .iter()
-                .map(|(_, mk)| {
-                    let mut found = 0u64;
-                    for (i, plan) in campaign.plans().enumerate() {
-                        let det = CordDetector::new(mk(), 4, machine.cores);
-                        let m =
-                            Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
-                        let (_, det) = m.run().expect("run ok");
-                        found += u64::from(!det.races().is_empty());
-                    }
-                    Some(found as f64)
-                })
-                .collect();
-            (app.name().to_string(), vals)
-        })
-        .collect();
-    FigureTable {
+    let mut rows = Vec::new();
+    for app in apps {
+        let w = kernel(app, scale, 4, seed);
+        let campaign = Campaign::plan(&machine, &w, injections, seed ^ app as u64)?;
+        let mut vals = Vec::new();
+        for (_, mk) in &variants {
+            let mut found = 0u64;
+            for (i, plan) in campaign.plans().enumerate() {
+                let det = CordDetector::new(mk(), 4, machine.cores);
+                let m = Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
+                let (_, det) = m.run()?;
+                found += u64::from(!det.races().is_empty());
+            }
+            vals.push(Some(found as f64));
+        }
+        rows.push((app.name().to_string(), vals));
+    }
+    Ok(FigureTable {
         title: "Ablations: injected runs with >=1 detection, per configuration".into(),
         columns: variants.iter().map(|(n, _)| n.to_string()).collect(),
         rows,
@@ -476,13 +484,17 @@ pub fn ablations(scale: ScaleClass, seed: u64, injections: usize) -> FigureTable
                no data-upd = Fig 3 ablation; inc-always = Fig 5"
             .into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// Cache and bus behaviour of the baseline machine per application (the
 /// methodology backdrop of §3.1: reduced caches preserve realistic hit
 /// rates and bus traffic).
-pub fn cache_stats(scale: ScaleClass, seed: u64) -> String {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn cache_stats(scale: ScaleClass, seed: u64) -> Result<String, CordError> {
     let mut out = String::from("== Baseline cache/bus behaviour (paper 4-core machine) ==\n");
     out.push_str(&format!(
         "{:12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}\n",
@@ -491,7 +503,7 @@ pub fn cache_stats(scale: ScaleClass, seed: u64) -> String {
     for app in all_apps() {
         let w = kernel(app, scale, 4, seed);
         let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-        let s = h.run_baseline(&w).stats;
+        let s = h.run_baseline(&w)?.stats;
         let total = s.total_accesses() as f64;
         out.push_str(&format!(
             "{:12} {:>9} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9}\n",
@@ -504,45 +516,55 @@ pub fn cache_stats(scale: ScaleClass, seed: u64) -> String {
             s.cycles,
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Extension (§5 comparison point): timestamp-bus traffic of full CORD
 /// vs. a record-only configuration (order recording without DRD, like
 /// Xu et al.'s flight data recorder).
-pub fn record_only_cost(scale: ScaleClass, seed: u64) -> FigureTable {
-    let rows = all_apps()
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, scale, 4, seed);
-            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-            let full = h.run_cord(&w, &CordConfig::paper());
-            let rec = h.run_cord(&w, &CordConfig::paper().record_only());
-            (
-                app.name().to_string(),
-                vec![
-                    Some(full.sim.stats.observer_addr_transactions as f64),
-                    Some(rec.sim.stats.observer_addr_transactions as f64),
-                    Some(rec.log_bytes as f64 / full.log_bytes.max(1) as f64),
-                ],
-            )
-        })
-        .collect();
-    FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn record_only_cost(scale: ScaleClass, seed: u64) -> Result<FigureTable, CordError> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+        let full = h.run_cord(&w, &CordConfig::paper())?;
+        let rec = h.run_cord(&w, &CordConfig::paper().record_only())?;
+        rows.push((
+            app.name().to_string(),
+            vec![
+                Some(full.sim.stats.observer_addr_transactions as f64),
+                Some(rec.sim.stats.observer_addr_transactions as f64),
+                Some(rec.log_bytes as f64 / full.log_bytes.max(1) as f64),
+            ],
+        ));
+    }
+    Ok(FigureTable {
         title: "Extension: timestamp-bus transactions, full CORD vs record-only".into(),
-        columns: vec!["full txns".into(), "rec-only txns".into(), "log ratio".into()],
+        columns: vec![
+            "full txns".into(),
+            "rec-only txns".into(),
+            "log ratio".into(),
+        ],
         rows,
         unit: Unit::Count,
         note: "record-only drops the race-check broadcasts; the order log is unchanged in role"
             .into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// Sensitivity extension: problem detection as the L2 capacity backing
 /// the timestamp storage shrinks or grows (the paper fixes 32 KB; this
 /// sweep shows how much of Figure 14's story is capacity).
-pub fn cache_size_sweep(seed: u64, injections: usize) -> FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn cache_size_sweep(seed: u64, injections: usize) -> Result<FigureTable, CordError> {
     use cord_core::CordDetector;
     use cord_inject::Campaign;
     use cord_sim::config::CacheGeometry;
@@ -555,45 +577,45 @@ pub fn cache_size_sweep(seed: u64, injections: usize) -> FigureTable {
         cord_workloads::AppKind::Raytrace,
         cord_workloads::AppKind::WaterN2,
     ];
-    let rows = apps
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, ScaleClass::Small, 4, seed);
-            let base_machine = MachineConfig::paper_4core();
-            let campaign = Campaign::plan(&base_machine, &w, injections, seed ^ app as u64);
-            let vals = sizes_kb
-                .iter()
-                .map(|&kb| {
-                    let mut mc = MachineConfig::paper_4core();
-                    mc.l2 = CacheGeometry::new(kb * 1024, 8);
-                    mc.l1 = CacheGeometry::new((kb * 1024 / 4).max(4096), 4);
-                    let mut found = 0u64;
-                    for (i, plan) in campaign.plans().enumerate() {
-                        let det = CordDetector::new(CordConfig::paper(), 4, mc.cores);
-                        let m = Machine::new(mc.clone(), &w, det, seed + i as u64, plan);
-                        let (_, det) = m.run().expect("run ok");
-                        found += u64::from(!det.races().is_empty());
-                    }
-                    Some(found as f64)
-                })
-                .collect();
-            (app.name().to_string(), vals)
-        })
-        .collect();
-    FigureTable {
+    let mut rows = Vec::new();
+    for app in apps {
+        let w = kernel(app, ScaleClass::Small, 4, seed);
+        let base_machine = MachineConfig::paper_4core();
+        let campaign = Campaign::plan(&base_machine, &w, injections, seed ^ app as u64)?;
+        let mut vals = Vec::new();
+        for &kb in &sizes_kb {
+            let mut mc = MachineConfig::paper_4core();
+            mc.l2 = CacheGeometry::new(kb * 1024, 8);
+            mc.l1 = CacheGeometry::new((kb * 1024 / 4).max(4096), 4);
+            let mut found = 0u64;
+            for (i, plan) in campaign.plans().enumerate() {
+                let det = CordDetector::new(CordConfig::paper(), 4, mc.cores);
+                let m = Machine::new(mc.clone(), &w, det, seed + i as u64, plan);
+                let (_, det) = m.run()?;
+                found += u64::from(!det.races().is_empty());
+            }
+            vals.push(Some(found as f64));
+        }
+        rows.push((app.name().to_string(), vals));
+    }
+    Ok(FigureTable {
         title: "Extension: CORD detections vs L2 capacity (counts over injected runs)".into(),
         columns: sizes_kb.iter().map(|kb| format!("L2={kb}KB")).collect(),
         rows,
         unit: Unit::Count,
         note: "timestamp storage scales with the cache; larger caches keep more history".into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// Sensitivity extension: CORD across thread counts (the scalar scheme's
 /// state is thread-count independent, §2.4 — detection should not
 /// collapse as threads grow toward the core count).
-pub fn thread_sweep(seed: u64, injections: usize) -> FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn thread_sweep(seed: u64, injections: usize) -> Result<FigureTable, CordError> {
     use cord_core::CordDetector;
     use cord_inject::Campaign;
     use cord_sim::engine::Machine;
@@ -606,85 +628,131 @@ pub fn thread_sweep(seed: u64, injections: usize) -> FigureTable {
         cord_workloads::AppKind::Volrend,
     ];
     let machine = MachineConfig::paper_4core();
-    let rows = apps
-        .into_iter()
-        .map(|app| {
-            let vals = counts
-                .iter()
-                .map(|&threads| {
-                    let w = kernel(app, ScaleClass::Tiny, threads, seed);
-                    let campaign =
-                        Campaign::plan(&machine, &w, injections, seed ^ app as u64);
-                    let mut found = 0u64;
-                    for (i, plan) in campaign.plans().enumerate() {
-                        let det = CordDetector::new(CordConfig::paper(), threads, machine.cores);
-                        let m = Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
-                        let (_, det) = m.run().expect("run ok");
-                        found += u64::from(!det.races().is_empty());
-                    }
-                    Some(found as f64)
-                })
-                .collect();
-            (app.name().to_string(), vals)
-        })
-        .collect();
-    FigureTable {
+    let mut rows = Vec::new();
+    for app in apps {
+        let mut vals = Vec::new();
+        for &threads in &counts {
+            let w = kernel(app, ScaleClass::Tiny, threads, seed);
+            let campaign = Campaign::plan(&machine, &w, injections, seed ^ app as u64)?;
+            let mut found = 0u64;
+            for (i, plan) in campaign.plans().enumerate() {
+                let det = CordDetector::new(CordConfig::paper(), threads, machine.cores);
+                let m = Machine::new(machine.clone(), &w, det, seed + i as u64, plan);
+                let (_, det) = m.run()?;
+                found += u64::from(!det.races().is_empty());
+            }
+            vals.push(Some(found as f64));
+        }
+        rows.push((app.name().to_string(), vals));
+    }
+    Ok(FigureTable {
         title: "Extension: CORD detections vs thread count (counts over injected runs)".into(),
         columns: counts.iter().map(|c| format!("{c} thr")).collect(),
         rows,
         unit: Unit::Count,
         note: "scalar state is thread-count independent (§2.4); >4 threads time-multiplex".into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// The §2.5 directory extension: CORD overhead and detection parity
 /// under directory coherence vs. the paper's snooping machine.
-pub fn directory_extension(scale: ScaleClass, seed: u64) -> FigureTable {
-    let rows = all_apps()
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, scale, 4, seed);
-            let snoop = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-            let dir =
-                ExperimentHarness::new(MachineConfig::paper_4core_directory()).with_seed(seed);
-            let s = snoop.overhead(&w, &CordConfig::paper());
-            let d = dir.overhead(&w, &CordConfig::paper());
-            (app.name().to_string(), vec![Some(s), Some(d)])
-        })
-        .collect();
-    FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn directory_extension(scale: ScaleClass, seed: u64) -> Result<FigureTable, CordError> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let snoop = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+        let dir = ExperimentHarness::new(MachineConfig::paper_4core_directory()).with_seed(seed);
+        let s = snoop.overhead(&w, &CordConfig::paper())?;
+        let d = dir.overhead(&w, &CordConfig::paper())?;
+        rows.push((app.name().to_string(), vec![Some(s), Some(d)]));
+    }
+    Ok(FigureTable {
         title: "Extension (§2.5): CORD overhead under snooping vs directory coherence".into(),
         columns: vec!["snooping".into(), "directory".into()],
         rows,
         unit: Unit::Ratio,
         note: "the mechanism is coherence-agnostic; only indirection latency differs".into(),
     }
-    .with_average()
+    .with_average())
 }
 
 /// Replay-concurrency analysis (§2.7.1 future work): how many
 /// logical-time waves each app's log contains and the idealized parallel
 /// replay speedup.
-pub fn replay_concurrency(scale: ScaleClass, seed: u64) -> FigureTable {
-    let rows = all_apps()
-        .into_iter()
-        .map(|app| {
-            let w = kernel(app, scale, 4, seed);
-            let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
-            let out = h.run_cord(&w, &CordConfig::paper());
-            let p = cord_core::replay::replay_parallelism(&out.order_log);
-            (app.name().to_string(), vec![Some(p.mean_width)])
-        })
-        .collect();
-    FigureTable {
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn replay_concurrency(scale: ScaleClass, seed: u64) -> Result<FigureTable, CordError> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(seed);
+        let out = h.run_cord(&w, &CordConfig::paper())?;
+        let p = cord_core::replay::replay_parallelism(&out.order_log);
+        rows.push((app.name().to_string(), vec![Some(p.mean_width)]));
+    }
+    Ok(FigureTable {
         title: "Idealized parallel-replay speedup (mean segments per wave)".into(),
         columns: vec!["speedup".into()],
         rows,
         unit: Unit::Ratio,
         note: "§2.7.1: equal-clock segments are conflict-free and can replay concurrently".into(),
     }
-    .with_average()
+    .with_average())
+}
+
+/// Non-completed runs of a sweep, per app and status — the injection
+/// campaign's casualty report. Empty string when every run completed.
+pub fn failure_summary(results: &SweepResults) -> String {
+    let total_failed: usize = results.apps.iter().map(|a| a.non_completed().count()).sum();
+    let dry_failures = results
+        .apps
+        .iter()
+        .filter(|a| a.dry_run_error.is_some())
+        .count();
+    if total_failed == 0 && dry_failures == 0 {
+        return String::new();
+    }
+    let mut out = String::from("== Non-completed injection runs ==\n");
+    out.push_str(&format!(
+        "{:12} {:>9} {:>10} {:>9} {:>9}  detail\n",
+        "app", "completed", "deadlocked", "timed-out", "panicked"
+    ));
+    for app in &results.apps {
+        if let Some(err) = &app.dry_run_error {
+            out.push_str(&format!("{:12} dry run failed: {err}\n", app.app));
+            continue;
+        }
+        let failed = app.non_completed().count();
+        if failed == 0 {
+            continue;
+        }
+        let count = |kind: &str| {
+            app.non_completed()
+                .filter(|r| r.status.kind() == kind)
+                .count()
+        };
+        let first = app
+            .non_completed()
+            .next()
+            .map(|r| format!("{} -> {}", r.target, r.status.kind()))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{:12} {:>9} {:>10} {:>9} {:>9}  e.g. {first}\n",
+            app.app,
+            app.completed().count(),
+            count("deadlocked"),
+            count("timed-out"),
+            count("panicked"),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -698,6 +766,7 @@ mod tests {
             scale: ScaleClassOpt::Tiny,
             threads: 4,
             seed: 5,
+            ..SweepOptions::default()
         })
     }
 
@@ -746,11 +815,20 @@ mod tests {
 
     #[test]
     fn logsize_is_positive_and_modest() {
-        let t = logsize(ScaleClass::Tiny, 3);
+        let t = logsize(ScaleClass::Tiny, 3).expect("clean runs complete");
         for (app, vals) in &t.rows {
             let bytes = vals[0].unwrap();
             assert!(bytes > 0.0, "{app} produced no log");
-            assert!(bytes < 1024.0 * 1024.0, "{app} log exceeds 1MB at tiny scale");
+            assert!(
+                bytes < 1024.0 * 1024.0,
+                "{app} log exceeds 1MB at tiny scale"
+            );
         }
+    }
+
+    #[test]
+    fn failure_summary_is_empty_for_clean_sweeps() {
+        let s = tiny_sweep();
+        assert!(failure_summary(&s).is_empty());
     }
 }

@@ -11,16 +11,22 @@
 //!   (problem detection rate, raw race detection rate, manifestation
 //!   rate, execution-time overhead, log sizes, area model) and renders
 //!   them as text tables.
+//! * [`checkpoint`] — checkpoint/resume for interrupted sweeps: partial
+//!   results are persisted after every app and reloaded (keyed by an
+//!   options hash) on restart, bit-identical to an uninterrupted run.
 //!
 //! The `figures` binary (`cargo run -p cord-bench --bin figures`) is the
 //! command-line entry point; see EXPERIMENTS.md for the paper-vs-measured
 //! record.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod configs;
 pub mod figures;
 pub mod sweep;
 
+pub use checkpoint::{options_hash, sweep_all_checkpointed, Checkpoint};
 pub use configs::DetectorConfig;
-pub use sweep::{AppSweep, RunRecord, SweepOptions, SweepResults};
+pub use sweep::{AppSweep, RunRecord, RunStatus, SweepOptions, SweepResults};

@@ -1,17 +1,27 @@
 //! The §3.4 injection sweep: the data source for Figures 10 and 12–17.
+//!
+//! Injection campaigns are *fault-tolerant*: every injected run executes
+//! under a panic boundary with a watchdog-configured machine, so a run
+//! that deadlocks, livelocks, exceeds its cycle budget, or panics inside
+//! a detector is recorded with its [`RunStatus`] and the sweep moves on
+//! to the next run. Rates are computed over completed runs only;
+//! non-completed runs are surfaced separately (see
+//! [`failure_summary`](crate::figures::failure_summary)).
 
 use crate::configs::DetectorConfig;
-use cord_core::CordDetector;
+use cord_core::{CordConfig, CordDetector};
 use cord_detectors::{IdealDetector, VcLimitedDetector};
-use cord_inject::Campaign;
-use cord_sim::engine::{InjectionPlan, Machine};
+use cord_inject::{Campaign, InjectionTarget};
+use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use cord_sim::config::{MachineConfig, Watchdog};
+use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_trace::program::Workload;
 use cord_workloads::{all_apps, kernel, AppKind, ScaleClass};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
     /// Injection runs per application (the paper uses 20–100).
     pub injections_per_app: usize,
@@ -21,10 +31,19 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// Also draw release-side removals (flag sets). These strand the
+    /// waiters — deadlocks under blocking waits, livelocks under spin
+    /// waits — and are how the watchdog machinery gets exercised. The
+    /// paper's protocol removes acquire-side instances only.
+    pub include_releases: bool,
+    /// Execute flag waits as bounded spins of this many cycles instead
+    /// of blocking. Turns stranded waiters into livelocks the progress
+    /// watchdog catches. `None` keeps the paper's blocking semantics.
+    pub spin_waits: Option<u64>,
 }
 
 /// Serializable mirror of [`ScaleClass`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScaleClassOpt {
     /// Maps to [`ScaleClass::Tiny`].
     Tiny,
@@ -44,6 +63,28 @@ impl From<ScaleClassOpt> for ScaleClass {
     }
 }
 
+impl ScaleClassOpt {
+    /// Default watchdog for sweep runs at this scale: a cycle budget two
+    /// to three orders of magnitude above a healthy run plus a
+    /// no-progress window, so sweeps never hang on a wedged run but
+    /// never clip a slow healthy one.
+    pub fn watchdog(self) -> Watchdog {
+        match self {
+            ScaleClassOpt::Tiny => Watchdog::new(10_000_000, 1_000_000),
+            ScaleClassOpt::Small => Watchdog::new(100_000_000, 5_000_000),
+            ScaleClassOpt::Paper => Watchdog::new(4_000_000_000, 50_000_000),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ScaleClassOpt::Tiny => "tiny",
+            ScaleClassOpt::Small => "small",
+            ScaleClassOpt::Paper => "paper",
+        }
+    }
+}
+
 impl Default for SweepOptions {
     /// 24 injections per app at Small scale on 4 threads — enough for
     /// stable averages in seconds of wall time.
@@ -53,12 +94,32 @@ impl Default for SweepOptions {
             scale: ScaleClassOpt::Small,
             threads: 4,
             seed: 2006,
+            include_releases: false,
+            spin_waits: None,
         }
     }
 }
 
+impl SweepOptions {
+    /// The watchdog every `Machine::run` in this sweep executes under
+    /// (derived from the scale; sweeps never run unbounded).
+    pub fn watchdog(&self) -> Watchdog {
+        self.scale.watchdog()
+    }
+
+    /// Applies the sweep's run environment (watchdog, wait mode) to a
+    /// detector configuration's machine.
+    pub fn machine_for(&self, config: DetectorConfig) -> MachineConfig {
+        let mut mc = config.machine().with_watchdog(self.watchdog());
+        if let Some(spin) = self.spin_waits {
+            mc = mc.with_spin_waits(spin);
+        }
+        mc
+    }
+}
+
 /// What one detector saw in one injected run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Detection {
     /// Data races reported.
     pub races: u64,
@@ -71,56 +132,124 @@ impl Detection {
     }
 }
 
-/// One injected run: the removed instance and what every configuration
-/// detected.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// How one injected run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every configuration ran to completion.
+    Completed,
+    /// The machine reported a deadlock (all threads blocked).
+    Deadlocked,
+    /// The watchdog fired: no forward progress (livelock) or the cycle
+    /// budget was exceeded.
+    TimedOut,
+    /// A detector or the simulator panicked; the payload is the panic
+    /// message.
+    Panicked {
+        /// The panic message, when it carried one.
+        msg: String,
+    },
+}
+
+impl RunStatus {
+    /// Short machine-readable name for tables and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunStatus::Completed => "completed",
+            RunStatus::Deadlocked => "deadlocked",
+            RunStatus::TimedOut => "timed-out",
+            RunStatus::Panicked { .. } => "panicked",
+        }
+    }
+
+    /// `true` for [`RunStatus::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+
+    fn from_sim_error(e: &SimError) -> RunStatus {
+        match e {
+            SimError::Deadlock { .. } => RunStatus::Deadlocked,
+            SimError::Livelock { .. } | SimError::CycleBudgetExceeded { .. } => RunStatus::TimedOut,
+        }
+    }
+}
+
+/// One injected run: the removed instance, how the run ended, and what
+/// every configuration detected (empty unless the run completed).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunRecord {
     /// The removed dynamic sync instance.
-    pub target: u64,
-    /// The Ideal oracle's verdict (defines manifestation).
-    pub ideal: Detection,
+    pub target: InjectionTarget,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Failure diagnostics (the [`SimError`] rendering, with per-thread
+    /// stuck states) for non-completed runs.
+    pub detail: Option<String>,
+    /// The Ideal oracle's verdict (defines manifestation); `None` when
+    /// the run did not complete.
+    pub ideal: Option<Detection>,
     /// Per-configuration detections, keyed by label.
     pub detections: BTreeMap<String, Detection>,
 }
 
 /// All injected runs of one application.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppSweep {
     /// Application name.
     pub app: String,
-    /// Total removable instances in the dry run.
-    pub total_instances: u64,
+    /// Acquire-side removable instances in the dry run.
+    pub acquire_instances: u64,
+    /// Release-side instances in the dry run.
+    pub release_instances: u64,
+    /// Set when the fault-free dry run itself failed (the campaign is
+    /// then empty).
+    pub dry_run_error: Option<String>,
     /// The injected runs.
     pub runs: Vec<RunRecord>,
 }
 
 impl AppSweep {
-    /// Runs where the Ideal oracle found at least one data race.
-    pub fn manifested(&self) -> impl Iterator<Item = &RunRecord> {
-        self.runs.iter().filter(|r| r.ideal.found())
+    /// Runs that completed (the denominator of every rate).
+    pub fn completed(&self) -> impl Iterator<Item = &RunRecord> {
+        self.runs.iter().filter(|r| r.status.is_completed())
     }
 
-    /// Fraction of injections that manifested (Figure 10's metric).
+    /// Runs that deadlocked, timed out, or panicked.
+    pub fn non_completed(&self) -> impl Iterator<Item = &RunRecord> {
+        self.runs.iter().filter(|r| !r.status.is_completed())
+    }
+
+    /// Completed runs where the Ideal oracle found at least one data
+    /// race.
+    pub fn manifested(&self) -> impl Iterator<Item = &RunRecord> {
+        self.completed()
+            .filter(|r| r.ideal.is_some_and(|d| d.found()))
+    }
+
+    /// Fraction of *completed* injections that manifested (Figure 10's
+    /// metric). Non-completed runs crashed the simulated program rather
+    /// than racing it; they are reported separately, not averaged in.
     pub fn manifestation_rate(&self) -> f64 {
-        if self.runs.is_empty() {
+        let completed = self.completed().count();
+        if completed == 0 {
             return 0.0;
         }
-        self.manifested().count() as f64 / self.runs.len() as f64
+        self.manifested().count() as f64 / completed as f64
     }
 
-    /// Problem detection count for a configuration over manifested runs
+    /// Problem detection count for a configuration over completed runs
     /// (a config may also fire on non-manifested runs — different
     /// interleavings, like the paper's volrend anomaly — so the rate can
     /// exceed 1).
     pub fn problems_found(&self, label: &str) -> usize {
-        self.runs
-            .iter()
+        self.completed()
             .filter(|r| r.detections.get(label).is_some_and(Detection::found))
             .count()
     }
 
     /// Problem detection rate of `label` relative to `base` (both
-    /// counted over all runs; the denominator is `base`'s detections).
+    /// counted over completed runs; the denominator is `base`'s
+    /// detections).
     pub fn problem_rate_vs(&self, label: &str, base: &str) -> Option<f64> {
         let base_found = if base == "Ideal" {
             self.manifested().count()
@@ -133,11 +262,18 @@ impl AppSweep {
         Some(self.problems_found(label) as f64 / base_found as f64)
     }
 
-    /// Total raw data races reported by `label` across all runs.
+    /// Total raw data races reported by `label` across completed runs.
     pub fn races_found(&self, label: &str) -> u64 {
-        self.runs
-            .iter()
+        self.completed()
             .filter_map(|r| r.detections.get(label))
+            .map(|d| d.races)
+            .sum()
+    }
+
+    /// Total raw races the Ideal oracle reported across completed runs.
+    pub fn ideal_races(&self) -> u64 {
+        self.completed()
+            .filter_map(|r| r.ideal)
             .map(|d| d.races)
             .sum()
     }
@@ -145,7 +281,7 @@ impl AppSweep {
     /// Raw race detection rate of `label` relative to `base`.
     pub fn race_rate_vs(&self, label: &str, base: &str) -> Option<f64> {
         let base_races = if base == "Ideal" {
-            self.runs.iter().map(|r| r.ideal.races).sum::<u64>()
+            self.ideal_races()
         } else {
             self.races_found(base)
         };
@@ -157,7 +293,7 @@ impl AppSweep {
 }
 
 /// Results of the full sweep.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepResults {
     /// The options the sweep ran with.
     pub options: SweepOptions,
@@ -177,73 +313,206 @@ impl SweepResults {
             Some(vals.iter().sum::<f64>() / vals.len() as f64)
         }
     }
+
+    /// Total non-completed runs across all apps, by status kind.
+    pub fn failure_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for app in &self.apps {
+            for r in app.non_completed() {
+                *counts.entry(r.status.kind()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
 }
 
 /// Runs one detector configuration on one injected run and returns its
 /// detection.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] when the machine aborts — expected for
+/// release-side removals, which strand their waiters.
+///
+/// # Panics
+///
+/// [`DetectorConfig::PanicProbe`] panics by design; the sweep's
+/// per-run `catch_unwind` boundary turns it into
+/// [`RunStatus::Panicked`].
 pub fn run_config(
     config: DetectorConfig,
     workload: &Workload,
     seed: u64,
     plan: InjectionPlan,
-) -> Detection {
-    let machine = config.machine();
+    opts: &SweepOptions,
+) -> Result<Detection, SimError> {
+    let machine = opts.machine_for(config);
     let threads = workload.num_threads();
     let races = match config {
         DetectorConfig::Ideal => {
             let det = IdealDetector::new(threads);
             let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run().expect("run deadlocked");
+            let (_, det) = m.run()?;
             det.data_race_count()
         }
-        DetectorConfig::Cord { .. } => {
-            let cfg = config.cord_config().expect("cord config");
-            let det = CordDetector::new(cfg, threads, machine.cores);
+        DetectorConfig::Cord { d } => {
+            let det = CordDetector::new(CordConfig::with_d(d), threads, machine.cores);
             let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run().expect("run deadlocked");
+            let (_, det) = m.run()?;
             det.races().len() as u64
         }
-        _ => {
-            let cfg = config.vc_config().expect("vc config");
+        DetectorConfig::PanicProbe => {
+            // Deterministic fault: odd-seeded runs die, even-seeded runs
+            // report nothing, so a probed sweep holds both Panicked and
+            // Completed records (and rerun_record reproduces either).
+            if seed % 2 == 1 {
+                panic!("panic probe fired (injected detector fault)");
+            }
+            0
+        }
+        DetectorConfig::VcInfCache | DetectorConfig::VcL2Cache | DetectorConfig::VcL1Cache => {
+            let cfg = match config {
+                DetectorConfig::VcInfCache => cord_detectors::VcConfig::inf_cache(),
+                DetectorConfig::VcL1Cache => cord_detectors::VcConfig::l1_cache(),
+                _ => cord_detectors::VcConfig::l2_cache(),
+            };
             let det = VcLimitedDetector::new(cfg, threads, machine.cores);
             let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run().expect("run deadlocked");
+            let (_, det) = m.run()?;
             det.data_race_count()
         }
     };
-    Detection { races }
+    Ok(Detection { races })
+}
+
+/// Runs every configuration on one injected run behind a panic
+/// boundary, producing the run's record. The Ideal oracle runs once and
+/// its result is reused if `configs` also lists it (no double
+/// simulation).
+fn run_injection(
+    target: InjectionTarget,
+    configs: &[DetectorConfig],
+    workload: &Workload,
+    seed: u64,
+    opts: &SweepOptions,
+) -> RunRecord {
+    type RunOk = (Detection, BTreeMap<String, Detection>);
+    let plan = target.plan();
+    let outcome: Result<Result<RunOk, SimError>, _> = catch_unwind(AssertUnwindSafe(|| {
+        let ideal = run_config(DetectorConfig::Ideal, workload, seed, plan, opts)?;
+        let mut detections = BTreeMap::new();
+        for &cfg in configs {
+            let det = if cfg == DetectorConfig::Ideal {
+                ideal
+            } else {
+                run_config(cfg, workload, seed, plan, opts)?
+            };
+            detections.insert(cfg.label(), det);
+        }
+        Ok((ideal, detections))
+    }));
+    match outcome {
+        Ok(Ok((ideal, detections))) => RunRecord {
+            target,
+            status: RunStatus::Completed,
+            detail: None,
+            ideal: Some(ideal),
+            detections,
+        },
+        Ok(Err(sim)) => RunRecord {
+            target,
+            status: RunStatus::from_sim_error(&sim),
+            detail: Some(sim.to_string()),
+            ideal: None,
+            detections: BTreeMap::new(),
+        },
+        Err(payload) => RunRecord {
+            target,
+            status: RunStatus::Panicked {
+                msg: panic_message(payload.as_ref()),
+            },
+            detail: None,
+            ideal: None,
+            detections: BTreeMap::new(),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The deterministic per-run seed of run `i` in a sweep.
+pub fn run_seed(opts: &SweepOptions, i: usize) -> u64 {
+    opts.seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+}
+
+/// Re-executes one recorded run exactly as the sweep did — used to
+/// check that a non-completed run's failure is deterministic.
+pub fn rerun_record(
+    app: AppKind,
+    target: InjectionTarget,
+    run_index: usize,
+    configs: &[DetectorConfig],
+    opts: &SweepOptions,
+) -> RunRecord {
+    let workload = kernel(app, opts.scale.into(), opts.threads, opts.seed);
+    run_injection(target, configs, &workload, run_seed(opts, run_index), opts)
 }
 
 /// Sweeps one application across all `configs`.
 pub fn sweep_app(app: AppKind, configs: &[DetectorConfig], opts: &SweepOptions) -> AppSweep {
     let workload = kernel(app, opts.scale.into(), opts.threads, opts.seed);
-    let base_machine = cord_sim::config::MachineConfig::paper_4core();
-    let campaign = Campaign::plan(
-        &base_machine,
-        &workload,
-        opts.injections_per_app,
-        opts.seed ^ app as u64,
-    );
-    let mut runs = Vec::with_capacity(campaign.len());
-    for (i, plan) in campaign.plans().enumerate() {
-        let run_seed = opts
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(i as u64);
-        let ideal = run_config(DetectorConfig::Ideal, &workload, run_seed, plan);
-        let mut detections = BTreeMap::new();
-        for &cfg in configs {
-            detections.insert(cfg.label(), run_config(cfg, &workload, run_seed, plan));
+    // The dry run counts instances on the paper machine, watchdogged
+    // like every other run in the sweep.
+    let dry_machine = opts.machine_for(DetectorConfig::Cord { d: 16 });
+    let campaign_seed = opts.seed ^ app as u64;
+    let campaign = if opts.include_releases {
+        Campaign::plan_mixed(
+            &dry_machine,
+            &workload,
+            opts.injections_per_app,
+            campaign_seed,
+        )
+    } else {
+        Campaign::plan(
+            &dry_machine,
+            &workload,
+            opts.injections_per_app,
+            campaign_seed,
+        )
+    };
+    let campaign = match campaign {
+        Ok(c) => c,
+        Err(e) => {
+            return AppSweep {
+                app: workload.name().to_string(),
+                acquire_instances: 0,
+                release_instances: 0,
+                dry_run_error: Some(e.to_string()),
+                runs: Vec::new(),
+            }
         }
-        runs.push(RunRecord {
-            target: plan.remove_instance.expect("injection plan has target"),
-            ideal,
-            detections,
-        });
-    }
+    };
+    let runs = campaign
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, &target)| run_injection(target, configs, &workload, run_seed(opts, i), opts))
+        .collect();
     AppSweep {
         app: workload.name().to_string(),
-        total_instances: campaign.total_instances,
+        acquire_instances: campaign.counts.acquires,
+        release_instances: campaign.counts.releases,
+        dry_run_error: None,
         runs,
     }
 }
@@ -259,6 +528,186 @@ pub fn sweep_all(configs: &[DetectorConfig], opts: &SweepOptions) -> SweepResult
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON codecs (checkpoint files and --json dumps).
+
+impl ToJson for ScaleClassOpt {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for ScaleClassOpt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "tiny" => Ok(ScaleClassOpt::Tiny),
+            "small" => Ok(ScaleClassOpt::Small),
+            "paper" => Ok(ScaleClassOpt::Paper),
+            other => Err(JsonError::new(format!("unknown scale class {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for SweepOptions {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("injections_per_app", self.injections_per_app.to_json()),
+            ("scale", self.scale.to_json()),
+            ("threads", self.threads.to_json()),
+            ("seed", self.seed.to_json()),
+            ("include_releases", self.include_releases.to_json()),
+            ("spin_waits", self.spin_waits.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepOptions {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SweepOptions {
+            injections_per_app: usize::from_json(v.field("injections_per_app")?)?,
+            scale: ScaleClassOpt::from_json(v.field("scale")?)?,
+            threads: usize::from_json(v.field("threads")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            include_releases: bool::from_json(v.field("include_releases")?)?,
+            spin_waits: Option::<u64>::from_json(v.field("spin_waits")?)?,
+        })
+    }
+}
+
+impl ToJson for Detection {
+    fn to_json(&self) -> Json {
+        obj(vec![("races", self.races.to_json())])
+    }
+}
+
+impl FromJson for Detection {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Detection {
+            races: u64::from_json(v.field("races")?)?,
+        })
+    }
+}
+
+impl ToJson for RunStatus {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("status", Json::Str(self.kind().to_string()))];
+        if let RunStatus::Panicked { msg } = self {
+            fields.push(("msg", msg.to_json()));
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for RunStatus {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.field("status")?.as_str()? {
+            "completed" => Ok(RunStatus::Completed),
+            "deadlocked" => Ok(RunStatus::Deadlocked),
+            "timed-out" => Ok(RunStatus::TimedOut),
+            "panicked" => Ok(RunStatus::Panicked {
+                msg: String::from_json(v.field("msg")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown run status {other:?}"))),
+        }
+    }
+}
+
+fn target_to_json(t: &InjectionTarget) -> Json {
+    obj(vec![
+        ("kind", Json::Str(t.kind().to_string())),
+        ("instance", t.instance().to_json()),
+    ])
+}
+
+fn target_from_json(v: &Json) -> Result<InjectionTarget, JsonError> {
+    let n = u64::from_json(v.field("instance")?)?;
+    match v.field("kind")?.as_str()? {
+        "acquire" => Ok(InjectionTarget::Acquire(n)),
+        "release" => Ok(InjectionTarget::Release(n)),
+        other => Err(JsonError::new(format!("unknown target kind {other:?}"))),
+    }
+}
+
+impl ToJson for RunRecord {
+    fn to_json(&self) -> Json {
+        let detections = Json::Object(
+            self.detections
+                .iter()
+                .map(|(label, d)| (label.clone(), d.to_json()))
+                .collect(),
+        );
+        obj(vec![
+            ("target", target_to_json(&self.target)),
+            ("status", self.status.to_json()),
+            ("detail", self.detail.to_json()),
+            ("ideal", self.ideal.to_json()),
+            ("detections", detections),
+        ])
+    }
+}
+
+impl FromJson for RunRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut detections = BTreeMap::new();
+        for (label, d) in v.field("detections")?.as_object()? {
+            detections.insert(label.clone(), Detection::from_json(d)?);
+        }
+        let ideal = match v.field("ideal")? {
+            Json::Null => None,
+            d => Some(Detection::from_json(d)?),
+        };
+        Ok(RunRecord {
+            target: target_from_json(v.field("target")?)?,
+            status: RunStatus::from_json(v.field("status")?)?,
+            detail: Option::<String>::from_json(v.field("detail")?)?,
+            ideal,
+            detections,
+        })
+    }
+}
+
+impl ToJson for AppSweep {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("app", self.app.to_json()),
+            ("acquire_instances", self.acquire_instances.to_json()),
+            ("release_instances", self.release_instances.to_json()),
+            ("dry_run_error", self.dry_run_error.to_json()),
+            ("runs", self.runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AppSweep {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(AppSweep {
+            app: String::from_json(v.field("app")?)?,
+            acquire_instances: u64::from_json(v.field("acquire_instances")?)?,
+            release_instances: u64::from_json(v.field("release_instances")?)?,
+            dry_run_error: Option::<String>::from_json(v.field("dry_run_error")?)?,
+            runs: Vec::<RunRecord>::from_json(v.field("runs")?)?,
+        })
+    }
+}
+
+impl ToJson for SweepResults {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("options", self.options.to_json()),
+            ("apps", self.apps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepResults {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SweepResults {
+            options: SweepOptions::from_json(v.field("options")?)?,
+            apps: Vec::<AppSweep>::from_json(v.field("apps")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +718,7 @@ mod tests {
             scale: ScaleClassOpt::Tiny,
             threads: 4,
             seed: 7,
+            ..SweepOptions::default()
         }
     }
 
@@ -278,8 +728,10 @@ mod tests {
         let s = sweep_app(AppKind::WaterN2, &configs, &quick_opts());
         assert_eq!(s.app, "water-n2");
         assert_eq!(s.runs.len(), 4);
-        assert!(s.total_instances > 0);
+        assert!(s.acquire_instances > 0);
+        assert!(s.dry_run_error.is_none());
         for r in &s.runs {
+            assert_eq!(r.status, RunStatus::Completed);
             assert!(r.detections.contains_key("CORD-D16"));
         }
     }
@@ -299,6 +751,7 @@ mod tests {
     fn cord_never_fires_on_clean_runs_in_sweep_apps() {
         // No-injection sanity for a couple of apps through the sweep's
         // run_config path.
+        let opts = quick_opts();
         for app in [AppKind::Fft, AppKind::Radiosity] {
             let w = kernel(app, ScaleClass::Tiny, 4, 7);
             let d = run_config(
@@ -306,19 +759,53 @@ mod tests {
                 &w,
                 1,
                 InjectionPlan::none(),
-            );
+                &opts,
+            )
+            .expect("clean run completes");
             assert_eq!(d.races, 0, "{} clean run fired", w.name());
-            let i = run_config(DetectorConfig::Ideal, &w, 1, InjectionPlan::none());
+            let i = run_config(DetectorConfig::Ideal, &w, 1, InjectionPlan::none(), &opts)
+                .expect("clean run completes");
             assert_eq!(i.races, 0);
+        }
+    }
+
+    #[test]
+    fn ideal_in_configs_is_not_simulated_twice() {
+        // With Ideal listed, the detections table carries its label and
+        // the value equals the manifestation verdict (one simulation,
+        // reused).
+        let configs = [DetectorConfig::Ideal, DetectorConfig::Cord { d: 16 }];
+        let s = sweep_app(AppKind::Lu, &configs, &quick_opts());
+        for r in &s.runs {
+            assert_eq!(r.detections.get("Ideal").copied(), r.ideal);
         }
     }
 
     #[test]
     fn results_serialize_roundtrip() {
         let configs = [DetectorConfig::Cord { d: 16 }];
-        let s = sweep_app(AppKind::Lu, &configs, &quick_opts());
-        let json = serde_json::to_string(&s).unwrap();
-        let back: AppSweep = serde_json::from_str(&json).unwrap();
+        let s = SweepResults {
+            options: quick_opts(),
+            apps: vec![sweep_app(AppKind::Lu, &configs, &quick_opts())],
+        };
+        let json = s.to_json().to_string_pretty();
+        let back = SweepResults::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
         assert_eq!(s, back);
+        // Byte-stable re-serialization (what checkpoint resume relies on).
+        assert_eq!(json, back.to_json().to_string_pretty());
+    }
+
+    #[test]
+    fn failure_statuses_roundtrip() {
+        let r = RunRecord {
+            target: cord_inject::InjectionTarget::Release(3),
+            status: RunStatus::Panicked { msg: "boom".into() },
+            detail: Some("diag".into()),
+            ideal: None,
+            detections: BTreeMap::new(),
+        };
+        let back = RunRecord::from_json(&r.to_json()).expect("decodes");
+        assert_eq!(r, back);
+        assert_eq!(back.status.kind(), "panicked");
     }
 }

@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn partial_ord_matches_causality() {
-        assert_eq!(
-            vc(&[1, 0]).partial_cmp(&vc(&[2, 0])),
-            Some(Ordering::Less)
-        );
+        assert_eq!(vc(&[1, 0]).partial_cmp(&vc(&[2, 0])), Some(Ordering::Less));
         assert_eq!(vc(&[1, 0]).partial_cmp(&vc(&[0, 1])), None);
     }
 

@@ -250,12 +250,7 @@ impl CordDetector {
     /// Periodic cache-walker pass (§2.7.5): evicts history entries that
     /// risk leaving the 16-bit sliding window and records violations.
     fn walk(&mut self) {
-        let max_clock = self
-            .clocks
-            .iter()
-            .map(|c| c.ticks())
-            .max()
-            .unwrap_or(0);
+        let max_clock = self.clocks.iter().map(|c| c.ticks()).max().unwrap_or(0);
         if max_clock <= u64::from(WINDOW) / 2 {
             return; // plenty of headroom
         }
@@ -363,8 +358,7 @@ impl MemoryObserver for CordDetector {
                 for e in h.entries() {
                     line_max_ts = Some(line_max_ts.map_or(e.stamp, |m| m.max(e.stamp)));
                     if e.conflicts_with(word, is_write) {
-                        max_conflict_ts =
-                            Some(max_conflict_ts.map_or(e.stamp, |m| m.max(e.stamp)));
+                        max_conflict_ts = Some(max_conflict_ts.map_or(e.stamp, |m| m.max(e.stamp)));
                     }
                     if ev.kind == AccessKind::SyncRead && e.written(word) {
                         max_write_ts = Some(max_write_ts.map_or(e.stamp, |m| m.max(e.stamp)));
@@ -469,7 +463,11 @@ impl MemoryObserver for CordDetector {
         // jump, data the lock protected would sit inside the DRD window.
         if ev.path.from_memory() && self.cfg.mem_ts {
             if ev.kind == AccessKind::SyncRead && self.memts.write() > ScalarTime::ZERO {
-                new_clk = new_clk.max(self.cfg.policy.sync_read_update(orig_clk, self.memts.write()));
+                new_clk = new_clk.max(
+                    self.cfg
+                        .policy
+                        .sync_read_update(orig_clk, self.memts.write()),
+                );
             }
             let ts = self.memts.relevant_for(is_write);
             if orig_clk.is_race_with(ts) {
@@ -497,7 +495,8 @@ impl MemoryObserver for CordDetector {
         // the *updated* clock (this is what makes conflicting pairs
         // strictly clock-ordered, the invariant replay relies on).
         if new_clk != orig_clk {
-            self.recorder.record_change(ev.thread, new_clk, ev.instr_index);
+            self.recorder
+                .record_change(ev.thread, new_clk, ev.instr_index);
             self.clocks[t] = new_clk;
             self.stats.clock_updates += 1;
         }
@@ -540,9 +539,8 @@ impl MemoryObserver for CordDetector {
         // never produce a detection and do not block the grant.
         if need_remote_check && self.cfg.check_filters {
             let clk_now = self.clocks[t].max(new_clk);
-            let line_clear = (0..self.hist.len())
-                .filter(|&c| c != my_core)
-                .all(|c| match self.hist[c].get(&line) {
+            let line_clear = (0..self.hist.len()).filter(|&c| c != my_core).all(|c| {
+                match self.hist[c].get(&line) {
                     None => true,
                     Some(h) => h.entries().iter().all(|e| {
                         let conflicts = if is_write {
@@ -552,7 +550,8 @@ impl MemoryObserver for CordDetector {
                         };
                         !conflicts || self.cfg.policy.is_synchronized(clk_now, e.stamp)
                     }),
-                });
+                }
+            });
             if line_clear {
                 let h = self.hist[my_core].entry(line).or_default();
                 h.grant_filter(is_write);
@@ -632,7 +631,8 @@ impl MemoryObserver for CordDetector {
             .policy
             .migration_update(self.clocks[t])
             .max(self.core_max_stamp[to.index()].succ());
-        self.recorder.record_change(thread, next, self.last_instr[t]);
+        self.recorder
+            .record_change(thread, next, self.last_instr[t]);
         self.clocks[t] = next;
         self.stats.migration_bumps += 1;
         self.stats.clock_updates += 1;
@@ -675,12 +675,13 @@ mod tests {
 
     #[test]
     fn no_false_positives_on_synchronized_flag() {
-        let (_, det) = run(&flag_workload(), CordConfig::paper(), 1, InjectionPlan::none());
-        assert!(
-            det.races().is_empty(),
-            "false positives: {:?}",
-            det.races()
+        let (_, det) = run(
+            &flag_workload(),
+            CordConfig::paper(),
+            1,
+            InjectionPlan::none(),
         );
+        assert!(det.races().is_empty(), "false positives: {:?}", det.races());
         // Ordering was recorded: the consumer's clock advanced past the
         // producer's.
         assert!(det.clock_of(ThreadId(1)) > ScalarTime::ZERO);
@@ -716,7 +717,11 @@ mod tests {
         let d = b.alloc_words(4);
         for t in 0..2 {
             for i in 0..4 {
-                b.thread_mut(t).lock(l).update(d.word(i)).unlock(l).compute(200);
+                b.thread_mut(t)
+                    .lock(l)
+                    .update(d.word(i))
+                    .unlock(l)
+                    .compute(200);
             }
         }
         let w = b.build();
@@ -751,7 +756,11 @@ mod tests {
         let d = b.alloc_words(2);
         for t in 0..2 {
             for i in 0..3 {
-                b.thread_mut(t).lock(l).update(d.word(i % 2)).unlock(l).compute(50);
+                b.thread_mut(t)
+                    .lock(l)
+                    .update(d.word(i % 2))
+                    .unlock(l)
+                    .compute(50);
             }
         }
         let w = b.build();
@@ -851,7 +860,10 @@ mod tests {
             b.build()
         };
         let count_x_races = |det: &CordDetector| {
-            det.races().iter().filter(|r| r.addr == Addr::new(0)).count()
+            det.races()
+                .iter()
+                .filter(|r| r.addr == Addr::new(0))
+                .count()
         };
         let (_, det_d1) = run(&build(), CordConfig::with_d(1), 17, InjectionPlan::none());
         let (_, det_d16) = run(&build(), CordConfig::with_d(16), 17, InjectionPlan::none());
@@ -921,7 +933,12 @@ mod tests {
 
     #[test]
     fn into_parts_hands_back_everything() {
-        let (_, det) = run(&flag_workload(), CordConfig::paper(), 1, InjectionPlan::none());
+        let (_, det) = run(
+            &flag_workload(),
+            CordConfig::paper(),
+            1,
+            InjectionPlan::none(),
+        );
         let updates = det.stats().clock_updates;
         let (races, recorder, stats) = det.into_parts();
         assert!(races.is_empty());
@@ -988,7 +1005,9 @@ mod record_only_tests {
         for t in 0..4 {
             let tb = &mut b.thread_mut(t);
             for i in 0..32u64 {
-                tb.lock(l).update(d.word((t as u64 * 32 + i) % 128)).unlock(l);
+                tb.lock(l)
+                    .update(d.word((t as u64 * 32 + i) % 128))
+                    .unlock(l);
                 tb.compute(40);
             }
         }

@@ -3,8 +3,9 @@
 
 use crate::config::CordConfig;
 use crate::detector::{CordDetector, CordStats, RaceReport};
+use crate::error::CordError;
 use crate::record::LogEntry;
-use crate::replay::{replay_and_verify, ReplayError, ReplayReport};
+use crate::replay::{replay_and_verify, ReplayReport};
 use cord_sim::config::MachineConfig;
 use cord_sim::engine::{InjectionPlan, Machine, RunOutput, SimError};
 use cord_sim::observer::NullObserver;
@@ -43,10 +44,11 @@ pub struct CordOutcome {
 /// }
 /// let w = b.build();
 ///
-/// let mut h = ExperimentHarness::new(MachineConfig::paper_4core());
-/// let outcome = h.run_cord(&w, &CordConfig::paper());
+/// let h = ExperimentHarness::new(MachineConfig::paper_4core());
+/// let outcome = h.run_cord(&w, &CordConfig::paper())?;
 /// assert!(outcome.races.is_empty()); // properly synchronized
 /// assert!(outcome.log_bytes > 0);
+/// # Ok::<(), cord_core::error::CordError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExperimentHarness {
@@ -74,11 +76,12 @@ impl ExperimentHarness {
 
     /// Runs without any recording/DRD support (Figure 11's baseline).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on simulated deadlock (impossible for validated
-    /// workloads).
-    pub fn run_baseline(&self, workload: &Workload) -> RunOutput {
+    /// Returns [`CordError::Sim`] if the machine aborts (deadlock,
+    /// livelock, or watchdog budget — reachable only under fault
+    /// injection or a configured watchdog).
+    pub fn run_baseline(&self, workload: &Workload) -> Result<RunOutput, CordError> {
         let m = Machine::new(
             self.machine.clone(),
             workload,
@@ -86,37 +89,53 @@ impl ExperimentHarness {
             self.seed,
             InjectionPlan::none(),
         );
-        let (out, _) = m.run().expect("baseline run deadlocked");
-        out
+        let (out, _) = m.run()?;
+        Ok(out)
     }
 
     /// Runs with CORD attached, no fault injection.
-    pub fn run_cord(&self, workload: &Workload, cfg: &CordConfig) -> CordOutcome {
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentHarness::run_cord_injected`].
+    pub fn run_cord(
+        &self,
+        workload: &Workload,
+        cfg: &CordConfig,
+    ) -> Result<CordOutcome, CordError> {
         self.run_cord_injected(workload, cfg, InjectionPlan::none())
     }
 
     /// Runs with CORD attached and a fault-injection plan (§3.4).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on simulated deadlock.
+    /// Returns [`CordError::Sim`] if the machine aborts, or
+    /// [`CordError::LogOverflow`] if the recorder exceeds
+    /// `cfg.max_log_entries`.
     pub fn run_cord_injected(
         &self,
         workload: &Workload,
         cfg: &CordConfig,
         plan: InjectionPlan,
-    ) -> CordOutcome {
+    ) -> Result<CordOutcome, CordError> {
         let det = CordDetector::new(cfg.clone(), workload.num_threads(), self.machine.cores);
         let m = Machine::new(self.machine.clone(), workload, det, self.seed, plan);
-        let (sim, det) = m.run().expect("CORD run deadlocked");
+        let (sim, det) = m.run()?;
         let (races, recorder, cord_stats) = det.into_parts();
-        CordOutcome {
+        if let Some(limit) = cfg.max_log_entries {
+            let entries = recorder.entries().len() as u64;
+            if entries > limit {
+                return Err(CordError::LogOverflow { entries, limit });
+            }
+        }
+        Ok(CordOutcome {
             races,
             log_bytes: recorder.bytes(),
             order_log: recorder.entries().to_vec(),
             cord_stats,
             sim,
-        }
+        })
     }
 
     /// Records a run with resolved-stream capture and verifies that the
@@ -124,42 +143,44 @@ impl ExperimentHarness {
     ///
     /// # Errors
     ///
-    /// Returns the [`ReplayError`] if the log fails to reproduce the
-    /// recorded outcome.
-    ///
-    /// # Panics
-    ///
-    /// Panics on simulated deadlock.
+    /// Returns [`CordError::Replay`] if the log fails to reproduce the
+    /// recorded outcome, or [`CordError::Sim`] if the recording run
+    /// aborts.
     pub fn verify_replay(
         &self,
         workload: &Workload,
         cfg: &CordConfig,
         plan: InjectionPlan,
-    ) -> Result<ReplayReport, ReplayError> {
+    ) -> Result<ReplayReport, CordError> {
         let machine = self.machine.clone().with_resolved_capture();
         let det = CordDetector::new(cfg.clone(), workload.num_threads(), machine.cores);
         let m = Machine::new(machine, workload, det, self.seed, plan);
-        let (sim, det) = m.run().expect("recording run deadlocked");
+        let (sim, det) = m.run()?;
         let (_, recorder, _) = det.into_parts();
         let resolved = sim
             .truth
             .resolved
             .as_ref()
-            .expect("capture_resolved was enabled");
-        replay_and_verify(
+            .ok_or(CordError::MissingResolvedStreams)?;
+        let report = replay_and_verify(
             recorder.entries(),
             resolved,
             &sim.stats.instr_counts,
             &sim.truth.thread_hashes,
-        )
+        )?;
+        Ok(report)
     }
 
     /// Relative execution time of CORD vs. the baseline (Figure 11's
     /// metric; 1.004 means 0.4% overhead).
-    pub fn overhead(&self, workload: &Workload, cfg: &CordConfig) -> f64 {
-        let base = self.run_baseline(workload);
-        let cord = self.run_cord(workload, cfg);
-        cord.sim.stats.cycles as f64 / base.stats.cycles as f64
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CordError`] of the two underlying runs.
+    pub fn overhead(&self, workload: &Workload, cfg: &CordConfig) -> Result<f64, CordError> {
+        let base = self.run_baseline(workload)?;
+        let cord = self.run_cord(workload, cfg)?;
+        Ok(cord.sim.stats.cycles as f64 / base.stats.cycles as f64)
     }
 }
 
@@ -193,10 +214,31 @@ mod tests {
     #[test]
     fn cord_run_produces_log_and_no_false_positives() {
         let h = ExperimentHarness::new(MachineConfig::paper_4core());
-        let out = h.run_cord(&locked_counter_workload(), &CordConfig::paper());
+        let out = h
+            .run_cord(&locked_counter_workload(), &CordConfig::paper())
+            .expect("clean run completes");
         assert!(out.races.is_empty(), "false positives: {:?}", out.races);
         assert!(!out.order_log.is_empty());
         assert_eq!(out.log_bytes, out.order_log.len() as u64 * 8);
+    }
+
+    #[test]
+    fn log_budget_overflow_is_reported() {
+        let h = ExperimentHarness::new(MachineConfig::paper_4core());
+        let w = locked_counter_workload();
+        let cfg = CordConfig::paper().with_log_limit(1);
+        let err = h.run_cord(&w, &cfg).expect_err("1-entry budget must blow");
+        match err {
+            CordError::LogOverflow { entries, limit } => {
+                assert_eq!(limit, 1);
+                assert!(entries > 1);
+            }
+            other => panic!("expected LogOverflow, got {other}"),
+        }
+        assert_eq!(err.kind(), "log-overflow");
+        // A generous budget must not trip.
+        let roomy = CordConfig::paper().with_log_limit(1 << 32);
+        h.run_cord(&w, &roomy).expect("roomy budget completes");
     }
 
     #[test]
@@ -232,7 +274,9 @@ mod tests {
     #[test]
     fn overhead_is_small() {
         let h = ExperimentHarness::new(MachineConfig::paper_4core());
-        let ratio = h.overhead(&locked_counter_workload(), &CordConfig::paper());
+        let ratio = h
+            .overhead(&locked_counter_workload(), &CordConfig::paper())
+            .expect("both runs complete");
         // CORD must not slow the machine by more than a few percent
         // (paper: 0.4% average, 3% worst case). On a workload this tiny
         // scheduling noise (lock handoff order shifting under the extra

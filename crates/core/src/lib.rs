@@ -17,6 +17,7 @@
 //!   verification (§3.3).
 //! * [`area`] — the analytic 19%-vs-38%-vs-200% state-overhead model
 //!   (§2.3).
+//! * [`error`] — the workspace-wide [`CordError`] failure taxonomy.
 //! * [`harness`] — one-call experiment runs.
 //!
 //! # Example
@@ -34,15 +35,18 @@
 //! let w = b.build();
 //!
 //! let h = ExperimentHarness::new(MachineConfig::paper_4core());
-//! let out = h.run_cord(&w, &CordConfig::paper());
+//! let out = h.run_cord(&w, &CordConfig::paper())?;
 //! assert!(out.races.is_empty()); // flag-synchronized: no data race
+//! # Ok::<(), cord_core::CordError>(())
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod area;
 pub mod config;
 pub mod detector;
+pub mod error;
 pub mod harness;
 pub mod history;
 pub mod logfmt;
@@ -52,9 +56,12 @@ pub mod replay;
 
 pub use config::CordConfig;
 pub use detector::{CordDetector, CordStats, RaceReport};
+pub use error::CordError;
 pub use harness::{CordOutcome, ExperimentHarness};
 pub use history::{HistEntry, LineHistory};
+pub use logfmt::{decode as decode_log, encode as encode_log, LogDecodeError};
 pub use memts::MemTimestamps;
 pub use record::{LogEntry, OrderRecorder, LOG_ENTRY_BYTES};
-pub use logfmt::{decode as decode_log, encode as encode_log, LogDecodeError};
-pub use replay::{replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport};
+pub use replay::{
+    replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport,
+};

@@ -41,7 +41,10 @@ impl fmt::Display for LogDecodeError {
                 write!(f, "log length {len} is not a multiple of {LOG_ENTRY_BYTES}")
             }
             LogDecodeError::WindowViolation { index, thread } => {
-                write!(f, "entry {index}: clock of {thread} outside the sliding window")
+                write!(
+                    f,
+                    "entry {index}: clock of {thread} outside the sliding window"
+                )
             }
         }
     }
@@ -85,8 +88,7 @@ pub fn decode(bytes: &[u8], num_threads: usize) -> Result<Vec<LogEntry>, LogDeco
     for (index, chunk) in bytes.chunks_exact(LOG_ENTRY_BYTES as usize).enumerate() {
         let clock16 = u16::from_le_bytes([chunk[0], chunk[1]]);
         let thread = ThreadId(u16::from_le_bytes([chunk[2], chunk[3]]));
-        let instructions =
-            u64::from(u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]));
+        let instructions = u64::from(u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]));
         let t = thread.index();
         if t >= num_threads {
             return Err(LogDecodeError::WindowViolation { index, thread });
@@ -160,7 +162,10 @@ mod tests {
         // (more than WINDOW, less than 2^16) is detectably impossible.
         let bad = vec![entry(0, 0, 1), entry(40_000, 0, 2)];
         let err = decode(&encode(&bad), 1).unwrap_err();
-        assert!(matches!(err, LogDecodeError::WindowViolation { index: 1, .. }));
+        assert!(matches!(
+            err,
+            LogDecodeError::WindowViolation { index: 1, .. }
+        ));
     }
 
     #[test]
@@ -190,12 +195,16 @@ mod tests {
         let d = b.alloc_words(4);
         for t in 0..2 {
             for i in 0..4 {
-                b.thread_mut(t).lock(l).update(d.word(i)).unlock(l).compute(30);
+                b.thread_mut(t)
+                    .lock(l)
+                    .update(d.word(i))
+                    .unlock(l)
+                    .compute(30);
             }
         }
         let w = b.build();
         let h = ExperimentHarness::new(MachineConfig::paper_4core());
-        let out = h.run_cord(&w, &CordConfig::paper());
+        let out = h.run_cord(&w, &CordConfig::paper()).expect("run completes");
         let bytes = encode(&out.order_log);
         assert_eq!(bytes.len() as u64, out.log_bytes);
         let back = decode(&bytes, 2).expect("hardware log decodes");

@@ -194,8 +194,14 @@ mod tests {
         );
         assert_eq!((e[1].clock, e[1].instructions), (ts(3), 150));
         // Flush entries: t0 with clock 4 for [250,400), t1 clock 0 for 50.
-        assert_eq!((e[2].clock, e[2].instructions, e[2].thread), (ts(4), 150, t(0)));
-        assert_eq!((e[3].clock, e[3].instructions, e[3].thread), (ts(0), 50, t(1)));
+        assert_eq!(
+            (e[2].clock, e[2].instructions, e[2].thread),
+            (ts(4), 150, t(0))
+        );
+        assert_eq!(
+            (e[3].clock, e[3].instructions, e[3].thread),
+            (ts(0), 50, t(1))
+        );
         // Total instructions match.
         let total: u64 = e.iter().map(|e| e.instructions).sum();
         assert_eq!(total, 450);

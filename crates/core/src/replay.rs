@@ -253,10 +253,7 @@ mod tests {
         // T0 writes X at clock 0 (1 instr), T1 reads X at clock 2.
         let resolved = vec![vec![acc(0, 0x40, true)], vec![acc(0, 0x40, false)]];
         let log = vec![entry(0, 0, 1), entry(2, 1, 1)];
-        let original = reference_hashes(
-            &[(0, acc(0, 0x40, true)), (1, acc(0, 0x40, false))],
-            2,
-        );
+        let original = reference_hashes(&[(0, acc(0, 0x40, true)), (1, acc(0, 0x40, false))], 2);
         let rep = replay_and_verify(&log, &resolved, &[1, 1], &original).expect("replay ok");
         assert_eq!(rep.segments, 2);
         assert_eq!(rep.accesses, 2);
@@ -267,10 +264,7 @@ mod tests {
         // Original: T0's write before T1's read. A log claiming T1 runs
         // first replays the read before the write => hash mismatch.
         let resolved = vec![vec![acc(0, 0x40, true)], vec![acc(0, 0x40, false)]];
-        let original = reference_hashes(
-            &[(0, acc(0, 0x40, true)), (1, acc(0, 0x40, false))],
-            2,
-        );
+        let original = reference_hashes(&[(0, acc(0, 0x40, true)), (1, acc(0, 0x40, false))], 2);
         let bad_log = vec![entry(2, 0, 1), entry(0, 1, 1)];
         let err = replay_and_verify(&bad_log, &resolved, &[1, 1], &original).unwrap_err();
         assert_eq!(err, ReplayError::OutcomeMismatch { thread: t(1) });
@@ -281,7 +275,14 @@ mod tests {
         let resolved = vec![vec![acc(0, 0x40, true)]];
         let log = vec![entry(0, 0, 5)];
         let err = replay_and_verify(&log, &resolved, &[9], &[0]).unwrap_err();
-        assert!(matches!(err, ReplayError::CoverageMismatch { logged: 5, executed: 9, .. }));
+        assert!(matches!(
+            err,
+            ReplayError::CoverageMismatch {
+                logged: 5,
+                executed: 9,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -244,8 +244,16 @@ mod tests {
         let l = b.alloc_lock();
         let d = b.alloc_words(2);
         b.thread_mut(0).lock(l).write(d.word(0)).unlock(l);
-        b.thread_mut(1).compute(8_000).lock(l).update(d.word(1)).unlock(l);
-        b.thread_mut(2).compute(16_000).lock(l).read(d.word(0)).unlock(l);
+        b.thread_mut(1)
+            .compute(8_000)
+            .lock(l)
+            .update(d.word(1))
+            .unlock(l);
+        b.thread_mut(2)
+            .compute(16_000)
+            .lock(l)
+            .read(d.word(0))
+            .unlock(l);
         let w = b.build();
         let det = run(&w, InjectionPlan::none(), 3);
         assert!(det.races().is_empty(), "{:?}", det.races());
@@ -312,7 +320,10 @@ mod tests {
         let mut b = WorkloadBuilder::new("dedupe", 2);
         let d = b.alloc_words(1);
         b.thread_mut(0).write(d.word(0));
-        b.thread_mut(1).compute(50_000).read(d.word(0)).read(d.word(0));
+        b.thread_mut(1)
+            .compute(50_000)
+            .read(d.word(0))
+            .read(d.word(0));
         let w = b.build();
         let det = run(&w, InjectionPlan::none(), 13);
         assert_eq!(det.data_race_count(), 1);

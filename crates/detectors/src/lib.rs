@@ -17,6 +17,7 @@
 //! and attach to the same simulator runs as CORD.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ideal;
 pub mod vc_limited;

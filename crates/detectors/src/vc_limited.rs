@@ -329,8 +329,7 @@ impl MemoryObserver for VcLimitedDetector {
         if self.cfg.capacity == CapacityMode::Unlimited || !self.tracks_level(removal.level) {
             return ObserverOutcome::NONE;
         }
-        self.shed_writes
-            .remove(&(removal.core.0, removal.line.0));
+        self.shed_writes.remove(&(removal.core.0, removal.line.0));
         if let Some(mut h) = self.hist[removal.core.index()].remove(&removal.line) {
             // Capacity evictions fold into the memory vector timestamps;
             // invalidations are already covered by the requester's
@@ -382,7 +381,11 @@ mod tests {
 
     #[test]
     fn synchronized_flag_clean_under_all_capacities() {
-        for cfg in [VcConfig::inf_cache(), VcConfig::l2_cache(), VcConfig::l1_cache()] {
+        for cfg in [
+            VcConfig::inf_cache(),
+            VcConfig::l2_cache(),
+            VcConfig::l1_cache(),
+        ] {
             let mc = if cfg.capacity == CapacityMode::Unlimited {
                 MachineConfig::infinite_cache()
             } else {
@@ -466,7 +469,10 @@ mod tests {
         let x = b.alloc_line_aligned(1);
         let y = b.alloc_line_aligned(1);
         b.thread_mut(0).write(x.word(0)).write(y.word(0));
-        b.thread_mut(1).compute(100_000).read(x.word(0)).read(y.word(0));
+        b.thread_mut(1)
+            .compute(100_000)
+            .read(x.word(0))
+            .read(y.word(0));
         let w = b.build();
         let joined = run_cfg(
             &w,

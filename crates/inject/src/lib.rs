@@ -5,32 +5,55 @@
 //! Injection is random with a uniform distribution, so each dynamic
 //! synchronization operation has an equal chance of being removed."
 //!
-//! The removable instances are lock calls (removed together with their
-//! matching unlock) and flag-wait calls; a barrier's internal mutex and
-//! flag-wait instances are individually removable, which models the
-//! paper's deliberately *elusive* errors (removing a whole barrier would
-//! cause thousands of races and be trivially detectable).
+//! The removable instances come in two streams:
 //!
-//! The simulator enumerates dynamic removable instances in dispatch
-//! order; this crate counts them with a dry run and draws target indices
-//! uniformly, producing one [`InjectionPlan`] per experiment run.
+//! * **acquire-side** — lock calls (removed together with their
+//!   matching unlock) and flag-wait calls; a barrier's internal mutex
+//!   and flag-wait instances are individually removable, which models
+//!   the paper's deliberately *elusive* errors (removing a whole
+//!   barrier would cause thousands of races and be trivially
+//!   detectable).
+//! * **release-side** — flag sets (including the barrier-internal
+//!   release). Removing one leaves the waiters stranded: blocking
+//!   waiters deadlock, spinning waiters livelock. These are the fault
+//!   modes the sweep watchdog exists for.
+//!
+//! The simulator enumerates dynamic instances of both streams in
+//! dispatch order; this crate counts them with a dry run and draws
+//! [`InjectionTarget`]s uniformly, producing one [`InjectionPlan`] per
+//! experiment run.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use cord_sim::config::MachineConfig;
-use cord_sim::engine::{InjectionPlan, Machine};
+use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_sim::observer::NullObserver;
 use cord_trace::program::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Counts the dynamic removable synchronization instances of one run
-/// (a fault-free dry run with no detector attached).
+/// Dynamic synchronization-instance counts from a fault-free dry run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstanceCounts {
+    /// Acquire-side removable instances (lock calls + flag waits).
+    pub acquires: u64,
+    /// Release-side instances (flag sets, incl. barrier-internal).
+    pub releases: u64,
+}
+
+/// Counts the dynamic synchronization instances of one run (a
+/// fault-free dry run with no detector attached).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload deadlocks (impossible after validation).
-pub fn count_instances(machine: &MachineConfig, workload: &Workload, seed: u64) -> u64 {
+/// Returns the [`SimError`] if the dry run aborts — possible only with
+/// a watchdog-configured machine or a malformed workload.
+pub fn count_instances(
+    machine: &MachineConfig,
+    workload: &Workload,
+    seed: u64,
+) -> Result<InstanceCounts, SimError> {
     let m = Machine::new(
         machine.clone(),
         workload,
@@ -38,33 +61,93 @@ pub fn count_instances(machine: &MachineConfig, workload: &Workload, seed: u64) 
         seed,
         InjectionPlan::none(),
     );
-    let (out, _) = m.run().expect("dry run deadlocked");
-    out.stats.removable_sync_instances
+    let (out, _) = m.run()?;
+    Ok(InstanceCounts {
+        acquires: out.stats.removable_sync_instances,
+        releases: out.stats.release_sync_instances,
+    })
+}
+
+/// One planned removal: which stream, and which dynamic instance in it.
+///
+/// Replaces the old `InjectionPlan`-with-`Option` handling in sweep
+/// code: a campaign target always identifies exactly one instance, so
+/// consumers never have to `.expect()` an optional field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InjectionTarget {
+    /// Remove the `n`th acquire-side instance (lock call or flag wait).
+    Acquire(u64),
+    /// Remove the `n`th release-side instance (flag set).
+    Release(u64),
+}
+
+impl InjectionTarget {
+    /// The [`InjectionPlan`] that applies this removal.
+    pub fn plan(&self) -> InjectionPlan {
+        match *self {
+            InjectionTarget::Acquire(n) => InjectionPlan::remove_nth(n),
+            InjectionTarget::Release(n) => InjectionPlan::remove_release_nth(n),
+        }
+    }
+
+    /// The dynamic instance index within its stream.
+    pub fn instance(&self) -> u64 {
+        match *self {
+            InjectionTarget::Acquire(n) | InjectionTarget::Release(n) => n,
+        }
+    }
+
+    /// Short stream name ("acquire" / "release") for records and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InjectionTarget::Acquire(_) => "acquire",
+            InjectionTarget::Release(_) => "release",
+        }
+    }
+}
+
+impl std::fmt::Display for InjectionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.kind(), self.instance())
+    }
 }
 
 /// A set of injection runs for one application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Campaign {
-    /// Total dynamic removable instances observed in the dry run.
-    pub total_instances: u64,
-    /// The target instance of each planned run.
-    pub targets: Vec<u64>,
+    /// Dynamic instance counts observed in the dry run.
+    pub counts: InstanceCounts,
+    /// The target of each planned run.
+    pub targets: Vec<InjectionTarget>,
 }
 
 impl Campaign {
-    /// Draws `runs` uniform targets over `total_instances` without
-    /// replacement (falling back to all instances when there are fewer
-    /// than `runs`). The paper performs "between 20 and 100 injections
-    /// per application".
+    /// Draws `runs` uniform acquire-side targets over
+    /// `total_instances` without replacement (falling back to all
+    /// instances when there are fewer than `runs`). The paper performs
+    /// "between 20 and 100 injections per application".
     pub fn uniform(total_instances: u64, runs: usize, seed: u64) -> Self {
+        let counts = InstanceCounts {
+            acquires: total_instances,
+            releases: 0,
+        };
+        Self::uniform_mixed(counts, runs, seed)
+    }
+
+    /// Draws `runs` uniform targets over the *combined* acquire +
+    /// release population without replacement. Release removals are how
+    /// deadlocks and livelocks enter a sweep, so campaigns that must
+    /// exercise the watchdog use this constructor.
+    pub fn uniform_mixed(counts: InstanceCounts, runs: usize, seed: u64) -> Self {
+        let population = counts.acquires + counts.releases;
         let mut rng = StdRng::seed_from_u64(seed);
-        let targets = if total_instances <= runs as u64 {
-            (0..total_instances).collect()
+        let picks: Vec<u64> = if population <= runs as u64 {
+            (0..population).collect()
         } else {
             // Floyd's algorithm for a uniform sample without replacement.
             let mut chosen = std::collections::BTreeSet::new();
             let k = runs as u64;
-            for j in total_instances - k..total_instances {
+            for j in population - k..population {
                 let t = rng.gen_range(0..=j);
                 if !chosen.insert(t) {
                     chosen.insert(j);
@@ -72,27 +155,55 @@ impl Campaign {
             }
             chosen.into_iter().collect()
         };
-        Campaign {
-            total_instances,
-            targets,
-        }
+        let targets = picks
+            .into_iter()
+            .map(|i| {
+                if i < counts.acquires {
+                    InjectionTarget::Acquire(i)
+                } else {
+                    InjectionTarget::Release(i - counts.acquires)
+                }
+            })
+            .collect();
+        Campaign { counts, targets }
     }
 
-    /// Plans a campaign for a workload on a machine: dry-run count, then
-    /// uniform target selection.
+    /// Plans an acquire-only campaign for a workload on a machine:
+    /// dry-run count, then uniform target selection. Acquire removals
+    /// never strand a waiter, so every planned run terminates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] if the dry run aborts.
     pub fn plan(
         machine: &MachineConfig,
         workload: &Workload,
         runs: usize,
         seed: u64,
-    ) -> Self {
-        let total = count_instances(machine, workload, seed);
-        Self::uniform(total, runs, seed)
+    ) -> Result<Self, SimError> {
+        let counts = count_instances(machine, workload, seed)?;
+        Ok(Self::uniform(counts.acquires, runs, seed))
+    }
+
+    /// Plans a campaign over both streams. Runs that remove a release
+    /// will deadlock or livelock; pair this with a sweep watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] if the dry run aborts.
+    pub fn plan_mixed(
+        machine: &MachineConfig,
+        workload: &Workload,
+        runs: usize,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let counts = count_instances(machine, workload, seed)?;
+        Ok(Self::uniform_mixed(counts, runs, seed))
     }
 
     /// The injection plans, one per run.
     pub fn plans(&self) -> impl Iterator<Item = InjectionPlan> + '_ {
-        self.targets.iter().map(|&n| InjectionPlan::remove_nth(n))
+        self.targets.iter().map(InjectionTarget::plan)
     }
 
     /// Number of planned runs.
@@ -131,11 +242,17 @@ mod tests {
     }
 
     #[test]
-    fn dry_run_counts_lock_and_wait_instances() {
+    fn dry_run_counts_both_streams() {
         let w = demo_workload();
-        let n = count_instances(&MachineConfig::paper_4core(), &w, 1);
-        // 2 lock calls + 1 flag wait.
-        assert_eq!(n, 3);
+        let c = count_instances(&MachineConfig::paper_4core(), &w, 1).expect("dry run completes");
+        // 2 lock calls + 1 flag wait; 1 flag set.
+        assert_eq!(
+            c,
+            InstanceCounts {
+                acquires: 3,
+                releases: 1
+            }
+        );
     }
 
     #[test]
@@ -144,13 +261,30 @@ mod tests {
         assert_eq!(c.len(), 30);
         let set: std::collections::HashSet<_> = c.targets.iter().collect();
         assert_eq!(set.len(), 30, "sampling is without replacement");
-        assert!(c.targets.iter().all(|&t| t < 100));
+        assert!(c
+            .targets
+            .iter()
+            .all(|t| matches!(t, InjectionTarget::Acquire(n) if *n < 100)));
+    }
+
+    #[test]
+    fn mixed_campaigns_cover_both_streams() {
+        let counts = InstanceCounts {
+            acquires: 10,
+            releases: 10,
+        };
+        let c = Campaign::uniform_mixed(counts, 20, 3);
+        assert_eq!(c.len(), 20);
+        assert!(c.targets.iter().any(|t| t.kind() == "acquire"));
+        assert!(c.targets.iter().any(|t| t.kind() == "release"));
+        assert!(c.targets.iter().all(|t| t.instance() < 10));
     }
 
     #[test]
     fn small_populations_enumerate_exhaustively() {
         let c = Campaign::uniform(5, 30, 7);
-        assert_eq!(c.targets, vec![0, 1, 2, 3, 4]);
+        let instances: Vec<u64> = c.targets.iter().map(InjectionTarget::instance).collect();
+        assert_eq!(instances, vec![0, 1, 2, 3, 4]);
         assert!(!c.is_empty());
     }
 
@@ -163,11 +297,19 @@ mod tests {
     #[test]
     fn plan_end_to_end() {
         let w = demo_workload();
-        let c = Campaign::plan(&MachineConfig::paper_4core(), &w, 10, 3);
-        assert_eq!(c.total_instances, 3);
+        let c = Campaign::plan(&MachineConfig::paper_4core(), &w, 10, 3).expect("dry run ok");
+        assert_eq!(c.counts.acquires, 3);
         assert_eq!(c.len(), 3);
         let plans: Vec<_> = c.plans().collect();
         assert_eq!(plans[0], InjectionPlan::remove_nth(0));
+    }
+
+    #[test]
+    fn release_targets_map_to_release_plans() {
+        let t = InjectionTarget::Release(4);
+        assert_eq!(t.plan(), InjectionPlan::remove_release_nth(4));
+        assert_eq!(t.to_string(), "release#4");
+        assert_eq!(InjectionTarget::Acquire(0).to_string(), "acquire#0");
     }
 
     #[test]

@@ -207,12 +207,12 @@ impl Cache {
     /// Iterates over all resident lines and their states.
     pub fn lines(&self) -> Box<dyn Iterator<Item = (LineAddr, Mesi)> + '_> {
         match &self.sets {
-            SetStore::Dense(v) => Box::new(
-                v.iter().flat_map(|s| s.iter().map(|e| (e.line, e.state))),
-            ),
-            SetStore::Sparse(m) => Box::new(
-                m.values().flat_map(|s| s.iter().map(|e| (e.line, e.state))),
-            ),
+            SetStore::Dense(v) => {
+                Box::new(v.iter().flat_map(|s| s.iter().map(|e| (e.line, e.state))))
+            }
+            SetStore::Sparse(m) => {
+                Box::new(m.values().flat_map(|s| s.iter().map(|e| (e.line, e.state))))
+            }
         }
     }
 

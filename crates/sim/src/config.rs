@@ -53,7 +53,10 @@ impl CacheGeometry {
             capacity_bytes.is_multiple_of(u64::from(ways) * LINE_BYTES),
             "capacity {capacity_bytes} not divisible into {ways}-way sets of {LINE_BYTES}B lines"
         );
-        assert!(g.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            g.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         g
     }
 
@@ -65,6 +68,69 @@ impl CacheGeometry {
     /// Total number of lines.
     pub fn num_lines(&self) -> u64 {
         self.capacity_bytes / self.line_bytes
+    }
+}
+
+/// Hang protection for [`Machine::run`](crate::engine::Machine::run).
+///
+/// Fault injection (§3.4) can remove the release side of a
+/// synchronization arc; with spin-waiting consumers the run then never
+/// terminates on its own. The watchdog converts such hangs into typed
+/// [`SimError`](crate::engine::SimError)s instead of letting a sweep
+/// wedge:
+///
+/// * `max_cycles` bounds total simulated time
+///   ([`CycleBudgetExceeded`](crate::engine::SimError::CycleBudgetExceeded));
+/// * `progress_window` bounds the time since any thread last advanced
+///   to a new workload op
+///   ([`Livelock`](crate::engine::SimError::Livelock)) — spin re-polls
+///   execute accesses but never fetch new ops, so they do not count as
+///   progress.
+///
+/// The default is fully disabled, preserving unbounded runs for
+/// fault-free use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Watchdog {
+    /// Abort once simulated time exceeds this many cycles.
+    pub max_cycles: Option<u64>,
+    /// Abort once this many cycles pass without any thread fetching a
+    /// new workload op (livelock detection).
+    pub progress_window: Option<u64>,
+}
+
+impl Watchdog {
+    /// No watchdog: runs are unbounded (the pre-watchdog behavior).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Both limits enabled.
+    pub fn new(max_cycles: u64, progress_window: u64) -> Self {
+        Watchdog {
+            max_cycles: Some(max_cycles),
+            progress_window: Some(progress_window),
+        }
+    }
+
+    /// Only a total cycle budget.
+    pub fn cycle_budget(max_cycles: u64) -> Self {
+        Watchdog {
+            max_cycles: Some(max_cycles),
+            progress_window: None,
+        }
+    }
+
+    /// Only a no-progress window.
+    pub fn progress_window(window: u64) -> Self {
+        Watchdog {
+            max_cycles: None,
+            progress_window: Some(window),
+        }
+    }
+
+    /// Whether any limit is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.max_cycles.is_some() || self.progress_window.is_some()
     }
 }
 
@@ -117,6 +183,14 @@ pub struct MachineConfig {
     /// Capture per-thread resolved access streams for replay
     /// verification (memory-proportional to trace length).
     pub capture_resolved: bool,
+    /// When `Some(c)`, flag waits *spin*: an unset flag is re-polled
+    /// every `c` cycles instead of blocking the thread. This models
+    /// user-level spin synchronization; with a removed release the
+    /// result is a genuine livelock rather than a deadlock. `None`
+    /// keeps the original passive-blocking semantics (and timing).
+    pub flag_spin_cycles: Option<u64>,
+    /// Hang protection; disabled by default.
+    pub watchdog: Watchdog,
 }
 
 impl MachineConfig {
@@ -140,6 +214,8 @@ impl MachineConfig {
             jitter_cycles: 3,
             migrate_at_barriers: false,
             capture_resolved: false,
+            flag_spin_cycles: None,
+            watchdog: Watchdog::disabled(),
         }
     }
 
@@ -174,6 +250,20 @@ impl MachineConfig {
     #[must_use]
     pub fn with_barrier_migration(mut self) -> Self {
         self.migrate_at_barriers = true;
+        self
+    }
+
+    /// Returns a copy with spin-waiting flags (re-poll every `cycles`).
+    #[must_use]
+    pub fn with_spin_waits(mut self, cycles: u64) -> Self {
+        self.flag_spin_cycles = Some(cycles.max(1));
+        self
+    }
+
+    /// Returns a copy with the given watchdog armed.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
         self
     }
 
@@ -249,8 +339,22 @@ mod tests {
     fn builder_helpers() {
         let c = MachineConfig::paper_4core()
             .with_resolved_capture()
-            .with_barrier_migration();
+            .with_barrier_migration()
+            .with_spin_waits(25)
+            .with_watchdog(Watchdog::new(1_000_000, 50_000));
         assert!(c.capture_resolved);
         assert!(c.migrate_at_barriers);
+        assert_eq!(c.flag_spin_cycles, Some(25));
+        assert!(c.watchdog.is_enabled());
+        assert_eq!(c.watchdog.max_cycles, Some(1_000_000));
+    }
+
+    #[test]
+    fn watchdog_disabled_by_default() {
+        let c = MachineConfig::paper_4core();
+        assert!(!c.watchdog.is_enabled());
+        assert_eq!(c.flag_spin_cycles, None);
+        assert!(Watchdog::cycle_budget(10).is_enabled());
+        assert!(Watchdog::progress_window(10).is_enabled());
     }
 }

@@ -41,11 +41,26 @@ use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
 /// Which dynamic synchronization instance (if any) to remove (§3.4).
+///
+/// Two independent dynamic numbering streams exist:
+///
+/// * *removable* (wait-side) instances — lock calls (with their
+///   matching unlock), flag waits, and barrier-internal instances;
+/// * *release* instances — flag sets, including the barrier release's
+///   internal flag set.
+///
+/// Removing a wait leaves the releaser unaffected (a race appears);
+/// removing a release can leave the waiter stuck — a deadlock under
+/// blocking waits, a livelock under spin waits
+/// ([`MachineConfig::flag_spin_cycles`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InjectionPlan {
     /// Zero-based index (in dynamic dispatch order) of the removable
-    /// sync instance to remove; `None` runs fault-free.
+    /// wait-side sync instance to remove; `None` removes no wait.
     pub remove_instance: Option<u64>,
+    /// Zero-based index (in dynamic execution order) of the release
+    /// (flag-set) instance to remove; `None` removes no release.
+    pub remove_release: Option<u64>,
 }
 
 impl InjectionPlan {
@@ -54,24 +69,146 @@ impl InjectionPlan {
         Self::default()
     }
 
-    /// Remove the `n`-th dynamic removable sync instance.
+    /// Remove the `n`-th dynamic removable (wait-side) sync instance.
     pub fn remove_nth(n: u64) -> Self {
         InjectionPlan {
             remove_instance: Some(n),
+            remove_release: None,
+        }
+    }
+
+    /// Remove the `n`-th dynamic release (flag-set) instance.
+    pub fn remove_release_nth(n: u64) -> Self {
+        InjectionPlan {
+            remove_instance: None,
+            remove_release: Some(n),
+        }
+    }
+
+    /// Whether this plan removes anything at all.
+    pub fn is_injecting(&self) -> bool {
+        self.remove_instance.is_some() || self.remove_release.is_some()
+    }
+}
+
+/// Why a thread had not finished when a run aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckState {
+    /// Ready to run (it had work left but the run was cut short).
+    Runnable,
+    /// Parked waiting for a lock release.
+    BlockedOnLock(LockId),
+    /// Parked waiting for a flag set.
+    BlockedOnFlag(FlagId),
+    /// Busily re-polling an unset flag (spin-wait mode).
+    SpinningOnFlag(FlagId),
+}
+
+impl fmt::Display for StuckState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckState::Runnable => write!(f, "runnable"),
+            StuckState::BlockedOnLock(l) => write!(f, "blocked on lock {}", l.0),
+            StuckState::BlockedOnFlag(g) => write!(f, "blocked on flag {}", g.0),
+            StuckState::SpinningOnFlag(g) => write!(f, "spinning on flag {}", g.0),
         }
     }
 }
 
+/// Per-thread diagnostic snapshot attached to every [`SimError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadDiag {
+    /// The unfinished thread.
+    pub thread: ThreadId,
+    /// What it was doing when the run aborted.
+    pub state: StuckState,
+    /// Workload ops it had fetched.
+    pub op_idx: usize,
+    /// Workload ops in its program.
+    pub ops_total: usize,
+    /// Instructions it had retired.
+    pub instr: u64,
+    /// Its local clock at abort time.
+    pub ready_at: u64,
+}
+
+impl fmt::Display for ThreadDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread {} {} at op {}/{} (instr {}, cycle {})",
+            self.thread.index(),
+            self.state,
+            self.op_idx,
+            self.ops_total,
+            self.instr,
+            self.ready_at
+        )
+    }
+}
+
 /// Simulation failure.
+///
+/// Every variant carries per-thread stuck-state diagnostics so sweep
+/// failure records can say *which* threads were wedged and where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// No core can make progress but not all threads finished.
     Deadlock {
         /// Cycle of the stall.
         cycle: u64,
-        /// Threads that have not finished.
-        stuck_threads: Vec<ThreadId>,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
     },
+    /// Threads kept executing (e.g. spin polls) but none fetched a new
+    /// workload op within the watchdog's progress window.
+    Livelock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Cycle of the last genuine progress (a workload-op fetch).
+        last_progress_cycle: u64,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
+    },
+    /// Simulated time exceeded the watchdog's total cycle budget.
+    CycleBudgetExceeded {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The configured budget.
+        budget: u64,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
+    },
+}
+
+impl SimError {
+    /// Cycle at which the run aborted.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            SimError::Deadlock { cycle, .. }
+            | SimError::Livelock { cycle, .. }
+            | SimError::CycleBudgetExceeded { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The per-thread diagnostics, regardless of variant.
+    pub fn stuck_threads(&self) -> &[ThreadDiag] {
+        match self {
+            SimError::Deadlock { stuck_threads, .. }
+            | SimError::Livelock { stuck_threads, .. }
+            | SimError::CycleBudgetExceeded { stuck_threads, .. } => stuck_threads,
+        }
+    }
+
+    /// Short machine-readable kind name ("deadlock" / "livelock" /
+    /// "cycle-budget-exceeded"), used in sweep failure records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Livelock { .. } => "livelock",
+            SimError::CycleBudgetExceeded { .. } => "cycle-budget-exceeded",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +220,26 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "deadlock at cycle {cycle}: {} thread(s) stuck",
+                stuck_threads.len()
+            ),
+            SimError::Livelock {
+                cycle,
+                last_progress_cycle,
+                stuck_threads,
+            } => write!(
+                f,
+                "livelock at cycle {cycle}: no progress since cycle \
+                 {last_progress_cycle}, {} thread(s) stuck",
+                stuck_threads.len()
+            ),
+            SimError::CycleBudgetExceeded {
+                cycle,
+                budget,
+                stuck_threads,
+            } => write!(
+                f,
+                "cycle budget {budget} exceeded at cycle {cycle}: \
+                 {} thread(s) unfinished",
                 stuck_threads.len()
             ),
         }
@@ -134,6 +291,8 @@ struct CoreCtx {
     skip_unlocks: HashSet<u32>,
     barrier_lock_skipped: bool,
     finish: u64,
+    /// What this thread is waiting for right now (diagnostics only).
+    stuck: StuckState,
 }
 
 impl CoreCtx {
@@ -148,6 +307,7 @@ impl CoreCtx {
             skip_unlocks: HashSet::new(),
             barrier_lock_skipped: false,
             finish: 0,
+            stuck: StuckState::Runnable,
         }
     }
 }
@@ -166,6 +326,12 @@ pub struct Machine<'w, O: MemoryObserver> {
     core_of: Vec<Option<usize>>,
     /// The core each thread last ran on (to detect migrations, §2.7.4).
     last_core: Vec<Option<usize>>,
+    /// The thread each core last ran. A thread rescheduled onto its old
+    /// core after a *different* thread used it still needs the §2.7.4
+    /// resynchronization — the core's caches now carry the other
+    /// thread's timestamps, and co-resident conflicts are exempt from
+    /// race checks, so only the bump orders them for replay.
+    core_last_thread: Vec<Option<usize>>,
     /// Cores with no thread currently scheduled.
     free_cores: Vec<usize>,
     truth: GroundTruth,
@@ -173,6 +339,9 @@ pub struct Machine<'w, O: MemoryObserver> {
     rng: SmallRng,
     plan: InjectionPlan,
     next_instance: u64,
+    next_release_instance: u64,
+    /// Cycle of the most recent workload-op fetch (watchdog progress).
+    last_progress: u64,
     pending_migration: bool,
 }
 
@@ -209,9 +378,12 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             .map(|t| if t < cfg.cores { Some(t) } else { None })
             .collect();
         let free_cores: Vec<usize> = (n.min(cfg.cores)..cfg.cores).collect();
+        let core_last_thread: Vec<Option<usize>> =
+            (0..cfg.cores).map(|c| (c < n).then_some(c)).collect();
         Machine {
             memsys: MemorySystem::new(cfg.clone()),
             last_core: core_of.clone(),
+            core_last_thread,
             core_of,
             free_cores,
             cfg,
@@ -224,6 +396,8 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             rng: SmallRng::seed_from_u64(seed),
             plan,
             next_instance: 0,
+            next_release_instance: 0,
+            last_progress: 0,
             pending_migration: false,
         }
     }
@@ -232,8 +406,13 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Deadlock`] if no core can make progress while
-    /// threads remain unfinished (impossible for validated workloads).
+    /// * [`SimError::Deadlock`] — no core can make progress while
+    ///   threads remain unfinished (reachable only under injection).
+    /// * [`SimError::Livelock`] — the configured watchdog's progress
+    ///   window elapsed with no thread fetching a new workload op
+    ///   (spin-wait hangs).
+    /// * [`SimError::CycleBudgetExceeded`] — simulated time passed the
+    ///   watchdog's total budget.
     pub fn run(mut self) -> Result<(RunOutput, O), SimError> {
         loop {
             if self.pending_migration {
@@ -249,6 +428,9 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 .map(|(i, _)| i);
             match next {
                 Some(t) => {
+                    if let Some(err) = self.watchdog_check(self.ctxs[t].ready_at) {
+                        return Err(err);
+                    }
                     self.step_core(t);
                     // A finished thread frees its core; a *blocked*
                     // thread keeps it until another thread actually
@@ -272,12 +454,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                     let cycle = self.ctxs.iter().map(|c| c.ready_at).max().unwrap_or(0);
                     return Err(SimError::Deadlock {
                         cycle,
-                        stuck_threads: self
-                            .ctxs
-                            .iter()
-                            .filter(|c| c.status != Status::Done)
-                            .map(|c| c.thread)
-                            .collect(),
+                        stuck_threads: self.diagnostics(),
                     });
                 }
             }
@@ -379,7 +556,11 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         self.core_of[t] = Some(core);
         let ctx = &mut self.ctxs[t];
         ctx.ready_at = ctx.ready_at.max(at) + self.cfg.reschedule_cycles;
-        if self.last_core[t] != Some(core) {
+        // Resynchronize when the thread changed cores *or* the core ran
+        // another thread meanwhile (same-core reschedule after
+        // time-sharing): either way its caches hold timestamps the
+        // incoming thread has never been ordered against.
+        if self.last_core[t] != Some(core) || self.core_last_thread[core] != Some(t) {
             let from = self.last_core[t].unwrap_or(core);
             self.observer.on_thread_migrated(
                 ThreadId(t as u16),
@@ -389,6 +570,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             self.stats.migrations += 1;
         }
         self.last_core[t] = Some(core);
+        self.core_last_thread[core] = Some(t);
         true
     }
 
@@ -406,6 +588,63 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         }
     }
 
+    /// Consumes one release-instance index (a flag set, including the
+    /// barrier release's internal one); `true` if it is the injection
+    /// target.
+    fn take_release_instance(&mut self) -> bool {
+        let idx = self.next_release_instance;
+        self.next_release_instance += 1;
+        self.stats.release_sync_instances += 1;
+        if self.plan.remove_release == Some(idx) {
+            self.stats.injection_applied = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot of every unfinished thread for error reports.
+    fn diagnostics(&self) -> Vec<ThreadDiag> {
+        self.ctxs
+            .iter()
+            .filter(|c| c.status != Status::Done)
+            .map(|c| ThreadDiag {
+                thread: c.thread,
+                state: c.stuck,
+                op_idx: c.op_idx,
+                ops_total: self.workload.thread(c.thread).ops().len(),
+                instr: c.instr,
+                ready_at: c.ready_at,
+            })
+            .collect()
+    }
+
+    /// Evaluates the watchdog at simulated time `now` (the ready time
+    /// of the thread about to step). Returns the error to abort with,
+    /// if any limit tripped.
+    fn watchdog_check(&self, now: u64) -> Option<SimError> {
+        let wd = &self.cfg.watchdog;
+        if let Some(budget) = wd.max_cycles {
+            if now > budget {
+                return Some(SimError::CycleBudgetExceeded {
+                    cycle: now,
+                    budget,
+                    stuck_threads: self.diagnostics(),
+                });
+            }
+        }
+        if let Some(window) = wd.progress_window {
+            if now.saturating_sub(self.last_progress) > window {
+                return Some(SimError::Livelock {
+                    cycle: now,
+                    last_progress_cycle: self.last_progress,
+                    stuck_threads: self.diagnostics(),
+                });
+            }
+        }
+        None
+    }
+
     fn step_core(&mut self, c: usize) {
         if let Some(step) = self.ctxs[c].steps.pop_front() {
             self.exec_step(c, step);
@@ -419,8 +658,12 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 let ctx = &mut self.ctxs[c];
                 ctx.status = Status::Done;
                 ctx.finish = ctx.ready_at;
+                self.last_progress = self.last_progress.max(ctx.finish);
             }
             Some(op) => {
+                // Fetching a new workload op is the watchdog's notion of
+                // progress: spin re-polls never reach here.
+                self.last_progress = self.last_progress.max(self.ctxs[c].ready_at);
                 self.ctxs[c].op_idx += 1;
                 self.expand_op(c, *op);
             }
@@ -497,6 +740,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                     self.ctxs[c].steps.push_front(Step::LockTake(l));
                 } else {
                     self.ctxs[c].status = Status::BlockedOnLock;
+                    self.ctxs[c].stuck = StuckState::BlockedOnLock(l);
                 }
             }
             Step::LockGranted(l) => {
@@ -517,6 +761,13 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 }
             }
             Step::SetFlag(g) => {
+                if self.take_release_instance() {
+                    // Removed release (§3.4 extended to the release
+                    // side): the flag write never happens and no waiter
+                    // is woken. Blocking waiters deadlock; spinning
+                    // waiters livelock until the watchdog fires.
+                    return;
+                }
                 let done = self.do_access(c, layout.flag_addr(g), AccessKind::SyncWrite);
                 for tid in self.sync.flag_set(g) {
                     self.wake(tid, done, Step::WaitFlag(g));
@@ -529,17 +780,39 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             Step::WaitFlag(g) => {
                 self.do_access(c, layout.flag_addr(g), AccessKind::SyncRead);
                 if !self.sync.flag_is_set(g) {
-                    let thread = self.ctxs[c].thread;
-                    self.sync.flag_enqueue(g, thread);
-                    self.ctxs[c].status = Status::BlockedOnFlag;
+                    if let Some(spin) = self.cfg.flag_spin_cycles {
+                        // Spin-wait: stay Ready and re-poll after a
+                        // back-off. The thread burns cycles without
+                        // fetching new ops, so a never-set flag shows
+                        // up as a livelock, not a deadlock.
+                        let ctx = &mut self.ctxs[c];
+                        ctx.ready_at += spin;
+                        ctx.steps.push_front(Step::WaitFlag(g));
+                        ctx.stuck = StuckState::SpinningOnFlag(g);
+                    } else {
+                        let thread = self.ctxs[c].thread;
+                        self.sync.flag_enqueue(g, thread);
+                        self.ctxs[c].status = Status::BlockedOnFlag;
+                        self.ctxs[c].stuck = StuckState::BlockedOnFlag(g);
+                    }
+                } else {
+                    self.ctxs[c].stuck = StuckState::Runnable;
                 }
             }
             Step::BarrierCtl(b) => {
                 let thread = self.ctxs[c].thread;
                 let arrival = self.sync.barrier_arrive(b, thread);
                 let (f0, f1) = layout.barrier_flags(b);
-                let cur = if arrival.episode.is_multiple_of(2) { f0 } else { f1 };
-                let next = if arrival.episode.is_multiple_of(2) { f1 } else { f0 };
+                let cur = if arrival.episode.is_multiple_of(2) {
+                    f0
+                } else {
+                    f1
+                };
+                let next = if arrival.episode.is_multiple_of(2) {
+                    f1
+                } else {
+                    f0
+                };
                 let ctx = &mut self.ctxs[c];
                 if arrival.is_last {
                     // Reset the counter, arm the next episode's flag,
@@ -586,6 +859,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         let ctx = &mut self.ctxs[t];
         debug_assert_ne!(ctx.status, Status::Ready, "waking a ready thread");
         ctx.status = Status::Ready;
+        ctx.stuck = StuckState::Runnable;
         ctx.ready_at = ctx.ready_at.max(at);
         ctx.steps.push_front(resume);
         if self.core_of[t].is_none() {
@@ -613,7 +887,9 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         // data race checks").
         for ev in &res.events {
             match ev {
-                MemEvent::Removed(rm) if rm.cause != crate::observer::RemovalCause::Invalidation => {
+                MemEvent::Removed(rm)
+                    if rm.cause != crate::observer::RemovalCause::Invalidation =>
+                {
                     let out = self.observer.on_line_removed(rm);
                     self.charge_observer(out, res.done);
                 }
@@ -700,12 +976,16 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         if scheduled.len() < 2 {
             return;
         }
-        let cores: Vec<usize> = scheduled.iter().map(|&t| self.core_of[t].unwrap()).collect();
+        let cores: Vec<usize> = scheduled
+            .iter()
+            .map(|&t| self.core_of[t].unwrap())
+            .collect();
         for (k, &t) in scheduled.iter().enumerate() {
             let from = cores[k];
             let to = cores[(k + 1) % cores.len()];
             self.core_of[t] = Some(to);
             self.last_core[t] = Some(to);
+            self.core_last_thread[to] = Some(t);
             if from != to {
                 self.observer.on_thread_migrated(
                     ThreadId(t as u16),
@@ -893,8 +1173,11 @@ mod tests {
         assert_eq!(a.stats, b2.stats);
         assert_eq!(a.truth.thread_hashes, b2.truth.thread_hashes);
         // A different seed gives a different schedule (almost surely).
+        // The total cycle count can tie — the lock convoy absorbs
+        // jitter — so compare the full stats (bus waits, per-core
+        // retire times), which are schedule-sensitive.
         let c = run_workload(&w, 43);
-        assert_ne!(a.stats.cycles, c.stats.cycles);
+        assert_ne!(a.stats, c.stats);
     }
 
     #[test]
@@ -920,8 +1203,8 @@ mod tests {
         );
         let (out, _) = m.run().expect("no deadlock");
         assert_eq!(out.stats.migrations, 8); // 4 threads x 2 barriers
-        // After migrating away, the second read misses (data is in the
-        // old core's cache).
+                                             // After migrating away, the second read misses (data is in the
+                                             // old core's cache).
         assert!(out.stats.sibling_fills > 0);
     }
 
@@ -1044,7 +1327,9 @@ mod engine_edge_tests {
         let d = b.alloc_line_aligned(8);
         for t in 0..2 {
             for i in 0..4 {
-                b.thread_mut(t).update(d.word((t as u64 * 4 + i) % 8)).compute(10);
+                b.thread_mut(t)
+                    .update(d.word((t as u64 * 4 + i) % 8))
+                    .compute(10);
             }
         }
         let w = b.build();
@@ -1083,5 +1368,205 @@ mod engine_edge_tests {
         assert_eq!(out.stats.sync_writes, 40);
         assert_eq!(out.stats.data_reads, 20);
         assert_eq!(out.stats.data_writes, 20);
+    }
+}
+
+#[cfg(test)]
+mod watchdog_tests {
+    use super::*;
+    use crate::config::Watchdog;
+    use crate::observer::NullObserver;
+    use cord_trace::builder::WorkloadBuilder;
+
+    /// Producer sets a flag the consumer waits on.
+    fn flag_pair() -> Workload {
+        let mut b = WorkloadBuilder::new("wd-flag", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(2_000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        b.build()
+    }
+
+    #[test]
+    fn release_instances_are_counted() {
+        let w = flag_pair();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("clean run");
+        assert_eq!(out.stats.release_sync_instances, 1);
+        assert!(!out.stats.injection_applied);
+    }
+
+    #[test]
+    fn barrier_release_counts_as_release_instance() {
+        let mut b = WorkloadBuilder::new("wd-bar", 4);
+        let bar = b.alloc_barrier();
+        for t in 0..4 {
+            b.thread_mut(t).compute(100).barrier(bar);
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("clean run");
+        // One episode: the last arrival's internal flag set.
+        assert_eq!(out.stats.release_sync_instances, 1);
+    }
+
+    #[test]
+    fn removed_release_deadlocks_blocking_waiter() {
+        let w = flag_pair();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::remove_release_nth(0),
+        );
+        let err = m.run().expect_err("waiter must hang");
+        match &err {
+            SimError::Deadlock {
+                cycle,
+                stuck_threads,
+            } => {
+                assert!(*cycle > 0);
+                assert_eq!(stuck_threads.len(), 1);
+                let diag = &stuck_threads[0];
+                assert_eq!(diag.thread.index(), 1);
+                assert!(
+                    matches!(diag.state, StuckState::BlockedOnFlag(_)),
+                    "unexpected stuck state: {}",
+                    diag.state
+                );
+                assert!(diag.op_idx < diag.ops_total);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        assert_eq!(err.kind(), "deadlock");
+    }
+
+    #[test]
+    fn removed_release_livelocks_spinning_waiter() {
+        let w = flag_pair();
+        let cfg = MachineConfig::paper_4core()
+            .with_spin_waits(50)
+            .with_watchdog(Watchdog::progress_window(200_000));
+        let m = Machine::new(
+            cfg,
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::remove_release_nth(0),
+        );
+        let err = m.run().expect_err("spinner must livelock");
+        match &err {
+            SimError::Livelock {
+                cycle,
+                last_progress_cycle,
+                stuck_threads,
+            } => {
+                assert!(cycle > last_progress_cycle);
+                assert!(cycle - last_progress_cycle > 200_000);
+                let spinner = stuck_threads
+                    .iter()
+                    .find(|d| d.thread.index() == 1)
+                    .expect("thread 1 diagnosed");
+                assert!(
+                    matches!(spinner.state, StuckState::SpinningOnFlag(_)),
+                    "unexpected stuck state: {}",
+                    spinner.state
+                );
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+        assert_eq!(err.kind(), "livelock");
+    }
+
+    #[test]
+    fn cycle_budget_trips_on_long_run() {
+        let mut b = WorkloadBuilder::new("wd-budget", 2);
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).compute(50_000).write(d.word(0));
+        }
+        let w = b.build();
+        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::cycle_budget(10_000));
+        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+        let err = m.run().expect_err("budget must trip");
+        match &err {
+            SimError::CycleBudgetExceeded {
+                cycle,
+                budget,
+                stuck_threads,
+            } => {
+                assert_eq!(*budget, 10_000);
+                assert!(*cycle > 10_000);
+                assert!(!stuck_threads.is_empty());
+            }
+            other => panic!("expected budget exceeded, got {other}"),
+        }
+        assert_eq!(err.kind(), "cycle-budget-exceeded");
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_healthy_runs() {
+        let w = flag_pair();
+        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::new(50_000_000, 10_000_000));
+        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+        assert!(m.run().is_ok());
+    }
+
+    #[test]
+    fn spin_waits_complete_clean_runs() {
+        let w = flag_pair();
+        let blocking = {
+            let m = Machine::new(
+                MachineConfig::paper_4core(),
+                &w,
+                NullObserver,
+                1,
+                InjectionPlan::none(),
+            );
+            m.run().expect("blocking run").0
+        };
+        let spinning = {
+            let cfg = MachineConfig::paper_4core().with_spin_waits(50);
+            let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+            m.run().expect("spin run").0
+        };
+        // Same data accesses either way; spinning only adds sync reads.
+        assert_eq!(blocking.stats.data_reads, spinning.stats.data_reads);
+        assert_eq!(blocking.stats.data_writes, spinning.stats.data_writes);
+        assert!(spinning.stats.sync_reads >= blocking.stats.sync_reads);
+    }
+
+    #[test]
+    fn failure_is_deterministic_for_a_seed() {
+        let w = flag_pair();
+        let run = || {
+            let cfg = MachineConfig::paper_4core()
+                .with_spin_waits(50)
+                .with_watchdog(Watchdog::progress_window(100_000));
+            Machine::new(
+                cfg,
+                &w,
+                NullObserver,
+                9,
+                InjectionPlan::remove_release_nth(0),
+            )
+            .run()
+            .expect_err("livelock")
+        };
+        assert_eq!(run(), run());
     }
 }

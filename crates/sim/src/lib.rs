@@ -60,8 +60,8 @@ pub mod stats;
 pub mod sync;
 pub mod truth;
 
-pub use config::MachineConfig;
-pub use engine::{InjectionPlan, Machine, RunOutput, SimError};
+pub use config::{MachineConfig, Watchdog};
+pub use engine::{InjectionPlan, Machine, RunOutput, SimError, StuckState, ThreadDiag};
 pub use observer::{
     AccessEvent, AccessKind, AccessPath, CoreId, Level, LineRemoval, MemoryObserver, NullObserver,
     ObserverOutcome, RemovalCause,

@@ -112,10 +112,7 @@ impl MemorySystem {
                 };
             }
             // Write to a Shared line: permission upgrade broadcast.
-            let start = self
-                .buses
-                .addr
-                .acquire(now, self.cfg.addr_bus_slot_cycles);
+            let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
             self.invalidate_others(core, line, &mut events);
             self.l1[c].set_state(line, Mesi::Modified);
             self.l2[c].set_state(line, Mesi::Modified);
@@ -149,10 +146,7 @@ impl MemorySystem {
                 };
             }
             // Write to Shared in L2: upgrade.
-            let start = self
-                .buses
-                .addr
-                .acquire(now, self.cfg.addr_bus_slot_cycles);
+            let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
             self.invalidate_others(core, line, &mut events);
             self.l2[c].set_state(line, Mesi::Modified);
             self.l2[c].touch(line);
@@ -168,10 +162,7 @@ impl MemorySystem {
         }
 
         // ---- Full miss: bus transaction ----
-        let start = self
-            .buses
-            .addr
-            .acquire(now, self.cfg.addr_bus_slot_cycles);
+        let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
 
         let holders: Vec<usize> = (0..self.cfg.cores)
             .filter(|&h| h != c && self.l2[h].contains(line))
@@ -179,8 +170,15 @@ impl MemorySystem {
 
         let (path, done, fill_state) = if holders.is_empty() {
             // Memory supplies.
-            let mstart = self.buses.mem.acquire(start, self.cfg.mem_bus_line_occupancy);
-            let state = if write { Mesi::Modified } else { Mesi::Exclusive };
+            let mstart = self
+                .buses
+                .mem
+                .acquire(start, self.cfg.mem_bus_line_occupancy);
+            let state = if write {
+                Mesi::Modified
+            } else {
+                Mesi::Exclusive
+            };
             (
                 AccessPath::FillFromMemory,
                 mstart + self.cfg.memory_cycles,
@@ -313,9 +311,7 @@ impl MemorySystem {
             if victim.state.dirty() {
                 // Posted write-back; does not delay the access.
                 let at = self.buses.mem.free_at();
-                self.buses
-                    .mem
-                    .acquire(at, self.cfg.mem_bus_line_occupancy);
+                self.buses.mem.acquire(at, self.cfg.mem_bus_line_occupancy);
             }
             events.push(MemEvent::Removed(LineRemoval {
                 core,
@@ -351,8 +347,14 @@ mod tests {
         let r = m.access(CoreId(0), a(0x40), false, 0);
         assert_eq!(r.path, AccessPath::FillFromMemory);
         assert!(r.done >= m.cfg.memory_cycles);
-        assert_eq!(m.l2_of(CoreId(0)).probe(a(0x40).line()), Some(Mesi::Exclusive));
-        assert_eq!(m.l1_of(CoreId(0)).probe(a(0x40).line()), Some(Mesi::Exclusive));
+        assert_eq!(
+            m.l2_of(CoreId(0)).probe(a(0x40).line()),
+            Some(Mesi::Exclusive)
+        );
+        assert_eq!(
+            m.l1_of(CoreId(0)).probe(a(0x40).line()),
+            Some(Mesi::Exclusive)
+        );
     }
 
     #[test]
@@ -370,7 +372,10 @@ mod tests {
         m.access(CoreId(0), a(0x40), false, 0);
         let r = m.access(CoreId(0), a(0x40), true, 1000);
         assert_eq!(r.path, AccessPath::L1Hit); // E -> M without bus
-        assert_eq!(m.l2_of(CoreId(0)).probe(a(0x40).line()), Some(Mesi::Modified));
+        assert_eq!(
+            m.l2_of(CoreId(0)).probe(a(0x40).line()),
+            Some(Mesi::Modified)
+        );
     }
 
     #[test]
@@ -394,7 +399,10 @@ mod tests {
         let r = m.access(CoreId(1), a(0x40), true, 2000);
         assert_eq!(r.path, AccessPath::UpgradeHit);
         assert_eq!(m.l2_of(CoreId(0)).probe(a(0x40).line()), None);
-        assert_eq!(m.l2_of(CoreId(1)).probe(a(0x40).line()), Some(Mesi::Modified));
+        assert_eq!(
+            m.l2_of(CoreId(1)).probe(a(0x40).line()),
+            Some(Mesi::Modified)
+        );
         // Core 0 saw invalidation removals for L1 and L2.
         let removals: Vec<_> = r
             .events
@@ -419,7 +427,10 @@ mod tests {
         assert!(matches!(r.path, AccessPath::FillFromSibling(_)));
         assert_eq!(m.l2_of(CoreId(0)).probe(a(0x40).line()), None);
         assert_eq!(m.l2_of(CoreId(1)).probe(a(0x40).line()), None);
-        assert_eq!(m.l2_of(CoreId(2)).probe(a(0x40).line()), Some(Mesi::Modified));
+        assert_eq!(
+            m.l2_of(CoreId(2)).probe(a(0x40).line()),
+            Some(Mesi::Modified)
+        );
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct SimStats {
     /// Dynamic removable synchronization instances encountered (lock
     /// acquisitions and flag waits, including barrier-internal ones).
     pub removable_sync_instances: u64,
+    /// Dynamic release instances encountered (flag sets, including the
+    /// barrier release's internal flag set) — the second injection
+    /// stream, removable via `InjectionPlan::remove_release`.
+    pub release_sync_instances: u64,
     /// `true` if the injection plan's target instance was reached and
     /// removed during this run.
     pub injection_applied: bool,

@@ -134,7 +134,10 @@ mod tests {
             g.commit(t(0), 0, Addr::new(0x40), AccessKind::DataWrite);
             g.commit(t(1), 0, Addr::new(0x40), AccessKind::DataRead);
         }
-        assert_eq!(a.into_summary().thread_hashes, b.into_summary().thread_hashes);
+        assert_eq!(
+            a.into_summary().thread_hashes,
+            b.into_summary().thread_hashes
+        );
     }
 
     #[test]

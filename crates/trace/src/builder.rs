@@ -119,7 +119,10 @@ impl WorkloadBuilder {
         let layout = AddressLayout::new(self.locks, self.flags, self.barriers, self.data_cursor);
         Workload::new(
             self.name,
-            self.threads.into_iter().map(ThreadProgram::from_ops).collect(),
+            self.threads
+                .into_iter()
+                .map(ThreadProgram::from_ops)
+                .collect(),
             layout,
         )
     }
@@ -210,11 +213,7 @@ impl ThreadBuilder<'_> {
     }
 
     /// Emits a whole critical section: `lock(l)`, the body, `unlock(l)`.
-    pub fn critical_section(
-        &mut self,
-        l: LockId,
-        body: impl FnOnce(&mut Self),
-    ) -> &mut Self {
+    pub fn critical_section(&mut self, l: LockId, body: impl FnOnce(&mut Self)) -> &mut Self {
         self.lock(l);
         body(self);
         self.unlock(l)
@@ -284,7 +283,9 @@ mod tests {
     fn span_helpers_emit_consecutive_words() {
         let mut b = WorkloadBuilder::new("t", 1);
         let d = b.alloc_words(4);
-        b.thread_mut(0).read_span(d.base(), 2).write_span(d.word(2), 2);
+        b.thread_mut(0)
+            .read_span(d.base(), 2)
+            .write_span(d.word(2), 2);
         let w = b.build();
         let ops = w.thread(crate::types::ThreadId(0)).ops().to_vec();
         assert_eq!(

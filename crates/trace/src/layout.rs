@@ -93,7 +93,11 @@ impl AddressLayout {
     ///
     /// Panics if the ID is out of range (≥ [`AddressLayout::total_locks`]).
     pub fn lock_addr(&self, lock: LockId) -> Addr {
-        assert!(lock.0 < self.total_locks(), "lock id {} out of range", lock.0);
+        assert!(
+            lock.0 < self.total_locks(),
+            "lock id {} out of range",
+            lock.0
+        );
         Addr::new(SYNC_BASE + u64::from(lock.0) * LINE_BYTES)
     }
 
@@ -103,7 +107,11 @@ impl AddressLayout {
     ///
     /// Panics if the ID is out of range (≥ [`AddressLayout::total_flags`]).
     pub fn flag_addr(&self, flag: FlagId) -> Addr {
-        assert!(flag.0 < self.total_flags(), "flag id {} out of range", flag.0);
+        assert!(
+            flag.0 < self.total_flags(),
+            "flag id {} out of range",
+            flag.0
+        );
         let base = SYNC_BASE + u64::from(self.total_locks()) * LINE_BYTES;
         Addr::new(base + u64::from(flag.0) * LINE_BYTES)
     }

@@ -145,7 +145,10 @@ impl fmt::Display for WorkloadError {
                 thread,
                 op_index,
                 detail,
-            } => write!(f, "lock discipline violation at {thread} op {op_index}: {detail}"),
+            } => write!(
+                f,
+                "lock discipline violation at {thread} op {op_index}: {detail}"
+            ),
             WorkloadError::LocksHeldAtExit { thread, held } => {
                 write!(f, "{thread} exits holding {held} lock(s)")
             }
@@ -170,7 +173,11 @@ impl std::error::Error for WorkloadError {}
 impl Workload {
     /// Assembles a workload; prefer
     /// [`WorkloadBuilder`](crate::builder::WorkloadBuilder).
-    pub fn new(name: impl Into<String>, threads: Vec<ThreadProgram>, layout: AddressLayout) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        threads: Vec<ThreadProgram>,
+        layout: AddressLayout,
+    ) -> Self {
         Workload {
             name: name.into(),
             threads,
@@ -251,10 +258,7 @@ impl Workload {
                 match op {
                     Op::Read(a) | Op::Write(a) => {
                         if self.layout.is_sync_region(*a) {
-                            return Err(WorkloadError::DataAccessInSyncRegion {
-                                thread,
-                                addr: *a,
-                            });
+                            return Err(WorkloadError::DataAccessInSyncRegion { thread, addr: *a });
                         }
                     }
                     Op::Lock(l) => {

@@ -145,7 +145,9 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
     if first.trim() != HEADER {
         return Err(ParseError::BadHeader);
     }
-    let (wline_no, wline) = lines.next().ok_or(ParseError::BadWorkloadLine { line: 2 })?;
+    let (wline_no, wline) = lines
+        .next()
+        .ok_or(ParseError::BadWorkloadLine { line: 2 })?;
     let toks: Vec<&str> = wline.split_whitespace().collect();
     let err = ParseError::BadWorkloadLine { line: wline_no + 1 };
     if toks.len() != 7 || toks[0] != "workload" {
@@ -272,13 +274,20 @@ mod tests {
             Err(ParseError::BadOp { line: 4, .. }) => {}
             other => panic!("expected BadOp at line 4, got {other:?}"),
         }
-        let text = format!("{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\n  read 0x0\n");
+        let text = format!(
+            "{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\n  read 0x0\n"
+        );
         assert!(matches!(
             from_text(&text),
             Err(ParseError::OpOutsideThread { line: 3 })
         ));
-        let text = format!("{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\nthread 9\n");
-        assert!(matches!(from_text(&text), Err(ParseError::BadThread { line: 3 })));
+        let text = format!(
+            "{HEADER}\nworkload x threads=1 locks=0 flags=0 barriers=0 data_words=0\nthread 9\n"
+        );
+        assert!(matches!(
+            from_text(&text),
+            Err(ParseError::BadThread { line: 3 })
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Addr {
     /// Panics if `byte` is not 4-byte aligned.
     #[inline]
     pub fn new(byte: u64) -> Self {
-        assert!(byte.is_multiple_of(WORD_BYTES), "address {byte:#x} is not word-aligned");
+        assert!(
+            byte.is_multiple_of(WORD_BYTES),
+            "address {byte:#x} is not word-aligned"
+        );
         Addr(byte)
     }
 

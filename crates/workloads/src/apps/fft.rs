@@ -152,9 +152,11 @@ mod tests {
         let n = 16u64;
         // Roots live right after the two matrices.
         let roots_start = 2 * n * n * CPLX * 4; // byte offset (line-aligned regions are contiguous here)
-        let writes_roots = w.threads().iter().flat_map(|t| t.iter()).any(|op| {
-            matches!(op, cord_trace::op::Op::Write(a) if a.byte() >= roots_start)
-        });
+        let writes_roots = w
+            .threads()
+            .iter()
+            .flat_map(|t| t.iter())
+            .any(|op| matches!(op, cord_trace::op::Op::Write(a) if a.byte() >= roots_start));
         assert!(!writes_roots, "the twiddle table must be read-only");
     }
 }

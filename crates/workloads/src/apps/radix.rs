@@ -48,7 +48,11 @@ pub fn build(p: KernelParams) -> Workload {
         let chunk = p.chunk(keys, t);
         let tb = &mut b.thread_mut(t);
         for pass in 0..PASSES {
-            let (from, to) = if pass % 2 == 0 { (&src, &dst) } else { (&dst, &src) };
+            let (from, to) = if pass % 2 == 0 {
+                (&src, &dst)
+            } else {
+                (&dst, &src)
+            };
             // Local histogram.
             for k in chunk.clone() {
                 tb.read(from.word(k));

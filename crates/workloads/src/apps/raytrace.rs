@@ -24,12 +24,7 @@ const PRIM_WORDS: u64 = 8;
 
 /// One ray: descend the BSP from the root (node 0) taking seeded
 /// branches, then shade against the leaf's primitive block.
-fn trace_ray(
-    tb: &mut ThreadBuilder<'_>,
-    bsp: &WordRange,
-    prims: &WordRange,
-    rng: &mut SmallRng,
-) {
+fn trace_ray(tb: &mut ThreadBuilder<'_>, bsp: &WordRange, prims: &WordRange, rng: &mut SmallRng) {
     let mut node = 0u64;
     let node_count = bsp.len() / NODE_WORDS;
     for _level in 0..BSP_DEPTH {
@@ -91,7 +86,7 @@ mod tests {
         w.validate().unwrap();
         let c = w.op_counts();
         assert_eq!(c.locks, 16 * 4); // one queue take per tile
-        // Scene reads dominate framebuffer writes heavily.
+                                     // Scene reads dominate framebuffer writes heavily.
         assert!(c.reads > 3 * c.writes);
         assert_eq!(w.layout().user_locks(), 1);
     }
@@ -124,9 +119,11 @@ mod tests {
         let w = build(p);
         // BSP + primitives occupy the first (64*4 + 512) words.
         let scene_end = (64 * NODE_WORDS + 512) * 4;
-        let writes_scene = w.threads().iter().flat_map(|t| t.iter()).any(
-            |op| matches!(op, cord_trace::op::Op::Write(a) if a.byte() < scene_end),
-        );
+        let writes_scene = w
+            .threads()
+            .iter()
+            .flat_map(|t| t.iter())
+            .any(|op| matches!(op, cord_trace::op::Op::Write(a) if a.byte() < scene_end));
         assert!(!writes_scene, "the scene must be read-only");
     }
 }

@@ -34,7 +34,7 @@ fn march_ray(
     for _ in 0..OCTREE_DEPTH {
         tb.read(octree.word(node * NODE_WORDS));
         tb.compute(4);
-        node = (8 * node + 1 + rng.gen_range(0..8)) % node_count;
+        node = (8 * node + 1 + rng.gen_range(0..8u64)) % node_count;
     }
     // March: consecutive voxels starting where the ray enters.
     let start = rng.gen_range(0..volume.len().saturating_sub(MARCH_STEPS));

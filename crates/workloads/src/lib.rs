@@ -267,8 +267,7 @@ mod textfmt_tests {
         for kind in all_apps() {
             let w = kernel(kind, ScaleClass::Tiny, 4, 7);
             let text = textfmt::to_text(&w);
-            let back = textfmt::from_text(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let back = textfmt::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert_eq!(w, back, "{} did not round-trip", kind.name());
         }
     }

@@ -6,11 +6,11 @@
 //! cargo run --release --example overhead_sweep
 //! ```
 
-use cord::core::{CordConfig, ExperimentHarness};
+use cord::core::{CordConfig, CordError, ExperimentHarness};
 use cord::sim::config::MachineConfig;
 use cord::workloads::{all_apps, kernel, ScaleClass};
 
-fn main() {
+fn main() -> Result<(), CordError> {
     println!(
         "{:12} {:>10} {:>10} {:>9} {:>12} {:>10}",
         "app", "base cyc", "cord cyc", "overhead", "race checks", "log bytes"
@@ -19,8 +19,8 @@ fn main() {
     for app in all_apps() {
         let workload = kernel(app, ScaleClass::Small, 4, 42);
         let harness = ExperimentHarness::new(MachineConfig::paper_4core());
-        let base = harness.run_baseline(&workload);
-        let cord = harness.run_cord(&workload, &CordConfig::paper());
+        let base = harness.run_baseline(&workload)?;
+        let cord = harness.run_cord(&workload, &CordConfig::paper())?;
         let ratio = cord.sim.stats.cycles as f64 / base.stats.cycles as f64;
         ratios.push(ratio);
         println!(
@@ -38,4 +38,5 @@ fn main() {
         "\naverage overhead: {:.2}% (paper: 0.4% average, 3% worst case)",
         (avg - 1.0) * 100.0
     );
+    Ok(())
 }

@@ -5,11 +5,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use cord::core::{CordConfig, ExperimentHarness};
+use cord::core::{CordConfig, CordError, ExperimentHarness};
 use cord::sim::config::MachineConfig;
 use cord::trace::WorkloadBuilder;
 
-fn main() {
+fn main() -> Result<(), CordError> {
     // A producer/consumer pair: thread 0 fills a buffer and sets a flag,
     // thread 1 waits for the flag and reads the buffer. Properly
     // synchronized — CORD should record the ordering and report nothing.
@@ -35,7 +35,7 @@ fn main() {
 
     // Run it on the paper's 4-core CMP with the paper's CORD (D = 16).
     let harness = ExperimentHarness::new(MachineConfig::paper_4core());
-    let outcome = harness.run_cord(&workload, &CordConfig::paper());
+    let outcome = harness.run_cord(&workload, &CordConfig::paper())?;
 
     println!("workload          : {}", workload.name());
     println!("execution time    : {} cycles", outcome.sim.stats.cycles);
@@ -51,18 +51,20 @@ fn main() {
         outcome.cord_stats.clock_updates, outcome.cord_stats.sync_races
     );
 
-    assert!(outcome.races.is_empty(), "a synchronized program must be clean");
+    assert!(
+        outcome.races.is_empty(),
+        "a synchronized program must be clean"
+    );
 
     // The recorded order can be replayed deterministically.
-    let report = harness
-        .verify_replay(
-            &workload,
-            &CordConfig::paper(),
-            cord::sim::engine::InjectionPlan::none(),
-        )
-        .expect("replay reproduces the execution");
+    let report = harness.verify_replay(
+        &workload,
+        &CordConfig::paper(),
+        cord::sim::engine::InjectionPlan::none(),
+    )?;
     println!(
         "replay            : {} segments, {} accesses — exact",
         report.segments, report.accesses
     );
+    Ok(())
 }

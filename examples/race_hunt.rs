@@ -24,25 +24,32 @@ fn main() {
 
     let workload = kernel(app, ScaleClass::Small, 4, 42);
     let machine = MachineConfig::paper_4core();
-    let campaign = Campaign::plan(&machine, &workload, injections, 7);
+    let campaign = Campaign::plan(&machine, &workload, injections, 7).expect("dry run completes");
     println!(
-        "{}: {} dynamic sync instances, removing {} of them one run at a time",
+        "{}: {} removable sync instances, removing {} of them one run at a time",
         workload.name(),
-        campaign.total_instances,
+        campaign.counts.acquires,
         campaign.len()
     );
     println!(
-        "{:>8} {:>12} {:>12} {:>10}",
+        "{:>12} {:>12} {:>12} {:>10}",
         "target", "ideal races", "cord races", "verdict"
     );
 
     let mut manifested = 0;
     let mut detected = 0;
-    for (i, plan) in campaign.plans().enumerate() {
+    for (i, target) in campaign.targets.iter().enumerate() {
+        let plan = target.plan();
         let seed = 1000 + i as u64;
 
         let ideal = IdealDetector::new(4);
-        let m = Machine::new(MachineConfig::infinite_cache(), &workload, ideal, seed, plan);
+        let m = Machine::new(
+            MachineConfig::infinite_cache(),
+            &workload,
+            ideal,
+            seed,
+            plan,
+        );
         let (_, ideal) = m.run().expect("run ok");
 
         let cord = CordDetector::new(CordConfig::paper(), 4, machine.cores);
@@ -62,8 +69,8 @@ fn main() {
             detected += 1;
         }
         println!(
-            "{:>8} {:>12} {:>12} {:>10}",
-            plan.remove_instance.unwrap(),
+            "{:>12} {:>12} {:>12} {:>10}",
+            target.to_string(),
             ideal.data_race_count(),
             cord.races().len(),
             verdict

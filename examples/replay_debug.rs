@@ -5,18 +5,18 @@
 //! cargo run --release --example replay_debug
 //! ```
 
-use cord::core::{CordConfig, ExperimentHarness};
+use cord::core::{CordConfig, CordError, ExperimentHarness};
 use cord::sim::config::MachineConfig;
 use cord::sim::engine::InjectionPlan;
 use cord::workloads::{kernel, AppKind, ScaleClass};
 
-fn main() {
+fn main() -> Result<(), CordError> {
     let workload = kernel(AppKind::Radix, ScaleClass::Tiny, 4, 9);
     let harness = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(9);
 
     // Record a run with an injected synchronization bug.
     let plan = InjectionPlan::remove_nth(3);
-    let outcome = harness.run_cord_injected(&workload, &CordConfig::paper(), plan);
+    let outcome = harness.run_cord_injected(&workload, &CordConfig::paper(), plan)?;
     println!(
         "recorded {}: {} cycles, {} log entries ({} bytes), {} data races reported",
         workload.name(),
@@ -55,4 +55,5 @@ fn main() {
             r.thread, r.kind, r.addr, r.my_clock, r.other_ts
         );
     }
+    Ok(())
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints, formatting. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --release --workspace --quiet
+
+echo "== clippy (deny warnings; unwrap_used denied outside tests) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check
+
+echo "ci: all green"

@@ -37,12 +37,13 @@
 //! }
 //! let workload = b.build();
 //! let harness = ExperimentHarness::new(MachineConfig::paper_4core());
-//! let outcome = harness.run_cord(&workload, &CordConfig::paper());
+//! let outcome = harness.run_cord(&workload, &CordConfig::paper())?;
 //! println!(
 //!     "{} data races detected, {} order-log entries",
 //!     outcome.races.len(),
 //!     outcome.order_log.len()
 //! );
+//! # Ok::<(), cord::core::CordError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -16,7 +16,13 @@ fn no_detector_fires_on_clean_runs() {
         let w = kernel(app, ScaleClass::Tiny, 4, 42);
         for seed in [1, 99] {
             let det = CordDetector::new(CordConfig::paper(), 4, 4);
-            let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+            let m = Machine::new(
+                MachineConfig::paper_4core(),
+                &w,
+                det,
+                seed,
+                InjectionPlan::none(),
+            );
             let (_, det) = m.run().expect("no deadlock");
             assert!(
                 det.races().is_empty(),
@@ -42,7 +48,13 @@ fn no_detector_fires_on_clean_runs() {
             );
 
             let det = VcLimitedDetector::new(VcConfig::l2_cache(), 4, 4);
-            let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+            let m = Machine::new(
+                MachineConfig::paper_4core(),
+                &w,
+                det,
+                seed,
+                InjectionPlan::none(),
+            );
             let (_, det) = m.run().expect("no deadlock");
             assert!(
                 det.races().is_empty(),
@@ -64,10 +76,10 @@ fn replay_is_exact_for_every_kernel() {
         let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(17);
         h.verify_replay(&w, &CordConfig::paper(), InjectionPlan::none())
             .unwrap_or_else(|e| panic!("{} clean replay failed: {e}", w.name()));
-        let total = Campaign::plan(&MachineConfig::paper_4core(), &w, 2, 3).targets;
-        for n in total {
-            h.verify_replay(&w, &CordConfig::paper(), InjectionPlan::remove_nth(n))
-                .unwrap_or_else(|e| panic!("{} injected({n}) replay failed: {e}", w.name()));
+        let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 2, 3).expect("dry run");
+        for t in campaign.targets {
+            h.verify_replay(&w, &CordConfig::paper(), t.plan())
+                .unwrap_or_else(|e| panic!("{} injected({t}) replay failed: {e}", w.name()));
         }
     }
 }
@@ -80,7 +92,7 @@ fn cord_detects_injected_problems_across_suite() {
     let mut caught = 0u32;
     for app in all_apps() {
         let w = kernel(app, ScaleClass::Tiny, 4, 5);
-        let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 6, 11);
+        let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 6, 11).expect("dry run");
         for (i, plan) in campaign.plans().enumerate() {
             let seed = 500 + i as u64;
             let ideal = IdealDetector::new(4);
@@ -96,7 +108,10 @@ fn cord_detects_injected_problems_across_suite() {
             caught += u32::from(!cord.races().is_empty());
         }
     }
-    assert!(manifested >= 10, "too few manifested injections: {manifested}");
+    assert!(
+        manifested >= 10,
+        "too few manifested injections: {manifested}"
+    );
     let rate = f64::from(caught) / f64::from(manifested);
     assert!(
         rate > 0.4,
@@ -111,7 +126,7 @@ fn order_logs_are_compact() {
     for app in all_apps() {
         let w = kernel(app, ScaleClass::Tiny, 4, 23);
         let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(23);
-        let out = h.run_cord(&w, &CordConfig::paper());
+        let out = h.run_cord(&w, &CordConfig::paper()).expect("run completes");
         assert!(out.log_bytes > 0, "{}: empty log", w.name());
         assert!(
             out.log_bytes < 512 * 1024,
@@ -134,7 +149,11 @@ fn migration_is_clean_across_kernels() {
         let det = CordDetector::new(CordConfig::paper(), 4, mc.cores);
         let m = Machine::new(mc, &w, det, 31, InjectionPlan::none());
         let (out, det) = m.run().expect("no deadlock");
-        assert!(out.stats.migrations > 0, "{}: no migrations happened", w.name());
+        assert!(
+            out.stats.migrations > 0,
+            "{}: no migrations happened",
+            w.name()
+        );
         assert!(
             det.races().is_empty(),
             "{}: migration-induced false positives {:?}",
@@ -153,7 +172,13 @@ fn runs_are_deterministic_per_seed() {
     let w = kernel(AppKind::Cholesky, ScaleClass::Tiny, 4, 3);
     let run = |seed| {
         let det = CordDetector::new(CordConfig::paper(), 4, 4);
-        let m = Machine::new(MachineConfig::paper_4core(), &w, det, seed, InjectionPlan::none());
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            det,
+            seed,
+            InjectionPlan::none(),
+        );
         let (out, det) = m.run().expect("ok");
         (out.stats, out.truth.thread_hashes, det.recorder().bytes())
     };
@@ -174,7 +199,13 @@ fn known_preexisting_race_is_discovered() {
         scale: 2,
     });
     let det = CordDetector::new(CordConfig::paper(), 4, 4);
-    let m = Machine::new(MachineConfig::paper_4core(), &w, det, 2, InjectionPlan::none());
+    let m = Machine::new(
+        MachineConfig::paper_4core(),
+        &w,
+        det,
+        2,
+        InjectionPlan::none(),
+    );
     let (_, cord) = m.run().expect("ok");
     assert!(
         cord.races().iter().any(|r| r.addr == PROGRESS_WORD),
@@ -227,7 +258,7 @@ fn replay_parallelism_is_sane_on_real_logs() {
     use cord::core::replay_parallelism;
     let w = kernel(AppKind::WaterN2, ScaleClass::Tiny, 4, 41);
     let h = ExperimentHarness::new(MachineConfig::paper_4core()).with_seed(41);
-    let out = h.run_cord(&w, &CordConfig::paper());
+    let out = h.run_cord(&w, &CordConfig::paper()).expect("run completes");
     let p = replay_parallelism(&out.order_log);
     assert_eq!(p.segments, out.order_log.len());
     assert!(p.mean_width >= 1.0);
@@ -274,7 +305,7 @@ fn oversubscribed_injection_detection_works() {
     let threads = 6;
     // volrend manifests nearly always (its queue waits order everything).
     let w = kernel(AppKind::Volrend, ScaleClass::Tiny, threads, 53);
-    let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 12, 9);
+    let campaign = Campaign::plan(&MachineConfig::paper_4core(), &w, 12, 9).expect("dry run");
     let mut manifested = 0;
     let mut caught = 0;
     for (i, plan) in campaign.plans().enumerate() {

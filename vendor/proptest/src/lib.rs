@@ -1,0 +1,476 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot
+//! be fetched. This stub keeps the same surface — the [`proptest!`]
+//! macro, range/tuple/`Just`/`prop_map`/`prop_oneof!` strategies,
+//! `collection::vec`, `bool::ANY`, `prop_assert*!` and `prop_assume!` —
+//! backed by a fixed-seed generator instead of a shrinking engine.
+//! Failing cases therefore reproduce exactly across runs, but are not
+//! minimized.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for case number `case` of a named test.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index, so each
+        // test and case gets an independent, stable stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128) * span) >> 64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking: a
+/// strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128 + rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u128) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — lengths in `[start, end)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u128;
+            let n = self.len.start + (((rng.next_u64() as u128) * span) >> 64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Unweighted coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Per-block test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// The `prop::` alias real proptest exposes in its prelude.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Asserts inside a proptest case; failure reports the case's inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+}
+
+/// Inequality assertion inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The test-defining macro. Supports the two argument forms the real
+/// crate accepts — `name in strategy` and `name: Type` (implicit
+/// `any::<Type>()`) — plus an optional `#![proptest_config(...)]`
+/// header.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+
+    // No tests left.
+    (@tests ($cfg:expr)) => {};
+
+    // One test fn, then recurse on the rest.
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        // `$meta` carries the user's own `#[test]`; adding another here
+        // would register the test twice.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let outcome: ::core::result::Result<(), String> =
+                    $crate::proptest!(@case rng, ($($args)*), $body);
+                if let ::core::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest case {case} of {} failed: {msg}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+
+    // Argument munching: bind each arg, then run the body. The body
+    // runs inside an IIFE returning Result so prop_assert!/prop_assume!
+    // can early-return.
+    (@case $rng:ident, ($($args:tt)*), $body:block) => {
+        (|| -> ::core::result::Result<(), String> {
+            $crate::proptest!(@bind $rng, $($args)*);
+            $body
+            #[allow(unreachable_code)]
+            ::core::result::Result::Ok(())
+        })()
+    };
+
+    // Bind: `pat in strategy` form.
+    (@bind $rng:ident, $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    // Bind: plain `name: Type` form (implicit any::<Type>()).
+    (@bind $rng:ident, $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $arg:ident : $ty:ty) => {
+        let $arg: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    // Done (also absorbs a trailing comma).
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident) => {};
+
+    // Entry without a config header. Must come after the `@` rules:
+    // a leading catch-all would also swallow recursive `@tests` calls.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u64..10,
+            v in crate::collection::vec((0u8..4, crate::bool::ANY), 1..9),
+            flag: bool,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (b, _) in &v {
+                prop_assert!(*b < 4);
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map_work(
+            y in prop_oneof![Just(1u64), (10u64..20).prop_map(|v| v * 2)],
+        ) {
+            prop_assert!(y == 1 || (20..40).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(a: u16, b: u16) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}
