@@ -10,25 +10,29 @@
 //! Subcommands: `table1`, `fig10`..`fig17`, `logsize`, `area`, `replay`,
 //! `ablations`, `cachestats`, `replaypar`, `directory`, `recordonly`,
 //! `cachesweep`, `threadsweep`, `all`. Options: `--injections N`,
-//! `--scale tiny|small|paper`, `--seed S`, `--json PATH` (dump the raw
-//! sweep results), `--checkpoint PATH` (persist partial sweep results
+//! `--scale tiny|small|paper`, `--seed S`, `--jobs N` (sweep worker
+//! threads; defaults to the host's available parallelism, output is
+//! bit-identical for every value), `--json PATH` (dump the raw sweep
+//! results), `--checkpoint PATH` (persist partial sweep results
 //! after every app and resume from them on restart).
 
-use cord_bench::checkpoint::sweep_all_checkpointed;
 use cord_bench::figures;
+use cord_bench::runner::SweepRunner;
 use cord_bench::sweep::{ScaleClassOpt, SweepOptions, SweepResults};
 use cord_bench::DetectorConfig;
 use cord_json::ToJson;
+use cord_pool::Pool;
 use cord_workloads::ScaleClass;
 use std::error::Error;
-use std::path::Path;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 struct Args {
     command: String,
     injections: usize,
     scale: ScaleClassOpt,
     seed: u64,
+    jobs: usize,
     json: Option<String>,
     checkpoint: Option<String>,
 }
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         injections: 24,
         scale: ScaleClassOpt::Small,
         seed: 2006,
+        jobs: Pool::available_parallelism(),
         json: None,
         checkpoint: None,
     };
@@ -65,6 +70,12 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?;
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a number")?;
             }
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
@@ -101,15 +112,43 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let sweep: Option<SweepResults> = if needs_sweep {
         eprintln!(
-            "running injection sweep: {} injections/app at {:?} scale...",
-            opts.injections_per_app, opts.scale
+            "running injection sweep: {} injections/app at {:?} scale on {} worker(s)...",
+            opts.injections_per_app, opts.scale, args.jobs
         );
         let t0 = Instant::now();
         let configs = DetectorConfig::all_for_sweep();
-        let s = match &args.checkpoint {
-            Some(path) => sweep_all_checkpointed(&configs, &opts, Path::new(path))?,
-            None => cord_bench::sweep::sweep_all(&configs, &opts),
-        };
+        // Throttled stderr progress line (at most ~3/s).
+        let last_print: Mutex<Option<Instant>> = Mutex::new(None);
+        let mut runner = SweepRunner::new(opts).jobs(args.jobs).progress(move |p| {
+            let mut last = match last_print.lock() {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+            let due = last.is_none_or(|t| t.elapsed() >= Duration::from_millis(300));
+            if !(due || p.jobs_done == p.jobs_total) {
+                return;
+            }
+            *last = Some(Instant::now());
+            let eta = match p.eta {
+                Some(d) => format!("{:.1}s", d.as_secs_f64()),
+                None => "?".to_string(),
+            };
+            eprintln!(
+                "  [{}] {}/{} jobs, {}/{} apps, {} failed, {:.0}% util, eta {}",
+                p.phase,
+                p.jobs_done,
+                p.jobs_total,
+                p.apps_done,
+                p.apps_total,
+                p.jobs_failed,
+                100.0 * p.utilization,
+                eta
+            );
+        });
+        if let Some(path) = &args.checkpoint {
+            runner = runner.checkpoint(path);
+        }
+        let s = runner.run(&configs)?;
         eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
         let failures = figures::failure_summary(&s);
         if !failures.is_empty() {

@@ -20,9 +20,9 @@
 //! ```
 
 use crate::configs::DetectorConfig;
-use crate::sweep::{sweep_app, AppSweep, SweepOptions, SweepResults};
+use crate::runner::SweepRunner;
+use crate::sweep::{AppSweep, SweepOptions, SweepResults};
 use cord_json::{obj, FromJson, Json, ToJson};
-use cord_workloads::all_apps;
 use std::io;
 use std::path::Path;
 
@@ -100,36 +100,16 @@ impl Checkpoint {
 ///
 /// Returns the I/O error if a checkpoint write fails (simulation
 /// results are never silently dropped).
+#[deprecated(
+    since = "0.2.0",
+    note = "use SweepRunner::new(opts).checkpoint(path).run(configs)"
+)]
 pub fn sweep_all_checkpointed(
     configs: &[DetectorConfig],
     opts: &SweepOptions,
     checkpoint: &Path,
 ) -> io::Result<SweepResults> {
-    let hash = options_hash(opts, configs);
-    let mut done = Checkpoint::load_matching(checkpoint, hash)
-        .map(|cp| cp.apps)
-        .unwrap_or_default();
-    for app in all_apps() {
-        let name = app.name();
-        if done.iter().any(|a| a.app == name) {
-            continue;
-        }
-        done.push(sweep_app(app, configs, opts));
-        Checkpoint {
-            options_hash: hash,
-            options: *opts,
-            apps: done.clone(),
-        }
-        .store(checkpoint)?;
-    }
-    // Order by the canonical app order (a resumed checkpoint already is;
-    // this guards against a reordered app list between versions).
-    let order: Vec<&str> = all_apps().into_iter().map(|a| a.name()).collect();
-    done.sort_by_key(|a| order.iter().position(|n| *n == a.app));
-    Ok(SweepResults {
-        options: *opts,
-        apps: done,
-    })
+    SweepRunner::new(*opts).checkpoint(checkpoint).run(configs)
 }
 
 #[cfg(test)]

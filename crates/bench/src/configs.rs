@@ -1,8 +1,9 @@
 //! The detector configurations compared in §4.
 
-use cord_core::CordConfig;
-use cord_detectors::VcConfig;
+use cord_core::{CordConfig, CordDetector, Detector};
+use cord_detectors::{IdealDetector, VcConfig, VcLimitedDetector};
 use cord_sim::config::MachineConfig;
+use cord_sim::observer::{AccessEvent, MemoryObserver, ObserverOutcome};
 
 /// A named detector configuration from the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +75,36 @@ impl DetectorConfig {
         }
     }
 
+    /// Builds the detector this configuration names, ready to attach to
+    /// a machine with `cores` cores running a `threads`-thread
+    /// workload. This is the single construction point every sweep and
+    /// figure goes through — adding a detector means adding a variant
+    /// here, not touching each call site.
+    ///
+    /// `seed` is the run's scheduling seed; real detectors ignore it,
+    /// but [`DetectorConfig::PanicProbe`] uses its parity to decide
+    /// whether to fault (odd seeds panic at the first observed access).
+    pub fn build(&self, threads: usize, cores: usize, seed: u64) -> Box<dyn Detector> {
+        match *self {
+            DetectorConfig::Cord { d } => {
+                Box::new(CordDetector::new(CordConfig::with_d(d), threads, cores))
+            }
+            DetectorConfig::Ideal => Box::new(IdealDetector::new(threads)),
+            DetectorConfig::VcInfCache => Box::new(VcLimitedDetector::new(
+                VcConfig::inf_cache(),
+                threads,
+                cores,
+            )),
+            DetectorConfig::VcL2Cache => {
+                Box::new(VcLimitedDetector::new(VcConfig::l2_cache(), threads, cores))
+            }
+            DetectorConfig::VcL1Cache => {
+                Box::new(VcLimitedDetector::new(VcConfig::l1_cache(), threads, cores))
+            }
+            DetectorConfig::PanicProbe => Box::new(PanicProbeDetector { seed }),
+        }
+    }
+
     /// Every configuration any figure needs, so one sweep serves all of
     /// Figures 12–17.
     pub fn all_for_sweep() -> Vec<DetectorConfig> {
@@ -86,6 +117,30 @@ impl DetectorConfig {
             DetectorConfig::VcL2Cache,
             DetectorConfig::VcL1Cache,
         ]
+    }
+}
+
+/// The deliberately faulty detector behind
+/// [`DetectorConfig::PanicProbe`]: odd-seeded runs panic at the first
+/// observed access (exercising the sweep's per-job panic boundary),
+/// even-seeded runs observe everything and report zero races.
+#[derive(Debug, Clone, Copy)]
+struct PanicProbeDetector {
+    seed: u64,
+}
+
+impl MemoryObserver for PanicProbeDetector {
+    fn on_access(&mut self, _ev: &AccessEvent) -> ObserverOutcome {
+        if self.seed % 2 == 1 {
+            panic!("panic probe fired (injected detector fault)");
+        }
+        ObserverOutcome::NONE
+    }
+}
+
+impl Detector for PanicProbeDetector {
+    fn race_count(&self) -> u64 {
+        0
     }
 }
 
@@ -127,5 +182,37 @@ mod tests {
             cord_detectors::CapacityMode::Level(cord_sim::observer::Level::L1)
         );
         assert_eq!(DetectorConfig::all_for_sweep().len(), 7);
+    }
+
+    #[test]
+    fn build_constructs_every_sweep_detector() {
+        for cfg in DetectorConfig::all_for_sweep() {
+            let det = cfg.build(4, 4, 2);
+            assert_eq!(det.race_count(), 0, "{cfg:?} starts clean");
+        }
+        let probe = DetectorConfig::PanicProbe.build(4, 4, 2);
+        assert_eq!(probe.race_count(), 0);
+    }
+
+    #[test]
+    fn panic_probe_fires_on_odd_seeds_only() {
+        use cord_sim::observer::{AccessKind, AccessPath, CoreId};
+        use cord_trace::types::{Addr, ThreadId};
+        let ev = AccessEvent {
+            core: CoreId(0),
+            thread: ThreadId(0),
+            addr: Addr::new(0x40),
+            kind: AccessKind::DataRead,
+            path: AccessPath::L1Hit,
+            instr_index: 0,
+            cycle: 0,
+        };
+        let mut even = PanicProbeDetector { seed: 4 };
+        assert_eq!(even.on_access(&ev), ObserverOutcome::NONE);
+        let mut odd = PanicProbeDetector { seed: 5 };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            odd.on_access(&ev);
+        }));
+        assert!(caught.is_err(), "odd-seeded probe must panic");
     }
 }

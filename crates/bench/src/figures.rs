@@ -414,7 +414,9 @@ pub fn replay_check(scale: ScaleClass, seed: u64, injections: u64) -> FigureTabl
 
 /// The default full sweep used by Figures 10 and 12–17.
 pub fn default_sweep(opts: &SweepOptions) -> SweepResults {
-    crate::sweep::sweep_all(&DetectorConfig::all_for_sweep(), opts)
+    crate::runner::SweepRunner::new(*opts)
+        .run(&DetectorConfig::all_for_sweep())
+        .unwrap_or_else(|e| panic!("checkpoint-less sweep cannot fail: {e}"))
 }
 
 /// Ablation study over the design choices DESIGN.md calls out: problem

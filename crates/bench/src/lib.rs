@@ -4,9 +4,14 @@
 //! * [`configs`] — the named detector configurations the paper compares
 //!   (CORD at each `D`, the vector-clock InfCache/L2Cache/L1Cache
 //!   variants, the Ideal oracle) and the machine each runs on.
-//! * [`sweep`] — the §3.4 injection sweep: per application, plan a
-//!   uniform campaign of synchronization removals, run every
-//!   configuration on every injected run, and record who found what.
+//! * [`sweep`] — the §3.4 injection sweep data model: per application,
+//!   a uniform campaign of synchronization removals, every
+//!   configuration run on every injected run, and a record of who
+//!   found what.
+//! * [`runner`] — the sweep session API: [`SweepRunner`] builds a
+//!   sweep once (worker count, app subset, checkpoint path, progress
+//!   callback) and executes the (app × run) matrix across a
+//!   work-stealing pool, bit-identical to a serial sweep.
 //! * [`figures`] — turns sweep results into the paper's metrics
 //!   (problem detection rate, raw race detection rate, manifestation
 //!   rate, execution-time overhead, log sizes, area model) and renders
@@ -25,8 +30,12 @@
 pub mod checkpoint;
 pub mod configs;
 pub mod figures;
+pub mod runner;
 pub mod sweep;
 
-pub use checkpoint::{options_hash, sweep_all_checkpointed, Checkpoint};
+#[allow(deprecated)]
+pub use checkpoint::sweep_all_checkpointed;
+pub use checkpoint::{options_hash, Checkpoint};
 pub use configs::DetectorConfig;
+pub use runner::{SweepProgress, SweepRunner};
 pub use sweep::{AppSweep, RunRecord, RunStatus, SweepOptions, SweepResults};

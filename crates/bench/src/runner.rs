@@ -1,0 +1,531 @@
+//! The sweep session API: [`SweepRunner`].
+//!
+//! A sweep is a matrix of (application × injected run) simulations.
+//! The old surface was a family of free functions (`sweep_app`,
+//! `sweep_all`, `sweep_all_checkpointed`, …) that each re-threaded the
+//! same options; `SweepRunner` replaces them with one session object
+//! built once and queried many times:
+//!
+//! ```no_run
+//! use cord_bench::configs::DetectorConfig;
+//! use cord_bench::runner::SweepRunner;
+//! use cord_bench::sweep::SweepOptions;
+//!
+//! let results = SweepRunner::new(SweepOptions::default())
+//!     .jobs(8)
+//!     .checkpoint("results/ckpt.json")
+//!     .progress(|p| eprintln!("{}/{} runs", p.jobs_done, p.jobs_total))
+//!     .run(&DetectorConfig::all_for_sweep())
+//!     .expect("checkpoint I/O");
+//! # let _ = results;
+//! ```
+//!
+//! # Parallel execution and determinism
+//!
+//! `jobs(n)` fans the run matrix across a [`cord_pool::Pool`] of `n`
+//! workers. Every run already has a deterministic seed derived from
+//! its index ([`run_seed`](crate::sweep::run_seed)) and results are
+//! collected by submission index, never completion order, so the
+//! output of `jobs(8)` is **bit-identical** to `jobs(1)`: same
+//! [`SweepResults`], same JSON rendering, same final checkpoint bytes.
+//!
+//! # Checkpoint compatibility
+//!
+//! The worker count lives on the runner, not on [`SweepOptions`], so
+//! it is structurally excluded from the checkpoint
+//! [`options_hash`](crate::checkpoint::options_hash): a checkpoint
+//! written by a serial sweep resumes under a parallel one and vice
+//! versa. The checkpoint is rewritten after every application
+//! completes (all of its runs merged, apps in canonical order), so an
+//! interrupted parallel sweep loses at most the in-flight apps.
+
+use crate::checkpoint::{options_hash, Checkpoint};
+use crate::configs::DetectorConfig;
+use crate::sweep::{
+    plan_campaign, run_config_impl, run_injection, run_seed, sweep_workload, AppSweep, Detection,
+    RunRecord, RunStatus, SweepOptions, SweepResults,
+};
+use cord_core::CordError;
+use cord_inject::InjectionTarget;
+use cord_pool::{lock_unpoisoned, BatchProgress, Pool};
+use cord_sim::engine::{InjectionPlan, SimError};
+use cord_trace::program::Workload;
+use cord_workloads::{all_apps, AppKind};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A progress snapshot delivered to the callback installed with
+/// [`SweepRunner::progress`]. Snapshots are emitted from worker
+/// threads as jobs finish; the callback must be `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct SweepProgress {
+    /// The sweep phase: `"plan"` while campaigns are being drawn (one
+    /// job per app), `"run"` while the injection matrix executes (one
+    /// job per injected run).
+    pub phase: &'static str,
+    /// Jobs finished in the current phase (including failed ones).
+    pub jobs_done: usize,
+    /// Total jobs in the current phase.
+    pub jobs_total: usize,
+    /// Jobs in the current phase whose worker captured a panic. Note
+    /// that detector panics are caught *inside* the run (becoming
+    /// [`RunStatus::Panicked`] records), so this stays zero unless the
+    /// sweep machinery itself fails.
+    pub jobs_failed: usize,
+    /// Applications fully swept so far (resumed ones count).
+    pub apps_done: usize,
+    /// Applications in this sweep.
+    pub apps_total: usize,
+    /// Wall-clock time since the current phase's batch started.
+    pub elapsed: Duration,
+    /// Mean worker utilization over the batch so far, in `[0, 1]`.
+    pub utilization: f64,
+    /// Estimated time to batch completion, `None` until the first job
+    /// finishes.
+    pub eta: Option<Duration>,
+}
+
+impl SweepProgress {
+    fn of(phase: &'static str, bp: &BatchProgress, apps_done: usize, apps_total: usize) -> Self {
+        SweepProgress {
+            phase,
+            jobs_done: bp.done,
+            jobs_total: bp.total,
+            jobs_failed: bp.failed,
+            apps_done,
+            apps_total,
+            elapsed: bp.elapsed,
+            utilization: bp.utilization(),
+            eta: bp.eta(),
+        }
+    }
+}
+
+type ProgressFn = Box<dyn Fn(&SweepProgress) + Send + Sync>;
+
+/// A configured sweep session. See the [module docs](self) for the
+/// builder walkthrough and the determinism/checkpoint contracts.
+pub struct SweepRunner {
+    opts: SweepOptions,
+    jobs: usize,
+    apps: Vec<AppKind>,
+    checkpoint: Option<PathBuf>,
+    progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("opts", &self.opts)
+            .field("jobs", &self.jobs)
+            .field("apps", &self.apps)
+            .field("checkpoint", &self.checkpoint)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+impl SweepRunner {
+    /// A serial (one-worker) session over every application, with no
+    /// checkpoint and no progress callback.
+    pub fn new(opts: SweepOptions) -> SweepRunner {
+        SweepRunner {
+            opts,
+            jobs: 1,
+            apps: all_apps().to_vec(),
+            checkpoint: None,
+            progress: None,
+        }
+    }
+
+    /// Sets the worker count for [`run`](Self::run). Clamped to at
+    /// least 1; results are bit-identical for every value.
+    pub fn jobs(mut self, jobs: usize) -> SweepRunner {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Restricts the sweep to the given applications, in the given
+    /// order (default: [`all_apps`] in canonical figure order).
+    pub fn apps(mut self, apps: &[AppKind]) -> SweepRunner {
+        self.apps = apps.to_vec();
+        self
+    }
+
+    /// Enables checkpoint/resume against `path`: a matching checkpoint
+    /// is loaded and its apps skipped, and the file is atomically
+    /// rewritten after each app completes.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> SweepRunner {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Installs a progress callback, invoked from worker threads as
+    /// jobs finish. Panics inside the callback are swallowed by the
+    /// pool; they never disturb the sweep.
+    pub fn progress(mut self, cb: impl Fn(&SweepProgress) + Send + Sync + 'static) -> SweepRunner {
+        self.progress = Some(Box::new(cb));
+        self
+    }
+
+    /// The options this session runs with.
+    pub fn options(&self) -> &SweepOptions {
+        &self.opts
+    }
+
+    /// The configured worker count.
+    pub fn job_count(&self) -> usize {
+        self.jobs
+    }
+
+    /// Sweeps every configured application against `configs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a checkpoint write fails (simulation
+    /// results are never silently dropped), or a
+    /// [`CordError::Pool`]-wrapped error if the worker pool loses a
+    /// run — which per-run panic capture makes unreachable in
+    /// practice.
+    pub fn run(&self, configs: &[DetectorConfig]) -> io::Result<SweepResults> {
+        self.run_filtered(configs, &self.apps, self.checkpoint.as_deref())
+    }
+
+    /// Sweeps a single application (never checkpointed: single-app
+    /// sweeps are cheap and the checkpoint hash covers the full app
+    /// set).
+    pub fn run_app(&self, app: AppKind, configs: &[DetectorConfig]) -> AppSweep {
+        let mut results = self
+            .run_filtered(configs, &[app], None)
+            .unwrap_or_else(|e| panic!("checkpoint-less sweep cannot fail: {e}"));
+        results.apps.swap_remove(0)
+    }
+
+    /// Runs one detector configuration over one workload — the
+    /// innermost cell of the sweep matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SimError`] when the simulated machine
+    /// deadlocks or its watchdog fires.
+    pub fn run_detector(
+        &self,
+        config: DetectorConfig,
+        workload: &Workload,
+        seed: u64,
+        plan: InjectionPlan,
+    ) -> Result<Detection, SimError> {
+        run_config_impl(config, workload, seed, plan, &self.opts)
+    }
+
+    /// Re-executes one recorded run exactly as the sweep did — used to
+    /// check that a non-completed run's failure is deterministic.
+    pub fn rerun(
+        &self,
+        app: AppKind,
+        target: InjectionTarget,
+        run_index: usize,
+        configs: &[DetectorConfig],
+    ) -> RunRecord {
+        let workload = sweep_workload(app, &self.opts);
+        run_injection(
+            target,
+            configs,
+            &workload,
+            run_seed(&self.opts, run_index),
+            &self.opts,
+        )
+    }
+
+    fn run_filtered(
+        &self,
+        configs: &[DetectorConfig],
+        apps: &[AppKind],
+        checkpoint: Option<&Path>,
+    ) -> io::Result<SweepResults> {
+        let opts = self.opts;
+        let hash = options_hash(&opts, configs);
+
+        // Resume: split a matching checkpoint into apps this sweep
+        // covers (kept, skipped) and foreign apps (preserved in the
+        // file, excluded from the results).
+        let mut resumed: Vec<AppSweep> = Vec::new();
+        let mut extra: Vec<AppSweep> = Vec::new();
+        if let Some(path) = checkpoint {
+            if let Some(cp) = Checkpoint::load_matching(path, hash) {
+                for a in cp.apps {
+                    if apps.iter().any(|k| k.name() == a.app) {
+                        resumed.push(a);
+                    } else {
+                        extra.push(a);
+                    }
+                }
+            }
+        }
+        let todo: Vec<AppKind> = apps
+            .iter()
+            .copied()
+            .filter(|k| !resumed.iter().any(|a| a.app == k.name()))
+            .collect();
+
+        let pool = Pool::new(self.jobs);
+        let apps_total = apps.len();
+
+        // Phase 1: plan the injection campaigns (one watchdogged dry
+        // run per app), fanned across the pool.
+        let workloads: Vec<Workload> = todo.iter().map(|&a| sweep_workload(a, &opts)).collect();
+        let plan_jobs: Vec<_> = todo
+            .iter()
+            .zip(&workloads)
+            .map(|(&app, workload)| move || plan_campaign(workload, app, &opts))
+            .collect();
+        let planned = match &self.progress {
+            Some(cb) => pool.run_ordered_with(plan_jobs, |bp| {
+                cb(&SweepProgress::of("plan", bp, resumed.len(), apps_total));
+            }),
+            None => pool.run_ordered(plan_jobs),
+        };
+
+        // A panic while planning is an app-level failure, recorded the
+        // same way as a failed dry run.
+        let mut state = SweepState {
+            resumed,
+            extra,
+            cells: Vec::with_capacity(todo.len()),
+            flush_err: None,
+        };
+        for (workload, campaign) in workloads.iter().zip(planned) {
+            let campaign =
+                campaign.unwrap_or_else(|p| Err(format!("campaign planning panicked: {p}")));
+            state.cells.push(match campaign {
+                Ok(c) => AppCell {
+                    name: workload.name().to_string(),
+                    acquires: c.counts.acquires,
+                    releases: c.counts.releases,
+                    dry_run_error: None,
+                    remaining: c.targets.len(),
+                    records: vec![None; c.targets.len()],
+                    targets: c.targets,
+                },
+                Err(e) => AppCell {
+                    name: workload.name().to_string(),
+                    acquires: 0,
+                    releases: 0,
+                    dry_run_error: Some(e),
+                    remaining: 0,
+                    records: Vec::new(),
+                    targets: Vec::new(),
+                },
+            });
+        }
+
+        // Flush once before the run batch so apps with zero runs
+        // (failed dry runs) and resumed apps are on disk even if every
+        // in-flight job is lost to a crash.
+        if let Some(path) = checkpoint {
+            if !todo.is_empty() {
+                state.flush(path, hash, &opts, apps);
+            }
+        }
+
+        // Phase 2: the (app × run) injection matrix. Jobs are indexed
+        // by (app, run index); each worker writes its record into the
+        // app's slot and the app's checkpoint flush happens when its
+        // last run lands.
+        let matrix: Vec<(usize, usize, InjectionTarget)> = state
+            .cells
+            .iter()
+            .enumerate()
+            .flat_map(|(ai, cell)| {
+                cell.targets
+                    .iter()
+                    .enumerate()
+                    .map(move |(ri, &target)| (ai, ri, target))
+            })
+            .collect();
+        let shared = Mutex::new(state);
+        let run_jobs: Vec<_> = matrix
+            .iter()
+            .map(|&(ai, ri, target)| {
+                let shared = &shared;
+                let workloads = &workloads;
+                move || {
+                    let record =
+                        run_injection(target, configs, &workloads[ai], run_seed(&opts, ri), &opts);
+                    let mut st = lock_unpoisoned(shared);
+                    st.record(ai, ri, record);
+                    if st.cells[ai].remaining == 0 {
+                        if let Some(path) = checkpoint {
+                            st.flush(path, hash, &opts, apps);
+                        }
+                    }
+                }
+            })
+            .collect();
+        let outcomes = match &self.progress {
+            Some(cb) => pool.run_ordered_with(run_jobs, |bp| {
+                let apps_done = lock_unpoisoned(&shared).apps_done();
+                cb(&SweepProgress::of("run", bp, apps_done, apps_total));
+            }),
+            None => pool.run_ordered(run_jobs),
+        };
+
+        let mut state = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+
+        // A job that panicked before writing its slot (unreachable in
+        // practice: `run_injection` catches detector and simulator
+        // panics itself) still yields a record, so the matrix stays
+        // rectangular and the failure is visible in the results.
+        for (&(ai, ri, target), outcome) in matrix.iter().zip(&outcomes) {
+            if let Err(p) = outcome {
+                if state.cells[ai].records[ri].is_none() {
+                    state.record(
+                        ai,
+                        ri,
+                        RunRecord {
+                            target,
+                            status: RunStatus::Panicked {
+                                msg: p.message.clone(),
+                            },
+                            detail: None,
+                            ideal: None,
+                            detections: BTreeMap::new(),
+                        },
+                    );
+                    if state.cells[ai].remaining == 0 {
+                        if let Some(path) = checkpoint {
+                            state.flush(path, hash, &opts, apps);
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = state.flush_err.take() {
+            return Err(e);
+        }
+
+        let mut out = state.resumed;
+        for cell in &state.cells {
+            if cell.records.iter().any(Option::is_none) {
+                return Err(io::Error::other(CordError::Pool(format!(
+                    "worker pool lost {} run(s) of app {}",
+                    cell.records.iter().filter(|r| r.is_none()).count(),
+                    cell.name
+                ))));
+            }
+            out.push(cell.assemble());
+        }
+        sort_canonical(&mut out, apps);
+        Ok(SweepResults {
+            options: opts,
+            apps: out,
+        })
+    }
+}
+
+/// One application's in-flight results.
+struct AppCell {
+    name: String,
+    acquires: u64,
+    releases: u64,
+    dry_run_error: Option<String>,
+    remaining: usize,
+    records: Vec<Option<RunRecord>>,
+    targets: Vec<InjectionTarget>,
+}
+
+impl AppCell {
+    /// Assembles the finished [`AppSweep`]. Slots a lost worker never
+    /// filled (unreachable in practice) surface as panicked runs so a
+    /// checkpoint flush can never render a half-empty app.
+    fn assemble(&self) -> AppSweep {
+        AppSweep {
+            app: self.name.clone(),
+            acquire_instances: self.acquires,
+            release_instances: self.releases,
+            dry_run_error: self.dry_run_error.clone(),
+            runs: self
+                .records
+                .iter()
+                .zip(&self.targets)
+                .map(|(r, &target)| {
+                    r.clone().unwrap_or_else(|| RunRecord {
+                        target,
+                        status: RunStatus::Panicked {
+                            msg: "run lost by worker pool (slot never filled)".to_string(),
+                        },
+                        detail: None,
+                        ideal: None,
+                        detections: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Mutex-shared sweep state: results land here from worker threads.
+struct SweepState {
+    resumed: Vec<AppSweep>,
+    extra: Vec<AppSweep>,
+    cells: Vec<AppCell>,
+    flush_err: Option<io::Error>,
+}
+
+impl SweepState {
+    fn record(&mut self, ai: usize, ri: usize, record: RunRecord) {
+        let cell = &mut self.cells[ai];
+        if cell.records[ri].is_none() {
+            cell.records[ri] = Some(record);
+            cell.remaining -= 1;
+        }
+    }
+
+    fn apps_done(&self) -> usize {
+        self.resumed.len() + self.cells.iter().filter(|c| c.remaining == 0).count()
+    }
+
+    /// The apps a checkpoint written now should carry: resumed +
+    /// completed, in canonical order, with foreign apps appended.
+    fn checkpoint_apps(&self, order: &[AppKind]) -> Vec<AppSweep> {
+        let mut out = self.resumed.clone();
+        out.extend(
+            self.cells
+                .iter()
+                .filter(|c| c.remaining == 0)
+                .map(AppCell::assemble),
+        );
+        sort_canonical(&mut out, order);
+        out.extend(self.extra.iter().cloned());
+        out
+    }
+
+    /// Atomically rewrites the checkpoint; the first write error is
+    /// kept (and returned after the batch) rather than aborting
+    /// in-flight simulation work.
+    fn flush(&mut self, path: &Path, hash: u64, opts: &SweepOptions, order: &[AppKind]) {
+        let cp = Checkpoint {
+            options_hash: hash,
+            options: *opts,
+            apps: self.checkpoint_apps(order),
+        };
+        if let Err(e) = cp.store(path) {
+            self.flush_err.get_or_insert(e);
+        }
+    }
+}
+
+/// Sorts apps into the sweep's canonical order (unknown names last,
+/// preserving their relative order).
+fn sort_canonical(apps: &mut [AppSweep], order: &[AppKind]) {
+    apps.sort_by_key(|a| {
+        order
+            .iter()
+            .position(|k| k.name() == a.app)
+            .unwrap_or(usize::MAX)
+    });
+}

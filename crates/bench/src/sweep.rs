@@ -9,14 +9,14 @@
 //! [`failure_summary`](crate::figures::failure_summary)).
 
 use crate::configs::DetectorConfig;
-use cord_core::{CordConfig, CordDetector};
-use cord_detectors::{IdealDetector, VcLimitedDetector};
+use crate::runner::SweepRunner;
 use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use cord_pool::panic_message;
 use cord_sim::config::{MachineConfig, Watchdog};
 use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_trace::program::Workload;
-use cord_workloads::{all_apps, kernel, AppKind, ScaleClass};
+use cord_workloads::{kernel, AppKind, ScaleClass};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -339,6 +339,7 @@ impl SweepResults {
 /// [`DetectorConfig::PanicProbe`] panics by design; the sweep's
 /// per-run `catch_unwind` boundary turns it into
 /// [`RunStatus::Panicked`].
+#[deprecated(since = "0.2.0", note = "use SweepRunner::run_detector instead")]
 pub fn run_config(
     config: DetectorConfig,
     workload: &Workload,
@@ -346,50 +347,34 @@ pub fn run_config(
     plan: InjectionPlan,
     opts: &SweepOptions,
 ) -> Result<Detection, SimError> {
+    run_config_impl(config, workload, seed, plan, opts)
+}
+
+/// Shared implementation behind [`run_config`] and
+/// [`SweepRunner::run_detector`]: build the configuration's detector
+/// through [`DetectorConfig::build`], run it on the configuration's
+/// machine under the sweep's watchdog, and count what it found.
+pub(crate) fn run_config_impl(
+    config: DetectorConfig,
+    workload: &Workload,
+    seed: u64,
+    plan: InjectionPlan,
+    opts: &SweepOptions,
+) -> Result<Detection, SimError> {
     let machine = opts.machine_for(config);
-    let threads = workload.num_threads();
-    let races = match config {
-        DetectorConfig::Ideal => {
-            let det = IdealDetector::new(threads);
-            let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run()?;
-            det.data_race_count()
-        }
-        DetectorConfig::Cord { d } => {
-            let det = CordDetector::new(CordConfig::with_d(d), threads, machine.cores);
-            let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run()?;
-            det.races().len() as u64
-        }
-        DetectorConfig::PanicProbe => {
-            // Deterministic fault: odd-seeded runs die, even-seeded runs
-            // report nothing, so a probed sweep holds both Panicked and
-            // Completed records (and rerun_record reproduces either).
-            if seed % 2 == 1 {
-                panic!("panic probe fired (injected detector fault)");
-            }
-            0
-        }
-        DetectorConfig::VcInfCache | DetectorConfig::VcL2Cache | DetectorConfig::VcL1Cache => {
-            let cfg = match config {
-                DetectorConfig::VcInfCache => cord_detectors::VcConfig::inf_cache(),
-                DetectorConfig::VcL1Cache => cord_detectors::VcConfig::l1_cache(),
-                _ => cord_detectors::VcConfig::l2_cache(),
-            };
-            let det = VcLimitedDetector::new(cfg, threads, machine.cores);
-            let m = Machine::new(machine, workload, det, seed, plan);
-            let (_, det) = m.run()?;
-            det.data_race_count()
-        }
-    };
-    Ok(Detection { races })
+    let det = config.build(workload.num_threads(), machine.cores, seed);
+    let m = Machine::new(machine, workload, det, seed, plan);
+    let (_, det) = m.run()?;
+    Ok(Detection {
+        races: det.race_count(),
+    })
 }
 
 /// Runs every configuration on one injected run behind a panic
 /// boundary, producing the run's record. The Ideal oracle runs once and
 /// its result is reused if `configs` also lists it (no double
 /// simulation).
-fn run_injection(
+pub(crate) fn run_injection(
     target: InjectionTarget,
     configs: &[DetectorConfig],
     workload: &Workload,
@@ -399,13 +384,13 @@ fn run_injection(
     type RunOk = (Detection, BTreeMap<String, Detection>);
     let plan = target.plan();
     let outcome: Result<Result<RunOk, SimError>, _> = catch_unwind(AssertUnwindSafe(|| {
-        let ideal = run_config(DetectorConfig::Ideal, workload, seed, plan, opts)?;
+        let ideal = run_config_impl(DetectorConfig::Ideal, workload, seed, plan, opts)?;
         let mut detections = BTreeMap::new();
         for &cfg in configs {
             let det = if cfg == DetectorConfig::Ideal {
                 ideal
             } else {
-                run_config(cfg, workload, seed, plan, opts)?
+                run_config_impl(cfg, workload, seed, plan, opts)?
             };
             detections.insert(cfg.label(), det);
         }
@@ -438,16 +423,6 @@ fn run_injection(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
 /// The deterministic per-run seed of run `i` in a sweep.
 pub fn run_seed(opts: &SweepOptions, i: usize) -> u64 {
     opts.seed
@@ -457,6 +432,7 @@ pub fn run_seed(opts: &SweepOptions, i: usize) -> u64 {
 
 /// Re-executes one recorded run exactly as the sweep did — used to
 /// check that a non-completed run's failure is deterministic.
+#[deprecated(since = "0.2.0", note = "use SweepRunner::rerun instead")]
 pub fn rerun_record(
     app: AppKind,
     target: InjectionTarget,
@@ -464,68 +440,59 @@ pub fn rerun_record(
     configs: &[DetectorConfig],
     opts: &SweepOptions,
 ) -> RunRecord {
-    let workload = kernel(app, opts.scale.into(), opts.threads, opts.seed);
-    run_injection(target, configs, &workload, run_seed(opts, run_index), opts)
+    SweepRunner::new(*opts).rerun(app, target, run_index, configs)
 }
 
-/// Sweeps one application across all `configs`.
-pub fn sweep_app(app: AppKind, configs: &[DetectorConfig], opts: &SweepOptions) -> AppSweep {
-    let workload = kernel(app, opts.scale.into(), opts.threads, opts.seed);
-    // The dry run counts instances on the paper machine, watchdogged
-    // like every other run in the sweep.
+/// Builds the workload one sweep run of `app` executes (scale, threads,
+/// and base seed from the options).
+pub(crate) fn sweep_workload(app: AppKind, opts: &SweepOptions) -> Workload {
+    kernel(app, opts.scale.into(), opts.threads, opts.seed)
+}
+
+/// Plans an app's injection campaign: the watchdogged dry run that
+/// counts removable instances and draws the target set. The dry run
+/// executes on the paper machine, watchdogged like every other run in
+/// the sweep. Errors are rendered to strings (they become the
+/// [`AppSweep::dry_run_error`]).
+pub(crate) fn plan_campaign(
+    workload: &Workload,
+    app: AppKind,
+    opts: &SweepOptions,
+) -> Result<Campaign, String> {
     let dry_machine = opts.machine_for(DetectorConfig::Cord { d: 16 });
     let campaign_seed = opts.seed ^ app as u64;
     let campaign = if opts.include_releases {
         Campaign::plan_mixed(
             &dry_machine,
-            &workload,
+            workload,
             opts.injections_per_app,
             campaign_seed,
         )
     } else {
         Campaign::plan(
             &dry_machine,
-            &workload,
+            workload,
             opts.injections_per_app,
             campaign_seed,
         )
     };
-    let campaign = match campaign {
-        Ok(c) => c,
-        Err(e) => {
-            return AppSweep {
-                app: workload.name().to_string(),
-                acquire_instances: 0,
-                release_instances: 0,
-                dry_run_error: Some(e.to_string()),
-                runs: Vec::new(),
-            }
-        }
-    };
-    let runs = campaign
-        .targets
-        .iter()
-        .enumerate()
-        .map(|(i, &target)| run_injection(target, configs, &workload, run_seed(opts, i), opts))
-        .collect();
-    AppSweep {
-        app: workload.name().to_string(),
-        acquire_instances: campaign.counts.acquires,
-        release_instances: campaign.counts.releases,
-        dry_run_error: None,
-        runs,
-    }
+    campaign.map_err(|e| e.to_string())
+}
+
+/// Sweeps one application across all `configs`.
+#[deprecated(since = "0.2.0", note = "use SweepRunner::run_app instead")]
+pub fn sweep_app(app: AppKind, configs: &[DetectorConfig], opts: &SweepOptions) -> AppSweep {
+    SweepRunner::new(*opts).run_app(app, configs)
 }
 
 /// Sweeps every Table-1 application.
+#[deprecated(since = "0.2.0", note = "use SweepRunner::run instead")]
 pub fn sweep_all(configs: &[DetectorConfig], opts: &SweepOptions) -> SweepResults {
-    SweepResults {
-        options: *opts,
-        apps: all_apps()
-            .into_iter()
-            .map(|app| sweep_app(app, configs, opts))
-            .collect(),
-    }
+    SweepRunner::new(*opts).run(configs).unwrap_or_else(|e| {
+        // Unreachable: without a checkpoint path the runner performs no
+        // file I/O, which is the only error source.
+        panic!("checkpoint-less sweep cannot fail: {e}")
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -722,10 +689,14 @@ mod tests {
         }
     }
 
+    fn runner() -> SweepRunner {
+        SweepRunner::new(quick_opts())
+    }
+
     #[test]
     fn sweep_one_app_produces_records() {
         let configs = [DetectorConfig::Cord { d: 16 }];
-        let s = sweep_app(AppKind::WaterN2, &configs, &quick_opts());
+        let s = runner().run_app(AppKind::WaterN2, &configs);
         assert_eq!(s.app, "water-n2");
         assert_eq!(s.runs.len(), 4);
         assert!(s.acquire_instances > 0);
@@ -737,9 +708,20 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_match_runner_output() {
+        // The old free functions are kept as thin shims; they must stay
+        // byte-for-byte equivalent to the session API they wrap.
+        let configs = [DetectorConfig::Cord { d: 16 }];
+        let s = runner().run_app(AppKind::WaterN2, &configs);
+        #[allow(deprecated)]
+        let old = sweep_app(AppKind::WaterN2, &configs, &quick_opts());
+        assert_eq!(s, old);
+    }
+
+    #[test]
     fn rates_are_well_defined() {
         let configs = [DetectorConfig::Cord { d: 16 }, DetectorConfig::VcL2Cache];
-        let s = sweep_app(AppKind::Cholesky, &configs, &quick_opts());
+        let s = runner().run_app(AppKind::Cholesky, &configs);
         let m = s.manifestation_rate();
         assert!((0.0..=1.0).contains(&m));
         if s.manifested().count() > 0 {
@@ -750,20 +732,16 @@ mod tests {
     #[test]
     fn cord_never_fires_on_clean_runs_in_sweep_apps() {
         // No-injection sanity for a couple of apps through the sweep's
-        // run_config path.
-        let opts = quick_opts();
+        // run_detector path.
+        let r = runner();
         for app in [AppKind::Fft, AppKind::Radiosity] {
             let w = kernel(app, ScaleClass::Tiny, 4, 7);
-            let d = run_config(
-                DetectorConfig::Cord { d: 16 },
-                &w,
-                1,
-                InjectionPlan::none(),
-                &opts,
-            )
-            .expect("clean run completes");
+            let d = r
+                .run_detector(DetectorConfig::Cord { d: 16 }, &w, 1, InjectionPlan::none())
+                .expect("clean run completes");
             assert_eq!(d.races, 0, "{} clean run fired", w.name());
-            let i = run_config(DetectorConfig::Ideal, &w, 1, InjectionPlan::none(), &opts)
+            let i = r
+                .run_detector(DetectorConfig::Ideal, &w, 1, InjectionPlan::none())
                 .expect("clean run completes");
             assert_eq!(i.races, 0);
         }
@@ -775,7 +753,7 @@ mod tests {
         // the value equals the manifestation verdict (one simulation,
         // reused).
         let configs = [DetectorConfig::Ideal, DetectorConfig::Cord { d: 16 }];
-        let s = sweep_app(AppKind::Lu, &configs, &quick_opts());
+        let s = runner().run_app(AppKind::Lu, &configs);
         for r in &s.runs {
             assert_eq!(r.detections.get("Ideal").copied(), r.ideal);
         }
@@ -786,7 +764,7 @@ mod tests {
         let configs = [DetectorConfig::Cord { d: 16 }];
         let s = SweepResults {
             options: quick_opts(),
-            apps: vec![sweep_app(AppKind::Lu, &configs, &quick_opts())],
+            apps: vec![runner().run_app(AppKind::Lu, &configs)],
         };
         let json = s.to_json().to_string_pretty();
         let back = SweepResults::from_json(&Json::parse(&json).expect("parses")).expect("decodes");

@@ -8,8 +8,9 @@
 //! machine-wide ([`SweepOptions::spin_waits`]), so the two hang flavors
 //! come from two sweeps over the same 12 apps.
 
-use cord_bench::checkpoint::{options_hash, sweep_all_checkpointed, Checkpoint};
-use cord_bench::sweep::{rerun_record, sweep_all, RunStatus, ScaleClassOpt, SweepOptions};
+use cord_bench::checkpoint::{options_hash, Checkpoint};
+use cord_bench::runner::SweepRunner;
+use cord_bench::sweep::{RunStatus, ScaleClassOpt, SweepOptions};
 use cord_bench::DetectorConfig;
 use cord_workloads::all_apps;
 
@@ -33,7 +34,9 @@ fn probe_configs() -> Vec<DetectorConfig> {
 #[test]
 fn spin_sweep_records_timeouts_and_panics_and_still_completes() {
     let opts = probe_opts(Some(200));
-    let results = sweep_all(&probe_configs(), &opts);
+    let results = SweepRunner::new(opts)
+        .run(&probe_configs())
+        .expect("checkpoint-less sweep");
     assert_eq!(results.apps.len(), all_apps().len());
 
     let counts = results.failure_counts();
@@ -82,7 +85,9 @@ fn spin_sweep_records_timeouts_and_panics_and_still_completes() {
 #[test]
 fn blocking_sweep_records_deadlocks_and_still_completes() {
     let opts = probe_opts(None);
-    let results = sweep_all(&[DetectorConfig::Cord { d: 16 }], &opts);
+    let results = SweepRunner::new(opts)
+        .run(&[DetectorConfig::Cord { d: 16 }])
+        .expect("checkpoint-less sweep");
     let counts = results.failure_counts();
     assert!(
         counts.get("deadlocked").copied().unwrap_or(0) >= 1,
@@ -114,14 +119,15 @@ fn blocking_sweep_records_deadlocks_and_still_completes() {
 fn recorded_failures_are_deterministic() {
     let opts = probe_opts(None);
     let configs = [DetectorConfig::Cord { d: 16 }];
+    let runner = SweepRunner::new(opts);
     let mut checked = 0;
     for app in all_apps() {
-        let sweep = cord_bench::sweep::sweep_app(app, &configs, &opts);
+        let sweep = runner.run_app(app, &configs);
         for (i, r) in sweep.runs.iter().enumerate() {
             if r.status.is_completed() {
                 continue;
             }
-            let again = rerun_record(app, r.target, i, &configs, &opts);
+            let again = runner.rerun(app, r.target, i, &configs);
             assert_eq!(&again, r, "{}: run {i} did not reproduce", sweep.app);
             checked += 1;
             break;
@@ -143,11 +149,16 @@ fn checkpointed_sweep_resumes_bit_identically() {
     let dir = std::env::temp_dir().join("cord-fault-tolerance-resume");
     std::fs::create_dir_all(&dir).expect("temp dir");
 
-    let uninterrupted = sweep_all(&configs, &opts);
+    let uninterrupted = SweepRunner::new(opts)
+        .run(&configs)
+        .expect("checkpoint-less sweep");
 
     let fresh_path = dir.join("fresh.json");
     let _ = std::fs::remove_file(&fresh_path);
-    let fresh = sweep_all_checkpointed(&configs, &opts, &fresh_path).expect("checkpointed sweep");
+    let fresh = SweepRunner::new(opts)
+        .checkpoint(&fresh_path)
+        .run(&configs)
+        .expect("checkpointed sweep");
     assert_eq!(fresh, uninterrupted);
     assert!(fresh_path.exists(), "checkpoint file missing after sweep");
 
@@ -161,8 +172,18 @@ fn checkpointed_sweep_resumes_bit_identically() {
     }
     .store(&resumed_path)
     .expect("seed checkpoint");
-    let resumed = sweep_all_checkpointed(&configs, &opts, &resumed_path).expect("resumed sweep");
+    let resumed = SweepRunner::new(opts)
+        .checkpoint(&resumed_path)
+        .run(&configs)
+        .expect("resumed sweep");
     assert_eq!(resumed, uninterrupted);
+
+    // The deprecated free-function shim must behave identically to the
+    // session API it wraps.
+    #[allow(deprecated)]
+    let via_shim = cord_bench::checkpoint::sweep_all_checkpointed(&configs, &opts, &resumed_path)
+        .expect("shim sweep");
+    assert_eq!(via_shim, uninterrupted);
 
     // A stale checkpoint (different options) must be ignored, not
     // resumed: the sweep still matches the uninterrupted result.
@@ -175,7 +196,10 @@ fn checkpointed_sweep_resumes_bit_identically() {
     }
     .store(&stale_path)
     .expect("stale checkpoint");
-    let restarted = sweep_all_checkpointed(&configs, &opts, &stale_path).expect("restarted sweep");
+    let restarted = SweepRunner::new(opts)
+        .checkpoint(&stale_path)
+        .run(&configs)
+        .expect("restarted sweep");
     assert_eq!(restarted, uninterrupted);
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,192 @@
+//! Acceptance tests for the parallel sweep executor: a sweep fanned
+//! across `jobs(8)` workers must be **bit-identical** to the serial
+//! sweep — same `SweepResults`, same JSON rendering, same checkpoint
+//! file bytes — and checkpoints written serially must resume under a
+//! parallel runner (and vice versa), because the worker count is
+//! excluded from the options hash by construction.
+
+use cord_bench::checkpoint::{options_hash, Checkpoint};
+use cord_bench::runner::SweepRunner;
+use cord_bench::sweep::{ScaleClassOpt, SweepOptions};
+use cord_bench::DetectorConfig;
+use cord_json::ToJson;
+use cord_workloads::AppKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn quick_opts() -> SweepOptions {
+    SweepOptions {
+        injections_per_app: 3,
+        scale: ScaleClassOpt::Tiny,
+        threads: 4,
+        seed: 2006,
+        ..SweepOptions::default()
+    }
+}
+
+const APPS: [AppKind; 4] = [
+    AppKind::WaterN2,
+    AppKind::Cholesky,
+    AppKind::Fft,
+    AppKind::Lu,
+];
+
+fn configs() -> Vec<DetectorConfig> {
+    vec![DetectorConfig::Cord { d: 16 }, DetectorConfig::VcL2Cache]
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(1)
+        .run(&configs())
+        .expect("serial sweep");
+    let parallel = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(8)
+        .run(&configs())
+        .expect("parallel sweep");
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serial.to_json().to_string_pretty(),
+        parallel.to_json().to_string_pretty(),
+        "JSON renderings diverged"
+    );
+}
+
+#[test]
+fn parallel_checkpoint_files_match_serial_byte_for_byte() {
+    let dir = std::env::temp_dir().join("cord-parallel-ckpt-bytes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let serial_path = dir.join("serial.json");
+    let parallel_path = dir.join("parallel.json");
+    let _ = std::fs::remove_file(&serial_path);
+    let _ = std::fs::remove_file(&parallel_path);
+
+    let serial = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(1)
+        .checkpoint(&serial_path)
+        .run(&configs())
+        .expect("serial sweep");
+    let parallel = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(8)
+        .checkpoint(&parallel_path)
+        .run(&configs())
+        .expect("parallel sweep");
+    assert_eq!(serial, parallel);
+
+    let serial_bytes = std::fs::read(&serial_path).expect("serial checkpoint");
+    let parallel_bytes = std::fs::read(&parallel_path).expect("parallel checkpoint");
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "final checkpoint files diverged between jobs=1 and jobs=8"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serial_checkpoint_resumes_under_parallel_runner() {
+    let dir = std::env::temp_dir().join("cord-parallel-ckpt-resume");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("shared.json");
+    let _ = std::fs::remove_file(&path);
+
+    let opts = quick_opts();
+    let cfgs = configs();
+    let full = SweepRunner::new(opts)
+        .apps(&APPS)
+        .run(&cfgs)
+        .expect("reference sweep");
+
+    // Simulate a serial sweep killed after two apps: its checkpoint must
+    // resume under jobs=8 — the worker count cannot perturb the options
+    // hash because it is not part of SweepOptions at all.
+    Checkpoint {
+        options_hash: options_hash(&opts, &cfgs),
+        options: opts,
+        apps: full.apps[..2].to_vec(),
+    }
+    .store(&path)
+    .expect("seed checkpoint");
+    let resumed = SweepRunner::new(opts)
+        .apps(&APPS)
+        .jobs(8)
+        .checkpoint(&path)
+        .run(&cfgs)
+        .expect("parallel resume");
+    assert_eq!(resumed, full);
+
+    // A fully resumed sweep reruns nothing and leaves the file's apps
+    // intact and complete.
+    let again = SweepRunner::new(opts)
+        .apps(&APPS)
+        .jobs(8)
+        .checkpoint(&path)
+        .run(&cfgs)
+        .expect("fully-resumed sweep");
+    assert_eq!(again, full);
+    let cp = Checkpoint::load_matching(&path, options_hash(&opts, &cfgs))
+        .expect("checkpoint still loads");
+    assert_eq!(cp.apps, full.apps);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_runs_surface_identically_serial_and_parallel() {
+    // The PanicProbe detector panics on odd-seeded runs; the per-run
+    // isolation boundary must record those as RunStatus::Panicked
+    // without poisoning sibling workers, identically at any job count.
+    let cfgs = vec![DetectorConfig::Cord { d: 16 }, DetectorConfig::PanicProbe];
+    let serial = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(1)
+        .run(&cfgs)
+        .expect("serial probed sweep");
+    let parallel = SweepRunner::new(quick_opts())
+        .apps(&APPS)
+        .jobs(8)
+        .run(&cfgs)
+        .expect("parallel probed sweep");
+    assert_eq!(serial, parallel);
+    let panicked: usize = parallel
+        .apps
+        .iter()
+        .flat_map(|a| &a.runs)
+        .filter(|r| matches!(r.status, cord_bench::RunStatus::Panicked { .. }))
+        .count();
+    assert!(panicked >= 1, "the panic probe never fired");
+    let completed: usize = parallel.apps.iter().map(|a| a.completed().count()).sum();
+    assert!(completed >= 1, "a panicked run poisoned its siblings");
+}
+
+#[test]
+fn progress_callback_reports_both_phases_and_full_totals() {
+    let plan_snaps = Arc::new(AtomicUsize::new(0));
+    let run_snaps = Arc::new(AtomicUsize::new(0));
+    let (p, r) = (Arc::clone(&plan_snaps), Arc::clone(&run_snaps));
+    let results = SweepRunner::new(quick_opts())
+        .apps(&APPS[..2])
+        .jobs(4)
+        .progress(move |snap| {
+            match snap.phase {
+                "plan" => p.fetch_add(1, Ordering::Relaxed),
+                "run" => r.fetch_add(1, Ordering::Relaxed),
+                other => panic!("unknown phase {other:?}"),
+            };
+            assert!(snap.jobs_done <= snap.jobs_total);
+            assert!(snap.apps_done <= snap.apps_total);
+            assert_eq!(snap.apps_total, 2);
+            assert!((0.0..=1.0).contains(&snap.utilization));
+        })
+        .run(&configs())
+        .expect("swept");
+    // One snapshot per finished job, both phases.
+    assert_eq!(plan_snaps.load(Ordering::Relaxed), 2);
+    assert_eq!(
+        run_snaps.load(Ordering::Relaxed),
+        results.apps.iter().map(|a| a.runs.len()).sum::<usize>()
+    );
+}

@@ -297,6 +297,25 @@ impl CordDetector {
     }
 }
 
+/// The object-safe face shared by every race detector the experiment
+/// harness can attach to a [`Machine`](cord_sim::engine::Machine):
+/// a [`MemoryObserver`] that can report how many data races it found.
+///
+/// `Send` is a supertrait so a `Box<dyn Detector>` can be built on one
+/// thread and executed on a sweep worker — the parallel injection
+/// executor constructs detectors through
+/// `DetectorConfig::build` and fans the runs across a pool.
+pub trait Detector: MemoryObserver + Send {
+    /// Number of data races reported so far.
+    fn race_count(&self) -> u64;
+}
+
+impl Detector for CordDetector {
+    fn race_count(&self) -> u64 {
+        self.races.len() as u64
+    }
+}
+
 impl MemoryObserver for CordDetector {
     fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
         let t = ev.thread.index();

@@ -32,6 +32,13 @@ pub enum CordError {
     /// A detector failed internally (e.g. a panic caught at the sweep
     /// boundary); the payload is its message.
     Detector(String),
+    /// The parallel sweep executor failed at the worker-pool level —
+    /// a job was lost or a result slot was never filled. Distinct from
+    /// a *job* panicking (which the sweep records as a per-run
+    /// `Panicked` status and keeps going past); a pool failure means
+    /// the executor itself misbehaved and the sweep cannot vouch for
+    /// its results.
+    Pool(String),
 }
 
 impl From<SimError> for CordError {
@@ -61,6 +68,7 @@ impl fmt::Display for CordError {
                  (enable MachineConfig::capture_resolved)"
             ),
             CordError::Detector(msg) => write!(f, "detector failure: {msg}"),
+            CordError::Pool(msg) => write!(f, "worker pool failure: {msg}"),
         }
     }
 }
@@ -92,6 +100,7 @@ impl CordError {
             CordError::LogOverflow { .. } => "log-overflow",
             CordError::MissingResolvedStreams => "missing-resolved-streams",
             CordError::Detector(_) => "detector-failure",
+            CordError::Pool(_) => "pool-failure",
         }
     }
 }
@@ -125,5 +134,13 @@ mod tests {
         );
         assert_eq!(CordError::Detector("x".into()).kind(), "detector-failure");
         assert!(log.to_string().contains("10"));
+    }
+
+    #[test]
+    fn pool_failures_are_a_distinct_kind() {
+        let e = CordError::Pool("slot 3 never filled".into());
+        assert_eq!(e.kind(), "pool-failure");
+        assert!(e.to_string().contains("worker pool failure"));
+        assert!(e.to_string().contains("slot 3"));
     }
 }

@@ -188,6 +188,24 @@ impl ExperimentHarness {
 /// `cord-sim` directly.
 pub type HarnessSimError = SimError;
 
+// Compile-time Send/Sync audit: the parallel sweep executor builds
+// harnesses, detectors, and outcomes on one thread and runs or collects
+// them on pool workers. If a non-Send field ever sneaks into one of
+// these types, this fails to compile rather than failing at the first
+// parallel sweep.
+#[allow(dead_code)]
+fn _thread_safety_audit() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<ExperimentHarness>();
+    sync::<ExperimentHarness>();
+    send::<CordOutcome>();
+    send::<crate::detector::CordDetector>();
+    send::<Box<dyn crate::detector::Detector>>();
+    send::<CordError>();
+    sync::<CordError>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

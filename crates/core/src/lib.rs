@@ -55,7 +55,7 @@ pub mod record;
 pub mod replay;
 
 pub use config::CordConfig;
-pub use detector::{CordDetector, CordStats, RaceReport};
+pub use detector::{CordDetector, CordStats, Detector, RaceReport};
 pub use error::CordError;
 pub use harness::{CordOutcome, ExperimentHarness};
 pub use history::{HistEntry, LineHistory};
@@ -65,3 +65,37 @@ pub use record::{LogEntry, OrderRecorder, LOG_ENTRY_BYTES};
 pub use replay::{
     replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport,
 };
+
+/// One-stop imports for experiment code.
+///
+/// Everything a harness caller, example, or figure generator needs —
+/// the CORD configuration and detector, the error taxonomy, the
+/// simulated machine and its configuration, and the workload builder —
+/// without reaching through three crates of ad-hoc paths:
+///
+/// ```
+/// use cord_core::prelude::*;
+///
+/// let mut b = WorkloadBuilder::new("demo", 2);
+/// let l = b.alloc_lock();
+/// let d = b.alloc_words(1);
+/// for t in 0..2 {
+///     b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+/// }
+/// let h = ExperimentHarness::new(MachineConfig::paper_4core());
+/// let out = h.run_cord(&b.build(), &CordConfig::paper())?;
+/// assert!(out.races.is_empty());
+/// # Ok::<(), CordError>(())
+/// ```
+pub mod prelude {
+    pub use crate::config::CordConfig;
+    pub use crate::detector::{CordDetector, CordStats, Detector, RaceReport};
+    pub use crate::error::CordError;
+    pub use crate::harness::{CordOutcome, ExperimentHarness};
+    pub use crate::replay::{replay_and_verify, ReplayError, ReplayReport};
+    pub use cord_sim::config::{MachineConfig, Watchdog};
+    pub use cord_sim::engine::{InjectionPlan, Machine, RunOutput, SimError};
+    pub use cord_sim::observer::{MemoryObserver, NullObserver};
+    pub use cord_trace::builder::WorkloadBuilder;
+    pub use cord_trace::program::Workload;
+}

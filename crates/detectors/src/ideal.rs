@@ -134,6 +134,12 @@ impl IdealDetector {
     }
 }
 
+impl cord_core::Detector for IdealDetector {
+    fn race_count(&self) -> u64 {
+        self.data_race_count()
+    }
+}
+
 impl MemoryObserver for IdealDetector {
     fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
         let t = ev.thread.index();

@@ -171,6 +171,12 @@ impl VcLimitedDetector {
     }
 }
 
+impl cord_core::Detector for VcLimitedDetector {
+    fn race_count(&self) -> u64 {
+        self.data_race_count()
+    }
+}
+
 impl MemoryObserver for VcLimitedDetector {
     fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
         let t = ev.thread.index();

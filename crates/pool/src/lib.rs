@@ -1,0 +1,544 @@
+//! A hand-rolled, dependency-free work-stealing thread pool for the
+//! injection-sweep executor.
+//!
+//! The sweep's job matrix is thousands of independent, seconds-long
+//! simulations, so the pool optimizes for simplicity and auditability
+//! over raw scheduling throughput:
+//!
+//! * **Work stealing** — each worker owns a deque; it pops its own jobs
+//!   from the front and steals from siblings' backs when idle, so a
+//!   skewed batch (one app's runs much slower than another's) still
+//!   keeps every core busy.
+//! * **Scoped jobs** — [`Pool::run_ordered`] accepts closures that
+//!   borrow from the caller's stack (workloads, configs). It does not
+//!   return until every job has finished, which is what makes the
+//!   borrow sound.
+//! * **Panic capture per job** — a panicking job becomes a
+//!   [`JobPanic`] in its result slot; sibling jobs and the workers
+//!   themselves are unaffected, and the pool stays usable.
+//! * **Deterministic ordered collect** — results come back indexed by
+//!   submission order, never completion order, so a parallel batch is
+//!   bit-identical to a serial one when the jobs themselves are
+//!   deterministic.
+//! * **Progress metrics** — [`Pool::run_ordered_with`] reports jobs
+//!   done/failed, elapsed and busy time (worker utilization) after
+//!   every completion.
+//!
+//! The build environment is offline-vendored, so the pool uses only
+//! `std`: per-deque `Mutex`es plus one `Condvar` for idle workers. For
+//! jobs that each run for milliseconds or more (every simulation does),
+//! lock overhead is unmeasurable.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let inputs = vec![3u64, 1, 4, 1, 5, 9];
+//! let jobs: Vec<_> = inputs
+//!     .iter()
+//!     .map(|&n| move || n * n)
+//!     .collect();
+//! let squares: Vec<u64> = pool
+//!     .run_ordered(jobs)
+//!     .into_iter()
+//!     .map(|r| r.expect("no job panicked"))
+//!     .collect();
+//! assert_eq!(squares, vec![9, 1, 16, 1, 25, 81]);
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Pool state is only ever mutated in small, panic-free critical
+/// sections (jobs run *outside* any lock), so a poisoned mutex carries
+/// no torn state worth refusing to read.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Renders a caught panic payload as a message string (`&str` and
+/// `String` payloads verbatim, anything else a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A job that panicked; the payload is its rendered panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// What one job produced: its return value, or the captured panic.
+pub type JobResult<T> = Result<T, JobPanic>;
+
+/// A snapshot of batch progress, passed to the callback of
+/// [`Pool::run_ordered_with`] after every job completion.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProgress {
+    /// Jobs finished so far (including failed ones).
+    pub done: usize,
+    /// Jobs submitted in this batch.
+    pub total: usize,
+    /// Jobs that panicked so far.
+    pub failed: usize,
+    /// Wall-clock time since the batch was submitted.
+    pub elapsed: Duration,
+    /// Summed per-job execution time across all workers.
+    pub busy: Duration,
+    /// Workers in the pool.
+    pub workers: usize,
+}
+
+impl BatchProgress {
+    /// Fraction of available worker time spent executing jobs
+    /// (`busy / (elapsed * workers)`, clamped to `0..=1`).
+    pub fn utilization(&self) -> f64 {
+        let avail = self.elapsed.as_secs_f64() * self.workers as f64;
+        if avail <= 0.0 {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / avail).min(1.0)
+    }
+
+    /// Estimated time to completion, extrapolated from the mean
+    /// wall-clock rate so far. `None` until the first job finishes.
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done == 0 {
+            return None;
+        }
+        let per_job = self.elapsed.as_secs_f64() / self.done as f64;
+        Some(Duration::from_secs_f64(
+            per_job * (self.total - self.done) as f64,
+        ))
+    }
+}
+
+/// An erased job as it sits in a worker deque. The `'static` is a lie
+/// told by [`Pool::run_ordered_with`]; see the safety comment there.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker. The owner pops from the front; thieves
+    /// steal from the back.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Idle workers sleep on this pair; submitters notify it.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Takes a task: own queue first (front), then steal from siblings
+    /// (back), scanning from the nearest neighbor for spread.
+    fn grab(&self, me: usize) -> Option<Task> {
+        if let Some(t) = lock_unpoisoned(&self.queues[me]).pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            if let Some(t) = lock_unpoisoned(&self.queues[(me + k) % n]).pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(|q| !lock_unpoisoned(q).is_empty())
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = shared.grab(me) {
+            task();
+            continue;
+        }
+        // Sleep until a submitter notifies. Work and shutdown are
+        // re-checked under the idle lock (submitters notify under it),
+        // so a wakeup cannot be lost; the timeout is belt-and-braces.
+        let guard = lock_unpoisoned(&shared.idle);
+        if shared.shutdown.load(Ordering::Acquire) || shared.has_work() {
+            continue;
+        }
+        let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
+    }
+}
+
+/// A fixed-size work-stealing thread pool. Dropping the pool shuts the
+/// workers down and joins them.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cord-pool-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .unwrap_or_else(|e| panic!("failed to spawn pool worker {me}: {e}"))
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// The host's available parallelism (1 if it cannot be queried).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Runs a batch of scoped jobs and collects their results **in
+    /// submission order**, regardless of completion order. Jobs may
+    /// borrow from the caller's stack; the call blocks until every job
+    /// has finished. A panicking job yields `Err(JobPanic)` in its own
+    /// slot and nothing else.
+    pub fn run_ordered<T, F>(&self, jobs: Vec<F>) -> Vec<JobResult<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_ordered_with(jobs, |_| {})
+    }
+
+    /// [`Pool::run_ordered`] with a progress callback invoked (from
+    /// worker threads) after every job completion. A panicking callback
+    /// is swallowed — it cannot wedge the batch.
+    pub fn run_ordered_with<T, F, P>(&self, jobs: Vec<F>, progress: P) -> Vec<JobResult<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+        P: Fn(&BatchProgress) + Sync,
+    {
+        struct Slots<T> {
+            results: Vec<Option<JobResult<T>>>,
+            done: usize,
+            failed: usize,
+        }
+        struct Batch<T> {
+            slots: Mutex<Slots<T>>,
+            finished: Condvar,
+            busy_nanos: AtomicU64,
+            start: Instant,
+        }
+
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers();
+        let batch: Batch<T> = Batch {
+            slots: Mutex::new(Slots {
+                results: (0..total).map(|_| None).collect(),
+                done: 0,
+                failed: 0,
+            }),
+            finished: Condvar::new(),
+            busy_nanos: AtomicU64::new(0),
+            start: Instant::now(),
+        };
+
+        let batch_ref = &batch;
+        let progress_ref = &progress;
+        let mut tasks: Vec<Task> = Vec::with_capacity(total);
+        for (i, job) in jobs.into_iter().enumerate() {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|p| JobPanic {
+                    message: panic_message(p.as_ref()),
+                });
+                let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                batch_ref.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                let snapshot = {
+                    let mut s = lock_unpoisoned(&batch_ref.slots);
+                    if outcome.is_err() {
+                        s.failed += 1;
+                    }
+                    s.results[i] = Some(outcome);
+                    s.done += 1;
+                    BatchProgress {
+                        done: s.done,
+                        total,
+                        failed: s.failed,
+                        elapsed: batch_ref.start.elapsed(),
+                        busy: Duration::from_nanos(batch_ref.busy_nanos.load(Ordering::Relaxed)),
+                        workers,
+                    }
+                };
+                // Outside the slots lock so a slow callback never
+                // stalls result collection; panics in it are dropped.
+                let _ = catch_unwind(AssertUnwindSafe(|| progress_ref(&snapshot)));
+                if snapshot.done == total {
+                    let _g = lock_unpoisoned(&batch_ref.slots);
+                    batch_ref.finished.notify_all();
+                }
+            });
+            // SAFETY: the task borrows `batch`, `progress`, and the
+            // caller's job captures, none of which are `'static`. The
+            // erasure is sound because this function does not return
+            // until `slots.done == total`, and every task increments
+            // `done` exactly once after its last use of the borrows
+            // (panics inside the job are caught above; the bookkeeping
+            // itself never panics). Tasks are consumed by workers and
+            // never outlive the queue drain below.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            tasks.push(task);
+        }
+
+        // Distribute round-robin across worker deques, then wake
+        // everyone under the idle lock (no lost wakeups).
+        for (i, task) in tasks.into_iter().enumerate() {
+            lock_unpoisoned(&self.shared.queues[i % workers]).push_back(task);
+        }
+        {
+            let _g = lock_unpoisoned(&self.shared.idle);
+            self.shared.wake.notify_all();
+        }
+
+        let mut s = lock_unpoisoned(&batch.slots);
+        while s.done < total {
+            s = match batch.finished.wait(s) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        s.results
+            .drain(..)
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(JobPanic {
+                        message: "job lost by pool (slot never filled)".to_string(),
+                    })
+                })
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = lock_unpoisoned(&self.shared.idle);
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn collects_in_submission_order() {
+        let pool = Pool::new(4);
+        // Earlier jobs sleep longer, so completion order is roughly the
+        // reverse of submission order; collection order must not be.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis((16 - i) * 2));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.run_ordered(jobs);
+        let vals: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_jobs_borrow_caller_state() {
+        let pool = Pool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let slices: Vec<&[u64]> = data.chunks(7).collect();
+        let jobs: Vec<_> = slices
+            .iter()
+            .map(|s| move || s.iter().sum::<u64>())
+            .collect();
+        let total: u64 = pool.run_ordered(jobs).into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panics_are_captured_per_job_without_poisoning_siblings() {
+        let pool = Pool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..12u64)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> u64 + Send> = if i % 3 == 0 {
+                    Box::new(move || panic!("boom {i}"))
+                } else {
+                    Box::new(move || i)
+                };
+                f
+            })
+            .collect();
+        let out = pool.run_ordered(jobs.into_iter().map(|f| move || f()).collect());
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.message, format!("boom {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64);
+            }
+        }
+        // The pool survives a batch with panics and stays correct.
+        let again = pool.run_ordered((0..8u64).map(|i| move || i + 1).collect::<Vec<_>>());
+        let vals: Vec<u64> = again.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (1..=8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_reports_every_completion_and_panicking_callbacks_are_dropped() {
+        let pool = Pool::new(2);
+        let calls = AtomicUsize::new(0);
+        let out = pool.run_ordered_with((0..10u64).map(|i| move || i).collect::<Vec<_>>(), |p| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert!(p.done <= p.total);
+            assert_eq!(p.total, 10);
+            assert_eq!(p.failed, 0);
+            // A panicking callback must not wedge or fail the batch.
+            panic!("callback panic");
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn skewed_batches_complete_under_stealing() {
+        // One long job in worker 0's deque plus many short ones: the
+        // short jobs must be stolen and finished well before a serial
+        // schedule could (here we only assert completion + order).
+        let pool = Pool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(60));
+                    }
+                    i
+                });
+                f
+            })
+            .collect();
+        let out = pool.run_ordered(jobs.into_iter().map(|f| move || f()).collect());
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_and_single_worker() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let none: Vec<JobResult<u64>> = pool.run_ordered(Vec::<fn() -> u64>::new());
+        assert!(none.is_empty());
+        let one = pool.run_ordered(vec![|| 42u64]);
+        assert_eq!(*one[0].as_ref().unwrap(), 42);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert!(Pool::available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn batch_progress_math() {
+        let p = BatchProgress {
+            done: 5,
+            total: 10,
+            failed: 1,
+            elapsed: Duration::from_secs(10),
+            busy: Duration::from_secs(30),
+            workers: 4,
+        };
+        assert!((p.utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(p.eta(), Some(Duration::from_secs(10)));
+        let fresh = BatchProgress { done: 0, ..p };
+        assert_eq!(fresh.eta(), None);
+        let idle = BatchProgress {
+            elapsed: Duration::ZERO,
+            ..p
+        };
+        assert_eq!(idle.utilization(), 0.0);
+    }
+
+    #[test]
+    fn reruns_are_deterministic() {
+        let pool = Pool::new(4);
+        let run = || {
+            let jobs: Vec<_> = (0..20u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(7))
+                .collect();
+            pool.run_ordered(jobs)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

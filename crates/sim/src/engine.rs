@@ -998,6 +998,29 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
     }
 }
 
+// Compile-time Send audit (static_assertions style): the parallel
+// injection-sweep executor constructs a `Machine` inside a pool job and
+// runs it on a worker thread, and the job's closure borrows the shared
+// `Workload`. If any machine internal (RNG, memory system, sync
+// manager) or output type ever stops being `Send` — or `Workload`
+// stops being `Sync` — sweeps would stop compiling here instead of
+// breaking at the first `--jobs N` run.
+#[allow(dead_code)]
+fn _thread_safety_audit() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    fn machine_is_send<O: MemoryObserver + Send>() {
+        send::<Machine<'static, O>>();
+    }
+    let _ = machine_is_send::<crate::observer::NullObserver>;
+    send::<RunOutput>();
+    send::<SimStats>();
+    send::<SimError>();
+    send::<InjectionPlan>();
+    sync::<Workload>();
+    sync::<MachineConfig>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,8 +6,7 @@
 //! cargo run --release --example overhead_sweep
 //! ```
 
-use cord::core::{CordConfig, CordError, ExperimentHarness};
-use cord::sim::config::MachineConfig;
+use cord::prelude::*;
 use cord::workloads::{all_apps, kernel, ScaleClass};
 
 fn main() -> Result<(), CordError> {

@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use cord::core::{CordConfig, CordError, ExperimentHarness};
-use cord::sim::config::MachineConfig;
-use cord::trace::WorkloadBuilder;
+use cord::prelude::*;
 
 fn main() -> Result<(), CordError> {
     // A producer/consumer pair: thread 0 fills a buffer and sets a flag,

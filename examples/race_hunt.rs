@@ -6,11 +6,9 @@
 //! cargo run --release --example race_hunt [app] [injections]
 //! ```
 
-use cord::core::{CordConfig, CordDetector};
 use cord::detectors::IdealDetector;
 use cord::inject::Campaign;
-use cord::sim::config::MachineConfig;
-use cord::sim::engine::Machine;
+use cord::prelude::*;
 use cord::workloads::{all_apps, kernel, AppKind, ScaleClass};
 
 fn main() {

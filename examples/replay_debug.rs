@@ -5,9 +5,7 @@
 //! cargo run --release --example replay_debug
 //! ```
 
-use cord::core::{CordConfig, CordError, ExperimentHarness};
-use cord::sim::config::MachineConfig;
-use cord::sim::engine::InjectionPlan;
+use cord::prelude::*;
 use cord::workloads::{kernel, AppKind, ScaleClass};
 
 fn main() -> Result<(), CordError> {

@@ -11,8 +11,19 @@ cargo test --release --workspace --quiet
 
 echo "== clippy (deny warnings; unwrap_used denied outside tests) =="
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p cord-pool --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
+
+echo "== parallel-sweep smoke: --jobs 2 must match serial byte-for-byte =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/figures fig10 --scale tiny --injections 2 --jobs 1 \
+    --json "$smoke_dir/serial.json" > "$smoke_dir/serial.txt" 2> /dev/null
+./target/release/figures fig10 --scale tiny --injections 2 --jobs 2 \
+    --json "$smoke_dir/parallel.json" > "$smoke_dir/parallel.txt" 2> /dev/null
+diff "$smoke_dir/serial.json" "$smoke_dir/parallel.json"
+diff "$smoke_dir/serial.txt" "$smoke_dir/parallel.txt"
 
 echo "ci: all green"

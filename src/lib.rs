@@ -57,9 +57,12 @@ pub use cord_trace as trace;
 pub use cord_workloads as workloads;
 
 /// Commonly used types, importable with `use cord::prelude::*`.
+///
+/// Extends [`cord_core::prelude`] (detector, harness, machine, replay,
+/// and workload-building types) with the clock primitives and the raw
+/// thread-program model.
 pub mod prelude {
     pub use cord_clocks::{ClockPolicy, ScalarTime, VectorClock};
-    pub use cord_core::{CordConfig, ExperimentHarness};
-    pub use cord_sim::config::MachineConfig;
-    pub use cord_trace::{Op, ThreadProgram, Workload};
+    pub use cord_core::prelude::*;
+    pub use cord_trace::{Op, ThreadProgram};
 }
