@@ -83,7 +83,8 @@ impl DetectorConfig {
     ///
     /// `seed` is the run's scheduling seed; real detectors ignore it,
     /// but [`DetectorConfig::PanicProbe`] uses its parity to decide
-    /// whether to fault (odd seeds panic at the first observed access).
+    /// whether to fault (odd seeds panic at the first observed access,
+    /// or at run end if nothing was observed).
     pub fn build(&self, threads: usize, cores: usize, seed: u64) -> Box<dyn Detector> {
         match *self {
             DetectorConfig::Cord { d } => {
@@ -122,8 +123,10 @@ impl DetectorConfig {
 
 /// The deliberately faulty detector behind
 /// [`DetectorConfig::PanicProbe`]: odd-seeded runs panic at the first
-/// observed access (exercising the sweep's per-job panic boundary),
-/// even-seeded runs observe everything and report zero races.
+/// observed access — or at run end, for workloads with no observed
+/// accesses, so odd seeds *always* fault (exercising the sweep's
+/// per-job panic boundary); even-seeded runs observe everything and
+/// report zero races.
 #[derive(Debug, Clone, Copy)]
 struct PanicProbeDetector {
     seed: u64,
@@ -135,6 +138,14 @@ impl MemoryObserver for PanicProbeDetector {
             panic!("panic probe fired (injected detector fault)");
         }
         ObserverOutcome::NONE
+    }
+
+    // `on_run_end` always fires, so an odd seed faults even for a
+    // workload that performs zero observed memory accesses.
+    fn on_run_end(&mut self, _final_instr_counts: &[u64]) {
+        if self.seed % 2 == 1 {
+            panic!("panic probe fired (injected detector fault)");
+        }
     }
 }
 
@@ -214,5 +225,19 @@ mod tests {
             odd.on_access(&ev);
         }));
         assert!(caught.is_err(), "odd-seeded probe must panic");
+    }
+
+    #[test]
+    fn panic_probe_faults_at_run_end_even_without_accesses() {
+        let mut even = PanicProbeDetector { seed: 4 };
+        even.on_run_end(&[0, 0]);
+        let mut odd = PanicProbeDetector { seed: 5 };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            odd.on_run_end(&[0, 0]);
+        }));
+        assert!(
+            caught.is_err(),
+            "odd-seeded probe must fault even for access-free runs"
+        );
     }
 }

@@ -347,19 +347,26 @@ impl SweepRunner {
             })
             .collect();
         let shared = Mutex::new(state);
+        // Serializes concurrent checkpoint writes (two apps finishing
+        // at once) without making `record()` wait on disk I/O.
+        let flush_io = Mutex::new(());
         let run_jobs: Vec<_> = matrix
             .iter()
             .map(|&(ai, ri, target)| {
                 let shared = &shared;
+                let flush_io = &flush_io;
                 let workloads = &workloads;
                 move || {
                     let record =
                         run_injection(target, configs, &workloads[ai], run_seed(&opts, ri), &opts);
-                    let mut st = lock_unpoisoned(shared);
-                    st.record(ai, ri, record);
-                    if st.cells[ai].remaining == 0 {
+                    let app_complete = {
+                        let mut st = lock_unpoisoned(shared);
+                        st.record(ai, ri, record);
+                        st.cells[ai].remaining == 0
+                    };
+                    if app_complete {
                         if let Some(path) = checkpoint {
-                            st.flush(path, hash, &opts, apps);
+                            flush_checkpoint(shared, flush_io, path, hash, &opts, apps);
                         }
                     }
                 }
@@ -506,7 +513,8 @@ impl SweepState {
 
     /// Atomically rewrites the checkpoint; the first write error is
     /// kept (and returned after the batch) rather than aborting
-    /// in-flight simulation work.
+    /// in-flight simulation work. Serial-path variant of
+    /// [`flush_checkpoint`] for when no workers are running.
     fn flush(&mut self, path: &Path, hash: u64, opts: &SweepOptions, order: &[AppKind]) {
         let cp = Checkpoint {
             options_hash: hash,
@@ -516,6 +524,32 @@ impl SweepState {
         if let Err(e) = cp.store(path) {
             self.flush_err.get_or_insert(e);
         }
+    }
+}
+
+/// Worker-side checkpoint flush: snapshots [`SweepState::checkpoint_apps`]
+/// under the state lock, then serializes and writes the file with the
+/// lock *released*, so a slow disk never blocks sibling workers'
+/// `record()` calls. `io_lock` serializes concurrent flushes (they
+/// share a temp file) and guarantees later snapshots land later, so
+/// the file on disk is always the most complete one.
+fn flush_checkpoint(
+    shared: &Mutex<SweepState>,
+    io_lock: &Mutex<()>,
+    path: &Path,
+    hash: u64,
+    opts: &SweepOptions,
+    order: &[AppKind],
+) {
+    let _io = lock_unpoisoned(io_lock);
+    let apps = lock_unpoisoned(shared).checkpoint_apps(order);
+    let cp = Checkpoint {
+        options_hash: hash,
+        options: *opts,
+        apps,
+    };
+    if let Err(e) = cp.store(path) {
+        lock_unpoisoned(shared).flush_err.get_or_insert(e);
     }
 }
 

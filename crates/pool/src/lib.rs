@@ -214,15 +214,29 @@ impl Pool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let handles = (0..workers)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("cord-pool-{me}"))
-                    .spawn(move || worker_loop(&shared, me))
-                    .unwrap_or_else(|e| panic!("failed to spawn pool worker {me}: {e}"))
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("cord-pool-{me}"))
+                .spawn(move || worker_loop(&worker_shared, me));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Shut down and join the workers that did spawn, so
+                    // a partial failure doesn't leak polling threads.
+                    shared.shutdown.store(true, Ordering::Release);
+                    {
+                        let _g = lock_unpoisoned(&shared.idle);
+                        shared.wake.notify_all();
+                    }
+                    for h in handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    panic!("failed to spawn pool worker {me}: {e}");
+                }
+            }
+        }
         Pool { shared, handles }
     }
 
@@ -262,8 +276,12 @@ impl Pool {
     {
         struct Slots<T> {
             results: Vec<Option<JobResult<T>>>,
+            /// Results landed (drives progress snapshots).
             done: usize,
             failed: usize,
+            /// Tasks past their last use of any caller borrow; the
+            /// waiter gates on this, never on `done`.
+            committed: usize,
         }
         struct Batch<T> {
             slots: Mutex<Slots<T>>,
@@ -277,30 +295,35 @@ impl Pool {
             return Vec::new();
         }
         let workers = self.workers();
-        let batch: Batch<T> = Batch {
+        // The batch bookkeeping lives in an `Arc` (each task holds a
+        // clone) so the mutex/condvar allocation stays valid while the
+        // last worker drops its guard and wakes the caller, even if the
+        // caller has already returned by then.
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
             slots: Mutex::new(Slots {
                 results: (0..total).map(|_| None).collect(),
                 done: 0,
                 failed: 0,
+                committed: 0,
             }),
             finished: Condvar::new(),
             busy_nanos: AtomicU64::new(0),
             start: Instant::now(),
-        };
+        });
 
-        let batch_ref = &batch;
         let progress_ref = &progress;
         let mut tasks: Vec<Task> = Vec::with_capacity(total);
         for (i, job) in jobs.into_iter().enumerate() {
+            let batch = Arc::clone(&batch);
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 let t0 = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|p| JobPanic {
                     message: panic_message(p.as_ref()),
                 });
                 let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                batch_ref.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                batch.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
                 let snapshot = {
-                    let mut s = lock_unpoisoned(&batch_ref.slots);
+                    let mut s = lock_unpoisoned(&batch.slots);
                     if outcome.is_err() {
                         s.failed += 1;
                     }
@@ -310,27 +333,41 @@ impl Pool {
                         done: s.done,
                         total,
                         failed: s.failed,
-                        elapsed: batch_ref.start.elapsed(),
-                        busy: Duration::from_nanos(batch_ref.busy_nanos.load(Ordering::Relaxed)),
+                        elapsed: batch.start.elapsed(),
+                        busy: Duration::from_nanos(batch.busy_nanos.load(Ordering::Relaxed)),
                         workers,
                     }
                 };
                 // Outside the slots lock so a slow callback never
-                // stalls result collection; panics in it are dropped.
+                // stalls result collection, and *before* this task
+                // commits: the caller cannot return (destroying the
+                // callback and job captures) while it runs. Panics in
+                // it are dropped.
                 let _ = catch_unwind(AssertUnwindSafe(|| progress_ref(&snapshot)));
-                if snapshot.done == total {
-                    let _g = lock_unpoisoned(&batch_ref.slots);
-                    batch_ref.finished.notify_all();
+                // The commit is the task's last touch of anything
+                // caller-borrowed; everything below lives in the Arc.
+                let mut s = lock_unpoisoned(&batch.slots);
+                s.committed += 1;
+                if s.committed == total {
+                    batch.finished.notify_all();
                 }
             });
-            // SAFETY: the task borrows `batch`, `progress`, and the
-            // caller's job captures, none of which are `'static`. The
-            // erasure is sound because this function does not return
-            // until `slots.done == total`, and every task increments
-            // `done` exactly once after its last use of the borrows
-            // (panics inside the job are caught above; the bookkeeping
-            // itself never panics). Tasks are consumed by workers and
-            // never outlive the queue drain below.
+            // SAFETY: the task borrows `progress` and the caller's job
+            // captures, neither of which is `'static`. The erasure is
+            // sound because this function does not return until
+            // `slots.committed == total`, every task increments
+            // `committed` exactly once *after* its last use of those
+            // borrows (the job is consumed under `catch_unwind` above,
+            // the progress callback runs before the commit, and the
+            // bookkeeping itself never panics), and the commit/notify
+            // happen under the slots lock, so the waiter — which
+            // re-acquires that lock inside `Condvar::wait` — can only
+            // observe the final count after the committing task has
+            // released it. The batch state itself is `Arc`-owned, so
+            // the guard drop, notify, and the task's own Arc drop
+            // remain valid even once the caller's frame is gone. Tasks
+            // are consumed by workers and never outlive the queue
+            // drain below.
             let task: Task =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
             tasks.push(task);
@@ -347,7 +384,7 @@ impl Pool {
         }
 
         let mut s = lock_unpoisoned(&batch.slots);
-        while s.done < total {
+        while s.committed < total {
             s = match batch.finished.wait(s) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
