@@ -62,6 +62,35 @@ fn bench_line_history(c: &mut Criterion) {
     g.finish();
 }
 
+/// The walker's stale-entry partition must stay linear in the history
+/// size: the timings at 1k and 10k entries should scale ~10x, not
+/// ~100x (the old remove-and-reinsert rebuild was quadratic — each
+/// surviving entry was re-pushed at the front of the vector).
+fn bench_walker_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walker_partition");
+    for &n in &[1_000u64, 10_000] {
+        // Newest-first, alternating stale/live stamps so the partition
+        // moves half the entries.
+        let mut proto: LineHistory<ScalarTime> = LineHistory::new();
+        for t in 1..=n {
+            proto.push_stamp(
+                ScalarTime::new(if t % 2 == 0 { t } else { t / 2 }),
+                n as usize,
+            );
+        }
+        let bound = n / 2;
+        g.bench_function(format!("take_entries_where_{n}"), |b| {
+            b.iter(|| {
+                // The clone is O(n) setup noise shared by both sizes;
+                // it cannot mask a quadratic partition.
+                let mut h = proto.clone();
+                black_box(h.take_entries_where(|e| e.stamp.ticks() < bound))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_detector_access(c: &mut Criterion) {
     let mut g = c.benchmark_group("detector");
     g.bench_function("cord_on_access_l1_hit", |b| {
@@ -108,6 +137,7 @@ criterion_group!(
     benches,
     bench_clock_compares,
     bench_line_history,
+    bench_walker_partition,
     bench_detector_access
 );
 criterion_main!(benches);

@@ -14,7 +14,11 @@
 //! threads; defaults to the host's available parallelism, output is
 //! bit-identical for every value), `--json PATH` (dump the raw sweep
 //! results), `--checkpoint PATH` (persist partial sweep results
-//! after every app and resume from them on restart).
+//! after every app and resume from them on restart), `--trace-dir DIR`
+//! (write per-run event traces as JSON, one file per app/run/config
+//! cell), `--metrics-out PATH` (write the sweep's aggregate metrics
+//! and wall-clock profile as JSON). See EXPERIMENTS.md for the trace
+//! and metrics schemas.
 
 use cord_bench::figures;
 use cord_bench::runner::SweepRunner;
@@ -35,6 +39,8 @@ struct Args {
     jobs: usize,
     json: Option<String>,
     checkpoint: Option<String>,
+    trace_dir: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         jobs: Pool::available_parallelism(),
         json: None,
         checkpoint: None,
+        trace_dir: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     let mut first = true;
@@ -82,6 +90,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--checkpoint" => {
                 args.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?);
+            }
+            "--trace-dir" => {
+                args.trace_dir = Some(it.next().ok_or("--trace-dir needs a directory")?);
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
             }
             cmd if first => {
                 args.command = cmd.to_string();
@@ -148,8 +162,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         if let Some(path) = &args.checkpoint {
             runner = runner.checkpoint(path);
         }
+        if let Some(dir) = &args.trace_dir {
+            runner = runner.trace_dir(dir);
+        }
+        if let Some(path) = &args.metrics_out {
+            runner = runner.metrics_out(path);
+        }
         let s = runner.run(&configs)?;
         eprintln!("sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        if let Some(dir) = &args.trace_dir {
+            eprintln!("per-run event traces written to {dir}/");
+        }
+        if let Some(path) = &args.metrics_out {
+            eprintln!("aggregate metrics written to {path}");
+        }
         let failures = figures::failure_summary(&s);
         if !failures.is_empty() {
             eprint!("{failures}");

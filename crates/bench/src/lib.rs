@@ -30,6 +30,7 @@
 pub mod checkpoint;
 pub mod configs;
 pub mod figures;
+pub(crate) mod obs;
 pub mod runner;
 pub mod sweep;
 

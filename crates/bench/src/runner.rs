@@ -41,9 +41,10 @@
 
 use crate::checkpoint::{options_hash, Checkpoint};
 use crate::configs::DetectorConfig;
+use crate::obs::{ObsSink, DEFAULT_TRACE_CAPACITY};
 use crate::sweep::{
     plan_campaign, run_config_impl, run_injection, run_seed, sweep_workload, AppSweep, Detection,
-    RunRecord, RunStatus, SweepOptions, SweepResults,
+    RunObsCtx, RunRecord, RunStatus, SweepOptions, SweepResults,
 };
 use cord_core::CordError;
 use cord_inject::InjectionTarget;
@@ -55,7 +56,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A progress snapshot delivered to the callback installed with
 /// [`SweepRunner::progress`]. Snapshots are emitted from worker
@@ -114,6 +115,9 @@ pub struct SweepRunner {
     apps: Vec<AppKind>,
     checkpoint: Option<PathBuf>,
     progress: Option<ProgressFn>,
+    trace_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    trace_capacity: usize,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -124,6 +128,9 @@ impl std::fmt::Debug for SweepRunner {
             .field("apps", &self.apps)
             .field("checkpoint", &self.checkpoint)
             .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("trace_dir", &self.trace_dir)
+            .field("metrics_out", &self.metrics_out)
+            .field("trace_capacity", &self.trace_capacity)
             .finish()
     }
 }
@@ -138,6 +145,9 @@ impl SweepRunner {
             apps: all_apps().to_vec(),
             checkpoint: None,
             progress: None,
+            trace_dir: None,
+            metrics_out: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -168,6 +178,31 @@ impl SweepRunner {
     /// pool; they never disturb the sweep.
     pub fn progress(mut self, cb: impl Fn(&SweepProgress) + Send + Sync + 'static) -> SweepRunner {
         self.progress = Some(Box::new(cb));
+        self
+    }
+
+    /// Enables per-run event tracing: every completed simulation's
+    /// trace ring is written into `dir` as one JSON file per
+    /// (app, run, configuration) cell. Tracing is out-of-band — sweep
+    /// results and checkpoint bytes are identical with it on or off.
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> SweepRunner {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Writes the sweep's aggregate metrics (simulator and detector
+    /// counters summed over completed runs, pool utilization, and the
+    /// job/flush wall-clock profile) to `path` as JSON when the sweep
+    /// finishes.
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> SweepRunner {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Sets the per-run trace ring capacity (events kept per
+    /// simulation; oldest drop first). Clamped to at least 1.
+    pub fn trace_capacity(mut self, events: usize) -> SweepRunner {
+        self.trace_capacity = events.max(1);
         self
     }
 
@@ -218,7 +253,7 @@ impl SweepRunner {
         seed: u64,
         plan: InjectionPlan,
     ) -> Result<Detection, SimError> {
-        run_config_impl(config, workload, seed, plan, &self.opts)
+        run_config_impl(config, workload, seed, plan, &self.opts, None)
     }
 
     /// Re-executes one recorded run exactly as the sweep did — used to
@@ -237,6 +272,7 @@ impl SweepRunner {
             &workload,
             run_seed(&self.opts, run_index),
             &self.opts,
+            None,
         )
     }
 
@@ -248,6 +284,11 @@ impl SweepRunner {
     ) -> io::Result<SweepResults> {
         let opts = self.opts;
         let hash = options_hash(&opts, configs);
+        // Observability is opt-in and fully out-of-band: with neither
+        // output configured there is no sink, no trace rings are
+        // allocated, and every emit site stays on its disabled path.
+        let obs: Option<ObsSink> = (self.trace_dir.is_some() || self.metrics_out.is_some())
+            .then(|| ObsSink::new(self.trace_dir.clone(), self.trace_capacity));
 
         // Resume: split a matching checkpoint into apps this sweep
         // covers (kept, skipped) and foreign apps (preserved in the
@@ -350,15 +391,31 @@ impl SweepRunner {
         // Serializes concurrent checkpoint writes (two apps finishing
         // at once) without making `record()` wait on disk I/O.
         let flush_io = Mutex::new(());
+        // Queue wait is measured from here; the batch submits right
+        // after job construction, so the skew is microseconds.
+        let batch_start = Instant::now();
         let run_jobs: Vec<_> = matrix
             .iter()
             .map(|&(ai, ri, target)| {
                 let shared = &shared;
                 let flush_io = &flush_io;
                 let workloads = &workloads;
+                let obs = obs.as_ref();
                 move || {
-                    let record =
-                        run_injection(target, configs, &workloads[ai], run_seed(&opts, ri), &opts);
+                    let job_start = Instant::now();
+                    let ctx = obs.map(|sink| RunObsCtx {
+                        sink,
+                        app: workloads[ai].name(),
+                        run_index: ri,
+                    });
+                    let record = run_injection(
+                        target,
+                        configs,
+                        &workloads[ai],
+                        run_seed(&opts, ri),
+                        &opts,
+                        ctx,
+                    );
                     let app_complete = {
                         let mut st = lock_unpoisoned(shared);
                         st.record(ai, ri, record);
@@ -366,18 +423,27 @@ impl SweepRunner {
                     };
                     if app_complete {
                         if let Some(path) = checkpoint {
-                            flush_checkpoint(shared, flush_io, path, hash, &opts, apps);
+                            flush_checkpoint(shared, flush_io, path, hash, &opts, apps, obs);
                         }
+                    }
+                    if let Some(sink) = obs {
+                        sink.record_job(job_start.elapsed(), job_start.duration_since(batch_start));
                     }
                 }
             })
             .collect();
-        let outcomes = match &self.progress {
-            Some(cb) => pool.run_ordered_with(run_jobs, |bp| {
-                let apps_done = lock_unpoisoned(&shared).apps_done();
-                cb(&SweepProgress::of("run", bp, apps_done, apps_total));
-            }),
-            None => pool.run_ordered(run_jobs),
+        let outcomes = if self.progress.is_some() || obs.is_some() {
+            pool.run_ordered_with(run_jobs, |bp| {
+                if let Some(sink) = &obs {
+                    sink.record_batch(bp);
+                }
+                if let Some(cb) = &self.progress {
+                    let apps_done = lock_unpoisoned(&shared).apps_done();
+                    cb(&SweepProgress::of("run", bp, apps_done, apps_total));
+                }
+            })
+        } else {
+            pool.run_ordered(run_jobs)
         };
 
         let mut state = shared.into_inner().unwrap_or_else(|p| p.into_inner());
@@ -413,6 +479,10 @@ impl SweepRunner {
 
         if let Some(e) = state.flush_err.take() {
             return Err(e);
+        }
+
+        if let Some(sink) = &obs {
+            sink.finalize(self.metrics_out.as_deref())?;
         }
 
         let mut out = state.resumed;
@@ -540,7 +610,9 @@ fn flush_checkpoint(
     hash: u64,
     opts: &SweepOptions,
     order: &[AppKind],
+    obs: Option<&ObsSink>,
 ) {
+    let started = Instant::now();
     let _io = lock_unpoisoned(io_lock);
     let apps = lock_unpoisoned(shared).checkpoint_apps(order);
     let cp = Checkpoint {
@@ -550,6 +622,11 @@ fn flush_checkpoint(
     };
     if let Err(e) = cp.store(path) {
         lock_unpoisoned(shared).flush_err.get_or_insert(e);
+    }
+    // The sample includes waiting on the I/O lock: that wait is real
+    // flush latency the worker could have spent running jobs.
+    if let Some(sink) = obs {
+        sink.record_flush(started.elapsed().as_secs_f64());
     }
 }
 

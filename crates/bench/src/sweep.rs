@@ -9,9 +9,11 @@
 //! [`failure_summary`](crate::figures::failure_summary)).
 
 use crate::configs::DetectorConfig;
+use crate::obs::ObsSink;
 use crate::runner::SweepRunner;
 use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use cord_obs::{MetricsRegistry, TraceHandle};
 use cord_pool::panic_message;
 use cord_sim::config::{MachineConfig, Watchdog};
 use cord_sim::engine::{InjectionPlan, Machine, SimError};
@@ -347,24 +349,65 @@ pub fn run_config(
     plan: InjectionPlan,
     opts: &SweepOptions,
 ) -> Result<Detection, SimError> {
-    run_config_impl(config, workload, seed, plan, opts)
+    run_config_impl(config, workload, seed, plan, opts, None)
+}
+
+/// Observability context for one sweep cell: where traces and metrics
+/// from this (app, run) land, threaded from the runner down into
+/// [`run_config_impl`]. `None` everywhere keeps the zero-overhead
+/// disabled path (no trace ring, no registry work).
+#[derive(Clone, Copy)]
+pub(crate) struct RunObsCtx<'a> {
+    /// The sweep-wide sink.
+    pub sink: &'a ObsSink,
+    /// Application name, used for trace file naming.
+    pub app: &'a str,
+    /// Run index within the app's campaign.
+    pub run_index: usize,
 }
 
 /// Shared implementation behind [`run_config`] and
 /// [`SweepRunner::run_detector`]: build the configuration's detector
 /// through [`DetectorConfig::build`], run it on the configuration's
 /// machine under the sweep's watchdog, and count what it found.
+///
+/// With `obs` set, the machine and detector share a bounded trace ring
+/// whose snapshot is written per cell, and the run's simulator and
+/// detector counters are merged into the sweep's metrics registry.
+/// Only completed runs contribute metrics; aborted runs have no final
+/// statistics to reconcile.
 pub(crate) fn run_config_impl(
     config: DetectorConfig,
     workload: &Workload,
     seed: u64,
     plan: InjectionPlan,
     opts: &SweepOptions,
+    obs: Option<RunObsCtx<'_>>,
 ) -> Result<Detection, SimError> {
     let machine = opts.machine_for(config);
-    let det = config.build(workload.num_threads(), machine.cores, seed);
-    let m = Machine::new(machine, workload, det, seed, plan);
-    let (_, det) = m.run()?;
+    let mut det = config.build(workload.num_threads(), machine.cores, seed);
+    let trace = match obs {
+        Some(o) if o.sink.tracing() => {
+            let h = TraceHandle::bounded(o.sink.trace_capacity());
+            det.set_trace(h.clone());
+            Some(h)
+        }
+        _ => None,
+    };
+    let mut m = Machine::new(machine, workload, det, seed, plan);
+    if let Some(h) = &trace {
+        m = m.with_trace(h.clone());
+    }
+    let (out, det) = m.run()?;
+    if let Some(o) = obs {
+        let mut reg = MetricsRegistry::default();
+        out.stats.record_into(&mut reg);
+        det.record_metrics(&mut reg);
+        o.sink.merge(&reg);
+        if let Some(h) = &trace {
+            o.sink.write_trace(o.app, o.run_index, &config.label(), h);
+        }
+    }
     Ok(Detection {
         races: det.race_count(),
     })
@@ -380,17 +423,18 @@ pub(crate) fn run_injection(
     workload: &Workload,
     seed: u64,
     opts: &SweepOptions,
+    obs: Option<RunObsCtx<'_>>,
 ) -> RunRecord {
     type RunOk = (Detection, BTreeMap<String, Detection>);
     let plan = target.plan();
     let outcome: Result<Result<RunOk, SimError>, _> = catch_unwind(AssertUnwindSafe(|| {
-        let ideal = run_config_impl(DetectorConfig::Ideal, workload, seed, plan, opts)?;
+        let ideal = run_config_impl(DetectorConfig::Ideal, workload, seed, plan, opts, obs)?;
         let mut detections = BTreeMap::new();
         for &cfg in configs {
             let det = if cfg == DetectorConfig::Ideal {
                 ideal
             } else {
-                run_config_impl(cfg, workload, seed, plan, opts)?
+                run_config_impl(cfg, workload, seed, plan, opts, obs)?
             };
             detections.insert(cfg.label(), det);
         }

@@ -28,6 +28,7 @@ use crate::memts::MemTimestamps;
 use crate::record::OrderRecorder;
 use cord_clocks::scalar::ScalarTime;
 use cord_clocks::window16::WINDOW;
+use cord_obs::{EventKind, MetricsRegistry, TraceEvent, TraceHandle, NO_THREAD};
 use cord_sim::observer::{
     AccessEvent, AccessKind, CoreId, Level, LineRemoval, MemoryObserver, ObserverOutcome,
     RemovalCause,
@@ -97,6 +98,29 @@ pub struct CordStats {
     pub migration_bumps: u64,
 }
 
+impl CordStats {
+    /// Accumulates every counter into `reg` under the `cord.` prefix.
+    pub fn record_into(&self, reg: &mut MetricsRegistry) {
+        reg.add("cord.data_races", self.data_races);
+        reg.add("cord.sync_races", self.sync_races);
+        reg.add("cord.clock_updates", self.clock_updates);
+        reg.add("cord.race_check_broadcasts", self.race_check_broadcasts);
+        reg.add("cord.memts_broadcasts", self.memts_broadcasts);
+        reg.add(
+            "cord.suppressed_mem_detections",
+            self.suppressed_mem_detections,
+        );
+        reg.add("cord.filter_hits", self.filter_hits);
+        reg.add("cord.filter_grants", self.filter_grants);
+        reg.add("cord.bit_hits", self.bit_hits);
+        reg.add("cord.window_violations", self.window_violations);
+        reg.add("cord.window16_audits", self.window16_audits);
+        reg.add("cord.window16_mismatches", self.window16_mismatches);
+        reg.add("cord.walker_evictions", self.walker_evictions);
+        reg.add("cord.migration_bumps", self.migration_bumps);
+    }
+}
+
 /// The CORD mechanism, attached to a machine as its observer.
 #[derive(Debug)]
 pub struct CordDetector {
@@ -116,6 +140,10 @@ pub struct CordDetector {
     reported: HashSet<(u16, u64, u64, u8)>,
     stats: CordStats,
     accesses_since_walk: u64,
+    trace: TraceHandle,
+    /// Cycle of the most recent access, stamped onto events the
+    /// detector raises outside an access context (walker passes).
+    last_cycle: u64,
 }
 
 impl CordDetector {
@@ -140,6 +168,8 @@ impl CordDetector {
             reported: HashSet::new(),
             stats: CordStats::default(),
             accesses_since_walk: 0,
+            trace: TraceHandle::disabled(),
+            last_cycle: 0,
         }
     }
 
@@ -178,18 +208,23 @@ impl CordDetector {
     /// real CORD would perform on truncated clocks must agree with the
     /// unbounded reference (the `window16` property tests prove this
     /// holds while the window invariant does; this audits it on real
-    /// runs).
+    /// runs). Operands more than a window apart are skipped — the
+    /// wrapped comparison is only exact within `WINDOW`, and hardware
+    /// never sees such pairs (the walker evicts stale timestamps; our
+    /// unbounded reference keeps them for fidelity of detection).
     fn audited_is_race(&mut self, clk: ScalarTime, ts: ScalarTime) -> bool {
         let wide = clk.is_race_with(ts);
         if self.cfg.window_walker {
-            use cord_clocks::window16;
-            let narrow = window16::is_race_with(
-                window16::truncate(clk.ticks()),
-                window16::truncate(ts.ticks()),
-            );
-            self.stats.window16_audits += 1;
-            if narrow != wide {
-                self.stats.window16_mismatches += 1;
+            use cord_clocks::window16::{self, WINDOW};
+            if clk.ticks().abs_diff(ts.ticks()) <= u64::from(WINDOW) {
+                let narrow = window16::is_race_with(
+                    window16::truncate(clk.ticks()),
+                    window16::truncate(ts.ticks()),
+                );
+                self.stats.window16_audits += 1;
+                if narrow != wide {
+                    self.stats.window16_mismatches += 1;
+                }
             }
         }
         wide
@@ -204,8 +239,14 @@ impl CordDetector {
         if self.cfg.window_walker {
             use cord_clocks::window16::{self, WINDOW};
             let d = self.cfg.policy.d();
-            if clk.ticks().abs_diff(ts.ticks()) + d <= u64::from(WINDOW) && d <= u64::from(u16::MAX)
-            {
+            // The 16-bit comparison is only exact for `d` strictly below
+            // the window and operands within `WINDOW - d` of each other
+            // (`ts + d` must stay inside the wrapped half-range from
+            // `clk`). Oversized `d` skips the audit entirely rather than
+            // logging mismatches the hardware encoding cannot represent;
+            // the subtraction form cannot overflow, unlike the previous
+            // `abs_diff + d` guard.
+            if d < u64::from(WINDOW) && clk.ticks().abs_diff(ts.ticks()) <= u64::from(WINDOW) - d {
                 let narrow = window16::is_synchronized_after(
                     window16::truncate(clk.ticks()),
                     window16::truncate(ts.ticks()),
@@ -228,6 +269,14 @@ impl CordDetector {
             report.other_core.0,
         );
         if self.reported.insert(key) {
+            self.trace.emit(|| TraceEvent {
+                cycle: report.cycle,
+                thread: report.thread.0,
+                kind: EventKind::Race {
+                    addr: report.addr.byte(),
+                    other_core: report.other_core.0,
+                },
+            });
             self.races.push(report);
             self.stats.data_races += 1;
         }
@@ -259,35 +308,23 @@ impl CordDetector {
         let mut min_live = u64::MAX;
         for core_hist in &mut self.hist {
             for h in core_hist.values_mut() {
-                let entries = h.entries_mut();
-                let stale: Vec<usize> = entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.stamp.ticks() < bound)
-                    .map(|(i, _)| i)
-                    .collect();
-                if !stale.is_empty() {
-                    // Drain and rebuild without the stale entries.
-                    let drained = h.drain();
-                    for (i, e) in drained.into_iter().enumerate() {
-                        if stale.contains(&i) {
-                            folded.push(e);
-                        } else {
-                            min_live = min_live.min(e.stamp.ticks());
-                            h.push_stamp(e.stamp, usize::MAX);
-                            let newest = h.newest_mut().expect("just pushed");
-                            newest.read_bits = e.read_bits;
-                            newest.write_bits = e.write_bits;
-                        }
-                    }
-                } else {
-                    for e in entries.iter() {
-                        min_live = min_live.min(e.stamp.ticks());
-                    }
+                // Single order-preserving partition: stale entries move
+                // to `folded` with their bits intact, survivors keep
+                // their newest-first order, and resident-line metadata
+                // (check filters, shed-write bound) is untouched.
+                folded.extend(h.take_entries_where(|e| e.stamp.ticks() < bound));
+                for e in h.entries() {
+                    min_live = min_live.min(e.stamp.ticks());
                 }
             }
         }
         self.stats.walker_evictions += folded.len() as u64;
+        let evicted = folded.len() as u64;
+        self.trace.emit(|| TraceEvent {
+            cycle: self.last_cycle,
+            thread: NO_THREAD,
+            kind: EventKind::WalkerPass { evicted, bound },
+        });
         if self.fold_entries_to_memts(folded) {
             self.stats.memts_broadcasts += 1;
         }
@@ -308,11 +345,27 @@ impl CordDetector {
 pub trait Detector: MemoryObserver + Send {
     /// Number of data races reported so far.
     fn race_count(&self) -> u64;
+
+    /// Attaches a run-event trace sink. Detectors that don't trace
+    /// ignore it (the default), so implementing this is opt-in.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
+
+    /// Accumulates this detector's counters into a metrics registry.
+    /// No-op by default for detectors without structured stats.
+    fn record_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 impl Detector for CordDetector {
     fn race_count(&self) -> u64 {
         self.races.len() as u64
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats.record_into(reg);
     }
 }
 
@@ -328,6 +381,7 @@ impl MemoryObserver for CordDetector {
         let orig_clk = self.clocks[t];
         let mut checks: u32 = 0;
         let mut posted: u32 = 0;
+        self.last_cycle = self.last_cycle.max(ev.cycle);
 
         // -- 1. Decide whether remote histories get checked. Misses and
         // upgrades snoop for free; local hits need a broadcast unless a
@@ -948,6 +1002,196 @@ mod tests {
             det.races()
         );
         assert!(det.stats().memts_broadcasts > 0, "displacements folded");
+    }
+
+    #[test]
+    fn window16_audit_skipped_for_oversized_d() {
+        // d = WINDOW and d = WINDOW + 1 cannot be represented by the
+        // 16-bit wrapped comparison; the audit must be skipped entirely
+        // instead of logging spurious mismatches.
+        for d in [u64::from(WINDOW), u64::from(WINDOW) + 1] {
+            let mut det = CordDetector::new(CordConfig::with_d(d), 2, 4);
+            let _ = det.audited_is_synchronized(ScalarTime::new(100), ScalarTime::new(90));
+            let _ = det.audited_is_synchronized(ScalarTime::new(100_000), ScalarTime::new(99_999));
+            assert_eq!(det.stats().window16_audits, 0, "d={d} must skip the audit");
+            assert_eq!(
+                det.stats().window16_mismatches,
+                0,
+                "d={d} must not mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn window16_audit_guard_boundaries() {
+        // Default d = 16: operands within WINDOW - d of each other are
+        // audited and must agree with the unbounded reference; one tick
+        // past that the audit is skipped.
+        let mut det = CordDetector::new(CordConfig::paper(), 2, 4);
+        let edge = u64::from(WINDOW) - 16;
+        let _ = det.audited_is_synchronized(ScalarTime::new(100_000), ScalarTime::new(99_970));
+        assert_eq!(det.stats().window16_audits, 1);
+        let _ =
+            det.audited_is_synchronized(ScalarTime::new(200_000), ScalarTime::new(200_000 - edge));
+        let _ =
+            det.audited_is_synchronized(ScalarTime::new(200_000 - edge), ScalarTime::new(200_000));
+        assert_eq!(
+            det.stats().window16_audits,
+            3,
+            "abs_diff == WINDOW - d is audited"
+        );
+        let _ = det.audited_is_synchronized(
+            ScalarTime::new(200_000),
+            ScalarTime::new(200_000 - edge - 1),
+        );
+        assert_eq!(
+            det.stats().window16_audits,
+            3,
+            "abs_diff > WINDOW - d is skipped"
+        );
+        assert_eq!(det.stats().window16_mismatches, 0);
+    }
+
+    #[test]
+    fn window16_race_audit_skips_operands_over_a_window_apart() {
+        // A thread clock lagging a cached timestamp by more than WINDOW
+        // (or vice versa) is a pairing the hardware walker makes
+        // impossible; the wrapped comparison is not exact there and the
+        // audit must skip it instead of logging a mismatch.
+        let mut det = CordDetector::new(CordConfig::paper(), 2, 4);
+        let w = u64::from(WINDOW);
+        let _ = det.audited_is_race(ScalarTime::new(100_000), ScalarTime::new(100_000 - w));
+        let _ = det.audited_is_race(ScalarTime::new(100_000 - w), ScalarTime::new(100_000));
+        assert_eq!(det.stats().window16_audits, 2, "abs_diff == WINDOW audited");
+        let _ = det.audited_is_race(ScalarTime::new(100_000), ScalarTime::new(100_000 - w - 1));
+        let _ = det.audited_is_race(ScalarTime::new(100_000 - w - 1), ScalarTime::new(100_000));
+        assert_eq!(
+            det.stats().window16_audits,
+            2,
+            "abs_diff > WINDOW is skipped"
+        );
+        assert_eq!(det.stats().window16_mismatches, 0);
+    }
+
+    #[test]
+    fn walker_pass_preserves_surviving_state_and_verdicts() {
+        use cord_sim::observer::{AccessEvent, AccessPath};
+        // Two detectors with identical state; one takes a walker pass.
+        // The pass must evict only the stale entry and leave surviving
+        // entries (order, bits) and resident-line metadata (filters,
+        // shed-write bound) untouched, so verdicts on later accesses
+        // are identical.
+        let line_addr = Addr::new(4096);
+        let setup = || {
+            let mut det = CordDetector::new(CordConfig::paper(), 2, 4);
+            det.clocks[0] = ScalarTime::new(39_990);
+            det.clocks[1] = ScalarTime::new(40_000); // stamped the live entry
+            let h = det.hist[1].entry(line_addr.line()).or_default();
+            h.push_stamp(ScalarTime::new(10), 2); // stale: < 39_990 - WINDOW/2
+            h.newest_mut().unwrap().set(0, true);
+            h.push_stamp(ScalarTime::new(39_995), 2); // live
+            h.newest_mut().unwrap().set(1, true);
+            h.grant_filter(false);
+            h.note_shed_write(ScalarTime::new(39_980));
+            det
+        };
+        let mut walked = setup();
+        let mut unwalked = setup();
+        walked.walk();
+
+        let h = walked.hist[1]
+            .get(&line_addr.line())
+            .expect("line resident");
+        assert_eq!(h.entries().len(), 1);
+        assert_eq!(h.newest().unwrap().stamp, ScalarTime::new(39_995));
+        assert!(h.newest().unwrap().written(1), "surviving bits intact");
+        assert!(
+            h.filter_allows(false),
+            "walker must not clear check filters"
+        );
+        assert_eq!(
+            h.shed_write_stamp,
+            Some(ScalarTime::new(39_980)),
+            "walker must not lose the shed-write bound"
+        );
+        assert_eq!(walked.stats().walker_evictions, 1);
+        // The evicted write folded into the memory write timestamp.
+        assert_eq!(walked.mem_timestamps().write(), ScalarTime::new(10));
+
+        // Identical verdict on a later access touching the live entry:
+        // thread 0 (clock 39_990) reads word 1, which core 1 wrote at
+        // 39_995 — a race in both detectors, evicted entry or not.
+        let ev = AccessEvent {
+            core: CoreId(0),
+            thread: ThreadId(0),
+            addr: line_addr.offset_words(1),
+            kind: AccessKind::DataRead,
+            path: AccessPath::L2Hit,
+            instr_index: 0,
+            cycle: 100,
+        };
+        walked.on_access(&ev);
+        unwalked.on_access(&ev);
+        assert_eq!(
+            walked.races(),
+            unwalked.races(),
+            "verdict parity after walk"
+        );
+        assert_eq!(walked.races().len(), 1);
+    }
+
+    #[test]
+    fn walker_eviction_keeps_memts_suppression() {
+        // §2.5 end-to-end: thread 0 writes x, pumps its clock past the
+        // half-window with a private flag (forcing mid-run walker
+        // evictions), blows the L2 so x also reaches memory, then
+        // releases g. Thread 1 waits on g and reads x — properly
+        // synchronized, so the run must stay report-free with the
+        // walker folding histories into the memory timestamps, exactly
+        // as it is without the walker.
+        let build = || {
+            let mut b = WorkloadBuilder::new("walker-memts", 2);
+            let g = b.alloc_flag();
+            let p = b.alloc_flag();
+            let x = b.alloc_line_aligned(1);
+            let filler = b.alloc_line_aligned(16 * 1024);
+            b.thread_mut(0).write(x.word(0));
+            {
+                let tb = &mut b.thread_mut(0);
+                // Well past WINDOW/2 sync writes: each bumps the clock
+                // by one, and the surplus beyond 16383 leaves enough
+                // accesses for a walker pass (every 4096) to fire after
+                // the clock crosses the half-window.
+                for _ in 0..22_000u64 {
+                    tb.flag_set(p);
+                }
+                for i in 0..1024u64 {
+                    tb.write(filler.word(i * 16));
+                }
+            }
+            b.thread_mut(0).flag_set(g);
+            b.thread_mut(1).flag_wait(g).read(x.word(0));
+            b.build()
+        };
+        let mut no_walker = CordConfig::paper();
+        no_walker.window_walker = false;
+        let (_, with_w) = run(&build(), CordConfig::paper(), 29, InjectionPlan::none());
+        let (_, without_w) = run(&build(), no_walker, 29, InjectionPlan::none());
+        assert!(
+            with_w.stats().walker_evictions > 0,
+            "walker must evict mid-run"
+        );
+        assert_eq!(with_w.stats().window16_mismatches, 0);
+        assert!(
+            with_w.races().is_empty(),
+            "memory-path detections must stay suppressed: {:?}",
+            with_w.races()
+        );
+        assert_eq!(
+            with_w.races(),
+            without_w.races(),
+            "report parity with the no-walker run"
+        );
     }
 
     #[test]

@@ -199,6 +199,28 @@ impl<S> LineHistory<S> {
         self.entries.iter().map(|e| &e.stamp).max()
     }
 
+    /// Removes and returns every entry matching `pred`, keeping the
+    /// survivors in their original newest-first order with their access
+    /// bits intact. Unlike [`LineHistory::drain`], the check filters and
+    /// shed-write bound are left untouched — the line stays resident
+    /// (this is the walker's eviction primitive, not a line removal).
+    pub fn take_entries_where<F>(&mut self, mut pred: F) -> Vec<HistEntry<S>>
+    where
+        F: FnMut(&HistEntry<S>) -> bool,
+    {
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if pred(&e) {
+                taken.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+        taken
+    }
+
     /// Drains all entries (line leaving the cache).
     pub fn drain(&mut self) -> Vec<HistEntry<S>> {
         self.read_filter = false;
@@ -353,6 +375,33 @@ mod tests {
         }
         assert_eq!(h.entries().len(), 100);
         assert_eq!(h.newest().unwrap().stamp, ts(99));
+    }
+
+    #[test]
+    fn take_entries_where_preserves_order_bits_and_filters() {
+        let mut h: LineHistory<ScalarTime> = LineHistory::new();
+        for (i, n) in [2u64, 9, 4, 11].iter().enumerate() {
+            h.push_stamp(ts(*n), usize::MAX);
+            h.newest_mut().unwrap().set(i, i % 2 == 0);
+        }
+        h.grant_filter(true);
+        h.note_shed_write(ts(7));
+        // Entries are newest-first: stamps [11, 4, 9, 2].
+        let taken = h.take_entries_where(|e| e.stamp.ticks() < 5);
+        assert_eq!(
+            taken.iter().map(|e| e.stamp).collect::<Vec<_>>(),
+            vec![ts(4), ts(2)]
+        );
+        // Survivors keep newest-first order and their bits.
+        assert_eq!(
+            h.entries().iter().map(|e| e.stamp).collect::<Vec<_>>(),
+            vec![ts(11), ts(9)]
+        );
+        assert_eq!(h.newest().unwrap().stamp, ts(11));
+        assert!(h.entries()[1].read(1));
+        // Resident-line metadata survives, unlike drain().
+        assert!(h.filter_allows(true));
+        assert_eq!(h.shed_write_stamp, Some(ts(7)));
     }
 
     #[test]

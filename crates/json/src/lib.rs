@@ -520,7 +520,16 @@ impl FromJson for bool {
 
 impl ToJson for f64 {
     fn to_json(&self) -> Json {
-        Json::Float(*self)
+        // JSON has no NaN/Inf. Mapping them to `Json::Null` here (not
+        // just in the writer) keeps trees comparable (`Json` derives
+        // `PartialEq`, and `Float(NAN) != Float(NAN)`) and makes the
+        // write/parse round trip total: `FromJson` maps `Null` back to
+        // `NAN`.
+        if self.is_finite() {
+            Json::Float(*self)
+        } else {
+            Json::Null
+        }
     }
 }
 
@@ -674,5 +683,57 @@ mod tests {
     fn float_written_with_marker() {
         assert_eq!(Json::Float(2.0).to_string_compact(), "2.0");
         assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(x.to_json(), Json::Null);
+            assert_eq!(x.to_json().to_string_compact(), "null");
+            // FromJson maps null back to NaN, closing the round trip.
+            assert!(f64::from_json(&x.to_json()).unwrap().is_nan());
+        }
+        // The writer guards non-finite payloads too, in case a
+        // Json::Float was constructed directly.
+        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+    }
+}
+
+#[cfg(test)]
+mod float_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every f64 bit pattern — finite, subnormal, infinite, or NaN —
+        /// survives to_json → write → parse → from_json: finite values
+        /// come back exactly (Rust's shortest-round-trip formatting),
+        /// non-finite ones come back as NaN via null.
+        #[test]
+        fn f64_roundtrip_all_bit_patterns(bits in any::<u64>()) {
+            let x = f64::from_bits(bits);
+            let text = x.to_json().to_string_compact();
+            let parsed = Json::parse(&text).unwrap();
+            let back = f64::from_json(&parsed).unwrap();
+            if x.is_finite() {
+                prop_assert_eq!(back, x);
+                // The tree itself also round-trips as a value.
+                prop_assert_eq!(parsed, x.to_json());
+            } else {
+                prop_assert!(back.is_nan());
+                prop_assert_eq!(parsed, Json::Null);
+            }
+        }
+
+        /// Subnormals specifically: the smallest magnitudes must not
+        /// collapse to zero or lose bits through the writer.
+        #[test]
+        fn f64_roundtrip_subnormals(bits in 1u64..(1u64 << 52)) {
+            let x = f64::from_bits(bits); // exponent 0, nonzero mantissa
+            prop_assert!(x != 0.0 && !x.is_normal());
+            let text = x.to_json().to_string_compact();
+            let back = f64::from_json(&Json::parse(&text).unwrap()).unwrap();
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
     }
 }

@@ -1,0 +1,644 @@
+//! Observability for the CORD reproduction: a bounded run-event trace
+//! and a unified metrics registry.
+//!
+//! The paper's argument is quantitative — overhead is counted in bus
+//! transactions, walker evictions, and race-check traffic — so the
+//! simulator and detector expose *when* those events happen, not just
+//! end-of-run totals. This crate provides the shared vocabulary:
+//!
+//! * [`TraceHandle`] / [`EventRing`]: a clonable, thread-safe handle to
+//!   a bounded drop-oldest ring buffer of [`TraceEvent`]s. A disabled
+//!   handle (the default everywhere) is a `None` and costs one branch
+//!   per emission site — payload construction is behind a closure and
+//!   never runs.
+//! * [`MetricsRegistry`]: additive named counters and float gauges that
+//!   merge `SimStats`, `CordStats`, pool progress, and sweep profiling
+//!   into one JSON-serializable snapshot.
+//! * [`DurStat`] / [`SweepProfile`]: wall-clock profiling aggregates
+//!   for the parallel sweep runner (per-job run time, queue wait,
+//!   checkpoint-flush time per worker).
+//!
+//! `cord-obs` depends only on `cord-json`; the simulator, detector, and
+//! bench crates depend on it (never the reverse), so the hook methods
+//! that feed the registry live next to the stats they read.
+
+#![warn(missing_docs)]
+
+use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Which bus a traced transaction occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusKind {
+    /// The data bus (line transfers between caches and memory).
+    Data,
+    /// The address/snoop bus.
+    Addr,
+    /// The timestamp bus CORD adds (§3.1).
+    Ts,
+    /// The memory bus.
+    Mem,
+}
+
+impl BusKind {
+    fn name(self) -> &'static str {
+        match self {
+            BusKind::Data => "data",
+            BusKind::Addr => "addr",
+            BusKind::Ts => "ts",
+            BusKind::Mem => "mem",
+        }
+    }
+}
+
+/// What a single trace event records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A memory access that occupied a bus (miss, upgrade, or fill).
+    Bus {
+        /// The bus occupied.
+        bus: BusKind,
+        /// The cache line involved.
+        line: u64,
+    },
+    /// A cache line filled into a core's cache.
+    Fill {
+        /// Destination core.
+        core: u8,
+        /// Cache level (1 or 2).
+        level: u8,
+        /// The line filled.
+        line: u64,
+    },
+    /// A cache line removed from a core's cache.
+    Remove {
+        /// Source core.
+        core: u8,
+        /// Cache level (1 or 2).
+        level: u8,
+        /// The line removed.
+        line: u64,
+        /// Whether the line was dirty.
+        dirty: bool,
+        /// `true` for an invalidation, `false` for a capacity eviction.
+        invalidation: bool,
+    },
+    /// An explicit race-check broadcast on the timestamp bus (§2.7.2).
+    RaceCheck {
+        /// The line checked.
+        line: u64,
+        /// Number of check requests issued.
+        requests: u32,
+    },
+    /// A memory-timestamp update broadcast (§2.5).
+    MemtsBroadcast {
+        /// Posted timestamp-bus transactions.
+        count: u32,
+    },
+    /// A periodic cache-walker pass (§2.7.5).
+    WalkerPass {
+        /// History entries evicted by this pass.
+        evicted: u64,
+        /// The eviction bound (stamps below it were folded to memory).
+        bound: u64,
+    },
+    /// A fault-injection target fired (a sync instance was removed).
+    Injection {
+        /// The dynamic instance index removed.
+        instance: u64,
+        /// `true` when a release (flag set) was removed, `false` for an
+        /// acquire (lock acquisition / flag wait).
+        release: bool,
+    },
+    /// A thread migrated between cores.
+    Migration {
+        /// Source core.
+        from: u8,
+        /// Destination core.
+        to: u8,
+    },
+    /// A data race was reported by the detector.
+    Race {
+        /// The racing byte address.
+        addr: u64,
+        /// The core whose cached timestamp conflicted.
+        other_core: u8,
+    },
+}
+
+impl EventKind {
+    fn name(&self) -> &'static str {
+        match self {
+            EventKind::Bus { .. } => "bus",
+            EventKind::Fill { .. } => "fill",
+            EventKind::Remove { .. } => "remove",
+            EventKind::RaceCheck { .. } => "race_check",
+            EventKind::MemtsBroadcast { .. } => "memts_broadcast",
+            EventKind::WalkerPass { .. } => "walker_pass",
+            EventKind::Injection { .. } => "injection",
+            EventKind::Migration { .. } => "migration",
+            EventKind::Race { .. } => "race",
+        }
+    }
+}
+
+/// Sentinel for events with no originating thread (e.g. walker passes).
+pub const NO_THREAD: u16 = u16::MAX;
+
+/// One timestamped entry in the run-event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// Originating thread, or [`NO_THREAD`].
+    pub thread: u16,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cycle", self.cycle.to_json()),
+            ("thread", self.thread.to_json()),
+            ("kind", self.kind.name().to_json()),
+        ];
+        match &self.kind {
+            EventKind::Bus { bus, line } => {
+                fields.push(("bus", bus.name().to_json()));
+                fields.push(("line", line.to_json()));
+            }
+            EventKind::Fill { core, level, line } => {
+                fields.push(("core", core.to_json()));
+                fields.push(("level", level.to_json()));
+                fields.push(("line", line.to_json()));
+            }
+            EventKind::Remove {
+                core,
+                level,
+                line,
+                dirty,
+                invalidation,
+            } => {
+                fields.push(("core", core.to_json()));
+                fields.push(("level", level.to_json()));
+                fields.push(("line", line.to_json()));
+                fields.push(("dirty", dirty.to_json()));
+                fields.push(("invalidation", invalidation.to_json()));
+            }
+            EventKind::RaceCheck { line, requests } => {
+                fields.push(("line", line.to_json()));
+                fields.push(("requests", Json::UInt(u64::from(*requests))));
+            }
+            EventKind::MemtsBroadcast { count } => {
+                fields.push(("count", Json::UInt(u64::from(*count))));
+            }
+            EventKind::WalkerPass { evicted, bound } => {
+                fields.push(("evicted", evicted.to_json()));
+                fields.push(("bound", bound.to_json()));
+            }
+            EventKind::Injection { instance, release } => {
+                fields.push(("instance", instance.to_json()));
+                fields.push(("release", release.to_json()));
+            }
+            EventKind::Migration { from, to } => {
+                fields.push(("from", from.to_json()));
+                fields.push(("to", to.to_json()));
+            }
+            EventKind::Race { addr, other_core } => {
+                fields.push(("addr", addr.to_json()));
+                fields.push(("other_core", other_core.to_json()));
+            }
+        }
+        obj(fields)
+    }
+}
+
+/// A bounded drop-oldest buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes the ring: `{"dropped": N, "events": [...]}`.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("dropped", self.dropped.to_json()),
+            (
+                "events",
+                Json::Array(self.buf.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A clonable, thread-safe handle to an [`EventRing`] — or nothing.
+///
+/// The disabled handle is the default everywhere; emission sites pay a
+/// single `Option` branch and never construct the event payload:
+///
+/// ```
+/// use cord_obs::{TraceHandle, TraceEvent, EventKind, NO_THREAD};
+///
+/// let off = TraceHandle::disabled();
+/// off.emit(|| unreachable!("payload closure must not run"));
+///
+/// let on = TraceHandle::bounded(16);
+/// on.emit(|| TraceEvent {
+///     cycle: 3,
+///     thread: NO_THREAD,
+///     kind: EventKind::WalkerPass { evicted: 2, bound: 100 },
+/// });
+/// assert_eq!(on.snapshot().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Option<Arc<Mutex<EventRing>>>);
+
+impl TraceHandle {
+    /// The no-op handle: emissions are a branch and nothing else.
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A handle backed by a fresh ring of `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        TraceHandle(Some(Arc::new(Mutex::new(EventRing::new(capacity)))))
+    }
+
+    /// Whether events are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records the event built by `f` — which is only called when the
+    /// handle is enabled.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(ring) = &self.0 {
+            lock_ring(ring).push(f());
+        }
+    }
+
+    /// A copy of the retained events, oldest first (empty if disabled).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            Some(ring) => lock_ring(ring).events().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serializes the ring, or `Json::Null` when disabled.
+    pub fn to_json(&self) -> Json {
+        match &self.0 {
+            Some(ring) => lock_ring(ring).to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+fn lock_ring(ring: &Mutex<EventRing>) -> MutexGuard<'_, EventRing> {
+    // A panic while holding the ring lock cannot leave it inconsistent
+    // (push is a pop+push); keep collecting rather than poisoning the
+    // whole trace.
+    match ring.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Additive named counters plus float gauges, the unified snapshot the
+/// sweep writes as its aggregate metrics JSON.
+///
+/// Counter names are dotted paths by convention (`sim.data_reads`,
+/// `cord.walker_evictions`, `sweep.jobs_failed`); merging two
+/// registries adds counters pointwise and keeps the maximum of each
+/// gauge unless overwritten.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// The current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Folds `other` into `self`: counters add, gauges overwrite.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("counters", self.counters.to_json()),
+            (
+                "gauges",
+                Json::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for MetricsRegistry {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MetricsRegistry {
+            counters: FromJson::from_json(v.field("counters")?)?,
+            gauges: FromJson::from_json(v.field("gauges")?)?,
+        })
+    }
+}
+
+/// Aggregate of a wall-clock duration series: count, total, maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DurStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in seconds.
+    pub total_s: f64,
+    /// Largest sample, in seconds.
+    pub max_s: f64,
+}
+
+impl DurStat {
+    /// Records one duration sample (in seconds).
+    pub fn record(&mut self, secs: f64) {
+        self.count += 1;
+        self.total_s += secs;
+        if secs > self.max_s {
+            self.max_s = secs;
+        }
+    }
+
+    /// Mean sample length in seconds (0 with no samples).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_s / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &DurStat) {
+        self.count += other.count;
+        self.total_s += other.total_s;
+        if other.max_s > self.max_s {
+            self.max_s = other.max_s;
+        }
+    }
+}
+
+impl ToJson for DurStat {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("count", self.count.to_json()),
+            ("total_s", self.total_s.to_json()),
+            ("mean_s", self.mean_s().to_json()),
+            ("max_s", self.max_s.to_json()),
+        ])
+    }
+}
+
+/// Wall-clock profile of one parallel sweep: how long jobs ran, how
+/// long they waited for a worker, and how long each worker spent
+/// flushing checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct SweepProfile {
+    /// Per-job execution wall-clock.
+    pub job_run: DurStat,
+    /// Per-job wait between batch submission and job start.
+    pub queue_wait: DurStat,
+    /// Checkpoint-flush time, keyed by worker thread name.
+    pub flush_by_worker: BTreeMap<String, DurStat>,
+}
+
+impl SweepProfile {
+    /// Records a checkpoint flush performed by `worker`.
+    pub fn record_flush(&mut self, worker: &str, secs: f64) {
+        self.flush_by_worker
+            .entry(worker.to_owned())
+            .or_default()
+            .record(secs);
+    }
+
+    /// Writes the profile's aggregates into `reg` under `sweep.*`.
+    pub fn record_into(&self, reg: &mut MetricsRegistry) {
+        reg.add("sweep.jobs_profiled", self.job_run.count);
+        reg.gauge("sweep.job_run_total_s", self.job_run.total_s);
+        reg.gauge("sweep.job_run_mean_s", self.job_run.mean_s());
+        reg.gauge("sweep.job_run_max_s", self.job_run.max_s);
+        reg.gauge("sweep.queue_wait_mean_s", self.queue_wait.mean_s());
+        reg.gauge("sweep.queue_wait_max_s", self.queue_wait.max_s);
+        let mut flush = DurStat::default();
+        for stat in self.flush_by_worker.values() {
+            flush.merge(stat);
+        }
+        reg.add("sweep.checkpoint_flushes", flush.count);
+        reg.gauge("sweep.checkpoint_flush_total_s", flush.total_s);
+        reg.gauge("sweep.checkpoint_flush_max_s", flush.max_s);
+    }
+}
+
+impl ToJson for SweepProfile {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("job_run", self.job_run.to_json()),
+            ("queue_wait", self.queue_wait.to_json()),
+            (
+                "flush_by_worker",
+                Json::Object(
+                    self.flush_by_worker
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            thread: 0,
+            kind: EventKind::MemtsBroadcast { count: 1 },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = EventRing::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let cycles: Vec<u64> = r.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3]);
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_payloads() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.emit(|| unreachable!("disabled handle must not call the closure"));
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let a = TraceHandle::bounded(8);
+        let b = a.clone();
+        a.emit(|| ev(1));
+        b.emit(|| ev(2));
+        assert_eq!(a.snapshot().len(), 2);
+        assert_eq!(b.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn events_serialize_with_kind_tag() {
+        let e = TraceEvent {
+            cycle: 7,
+            thread: 3,
+            kind: EventKind::Bus {
+                bus: BusKind::Ts,
+                line: 42,
+            },
+        };
+        let text = e.to_json().to_string_compact();
+        assert_eq!(
+            text,
+            "{\"cycle\":7,\"thread\":3,\"kind\":\"bus\",\"bus\":\"ts\",\"line\":42}"
+        );
+    }
+
+    #[test]
+    fn registry_adds_merges_and_roundtrips() {
+        let mut a = MetricsRegistry::new();
+        a.add("sim.data_reads", 5);
+        a.add("sim.data_reads", 2);
+        a.gauge("sweep.job_run_max_s", 0.25);
+        let mut b = MetricsRegistry::new();
+        b.add("sim.data_reads", 3);
+        b.add("cord.data_races", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("sim.data_reads"), 10);
+        assert_eq!(a.counter("cord.data_races"), 1);
+        assert_eq!(a.counter("absent"), 0);
+        let back = MetricsRegistry::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn dur_stat_tracks_mean_and_max() {
+        let mut d = DurStat::default();
+        d.record(0.5);
+        d.record(1.5);
+        assert_eq!(d.count, 2);
+        assert!((d.mean_s() - 1.0).abs() < 1e-12);
+        assert!((d.max_s - 1.5).abs() < 1e-12);
+        let mut p = SweepProfile {
+            job_run: d,
+            ..SweepProfile::default()
+        };
+        p.record_flush("cord-pool-0", 0.01);
+        p.record_flush("cord-pool-0", 0.03);
+        p.record_flush("cord-pool-1", 0.02);
+        let mut reg = MetricsRegistry::new();
+        p.record_into(&mut reg);
+        assert_eq!(reg.counter("sweep.checkpoint_flushes"), 3);
+        assert_eq!(reg.gauge_value("sweep.job_run_max_s"), Some(1.5));
+    }
+}

@@ -140,6 +140,20 @@ impl BatchProgress {
             per_job * (self.total - self.done) as f64,
         ))
     }
+
+    /// Accumulates this batch snapshot into `reg` under the `pool.`
+    /// prefix. Counters sum across batches; the utilization gauge
+    /// reflects the most recent snapshot recorded.
+    pub fn record_into(&self, reg: &mut cord_obs::MetricsRegistry) {
+        reg.add("pool.jobs_done", self.done as u64);
+        reg.add("pool.jobs_total", self.total as u64);
+        reg.add("pool.jobs_failed", self.failed as u64);
+        reg.add("pool.batches", 1);
+        reg.gauge("pool.workers", self.workers as f64);
+        reg.gauge("pool.batch_elapsed_s", self.elapsed.as_secs_f64());
+        reg.gauge("pool.batch_busy_s", self.busy.as_secs_f64());
+        reg.gauge("pool.utilization", self.utilization());
+    }
 }
 
 /// An erased job as it sits in a worker deque. The `'static` is a lie

@@ -32,6 +32,7 @@ use crate::observer::{AccessEvent, AccessKind, AccessPath, CoreId, MemoryObserve
 use crate::stats::SimStats;
 use crate::sync::SyncManager;
 use crate::truth::{GroundTruth, TruthSummary};
+use cord_obs::{BusKind, EventKind, TraceEvent, TraceHandle, NO_THREAD};
 use cord_trace::op::Op;
 use cord_trace::program::Workload;
 use cord_trace::types::{Addr, BarrierId, FlagId, LockId, ThreadId};
@@ -343,6 +344,9 @@ pub struct Machine<'w, O: MemoryObserver> {
     /// Cycle of the most recent workload-op fetch (watchdog progress).
     last_progress: u64,
     pending_migration: bool,
+    /// Run-event trace sink; disabled (a single branch per site) unless
+    /// installed with [`Machine::with_trace`].
+    trace: TraceHandle,
 }
 
 impl<'w, O: MemoryObserver> Machine<'w, O> {
@@ -399,7 +403,16 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             next_release_instance: 0,
             last_progress: 0,
             pending_migration: false,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a run-event trace sink. The default is the disabled
+    /// handle, which keeps every emission site to a single branch.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Runs to completion, returning the output and the observer.
@@ -568,20 +581,37 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 CoreId(core as u8),
             );
             self.stats.migrations += 1;
+            let when = self.ctxs[t].ready_at;
+            self.trace.emit(|| TraceEvent {
+                cycle: when,
+                thread: t as u16,
+                kind: EventKind::Migration {
+                    from: from as u8,
+                    to: core as u8,
+                },
+            });
         }
         self.last_core[t] = Some(core);
         self.core_last_thread[core] = Some(t);
         true
     }
 
-    /// Consumes one removable-sync-instance index; `true` if this
-    /// instance is the injection target.
-    fn take_instance(&mut self) -> bool {
+    /// Consumes one removable-sync-instance index for thread `c`;
+    /// `true` if this instance is the injection target.
+    fn take_instance(&mut self, c: usize) -> bool {
         let idx = self.next_instance;
         self.next_instance += 1;
         self.stats.removable_sync_instances += 1;
         if self.plan.remove_instance == Some(idx) {
             self.stats.injection_applied = true;
+            self.trace.emit(|| TraceEvent {
+                cycle: self.ctxs[c].ready_at,
+                thread: self.ctxs[c].thread.0,
+                kind: EventKind::Injection {
+                    instance: idx,
+                    release: false,
+                },
+            });
             true
         } else {
             false
@@ -589,14 +619,22 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
     }
 
     /// Consumes one release-instance index (a flag set, including the
-    /// barrier release's internal one); `true` if it is the injection
-    /// target.
-    fn take_release_instance(&mut self) -> bool {
+    /// barrier release's internal one) for thread `c`; `true` if it is
+    /// the injection target.
+    fn take_release_instance(&mut self, c: usize) -> bool {
         let idx = self.next_release_instance;
         self.next_release_instance += 1;
         self.stats.release_sync_instances += 1;
         if self.plan.remove_release == Some(idx) {
             self.stats.injection_applied = true;
+            self.trace.emit(|| TraceEvent {
+                cycle: self.ctxs[c].ready_at,
+                thread: self.ctxs[c].thread.0,
+                kind: EventKind::Injection {
+                    instance: idx,
+                    release: true,
+                },
+            });
             true
         } else {
             false
@@ -687,7 +725,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 ctx.instr += u64::from(n);
             }
             Op::Lock(l) => {
-                if self.take_instance() {
+                if self.take_instance(c) {
                     self.ctxs[c].skip_unlocks.insert(l.0);
                 } else {
                     self.ctxs[c].steps.push_back(Step::LockSpin(l));
@@ -701,13 +739,13 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             Op::FlagSet(g) => self.ctxs[c].steps.push_back(Step::SetFlag(g)),
             Op::FlagReset(g) => self.ctxs[c].steps.push_back(Step::ResetFlag(g)),
             Op::FlagWait(g) => {
-                if !self.take_instance() {
+                if !self.take_instance(c) {
                     self.ctxs[c].steps.push_back(Step::WaitFlag(g));
                 }
             }
             Op::Barrier(b) => {
                 let counter = layout.barrier_counter_addr(b);
-                if self.take_instance() {
+                if self.take_instance(c) {
                     self.ctxs[c].barrier_lock_skipped = true;
                 } else {
                     let bl = layout.barrier_lock(b);
@@ -761,7 +799,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 }
             }
             Step::SetFlag(g) => {
-                if self.take_release_instance() {
+                if self.take_release_instance(c) {
                     // Removed release (§3.4 extended to the release
                     // side): the flag write never happens and no waiter
                     // is woken. Blocking waiters deadlock; spinning
@@ -833,7 +871,7 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 }
             }
             Step::BarrierWait(b, episode) => {
-                if !self.take_instance() {
+                if !self.take_instance(c) {
                     let (f0, f1) = layout.barrier_flags(b);
                     let flag = if episode % 2 == 0 { f0 } else { f1 };
                     self.ctxs[c].steps.push_front(Step::WaitFlag(flag));
@@ -885,15 +923,42 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         // victimized histories — so those are delivered after
         // `on_access` (§2.7.2: "snooping hits in other caches result in
         // data race checks").
+        if res.path.has_bus_transaction() {
+            self.trace.emit(|| TraceEvent {
+                cycle: start,
+                thread: thread.0,
+                kind: EventKind::Bus {
+                    bus: match res.path {
+                        AccessPath::FillFromMemory => BusKind::Mem,
+                        AccessPath::FillFromSibling(_) => BusKind::Data,
+                        _ => BusKind::Addr,
+                    },
+                    line: addr.line().0,
+                },
+            });
+        }
         for ev in &res.events {
             match ev {
                 MemEvent::Removed(rm)
                     if rm.cause != crate::observer::RemovalCause::Invalidation =>
                 {
+                    self.trace_removal(rm, res.done);
                     let out = self.observer.on_line_removed(rm);
                     self.charge_observer(out, res.done);
                 }
                 MemEvent::Filled { core, level, line } => {
+                    self.trace.emit(|| TraceEvent {
+                        cycle: res.done,
+                        thread: thread.0,
+                        kind: EventKind::Fill {
+                            core: core.0,
+                            level: match level {
+                                crate::observer::Level::L1 => 1,
+                                crate::observer::Level::L2 => 2,
+                            },
+                            line: line.0,
+                        },
+                    });
                     self.observer.on_line_filled(*core, *level, *line);
                 }
                 MemEvent::Removed(_) => {}
@@ -911,11 +976,31 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             cycle: start,
         };
         let out = self.observer.on_access(&ev);
+        if out.race_check_requests > 0 {
+            self.trace.emit(|| TraceEvent {
+                cycle: start,
+                thread: thread.0,
+                kind: EventKind::RaceCheck {
+                    line: addr.line().0,
+                    requests: out.race_check_requests,
+                },
+            });
+        }
+        if out.posted_transactions > 0 {
+            self.trace.emit(|| TraceEvent {
+                cycle: start,
+                thread: thread.0,
+                kind: EventKind::MemtsBroadcast {
+                    count: out.posted_transactions,
+                },
+            });
+        }
         let stall = self.charge_observer(out, res.done);
 
         for mev in &res.events {
             if let MemEvent::Removed(rm) = mev {
                 if rm.cause == crate::observer::RemovalCause::Invalidation {
+                    self.trace_removal(rm, res.done);
                     let out = self.observer.on_line_removed(rm);
                     self.charge_observer(out, res.done);
                 }
@@ -940,6 +1025,25 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             AccessPath::FillFromMemory => self.stats.memory_fills += 1,
         }
         res.done
+    }
+
+    /// Emits a line-removal trace event (no originating thread: the
+    /// victim is picked by the cache, not by an instruction).
+    fn trace_removal(&self, rm: &crate::observer::LineRemoval, at: u64) {
+        self.trace.emit(|| TraceEvent {
+            cycle: at,
+            thread: NO_THREAD,
+            kind: EventKind::Remove {
+                core: rm.core.0,
+                level: match rm.level {
+                    crate::observer::Level::L1 => 1,
+                    crate::observer::Level::L2 => 2,
+                },
+                line: rm.line.0,
+                dirty: rm.dirty,
+                invalidation: rm.cause == crate::observer::RemovalCause::Invalidation,
+            },
+        });
     }
 
     /// Charges observer-issued transactions on the timestamp bus. The
@@ -993,6 +1097,15 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                     CoreId(to as u8),
                 );
                 self.stats.migrations += 1;
+                let when = self.ctxs[t].ready_at;
+                self.trace.emit(|| TraceEvent {
+                    cycle: when,
+                    thread: t as u16,
+                    kind: EventKind::Migration {
+                        from: from as u8,
+                        to: to as u8,
+                    },
+                });
             }
         }
     }

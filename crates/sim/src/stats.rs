@@ -1,5 +1,7 @@
 //! Run statistics: timing, cache behaviour, bus traffic.
 
+use cord_obs::MetricsRegistry;
+
 /// Aggregate statistics of one simulated run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -74,6 +76,46 @@ impl SimStats {
             self.l1_hits as f64 / total as f64
         }
     }
+
+    /// Accumulates every counter into `reg` under the `sim.` prefix.
+    /// Per-core vectors are folded into sums so registries from
+    /// different core counts stay mergeable.
+    pub fn record_into(&self, reg: &mut MetricsRegistry) {
+        reg.add("sim.cycles", self.cycles);
+        reg.add(
+            "sim.per_core_cycles_sum",
+            self.per_core_cycles.iter().sum::<u64>(),
+        );
+        reg.add("sim.instructions", self.instr_counts.iter().sum::<u64>());
+        reg.add("sim.data_reads", self.data_reads);
+        reg.add("sim.data_writes", self.data_writes);
+        reg.add("sim.sync_reads", self.sync_reads);
+        reg.add("sim.sync_writes", self.sync_writes);
+        reg.add("sim.l1_hits", self.l1_hits);
+        reg.add("sim.l2_hits", self.l2_hits);
+        reg.add("sim.upgrades", self.upgrades);
+        reg.add("sim.sibling_fills", self.sibling_fills);
+        reg.add("sim.memory_fills", self.memory_fills);
+        reg.add("sim.data_bus_busy", self.data_bus_busy);
+        reg.add("sim.data_bus_wait", self.data_bus_wait);
+        reg.add("sim.addr_bus_busy", self.addr_bus_busy);
+        reg.add("sim.addr_bus_wait", self.addr_bus_wait);
+        reg.add("sim.mem_bus_busy", self.mem_bus_busy);
+        reg.add(
+            "sim.removable_sync_instances",
+            self.removable_sync_instances,
+        );
+        reg.add("sim.release_sync_instances", self.release_sync_instances);
+        reg.add("sim.injections_applied", u64::from(self.injection_applied));
+        reg.add(
+            "sim.observer_addr_transactions",
+            self.observer_addr_transactions,
+        );
+        reg.add("sim.ts_bus_busy", self.ts_bus_busy);
+        reg.add("sim.retirement_stall_cycles", self.retirement_stall_cycles);
+        reg.add("sim.migrations", self.migrations);
+        reg.add("sim.runs", 1);
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +139,26 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_hit_rate() {
         assert_eq!(SimStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_into_prefixes_and_accumulates() {
+        let s = SimStats {
+            cycles: 100,
+            per_core_cycles: vec![90, 100],
+            instr_counts: vec![40, 60],
+            l1_hits: 7,
+            injection_applied: true,
+            ..SimStats::default()
+        };
+        let mut reg = MetricsRegistry::default();
+        s.record_into(&mut reg);
+        s.record_into(&mut reg);
+        assert_eq!(reg.counter("sim.cycles"), 200);
+        assert_eq!(reg.counter("sim.per_core_cycles_sum"), 380);
+        assert_eq!(reg.counter("sim.instructions"), 200);
+        assert_eq!(reg.counter("sim.l1_hits"), 14);
+        assert_eq!(reg.counter("sim.injections_applied"), 2);
+        assert_eq!(reg.counter("sim.runs"), 2);
     }
 }

@@ -12,6 +12,7 @@ cargo test --release --workspace --quiet
 echo "== clippy (deny warnings; unwrap_used denied outside tests) =="
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p cord-pool --all-targets -- -D warnings
+cargo clippy -p cord-obs --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
@@ -25,5 +26,15 @@ trap 'rm -rf "$smoke_dir"' EXIT
     --json "$smoke_dir/parallel.json" > "$smoke_dir/parallel.txt" 2> /dev/null
 diff "$smoke_dir/serial.json" "$smoke_dir/parallel.json"
 diff "$smoke_dir/serial.txt" "$smoke_dir/parallel.txt"
+
+echo "== observability smoke: tracing/metrics must not perturb results =="
+./target/release/figures fig10 --scale tiny --injections 2 --jobs 2 \
+    --json "$smoke_dir/observed.json" \
+    --trace-dir "$smoke_dir/traces" --metrics-out "$smoke_dir/metrics.json" \
+    > "$smoke_dir/observed.txt" 2> /dev/null
+diff "$smoke_dir/serial.json" "$smoke_dir/observed.json"
+diff "$smoke_dir/serial.txt" "$smoke_dir/observed.txt"
+test -s "$smoke_dir/metrics.json"
+ls "$smoke_dir/traces"/*.json > /dev/null
 
 echo "ci: all green"
