@@ -133,11 +133,63 @@ fn bench_detector_access(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end run benchmark: a full `Machine::run` of the fft kernel —
+/// the unit of work the (app × run × configuration) injection matrix
+/// repeats thousands of times per figure. `sweep_cell` measures the
+/// same work through `SweepRunner::run_detector`, i.e. including the
+/// sweep layer's detector construction and dispatch.
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    use cord_bench::sweep::ScaleClassOpt;
+    use cord_bench::{DetectorConfig, SweepOptions, SweepRunner};
+    use cord_sim::config::MachineConfig;
+    use cord_sim::engine::{InjectionPlan, Machine};
+    use cord_workloads::{kernel, AppKind, ScaleClass};
+
+    let w = kernel(AppKind::Fft, ScaleClass::Tiny, 4, 2006);
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("run_cord_d16_fft_tiny", |b| {
+        b.iter(|| {
+            let det = CordDetector::new(CordConfig::paper(), 4, 4);
+            let m = Machine::new(
+                MachineConfig::paper_4core(),
+                &w,
+                det,
+                2006,
+                InjectionPlan::none(),
+            );
+            black_box(m.run().expect("clean run completes"))
+        })
+    });
+    let opts = SweepOptions {
+        scale: ScaleClassOpt::Tiny,
+        ..SweepOptions::default()
+    };
+    let runner = SweepRunner::new(opts);
+    g.bench_function("sweep_cell_fft_tiny", |b| {
+        b.iter(|| {
+            for cfg in [
+                DetectorConfig::Cord { d: 16 },
+                DetectorConfig::Ideal,
+                DetectorConfig::VcL2Cache,
+            ] {
+                black_box(
+                    runner
+                        .run_detector(cfg, &w, 2006, InjectionPlan::none())
+                        .expect("clean run completes"),
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_clock_compares,
     bench_line_history,
     bench_walker_partition,
-    bench_detector_access
+    bench_detector_access,
+    bench_engine_end_to_end
 );
 criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Refactor guard: a fixed two-app mini sweep whose results JSON and
+//! checkpoint bytes are committed as fixtures under
+//! `crates/bench/tests/fixtures/refactor_guard/`.
+//!
+//! `scripts/ci.sh` re-runs the sweep into a temp directory and
+//! byte-diffs `results.json` and `checkpoint.json` against the
+//! fixtures, so any engine/detector refactor must prove it preserved
+//! behaviour exactly. With `--bench FILE` it additionally times the
+//! end-to-end sweep hot path (the same `SweepRunner::run_detector` cell
+//! the injection matrix executes) and records the measurement as JSON.
+//!
+//! Usage:
+//!
+//! ```sh
+//! refactor_guard OUT_DIR            # write results.json + checkpoint.json
+//! refactor_guard --bench BENCH.json # time the sweep hot path
+//! ```
+
+use cord_bench::sweep::ScaleClassOpt;
+use cord_bench::{DetectorConfig, SweepOptions, SweepRunner};
+use cord_json::{obj, Json, ToJson};
+use cord_sim::engine::InjectionPlan;
+use cord_workloads::{kernel, AppKind, ScaleClass};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The pinned mini-sweep: everything here is part of the fixture
+/// contract — changing any value invalidates the committed fixtures.
+fn guard_options() -> SweepOptions {
+    SweepOptions {
+        injections_per_app: 3,
+        scale: ScaleClassOpt::Tiny,
+        threads: 4,
+        seed: 2006,
+        include_releases: true,
+        spin_waits: None,
+    }
+}
+
+const GUARD_APPS: [AppKind; 2] = [AppKind::Fft, AppKind::WaterN2];
+
+fn guard_configs() -> Vec<DetectorConfig> {
+    vec![
+        DetectorConfig::Cord { d: 16 },
+        DetectorConfig::VcL2Cache,
+        DetectorConfig::VcInfCache,
+    ]
+}
+
+fn run_guard(out_dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let checkpoint = out_dir.join("checkpoint.json");
+    // A stale checkpoint would short-circuit the sweep and mask drift.
+    if checkpoint.exists() {
+        std::fs::remove_file(&checkpoint)?;
+    }
+    let results = SweepRunner::new(guard_options())
+        .jobs(1)
+        .apps(&GUARD_APPS)
+        .checkpoint(&checkpoint)
+        .run(&guard_configs())?;
+    std::fs::write(
+        out_dir.join("results.json"),
+        results.to_json().to_string_pretty(),
+    )?;
+    Ok(())
+}
+
+/// Times the sweep's innermost cell end to end: one CORD run, one Ideal
+/// run, and one VC-L2 run of the fft kernel, exactly as an injection
+/// sweep executes them.
+fn run_bench(out: &Path) -> std::io::Result<()> {
+    let opts = guard_options();
+    let runner = SweepRunner::new(opts);
+    let w = kernel(AppKind::Fft, ScaleClass::Tiny, opts.threads, opts.seed);
+    let cell = |i: u64| {
+        for cfg in [
+            DetectorConfig::Cord { d: 16 },
+            DetectorConfig::Ideal,
+            DetectorConfig::VcL2Cache,
+        ] {
+            runner
+                .run_detector(cfg, &w, opts.seed.wrapping_add(i), InjectionPlan::none())
+                .expect("clean bench run completes");
+        }
+    };
+    // Warmup, then a fixed iteration count timed as one block.
+    for i in 0..3 {
+        cell(i);
+    }
+    const ITERS: u64 = 20;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        cell(i);
+    }
+    let elapsed = start.elapsed();
+    let mean_ns = elapsed.as_nanos() as f64 / ITERS as f64;
+    let doc = obj(vec![
+        ("bench", Json::Str("engine_end_to_end_sweep_cell".into())),
+        ("app", Json::Str("fft-tiny".into())),
+        (
+            "configs",
+            vec![
+                "CORD-D16".to_string(),
+                "Ideal".to_string(),
+                "L2Cache(VC)".to_string(),
+            ]
+            .to_json(),
+        ),
+        ("iters", ITERS.to_json()),
+        ("mean_ns_per_cell", mean_ns.to_json()),
+        ("cells_per_sec", (1e9 / mean_ns).to_json()),
+    ]);
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(out, doc.to_string_pretty())?;
+    println!("engine end-to-end: {:.3} ms/cell", mean_ns / 1e6);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let res = match args.as_slice() {
+        [flag, path] if flag == "--bench" => run_bench(Path::new(path)),
+        [out_dir] => run_guard(Path::new(out_dir)),
+        _ => {
+            eprintln!("usage: refactor_guard OUT_DIR | refactor_guard --bench BENCH.json");
+            return ExitCode::FAILURE;
+        }
+    };
+    match res {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("refactor_guard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

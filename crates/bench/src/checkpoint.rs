@@ -1,8 +1,11 @@
 //! Checkpoint/resume for injection sweeps.
 //!
 //! A full sweep is minutes of simulation; losing it to a crash or a
-//! ^C near the end means starting over. [`sweep_all_checkpointed`]
-//! serializes the partial [`SweepResults`] to a JSON checkpoint after
+//! ^C near the end means starting over. A
+//! [`SweepRunner`](crate::runner::SweepRunner) with a
+//! [`checkpoint`](crate::runner::SweepRunner::checkpoint) path
+//! serializes the partial [`SweepResults`](crate::sweep::SweepResults)
+//! to a JSON checkpoint after
 //! every completed [`AppSweep`], keyed by a hash of the sweep options
 //! and configuration set; a restart with the same parameters loads the
 //! checkpoint and skips the apps already swept. Because every run is
@@ -20,8 +23,7 @@
 //! ```
 
 use crate::configs::DetectorConfig;
-use crate::runner::SweepRunner;
-use crate::sweep::{AppSweep, SweepOptions, SweepResults};
+use crate::sweep::{AppSweep, SweepOptions};
 use cord_json::{obj, FromJson, Json, ToJson};
 use std::io;
 use std::path::Path;
@@ -89,27 +91,6 @@ impl Checkpoint {
         std::fs::write(&tmp, self.to_json().to_string_pretty())?;
         std::fs::rename(&tmp, path)
     }
-}
-
-/// [`sweep_all`](crate::sweep::sweep_all) with checkpoint/resume: loads
-/// `checkpoint` if it matches the options, skips apps already swept,
-/// and rewrites the checkpoint after each app. The result is
-/// bit-identical to an uninterrupted sweep with the same parameters.
-///
-/// # Errors
-///
-/// Returns the I/O error if a checkpoint write fails (simulation
-/// results are never silently dropped).
-#[deprecated(
-    since = "0.2.0",
-    note = "use SweepRunner::new(opts).checkpoint(path).run(configs)"
-)]
-pub fn sweep_all_checkpointed(
-    configs: &[DetectorConfig],
-    opts: &SweepOptions,
-    checkpoint: &Path,
-) -> io::Result<SweepResults> {
-    SweepRunner::new(*opts).checkpoint(checkpoint).run(configs)
 }
 
 #[cfg(test)]

@@ -2,8 +2,12 @@
 
 use cord_core::{CordConfig, CordDetector, Detector};
 use cord_detectors::{IdealDetector, VcConfig, VcLimitedDetector};
+use cord_obs::{MetricsRegistry, TraceHandle};
 use cord_sim::config::MachineConfig;
-use cord_sim::observer::{AccessEvent, MemoryObserver, ObserverOutcome};
+use cord_sim::observer::{
+    AccessEvent, CoreId, Level, LineRemoval, MemoryObserver, ObserverOutcome,
+};
+use cord_trace::types::{LineAddr, ThreadId};
 
 /// A named detector configuration from the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,35 +79,51 @@ impl DetectorConfig {
         }
     }
 
-    /// Builds the detector this configuration names, ready to attach to
-    /// a machine with `cores` cores running a `threads`-thread
-    /// workload. This is the single construction point every sweep and
-    /// figure goes through — adding a detector means adding a variant
-    /// here, not touching each call site.
+    /// Constructs the detector this configuration names as the concrete
+    /// [`DetectorEnum`], ready to attach to a machine with `cores` cores
+    /// running a `threads`-thread workload. This is the single
+    /// construction point every sweep and figure goes through — adding a
+    /// detector means adding a variant here, not touching each call
+    /// site. The sweep hot path runs `Machine<DetectorEnum>`, so every
+    /// observer callback dispatches through one match instead of a
+    /// vtable.
     ///
     /// `seed` is the run's scheduling seed; real detectors ignore it,
     /// but [`DetectorConfig::PanicProbe`] uses its parity to decide
     /// whether to fault (odd seeds panic at the first observed access,
     /// or at run end if nothing was observed).
-    pub fn build(&self, threads: usize, cores: usize, seed: u64) -> Box<dyn Detector> {
+    pub fn dispatch(&self, threads: usize, cores: usize, seed: u64) -> DetectorEnum {
         match *self {
             DetectorConfig::Cord { d } => {
-                Box::new(CordDetector::new(CordConfig::with_d(d), threads, cores))
+                DetectorEnum::Cord(CordDetector::new(CordConfig::with_d(d), threads, cores))
             }
-            DetectorConfig::Ideal => Box::new(IdealDetector::new(threads)),
-            DetectorConfig::VcInfCache => Box::new(VcLimitedDetector::new(
+            DetectorConfig::Ideal => DetectorEnum::Ideal(IdealDetector::new(threads)),
+            DetectorConfig::VcInfCache => DetectorEnum::VcLimited(VcLimitedDetector::new(
                 VcConfig::inf_cache(),
                 threads,
                 cores,
             )),
-            DetectorConfig::VcL2Cache => {
-                Box::new(VcLimitedDetector::new(VcConfig::l2_cache(), threads, cores))
-            }
-            DetectorConfig::VcL1Cache => {
-                Box::new(VcLimitedDetector::new(VcConfig::l1_cache(), threads, cores))
-            }
-            DetectorConfig::PanicProbe => Box::new(PanicProbeDetector { seed }),
+            DetectorConfig::VcL2Cache => DetectorEnum::VcLimited(VcLimitedDetector::new(
+                VcConfig::l2_cache(),
+                threads,
+                cores,
+            )),
+            DetectorConfig::VcL1Cache => DetectorEnum::VcLimited(VcLimitedDetector::new(
+                VcConfig::l1_cache(),
+                threads,
+                cores,
+            )),
+            DetectorConfig::PanicProbe => DetectorEnum::PanicProbe(PanicProbeDetector { seed }),
         }
+    }
+
+    /// [`DetectorConfig::dispatch`] behind the object-safe session-API
+    /// edge: callers that store heterogeneous detectors (the experiment
+    /// harness, external consumers) get a box; the sweep inner loop
+    /// uses [`DetectorConfig::dispatch`] directly and stays
+    /// monomorphized.
+    pub fn build(&self, threads: usize, cores: usize, seed: u64) -> Box<dyn Detector> {
+        Box::new(self.dispatch(threads, cores, seed))
     }
 
     /// Every configuration any figure needs, so one sweep serves all of
@@ -121,6 +141,101 @@ impl DetectorConfig {
     }
 }
 
+/// Every detector a [`DetectorConfig`] can name, as one concrete type.
+///
+/// `Machine<DetectorEnum>` is what the sweep's (app × run) inner loop
+/// executes: the observer callbacks on the per-access hot path compile
+/// to a jump over this enum's variants instead of virtual calls through
+/// `Box<dyn Detector>`, which stays confined to the session-API edge
+/// ([`DetectorConfig::build`]).
+#[derive(Debug)]
+pub enum DetectorEnum {
+    /// A [`CordDetector`] (any `D`).
+    Cord(CordDetector),
+    /// The [`IdealDetector`] oracle.
+    Ideal(IdealDetector),
+    /// A [`VcLimitedDetector`] (InfCache / L2Cache / L1Cache).
+    VcLimited(VcLimitedDetector),
+    /// The fault-injection probe.
+    PanicProbe(PanicProbeDetector),
+}
+
+impl MemoryObserver for DetectorEnum {
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        match self {
+            DetectorEnum::Cord(d) => d.on_access(ev),
+            DetectorEnum::Ideal(d) => d.on_access(ev),
+            DetectorEnum::VcLimited(d) => d.on_access(ev),
+            DetectorEnum::PanicProbe(d) => d.on_access(ev),
+        }
+    }
+
+    fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        match self {
+            DetectorEnum::Cord(d) => d.on_line_filled(core, level, line),
+            DetectorEnum::Ideal(d) => d.on_line_filled(core, level, line),
+            DetectorEnum::VcLimited(d) => d.on_line_filled(core, level, line),
+            DetectorEnum::PanicProbe(d) => d.on_line_filled(core, level, line),
+        }
+    }
+
+    fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        match self {
+            DetectorEnum::Cord(d) => d.on_line_removed(removal),
+            DetectorEnum::Ideal(d) => d.on_line_removed(removal),
+            DetectorEnum::VcLimited(d) => d.on_line_removed(removal),
+            DetectorEnum::PanicProbe(d) => d.on_line_removed(removal),
+        }
+    }
+
+    fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        match self {
+            DetectorEnum::Cord(d) => d.on_thread_migrated(thread, from, to),
+            DetectorEnum::Ideal(d) => d.on_thread_migrated(thread, from, to),
+            DetectorEnum::VcLimited(d) => d.on_thread_migrated(thread, from, to),
+            DetectorEnum::PanicProbe(d) => d.on_thread_migrated(thread, from, to),
+        }
+    }
+
+    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
+        match self {
+            DetectorEnum::Cord(d) => d.on_run_end(final_instr_counts),
+            DetectorEnum::Ideal(d) => d.on_run_end(final_instr_counts),
+            DetectorEnum::VcLimited(d) => d.on_run_end(final_instr_counts),
+            DetectorEnum::PanicProbe(d) => d.on_run_end(final_instr_counts),
+        }
+    }
+}
+
+impl Detector for DetectorEnum {
+    fn race_count(&self) -> u64 {
+        match self {
+            DetectorEnum::Cord(d) => d.race_count(),
+            DetectorEnum::Ideal(d) => d.race_count(),
+            DetectorEnum::VcLimited(d) => d.race_count(),
+            DetectorEnum::PanicProbe(d) => d.race_count(),
+        }
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        match self {
+            DetectorEnum::Cord(d) => d.set_trace(trace),
+            DetectorEnum::Ideal(d) => d.set_trace(trace),
+            DetectorEnum::VcLimited(d) => d.set_trace(trace),
+            DetectorEnum::PanicProbe(d) => d.set_trace(trace),
+        }
+    }
+
+    fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        match self {
+            DetectorEnum::Cord(d) => d.record_metrics(reg),
+            DetectorEnum::Ideal(d) => d.record_metrics(reg),
+            DetectorEnum::VcLimited(d) => d.record_metrics(reg),
+            DetectorEnum::PanicProbe(d) => d.record_metrics(reg),
+        }
+    }
+}
+
 /// The deliberately faulty detector behind
 /// [`DetectorConfig::PanicProbe`]: odd-seeded runs panic at the first
 /// observed access — or at run end, for workloads with no observed
@@ -128,7 +243,7 @@ impl DetectorConfig {
 /// per-job panic boundary); even-seeded runs observe everything and
 /// report zero races.
 #[derive(Debug, Clone, Copy)]
-struct PanicProbeDetector {
+pub struct PanicProbeDetector {
     seed: u64,
 }
 

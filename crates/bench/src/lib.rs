@@ -34,9 +34,7 @@ pub(crate) mod obs;
 pub mod runner;
 pub mod sweep;
 
-#[allow(deprecated)]
-pub use checkpoint::sweep_all_checkpointed;
 pub use checkpoint::{options_hash, Checkpoint};
-pub use configs::DetectorConfig;
+pub use configs::{DetectorConfig, DetectorEnum};
 pub use runner::{SweepProgress, SweepRunner};
 pub use sweep::{AppSweep, RunRecord, RunStatus, SweepOptions, SweepResults};

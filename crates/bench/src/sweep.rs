@@ -10,7 +10,7 @@
 
 use crate::configs::DetectorConfig;
 use crate::obs::ObsSink;
-use crate::runner::SweepRunner;
+use cord_core::Detector;
 use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
 use cord_obs::{MetricsRegistry, TraceHandle};
@@ -328,30 +328,6 @@ impl SweepResults {
     }
 }
 
-/// Runs one detector configuration on one injected run and returns its
-/// detection.
-///
-/// # Errors
-///
-/// Returns the [`SimError`] when the machine aborts — expected for
-/// release-side removals, which strand their waiters.
-///
-/// # Panics
-///
-/// [`DetectorConfig::PanicProbe`] panics by design; the sweep's
-/// per-run `catch_unwind` boundary turns it into
-/// [`RunStatus::Panicked`].
-#[deprecated(since = "0.2.0", note = "use SweepRunner::run_detector instead")]
-pub fn run_config(
-    config: DetectorConfig,
-    workload: &Workload,
-    seed: u64,
-    plan: InjectionPlan,
-    opts: &SweepOptions,
-) -> Result<Detection, SimError> {
-    run_config_impl(config, workload, seed, plan, opts, None)
-}
-
 /// Observability context for one sweep cell: where traces and metrics
 /// from this (app, run) land, threaded from the runner down into
 /// [`run_config_impl`]. `None` everywhere keeps the zero-overhead
@@ -366,10 +342,13 @@ pub(crate) struct RunObsCtx<'a> {
     pub run_index: usize,
 }
 
-/// Shared implementation behind [`run_config`] and
-/// [`SweepRunner::run_detector`]: build the configuration's detector
-/// through [`DetectorConfig::build`], run it on the configuration's
-/// machine under the sweep's watchdog, and count what it found.
+/// Shared implementation behind
+/// [`SweepRunner::run_detector`](crate::runner::SweepRunner::run_detector):
+/// construct the configuration's detector through
+/// [`DetectorConfig::dispatch`], run it on the configuration's machine
+/// under the sweep's watchdog, and count what it found. The machine is
+/// `Machine<DetectorEnum>`, so the whole (app × run) inner loop is
+/// monomorphized — no virtual dispatch per access.
 ///
 /// With `obs` set, the machine and detector share a bounded trace ring
 /// whose snapshot is written per cell, and the run's simulator and
@@ -385,7 +364,7 @@ pub(crate) fn run_config_impl(
     obs: Option<RunObsCtx<'_>>,
 ) -> Result<Detection, SimError> {
     let machine = opts.machine_for(config);
-    let mut det = config.build(workload.num_threads(), machine.cores, seed);
+    let mut det = config.dispatch(workload.num_threads(), machine.cores, seed);
     let trace = match obs {
         Some(o) if o.sink.tracing() => {
             let h = TraceHandle::bounded(o.sink.trace_capacity());
@@ -474,19 +453,6 @@ pub fn run_seed(opts: &SweepOptions, i: usize) -> u64 {
         .wrapping_add(i as u64)
 }
 
-/// Re-executes one recorded run exactly as the sweep did — used to
-/// check that a non-completed run's failure is deterministic.
-#[deprecated(since = "0.2.0", note = "use SweepRunner::rerun instead")]
-pub fn rerun_record(
-    app: AppKind,
-    target: InjectionTarget,
-    run_index: usize,
-    configs: &[DetectorConfig],
-    opts: &SweepOptions,
-) -> RunRecord {
-    SweepRunner::new(*opts).rerun(app, target, run_index, configs)
-}
-
 /// Builds the workload one sweep run of `app` executes (scale, threads,
 /// and base seed from the options).
 pub(crate) fn sweep_workload(app: AppKind, opts: &SweepOptions) -> Workload {
@@ -521,22 +487,6 @@ pub(crate) fn plan_campaign(
         )
     };
     campaign.map_err(|e| e.to_string())
-}
-
-/// Sweeps one application across all `configs`.
-#[deprecated(since = "0.2.0", note = "use SweepRunner::run_app instead")]
-pub fn sweep_app(app: AppKind, configs: &[DetectorConfig], opts: &SweepOptions) -> AppSweep {
-    SweepRunner::new(*opts).run_app(app, configs)
-}
-
-/// Sweeps every Table-1 application.
-#[deprecated(since = "0.2.0", note = "use SweepRunner::run instead")]
-pub fn sweep_all(configs: &[DetectorConfig], opts: &SweepOptions) -> SweepResults {
-    SweepRunner::new(*opts).run(configs).unwrap_or_else(|e| {
-        // Unreachable: without a checkpoint path the runner performs no
-        // file I/O, which is the only error source.
-        panic!("checkpoint-less sweep cannot fail: {e}")
-    })
 }
 
 // ---------------------------------------------------------------------
@@ -722,6 +672,7 @@ impl FromJson for SweepResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::SweepRunner;
 
     fn quick_opts() -> SweepOptions {
         SweepOptions {
@@ -749,17 +700,6 @@ mod tests {
             assert_eq!(r.status, RunStatus::Completed);
             assert!(r.detections.contains_key("CORD-D16"));
         }
-    }
-
-    #[test]
-    fn deprecated_shims_match_runner_output() {
-        // The old free functions are kept as thin shims; they must stay
-        // byte-for-byte equivalent to the session API they wrap.
-        let configs = [DetectorConfig::Cord { d: 16 }];
-        let s = runner().run_app(AppKind::WaterN2, &configs);
-        #[allow(deprecated)]
-        let old = sweep_app(AppKind::WaterN2, &configs, &quick_opts());
-        assert_eq!(s, old);
     }
 
     #[test]

@@ -178,13 +178,6 @@ fn checkpointed_sweep_resumes_bit_identically() {
         .expect("resumed sweep");
     assert_eq!(resumed, uninterrupted);
 
-    // The deprecated free-function shim must behave identically to the
-    // session API it wraps.
-    #[allow(deprecated)]
-    let via_shim = cord_bench::checkpoint::sweep_all_checkpointed(&configs, &opts, &resumed_path)
-        .expect("shim sweep");
-    assert_eq!(via_shim, uninterrupted);
-
     // A stale checkpoint (different options) must be ignored, not
     // resumed: the sweep still matches the uninterrupted result.
     let stale_path = dir.join("stale.json");

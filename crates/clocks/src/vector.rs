@@ -90,6 +90,14 @@ impl VectorClock {
         self.components[tid] += 1;
     }
 
+    /// Overwrites `self` with `other`'s components, reusing `self`'s
+    /// existing allocation. Semantically `*self = other.clone()` without
+    /// the heap round-trip — detectors use this to refresh per-word
+    /// shadow stamps on the access hot path.
+    pub fn assign(&mut self, other: &VectorClock) {
+        self.components.clone_from(&other.components);
+    }
+
     /// Joins (componentwise max) `other` into `self` — the "receive"
     /// operation that propagates causality.
     ///

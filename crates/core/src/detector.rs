@@ -26,6 +26,7 @@ use crate::config::CordConfig;
 use crate::history::LineHistory;
 use crate::memts::MemTimestamps;
 use crate::record::OrderRecorder;
+use crate::shadow::LineTable;
 use cord_clocks::scalar::ScalarTime;
 use cord_clocks::window16::WINDOW;
 use cord_obs::{EventKind, MetricsRegistry, TraceEvent, TraceHandle, NO_THREAD};
@@ -34,7 +35,7 @@ use cord_sim::observer::{
     RemovalCause,
 };
 use cord_trace::types::{Addr, LineAddr, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A detected data race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,8 +128,9 @@ pub struct CordDetector {
     cfg: CordConfig,
     clocks: Vec<ScalarTime>,
     last_instr: Vec<u64>,
-    /// Per core: CORD state of L2-resident lines.
-    hist: Vec<HashMap<LineAddr, LineHistory<ScalarTime>>>,
+    /// Per core: CORD state of L2-resident lines, indexed by the dense
+    /// interleaved line index (no hashing on the access path).
+    hist: Vec<LineTable<LineHistory<ScalarTime>>>,
     memts: MemTimestamps,
     /// Largest stamp each core's cache has recorded; a thread scheduled
     /// onto a core orders after this (co-resident threads' conflicts
@@ -160,7 +162,7 @@ impl CordDetector {
             cfg,
             clocks: vec![Self::INITIAL_CLOCK; threads],
             last_instr: vec![0; threads],
-            hist: (0..cores).map(|_| HashMap::new()).collect(),
+            hist: (0..cores).map(|_| LineTable::new()).collect(),
             memts: MemTimestamps::new(),
             core_max_stamp: vec![ScalarTime::ZERO; cores],
             recorder: OrderRecorder::starting_at(threads, Self::INITIAL_CLOCK),
@@ -388,7 +390,7 @@ impl MemoryObserver for CordDetector {
         // filter bit or the word's own access bit says it's covered.
         let mut need_remote_check = ev.path.has_bus_transaction();
         if !need_remote_check && self.cfg.drd {
-            let h = self.hist[my_core].entry(line).or_default();
+            let h = self.hist[my_core].entry_or_default(line);
             if self.cfg.check_filters && h.filter_allows(is_write) {
                 self.stats.filter_hits += 1;
             } else {
@@ -423,7 +425,7 @@ impl MemoryObserver for CordDetector {
                 if core == my_core {
                     continue;
                 }
-                let Some(h) = self.hist[core].get(&line) else {
+                let Some(h) = self.hist[core].get(line) else {
                     continue;
                 };
                 let mut max_conflict_ts: Option<ScalarTime> = None;
@@ -483,7 +485,7 @@ impl MemoryObserver for CordDetector {
             // bits").
             for core in 0..self.hist.len() {
                 if core != my_core {
-                    if let Some(h) = self.hist[core].get_mut(&line) {
+                    if let Some(h) = self.hist[core].get_mut(line) {
                         h.write_filter = false;
                         if is_write {
                             h.read_filter = false;
@@ -578,7 +580,7 @@ impl MemoryObserver for CordDetector {
         // -- 6. Update the local line history; displacement removes the
         // lower timestamp (§2.7.2) and folds it into memory (§2.5).
         let ts_per_line = self.cfg.ts_per_line;
-        let h = self.hist[my_core].entry(line).or_default();
+        let h = self.hist[my_core].entry_or_default(line);
         let displaced = if h.newest().map(|e| e.stamp) == Some(stamp) {
             None
         } else {
@@ -592,7 +594,7 @@ impl MemoryObserver for CordDetector {
             if old.any_written() {
                 let stamp = old.stamp;
                 self.hist[my_core]
-                    .get_mut(&line)
+                    .get_mut(line)
                     .expect("line history just touched")
                     .note_shed_write(stamp);
             }
@@ -613,7 +615,7 @@ impl MemoryObserver for CordDetector {
         if need_remote_check && self.cfg.check_filters {
             let clk_now = self.clocks[t].max(new_clk);
             let line_clear = (0..self.hist.len()).filter(|&c| c != my_core).all(|c| {
-                match self.hist[c].get(&line) {
+                match self.hist[c].get(line) {
                     None => true,
                     Some(h) => h.entries().iter().all(|e| {
                         let conflicts = if is_write {
@@ -626,7 +628,7 @@ impl MemoryObserver for CordDetector {
                 }
             });
             if line_clear {
-                let h = self.hist[my_core].entry(line).or_default();
+                let h = self.hist[my_core].entry_or_default(line);
                 h.grant_filter(is_write);
                 self.stats.filter_grants += 1;
             }
@@ -670,7 +672,7 @@ impl MemoryObserver for CordDetector {
         if removal.level != Level::L2 {
             return ObserverOutcome::NONE;
         }
-        let Some(mut h) = self.hist[removal.core.index()].remove(&removal.line) else {
+        let Some(mut h) = self.hist[removal.core.index()].remove(removal.line) else {
             return ObserverOutcome::NONE;
         };
         let entries = h.drain();
@@ -1086,7 +1088,7 @@ mod tests {
             let mut det = CordDetector::new(CordConfig::paper(), 2, 4);
             det.clocks[0] = ScalarTime::new(39_990);
             det.clocks[1] = ScalarTime::new(40_000); // stamped the live entry
-            let h = det.hist[1].entry(line_addr.line()).or_default();
+            let h = det.hist[1].entry_or_default(line_addr.line());
             h.push_stamp(ScalarTime::new(10), 2); // stale: < 39_990 - WINDOW/2
             h.newest_mut().unwrap().set(0, true);
             h.push_stamp(ScalarTime::new(39_995), 2); // live
@@ -1099,9 +1101,7 @@ mod tests {
         let mut unwalked = setup();
         walked.walk();
 
-        let h = walked.hist[1]
-            .get(&line_addr.line())
-            .expect("line resident");
+        let h = walked.hist[1].get(line_addr.line()).expect("line resident");
         assert_eq!(h.entries().len(), 1);
         assert_eq!(h.newest().unwrap().stamp, ScalarTime::new(39_995));
         assert!(h.newest().unwrap().written(1), "surviving bits intact");

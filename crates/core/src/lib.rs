@@ -12,6 +12,9 @@
 //! * [`detector`] — the CORD detector: clock comparisons, race-check
 //!   broadcasts, the D-window DRD rule, migration handling, and the
 //!   cache walker (§2.4, §2.6, §2.7).
+//! * [`shadow`] — dense shadow-state storage ([`ShadowSpace`] /
+//!   [`LineTable`]) keyed by the interleaved line index, replacing
+//!   per-access `HashMap` probes with vector indexing.
 //! * [`record`] — the 8-bytes-per-entry order log (§2.7.1).
 //! * [`replay`] — deterministic replay from the log with outcome
 //!   verification (§3.3).
@@ -53,6 +56,7 @@ pub mod logfmt;
 pub mod memts;
 pub mod record;
 pub mod replay;
+pub mod shadow;
 
 pub use config::CordConfig;
 pub use detector::{CordDetector, CordStats, Detector, RaceReport};
@@ -65,6 +69,7 @@ pub use record::{LogEntry, OrderRecorder, LOG_ENTRY_BYTES};
 pub use replay::{
     replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport,
 };
+pub use shadow::{LineTable, ShadowSpace};
 
 /// One-stop imports for experiment code.
 ///

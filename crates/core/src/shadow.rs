@@ -1,0 +1,277 @@
+//! Dense shadow-state storage keyed by
+//! [`dense_line_index`](cord_trace::layout::dense_line_index).
+//!
+//! Every per-access structure in the detector stack — CORD's per-core
+//! line histories, the comparison detectors' word shadow state — used
+//! to live in `HashMap`s probed on the hot path. The workload address
+//! space is two compact bands (data heap + sync region), so the dense
+//! interleaved line index turns each of those probes into a vector
+//! index. [`ShadowSpace`] is the flat auto-growing store; [`LineTable`]
+//! wraps it with a `HashMap`-shaped API keyed by `LineAddr` so call
+//! sites stay readable.
+//!
+//! Iteration walks slots in dense-index order, which is deterministic —
+//! unlike `HashMap` iteration — and only runs on cold paths (the cache
+//! walker, end-of-run accounting), never per access.
+
+use cord_trace::layout::dense_line_index;
+use cord_trace::types::LineAddr;
+
+/// A flat, auto-growing map from small dense indices to `T`.
+///
+/// `get`/`get_mut`/`insert`/`remove` are O(1) vector indexing;
+/// iteration is O(capacity) over the slot vector in index order.
+#[derive(Debug, Clone)]
+pub struct ShadowSpace<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for ShadowSpace<T> {
+    fn default() -> Self {
+        ShadowSpace {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> ShadowSpace<T> {
+    /// An empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty space pre-sized for indices `0..capacity` (e.g. from
+    /// [`DenseLineMap::line_capacity`](cord_trace::layout::DenseLineMap)).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(capacity, || None);
+        ShadowSpace { slots, len: 0 }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `index`, if present.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.slots.get(index).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the value at `index`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.slots.get_mut(index).and_then(Option::as_mut)
+    }
+
+    /// Inserts `value` at `index`, returning the previous occupant.
+    #[inline]
+    pub fn insert(&mut self, index: usize, value: T) -> Option<T> {
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        let prev = self.slots[index].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value at `index`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> Option<T> {
+        let v = self.slots.get_mut(index).and_then(Option::take);
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// The slot at `index`, inserting `T::default()` if vacant.
+    #[inline]
+    pub fn entry_or_default(&mut self, index: usize) -> &mut T
+    where
+        T: Default,
+    {
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        if self.slots[index].is_none() {
+            self.slots[index] = Some(T::default());
+            self.len += 1;
+        }
+        self.slots[index].as_mut().expect("slot just filled")
+    }
+
+    /// Iterates occupied slots as `(index, &value)` in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
+    /// Iterates occupied slots mutably in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (i, v)))
+    }
+
+    /// Iterates occupied values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates occupied values mutably in index order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+}
+
+/// [`ShadowSpace`] keyed directly by [`LineAddr`] via the dense
+/// interleaved index — a drop-in replacement for
+/// `HashMap<LineAddr, T>` on the per-access path.
+#[derive(Debug, Clone, Default)]
+pub struct LineTable<T> {
+    space: ShadowSpace<T>,
+}
+
+impl<T> LineTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        LineTable {
+            space: ShadowSpace::new(),
+        }
+    }
+
+    /// An empty table pre-sized for `line_capacity` dense line indices.
+    pub fn with_capacity(line_capacity: usize) -> Self {
+        LineTable {
+            space: ShadowSpace::with_capacity(line_capacity),
+        }
+    }
+
+    /// Number of lines with shadow state.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// `true` if no line has shadow state.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// The state for `line`, if present.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&T> {
+        self.space.get(dense_line_index(line))
+    }
+
+    /// Mutable state for `line`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        self.space.get_mut(dense_line_index(line))
+    }
+
+    /// Inserts state for `line`, returning the previous occupant.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr, value: T) -> Option<T> {
+        self.space.insert(dense_line_index(line), value)
+    }
+
+    /// Removes and returns the state for `line`.
+    #[inline]
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        self.space.remove(dense_line_index(line))
+    }
+
+    /// The state for `line`, inserting `T::default()` if vacant.
+    #[inline]
+    pub fn entry_or_default(&mut self, line: LineAddr) -> &mut T
+    where
+        T: Default,
+    {
+        self.space.entry_or_default(dense_line_index(line))
+    }
+
+    /// Iterates present values in dense-index order (deterministic).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.space.values()
+    }
+
+    /// Iterates present values mutably in dense-index order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.space.values_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_trace::layout::SYNC_BASE_LINE;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: ShadowSpace<u32> = ShadowSpace::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(5, 7), None);
+        assert_eq!(s.insert(5, 9), Some(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(5), Some(&9));
+        assert_eq!(s.get(4), None);
+        assert_eq!(s.remove(5), Some(9));
+        assert_eq!(s.remove(5), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn entry_or_default_inserts_once() {
+        let mut s: ShadowSpace<Vec<u8>> = ShadowSpace::new();
+        s.entry_or_default(3).push(1);
+        s.entry_or_default(3).push(2);
+        assert_eq!(s.get(3), Some(&vec![1, 2]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_index_ordered() {
+        let mut s: ShadowSpace<&str> = ShadowSpace::with_capacity(2);
+        s.insert(9, "c");
+        s.insert(0, "a");
+        s.insert(4, "b");
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(0, &"a"), (4, &"b"), (9, &"c")]);
+    }
+
+    #[test]
+    fn line_table_separates_bands() {
+        let mut t: LineTable<u64> = LineTable::new();
+        t.insert(LineAddr(0), 10);
+        t.insert(LineAddr(SYNC_BASE_LINE), 20);
+        assert_eq!(t.get(LineAddr(0)), Some(&10));
+        assert_eq!(t.get(LineAddr(SYNC_BASE_LINE)), Some(&20));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(LineAddr(0)), Some(10));
+        assert_eq!(t.get(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn line_table_values_deterministic() {
+        let mut t: LineTable<u64> = LineTable::new();
+        for l in [7u64, 3, 5, 1] {
+            t.insert(LineAddr(l), l);
+        }
+        let vals: Vec<u64> = t.values().copied().collect();
+        assert_eq!(vals, vec![1, 3, 5, 7]);
+    }
+}

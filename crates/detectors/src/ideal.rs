@@ -24,9 +24,11 @@
 //! oracle must keep detecting the later races a problem causes.
 
 use cord_clocks::vector::VectorClock;
+use cord_core::ShadowSpace;
 use cord_sim::observer::{AccessEvent, AccessKind, MemoryObserver, ObserverOutcome};
+use cord_trace::layout::dense_word_index;
 use cord_trace::types::{Addr, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A data race found by the oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,19 +49,23 @@ pub struct IdealRace {
 
 #[derive(Debug, Clone, Default)]
 struct WordHistory {
-    /// Per-thread (vector time of last read, version counter).
-    last_read: HashMap<u16, (VectorClock, u64)>,
-    /// Per-thread (vector time of last write, version counter).
-    last_write: HashMap<u16, (VectorClock, u64)>,
+    /// Per-thread (vector time of last read, version counter), indexed
+    /// by thread.
+    last_read: ShadowSpace<(VectorClock, u64)>,
+    /// Per-thread (vector time of last write, version counter), indexed
+    /// by thread.
+    last_write: ShadowSpace<(VectorClock, u64)>,
 }
 
 /// The Ideal oracle detector.
 #[derive(Debug)]
 pub struct IdealDetector {
     vcs: Vec<VectorClock>,
-    words: HashMap<u64, WordHistory>,
-    /// Last synchronization-write clock per sync word.
-    release: HashMap<u64, VectorClock>,
+    /// Per-word shadow histories, indexed by the dense word index.
+    words: ShadowSpace<WordHistory>,
+    /// Last synchronization-write clock per sync word, indexed by the
+    /// dense word index.
+    release: ShadowSpace<VectorClock>,
     races: Vec<IdealRace>,
     reported: HashSet<(u16, u64, u16, u64, bool)>,
     next_version: u64,
@@ -79,8 +85,8 @@ impl IdealDetector {
                     vc
                 })
                 .collect(),
-            words: HashMap::new(),
-            release: HashMap::new(),
+            words: ShadowSpace::new(),
+            release: ShadowSpace::new(),
             races: Vec::new(),
             reported: HashSet::new(),
             next_version: 0,
@@ -145,47 +151,60 @@ impl MemoryObserver for IdealDetector {
         let t = ev.thread.index();
         match ev.kind {
             AccessKind::SyncWrite => {
-                self.release.insert(ev.addr.byte(), self.vcs[t].clone());
+                let w = dense_word_index(ev.addr);
+                match self.release.get_mut(w) {
+                    Some(rel) => rel.assign(&self.vcs[t]),
+                    None => {
+                        self.release.insert(w, self.vcs[t].clone());
+                    }
+                }
                 self.vcs[t].tick(t);
             }
             AccessKind::SyncRead => {
-                if let Some(rel) = self.release.get(&ev.addr.byte()) {
-                    let rel = rel.clone();
-                    self.vcs[t].join(&rel);
+                if let Some(rel) = self.release.get(dense_word_index(ev.addr)) {
+                    self.vcs[t].join(rel);
                 }
             }
             AccessKind::DataRead | AccessKind::DataWrite => {
                 let is_write = ev.kind == AccessKind::DataWrite;
+                self.next_version += 1;
+                let version = self.next_version;
                 // A write races with concurrent reads and writes; a read
                 // races with concurrent writes only.
                 let mut found: Vec<(u16, u64, bool)> = Vec::new();
-                if let Some(hist) = self.words.get(&ev.addr.byte()) {
-                    let my_vc = &self.vcs[t];
-                    for (tid, (vc, version)) in &hist.last_write {
-                        if usize::from(*tid) != t && !vc.le(my_vc) {
-                            found.push((*tid, *version, true));
-                        }
-                    }
-                    if is_write {
-                        for (tid, (vc, version)) in &hist.last_read {
-                            if usize::from(*tid) != t && !vc.le(my_vc) {
-                                found.push((*tid, *version, false));
-                            }
-                        }
+                let my_vc = &self.vcs[t];
+                let hist = self.words.entry_or_default(dense_word_index(ev.addr));
+                for (tid, (vc, ver)) in hist.last_write.iter() {
+                    if tid != t && !vc.le(my_vc) {
+                        found.push((tid as u16, *ver, true));
                     }
                 }
-                for (tid, version, other_was_write) in found {
-                    self.report(ev, tid, version, other_was_write);
-                }
-                // Record this access as the thread's latest.
-                self.next_version += 1;
-                let version = self.next_version;
-                let me = self.vcs[t].clone();
-                let hist = self.words.entry(ev.addr.byte()).or_default();
                 if is_write {
-                    hist.last_write.insert(ev.thread.0, (me, version));
+                    for (tid, (vc, ver)) in hist.last_read.iter() {
+                        if tid != t && !vc.le(my_vc) {
+                            found.push((tid as u16, *ver, false));
+                        }
+                    }
+                }
+                // Record this access as the thread's latest, reusing the
+                // slot's clock allocation when the thread touched the
+                // word before.
+                let slot = if is_write {
+                    &mut hist.last_write
                 } else {
-                    hist.last_read.insert(ev.thread.0, (me, version));
+                    &mut hist.last_read
+                };
+                match slot.get_mut(t) {
+                    Some(entry) => {
+                        entry.0.assign(my_vc);
+                        entry.1 = version;
+                    }
+                    None => {
+                        slot.insert(t, (my_vc.clone(), version));
+                    }
+                }
+                for (tid, ver, other_was_write) in found {
+                    self.report(ev, tid, ver, other_was_write);
                 }
             }
         }

@@ -20,11 +20,12 @@
 
 use cord_clocks::vector::VectorClock;
 use cord_core::history::LineHistory;
+use cord_core::LineTable;
 use cord_sim::observer::{
     AccessEvent, AccessKind, CoreId, Level, LineRemoval, MemoryObserver, ObserverOutcome,
 };
 use cord_trace::types::{Addr, LineAddr, ThreadId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// How much cache backs the timestamp storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,22 +98,24 @@ pub struct VcRace {
 pub struct VcLimitedDetector {
     cfg: VcConfig,
     vcs: Vec<VectorClock>,
-    hist: Vec<HashMap<LineAddr, LineHistory<VectorClock>>>,
+    hist: Vec<LineTable<LineHistory<VectorClock>>>,
     mem_read_vc: VectorClock,
     mem_write_vc: VectorClock,
     races: Vec<VcRace>,
     reported: HashSet<(u16, u64, u8, u64)>,
-    stamp_versions: HashMap<(u8, u64), u64>,
+    /// Per core: version counter of the line's latest stamp, indexed by
+    /// the dense line index.
+    stamp_versions: Vec<LineTable<u64>>,
     /// Per-core running join of every stamp the core's cache recorded;
     /// a thread scheduled onto the core joins it (§2.7.4's "synchronize
     /// on migration", which "also applies to vector-clock schemes").
     core_join: Vec<VectorClock>,
-    /// Per (core, line): join of all *write-carrying* stamps displaced
+    /// Per core, per line: join of all *write-carrying* stamps displaced
     /// from that line's two-entry history while it stayed resident — the
     /// vector analogue of CORD's shed-write bound. A sync read must join
     /// this too, or a release displaced by spin-read stamps would be
     /// lost and lock-protected data would look concurrent.
-    shed_writes: HashMap<(u8, u64), VectorClock>,
+    shed_writes: Vec<LineTable<VectorClock>>,
     next_version: u64,
 }
 
@@ -131,14 +134,14 @@ impl VcLimitedDetector {
                     vc
                 })
                 .collect(),
-            hist: (0..cores).map(|_| HashMap::new()).collect(),
+            hist: (0..cores).map(|_| LineTable::new()).collect(),
             mem_read_vc: VectorClock::new(threads),
             mem_write_vc: VectorClock::new(threads),
             core_join: (0..cores).map(|_| VectorClock::new(threads)).collect(),
             races: Vec::new(),
             reported: HashSet::new(),
-            stamp_versions: HashMap::new(),
-            shed_writes: HashMap::new(),
+            stamp_versions: (0..cores).map(|_| LineTable::new()).collect(),
+            shed_writes: (0..cores).map(|_| LineTable::new()).collect(),
             next_version: 0,
         }
     }
@@ -203,7 +206,7 @@ impl MemoryObserver for VcLimitedDetector {
                 if core == my_core {
                     continue;
                 }
-                let Some(h) = self.hist[core].get(&line) else {
+                let Some(h) = self.hist[core].get(line) else {
                     continue;
                 };
                 for e in h.entries() {
@@ -213,11 +216,7 @@ impl MemoryObserver for VcLimitedDetector {
                     let sync_order = ev.kind == AccessKind::SyncRead;
                     if (conflict || sync_order) && !e.stamp.le(my_vc) {
                         if conflict && !is_sync {
-                            let version = self
-                                .stamp_versions
-                                .get(&(core as u8, line.0))
-                                .copied()
-                                .unwrap_or(0);
+                            let version = self.stamp_versions[core].get(line).copied().unwrap_or(0);
                             found.push((core as u8, version));
                         }
                         joins.push(e.stamp.clone());
@@ -225,7 +224,7 @@ impl MemoryObserver for VcLimitedDetector {
                 }
                 if ev.kind == AccessKind::SyncRead {
                     // ...plus any displaced release stamps.
-                    if let Some(shed) = self.shed_writes.get(&(core as u8, line.0)) {
+                    if let Some(shed) = self.shed_writes[core].get(line) {
                         if !shed.le(my_vc) {
                             joins.push(shed.clone());
                         }
@@ -275,35 +274,37 @@ impl MemoryObserver for VcLimitedDetector {
             }
         }
 
-        // -- Update local history with the (possibly joined) clock.
-        let stamp = self.vcs[t].clone();
+        // -- Update local history with the (possibly joined) clock. The
+        // clock is only cloned when a new stamp entry is actually
+        // pushed; repeat accesses under an unchanged clock stay
+        // allocation-free.
         let ts_per_line = if self.cfg.ts_per_line == usize::MAX {
             usize::MAX
         } else {
             self.cfg.ts_per_line
         };
-        let h = self.hist[my_core].entry(line).or_default();
-        let displaced = if h.newest().map(|e| &e.stamp) == Some(&stamp) {
+        let h = self.hist[my_core].entry_or_default(line);
+        let displaced = if h.newest().map(|e| &e.stamp) == Some(&self.vcs[t]) {
             None
         } else {
-            h.push_stamp(stamp, ts_per_line)
+            h.push_stamp(self.vcs[t].clone(), ts_per_line)
         };
         h.newest_mut().expect("just ensured").set(word, is_write);
-        let joined = self.vcs[t].clone();
-        self.core_join[my_core].join(&joined);
+        self.core_join[my_core].join(&self.vcs[t]);
         self.next_version += 1;
-        self.stamp_versions
-            .insert((my_core as u8, line.0), self.next_version);
+        self.stamp_versions[my_core].insert(line, self.next_version);
         if let Some(old) = displaced {
             if old.any_read() {
                 self.mem_read_vc.join(&old.stamp);
             }
             if old.any_written() {
                 self.mem_write_vc.join(&old.stamp);
-                self.shed_writes
-                    .entry((my_core as u8, line.0))
-                    .and_modify(|vc| vc.join(&old.stamp))
-                    .or_insert_with(|| old.stamp.clone());
+                match self.shed_writes[my_core].get_mut(line) {
+                    Some(vc) => vc.join(&old.stamp),
+                    None => {
+                        self.shed_writes[my_core].insert(line, old.stamp);
+                    }
+                }
             }
         }
 
@@ -335,8 +336,8 @@ impl MemoryObserver for VcLimitedDetector {
         if self.cfg.capacity == CapacityMode::Unlimited || !self.tracks_level(removal.level) {
             return ObserverOutcome::NONE;
         }
-        self.shed_writes.remove(&(removal.core.0, removal.line.0));
-        if let Some(mut h) = self.hist[removal.core.index()].remove(&removal.line) {
+        self.shed_writes[removal.core.index()].remove(removal.line);
+        if let Some(mut h) = self.hist[removal.core.index()].remove(removal.line) {
             // Capacity evictions fold into the memory vector timestamps;
             // invalidations are already covered by the requester's
             // response-tag join.

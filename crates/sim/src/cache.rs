@@ -53,17 +53,37 @@ pub struct Victim {
     pub state: Mesi,
 }
 
-/// Storage for the sets: dense for realistic caches, sparse for the
-/// paper's "infinite" configurations (eagerly allocating millions of
-/// empty sets would dominate run time).
+/// Storage for the sets: dense for realistic caches; a flat slot map for
+/// the paper's "infinite" configurations (eagerly allocating millions of
+/// *sets* would dominate run time, but a one-word-per-set index is cheap
+/// and keeps set lookup off the hash path); a hash map only for
+/// geometries too large even for the slot map.
 #[derive(Debug, Clone)]
 enum SetStore {
     Dense(Vec<Vec<Entry>>),
+    /// `slot_of_set[set]` is [`NO_SLOT`] until the set's first line
+    /// arrives, then an index into `sets`. The slot map itself grows
+    /// lazily to the highest touched set index (machines are built per
+    /// run, and eagerly zeroing megabytes of slots per construction
+    /// would dwarf the runs themselves); indices past its current
+    /// length are untouched sets. Slot allocation order follows first
+    /// touch; per-set entry order is identical to [`Dense`].
+    Mapped {
+        slot_of_set: Vec<u32>,
+        sets: Vec<Vec<Entry>>,
+    },
     Sparse(std::collections::HashMap<u64, Vec<Entry>>),
 }
 
-/// Above this set count the cache stores sets sparsely.
+/// Above this set count the cache stops pre-allocating a `Vec` per set.
 const SPARSE_THRESHOLD: u64 = 1 << 14;
+
+/// Above this set count even the flat slot map (4 bytes per set) is too
+/// large, and the cache falls back to hashed set lookup.
+const MAPPED_THRESHOLD: u64 = 1 << 22;
+
+/// Sentinel slot for a never-touched set in [`SetStore::Mapped`].
+const NO_SLOT: u32 = u32::MAX;
 
 /// One set-associative cache array.
 #[derive(Debug, Clone)]
@@ -76,10 +96,16 @@ pub struct Cache {
 impl Cache {
     /// An empty cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
-        let sets = if geometry.num_sets() > SPARSE_THRESHOLD {
-            SetStore::Sparse(std::collections::HashMap::new())
+        let num_sets = geometry.num_sets();
+        let sets = if num_sets <= SPARSE_THRESHOLD {
+            SetStore::Dense((0..num_sets).map(|_| Vec::new()).collect())
+        } else if num_sets <= MAPPED_THRESHOLD {
+            SetStore::Mapped {
+                slot_of_set: Vec::new(),
+                sets: Vec::new(),
+            }
         } else {
-            SetStore::Dense((0..geometry.num_sets()).map(|_| Vec::new()).collect())
+            SetStore::Sparse(std::collections::HashMap::new())
         };
         Cache {
             geometry,
@@ -97,6 +123,12 @@ impl Cache {
     fn set(&self, idx: u64) -> Option<&Vec<Entry>> {
         match &self.sets {
             SetStore::Dense(v) => Some(&v[idx as usize]),
+            SetStore::Mapped { slot_of_set, sets } => {
+                match slot_of_set.get(idx as usize).copied().unwrap_or(NO_SLOT) {
+                    NO_SLOT => None,
+                    slot => Some(&sets[slot as usize]),
+                }
+            }
             SetStore::Sparse(m) => m.get(&idx),
         }
     }
@@ -105,6 +137,18 @@ impl Cache {
     fn set_mut(&mut self, idx: u64) -> &mut Vec<Entry> {
         match &mut self.sets {
             SetStore::Dense(v) => &mut v[idx as usize],
+            SetStore::Mapped { slot_of_set, sets } => {
+                let i = idx as usize;
+                if i >= slot_of_set.len() {
+                    slot_of_set.resize(i + 1, NO_SLOT);
+                }
+                let slot = &mut slot_of_set[i];
+                if *slot == NO_SLOT {
+                    *slot = u32::try_from(sets.len()).expect("set slots fit in u32");
+                    sets.push(Vec::new());
+                }
+                &mut sets[*slot as usize]
+            }
             SetStore::Sparse(m) => m.entry(idx).or_default(),
         }
     }
@@ -198,28 +242,39 @@ impl Cache {
         let idx = self.set_index(line);
         let set = match &mut self.sets {
             SetStore::Dense(v) => &mut v[idx as usize],
+            SetStore::Mapped { slot_of_set, sets } => {
+                match slot_of_set.get(idx as usize).copied().unwrap_or(NO_SLOT) {
+                    NO_SLOT => return None,
+                    slot => &mut sets[slot as usize],
+                }
+            }
             SetStore::Sparse(m) => m.get_mut(&idx)?,
         };
         let pos = set.iter().position(|e| e.line == line)?;
         Some(set.swap_remove(pos).state)
     }
 
-    /// Iterates over all resident lines and their states.
-    pub fn lines(&self) -> Box<dyn Iterator<Item = (LineAddr, Mesi)> + '_> {
-        match &self.sets {
-            SetStore::Dense(v) => {
-                Box::new(v.iter().flat_map(|s| s.iter().map(|e| (e.line, e.state))))
-            }
-            SetStore::Sparse(m) => {
-                Box::new(m.values().flat_map(|s| s.iter().map(|e| (e.line, e.state))))
-            }
-        }
+    /// Iterates over all resident lines and their states. Iteration
+    /// order depends on the backing store; callers must not rely on it.
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, Mesi)> + '_ {
+        let (dense, mapped, sparse) = match &self.sets {
+            SetStore::Dense(v) => (Some(v.iter()), None, None),
+            SetStore::Mapped { sets, .. } => (None, Some(sets.iter()), None),
+            SetStore::Sparse(m) => (None, None, Some(m.values())),
+        };
+        dense
+            .into_iter()
+            .flatten()
+            .chain(mapped.into_iter().flatten())
+            .chain(sparse.into_iter().flatten())
+            .flat_map(|s| s.iter().map(|e| (e.line, e.state)))
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
         match &self.sets {
             SetStore::Dense(v) => v.iter().map(Vec::len).sum(),
+            SetStore::Mapped { sets, .. } => sets.iter().map(Vec::len).sum(),
             SetStore::Sparse(m) => m.values().map(Vec::len).sum(),
         }
     }
@@ -314,10 +369,10 @@ mod sparse_tests {
     use crate::config::CacheGeometry;
 
     #[test]
-    fn huge_caches_use_sparse_storage_transparently() {
-        // 256 MB, 16-way: far past the sparse threshold.
+    fn huge_caches_use_mapped_storage_transparently() {
+        // 256 MB, 16-way: past the dense threshold, within the slot map.
         let mut c = Cache::new(CacheGeometry::new(256 * 1024 * 1024, 16));
-        assert!(matches!(c.sets, SetStore::Sparse(_)));
+        assert!(matches!(c.sets, SetStore::Mapped { .. }));
         for i in 0..1000u64 {
             assert!(c.insert(LineAddr(i * 7919), Mesi::Shared).is_none());
         }
@@ -335,5 +390,19 @@ mod sparse_tests {
     fn paper_caches_stay_dense() {
         let c = Cache::new(CacheGeometry::new(32 * 1024, 8));
         assert!(matches!(c.sets, SetStore::Dense(_)));
+    }
+
+    #[test]
+    fn oversized_caches_fall_back_to_sparse_storage() {
+        // Direct-mapped 512 MB: 2^23 sets, past the slot-map threshold.
+        let mut c = Cache::new(CacheGeometry::new(512 * 1024 * 1024, 1));
+        assert!(matches!(c.sets, SetStore::Sparse(_)));
+        for i in 0..100u64 {
+            assert!(c.insert(LineAddr(i * 104_729), Mesi::Shared).is_none());
+        }
+        assert_eq!(c.occupancy(), 100);
+        assert_eq!(c.lines().count(), 100);
+        assert_eq!(c.remove(LineAddr(104_729)), Some(Mesi::Shared));
+        assert_eq!(c.occupancy(), 99);
     }
 }

@@ -1,253 +1,46 @@
-//! The discrete-event execution engine.
+//! The discrete-event execution engine: the step loop composing the
+//! focused kernel layers.
 //!
 //! Each thread runs pinned to one core (optionally migrating at barrier
 //! releases, §2.7.4). The engine repeatedly picks the runnable core with
-//! the smallest ready time and executes its next *step* to completion —
-//! either a memory access (timed through the coherent
+//! the smallest ready time (the [`sched`](crate::sched) ready-heap) and
+//! executes its next *step* to completion — either a memory access
+//! (timed through the coherent
 //! [`MemorySystem`](crate::memsys::MemorySystem)) or a control action of
-//! a synchronization primitive. Synchronization ops from the workload
-//! expand into the labeled access sequences the paper's modified
-//! synchronization libraries emit:
+//! a synchronization primitive. The sibling modules own the rest of the
+//! kernel:
 //!
-//! * `lock`: a sync read of the lock word, then a sync write that takes
-//!   it (blocked acquirers re-read on wake, observing the releaser's sync
-//!   write — this is the race outcome that orders release before
-//!   acquire);
-//! * `unlock` / `flag set` / `flag reset`: one sync write;
-//! * `flag wait`: a sync read; if unset, block and re-read on wake;
-//! * `barrier`: lock + counter read/update + (last arrival: counter
-//!   reset, next-flag reset, current-flag set) + unlock + flag wait, the
-//!   sense-reversing mutex+flag composition of §3.4.
+//! * [`syncexp`](crate::syncexp) — the §3.4 sync-op → labeled-access
+//!   expansion (lock/unlock, flags, sense-reversing barriers);
+//! * [`inject`](crate::inject) — the removable/release dynamic
+//!   numbering streams fault injection removes from (§3.4);
+//! * [`sched`](crate::sched) — ready-core selection and core
+//!   assignment (threads may outnumber cores, §2.4);
+//! * [`migrate`](crate::migrate) — barrier-release migration and the
+//!   §2.7.4 resynchronization bump;
+//! * [`errors`](crate::errors) — abort diagnostics ([`SimError`]).
 //!
-//! Fault injection (§3.4) removes the Nth dynamic *removable* sync
-//! instance — a lock call (with its matching unlock) or a flag-wait call;
-//! barrier-internal instances are individually removable, which is what
-//! makes the injected errors elusive. The functional arrival counting in
-//! [`SyncManager`](crate::sync::SyncManager) still completes, so runs
-//! always terminate; only the ordering (and the accesses) disappear.
+//! This module keeps only the state ([`Machine`]), the step loop
+//! ([`Machine::run`]), and the timed access path ([`Machine::do_access`]
+//! internally), which charges observer traffic on the timestamp bus.
 
 use crate::config::MachineConfig;
 use crate::memsys::{MemEvent, MemorySystem};
 use crate::observer::{AccessEvent, AccessKind, AccessPath, CoreId, MemoryObserver};
+use crate::sched::ReadyQueue;
 use crate::stats::SimStats;
 use crate::sync::SyncManager;
+use crate::syncexp::Step;
 use crate::truth::{GroundTruth, TruthSummary};
 use cord_obs::{BusKind, EventKind, TraceEvent, TraceHandle, NO_THREAD};
-use cord_trace::op::Op;
 use cord_trace::program::Workload;
-use cord_trace::types::{Addr, BarrierId, FlagId, LockId, ThreadId};
+use cord_trace::types::{Addr, ThreadId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashSet, VecDeque};
-use std::fmt;
 
-/// Which dynamic synchronization instance (if any) to remove (§3.4).
-///
-/// Two independent dynamic numbering streams exist:
-///
-/// * *removable* (wait-side) instances — lock calls (with their
-///   matching unlock), flag waits, and barrier-internal instances;
-/// * *release* instances — flag sets, including the barrier release's
-///   internal flag set.
-///
-/// Removing a wait leaves the releaser unaffected (a race appears);
-/// removing a release can leave the waiter stuck — a deadlock under
-/// blocking waits, a livelock under spin waits
-/// ([`MachineConfig::flag_spin_cycles`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct InjectionPlan {
-    /// Zero-based index (in dynamic dispatch order) of the removable
-    /// wait-side sync instance to remove; `None` removes no wait.
-    pub remove_instance: Option<u64>,
-    /// Zero-based index (in dynamic execution order) of the release
-    /// (flag-set) instance to remove; `None` removes no release.
-    pub remove_release: Option<u64>,
-}
-
-impl InjectionPlan {
-    /// A fault-free plan.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Remove the `n`-th dynamic removable (wait-side) sync instance.
-    pub fn remove_nth(n: u64) -> Self {
-        InjectionPlan {
-            remove_instance: Some(n),
-            remove_release: None,
-        }
-    }
-
-    /// Remove the `n`-th dynamic release (flag-set) instance.
-    pub fn remove_release_nth(n: u64) -> Self {
-        InjectionPlan {
-            remove_instance: None,
-            remove_release: Some(n),
-        }
-    }
-
-    /// Whether this plan removes anything at all.
-    pub fn is_injecting(&self) -> bool {
-        self.remove_instance.is_some() || self.remove_release.is_some()
-    }
-}
-
-/// Why a thread had not finished when a run aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StuckState {
-    /// Ready to run (it had work left but the run was cut short).
-    Runnable,
-    /// Parked waiting for a lock release.
-    BlockedOnLock(LockId),
-    /// Parked waiting for a flag set.
-    BlockedOnFlag(FlagId),
-    /// Busily re-polling an unset flag (spin-wait mode).
-    SpinningOnFlag(FlagId),
-}
-
-impl fmt::Display for StuckState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StuckState::Runnable => write!(f, "runnable"),
-            StuckState::BlockedOnLock(l) => write!(f, "blocked on lock {}", l.0),
-            StuckState::BlockedOnFlag(g) => write!(f, "blocked on flag {}", g.0),
-            StuckState::SpinningOnFlag(g) => write!(f, "spinning on flag {}", g.0),
-        }
-    }
-}
-
-/// Per-thread diagnostic snapshot attached to every [`SimError`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ThreadDiag {
-    /// The unfinished thread.
-    pub thread: ThreadId,
-    /// What it was doing when the run aborted.
-    pub state: StuckState,
-    /// Workload ops it had fetched.
-    pub op_idx: usize,
-    /// Workload ops in its program.
-    pub ops_total: usize,
-    /// Instructions it had retired.
-    pub instr: u64,
-    /// Its local clock at abort time.
-    pub ready_at: u64,
-}
-
-impl fmt::Display for ThreadDiag {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "thread {} {} at op {}/{} (instr {}, cycle {})",
-            self.thread.index(),
-            self.state,
-            self.op_idx,
-            self.ops_total,
-            self.instr,
-            self.ready_at
-        )
-    }
-}
-
-/// Simulation failure.
-///
-/// Every variant carries per-thread stuck-state diagnostics so sweep
-/// failure records can say *which* threads were wedged and where.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// No core can make progress but not all threads finished.
-    Deadlock {
-        /// Cycle of the stall.
-        cycle: u64,
-        /// Unfinished threads and what they were stuck on.
-        stuck_threads: Vec<ThreadDiag>,
-    },
-    /// Threads kept executing (e.g. spin polls) but none fetched a new
-    /// workload op within the watchdog's progress window.
-    Livelock {
-        /// Cycle at which the watchdog fired.
-        cycle: u64,
-        /// Cycle of the last genuine progress (a workload-op fetch).
-        last_progress_cycle: u64,
-        /// Unfinished threads and what they were stuck on.
-        stuck_threads: Vec<ThreadDiag>,
-    },
-    /// Simulated time exceeded the watchdog's total cycle budget.
-    CycleBudgetExceeded {
-        /// Cycle at which the watchdog fired.
-        cycle: u64,
-        /// The configured budget.
-        budget: u64,
-        /// Unfinished threads and what they were stuck on.
-        stuck_threads: Vec<ThreadDiag>,
-    },
-}
-
-impl SimError {
-    /// Cycle at which the run aborted.
-    pub fn cycle(&self) -> u64 {
-        match self {
-            SimError::Deadlock { cycle, .. }
-            | SimError::Livelock { cycle, .. }
-            | SimError::CycleBudgetExceeded { cycle, .. } => *cycle,
-        }
-    }
-
-    /// The per-thread diagnostics, regardless of variant.
-    pub fn stuck_threads(&self) -> &[ThreadDiag] {
-        match self {
-            SimError::Deadlock { stuck_threads, .. }
-            | SimError::Livelock { stuck_threads, .. }
-            | SimError::CycleBudgetExceeded { stuck_threads, .. } => stuck_threads,
-        }
-    }
-
-    /// Short machine-readable kind name ("deadlock" / "livelock" /
-    /// "cycle-budget-exceeded"), used in sweep failure records.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            SimError::Deadlock { .. } => "deadlock",
-            SimError::Livelock { .. } => "livelock",
-            SimError::CycleBudgetExceeded { .. } => "cycle-budget-exceeded",
-        }
-    }
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Deadlock {
-                cycle,
-                stuck_threads,
-            } => write!(
-                f,
-                "deadlock at cycle {cycle}: {} thread(s) stuck",
-                stuck_threads.len()
-            ),
-            SimError::Livelock {
-                cycle,
-                last_progress_cycle,
-                stuck_threads,
-            } => write!(
-                f,
-                "livelock at cycle {cycle}: no progress since cycle \
-                 {last_progress_cycle}, {} thread(s) stuck",
-                stuck_threads.len()
-            ),
-            SimError::CycleBudgetExceeded {
-                cycle,
-                budget,
-                stuck_threads,
-            } => write!(
-                f,
-                "cycle budget {budget} exceeded at cycle {cycle}: \
-                 {} thread(s) unfinished",
-                stuck_threads.len()
-            ),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
+pub use crate::errors::{SimError, StuckState, ThreadDiag};
+pub use crate::inject::InjectionPlan;
 
 /// Everything a run produces besides the observer itself.
 #[derive(Debug, Clone)]
@@ -259,22 +52,7 @@ pub struct RunOutput {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Step {
-    Access { addr: Addr, kind: AccessKind },
-    LockSpin(LockId),
-    LockGranted(LockId),
-    LockTake(LockId),
-    Release(LockId),
-    SetFlag(FlagId),
-    ResetFlag(FlagId),
-    WaitFlag(FlagId),
-    BarrierCtl(BarrierId),
-    BarrierWait(BarrierId, u64),
-    BarrierUnlock(BarrierId),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
+pub(crate) enum Status {
     Ready,
     BlockedOnLock,
     BlockedOnFlag,
@@ -282,18 +60,18 @@ enum Status {
 }
 
 #[derive(Debug)]
-struct CoreCtx {
-    thread: ThreadId,
-    op_idx: usize,
-    steps: VecDeque<Step>,
-    status: Status,
-    ready_at: u64,
-    instr: u64,
-    skip_unlocks: HashSet<u32>,
-    barrier_lock_skipped: bool,
-    finish: u64,
+pub(crate) struct CoreCtx {
+    pub(crate) thread: ThreadId,
+    pub(crate) op_idx: usize,
+    pub(crate) steps: VecDeque<Step>,
+    pub(crate) status: Status,
+    pub(crate) ready_at: u64,
+    pub(crate) instr: u64,
+    pub(crate) skip_unlocks: HashSet<u32>,
+    pub(crate) barrier_lock_skipped: bool,
+    pub(crate) finish: u64,
     /// What this thread is waiting for right now (diagnostics only).
-    stuck: StuckState,
+    pub(crate) stuck: StuckState,
 }
 
 impl CoreCtx {
@@ -315,38 +93,40 @@ impl CoreCtx {
 
 /// A configured machine ready to run one workload with one observer.
 pub struct Machine<'w, O: MemoryObserver> {
-    cfg: MachineConfig,
-    workload: &'w Workload,
-    observer: O,
-    memsys: MemorySystem,
-    sync: SyncManager,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) workload: &'w Workload,
+    pub(crate) observer: O,
+    pub(crate) memsys: MemorySystem,
+    pub(crate) sync: SyncManager,
     /// Per-thread execution contexts (indexed by thread id).
-    ctxs: Vec<CoreCtx>,
+    pub(crate) ctxs: Vec<CoreCtx>,
     /// Which core each thread currently runs on (None = waiting for a
     /// core; threads may outnumber cores, §2.4).
-    core_of: Vec<Option<usize>>,
+    pub(crate) core_of: Vec<Option<usize>>,
     /// The core each thread last ran on (to detect migrations, §2.7.4).
-    last_core: Vec<Option<usize>>,
+    pub(crate) last_core: Vec<Option<usize>>,
     /// The thread each core last ran. A thread rescheduled onto its old
     /// core after a *different* thread used it still needs the §2.7.4
     /// resynchronization — the core's caches now carry the other
     /// thread's timestamps, and co-resident conflicts are exempt from
     /// race checks, so only the bump orders them for replay.
-    core_last_thread: Vec<Option<usize>>,
+    pub(crate) core_last_thread: Vec<Option<usize>>,
     /// Cores with no thread currently scheduled.
-    free_cores: Vec<usize>,
-    truth: GroundTruth,
-    stats: SimStats,
+    pub(crate) free_cores: Vec<usize>,
+    /// Lazy min-heap over runnable scheduled threads.
+    pub(crate) ready: ReadyQueue,
+    pub(crate) truth: GroundTruth,
+    pub(crate) stats: SimStats,
     rng: SmallRng,
-    plan: InjectionPlan,
-    next_instance: u64,
-    next_release_instance: u64,
+    pub(crate) plan: InjectionPlan,
+    pub(crate) next_instance: u64,
+    pub(crate) next_release_instance: u64,
     /// Cycle of the most recent workload-op fetch (watchdog progress).
-    last_progress: u64,
-    pending_migration: bool,
+    pub(crate) last_progress: u64,
+    pub(crate) pending_migration: bool,
     /// Run-event trace sink; disabled (a single branch per site) unless
     /// installed with [`Machine::with_trace`].
-    trace: TraceHandle,
+    pub(crate) trace: TraceHandle,
 }
 
 impl<'w, O: MemoryObserver> Machine<'w, O> {
@@ -384,12 +164,19 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         let free_cores: Vec<usize> = (n.min(cfg.cores)..cfg.cores).collect();
         let core_last_thread: Vec<Option<usize>> =
             (0..cfg.cores).map(|c| (c < n).then_some(c)).collect();
+        let mut ready = ReadyQueue::new();
+        for (t, core) in core_of.iter().enumerate() {
+            if core.is_some() {
+                ready.push(0, t);
+            }
+        }
         Machine {
             memsys: MemorySystem::new(cfg.clone()),
             last_core: core_of.clone(),
             core_last_thread,
             core_of,
             free_cores,
+            ready,
             cfg,
             workload,
             observer,
@@ -432,13 +219,9 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                 self.pending_migration = false;
                 self.rotate_threads();
             }
-            let next = self
-                .ctxs
-                .iter()
-                .enumerate()
-                .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_some())
-                .min_by_key(|(i, c)| (c.ready_at, *i))
-                .map(|(i, _)| i);
+            let next = self.next_ready();
+            #[cfg(debug_assertions)]
+            self.assert_pick_matches_scan(next);
             match next {
                 Some(t) => {
                     if let Some(err) = self.watchdog_check(self.ctxs[t].ready_at) {
@@ -454,6 +237,8 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                     // processors", §2.4).
                     if self.ctxs[t].status == Status::Done {
                         self.release_core(t);
+                    } else if self.ctxs[t].status == Status::Ready && self.core_of[t].is_some() {
+                        self.ready.push(self.ctxs[t].ready_at, t);
                     }
                 }
                 None => {
@@ -502,147 +287,8 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         )
     }
 
-    /// Releases thread `t`'s core (it finished) and hands it to a
-    /// waiting Ready thread, if any.
-    fn release_core(&mut self, t: usize) {
-        let Some(core) = self.core_of[t].take() else {
-            return;
-        };
-        let now = self.ctxs[t].ready_at;
-        self.free_cores.push(core);
-        self.schedule_waiting_threads_at(now);
-    }
-
-    /// Assigns cores (free ones first, then cores preempted from blocked
-    /// holders) to Ready-but-unscheduled threads. Returns `true` if any
-    /// assignment happened.
-    fn schedule_waiting_threads(&mut self) -> bool {
-        let now = self
-            .ctxs
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_none())
-            .map(|(_, c)| c.ready_at)
-            .min()
-            .unwrap_or(0);
-        self.schedule_waiting_threads_at(now)
-    }
-
-    fn schedule_waiting_threads_at(&mut self, now: u64) -> bool {
-        let mut any = false;
-        loop {
-            let next = self
-                .ctxs
-                .iter()
-                .enumerate()
-                .filter(|(i, c)| c.status == Status::Ready && self.core_of[*i].is_none())
-                .min_by_key(|(i, c)| (c.ready_at, *i))
-                .map(|(i, _)| i);
-            let Some(t) = next else { break };
-            if !self.acquire_core_for(t, now) {
-                break;
-            }
-            any = true;
-        }
-        any
-    }
-
-    /// Finds a core for thread `t`: a free one, or one preempted from a
-    /// blocked holder. Grants it with the §2.7.4 migration bump when the
-    /// core differs from the thread's previous one.
-    fn acquire_core_for(&mut self, t: usize, at: u64) -> bool {
-        debug_assert!(self.core_of[t].is_none());
-        let core = self.free_cores.pop().or_else(|| {
-            (0..self.ctxs.len())
-                .find(|&v| {
-                    self.core_of[v].is_some()
-                        && matches!(
-                            self.ctxs[v].status,
-                            Status::BlockedOnLock | Status::BlockedOnFlag
-                        )
-                })
-                .and_then(|v| self.core_of[v].take())
-        });
-        let Some(core) = core else {
-            return false;
-        };
-        self.core_of[t] = Some(core);
-        let ctx = &mut self.ctxs[t];
-        ctx.ready_at = ctx.ready_at.max(at) + self.cfg.reschedule_cycles;
-        // Resynchronize when the thread changed cores *or* the core ran
-        // another thread meanwhile (same-core reschedule after
-        // time-sharing): either way its caches hold timestamps the
-        // incoming thread has never been ordered against.
-        if self.last_core[t] != Some(core) || self.core_last_thread[core] != Some(t) {
-            let from = self.last_core[t].unwrap_or(core);
-            self.observer.on_thread_migrated(
-                ThreadId(t as u16),
-                CoreId(from as u8),
-                CoreId(core as u8),
-            );
-            self.stats.migrations += 1;
-            let when = self.ctxs[t].ready_at;
-            self.trace.emit(|| TraceEvent {
-                cycle: when,
-                thread: t as u16,
-                kind: EventKind::Migration {
-                    from: from as u8,
-                    to: core as u8,
-                },
-            });
-        }
-        self.last_core[t] = Some(core);
-        self.core_last_thread[core] = Some(t);
-        true
-    }
-
-    /// Consumes one removable-sync-instance index for thread `c`;
-    /// `true` if this instance is the injection target.
-    fn take_instance(&mut self, c: usize) -> bool {
-        let idx = self.next_instance;
-        self.next_instance += 1;
-        self.stats.removable_sync_instances += 1;
-        if self.plan.remove_instance == Some(idx) {
-            self.stats.injection_applied = true;
-            self.trace.emit(|| TraceEvent {
-                cycle: self.ctxs[c].ready_at,
-                thread: self.ctxs[c].thread.0,
-                kind: EventKind::Injection {
-                    instance: idx,
-                    release: false,
-                },
-            });
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Consumes one release-instance index (a flag set, including the
-    /// barrier release's internal one) for thread `c`; `true` if it is
-    /// the injection target.
-    fn take_release_instance(&mut self, c: usize) -> bool {
-        let idx = self.next_release_instance;
-        self.next_release_instance += 1;
-        self.stats.release_sync_instances += 1;
-        if self.plan.remove_release == Some(idx) {
-            self.stats.injection_applied = true;
-            self.trace.emit(|| TraceEvent {
-                cycle: self.ctxs[c].ready_at,
-                thread: self.ctxs[c].thread.0,
-                kind: EventKind::Injection {
-                    instance: idx,
-                    release: true,
-                },
-            });
-            true
-        } else {
-            false
-        }
-    }
-
     /// Snapshot of every unfinished thread for error reports.
-    fn diagnostics(&self) -> Vec<ThreadDiag> {
+    pub(crate) fn diagnostics(&self) -> Vec<ThreadDiag> {
         self.ctxs
             .iter()
             .filter(|c| c.status != Status::Done)
@@ -708,205 +354,8 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         }
     }
 
-    fn expand_op(&mut self, c: usize, op: Op) {
-        let layout = self.workload.layout();
-        match op {
-            Op::Read(a) => self.ctxs[c].steps.push_back(Step::Access {
-                addr: a,
-                kind: AccessKind::DataRead,
-            }),
-            Op::Write(a) => self.ctxs[c].steps.push_back(Step::Access {
-                addr: a,
-                kind: AccessKind::DataWrite,
-            }),
-            Op::Compute(n) => {
-                let ctx = &mut self.ctxs[c];
-                ctx.ready_at += u64::from(n);
-                ctx.instr += u64::from(n);
-            }
-            Op::Lock(l) => {
-                if self.take_instance(c) {
-                    self.ctxs[c].skip_unlocks.insert(l.0);
-                } else {
-                    self.ctxs[c].steps.push_back(Step::LockSpin(l));
-                }
-            }
-            Op::Unlock(l) => {
-                if !self.ctxs[c].skip_unlocks.remove(&l.0) {
-                    self.ctxs[c].steps.push_back(Step::Release(l));
-                }
-            }
-            Op::FlagSet(g) => self.ctxs[c].steps.push_back(Step::SetFlag(g)),
-            Op::FlagReset(g) => self.ctxs[c].steps.push_back(Step::ResetFlag(g)),
-            Op::FlagWait(g) => {
-                if !self.take_instance(c) {
-                    self.ctxs[c].steps.push_back(Step::WaitFlag(g));
-                }
-            }
-            Op::Barrier(b) => {
-                let counter = layout.barrier_counter_addr(b);
-                if self.take_instance(c) {
-                    self.ctxs[c].barrier_lock_skipped = true;
-                } else {
-                    let bl = layout.barrier_lock(b);
-                    self.ctxs[c].steps.push_back(Step::LockSpin(bl));
-                }
-                let ctx = &mut self.ctxs[c];
-                ctx.steps.push_back(Step::Access {
-                    addr: counter,
-                    kind: AccessKind::DataRead,
-                });
-                ctx.steps.push_back(Step::Access {
-                    addr: counter,
-                    kind: AccessKind::DataWrite,
-                });
-                ctx.steps.push_back(Step::BarrierCtl(b));
-            }
-        }
-    }
-
-    fn exec_step(&mut self, c: usize, step: Step) {
-        let layout = *self.workload.layout();
-        match step {
-            Step::Access { addr, kind } => {
-                self.do_access(c, addr, kind);
-            }
-            Step::LockSpin(l) => {
-                self.do_access(c, layout.lock_addr(l), AccessKind::SyncRead);
-                let thread = self.ctxs[c].thread;
-                if self.sync.try_acquire(l, thread) {
-                    self.ctxs[c].steps.push_front(Step::LockTake(l));
-                } else {
-                    self.ctxs[c].status = Status::BlockedOnLock;
-                    self.ctxs[c].stuck = StuckState::BlockedOnLock(l);
-                }
-            }
-            Step::LockGranted(l) => {
-                // Woken by a release that transferred us the lock: the
-                // re-read observes the releaser's sync write, which is
-                // the race outcome ordering release before acquire.
-                self.do_access(c, layout.lock_addr(l), AccessKind::SyncRead);
-                self.ctxs[c].steps.push_front(Step::LockTake(l));
-            }
-            Step::LockTake(l) => {
-                self.do_access(c, layout.lock_addr(l), AccessKind::SyncWrite);
-            }
-            Step::Release(l) => {
-                let done = self.do_access(c, layout.lock_addr(l), AccessKind::SyncWrite);
-                let thread = self.ctxs[c].thread;
-                if let Some(next) = self.sync.release(l, thread) {
-                    self.wake(next, done, Step::LockGranted(l));
-                }
-            }
-            Step::SetFlag(g) => {
-                if self.take_release_instance(c) {
-                    // Removed release (§3.4 extended to the release
-                    // side): the flag write never happens and no waiter
-                    // is woken. Blocking waiters deadlock; spinning
-                    // waiters livelock until the watchdog fires.
-                    return;
-                }
-                let done = self.do_access(c, layout.flag_addr(g), AccessKind::SyncWrite);
-                for tid in self.sync.flag_set(g) {
-                    self.wake(tid, done, Step::WaitFlag(g));
-                }
-            }
-            Step::ResetFlag(g) => {
-                self.do_access(c, layout.flag_addr(g), AccessKind::SyncWrite);
-                self.sync.flag_reset(g);
-            }
-            Step::WaitFlag(g) => {
-                self.do_access(c, layout.flag_addr(g), AccessKind::SyncRead);
-                if !self.sync.flag_is_set(g) {
-                    if let Some(spin) = self.cfg.flag_spin_cycles {
-                        // Spin-wait: stay Ready and re-poll after a
-                        // back-off. The thread burns cycles without
-                        // fetching new ops, so a never-set flag shows
-                        // up as a livelock, not a deadlock.
-                        let ctx = &mut self.ctxs[c];
-                        ctx.ready_at += spin;
-                        ctx.steps.push_front(Step::WaitFlag(g));
-                        ctx.stuck = StuckState::SpinningOnFlag(g);
-                    } else {
-                        let thread = self.ctxs[c].thread;
-                        self.sync.flag_enqueue(g, thread);
-                        self.ctxs[c].status = Status::BlockedOnFlag;
-                        self.ctxs[c].stuck = StuckState::BlockedOnFlag(g);
-                    }
-                } else {
-                    self.ctxs[c].stuck = StuckState::Runnable;
-                }
-            }
-            Step::BarrierCtl(b) => {
-                let thread = self.ctxs[c].thread;
-                let arrival = self.sync.barrier_arrive(b, thread);
-                let (f0, f1) = layout.barrier_flags(b);
-                let cur = if arrival.episode.is_multiple_of(2) {
-                    f0
-                } else {
-                    f1
-                };
-                let next = if arrival.episode.is_multiple_of(2) {
-                    f1
-                } else {
-                    f0
-                };
-                let ctx = &mut self.ctxs[c];
-                if arrival.is_last {
-                    // Reset the counter, arm the next episode's flag,
-                    // release this episode, drop the internal lock.
-                    ctx.steps.push_front(Step::BarrierUnlock(b));
-                    ctx.steps.push_front(Step::SetFlag(cur));
-                    ctx.steps.push_front(Step::ResetFlag(next));
-                    ctx.steps.push_front(Step::Access {
-                        addr: layout.barrier_counter_addr(b),
-                        kind: AccessKind::DataWrite,
-                    });
-                    if self.cfg.migrate_at_barriers {
-                        self.pending_migration = true;
-                    }
-                } else {
-                    ctx.steps.push_front(Step::BarrierWait(b, arrival.episode));
-                    ctx.steps.push_front(Step::BarrierUnlock(b));
-                }
-            }
-            Step::BarrierWait(b, episode) => {
-                if !self.take_instance(c) {
-                    let (f0, f1) = layout.barrier_flags(b);
-                    let flag = if episode % 2 == 0 { f0 } else { f1 };
-                    self.ctxs[c].steps.push_front(Step::WaitFlag(flag));
-                }
-            }
-            Step::BarrierUnlock(b) => {
-                if self.ctxs[c].barrier_lock_skipped {
-                    self.ctxs[c].barrier_lock_skipped = false;
-                } else {
-                    self.ctxs[c]
-                        .steps
-                        .push_front(Step::Release(layout.barrier_lock(b)));
-                }
-            }
-        }
-    }
-
-    /// Wakes `thread` at time `at`, prepending `resume` to its steps; if
-    /// the thread lost its core while blocked, it queues for the next
-    /// free one.
-    fn wake(&mut self, thread: ThreadId, at: u64, resume: Step) {
-        let t = thread.index();
-        let ctx = &mut self.ctxs[t];
-        debug_assert_ne!(ctx.status, Status::Ready, "waking a ready thread");
-        ctx.status = Status::Ready;
-        ctx.stuck = StuckState::Runnable;
-        ctx.ready_at = ctx.ready_at.max(at);
-        ctx.steps.push_front(resume);
-        if self.core_of[t].is_none() {
-            self.acquire_core_for(t, at);
-        }
-    }
-
     /// Executes one timed memory access; returns its completion cycle.
-    fn do_access(&mut self, c: usize, addr: Addr, kind: AccessKind) -> u64 {
+    pub(crate) fn do_access(&mut self, c: usize, addr: Addr, kind: AccessKind) -> u64 {
         let jitter = if self.cfg.jitter_cycles > 0 {
             u64::from(self.rng.gen_range(0..=self.cfg.jitter_cycles))
         } else {
@@ -1070,45 +519,6 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         self.stats.retirement_stall_cycles += stall;
         stall
     }
-
-    /// Rotates scheduled threads to the next core (barrier-release
-    /// migration, §2.7.4).
-    fn rotate_threads(&mut self) {
-        let scheduled: Vec<usize> = (0..self.ctxs.len())
-            .filter(|&t| self.core_of[t].is_some())
-            .collect();
-        if scheduled.len() < 2 {
-            return;
-        }
-        let cores: Vec<usize> = scheduled
-            .iter()
-            .map(|&t| self.core_of[t].unwrap())
-            .collect();
-        for (k, &t) in scheduled.iter().enumerate() {
-            let from = cores[k];
-            let to = cores[(k + 1) % cores.len()];
-            self.core_of[t] = Some(to);
-            self.last_core[t] = Some(to);
-            self.core_last_thread[to] = Some(t);
-            if from != to {
-                self.observer.on_thread_migrated(
-                    ThreadId(t as u16),
-                    CoreId(from as u8),
-                    CoreId(to as u8),
-                );
-                self.stats.migrations += 1;
-                let when = self.ctxs[t].ready_at;
-                self.trace.emit(|| TraceEvent {
-                    cycle: when,
-                    thread: t as u16,
-                    kind: EventKind::Migration {
-                        from: from as u8,
-                        to: to as u8,
-                    },
-                });
-            }
-        }
-    }
 }
 
 // Compile-time Send audit (static_assertions style): the parallel
@@ -1132,577 +542,4 @@ fn _thread_safety_audit() {
     send::<InjectionPlan>();
     sync::<Workload>();
     sync::<MachineConfig>();
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::observer::NullObserver;
-    use cord_trace::builder::WorkloadBuilder;
-
-    fn run_workload(w: &Workload, seed: u64) -> RunOutput {
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            w,
-            NullObserver,
-            seed,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        out
-    }
-
-    #[test]
-    fn single_thread_sequential_run() {
-        let mut b = WorkloadBuilder::new("seq", 1);
-        let d = b.alloc_words(4);
-        b.thread_mut(0)
-            .write(d.word(0))
-            .read(d.word(0))
-            .compute(100)
-            .write(d.word(1));
-        let w = b.build();
-        let out = run_workload(&w, 1);
-        assert_eq!(out.stats.data_reads, 1);
-        assert_eq!(out.stats.data_writes, 2);
-        assert_eq!(out.stats.instr_counts[0], 103);
-        assert!(out.stats.cycles > 600); // at least one memory fetch
-        assert_eq!(out.stats.memory_fills, 1);
-        assert!(out.stats.l1_hits >= 2);
-    }
-
-    #[test]
-    fn lock_provides_mutual_exclusion_ordering() {
-        let mut b = WorkloadBuilder::new("lock", 2);
-        let l = b.alloc_lock();
-        let d = b.alloc_words(1);
-        for t in 0..2 {
-            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
-        }
-        let w = b.build();
-        let out = run_workload(&w, 7);
-        // 2 acquires (read+write) + 2 releases (write) minimum; the
-        // blocked acquirer re-reads, adding one more sync read.
-        assert!(out.stats.sync_writes >= 4);
-        assert!(out.stats.sync_reads >= 2);
-        assert_eq!(out.stats.data_reads, 2);
-        assert_eq!(out.stats.data_writes, 2);
-    }
-
-    #[test]
-    fn flag_orders_producer_consumer() {
-        let mut b = WorkloadBuilder::new("flag", 2);
-        let g = b.alloc_flag();
-        let d = b.alloc_words(1);
-        b.thread_mut(0).compute(5000).write(d.word(0)).flag_set(g);
-        b.thread_mut(1).flag_wait(g).read(d.word(0));
-        let w = b.build();
-        let out = run_workload(&w, 3);
-        // The consumer blocked (its first flag read saw unset) and was
-        // woken, so it read the flag at least twice.
-        assert!(out.stats.sync_reads >= 2);
-        assert_eq!(out.stats.sync_writes, 1);
-    }
-
-    #[test]
-    fn barrier_synchronizes_all_threads() {
-        let mut b = WorkloadBuilder::new("barrier", 4);
-        let bar = b.alloc_barrier();
-        let d = b.alloc_line_aligned(16);
-        for t in 0..4 {
-            b.thread_mut(t)
-                .compute((t as u32 + 1) * 1000)
-                .write(d.word(t as u64))
-                .barrier(bar)
-                .read(d.word(((t + 1) % 4) as u64));
-        }
-        let w = b.build();
-        let out = run_workload(&w, 11);
-        // Each thread: 1 write + 1 read data, plus 2 counter accesses.
-        assert_eq!(out.stats.data_writes, 4 + 4 + 1); // +1 counter reset
-        assert_eq!(out.stats.data_reads, 4 + 4);
-        // 4 removable instances for the internal lock + 3 for waits.
-        assert_eq!(out.stats.removable_sync_instances, 7);
-        assert!(!out.stats.injection_applied);
-    }
-
-    #[test]
-    fn barrier_repeats_across_episodes() {
-        let mut b = WorkloadBuilder::new("barrier2", 3);
-        let bar = b.alloc_barrier();
-        let d = b.alloc_words(3);
-        for t in 0..3 {
-            let tb = &mut b.thread_mut(t);
-            for _ in 0..4 {
-                tb.write(d.word(t as u64)).barrier(bar);
-            }
-        }
-        let w = b.build();
-        let out = run_workload(&w, 5);
-        assert_eq!(out.stats.data_writes, 3 * 4 + 3 * 4 + 4); // data + counter inc per arrival + resets
-    }
-
-    #[test]
-    fn injection_removes_lock_and_its_unlock() {
-        let mut b = WorkloadBuilder::new("inj", 2);
-        let l = b.alloc_lock();
-        let d = b.alloc_words(1);
-        for t in 0..2 {
-            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
-        }
-        let w = b.build();
-        let baseline = run_workload(&w, 9);
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            9,
-            InjectionPlan::remove_nth(0),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        assert!(out.stats.injection_applied);
-        // The removed acquire+release eliminates sync accesses.
-        assert!(out.stats.sync_writes < baseline.stats.sync_writes);
-        assert_eq!(out.stats.removable_sync_instances, 2);
-    }
-
-    #[test]
-    fn injection_removes_flag_wait() {
-        let mut b = WorkloadBuilder::new("injf", 2);
-        let g = b.alloc_flag();
-        let d = b.alloc_words(1);
-        b.thread_mut(0).compute(10_000).write(d.word(0)).flag_set(g);
-        b.thread_mut(1).flag_wait(g).read(d.word(0));
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            13,
-            InjectionPlan::remove_nth(0),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        assert!(out.stats.injection_applied);
-        // The reader no longer waits: it finishes long before the writer.
-        assert!(out.stats.per_core_cycles[1] < out.stats.per_core_cycles[0]);
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let mut b = WorkloadBuilder::new("det", 4);
-        let l = b.alloc_lock();
-        let bar = b.alloc_barrier();
-        let d = b.alloc_line_aligned(64);
-        for t in 0..4 {
-            let tb = &mut b.thread_mut(t);
-            for i in 0..16 {
-                tb.lock(l)
-                    .update(d.word((t as u64 * 16 + i) % 64))
-                    .unlock(l)
-                    .compute(50);
-            }
-            tb.barrier(bar);
-        }
-        let w = b.build();
-        let a = run_workload(&w, 42);
-        let b2 = run_workload(&w, 42);
-        assert_eq!(a.stats, b2.stats);
-        assert_eq!(a.truth.thread_hashes, b2.truth.thread_hashes);
-        // A different seed gives a different schedule (almost surely).
-        // The total cycle count can tie — the lock convoy absorbs
-        // jitter — so compare the full stats (bus waits, per-core
-        // retire times), which are schedule-sensitive.
-        let c = run_workload(&w, 43);
-        assert_ne!(a.stats, c.stats);
-    }
-
-    #[test]
-    fn migration_rotates_threads_at_barriers() {
-        let mut b = WorkloadBuilder::new("mig", 4);
-        let bar = b.alloc_barrier();
-        let d = b.alloc_line_aligned(4);
-        for t in 0..4 {
-            b.thread_mut(t)
-                .write(d.word(t as u64))
-                .barrier(bar)
-                .read(d.word(t as u64))
-                .barrier(bar)
-                .read(d.word(t as u64));
-        }
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core().with_barrier_migration(),
-            &w,
-            NullObserver,
-            17,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        assert_eq!(out.stats.migrations, 8); // 4 threads x 2 barriers
-                                             // After migrating away, the second read misses (data is in the
-                                             // old core's cache).
-        assert!(out.stats.sibling_fills > 0);
-    }
-
-    #[test]
-    fn truth_reflects_lock_serialization() {
-        // With a lock, the two updates serialize; the final version
-        // count is exactly 2 writes regardless of schedule.
-        let mut b = WorkloadBuilder::new("truth", 2);
-        let l = b.alloc_lock();
-        let d = b.alloc_words(1);
-        for t in 0..2 {
-            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
-        }
-        let w = b.build();
-        let out = run_workload(&w, 21);
-        // Truth counts every committed access, sync included.
-        assert_eq!(
-            out.truth.total_writes,
-            out.stats.data_writes + out.stats.sync_writes
-        );
-        assert_eq!(
-            out.truth.total_reads,
-            out.stats.data_reads + out.stats.sync_reads
-        );
-        assert_eq!(out.stats.data_writes, 2);
-        assert_eq!(out.stats.data_reads, 2);
-    }
-
-    #[test]
-    fn resolved_capture_produces_streams() {
-        let mut b = WorkloadBuilder::new("cap", 2);
-        let g = b.alloc_flag();
-        let d = b.alloc_words(1);
-        b.thread_mut(0).write(d.word(0)).flag_set(g);
-        b.thread_mut(1).flag_wait(g).read(d.word(0));
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core().with_resolved_capture(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        let streams = out.truth.resolved.expect("captured");
-        assert_eq!(streams.len(), 2);
-        assert!(streams[0].iter().any(|r| r.kind == AccessKind::SyncWrite));
-        assert!(streams[1].iter().any(|r| r.kind == AccessKind::DataRead));
-    }
-}
-
-#[cfg(test)]
-mod engine_edge_tests {
-    use super::*;
-    use crate::observer::NullObserver;
-    use cord_trace::builder::WorkloadBuilder;
-
-    /// Fewer threads than cores: the spare cores stay idle and the run
-    /// completes normally.
-    #[test]
-    fn fewer_threads_than_cores() {
-        let mut b = WorkloadBuilder::new("two-of-four", 2);
-        let l = b.alloc_lock();
-        let d = b.alloc_words(1);
-        for t in 0..2 {
-            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
-        }
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        assert_eq!(out.stats.instr_counts.len(), 2);
-        assert!(out.stats.cycles > 0);
-    }
-
-    /// Flag reset makes a flag reusable: a second wait after a reset
-    /// blocks until the second set.
-    #[test]
-    fn flag_reset_enables_reuse() {
-        let mut b = WorkloadBuilder::new("flag-reuse", 2);
-        let g = b.alloc_flag();
-        let d = b.alloc_words(2);
-        b.thread_mut(0)
-            .compute(5_000)
-            .write(d.word(0))
-            .flag_set(g)
-            .compute(50_000)
-            .write(d.word(1))
-            .flag_set(g);
-        b.thread_mut(1)
-            .flag_wait(g)
-            .read(d.word(0))
-            .flag_reset(g)
-            .flag_wait(g)
-            .read(d.word(1));
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        // The consumer's second read happens after the producer's second
-        // write: its core finishes after the 50k-cycle gap.
-        assert!(out.stats.per_core_cycles[1] > 50_000);
-    }
-
-    /// With jitter disabled the machine is fully deterministic across
-    /// any two seeds.
-    #[test]
-    fn zero_jitter_removes_seed_sensitivity() {
-        let mut b = WorkloadBuilder::new("nojit", 2);
-        let d = b.alloc_line_aligned(8);
-        for t in 0..2 {
-            for i in 0..4 {
-                b.thread_mut(t)
-                    .update(d.word((t as u64 * 4 + i) % 8))
-                    .compute(10);
-            }
-        }
-        let w = b.build();
-        let run = |seed| {
-            let mut cfg = MachineConfig::paper_4core();
-            cfg.jitter_cycles = 0;
-            let m = Machine::new(cfg, &w, NullObserver, seed, InjectionPlan::none());
-            m.run().expect("ok").0.stats
-        };
-        assert_eq!(run(1), run(999));
-    }
-
-    /// A lock under heavy contention hands off FIFO: every thread gets
-    /// its critical section (run terminates) and sync writes match
-    /// 2 per acquire-release pair.
-    #[test]
-    fn contended_lock_serves_all_threads() {
-        let mut b = WorkloadBuilder::new("contend", 4);
-        let l = b.alloc_lock();
-        let d = b.alloc_words(1);
-        for t in 0..4 {
-            for _ in 0..5 {
-                b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
-            }
-        }
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            3,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("no deadlock");
-        // 20 acquires (take write) + 20 releases.
-        assert_eq!(out.stats.sync_writes, 40);
-        assert_eq!(out.stats.data_reads, 20);
-        assert_eq!(out.stats.data_writes, 20);
-    }
-}
-
-#[cfg(test)]
-mod watchdog_tests {
-    use super::*;
-    use crate::config::Watchdog;
-    use crate::observer::NullObserver;
-    use cord_trace::builder::WorkloadBuilder;
-
-    /// Producer sets a flag the consumer waits on.
-    fn flag_pair() -> Workload {
-        let mut b = WorkloadBuilder::new("wd-flag", 2);
-        let g = b.alloc_flag();
-        let d = b.alloc_words(1);
-        b.thread_mut(0).compute(2_000).write(d.word(0)).flag_set(g);
-        b.thread_mut(1).flag_wait(g).read(d.word(0));
-        b.build()
-    }
-
-    #[test]
-    fn release_instances_are_counted() {
-        let w = flag_pair();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("clean run");
-        assert_eq!(out.stats.release_sync_instances, 1);
-        assert!(!out.stats.injection_applied);
-    }
-
-    #[test]
-    fn barrier_release_counts_as_release_instance() {
-        let mut b = WorkloadBuilder::new("wd-bar", 4);
-        let bar = b.alloc_barrier();
-        for t in 0..4 {
-            b.thread_mut(t).compute(100).barrier(bar);
-        }
-        let w = b.build();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::none(),
-        );
-        let (out, _) = m.run().expect("clean run");
-        // One episode: the last arrival's internal flag set.
-        assert_eq!(out.stats.release_sync_instances, 1);
-    }
-
-    #[test]
-    fn removed_release_deadlocks_blocking_waiter() {
-        let w = flag_pair();
-        let m = Machine::new(
-            MachineConfig::paper_4core(),
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::remove_release_nth(0),
-        );
-        let err = m.run().expect_err("waiter must hang");
-        match &err {
-            SimError::Deadlock {
-                cycle,
-                stuck_threads,
-            } => {
-                assert!(*cycle > 0);
-                assert_eq!(stuck_threads.len(), 1);
-                let diag = &stuck_threads[0];
-                assert_eq!(diag.thread.index(), 1);
-                assert!(
-                    matches!(diag.state, StuckState::BlockedOnFlag(_)),
-                    "unexpected stuck state: {}",
-                    diag.state
-                );
-                assert!(diag.op_idx < diag.ops_total);
-            }
-            other => panic!("expected deadlock, got {other}"),
-        }
-        assert_eq!(err.kind(), "deadlock");
-    }
-
-    #[test]
-    fn removed_release_livelocks_spinning_waiter() {
-        let w = flag_pair();
-        let cfg = MachineConfig::paper_4core()
-            .with_spin_waits(50)
-            .with_watchdog(Watchdog::progress_window(200_000));
-        let m = Machine::new(
-            cfg,
-            &w,
-            NullObserver,
-            1,
-            InjectionPlan::remove_release_nth(0),
-        );
-        let err = m.run().expect_err("spinner must livelock");
-        match &err {
-            SimError::Livelock {
-                cycle,
-                last_progress_cycle,
-                stuck_threads,
-            } => {
-                assert!(cycle > last_progress_cycle);
-                assert!(cycle - last_progress_cycle > 200_000);
-                let spinner = stuck_threads
-                    .iter()
-                    .find(|d| d.thread.index() == 1)
-                    .expect("thread 1 diagnosed");
-                assert!(
-                    matches!(spinner.state, StuckState::SpinningOnFlag(_)),
-                    "unexpected stuck state: {}",
-                    spinner.state
-                );
-            }
-            other => panic!("expected livelock, got {other}"),
-        }
-        assert_eq!(err.kind(), "livelock");
-    }
-
-    #[test]
-    fn cycle_budget_trips_on_long_run() {
-        let mut b = WorkloadBuilder::new("wd-budget", 2);
-        let d = b.alloc_words(1);
-        for t in 0..2 {
-            b.thread_mut(t).compute(50_000).write(d.word(0));
-        }
-        let w = b.build();
-        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::cycle_budget(10_000));
-        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
-        let err = m.run().expect_err("budget must trip");
-        match &err {
-            SimError::CycleBudgetExceeded {
-                cycle,
-                budget,
-                stuck_threads,
-            } => {
-                assert_eq!(*budget, 10_000);
-                assert!(*cycle > 10_000);
-                assert!(!stuck_threads.is_empty());
-            }
-            other => panic!("expected budget exceeded, got {other}"),
-        }
-        assert_eq!(err.kind(), "cycle-budget-exceeded");
-    }
-
-    #[test]
-    fn watchdog_does_not_fire_on_healthy_runs() {
-        let w = flag_pair();
-        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::new(50_000_000, 10_000_000));
-        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
-        assert!(m.run().is_ok());
-    }
-
-    #[test]
-    fn spin_waits_complete_clean_runs() {
-        let w = flag_pair();
-        let blocking = {
-            let m = Machine::new(
-                MachineConfig::paper_4core(),
-                &w,
-                NullObserver,
-                1,
-                InjectionPlan::none(),
-            );
-            m.run().expect("blocking run").0
-        };
-        let spinning = {
-            let cfg = MachineConfig::paper_4core().with_spin_waits(50);
-            let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
-            m.run().expect("spin run").0
-        };
-        // Same data accesses either way; spinning only adds sync reads.
-        assert_eq!(blocking.stats.data_reads, spinning.stats.data_reads);
-        assert_eq!(blocking.stats.data_writes, spinning.stats.data_writes);
-        assert!(spinning.stats.sync_reads >= blocking.stats.sync_reads);
-    }
-
-    #[test]
-    fn failure_is_deterministic_for_a_seed() {
-        let w = flag_pair();
-        let run = || {
-            let cfg = MachineConfig::paper_4core()
-                .with_spin_waits(50)
-                .with_watchdog(Watchdog::progress_window(100_000));
-            Machine::new(
-                cfg,
-                &w,
-                NullObserver,
-                9,
-                InjectionPlan::remove_release_nth(0),
-            )
-            .run()
-            .expect_err("livelock")
-        };
-        assert_eq!(run(), run());
-    }
 }

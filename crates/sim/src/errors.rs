@@ -1,0 +1,167 @@
+//! Simulation failure types: per-thread stuck-state diagnostics and the
+//! [`SimError`] variants runs abort with.
+//!
+//! Every error carries a [`ThreadDiag`] per unfinished thread so sweep
+//! failure records can say *which* threads were wedged and where — the
+//! difference between "this injection deadlocked" and a reproducible
+//! bug report.
+
+use cord_trace::types::{FlagId, LockId, ThreadId};
+use std::fmt;
+
+/// Why a thread had not finished when a run aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckState {
+    /// Ready to run (it had work left but the run was cut short).
+    Runnable,
+    /// Parked waiting for a lock release.
+    BlockedOnLock(LockId),
+    /// Parked waiting for a flag set.
+    BlockedOnFlag(FlagId),
+    /// Busily re-polling an unset flag (spin-wait mode).
+    SpinningOnFlag(FlagId),
+}
+
+impl fmt::Display for StuckState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckState::Runnable => write!(f, "runnable"),
+            StuckState::BlockedOnLock(l) => write!(f, "blocked on lock {}", l.0),
+            StuckState::BlockedOnFlag(g) => write!(f, "blocked on flag {}", g.0),
+            StuckState::SpinningOnFlag(g) => write!(f, "spinning on flag {}", g.0),
+        }
+    }
+}
+
+/// Per-thread diagnostic snapshot attached to every [`SimError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadDiag {
+    /// The unfinished thread.
+    pub thread: ThreadId,
+    /// What it was doing when the run aborted.
+    pub state: StuckState,
+    /// Workload ops it had fetched.
+    pub op_idx: usize,
+    /// Workload ops in its program.
+    pub ops_total: usize,
+    /// Instructions it had retired.
+    pub instr: u64,
+    /// Its local clock at abort time.
+    pub ready_at: u64,
+}
+
+impl fmt::Display for ThreadDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread {} {} at op {}/{} (instr {}, cycle {})",
+            self.thread.index(),
+            self.state,
+            self.op_idx,
+            self.ops_total,
+            self.instr,
+            self.ready_at
+        )
+    }
+}
+
+/// Simulation failure.
+///
+/// Every variant carries per-thread stuck-state diagnostics so sweep
+/// failure records can say *which* threads were wedged and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No core can make progress but not all threads finished.
+    Deadlock {
+        /// Cycle of the stall.
+        cycle: u64,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
+    },
+    /// Threads kept executing (e.g. spin polls) but none fetched a new
+    /// workload op within the watchdog's progress window.
+    Livelock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Cycle of the last genuine progress (a workload-op fetch).
+        last_progress_cycle: u64,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
+    },
+    /// Simulated time exceeded the watchdog's total cycle budget.
+    CycleBudgetExceeded {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The configured budget.
+        budget: u64,
+        /// Unfinished threads and what they were stuck on.
+        stuck_threads: Vec<ThreadDiag>,
+    },
+}
+
+impl SimError {
+    /// Cycle at which the run aborted.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            SimError::Deadlock { cycle, .. }
+            | SimError::Livelock { cycle, .. }
+            | SimError::CycleBudgetExceeded { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The per-thread diagnostics, regardless of variant.
+    pub fn stuck_threads(&self) -> &[ThreadDiag] {
+        match self {
+            SimError::Deadlock { stuck_threads, .. }
+            | SimError::Livelock { stuck_threads, .. }
+            | SimError::CycleBudgetExceeded { stuck_threads, .. } => stuck_threads,
+        }
+    }
+
+    /// Short machine-readable kind name ("deadlock" / "livelock" /
+    /// "cycle-budget-exceeded"), used in sweep failure records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Livelock { .. } => "livelock",
+            SimError::CycleBudgetExceeded { .. } => "cycle-budget-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock {
+                cycle,
+                stuck_threads,
+            } => write!(
+                f,
+                "deadlock at cycle {cycle}: {} thread(s) stuck",
+                stuck_threads.len()
+            ),
+            SimError::Livelock {
+                cycle,
+                last_progress_cycle,
+                stuck_threads,
+            } => write!(
+                f,
+                "livelock at cycle {cycle}: no progress since cycle \
+                 {last_progress_cycle}, {} thread(s) stuck",
+                stuck_threads.len()
+            ),
+            SimError::CycleBudgetExceeded {
+                cycle,
+                budget,
+                stuck_threads,
+            } => write!(
+                f,
+                "cycle budget {budget} exceeded at cycle {cycle}: \
+                 {} thread(s) unfinished",
+                stuck_threads.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

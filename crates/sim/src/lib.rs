@@ -12,9 +12,11 @@
 //! * [`bus`] — the three shared buses with FIFO arbitration and
 //!   contention accounting (where CORD's overhead comes from).
 //! * [`sync`] — functional lock/flag/barrier semantics.
-//! * [`engine`] — the execution engine: expands synchronization
-//!   primitives into labeled accesses, schedules threads, applies fault
-//!   injection (§3.4), and drives observers.
+//! * [`engine`] — the execution engine's step loop, composing the
+//!   focused kernel layers: [`syncexp`] (sync-op → labeled-access
+//!   expansion), [`sched`] (ready-core selection), [`inject`] (fault
+//!   injection, §3.4), [`migrate`] (barrier migration + §2.7.4
+//!   resync), and [`errors`] (abort diagnostics).
 //! * [`observer`] — the [`MemoryObserver`](observer::MemoryObserver)
 //!   hook trait detectors implement.
 //! * [`truth`] — ground-truth functional outcomes for replay
@@ -54,10 +56,15 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod errors;
+pub mod inject;
 pub mod memsys;
+pub mod migrate;
 pub mod observer;
+pub mod sched;
 pub mod stats;
 pub mod sync;
+pub mod syncexp;
 pub mod truth;
 
 pub use config::{MachineConfig, Watchdog};

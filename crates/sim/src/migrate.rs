@@ -1,0 +1,86 @@
+//! Thread migration: barrier-release rotation and the §2.7.4
+//! resynchronization bump.
+//!
+//! A thread rescheduled onto a core whose caches carry another thread's
+//! timestamps has never been ordered against them — co-resident
+//! conflicts are exempt from race checks, so only the resynchronization
+//! bump orders them for replay. That applies both when the thread
+//! changed cores and when its old core ran a different thread meanwhile
+//! (same-core reschedule after time-sharing).
+
+use crate::engine::Machine;
+use crate::observer::{CoreId, MemoryObserver};
+use cord_obs::{EventKind, TraceEvent};
+use cord_trace::types::ThreadId;
+
+impl<O: MemoryObserver> Machine<'_, O> {
+    /// Applies the §2.7.4 resynchronization when thread `t` is
+    /// (re)granted `core`: notifies the observer (which bumps the
+    /// thread past the destination core's max timestamp) and records
+    /// the migration, then marks `t` as the core's current tenant.
+    pub(crate) fn resync_on_reschedule(&mut self, t: usize, core: usize) {
+        // Resynchronize when the thread changed cores *or* the core ran
+        // another thread meanwhile (same-core reschedule after
+        // time-sharing): either way its caches hold timestamps the
+        // incoming thread has never been ordered against.
+        if self.last_core[t] != Some(core) || self.core_last_thread[core] != Some(t) {
+            let from = self.last_core[t].unwrap_or(core);
+            self.observer.on_thread_migrated(
+                ThreadId(t as u16),
+                CoreId(from as u8),
+                CoreId(core as u8),
+            );
+            self.stats.migrations += 1;
+            let when = self.ctxs[t].ready_at;
+            self.trace.emit(|| TraceEvent {
+                cycle: when,
+                thread: t as u16,
+                kind: EventKind::Migration {
+                    from: from as u8,
+                    to: core as u8,
+                },
+            });
+        }
+        self.last_core[t] = Some(core);
+        self.core_last_thread[core] = Some(t);
+    }
+
+    /// Rotates scheduled threads to the next core (barrier-release
+    /// migration, §2.7.4).
+    pub(crate) fn rotate_threads(&mut self) {
+        let scheduled: Vec<usize> = (0..self.ctxs.len())
+            .filter(|&t| self.core_of[t].is_some())
+            .collect();
+        if scheduled.len() < 2 {
+            return;
+        }
+        let cores: Vec<usize> = scheduled
+            .iter()
+            .map(|&t| self.core_of[t].unwrap())
+            .collect();
+        for (k, &t) in scheduled.iter().enumerate() {
+            let from = cores[k];
+            let to = cores[(k + 1) % cores.len()];
+            self.core_of[t] = Some(to);
+            self.last_core[t] = Some(to);
+            self.core_last_thread[to] = Some(t);
+            if from != to {
+                self.observer.on_thread_migrated(
+                    ThreadId(t as u16),
+                    CoreId(from as u8),
+                    CoreId(to as u8),
+                );
+                self.stats.migrations += 1;
+                let when = self.ctxs[t].ready_at;
+                self.trace.emit(|| TraceEvent {
+                    cycle: when,
+                    thread: t as u16,
+                    kind: EventKind::Migration {
+                        from: from as u8,
+                        to: to as u8,
+                    },
+                });
+            }
+        }
+    }
+}

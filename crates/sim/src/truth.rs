@@ -12,8 +12,8 @@
 //! entire execution can be accurately replayed").
 
 use crate::observer::AccessKind;
+use cord_trace::layout::dense_word_index;
 use cord_trace::types::{Addr, ThreadId};
-use std::collections::HashMap;
 
 /// One access in a thread's resolved (post-expansion) stream, captured
 /// when [`MachineConfig::capture_resolved`](crate::config::MachineConfig)
@@ -40,16 +40,19 @@ pub fn fnv_fold(hash: u64, value: u64) -> u64 {
     h
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis (the initial value [`fnv_fold`] chains start
+/// from).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Tracks write versions and per-thread outcome hashes during a run.
 #[derive(Debug, Clone)]
 pub struct GroundTruth {
-    /// Per-word write version (how many writes this word has seen).
-    /// Versions are per-word, not global, so reorderings of
-    /// *non-conflicting* accesses leave every hash unchanged — replay
-    /// verification must only be sensitive to conflict outcomes.
-    versions: HashMap<u64, u64>,
+    /// Per-word write version (how many writes this word has seen),
+    /// indexed by the dense word index and grown on demand. Versions are
+    /// per-word, not global, so reorderings of *non-conflicting*
+    /// accesses leave every hash unchanged — replay verification must
+    /// only be sensitive to conflict outcomes.
+    versions: Vec<u64>,
     thread_hashes: Vec<u64>,
     resolved: Option<Vec<Vec<ResolvedAccess>>>,
     total_writes: u64,
@@ -61,7 +64,7 @@ impl GroundTruth {
     /// also record per-thread resolved access streams for the replayer.
     pub fn new(threads: usize, capture_resolved: bool) -> Self {
         GroundTruth {
-            versions: HashMap::new(),
+            versions: Vec::new(),
             thread_hashes: vec![FNV_OFFSET; threads],
             resolved: capture_resolved.then(|| vec![Vec::new(); threads]),
             total_writes: 0,
@@ -71,14 +74,17 @@ impl GroundTruth {
 
     /// Commits one access and folds its outcome into the thread's hash.
     pub fn commit(&mut self, thread: ThreadId, instr_index: u64, addr: Addr, kind: AccessKind) {
+        let w = dense_word_index(addr);
         let version = if kind.is_write() {
             self.total_writes += 1;
-            let v = self.versions.entry(addr.byte()).or_insert(0);
-            *v += 1;
-            *v
+            if w >= self.versions.len() {
+                self.versions.resize(w + 1, 0);
+            }
+            self.versions[w] += 1;
+            self.versions[w]
         } else {
             self.total_reads += 1;
-            self.versions.get(&addr.byte()).copied().unwrap_or(0)
+            self.versions.get(w).copied().unwrap_or(0)
         };
         let h = &mut self.thread_hashes[thread.index()];
         *h = fnv_fold(*h, instr_index);

@@ -1,0 +1,573 @@
+//! Behavioural tests of the execution engine, exercised through the
+//! public `cord_sim` API (they moved here from `src/engine.rs` when the
+//! engine was split into layered modules — nothing they touch is
+//! crate-private).
+
+use cord_sim::config::{MachineConfig, Watchdog};
+use cord_sim::engine::{InjectionPlan, Machine, RunOutput, SimError, StuckState};
+use cord_sim::observer::{AccessKind, NullObserver};
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+fn run_workload(w: &Workload, seed: u64) -> RunOutput {
+    let m = Machine::new(
+        MachineConfig::paper_4core(),
+        w,
+        NullObserver,
+        seed,
+        InjectionPlan::none(),
+    );
+    let (out, _) = m.run().expect("no deadlock");
+    out
+}
+
+mod engine_tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_sequential_run() {
+        let mut b = WorkloadBuilder::new("seq", 1);
+        let d = b.alloc_words(4);
+        b.thread_mut(0)
+            .write(d.word(0))
+            .read(d.word(0))
+            .compute(100)
+            .write(d.word(1));
+        let w = b.build();
+        let out = run_workload(&w, 1);
+        assert_eq!(out.stats.data_reads, 1);
+        assert_eq!(out.stats.data_writes, 2);
+        assert_eq!(out.stats.instr_counts[0], 103);
+        assert!(out.stats.cycles > 600); // at least one memory fetch
+        assert_eq!(out.stats.memory_fills, 1);
+        assert!(out.stats.l1_hits >= 2);
+    }
+
+    #[test]
+    fn lock_provides_mutual_exclusion_ordering() {
+        let mut b = WorkloadBuilder::new("lock", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let out = run_workload(&w, 7);
+        // 2 acquires (read+write) + 2 releases (write) minimum; the
+        // blocked acquirer re-reads, adding one more sync read.
+        assert!(out.stats.sync_writes >= 4);
+        assert!(out.stats.sync_reads >= 2);
+        assert_eq!(out.stats.data_reads, 2);
+        assert_eq!(out.stats.data_writes, 2);
+    }
+
+    #[test]
+    fn flag_orders_producer_consumer() {
+        let mut b = WorkloadBuilder::new("flag", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(5000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let out = run_workload(&w, 3);
+        // The consumer blocked (its first flag read saw unset) and was
+        // woken, so it read the flag at least twice.
+        assert!(out.stats.sync_reads >= 2);
+        assert_eq!(out.stats.sync_writes, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let mut b = WorkloadBuilder::new("barrier", 4);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(16);
+        for t in 0..4 {
+            b.thread_mut(t)
+                .compute((t as u32 + 1) * 1000)
+                .write(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(((t + 1) % 4) as u64));
+        }
+        let w = b.build();
+        let out = run_workload(&w, 11);
+        // Each thread: 1 write + 1 read data, plus 2 counter accesses.
+        assert_eq!(out.stats.data_writes, 4 + 4 + 1); // +1 counter reset
+        assert_eq!(out.stats.data_reads, 4 + 4);
+        // 4 removable instances for the internal lock + 3 for waits.
+        assert_eq!(out.stats.removable_sync_instances, 7);
+        assert!(!out.stats.injection_applied);
+    }
+
+    #[test]
+    fn barrier_repeats_across_episodes() {
+        let mut b = WorkloadBuilder::new("barrier2", 3);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_words(3);
+        for t in 0..3 {
+            let tb = &mut b.thread_mut(t);
+            for _ in 0..4 {
+                tb.write(d.word(t as u64)).barrier(bar);
+            }
+        }
+        let w = b.build();
+        let out = run_workload(&w, 5);
+        assert_eq!(out.stats.data_writes, 3 * 4 + 3 * 4 + 4); // data + counter inc per arrival + resets
+    }
+
+    #[test]
+    fn injection_removes_lock_and_its_unlock() {
+        let mut b = WorkloadBuilder::new("inj", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let baseline = run_workload(&w, 9);
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            9,
+            InjectionPlan::remove_nth(0),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert!(out.stats.injection_applied);
+        // The removed acquire+release eliminates sync accesses.
+        assert!(out.stats.sync_writes < baseline.stats.sync_writes);
+        assert_eq!(out.stats.removable_sync_instances, 2);
+    }
+
+    #[test]
+    fn injection_removes_flag_wait() {
+        let mut b = WorkloadBuilder::new("injf", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(10_000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            13,
+            InjectionPlan::remove_nth(0),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert!(out.stats.injection_applied);
+        // The reader no longer waits: it finishes long before the writer.
+        assert!(out.stats.per_core_cycles[1] < out.stats.per_core_cycles[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = WorkloadBuilder::new("det", 4);
+        let l = b.alloc_lock();
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(64);
+        for t in 0..4 {
+            let tb = &mut b.thread_mut(t);
+            for i in 0..16 {
+                tb.lock(l)
+                    .update(d.word((t as u64 * 16 + i) % 64))
+                    .unlock(l)
+                    .compute(50);
+            }
+            tb.barrier(bar);
+        }
+        let w = b.build();
+        let a = run_workload(&w, 42);
+        let b2 = run_workload(&w, 42);
+        assert_eq!(a.stats, b2.stats);
+        assert_eq!(a.truth.thread_hashes, b2.truth.thread_hashes);
+        // A different seed gives a different schedule (almost surely).
+        // The total cycle count can tie — the lock convoy absorbs
+        // jitter — so compare the full stats (bus waits, per-core
+        // retire times), which are schedule-sensitive.
+        let c = run_workload(&w, 43);
+        assert_ne!(a.stats, c.stats);
+    }
+
+    #[test]
+    fn migration_rotates_threads_at_barriers() {
+        let mut b = WorkloadBuilder::new("mig", 4);
+        let bar = b.alloc_barrier();
+        let d = b.alloc_line_aligned(4);
+        for t in 0..4 {
+            b.thread_mut(t)
+                .write(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(t as u64))
+                .barrier(bar)
+                .read(d.word(t as u64));
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core().with_barrier_migration(),
+            &w,
+            NullObserver,
+            17,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert_eq!(out.stats.migrations, 8); // 4 threads x 2 barriers
+                                             // After migrating away, the second read misses (data is in the
+                                             // old core's cache).
+        assert!(out.stats.sibling_fills > 0);
+    }
+
+    #[test]
+    fn truth_reflects_lock_serialization() {
+        // With a lock, the two updates serialize; the final version
+        // count is exactly 2 writes regardless of schedule.
+        let mut b = WorkloadBuilder::new("truth", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let out = run_workload(&w, 21);
+        // Truth counts every committed access, sync included.
+        assert_eq!(
+            out.truth.total_writes,
+            out.stats.data_writes + out.stats.sync_writes
+        );
+        assert_eq!(
+            out.truth.total_reads,
+            out.stats.data_reads + out.stats.sync_reads
+        );
+        assert_eq!(out.stats.data_writes, 2);
+        assert_eq!(out.stats.data_reads, 2);
+    }
+
+    #[test]
+    fn resolved_capture_produces_streams() {
+        let mut b = WorkloadBuilder::new("cap", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core().with_resolved_capture(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        let streams = out.truth.resolved.expect("captured");
+        assert_eq!(streams.len(), 2);
+        assert!(streams[0].iter().any(|r| r.kind == AccessKind::SyncWrite));
+        assert!(streams[1].iter().any(|r| r.kind == AccessKind::DataRead));
+    }
+}
+
+mod engine_edge_tests {
+    use super::*;
+
+    /// Fewer threads than cores: the spare cores stay idle and the run
+    /// completes normally.
+    #[test]
+    fn fewer_threads_than_cores() {
+        let mut b = WorkloadBuilder::new("two-of-four", 2);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert_eq!(out.stats.instr_counts.len(), 2);
+        assert!(out.stats.cycles > 0);
+    }
+
+    /// Flag reset makes a flag reusable: a second wait after a reset
+    /// blocks until the second set.
+    #[test]
+    fn flag_reset_enables_reuse() {
+        let mut b = WorkloadBuilder::new("flag-reuse", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(2);
+        b.thread_mut(0)
+            .compute(5_000)
+            .write(d.word(0))
+            .flag_set(g)
+            .compute(50_000)
+            .write(d.word(1))
+            .flag_set(g);
+        b.thread_mut(1)
+            .flag_wait(g)
+            .read(d.word(0))
+            .flag_reset(g)
+            .flag_wait(g)
+            .read(d.word(1));
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        // The consumer's second read happens after the producer's second
+        // write: its core finishes after the 50k-cycle gap.
+        assert!(out.stats.per_core_cycles[1] > 50_000);
+    }
+
+    /// With jitter disabled the machine is fully deterministic across
+    /// any two seeds.
+    #[test]
+    fn zero_jitter_removes_seed_sensitivity() {
+        let mut b = WorkloadBuilder::new("nojit", 2);
+        let d = b.alloc_line_aligned(8);
+        for t in 0..2 {
+            for i in 0..4 {
+                b.thread_mut(t)
+                    .update(d.word((t as u64 * 4 + i) % 8))
+                    .compute(10);
+            }
+        }
+        let w = b.build();
+        let run = |seed| {
+            let mut cfg = MachineConfig::paper_4core();
+            cfg.jitter_cycles = 0;
+            let m = Machine::new(cfg, &w, NullObserver, seed, InjectionPlan::none());
+            m.run().expect("ok").0.stats
+        };
+        assert_eq!(run(1), run(999));
+    }
+
+    /// A lock under heavy contention hands off FIFO: every thread gets
+    /// its critical section (run terminates) and sync writes match
+    /// 2 per acquire-release pair.
+    #[test]
+    fn contended_lock_serves_all_threads() {
+        let mut b = WorkloadBuilder::new("contend", 4);
+        let l = b.alloc_lock();
+        let d = b.alloc_words(1);
+        for t in 0..4 {
+            for _ in 0..5 {
+                b.thread_mut(t).lock(l).update(d.word(0)).unlock(l);
+            }
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            3,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        // 20 acquires (take write) + 20 releases.
+        assert_eq!(out.stats.sync_writes, 40);
+        assert_eq!(out.stats.data_reads, 20);
+        assert_eq!(out.stats.data_writes, 20);
+    }
+}
+
+mod watchdog_tests {
+    use super::*;
+
+    /// Producer sets a flag the consumer waits on.
+    fn flag_pair() -> Workload {
+        let mut b = WorkloadBuilder::new("wd-flag", 2);
+        let g = b.alloc_flag();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).compute(2_000).write(d.word(0)).flag_set(g);
+        b.thread_mut(1).flag_wait(g).read(d.word(0));
+        b.build()
+    }
+
+    #[test]
+    fn release_instances_are_counted() {
+        let w = flag_pair();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("clean run");
+        assert_eq!(out.stats.release_sync_instances, 1);
+        assert!(!out.stats.injection_applied);
+    }
+
+    #[test]
+    fn barrier_release_counts_as_release_instance() {
+        let mut b = WorkloadBuilder::new("wd-bar", 4);
+        let bar = b.alloc_barrier();
+        for t in 0..4 {
+            b.thread_mut(t).compute(100).barrier(bar);
+        }
+        let w = b.build();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::none(),
+        );
+        let (out, _) = m.run().expect("clean run");
+        // One episode: the last arrival's internal flag set.
+        assert_eq!(out.stats.release_sync_instances, 1);
+    }
+
+    #[test]
+    fn removed_release_deadlocks_blocking_waiter() {
+        let w = flag_pair();
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::remove_release_nth(0),
+        );
+        let err = m.run().expect_err("waiter must hang");
+        match &err {
+            SimError::Deadlock {
+                cycle,
+                stuck_threads,
+            } => {
+                assert!(*cycle > 0);
+                assert_eq!(stuck_threads.len(), 1);
+                let diag = &stuck_threads[0];
+                assert_eq!(diag.thread.index(), 1);
+                assert!(
+                    matches!(diag.state, StuckState::BlockedOnFlag(_)),
+                    "unexpected stuck state: {}",
+                    diag.state
+                );
+                assert!(diag.op_idx < diag.ops_total);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        assert_eq!(err.kind(), "deadlock");
+    }
+
+    #[test]
+    fn removed_release_livelocks_spinning_waiter() {
+        let w = flag_pair();
+        let cfg = MachineConfig::paper_4core()
+            .with_spin_waits(50)
+            .with_watchdog(Watchdog::progress_window(200_000));
+        let m = Machine::new(
+            cfg,
+            &w,
+            NullObserver,
+            1,
+            InjectionPlan::remove_release_nth(0),
+        );
+        let err = m.run().expect_err("spinner must livelock");
+        match &err {
+            SimError::Livelock {
+                cycle,
+                last_progress_cycle,
+                stuck_threads,
+            } => {
+                assert!(cycle > last_progress_cycle);
+                assert!(cycle - last_progress_cycle > 200_000);
+                let spinner = stuck_threads
+                    .iter()
+                    .find(|d| d.thread.index() == 1)
+                    .expect("thread 1 diagnosed");
+                assert!(
+                    matches!(spinner.state, StuckState::SpinningOnFlag(_)),
+                    "unexpected stuck state: {}",
+                    spinner.state
+                );
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+        assert_eq!(err.kind(), "livelock");
+    }
+
+    #[test]
+    fn cycle_budget_trips_on_long_run() {
+        let mut b = WorkloadBuilder::new("wd-budget", 2);
+        let d = b.alloc_words(1);
+        for t in 0..2 {
+            b.thread_mut(t).compute(50_000).write(d.word(0));
+        }
+        let w = b.build();
+        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::cycle_budget(10_000));
+        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+        let err = m.run().expect_err("budget must trip");
+        match &err {
+            SimError::CycleBudgetExceeded {
+                cycle,
+                budget,
+                stuck_threads,
+            } => {
+                assert_eq!(*budget, 10_000);
+                assert!(*cycle > 10_000);
+                assert!(!stuck_threads.is_empty());
+            }
+            other => panic!("expected budget exceeded, got {other}"),
+        }
+        assert_eq!(err.kind(), "cycle-budget-exceeded");
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_healthy_runs() {
+        let w = flag_pair();
+        let cfg = MachineConfig::paper_4core().with_watchdog(Watchdog::new(50_000_000, 10_000_000));
+        let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+        assert!(m.run().is_ok());
+    }
+
+    #[test]
+    fn spin_waits_complete_clean_runs() {
+        let w = flag_pair();
+        let blocking = {
+            let m = Machine::new(
+                MachineConfig::paper_4core(),
+                &w,
+                NullObserver,
+                1,
+                InjectionPlan::none(),
+            );
+            m.run().expect("blocking run").0
+        };
+        let spinning = {
+            let cfg = MachineConfig::paper_4core().with_spin_waits(50);
+            let m = Machine::new(cfg, &w, NullObserver, 1, InjectionPlan::none());
+            m.run().expect("spin run").0
+        };
+        // Same data accesses either way; spinning only adds sync reads.
+        assert_eq!(blocking.stats.data_reads, spinning.stats.data_reads);
+        assert_eq!(blocking.stats.data_writes, spinning.stats.data_writes);
+        assert!(spinning.stats.sync_reads >= blocking.stats.sync_reads);
+    }
+
+    #[test]
+    fn failure_is_deterministic_for_a_seed() {
+        let w = flag_pair();
+        let run = || {
+            let cfg = MachineConfig::paper_4core()
+                .with_spin_waits(50)
+                .with_watchdog(Watchdog::progress_window(100_000));
+            Machine::new(
+                cfg,
+                &w,
+                NullObserver,
+                9,
+                InjectionPlan::remove_release_nth(0),
+            )
+            .run()
+            .expect_err("livelock")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -9,11 +9,77 @@
 //! sense-reversing flags, and its arrival counter word) resolve to stable
 //! addresses.
 
-use crate::types::{Addr, BarrierId, FlagId, LockId, LINE_BYTES};
+use crate::types::{Addr, BarrierId, FlagId, LineAddr, LockId, LINE_BYTES, WORDS_PER_LINE};
 
 /// First byte of the synchronization-object region. Data allocations must
 /// stay below this.
 pub const SYNC_BASE: u64 = 0x1000_0000;
+
+/// First *line* of the synchronization-object region
+/// ([`SYNC_BASE`]` / LINE_BYTES`).
+pub const SYNC_BASE_LINE: u64 = SYNC_BASE / LINE_BYTES;
+
+/// Maps a line address to its dense line index.
+///
+/// The workload address space has two live bands — the data heap
+/// growing up from zero and the sync-object region at [`SYNC_BASE`] —
+/// so raw line numbers are unusable as vector indices (the sync band
+/// starts at line 4M). Interleaving the two bands closes the gap with
+/// pure arithmetic: data line `L` maps to `2L`, the `o`-th sync line to
+/// `2o + 1`. The mapping is total, injective, and layout-independent,
+/// which lets shadow state index flat vectors instead of hashing per
+/// access while keeping detector constructors free of layout plumbing.
+#[inline]
+pub fn dense_line_index(line: LineAddr) -> usize {
+    if line.0 >= SYNC_BASE_LINE {
+        (((line.0 - SYNC_BASE_LINE) << 1) | 1) as usize
+    } else {
+        (line.0 << 1) as usize
+    }
+}
+
+/// Maps a word address to its dense word index:
+/// `dense_line_index(line) * 16 + word_in_line`.
+#[inline]
+pub fn dense_word_index(addr: Addr) -> usize {
+    dense_line_index(addr.line()) * WORDS_PER_LINE as usize + addr.word_in_line()
+}
+
+/// Up-front capacity bounds for [`dense_line_index`] /
+/// [`dense_word_index`] under a given [`AddressLayout`] — the footprint
+/// is known before a run starts, so shadow structures can pre-size
+/// their vectors instead of growing on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseLineMap {
+    line_capacity: usize,
+}
+
+impl DenseLineMap {
+    /// Capacity bounds for `layout`. Assumes the data heap is laid out
+    /// from address zero (as the workload builder does); a generator
+    /// using higher data addresses only loses the pre-sizing, not
+    /// correctness — consumers grow on demand past the bound.
+    pub fn new(layout: &AddressLayout) -> Self {
+        let data_lines = layout.data_words().div_ceil(WORDS_PER_LINE);
+        let sync_lines = u64::from(layout.total_locks())
+            + u64::from(layout.total_flags())
+            + u64::from(layout.barriers());
+        let max_index = (2 * data_lines).max(2 * sync_lines);
+        DenseLineMap {
+            line_capacity: max_index as usize,
+        }
+    }
+
+    /// One past the largest dense *line* index the layout can produce.
+    pub fn line_capacity(&self) -> usize {
+        self.line_capacity
+    }
+
+    /// One past the largest dense *word* index the layout can produce.
+    pub fn word_capacity(&self) -> usize {
+        self.line_capacity * WORDS_PER_LINE as usize
+    }
+}
 
 /// Maps synchronization object IDs to memory addresses.
 ///
@@ -215,6 +281,51 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_lock_panics() {
         AddressLayout::new(1, 0, 0, 0).lock_addr(LockId(1));
+    }
+
+    #[test]
+    fn dense_line_index_interleaves_bands() {
+        // Data lines take even indices, sync lines odd ones.
+        assert_eq!(dense_line_index(LineAddr(0)), 0);
+        assert_eq!(dense_line_index(LineAddr(1)), 2);
+        assert_eq!(dense_line_index(LineAddr(SYNC_BASE_LINE)), 1);
+        assert_eq!(dense_line_index(LineAddr(SYNC_BASE_LINE + 2)), 5);
+    }
+
+    #[test]
+    fn dense_line_index_is_injective_across_bands() {
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..1000 {
+            assert!(seen.insert(dense_line_index(LineAddr(l))));
+            assert!(seen.insert(dense_line_index(LineAddr(SYNC_BASE_LINE + l))));
+        }
+    }
+
+    #[test]
+    fn dense_word_index_tracks_word_in_line() {
+        let a = Addr::new(0x44);
+        assert_eq!(
+            dense_word_index(a),
+            dense_line_index(a.line()) * 16 + a.word_in_line()
+        );
+        let s = Addr::new(SYNC_BASE + 8);
+        assert_eq!(dense_word_index(s), 16 + 2);
+    }
+
+    #[test]
+    fn dense_map_capacity_covers_layout() {
+        let l = AddressLayout::new(2, 2, 2, 1024);
+        let m = DenseLineMap::new(&l);
+        // Largest sync object line: 2 + 2 + (2 locks + 4 flags) → 10
+        // sync lines; largest data line: 1024/16 = 64 lines.
+        for i in 0..l.total_locks() {
+            assert!(dense_line_index(l.lock_addr(LockId(i)).line()) < m.line_capacity());
+        }
+        for i in 0..l.total_flags() {
+            assert!(dense_line_index(l.flag_addr(FlagId(i)).line()) < m.line_capacity());
+        }
+        assert!(dense_line_index(LineAddr(63)) < m.line_capacity());
+        assert_eq!(m.word_capacity(), m.line_capacity() * 16);
     }
 
     #[test]

@@ -37,4 +37,10 @@ diff "$smoke_dir/serial.txt" "$smoke_dir/observed.txt"
 test -s "$smoke_dir/metrics.json"
 ls "$smoke_dir/traces"/*.json > /dev/null
 
+echo "== refactor guard: mini sweep must match the committed fixtures =="
+./target/release/refactor_guard "$smoke_dir/guard"
+diff "$smoke_dir/guard/results.json" crates/bench/tests/fixtures/refactor_guard/results.json
+diff "$smoke_dir/guard/checkpoint.json" crates/bench/tests/fixtures/refactor_guard/checkpoint.json
+./target/release/refactor_guard --bench BENCH_engine.json
+
 echo "ci: all green"
