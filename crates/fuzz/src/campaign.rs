@@ -1,0 +1,397 @@
+//! Pool-parallel fuzz campaigns.
+//!
+//! A campaign fans `count` seed-derived cases over a `cord-pool`
+//! worker pool. Determinism is load-bearing: case seeds are a pure
+//! function of the master seed and the case index, results come back
+//! in submission order (`run_ordered`), and shrinking plus reproducer
+//! writing happen serially afterwards in index order — so a campaign's
+//! rendered report is byte-identical across reruns and across any
+//! `--jobs` count. The optional wall-clock budget is only checked
+//! between chunks and exists as a CI safety valve; when it fires, the
+//! report says so and the truncation point (alone) becomes
+//! timing-dependent.
+
+use crate::corpus::{write_reproducer, Reproducer};
+use crate::gen::{generate, GenConfig};
+use crate::oracle::{check_workload, OracleOptions, OracleReport};
+use crate::shrink::shrink_workload;
+use cord_pool::Pool;
+use cord_trace::program::Workload;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which generator population a campaign draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenMode {
+    /// Mostly-safe phases with racy ones mixed in (the default).
+    Mixed,
+    /// Race-free-by-construction workloads; the oracle additionally
+    /// requires an empty ground truth on every run.
+    RaceFree,
+}
+
+impl GenMode {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<GenMode> {
+        match s {
+            "mixed" => Some(GenMode::Mixed),
+            "race-free" => Some(GenMode::RaceFree),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenMode::Mixed => "mixed",
+            GenMode::RaceFree => "race-free",
+        }
+    }
+}
+
+/// Everything a campaign needs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; case `i` derives its own seed from it.
+    pub master_seed: u64,
+    /// Number of cases.
+    pub count: usize,
+    /// Worker threads (1 = serial).
+    pub jobs: usize,
+    /// Generator population.
+    pub mode: GenMode,
+    /// Generator sizing knobs (`race_free` is overridden by `mode`).
+    pub gen: GenConfig,
+    /// Oracle battery knobs (`expect_race_free` is overridden by
+    /// `mode`).
+    pub oracle: OracleOptions,
+    /// Oracle evaluations the shrinker may spend per failing case.
+    pub shrink_candidates: usize,
+    /// Where to write reproducers for failing cases (`None` = don't).
+    pub corpus_dir: Option<PathBuf>,
+    /// Wall-clock safety valve, checked between chunks.
+    pub budget_secs: Option<u64>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            master_seed: 1,
+            count: 100,
+            jobs: 1,
+            mode: GenMode::Mixed,
+            gen: GenConfig::default(),
+            oracle: OracleOptions::default(),
+            shrink_candidates: 300,
+            corpus_dir: None,
+            budget_secs: None,
+        }
+    }
+}
+
+/// The deterministic seed of case `i` (same idiom as the sweep
+/// runner's `run_seed`).
+pub fn case_seed(master_seed: u64, i: usize) -> u64 {
+    master_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+}
+
+/// One case's outcome.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// The case's derived generator seed.
+    pub seed: u64,
+    /// The oracle's findings (empty when the worker panicked instead).
+    pub oracle: OracleReport,
+    /// Panic message, if the worker died.
+    pub panic: Option<String>,
+    /// `(threads, total_ops)` of the shrunk reproducer, when shrinking
+    /// ran and made progress or reproduced at all.
+    pub shrunk: Option<(usize, usize)>,
+    /// Where the reproducer was written, if a corpus dir was set.
+    pub reproducer: Option<PathBuf>,
+}
+
+impl CaseReport {
+    /// `true` when the case neither violated an invariant nor panicked.
+    pub fn passed(&self) -> bool {
+        self.panic.is_none() && self.oracle.passed()
+    }
+}
+
+/// The whole campaign's outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Per-case outcomes, in index order, for the cases that ran.
+    pub cases: Vec<CaseReport>,
+    /// Cases requested.
+    pub requested: usize,
+    /// `true` when the wall-clock budget truncated the campaign.
+    pub budget_exhausted: bool,
+}
+
+impl CampaignReport {
+    /// Failing cases (violations or panics).
+    pub fn failures(&self) -> usize {
+        self.cases.iter().filter(|c| !c.passed()).count()
+    }
+
+    /// `true` when every case that ran passed and nothing was cut
+    /// short.
+    pub fn clean(&self) -> bool {
+        self.failures() == 0 && !self.budget_exhausted
+    }
+
+    /// Renders the deterministic text report (stable across reruns and
+    /// job counts; no timings, no timestamps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut racy_cases = 0usize;
+        let mut truth_races = 0usize;
+        let mut events = 0usize;
+        let mut inj_checked = 0usize;
+        let mut inj_aborted = 0usize;
+        let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+        for c in &self.cases {
+            if c.oracle.truth_races > 0 {
+                racy_cases += 1;
+            }
+            truth_races += c.oracle.truth_races;
+            events += c.oracle.events;
+            inj_checked += c.oracle.injections_checked;
+            inj_aborted += c.oracle.injections_aborted;
+            for v in &c.oracle.violations {
+                *kinds.entry(v.kind().to_owned()).or_insert(0) += 1;
+            }
+            if c.panic.is_some() {
+                *kinds.entry("panic".to_owned()).or_insert(0) += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "fuzz campaign: {} of {} cases, {} failures",
+            self.cases.len(),
+            self.requested,
+            self.failures(),
+        );
+        let _ = writeln!(
+            out,
+            "  accesses observed: {events}; racy cases: {racy_cases}; \
+             ground-truth racy words: {truth_races}"
+        );
+        let _ = writeln!(
+            out,
+            "  injection re-runs: {inj_checked} checked, {inj_aborted} aborted (expected)"
+        );
+        if self.budget_exhausted {
+            let _ = writeln!(out, "  WALL-CLOCK BUDGET EXHAUSTED (campaign truncated)");
+        }
+        for (kind, n) in &kinds {
+            let _ = writeln!(out, "  violation {kind}: {n}");
+        }
+        for c in &self.cases {
+            if c.passed() {
+                continue;
+            }
+            let _ = writeln!(out, "case {} seed {:#018x}:", c.index, c.seed);
+            if let Some(msg) = &c.panic {
+                let _ = writeln!(out, "  panicked: {msg}");
+            }
+            for v in &c.oracle.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+            if let Some((threads, ops)) = c.shrunk {
+                let _ = writeln!(out, "  shrunk to {threads} threads, {ops} ops");
+            }
+            if let Some(path) = &c.reproducer {
+                let _ = writeln!(out, "  reproducer: {}", path.display());
+            }
+        }
+        out
+    }
+}
+
+fn effective_configs(cfg: &CampaignConfig) -> (GenConfig, OracleOptions) {
+    let mut g = cfg.gen.clone();
+    let mut o = cfg.oracle.clone();
+    match cfg.mode {
+        GenMode::Mixed => {
+            g.race_free = false;
+            o.expect_race_free = false;
+        }
+        GenMode::RaceFree => {
+            g.race_free = true;
+            o.expect_race_free = true;
+        }
+    }
+    (g, o)
+}
+
+/// Runs a campaign. `progress` is called after each chunk with
+/// `(cases_done, cases_total)` — report rendering stays deterministic
+/// because progress goes to the caller (stderr), never into the
+/// report.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> CampaignReport {
+    let (gen_cfg, oracle_opts) = effective_configs(cfg);
+    let pool = Pool::new(cfg.jobs.max(1));
+    let chunk = (cfg.jobs.max(1) * 8).max(16);
+    let start = Instant::now();
+
+    let mut report = CampaignReport {
+        requested: cfg.count,
+        ..CampaignReport::default()
+    };
+
+    let mut next = 0usize;
+    while next < cfg.count {
+        if let Some(budget) = cfg.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                report.budget_exhausted = true;
+                break;
+            }
+        }
+        let end = (next + chunk).min(cfg.count);
+        let jobs: Vec<_> = (next..end)
+            .map(|i| {
+                let gen_cfg = gen_cfg.clone();
+                let oracle_opts = oracle_opts.clone();
+                let seed = case_seed(cfg.master_seed, i);
+                move || -> (Workload, OracleReport) {
+                    let w = generate(&gen_cfg, seed);
+                    let oracle = check_workload(&w, &oracle_opts);
+                    (w, oracle)
+                }
+            })
+            .collect();
+        let results = pool.run_ordered(jobs);
+        for (offset, result) in results.into_iter().enumerate() {
+            let index = next + offset;
+            let seed = case_seed(cfg.master_seed, index);
+            let mut case = CaseReport {
+                index,
+                seed,
+                oracle: OracleReport::default(),
+                panic: None,
+                shrunk: None,
+                reproducer: None,
+            };
+            match result {
+                Ok((workload, oracle)) => {
+                    case.oracle = oracle;
+                    if !case.oracle.passed() {
+                        shrink_and_record(cfg, &oracle_opts, &workload, &mut case);
+                    }
+                }
+                Err(p) => case.panic = Some(p.message),
+            }
+            report.cases.push(case);
+        }
+        next = end;
+        progress(next, cfg.count);
+    }
+    report
+}
+
+/// Serial post-processing of one failing case: shrink against the
+/// first violation's kind and (optionally) write the reproducer.
+fn shrink_and_record(
+    cfg: &CampaignConfig,
+    oracle_opts: &OracleOptions,
+    workload: &Workload,
+    case: &mut CaseReport,
+) {
+    let Some(first) = case.oracle.violations.first() else {
+        return;
+    };
+    let kind = first.kind();
+    let (small, violation) =
+        match shrink_workload(workload, kind, oracle_opts, cfg.shrink_candidates) {
+            Some(out) => (out.workload, out.violation),
+            // Couldn't reproduce under the trimmed battery (should not
+            // happen for a deterministic oracle); fall back to the
+            // original workload so the reproducer still lands on disk.
+            None => (workload.clone(), first.clone()),
+        };
+    case.shrunk = Some((small.num_threads(), small.total_ops()));
+    if let Some(dir) = &cfg.corpus_dir {
+        let rep = Reproducer {
+            workload: small,
+            seed: Some(case.seed),
+            violation_kind: Some(violation.kind().to_owned()),
+            detail: Some(violation.to_string()),
+        };
+        match write_reproducer(dir, &rep) {
+            Ok(path) => case.reproducer = Some(path),
+            // Corpus write failure must not kill the campaign; the
+            // case already records the violation itself.
+            Err(_) => case.reproducer = None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 42,
+            count: 12,
+            jobs,
+            mode: GenMode::Mixed,
+            gen: GenConfig::default().short(),
+            oracle: OracleOptions {
+                check_rerun: false,
+                max_suppressions: 1,
+                max_injections: 1,
+                ..OracleOptions::default()
+            },
+            shrink_candidates: 50,
+            corpus_dir: None,
+            budget_secs: None,
+        }
+    }
+
+    #[test]
+    fn campaign_is_clean_and_jobs_invariant() {
+        let serial = run_campaign(&quick_config(1), |_, _| {});
+        let parallel = run_campaign(&quick_config(4), |_, _| {});
+        assert!(serial.clean(), "{}", serial.render());
+        assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn race_free_mode_forces_both_sides() {
+        let mut cfg = quick_config(2);
+        cfg.mode = GenMode::RaceFree;
+        cfg.count = 6;
+        let report = run_campaign(&cfg, |_, _| {});
+        assert!(report.clean(), "{}", report.render());
+        // Race-free cases must not observe any ground-truth races.
+        assert!(report.cases.iter().all(|c| c.oracle.truth_races == 0));
+    }
+
+    #[test]
+    fn case_seeds_are_stable() {
+        // Pinned: reproducers name these seeds; changing the derivation
+        // would orphan every corpus file.
+        assert_eq!(case_seed(1, 0), 0x9E37_79B9_7F4A_7C15);
+        assert_eq!(case_seed(1, 1), 0x9E37_79B9_7F4A_7C16);
+    }
+
+    #[test]
+    fn mode_parse_roundtrips() {
+        for m in [GenMode::Mixed, GenMode::RaceFree] {
+            assert_eq!(GenMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(GenMode::parse("bogus"), None);
+    }
+}

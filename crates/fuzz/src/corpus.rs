@@ -1,0 +1,286 @@
+//! Self-contained reproducers on disk.
+//!
+//! A reproducer is a workload in the `textfmt` format with its fuzz
+//! provenance (generator seed, violation kind, rendered detail) carried
+//! as `#` comment lines — the file round-trips through the stock
+//! [`cord_trace::textfmt`] parser, which skips comments, so any tool
+//! that reads workloads reads reproducers too. Comment lines sit right
+//! after the `workload` header because the parser requires the magic
+//! line first and the `workload` line second.
+//!
+//! The committed corpus under `crates/fuzz/corpus/` pins workload
+//! shapes that exposed real bugs in earlier PRs; the regression test
+//! replays each through the full oracle battery and requires a clean
+//! pass.
+
+use crate::oracle::{check_workload, OracleOptions, OracleReport};
+use cord_trace::program::Workload;
+use cord_trace::textfmt::{from_text, to_text, HEADER};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A workload plus the provenance of the failure it reproduces.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// The (usually shrunk) workload.
+    pub workload: Workload,
+    /// Generator seed that produced the original workload, if fuzzed.
+    pub seed: Option<u64>,
+    /// [`Violation::kind`] string of the original failure, if any.
+    ///
+    /// [`Violation::kind`]: crate::oracle::Violation::kind
+    pub violation_kind: Option<String>,
+    /// Human-readable description of the original failure.
+    pub detail: Option<String>,
+}
+
+/// Errors reading a corpus from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// A corpus file did not parse as a workload.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The rendered parse error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, detail } => {
+                write!(f, "corpus I/O error at {}: {detail}", path.display())
+            }
+            CorpusError::Parse { path, detail } => {
+                write!(f, "corpus parse error in {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Renders a reproducer to the commented `textfmt` form.
+pub fn render(rep: &Reproducer) -> String {
+    let body = to_text(&rep.workload);
+    let mut lines = body.lines();
+    let header = lines.next().unwrap_or(HEADER);
+    let workload_line = lines.next().unwrap_or_default();
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
+    out.push_str(workload_line);
+    out.push('\n');
+    if let Some(seed) = rep.seed {
+        out.push_str(&format!("# fuzz-seed: {seed:#018x}\n"));
+    }
+    if let Some(kind) = &rep.violation_kind {
+        out.push_str(&format!("# violation: {kind}\n"));
+    }
+    if let Some(detail) = &rep.detail {
+        for line in detail.lines() {
+            out.push_str(&format!("# detail: {line}\n"));
+        }
+    }
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a reproducer (provenance comments are optional, so any plain
+/// `textfmt` workload loads too).
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Parse`] when the text is not a valid
+/// workload; `path` is used only for error attribution.
+pub fn parse(text: &str, path: &Path) -> Result<Reproducer, CorpusError> {
+    let workload = from_text(text).map_err(|e| CorpusError::Parse {
+        path: path.to_path_buf(),
+        detail: format!("{e:?}"),
+    })?;
+    let mut seed = None;
+    let mut violation_kind = None;
+    let mut detail: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# fuzz-seed:") {
+            let rest = rest.trim();
+            seed = rest
+                .strip_prefix("0x")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .or_else(|| rest.parse().ok());
+        } else if let Some(rest) = line.strip_prefix("# violation:") {
+            violation_kind = Some(rest.trim().to_owned());
+        } else if let Some(rest) = line.strip_prefix("# detail:") {
+            match &mut detail {
+                Some(d) => {
+                    d.push('\n');
+                    d.push_str(rest.trim());
+                }
+                None => detail = Some(rest.trim().to_owned()),
+            }
+        }
+    }
+    Ok(Reproducer {
+        workload,
+        seed,
+        violation_kind,
+        detail,
+    })
+}
+
+/// A filesystem-safe file stem derived from the workload name.
+fn file_stem(rep: &Reproducer) -> String {
+    let mut stem: String = rep
+        .workload
+        .name()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        stem.push_str("workload");
+    }
+    stem
+}
+
+/// Writes a reproducer into `dir` (created if needed) as
+/// `<name>.txt`, returning the path.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Io`] on filesystem failure.
+pub fn write_reproducer(dir: &Path, rep: &Reproducer) -> Result<PathBuf, CorpusError> {
+    std::fs::create_dir_all(dir).map_err(|e| CorpusError::Io {
+        path: dir.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let path = dir.join(format!("{}.txt", file_stem(rep)));
+    std::fs::write(&path, render(rep)).map_err(|e| CorpusError::Io {
+        path: path.clone(),
+        detail: e.to_string(),
+    })?;
+    Ok(path)
+}
+
+/// Loads every `*.txt` reproducer in `dir`, sorted by filename for
+/// deterministic iteration. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns the first [`CorpusError`] encountered.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, CorpusError> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| CorpusError::Io {
+        path: dir.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).map_err(|e| CorpusError::Io {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        let rep = parse(&text, &path)?;
+        out.push((path, rep));
+    }
+    Ok(out)
+}
+
+/// Replays one reproducer through the full oracle battery. A corpus
+/// entry pins a *fixed* bug shape, so a clean report is the expected
+/// (regression-free) outcome.
+pub fn replay(rep: &Reproducer, opts: &OracleOptions) -> OracleReport {
+    check_workload(&rep.workload, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn render_parse_roundtrip_preserves_everything() {
+        let w = generate(&GenConfig::default().short(), 7);
+        let rep = Reproducer {
+            workload: w.clone(),
+            seed: Some(7),
+            violation_kind: Some("cord-false-positive".to_owned()),
+            detail: Some("CORD reported non-race word 0x140\nsecond line".to_owned()),
+        };
+        let text = render(&rep);
+        let back = parse(&text, Path::new("mem.txt")).expect("parses");
+        assert_eq!(back.workload, w);
+        assert_eq!(back.seed, Some(7));
+        assert_eq!(back.violation_kind.as_deref(), Some("cord-false-positive"));
+        assert_eq!(
+            back.detail.as_deref(),
+            Some("CORD reported non-race word 0x140\nsecond line")
+        );
+        // Rendering is stable (no timestamps, no map iteration).
+        assert_eq!(text, render(&back));
+    }
+
+    #[test]
+    fn plain_textfmt_loads_without_provenance() {
+        let w = generate(&GenConfig::race_free().short(), 3);
+        let text = cord_trace::textfmt::to_text(&w);
+        let rep = parse(&text, Path::new("plain.txt")).expect("parses");
+        assert_eq!(rep.workload, w);
+        assert!(rep.seed.is_none());
+        assert!(rep.violation_kind.is_none());
+    }
+
+    #[test]
+    fn write_and_load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cord-fuzz-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut written = Vec::new();
+        for seed in [11u64, 12, 13] {
+            let rep = Reproducer {
+                workload: generate(&GenConfig::default().short(), seed),
+                seed: Some(seed),
+                violation_kind: None,
+                detail: None,
+            };
+            written.push(write_reproducer(&dir, &rep).expect("write"));
+        }
+        let loaded = load_dir(&dir).expect("load");
+        assert_eq!(loaded.len(), 3);
+        // Sorted by filename, and contents round-trip.
+        for window in loaded.windows(2) {
+            assert!(window[0].0 < window[1].0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty_corpus() {
+        let loaded = load_dir(Path::new("/nonexistent/cord-fuzz-nowhere")).expect("empty");
+        assert!(loaded.is_empty());
+    }
+}

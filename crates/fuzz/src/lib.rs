@@ -1,0 +1,48 @@
+//! Differential workload fuzzing for the CORD reproduction.
+//!
+//! The paper validates CORD against an *Ideal* vector-clock detector on
+//! twelve fixed kernels (§3); every engine/detector bug fixed so far
+//! lived in a schedule shape no committed kernel reached. This crate
+//! turns that oracle-differential methodology into a first-class
+//! subsystem:
+//!
+//! * [`gen`] — a seed-deterministic random workload generator over
+//!   [`cord_trace::builder::WorkloadBuilder`]: random thread counts
+//!   (including core oversubscription, §2.7.4), lock/flag/barrier
+//!   topologies, lock nesting, line-sharing and false-sharing patterns,
+//!   with a structural [`Workload::validate`] gate and an optional
+//!   race-freedom-by-construction mode.
+//! * [`truthhb`] — an independent happens-before ground truth: a
+//!   deliberately simple vector-clock analysis over the run's recorded
+//!   access stream, kept separate from the detectors under test.
+//! * [`oracle`] — the differential battery: each workload runs under
+//!   CORD-D16, Ideal, and VC-limited configurations; per-run invariants
+//!   (no CORD/VC false positives, Ideal ⊇ ground truth,
+//!   `window16_mismatches == 0`, order-log replayability) plus
+//!   metamorphic checks (sync removal never shrinks the race set on a
+//!   fixed event stream; same seed is byte-identical) and `cord-inject`
+//!   removals re-checked under the full battery.
+//! * [`shrink`] — a greedy minimizer that drops threads, sync objects,
+//!   barrier crossings, lock regions, and single ops while the workload
+//!   still validates and still fails.
+//! * [`corpus`] — self-contained reproducers (seed + shrunk workload in
+//!   `textfmt`) written to and replayed from a corpus directory.
+//! * [`campaign`] — pool-parallel fuzz campaigns over `cord-pool`,
+//!   byte-identical across `--jobs` counts and reruns.
+//!
+//! [`Workload::validate`]: cord_trace::program::Workload::validate
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod campaign;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+pub mod truthhb;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, GenMode};
+pub use gen::{generate, GenConfig};
+pub use oracle::{check_workload, OracleOptions, OracleReport, Violation};
+pub use shrink::{shrink_workload, ShrinkOutcome};

@@ -1,0 +1,270 @@
+//! An independent happens-before ground truth.
+//!
+//! The differential oracle needs a referee that is *not* one of the
+//! detectors under test. [`HbRecorder`] taps the machine's access
+//! stream (returning no bus work, so it never perturbs timing), and
+//! [`racy_words`] runs a deliberately simple vector-clock analysis over
+//! the recorded stream: full per-word access histories, quadratic pair
+//! checking, a locally-implemented clock — no shared code with
+//! `cord-core` or `cord-detectors` beyond the event types.
+//!
+//! Because the analysis is a pure function of the recorded stream, it
+//! also supports the metamorphic sync-removal check: re-analyzing the
+//! *same* stream with a synchronization event's happens-before edge
+//! suppressed (joins skipped, release stores dropped, ticks kept) can
+//! only shrink the happens-before relation, so the racy-word set must
+//! grow or stay equal — a theorem on a fixed interleaving, unlike
+//! re-simulating, where timing shifts can genuinely reorder lock
+//! acquisitions and mask or expose races.
+
+use cord_sim::observer::{AccessEvent, AccessKind, MemoryObserver, ObserverOutcome};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One access in global commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedAccess {
+    /// Issuing thread index.
+    pub thread: usize,
+    /// Word address (byte granularity, word aligned).
+    pub addr: u64,
+    /// The four-way access kind.
+    pub kind: AccessKind,
+}
+
+/// A pass-through observer that records the access stream.
+#[derive(Debug, Default)]
+pub struct HbRecorder {
+    /// The stream, in the order the engine committed it.
+    pub events: Vec<RecordedAccess>,
+}
+
+impl MemoryObserver for HbRecorder {
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.events.push(RecordedAccess {
+            thread: ev.thread.index(),
+            addr: ev.addr.byte(),
+            kind: ev.kind,
+        });
+        ObserverOutcome::NONE
+    }
+}
+
+/// Runs a detector and the ground-truth recorder side by side on one
+/// machine. Every event goes to both; the outcome (extra bus work) is
+/// the detector's alone, so a tandem run is cycle-identical to running
+/// the detector by itself.
+#[derive(Debug)]
+pub struct Tandem<D> {
+    /// The detector under test.
+    pub det: D,
+    /// The ground-truth tap.
+    pub rec: HbRecorder,
+}
+
+impl<D> Tandem<D> {
+    /// Pairs a detector with a fresh recorder.
+    pub fn new(det: D) -> Self {
+        Tandem {
+            det,
+            rec: HbRecorder::default(),
+        }
+    }
+}
+
+impl<D: MemoryObserver> MemoryObserver for Tandem<D> {
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.rec.on_access(ev);
+        self.det.on_access(ev)
+    }
+
+    fn on_line_filled(
+        &mut self,
+        core: cord_sim::observer::CoreId,
+        level: cord_sim::observer::Level,
+        line: cord_trace::types::LineAddr,
+    ) {
+        self.det.on_line_filled(core, level, line);
+    }
+
+    fn on_line_removed(&mut self, removal: &cord_sim::observer::LineRemoval) -> ObserverOutcome {
+        self.det.on_line_removed(removal)
+    }
+
+    fn on_thread_migrated(
+        &mut self,
+        thread: cord_trace::types::ThreadId,
+        from: cord_sim::observer::CoreId,
+        to: cord_sim::observer::CoreId,
+    ) {
+        self.det.on_thread_migrated(thread, from, to);
+    }
+
+    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
+        self.det.on_run_end(final_instr_counts);
+    }
+}
+
+type Clock = Vec<u64>;
+
+fn le(a: &Clock, b: &Clock) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn join(into: &mut Clock, from: &Clock) {
+    for (x, y) in into.iter_mut().zip(from) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// The words with at least one happens-before data race in the recorded
+/// stream, with the synchronization events at the indices in
+/// `suppress_sync` contributing no happens-before edges (their clock
+/// ticks are kept, so per-thread local time is unchanged — the
+/// monotonicity precondition).
+///
+/// Semantics mirror the simulator's synchronization expansion: a sync
+/// write publishes the writer's clock on the sync word and ticks the
+/// writer; a sync read joins the published clock. Data accesses race
+/// with every earlier conflicting access by another thread whose clock
+/// is not ≤ the accessor's.
+pub fn racy_words(
+    events: &[RecordedAccess],
+    threads: usize,
+    suppress_sync: &BTreeSet<usize>,
+) -> BTreeSet<u64> {
+    let mut clocks: Vec<Clock> = (0..threads)
+        .map(|t| {
+            let mut c = vec![0u64; threads];
+            c[t] = 1;
+            c
+        })
+        .collect();
+    let mut published: BTreeMap<u64, Clock> = BTreeMap::new();
+    // Per word: full access history of (thread, clock snapshot, is_write).
+    let mut hist: BTreeMap<u64, Vec<(usize, Clock, bool)>> = BTreeMap::new();
+    let mut racy: BTreeSet<u64> = BTreeSet::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.thread;
+        match ev.kind {
+            AccessKind::SyncWrite => {
+                if !suppress_sync.contains(&i) {
+                    published.insert(ev.addr, clocks[t].clone());
+                }
+                clocks[t][t] += 1;
+            }
+            AccessKind::SyncRead => {
+                if !suppress_sync.contains(&i) {
+                    if let Some(p) = published.get(&ev.addr) {
+                        let p = p.clone();
+                        join(&mut clocks[t], &p);
+                    }
+                }
+            }
+            AccessKind::DataRead | AccessKind::DataWrite => {
+                let is_write = ev.kind == AccessKind::DataWrite;
+                let h = hist.entry(ev.addr).or_default();
+                let mine = &clocks[t];
+                for (ot, oc, ow) in h.iter() {
+                    if *ot != t && (is_write || *ow) && !le(oc, mine) {
+                        racy.insert(ev.addr);
+                    }
+                }
+                h.push((t, mine.clone(), is_write));
+            }
+        }
+    }
+    racy
+}
+
+/// The indices of synchronization events in a recorded stream, in
+/// order — the candidate set for the metamorphic suppression check.
+pub fn sync_event_indices(events: &[RecordedAccess]) -> Vec<usize> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind.is_sync())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: usize, addr: u64, kind: AccessKind) -> RecordedAccess {
+        RecordedAccess { thread, addr, kind }
+    }
+
+    #[test]
+    fn unordered_conflict_races() {
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        let racy = racy_words(&events, 2, &BTreeSet::new());
+        assert_eq!(racy.into_iter().collect::<Vec<_>>(), vec![0x100]);
+    }
+
+    #[test]
+    fn flag_arc_orders() {
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, 0x8, AccessKind::SyncWrite), // set
+            ev(1, 0x8, AccessKind::SyncRead),  // wait observes it
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        assert!(racy_words(&events, 2, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataRead),
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        assert!(racy_words(&events, 2, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn suppressing_the_join_exposes_the_race() {
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, 0x8, AccessKind::SyncWrite),
+            ev(1, 0x8, AccessKind::SyncRead),
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        let base = racy_words(&events, 2, &BTreeSet::new());
+        assert!(base.is_empty());
+        let suppressed = racy_words(&events, 2, &BTreeSet::from([2]));
+        assert!(suppressed.contains(&0x100));
+        // Monotone: suppression only ever adds racy words.
+        assert!(suppressed.is_superset(&base));
+    }
+
+    #[test]
+    fn transitive_lock_chain_orders() {
+        // T0 releases L; T1 acquires L, releases L; T2 acquires L and
+        // reads T0's write: ordered through the chain.
+        let l = 0x8;
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, l, AccessKind::SyncWrite),
+            ev(1, l, AccessKind::SyncRead),
+            ev(1, l, AccessKind::SyncWrite),
+            ev(2, l, AccessKind::SyncRead),
+            ev(2, 0x100, AccessKind::DataRead),
+        ];
+        assert!(racy_words(&events, 3, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn sync_indices_enumerated_in_order() {
+        let events = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, 0x8, AccessKind::SyncWrite),
+            ev(1, 0x8, AccessKind::SyncRead),
+        ];
+        assert_eq!(sync_event_indices(&events), vec![1, 2]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Replays the committed regression corpus through the full oracle
+//! battery.
+//!
+//! Each file in `crates/fuzz/corpus/` pins a workload *shape* that
+//! exposed a real bug in an earlier PR (walker rebuilds losing window
+//! state, §2.7.4 resync under core oversubscription, window16 drift
+//! under long local phases, barrier sense reuse, …). The bugs are
+//! fixed; the corpus guards the fixes: every reproducer must pass the
+//! battery cleanly, forever.
+//!
+//! To regenerate the corpus after an intentional format or generator
+//! change:
+//!
+//! ```text
+//! cargo test -p cord-fuzz --test corpus_replay -- --ignored regenerate_corpus
+//! ```
+
+use cord_fuzz::corpus::{self, Reproducer};
+use cord_fuzz::gen::{generate, GenConfig};
+use cord_fuzz::oracle::OracleOptions;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Six threads on four cores, repeatedly exchanging through a barrier:
+/// every crossing migrates someone, exercising the §2.7.4 resync that
+/// an early engine version mishandled when threads outnumber cores.
+fn resync_timeshare() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-resync-timeshare", 6);
+    let bar = b.alloc_barrier();
+    let region = b.alloc_line_aligned(6 * 16);
+    for round in 0..3u64 {
+        for t in 0..6 {
+            let mut h = b.thread_mut(t);
+            h.write(region.word(t as u64 * 16 + round));
+            h.barrier(bar);
+            let left = (t + 5) % 6;
+            h.read(region.word(left as u64 * 16 + round));
+            h.barrier(bar);
+        }
+    }
+    pin(
+        b.build(),
+        "§2.7.4 resync with threads > cores; every barrier crossing reschedules",
+    )
+}
+
+/// Two threads streaming a multi-line region under a lock: constant
+/// capacity evictions force shadow-line walker rebuilds (the PR 3
+/// rebuild bug lost window state on refill).
+fn walker_streaming() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-walker-streaming", 2);
+    let lock = b.alloc_lock();
+    let region = b.alloc_line_aligned(512);
+    for t in 0..2 {
+        let mut h = b.thread_mut(t);
+        for chunk in 0..8u64 {
+            h.lock(lock);
+            for i in 0..16u64 {
+                h.update(region.word(chunk * 64 + t as u64 * 16 + i));
+            }
+            h.unlock(lock);
+            h.compute(40);
+        }
+    }
+    pin(
+        b.build(),
+        "streaming evictions force window16 walker rebuilds (PR 3 shape)",
+    )
+}
+
+/// Lock ping-pong with >2^16 cycles of local compute between handoffs:
+/// the 16-bit window timestamps wrap and only the audit-guarded drift
+/// handling keeps window16 equal to full-width (PR 3 window16 drift).
+fn window16_drift() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-window16-drift", 2);
+    let lock = b.alloc_lock();
+    let region = b.alloc_line_aligned(4);
+    for t in 0..2 {
+        let mut h = b.thread_mut(t);
+        for r in 0..3u64 {
+            h.lock(lock);
+            h.update(region.word(r));
+            h.unlock(lock);
+            h.compute(70_000);
+        }
+    }
+    pin(
+        b.build(),
+        "16-bit timestamp wrap between lock handoffs (window16 drift)",
+    )
+}
+
+/// A flag set, consumed, reset between two barriers, and reused — the
+/// sense-reversal pattern whose naive reset placement races.
+fn flag_reset_reuse() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-flag-reset-reuse", 3);
+    let bar = b.alloc_barrier();
+    let flag = b.alloc_flag();
+    let region = b.alloc_line_aligned(2);
+    for round in 0..2u64 {
+        for t in 0..3 {
+            let mut h = b.thread_mut(t);
+            if t == 0 {
+                h.write(region.word(round));
+                h.flag_set(flag);
+            } else {
+                h.flag_wait(flag);
+                h.read(region.word(round));
+            }
+        }
+        for t in 0..3 {
+            let mut h = b.thread_mut(t);
+            h.barrier(bar);
+            if round == 0 {
+                if t == 0 {
+                    h.flag_reset(flag);
+                }
+                h.barrier(bar);
+            }
+        }
+    }
+    pin(
+        b.build(),
+        "flag reset/reuse across two barriers (stale-set leak shape)",
+    )
+}
+
+/// Four threads hammering distinct words of one line: coherence
+/// ping-pong with zero races — the false-sharing suppression test.
+fn false_sharing() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-false-sharing", 4);
+    let region = b.alloc_line_aligned(4);
+    for t in 0..4 {
+        let mut h = b.thread_mut(t);
+        for _ in 0..4 {
+            h.update(region.word(t as u64));
+        }
+    }
+    pin(
+        b.build(),
+        "false sharing: per-word timestamps must not cross-alarm",
+    )
+}
+
+/// Two locks acquired in ID order by three threads.
+fn nested_locks() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-nested-locks", 3);
+    let locks = b.alloc_locks(2);
+    let region = b.alloc_line_aligned(3);
+    for t in 0..3 {
+        let mut h = b.thread_mut(t);
+        for r in 0..2u64 {
+            h.lock(locks[0]);
+            h.lock(locks[1]);
+            h.update(region.word((t as u64 + r) % 3));
+            h.unlock(locks[1]);
+            h.unlock(locks[0]);
+        }
+    }
+    pin(b.build(), "nested critical sections, ID-order acquisition")
+}
+
+/// The minimal true race: two threads, one word, no synchronization.
+/// Ground truth and Ideal must both see it; CORD may or may not,
+/// depending on timing, but must never alarm elsewhere.
+fn racy_pair() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-racy-pair", 2);
+    let region = b.alloc_line_aligned(1);
+    b.thread_mut(0).write(region.word(0));
+    b.thread_mut(1).read(region.word(0));
+    pin(
+        b.build(),
+        "minimal write/read race; oracle truth must be non-empty",
+    )
+}
+
+/// A release chain T0 → T1 → T2 through one lock: the transitive
+/// ordering case scalar clocks must get right.
+fn lock_chain() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-lock-chain", 3);
+    let lock = b.alloc_lock();
+    let region = b.alloc_line_aligned(1);
+    for t in 0..3 {
+        let mut h = b.thread_mut(t);
+        h.lock(lock);
+        h.update(region.word(0));
+        h.unlock(lock);
+    }
+    pin(b.build(), "transitive happens-before through a lock chain")
+}
+
+/// Classic all-thread barrier exchange, four threads.
+fn barrier_exchange() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-barrier-exchange", 4);
+    let bar = b.alloc_barrier();
+    let region = b.alloc_line_aligned(4 * 16);
+    for t in 0..4 {
+        let mut h = b.thread_mut(t);
+        h.write(region.word(t as u64 * 16));
+        h.barrier(bar);
+        let left = (t + 3) % 4;
+        h.read(region.word(left as u64 * 16));
+        h.barrier(bar);
+    }
+    pin(b.build(), "sense-reversing barrier exchange")
+}
+
+/// One generator output, pinned by seed: a multi-phase mixed workload
+/// combining pipeline flags, locked updates, and unprotected traffic.
+fn mixed_combo() -> Reproducer {
+    let seed = 0x5EED_0001u64;
+    let w = generate(&GenConfig::default(), seed);
+    Reproducer {
+        workload: w.renamed("pin-mixed-combo"),
+        seed: Some(seed),
+        violation_kind: None,
+        detail: Some("generator snapshot: mixed phases incl. racy traffic".to_owned()),
+    }
+}
+
+fn pin(workload: Workload, detail: &str) -> Reproducer {
+    Reproducer {
+        workload,
+        seed: None,
+        violation_kind: None,
+        detail: Some(detail.to_owned()),
+    }
+}
+
+fn curated() -> Vec<Reproducer> {
+    vec![
+        resync_timeshare(),
+        walker_streaming(),
+        window16_drift(),
+        flag_reset_reuse(),
+        false_sharing(),
+        nested_locks(),
+        racy_pair(),
+        lock_chain(),
+        barrier_exchange(),
+        mixed_combo(),
+    ]
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        entries.len() >= 10,
+        "regression corpus shrank to {} entries — run regenerate_corpus",
+        entries.len()
+    );
+    let opts = OracleOptions::default();
+    for (path, rep) in &entries {
+        assert_eq!(rep.workload.validate(), Ok(()), "{}", path.display());
+        let report = corpus::replay(rep, &opts);
+        assert!(
+            report.passed(),
+            "{} regressed: {:?}",
+            path.display(),
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn committed_corpus_matches_curated_sources() {
+    // The on-disk files must stay in sync with the constructors above,
+    // so an accidental edit of either side is caught.
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus loads");
+    for rep in curated() {
+        let rendered = corpus::render(&rep);
+        let name = rep.workload.name();
+        let on_disk = entries
+            .iter()
+            .find(|(p, _)| p.file_stem().is_some_and(|s| s == name))
+            .unwrap_or_else(|| panic!("{name} missing from corpus — run regenerate_corpus"));
+        let text = std::fs::read_to_string(&on_disk.0).expect("readable");
+        assert_eq!(text, rendered, "{name} drifted — run regenerate_corpus");
+    }
+}
+
+/// Writes the curated corpus to `crates/fuzz/corpus/`. Ignored by
+/// default; run explicitly after intentional changes.
+#[test]
+#[ignore = "writes into the source tree; run explicitly to regenerate"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    for rep in curated() {
+        let path = corpus::write_reproducer(&dir, &rep).expect("write reproducer");
+        eprintln!("wrote {}", path.display());
+    }
+}

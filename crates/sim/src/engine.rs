@@ -133,10 +133,14 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
     /// Builds a machine for `workload` with the given observer, seed
     /// (scheduling jitter), and injection plan.
     ///
+    /// Threads may outnumber cores (§2.4): surplus threads wait for a
+    /// core and are scheduled on demand, paying the reschedule penalty
+    /// and the §2.7.4 resynchronization.
+    ///
     /// # Panics
     ///
-    /// Panics if the workload has more threads than the machine has
-    /// cores, or fails validation.
+    /// Panics if the workload fails validation or the machine
+    /// configuration is inconsistent.
     pub fn new(
         cfg: MachineConfig,
         workload: &'w Workload,

@@ -3,7 +3,7 @@
 use crate::layout::AddressLayout;
 use crate::op::Op;
 use crate::types::{Addr, BarrierId, ThreadId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// One thread's operation stream.
@@ -136,6 +136,18 @@ pub enum WorkloadError {
         /// The flag's user-visible ID.
         flag: u32,
     },
+    /// A flag wait that only the waiting thread itself could satisfy —
+    /// and only *after* the wait (guaranteed deadlock: the thread blocks
+    /// before reaching its own set, and no other thread ever sets the
+    /// flag).
+    FlagWaitUnsatisfiable {
+        /// The flag's user-visible ID.
+        flag: u32,
+        /// The waiting thread.
+        thread: ThreadId,
+        /// Index of the wait in the thread's program.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -164,6 +176,15 @@ impl fmt::Display for WorkloadError {
             WorkloadError::FlagNeverSet { flag } => {
                 write!(f, "flag #{flag} is waited on but never set")
             }
+            WorkloadError::FlagWaitUnsatisfiable {
+                flag,
+                thread,
+                op_index,
+            } => write!(
+                f,
+                "flag #{flag} wait at {thread} op {op_index} can only be \
+                 satisfied by the same thread's later set (deadlock)"
+            ),
         }
     }
 }
@@ -239,6 +260,84 @@ impl Workload {
         c
     }
 
+    /// Returns a copy under a different name (shrunk reproducers get
+    /// renamed so corpus entries are self-describing).
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> Workload {
+        Workload {
+            name: name.into(),
+            threads: self.threads.clone(),
+            layout: self.layout,
+        }
+    }
+
+    /// Returns a copy with thread `tid`'s program removed (higher
+    /// threads shift down). The layout is kept: addresses and sync-object
+    /// IDs stay stable so a shrunk workload exercises the same lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range or the workload has one thread.
+    #[must_use]
+    pub fn without_thread(&self, tid: usize) -> Workload {
+        assert!(tid < self.threads.len(), "thread {tid} out of range");
+        assert!(self.threads.len() > 1, "cannot remove the last thread");
+        let mut threads = self.threads.clone();
+        threads.remove(tid);
+        Workload {
+            name: self.name.clone(),
+            threads,
+            layout: self.layout,
+        }
+    }
+
+    /// Returns a copy with op `op_index` of thread `tid` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn without_op(&self, tid: usize, op_index: usize) -> Workload {
+        let mut threads = self.threads.clone();
+        let mut ops = std::mem::take(&mut threads[tid].ops);
+        ops.remove(op_index);
+        threads[tid] = ThreadProgram::from_ops(ops);
+        Workload {
+            name: self.name.clone(),
+            threads,
+            layout: self.layout,
+        }
+    }
+
+    /// Returns a copy keeping only the ops for which `keep` returns
+    /// `true` (called with the thread, the op's index in that thread,
+    /// and the op). The workhorse of programmatic shrinking: dropping a
+    /// sync object, a barrier crossing, or a lock region is one
+    /// predicate.
+    #[must_use]
+    pub fn filter_ops(&self, mut keep: impl FnMut(ThreadId, usize, &Op) -> bool) -> Workload {
+        let threads = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(ti, prog)| {
+                let tid = ThreadId(ti as u16);
+                ThreadProgram::from_ops(
+                    prog.iter()
+                        .enumerate()
+                        .filter(|(i, op)| keep(tid, *i, op))
+                        .map(|(_, op)| *op)
+                        .collect(),
+                )
+            })
+            .collect();
+        Workload {
+            name: self.name.clone(),
+            threads,
+            layout: self.layout,
+        }
+    }
+
     /// Checks structural well-formedness: balanced lock/unlock per
     /// thread, identical barrier sequences across threads, in-range
     /// object IDs, data accesses outside the sync region, and every
@@ -249,7 +348,12 @@ impl Workload {
     /// Returns the first [`WorkloadError`] found.
     pub fn validate(&self) -> Result<(), WorkloadError> {
         let mut set_flags: HashSet<u32> = HashSet::new();
-        let mut waited_flags: HashSet<u32> = HashSet::new();
+        // First `FlagSet` index per (flag, thread), for the wait
+        // satisfiability check below.
+        let mut first_set: HashMap<(u32, usize), usize> = HashMap::new();
+        // Every wait site in scan order, so errors are reported at the
+        // first offending wait deterministically.
+        let mut waits: Vec<(usize, usize, u32)> = Vec::new();
 
         for (ti, prog) in self.threads.iter().enumerate() {
             let thread = ThreadId(ti as u16);
@@ -294,6 +398,7 @@ impl Workload {
                         }
                         if matches!(op, Op::FlagSet(_)) {
                             set_flags.insert(g.0);
+                            first_set.entry((g.0, ti)).or_insert(i);
                         }
                     }
                     Op::FlagWait(g) => {
@@ -303,7 +408,7 @@ impl Workload {
                                 op_index: i,
                             });
                         }
-                        waited_flags.insert(g.0);
+                        waits.push((ti, i, g.0));
                     }
                     Op::Barrier(b) => {
                         if b.0 >= self.layout.barriers() {
@@ -334,9 +439,24 @@ impl Workload {
             }
         }
 
-        for flag in &waited_flags {
-            if !set_flags.contains(flag) {
-                return Err(WorkloadError::FlagNeverSet { flag: *flag });
+        for (ti, i, flag) in waits {
+            if !set_flags.contains(&flag) {
+                return Err(WorkloadError::FlagNeverSet { flag });
+            }
+            // A wait is satisfiable if another thread sets the flag
+            // (anywhere — concurrency decides when), or the waiting
+            // thread itself set it *earlier* in program order. A flag
+            // whose only sets sit behind the wait in the same thread is
+            // a guaranteed deadlock the old never-set check missed.
+            let other_setter =
+                (0..self.threads.len()).any(|tj| tj != ti && first_set.contains_key(&(flag, tj)));
+            let own_earlier = first_set.get(&(flag, ti)).is_some_and(|&s| s < i);
+            if !other_setter && !own_earlier {
+                return Err(WorkloadError::FlagWaitUnsatisfiable {
+                    flag,
+                    thread: ThreadId(ti as u16),
+                    op_index: i,
+                });
             }
         }
 
@@ -445,6 +565,73 @@ mod tests {
             w.validate(),
             Err(WorkloadError::IdOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn self_set_after_wait_rejected() {
+        // The only set of flag 0 sits *behind* the wait in the same
+        // thread: the thread blocks before reaching it. The old
+        // never-set check accepted this (the flag *is* set somewhere)
+        // and the deadlock surfaced only at sim time.
+        let w = wl(vec![vec![Op::FlagWait(FlagId(0)), Op::FlagSet(FlagId(0))]]);
+        assert_eq!(
+            w.validate(),
+            Err(WorkloadError::FlagWaitUnsatisfiable {
+                flag: 0,
+                thread: ThreadId(0),
+                op_index: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn self_set_before_wait_accepted() {
+        let w = wl(vec![vec![Op::FlagSet(FlagId(0)), Op::FlagWait(FlagId(0))]]);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn other_thread_set_after_is_satisfiable() {
+        // Another thread sets the flag; program positions are
+        // irrelevant because the threads run concurrently.
+        let w = wl(vec![
+            vec![Op::FlagWait(FlagId(0))],
+            vec![Op::Compute(100), Op::FlagSet(FlagId(0))],
+        ]);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn mutation_helpers_preserve_layout() {
+        let w = wl(vec![
+            vec![Op::Write(Addr::new(0x40)), Op::Compute(5)],
+            vec![Op::Read(Addr::new(0x40))],
+        ]);
+        let renamed = w.renamed("shrunk");
+        assert_eq!(renamed.name(), "shrunk");
+        assert_eq!(renamed.layout(), w.layout());
+
+        let dropped = w.without_thread(1);
+        assert_eq!(dropped.num_threads(), 1);
+        assert_eq!(dropped.thread(ThreadId(0)).len(), 2);
+
+        let trimmed = w.without_op(0, 1);
+        assert_eq!(
+            trimmed.thread(ThreadId(0)).ops(),
+            &[Op::Write(Addr::new(0x40))]
+        );
+        assert_eq!(trimmed.thread(ThreadId(1)).len(), 1);
+
+        let no_compute = w.filter_ops(|_, _, op| !matches!(op, Op::Compute(_)));
+        assert_eq!(no_compute.thread(ThreadId(0)).len(), 1);
+        assert_eq!(no_compute.thread(ThreadId(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "last thread")]
+    fn removing_last_thread_panics() {
+        let w = wl(vec![vec![Op::Compute(1)]]);
+        let _ = w.without_thread(0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ echo "== clippy (deny warnings; unwrap_used denied outside tests) =="
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p cord-pool --all-targets -- -D warnings
 cargo clippy -p cord-obs --all-targets -- -D warnings
+cargo clippy -p cord-fuzz --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
@@ -36,6 +37,16 @@ diff "$smoke_dir/serial.json" "$smoke_dir/observed.json"
 diff "$smoke_dir/serial.txt" "$smoke_dir/observed.txt"
 test -s "$smoke_dir/metrics.json"
 ls "$smoke_dir/traces"/*.json > /dev/null
+
+echo "== fuzz smoke: 200 cases, oracle clean, --jobs invariant, corpus replays =="
+./target/release/fuzz --seed 1 --count 200 --jobs 1 --budget-secs 600 \
+    > "$smoke_dir/fuzz-serial.txt" 2> /dev/null
+./target/release/fuzz --seed 1 --count 200 --jobs 2 --budget-secs 600 \
+    > "$smoke_dir/fuzz-parallel.txt" 2> /dev/null
+diff "$smoke_dir/fuzz-serial.txt" "$smoke_dir/fuzz-parallel.txt"
+grep -q "200 of 200 cases, 0 failures" "$smoke_dir/fuzz-serial.txt"
+./target/release/fuzz replay crates/fuzz/corpus > "$smoke_dir/fuzz-replay.txt" 2> /dev/null
+grep -q ", 0 failures" "$smoke_dir/fuzz-replay.txt"
 
 echo "== refactor guard: mini sweep must match the committed fixtures =="
 ./target/release/refactor_guard "$smoke_dir/guard"
