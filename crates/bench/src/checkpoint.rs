@@ -24,7 +24,7 @@
 
 use crate::configs::DetectorConfig;
 use crate::sweep::{AppSweep, SweepOptions};
-use cord_json::{obj, FromJson, Json, ToJson};
+use cord_json::{durable, obj, FromJson, Json, ToJson};
 use std::io;
 use std::path::Path;
 
@@ -66,8 +66,7 @@ impl Checkpoint {
         ])
     }
 
-    fn parse(text: &str) -> Result<Checkpoint, cord_json::JsonError> {
-        let v = Json::parse(text)?;
+    fn from_doc(v: &Json) -> Result<Checkpoint, cord_json::JsonError> {
         Ok(Checkpoint {
             options_hash: u64::from_json(v.field("options_hash")?)?,
             options: SweepOptions::from_json(v.field("options")?)?,
@@ -75,21 +74,56 @@ impl Checkpoint {
         })
     }
 
-    /// Loads a checkpoint if `path` exists and holds a matching hash.
-    /// A missing file, unreadable JSON, or a hash mismatch all mean
-    /// "start from scratch" — never an error that kills the sweep.
-    pub fn load_matching(path: &Path, hash: u64) -> Option<Checkpoint> {
-        let text = std::fs::read_to_string(path).ok()?;
-        let cp = Checkpoint::parse(&text).ok()?;
-        (cp.options_hash == hash).then_some(cp)
+    /// Loads a checkpoint if `path` holds (or its `.prev` generation
+    /// holds) a verifiable document with a matching hash, along with
+    /// any recovery warnings (truncated/garbled generations skipped).
+    /// A missing file, corrupt-and-unrecoverable state, or a hash
+    /// mismatch all mean "start from scratch" — never an error that
+    /// kills the sweep.
+    pub fn load_matching_with_warnings(
+        path: &Path,
+        hash: u64,
+    ) -> (Option<Checkpoint>, Vec<String>) {
+        let load = durable::load_checkpoint(path);
+        let mut warnings = load.warnings;
+        if load.from_previous {
+            warnings.push(format!(
+                "checkpoint {}: resumed from previous good generation",
+                path.display()
+            ));
+        }
+        let cp = load
+            .doc
+            .and_then(|doc| match Checkpoint::from_doc(&doc) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    warnings.push(format!(
+                        "checkpoint {}: verified but malformed ({e}); ignoring",
+                        path.display()
+                    ));
+                    None
+                }
+            })
+            .filter(|cp| cp.options_hash == hash);
+        (cp, warnings)
     }
 
-    /// Writes the checkpoint atomically (temp file + rename), so a kill
-    /// mid-write leaves the previous checkpoint intact.
+    /// [`Self::load_matching_with_warnings`] with warnings forwarded to
+    /// stderr — the right default for CLI drivers.
+    pub fn load_matching(path: &Path, hash: u64) -> Option<Checkpoint> {
+        let (cp, warnings) = Checkpoint::load_matching_with_warnings(path, hash);
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+        cp
+    }
+
+    /// Writes the checkpoint durably: sealed with a length+checksum
+    /// footer, written crash-atomically (temp file in the same
+    /// directory, fsync, rename), with the previous verified-good
+    /// generation rotated to `<path>.prev` as a corruption fallback.
     pub fn store(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json().to_string_pretty())?;
-        std::fs::rename(&tmp, path)
+        durable::write_checkpoint(path, &self.to_json())
     }
 }
 
@@ -142,6 +176,34 @@ mod tests {
         assert_eq!(Checkpoint::load_matching(&path, 2), None);
         std::fs::write(&path, "not json").expect("write");
         assert_eq!(Checkpoint::load_matching(&path, 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join("cord-checkpoint-test-fallback");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sweep.json");
+        let cp = Checkpoint {
+            options_hash: 9,
+            options: quick_opts(),
+            apps: Vec::new(),
+        };
+        cp.store(&path).expect("store gen 1");
+        cp.store(&path)
+            .expect("store gen 2 (rotates gen 1 to .prev)");
+        // Truncate the primary mid-"write": the checksum footer catches
+        // it and the loader recovers from .prev with a warning.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+        let (loaded, warnings) = Checkpoint::load_matching_with_warnings(&path, 9);
+        assert_eq!(loaded, Some(cp));
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("previous good generation")),
+            "{warnings:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

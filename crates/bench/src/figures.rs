@@ -723,8 +723,8 @@ pub fn failure_summary(results: &SweepResults) -> String {
     }
     let mut out = String::from("== Non-completed injection runs ==\n");
     out.push_str(&format!(
-        "{:12} {:>9} {:>10} {:>9} {:>9}  detail\n",
-        "app", "completed", "deadlocked", "timed-out", "panicked"
+        "{:12} {:>9} {:>10} {:>9} {:>9} {:>9}  detail\n",
+        "app", "completed", "deadlocked", "timed-out", "panicked", "abandoned"
     ));
     for app in &results.apps {
         if let Some(err) = &app.dry_run_error {
@@ -746,12 +746,13 @@ pub fn failure_summary(results: &SweepResults) -> String {
             .map(|r| format!("{} -> {}", r.target, r.status.kind()))
             .unwrap_or_default();
         out.push_str(&format!(
-            "{:12} {:>9} {:>10} {:>9} {:>9}  e.g. {first}\n",
+            "{:12} {:>9} {:>10} {:>9} {:>9} {:>9}  e.g. {first}\n",
             app.app,
             app.completed().count(),
             count("deadlocked"),
             count("timed-out"),
             count("panicked"),
+            count("abandoned"),
         ));
     }
     out

@@ -19,6 +19,12 @@
 //! * [`checkpoint`] — checkpoint/resume for interrupted sweeps: partial
 //!   results are persisted after every app and reloaded (keyed by an
 //!   options hash) on restart, bit-identical to an uninterrupted run.
+//! * [`shard`] — the multi-process campaign driver behind the `shard`
+//!   binary: a coordinator partitions a fuzz campaign or injection
+//!   sweep into round-robin shards, supervises one worker process per
+//!   shard (heartbeats, retry with backoff, optional chaos kills), and
+//!   merges the shards' durable checkpoints into outputs that are
+//!   byte-identical to a single-process run.
 //!
 //! The `figures` binary (`cargo run -p cord-bench --bin figures`) is the
 //! command-line entry point; see EXPERIMENTS.md for the paper-vs-measured
@@ -32,6 +38,7 @@ pub mod configs;
 pub mod figures;
 pub(crate) mod obs;
 pub mod runner;
+pub mod shard;
 pub mod sweep;
 
 pub use checkpoint::{options_hash, Checkpoint};

@@ -103,6 +103,16 @@ impl ObsSink {
         }
     }
 
+    /// Snapshot of the raw per-run metrics aggregate — the
+    /// deterministic counters merged from completed runs, *before*
+    /// [`finalize`](Self::finalize) folds in the timing-dependent
+    /// profile and pool-batch samples. The shard worker persists this
+    /// into its checkpoint so the coordinator can merge metrics across
+    /// shards byte-identically to a serial run.
+    pub fn registry_snapshot(&self) -> MetricsRegistry {
+        lock_unpoisoned(&self.registry).clone()
+    }
+
     /// Finishes the sweep: folds the profile and last pool snapshot
     /// into the registry, writes the metrics file when requested, and
     /// reports the first deferred trace I/O error.

@@ -150,6 +150,15 @@ pub enum RunStatus {
         /// The panic message, when it carried one.
         msg: String,
     },
+    /// The run never executed: its shard was abandoned by the
+    /// distributed supervisor after exhausting its retry budget. The
+    /// payload carries the supervisor's diagnosis. Like the other
+    /// non-completed statuses, abandoned runs are excluded from every
+    /// rate denominator.
+    Abandoned {
+        /// Why the owning shard was given up on.
+        reason: String,
+    },
 }
 
 impl RunStatus {
@@ -160,6 +169,7 @@ impl RunStatus {
             RunStatus::Deadlocked => "deadlocked",
             RunStatus::TimedOut => "timed-out",
             RunStatus::Panicked { .. } => "panicked",
+            RunStatus::Abandoned { .. } => "abandoned",
         }
     }
 
@@ -555,6 +565,9 @@ impl ToJson for RunStatus {
         if let RunStatus::Panicked { msg } = self {
             fields.push(("msg", msg.to_json()));
         }
+        if let RunStatus::Abandoned { reason } = self {
+            fields.push(("reason", reason.to_json()));
+        }
         obj(fields)
     }
 }
@@ -568,19 +581,22 @@ impl FromJson for RunStatus {
             "panicked" => Ok(RunStatus::Panicked {
                 msg: String::from_json(v.field("msg")?)?,
             }),
+            "abandoned" => Ok(RunStatus::Abandoned {
+                reason: String::from_json(v.field("reason")?)?,
+            }),
             other => Err(JsonError::new(format!("unknown run status {other:?}"))),
         }
     }
 }
 
-fn target_to_json(t: &InjectionTarget) -> Json {
+pub(crate) fn target_to_json(t: &InjectionTarget) -> Json {
     obj(vec![
         ("kind", Json::Str(t.kind().to_string())),
         ("instance", t.instance().to_json()),
     ])
 }
 
-fn target_from_json(v: &Json) -> Result<InjectionTarget, JsonError> {
+pub(crate) fn target_from_json(v: &Json) -> Result<InjectionTarget, JsonError> {
     let n = u64::from_json(v.field("instance")?)?;
     match v.field("kind")?.as_str()? {
         "acquire" => Ok(InjectionTarget::Acquire(n)),

@@ -77,6 +77,9 @@ fn spin_sweep_records_timeouts_and_panics_and_still_completes() {
                 RunStatus::Deadlocked => {
                     panic!("spin waits cannot deadlock, got {:?}", r.detail)
                 }
+                RunStatus::Abandoned { reason } => {
+                    panic!("in-process sweeps cannot abandon shards, got {reason:?}")
+                }
             }
         }
     }

@@ -236,8 +236,23 @@ fn effective_configs(cfg: &CampaignConfig) -> (GenConfig, OracleOptions) {
 /// `(cases_done, cases_total)` — report rendering stays deterministic
 /// because progress goes to the caller (stderr), never into the
 /// report.
-pub fn run_campaign(
+pub fn run_campaign(cfg: &CampaignConfig, progress: impl FnMut(usize, usize)) -> CampaignReport {
+    let indices: Vec<usize> = (0..cfg.count).collect();
+    run_campaign_cases(cfg, &indices, progress)
+}
+
+/// Runs an explicit set of campaign-global case indices — the
+/// multi-process sharding hook. Each case keeps its *global* index and
+/// the seed derived from it, so a case computes exactly the same
+/// result whether it runs in a serial campaign or on shard 7 of 8;
+/// merging per-shard `CaseReport`s back into global index order
+/// reproduces the serial campaign byte for byte.
+///
+/// `cfg.count` is ignored here; `indices` is the work list, and the
+/// returned report's `requested` is `indices.len()`.
+pub fn run_campaign_cases(
     cfg: &CampaignConfig,
+    indices: &[usize],
     mut progress: impl FnMut(usize, usize),
 ) -> CampaignReport {
     let (gen_cfg, oracle_opts) = effective_configs(cfg);
@@ -246,21 +261,22 @@ pub fn run_campaign(
     let start = Instant::now();
 
     let mut report = CampaignReport {
-        requested: cfg.count,
+        requested: indices.len(),
         ..CampaignReport::default()
     };
 
     let mut next = 0usize;
-    while next < cfg.count {
+    while next < indices.len() {
         if let Some(budget) = cfg.budget_secs {
             if start.elapsed().as_secs() >= budget {
                 report.budget_exhausted = true;
                 break;
             }
         }
-        let end = (next + chunk).min(cfg.count);
-        let jobs: Vec<_> = (next..end)
-            .map(|i| {
+        let end = (next + chunk).min(indices.len());
+        let jobs: Vec<_> = indices[next..end]
+            .iter()
+            .map(|&i| {
                 let gen_cfg = gen_cfg.clone();
                 let oracle_opts = oracle_opts.clone();
                 let seed = case_seed(cfg.master_seed, i);
@@ -273,7 +289,7 @@ pub fn run_campaign(
             .collect();
         let results = pool.run_ordered(jobs);
         for (offset, result) in results.into_iter().enumerate() {
-            let index = next + offset;
+            let index = indices[next + offset];
             let seed = case_seed(cfg.master_seed, index);
             let mut case = CaseReport {
                 index,
@@ -295,7 +311,7 @@ pub fn run_campaign(
             report.cases.push(case);
         }
         next = end;
-        progress(next, cfg.count);
+        progress(next, indices.len());
     }
     report
 }
@@ -377,6 +393,26 @@ mod tests {
         assert!(report.clean(), "{}", report.render());
         // Race-free cases must not observe any ground-truth races.
         assert!(report.cases.iter().all(|c| c.oracle.truth_races == 0));
+    }
+
+    #[test]
+    fn sharded_cases_merge_to_the_serial_campaign() {
+        let cfg = quick_config(2);
+        let serial = run_campaign(&cfg, |_, _| {});
+        // Round-robin over 3 "shards", then merge by global index —
+        // the same shape the cord-shard coordinator uses.
+        let mut cases = Vec::new();
+        for shard in 0..3usize {
+            let idx: Vec<usize> = (shard..cfg.count).step_by(3).collect();
+            cases.extend(run_campaign_cases(&cfg, &idx, |_, _| {}).cases);
+        }
+        cases.sort_by_key(|c| c.index);
+        let merged = CampaignReport {
+            cases,
+            requested: cfg.count,
+            budget_exhausted: false,
+        };
+        assert_eq!(merged.render(), serial.render());
     }
 
     #[test]

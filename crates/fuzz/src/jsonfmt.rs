@@ -1,0 +1,304 @@
+//! JSON codecs for campaign reports — the durable shard-checkpoint
+//! format.
+//!
+//! The multi-process shard runner persists each completed case's
+//! [`CaseReport`] into a per-shard checkpoint, so a worker killed at
+//! any point can be respawned and resume past what it already proved.
+//! That means every field the campaign report renders from must
+//! round-trip losslessly — including [`Violation`]'s `&'static str`
+//! config tags, which are *interned* on load: only the four strings
+//! the oracle actually emits are accepted, keeping the type's
+//! `&'static str` shape without leaking.
+//!
+//! The codecs live in cord-fuzz (not the shard driver) because they
+//! must evolve in lock-step with [`Violation`]: a new variant fails to
+//! compile here, not silently corrupt checkpoints at a distance.
+
+use crate::campaign::CaseReport;
+use crate::oracle::{OracleReport, Violation};
+use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use std::path::PathBuf;
+
+/// The oracle's `&'static str` config tags; load-time interning table.
+const KNOWN_CONFIGS: [&str; 4] = ["cord-d16", "ideal", "vc-limited", "inject-dry-run"];
+
+fn intern_config(s: &str) -> Result<&'static str, JsonError> {
+    KNOWN_CONFIGS
+        .iter()
+        .find(|&&k| k == s)
+        .copied()
+        .ok_or_else(|| JsonError::new(format!("unknown oracle config tag {s:?}")))
+}
+
+fn usize_field(v: &Json, name: &str) -> Result<usize, JsonError> {
+    Ok(u64::from_json(v.field(name)?)? as usize)
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("kind", Json::Str(self.kind().to_owned()))];
+        match self {
+            Violation::SimAborted { config, detail } => {
+                fields.push(("config", Json::Str((*config).to_owned())));
+                fields.push(("detail", Json::Str(detail.clone())));
+            }
+            Violation::CordFalsePositive { addr }
+            | Violation::VcFalsePositive { addr }
+            | Violation::IdealMissedRace { addr }
+            | Violation::IdealFalsePositive { addr } => {
+                fields.push(("addr", addr.to_json()));
+            }
+            Violation::Window16Mismatch { count } | Violation::WindowViolation { count } => {
+                fields.push(("count", count.to_json()));
+            }
+            Violation::ReplayFailed { detail } | Violation::NondeterministicRerun { detail } => {
+                fields.push(("detail", Json::Str(detail.clone())));
+            }
+            Violation::RaceFreeHadRaces {
+                config,
+                count,
+                first_addr,
+            } => {
+                fields.push(("config", Json::Str((*config).to_owned())));
+                fields.push(("count", (*count as u64).to_json()));
+                fields.push(("first_addr", first_addr.to_json()));
+            }
+            Violation::MetamorphicShrunk {
+                event_index,
+                lost_addr,
+            } => {
+                fields.push(("event_index", (*event_index as u64).to_json()));
+                fields.push(("lost_addr", lost_addr.to_json()));
+            }
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for Violation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind = String::from_json(v.field("kind")?)?;
+        let addr = || u64::from_json(v.field("addr")?);
+        let count = || u64::from_json(v.field("count")?);
+        let detail = || String::from_json(v.field("detail")?);
+        let config = || intern_config(&String::from_json(v.field("config")?)?);
+        Ok(match kind.as_str() {
+            "sim-aborted" => Violation::SimAborted {
+                config: config()?,
+                detail: detail()?,
+            },
+            "cord-false-positive" => Violation::CordFalsePositive { addr: addr()? },
+            "vc-false-positive" => Violation::VcFalsePositive { addr: addr()? },
+            "ideal-missed-race" => Violation::IdealMissedRace { addr: addr()? },
+            "ideal-false-positive" => Violation::IdealFalsePositive { addr: addr()? },
+            "window16-mismatch" => Violation::Window16Mismatch { count: count()? },
+            "window-violation" => Violation::WindowViolation { count: count()? },
+            "replay-failed" => Violation::ReplayFailed { detail: detail()? },
+            "nondeterministic-rerun" => Violation::NondeterministicRerun { detail: detail()? },
+            "race-free-had-races" => Violation::RaceFreeHadRaces {
+                config: config()?,
+                count: usize_field(v, "count")?,
+                first_addr: u64::from_json(v.field("first_addr")?)?,
+            },
+            "metamorphic-shrunk" => Violation::MetamorphicShrunk {
+                event_index: usize_field(v, "event_index")?,
+                lost_addr: u64::from_json(v.field("lost_addr")?)?,
+            },
+            other => return Err(JsonError::new(format!("unknown violation kind {other:?}"))),
+        })
+    }
+}
+
+impl ToJson for OracleReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            (
+                "violations",
+                Json::Array(self.violations.iter().map(ToJson::to_json).collect()),
+            ),
+            ("truth_races", (self.truth_races as u64).to_json()),
+            ("cord_races", (self.cord_races as u64).to_json()),
+            ("ideal_races", (self.ideal_races as u64).to_json()),
+            ("vc_races", (self.vc_races as u64).to_json()),
+            ("events", (self.events as u64).to_json()),
+            (
+                "injections_checked",
+                (self.injections_checked as u64).to_json(),
+            ),
+            (
+                "injections_aborted",
+                (self.injections_aborted as u64).to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for OracleReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let Json::Array(items) = v.field("violations")? else {
+            return Err(JsonError::new("violations is not an array"));
+        };
+        Ok(OracleReport {
+            violations: items
+                .iter()
+                .map(Violation::from_json)
+                .collect::<Result<_, _>>()?,
+            truth_races: usize_field(v, "truth_races")?,
+            cord_races: usize_field(v, "cord_races")?,
+            ideal_races: usize_field(v, "ideal_races")?,
+            vc_races: usize_field(v, "vc_races")?,
+            events: usize_field(v, "events")?,
+            injections_checked: usize_field(v, "injections_checked")?,
+            injections_aborted: usize_field(v, "injections_aborted")?,
+        })
+    }
+}
+
+impl ToJson for CaseReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("index", (self.index as u64).to_json()),
+            ("seed", self.seed.to_json()),
+            ("oracle", self.oracle.to_json()),
+        ];
+        if let Some(p) = &self.panic {
+            fields.push(("panic", Json::Str(p.clone())));
+        }
+        if let Some((threads, ops)) = self.shrunk {
+            fields.push((
+                "shrunk",
+                Json::Array(vec![(threads as u64).to_json(), (ops as u64).to_json()]),
+            ));
+        }
+        if let Some(path) = &self.reproducer {
+            fields.push(("reproducer", Json::Str(path.display().to_string())));
+        }
+        obj(fields)
+    }
+}
+
+impl FromJson for CaseReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let shrunk = match v.get("shrunk") {
+            Some(Json::Array(pair)) if pair.len() == 2 => Some((
+                u64::from_json(&pair[0])? as usize,
+                u64::from_json(&pair[1])? as usize,
+            )),
+            Some(_) => return Err(JsonError::new("shrunk is not a [threads, ops] pair")),
+            None => None,
+        };
+        Ok(CaseReport {
+            index: usize_field(v, "index")?,
+            seed: u64::from_json(v.field("seed")?)?,
+            oracle: OracleReport::from_json(v.field("oracle")?)?,
+            panic: match v.get("panic") {
+                Some(p) => Some(String::from_json(p)?),
+                None => None,
+            },
+            shrunk,
+            reproducer: match v.get("reproducer") {
+                Some(p) => Some(PathBuf::from(String::from_json(p)?)),
+                None => None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_violations() -> Vec<Violation> {
+        vec![
+            Violation::SimAborted {
+                config: "cord-d16",
+                detail: "watchdog".into(),
+            },
+            Violation::CordFalsePositive { addr: 0x40 },
+            Violation::VcFalsePositive { addr: 0x44 },
+            Violation::IdealMissedRace { addr: 0x48 },
+            Violation::IdealFalsePositive { addr: 0x4c },
+            Violation::Window16Mismatch { count: 3 },
+            Violation::WindowViolation { count: 1 },
+            Violation::ReplayFailed {
+                detail: "diverged at op 7".into(),
+            },
+            Violation::NondeterministicRerun {
+                detail: "racy set differed".into(),
+            },
+            Violation::RaceFreeHadRaces {
+                config: "ideal",
+                count: 2,
+                first_addr: 0x100,
+            },
+            Violation::MetamorphicShrunk {
+                event_index: 5,
+                lost_addr: 0x80,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_violation_variant_roundtrips() {
+        for v in all_violations() {
+            let j = v.to_json();
+            let back = Violation::from_json(&j).expect("roundtrip");
+            // Violation has no PartialEq; compare the rendered forms,
+            // which cover every field.
+            assert_eq!(format!("{back:?}"), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn unknown_config_tags_are_rejected_not_leaked() {
+        let mut j = Violation::SimAborted {
+            config: "cord-d16",
+            detail: "x".into(),
+        }
+        .to_json();
+        let Json::Object(fields) = &mut j else {
+            panic!("violation did not serialize to an object");
+        };
+        for (k, val) in fields.iter_mut() {
+            if k == "config" {
+                *val = Json::Str("evil".into());
+            }
+        }
+        assert!(Violation::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn case_report_roundtrips_with_and_without_optionals() {
+        let full = CaseReport {
+            index: 17,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            oracle: OracleReport {
+                violations: all_violations(),
+                truth_races: 4,
+                cord_races: 4,
+                ideal_races: 4,
+                vc_races: 5,
+                events: 1200,
+                injections_checked: 3,
+                injections_aborted: 1,
+            },
+            panic: Some("worker died".into()),
+            shrunk: Some((2, 48)),
+            reproducer: Some(PathBuf::from("corpus/case-17.json")),
+        };
+        let minimal = CaseReport {
+            index: 0,
+            seed: 1,
+            oracle: OracleReport::default(),
+            panic: None,
+            shrunk: None,
+            reproducer: None,
+        };
+        for case in [full, minimal] {
+            let text = case.to_json().to_string_pretty();
+            let parsed = Json::parse(&text).expect("parses");
+            let back = CaseReport::from_json(&parsed).expect("roundtrip");
+            assert_eq!(format!("{back:?}"), format!("{case:?}"));
+        }
+    }
+}

@@ -38,11 +38,12 @@
 pub mod campaign;
 pub mod corpus;
 pub mod gen;
+pub mod jsonfmt;
 pub mod oracle;
 pub mod shrink;
 pub mod truthhb;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, GenMode};
+pub use campaign::{run_campaign, run_campaign_cases, CampaignConfig, CampaignReport, GenMode};
 pub use gen::{generate, GenConfig};
 pub use oracle::{check_workload, OracleOptions, OracleReport, Violation};
 pub use shrink::{shrink_workload, ShrinkOutcome};

@@ -1,0 +1,414 @@
+//! Durable JSON documents: checksum footers, crash-atomic writes, and
+//! previous-good fallback for checkpoints.
+//!
+//! A checkpoint that a `kill -9` can truncate is worse than no
+//! checkpoint: a resume that silently parses half a document replays
+//! the wrong prefix of a campaign. This module makes checkpoint
+//! documents *self-verifying* and their writes *crash-atomic*:
+//!
+//! * [`seal`] appends a one-line footer (`#cord-durable v1 len=N
+//!   fnv1a=H`) carrying the body's byte length and FNV-1a checksum;
+//!   [`unseal`] refuses truncated or garbled documents instead of
+//!   handing back whatever happens to parse.
+//! * [`write_sealed_atomic`] writes to a temp file *in the same
+//!   directory*, fsyncs it, then renames it over the target, so the
+//!   target path always holds either the old or the new complete
+//!   document — never a partial flush.
+//! * [`write_checkpoint`] / [`load_checkpoint`] add rotation: before a
+//!   new checkpoint lands, the current (verified-good) one is renamed
+//!   to `<path>.prev`, and a loader that finds the primary corrupt
+//!   falls back to the previous good generation with a warning rather
+//!   than starting from scratch (or panicking).
+//!
+//! The footer is outside the JSON document proper; [`unseal_lenient`]
+//! still accepts legacy footer-less files so pre-existing checkpoints
+//! keep resuming.
+
+use crate::{Json, JsonError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Footer magic; a versioned prefix so the format can evolve.
+pub const FOOTER_MAGIC: &str = "#cord-durable v1";
+
+/// FNV-1a over `bytes` — the same dependency-free hash the bench
+/// checkpoint's options hash uses.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a sealed document failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// No `#cord-durable` footer line was found.
+    MissingFooter,
+    /// The footer line did not parse.
+    BadFooter {
+        /// The offending footer line.
+        line: String,
+    },
+    /// The body is shorter or longer than the footer's recorded length
+    /// — the classic symptom of a write cut off by a crash.
+    LengthMismatch {
+        /// Length recorded in the footer.
+        expected: usize,
+        /// Actual body length on disk.
+        actual: usize,
+    },
+    /// The body hashed to a different checksum than the footer records.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum of the body on disk.
+        actual: u64,
+    },
+    /// The (verified) body failed to parse as JSON.
+    Json(JsonError),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::MissingFooter => write!(f, "no durable footer"),
+            DurableError::BadFooter { line } => write!(f, "unparseable durable footer {line:?}"),
+            DurableError::LengthMismatch { expected, actual } => write!(
+                f,
+                "body length {actual} != footer length {expected} (truncated write?)"
+            ),
+            DurableError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "body checksum {actual:#018x} != footer checksum {expected:#018x} (corruption)"
+            ),
+            DurableError::Json(e) => write!(f, "verified body failed to parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// Renders `doc` (pretty) with the length+checksum footer appended.
+pub fn seal(doc: &Json) -> String {
+    let body = doc.to_string_pretty();
+    let mut out = body;
+    let len = out.len();
+    let sum = fnv1a(out.as_bytes());
+    out.push_str(&format!("\n{FOOTER_MAGIC} len={len} fnv1a={sum:016x}\n"));
+    out
+}
+
+/// Splits `text` into `(body, footer_line)` if a footer is present.
+fn split_footer(text: &str) -> Option<(&str, &str)> {
+    // The footer is the last non-empty line; search from the end so a
+    // `#`-free JSON body can never be confused for one.
+    let trimmed = text.trim_end_matches('\n');
+    let nl = trimmed.rfind('\n')?;
+    let (body, footer) = (&trimmed[..nl], &trimmed[nl + 1..]);
+    footer.starts_with(FOOTER_MAGIC).then_some((body, footer))
+}
+
+fn parse_footer(line: &str) -> Result<(usize, u64), DurableError> {
+    let bad = || DurableError::BadFooter {
+        line: line.to_owned(),
+    };
+    let rest = line.strip_prefix(FOOTER_MAGIC).ok_or_else(bad)?;
+    let mut len = None;
+    let mut sum = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        } else if let Some(v) = field.strip_prefix("fnv1a=") {
+            sum = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    match (len, sum) {
+        (Some(l), Some(s)) => Ok((l, s)),
+        _ => Err(bad()),
+    }
+}
+
+/// Verifies and parses a sealed document. Errors on missing/garbled
+/// footers, truncation, checksum mismatches, and (only after the body
+/// verified) JSON syntax errors.
+pub fn unseal(text: &str) -> Result<Json, DurableError> {
+    let (body, footer) = split_footer(text).ok_or(DurableError::MissingFooter)?;
+    let (len, sum) = parse_footer(footer)?;
+    if body.len() != len {
+        return Err(DurableError::LengthMismatch {
+            expected: len,
+            actual: body.len(),
+        });
+    }
+    let actual = fnv1a(body.as_bytes());
+    if actual != sum {
+        return Err(DurableError::ChecksumMismatch {
+            expected: sum,
+            actual,
+        });
+    }
+    Json::parse(body).map_err(DurableError::Json)
+}
+
+/// Like [`unseal`], but accepts legacy footer-less documents (returned
+/// with `sealed = false`); any *present* footer is still enforced.
+pub fn unseal_lenient(text: &str) -> Result<(Json, bool), DurableError> {
+    match split_footer(text) {
+        Some(_) => unseal(text).map(|doc| (doc, true)),
+        None => Json::parse(text)
+            .map(|doc| (doc, false))
+            .map_err(DurableError::Json),
+    }
+}
+
+/// Writes `doc`, sealed, crash-atomically: temp file in the same
+/// directory, fsync, rename over `path`, then a best-effort fsync of
+/// the directory so the rename itself survives power loss.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; on failure the previous
+/// content of `path` (if any) is untouched.
+pub fn write_sealed_atomic(path: &Path, doc: &Json) -> io::Result<()> {
+    let text = seal(doc);
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, text.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+/// `<path>.prev` — the previous good generation of a checkpoint.
+pub fn prev_path(path: &Path) -> PathBuf {
+    sibling(path, ".prev")
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Writes a checkpoint generation: the current file, if it verifies,
+/// is rotated to `<path>.prev` first, then the new document lands
+/// atomically at `path`. Every crash window leaves at least one
+/// verifiable generation on disk:
+///
+/// * killed before the rotation — old checkpoint intact at `path`;
+/// * killed between rotation and rename — old checkpoint at `.prev`,
+///   which [`load_checkpoint`] falls back to;
+/// * killed mid-temp-write — the temp file is garbage, but `path` (or
+///   `.prev`) still holds a sealed document.
+///
+/// A *corrupt* current file is never rotated (that would overwrite a
+/// good `.prev` with garbage); it is simply replaced.
+///
+/// # Errors
+///
+/// Propagates the I/O error of the final atomic write; rotation
+/// failures are swallowed (the write itself is what matters).
+pub fn write_checkpoint(path: &Path, doc: &Json) -> io::Result<()> {
+    if let Ok(current) = fs::read_to_string(path) {
+        if unseal_lenient(&current).is_ok() {
+            let _ = fs::rename(path, prev_path(path));
+        }
+    }
+    write_sealed_atomic(path, doc)
+}
+
+/// What [`load_checkpoint`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointLoad {
+    /// The recovered document, if any generation verified.
+    pub doc: Option<Json>,
+    /// `true` when the primary was unusable and `.prev` was used.
+    pub from_previous: bool,
+    /// `true` when the recovered document carried a verified footer
+    /// (`false` for legacy footer-less files).
+    pub sealed: bool,
+    /// Human-readable recovery warnings (corrupt generations skipped).
+    pub warnings: Vec<String>,
+}
+
+/// Loads a checkpoint written by [`write_checkpoint`]: tries `path`,
+/// falls back to `<path>.prev`, and reports (rather than panics over)
+/// any corrupt generation it had to skip. A missing file is not a
+/// warning — it is simply an empty load.
+pub fn load_checkpoint(path: &Path) -> CheckpointLoad {
+    let mut load = CheckpointLoad {
+        doc: None,
+        from_previous: false,
+        sealed: false,
+        warnings: Vec::new(),
+    };
+    for (candidate, is_prev) in [(path.to_path_buf(), false), (prev_path(path), true)] {
+        let text = match fs::read_to_string(&candidate) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                load.warnings
+                    .push(format!("checkpoint {}: {e}", candidate.display()));
+                continue;
+            }
+        };
+        match unseal_lenient(&text) {
+            Ok((doc, sealed)) => {
+                load.doc = Some(doc);
+                load.from_previous = is_prev;
+                load.sealed = sealed;
+                return load;
+            }
+            Err(e) => {
+                load.warnings.push(format!(
+                    "checkpoint {}: {e}{}",
+                    candidate.display(),
+                    if is_prev {
+                        ""
+                    } else {
+                        "; falling back to previous generation"
+                    }
+                ));
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    fn doc(n: u64) -> Json {
+        obj(vec![
+            ("gen", Json::UInt(n)),
+            ("name", Json::Str("x".into())),
+        ])
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cord-durable-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let d = doc(1);
+        let text = seal(&d);
+        assert_eq!(unseal(&text).expect("verifies"), d);
+        let (lenient, sealed) = unseal_lenient(&text).expect("verifies");
+        assert_eq!(lenient, d);
+        assert!(sealed);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = seal(&doc(2));
+        // Chop bytes out of the middle so the footer survives but the
+        // body doesn't: rebuilt as body-prefix + footer line.
+        let (body, footer) = split_footer(&text).expect("has footer");
+        let cut = format!("{}\n{}\n", &body[..body.len() - 4], footer);
+        match unseal(&cut) {
+            Err(DurableError::LengthMismatch { .. }) => {}
+            other => panic!("expected length mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let text = seal(&doc(3));
+        // Same-length garble: flip a digit inside the body.
+        let garbled = text.replacen("\"gen\": 3", "\"gen\": 7", 1);
+        assert_eq!(garbled.len(), text.len());
+        match unseal(&garbled) {
+            Err(DurableError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_footerless_documents_load_leniently() {
+        let plain = doc(4).to_string_pretty();
+        assert_eq!(unseal(&plain), Err(DurableError::MissingFooter));
+        let (v, sealed) = unseal_lenient(&plain).expect("legacy parse");
+        assert_eq!(v, doc(4));
+        assert!(!sealed);
+    }
+
+    #[test]
+    fn atomic_write_and_load() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("ck.json");
+        write_sealed_atomic(&path, &doc(1)).expect("write");
+        let load = load_checkpoint(&path);
+        assert_eq!(load.doc, Some(doc(1)));
+        assert!(load.sealed && !load.from_previous && load.warnings.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_previous_good_generation() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("ck.json");
+        write_checkpoint(&path, &doc(1)).expect("gen 1");
+        write_checkpoint(&path, &doc(2)).expect("gen 2");
+        assert_eq!(load_checkpoint(&path).doc, Some(doc(2)));
+        assert_eq!(load_checkpoint(&prev_path(&path)).doc, Some(doc(1)));
+
+        // Corrupt the primary: the loader falls back to .prev with a
+        // warning instead of failing.
+        fs::write(&path, "garbage{{{").expect("corrupt");
+        let load = load_checkpoint(&path);
+        assert_eq!(load.doc, Some(doc(1)));
+        assert!(load.from_previous);
+        assert_eq!(load.warnings.len(), 1, "{:?}", load.warnings);
+
+        // A corrupt primary must never be rotated over the good .prev.
+        write_checkpoint(&path, &doc(3)).expect("gen 3");
+        assert_eq!(load_checkpoint(&path).doc, Some(doc(3)));
+        assert_eq!(load_checkpoint(&prev_path(&path)).doc, Some(doc(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_load_empty_without_warnings() {
+        let dir = tmpdir("missing");
+        let load = load_checkpoint(&dir.join("absent.json"));
+        assert_eq!(load.doc, None);
+        assert!(load.warnings.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
+
 use std::collections::BTreeMap;
 use std::fmt;
 

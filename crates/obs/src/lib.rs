@@ -544,6 +544,81 @@ impl ToJson for SweepProfile {
     }
 }
 
+/// Wall-clock and failure profile of one supervised, multi-process
+/// sharded campaign (the cord-shard coordinator): worker retries,
+/// heartbeat misses, backoff sleeps, abandonments, and per-shard
+/// worker wall-time.
+///
+/// Everything here is timing- or failure-dependent, so the coordinator
+/// records it into a *separate* supervision document, never into the
+/// deterministic merged metrics that byte-identity is checked over.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisionProfile {
+    /// Worker respawns after a crash or hang (chaos kills included).
+    pub retries: u64,
+    /// Heartbeat timeouts that led to a worker being killed.
+    pub heartbeat_misses: u64,
+    /// Shards abandoned after exhausting their retry budget.
+    pub abandoned: u64,
+    /// Workers killed by chaos mode (subset of `retries`' causes).
+    pub chaos_kills: u64,
+    /// Total milliseconds spent sleeping in retry backoff.
+    pub backoff_ms: u64,
+    /// Worker wall-clock across all shard attempts.
+    pub shard_wall: DurStat,
+    /// Worker wall-clock keyed by shard label (e.g. `"shard-3"`).
+    pub shard_wall_by_shard: BTreeMap<String, DurStat>,
+}
+
+impl SupervisionProfile {
+    /// Records one worker attempt for `shard` that ran `secs` seconds.
+    pub fn record_shard_wall(&mut self, shard: &str, secs: f64) {
+        self.shard_wall.record(secs);
+        self.shard_wall_by_shard
+            .entry(shard.to_owned())
+            .or_default()
+            .record(secs);
+    }
+
+    /// Writes the profile's aggregates into `reg` under `shard.*`.
+    pub fn record_into(&self, reg: &mut MetricsRegistry) {
+        reg.add("shard.retries", self.retries);
+        reg.add("shard.heartbeat_misses", self.heartbeat_misses);
+        reg.add("shard.abandoned", self.abandoned);
+        reg.add("shard.chaos_kills", self.chaos_kills);
+        reg.add("shard.backoff_ms", self.backoff_ms);
+        reg.add("shard.worker_attempts", self.shard_wall.count);
+        reg.gauge("shard.worker_wall_total_s", self.shard_wall.total_s);
+        reg.gauge("shard.worker_wall_mean_s", self.shard_wall.mean_s());
+        reg.gauge("shard.worker_wall_max_s", self.shard_wall.max_s);
+        for (shard, stat) in &self.shard_wall_by_shard {
+            reg.gauge(&format!("shard.worker_wall_s.{shard}"), stat.total_s);
+        }
+    }
+}
+
+impl ToJson for SupervisionProfile {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("retries", self.retries.to_json()),
+            ("heartbeat_misses", self.heartbeat_misses.to_json()),
+            ("abandoned", self.abandoned.to_json()),
+            ("chaos_kills", self.chaos_kills.to_json()),
+            ("backoff_ms", self.backoff_ms.to_json()),
+            ("shard_wall", self.shard_wall.to_json()),
+            (
+                "shard_wall_by_shard",
+                Json::Object(
+                    self.shard_wall_by_shard
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,5 +715,33 @@ mod tests {
         p.record_into(&mut reg);
         assert_eq!(reg.counter("sweep.checkpoint_flushes"), 3);
         assert_eq!(reg.gauge_value("sweep.job_run_max_s"), Some(1.5));
+    }
+
+    #[test]
+    fn supervision_profile_records_shard_metrics() {
+        let mut p = SupervisionProfile {
+            retries: 3,
+            heartbeat_misses: 1,
+            abandoned: 1,
+            chaos_kills: 2,
+            backoff_ms: 750,
+            ..SupervisionProfile::default()
+        };
+        p.record_shard_wall("shard-0", 1.0);
+        p.record_shard_wall("shard-0", 2.0);
+        p.record_shard_wall("shard-1", 0.5);
+        let mut reg = MetricsRegistry::new();
+        p.record_into(&mut reg);
+        assert_eq!(reg.counter("shard.retries"), 3);
+        assert_eq!(reg.counter("shard.heartbeat_misses"), 1);
+        assert_eq!(reg.counter("shard.abandoned"), 1);
+        assert_eq!(reg.counter("shard.chaos_kills"), 2);
+        assert_eq!(reg.counter("shard.backoff_ms"), 750);
+        assert_eq!(reg.counter("shard.worker_attempts"), 3);
+        assert_eq!(reg.gauge_value("shard.worker_wall_max_s"), Some(2.0));
+        assert_eq!(reg.gauge_value("shard.worker_wall_s.shard-0"), Some(3.0));
+        // JSON render keeps per-shard breakdown.
+        let j = p.to_json().to_string_compact();
+        assert!(j.contains("\"shard-1\""), "{j}");
     }
 }

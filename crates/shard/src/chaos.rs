@@ -1,0 +1,206 @@
+//! Chaos mode: the supervisor killing its own workers on purpose.
+//!
+//! A recovery path that only runs when production breaks is a recovery
+//! path that does not work. Chaos mode makes worker death an everyday
+//! CI event: at each supervision poll, each running worker is killed
+//! with probability `kill_rate`, up to an optional total `budget` of
+//! kills. Kill decisions come from a seeded xorshift generator, so a
+//! chaos run is reproducible from its spec string.
+//!
+//! Chaos kills deliberately do **not** charge the shard's retry
+//! budget — they are self-inflicted, and checkpoint monotonicity means
+//! a respawned worker strictly extends the dead one's progress.
+//! Combined with a finite `budget` (always set in CI), chaos delays a
+//! campaign but can never fail or livelock it.
+
+use std::fmt;
+
+/// Parsed `--chaos kill-rate=P[,budget=B][,seed=S]` spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Per-poll, per-worker kill probability in `[0, 1]`.
+    pub kill_rate: f64,
+    /// Maximum total kills (`None` = unbounded; CI always bounds it).
+    pub budget: Option<u64>,
+    /// RNG seed; the same spec re-kills at the same decisions.
+    pub seed: u64,
+}
+
+/// Parses a chaos spec of the form `kill-rate=P[,budget=B][,seed=S]`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown keys, missing
+/// `kill-rate`, or out-of-range values.
+pub fn parse_chaos_spec(spec: &str) -> Result<ChaosConfig, String> {
+    let mut kill_rate = None;
+    let mut budget = None;
+    let mut seed = 0u64;
+    for field in spec.split(',').filter(|f| !f.is_empty()) {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("chaos field {field:?} is not key=value"))?;
+        match key {
+            "kill-rate" => {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("chaos kill-rate {value:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos kill-rate {p} outside [0, 1]"));
+                }
+                kill_rate = Some(p);
+            }
+            "budget" => {
+                budget = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("chaos budget {value:?} is not an integer"))?,
+                );
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("chaos seed {value:?} is not an integer"))?;
+            }
+            other => return Err(format!("unknown chaos key {other:?}")),
+        }
+    }
+    let kill_rate = kill_rate.ok_or_else(|| "chaos spec needs kill-rate=P".to_owned())?;
+    Ok(ChaosConfig {
+        kill_rate,
+        budget,
+        seed,
+    })
+}
+
+impl fmt::Display for ChaosConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kill-rate={}", self.kill_rate)?;
+        if let Some(b) = self.budget {
+            write!(f, ",budget={b}")?;
+        }
+        write!(f, ",seed={}", self.seed)
+    }
+}
+
+/// Running chaos state: the RNG stream plus the kills spent so far.
+#[derive(Debug, Clone)]
+pub struct ChaosState {
+    cfg: ChaosConfig,
+    rng: u64,
+    kills: u64,
+}
+
+impl ChaosState {
+    /// Starts a chaos stream from its config.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        ChaosState {
+            cfg,
+            // xorshift must not start at 0; mix the seed through the
+            // golden gamma so seed=0 still produces a live stream.
+            rng: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            kills: 0,
+        }
+    }
+
+    /// Draws one kill decision for one running worker. Returns `true`
+    /// at most `budget` times over the stream's lifetime.
+    pub fn should_kill(&mut self) -> bool {
+        if let Some(budget) = self.cfg.budget {
+            if self.kills >= budget {
+                return false;
+            }
+        }
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let draw = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let kill = draw < self.cfg.kill_rate;
+        if kill {
+            self.kills += 1;
+        }
+        kill
+    }
+
+    /// Kills spent so far.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// `true` once the kill budget (if any) is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.cfg.budget.is_some_and(|b| self.kills >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let cfg = parse_chaos_spec("kill-rate=0.3,budget=6,seed=2006").expect("parses");
+        assert_eq!(
+            cfg,
+            ChaosConfig {
+                kill_rate: 0.3,
+                budget: Some(6),
+                seed: 2006
+            }
+        );
+        assert_eq!(cfg.to_string(), "kill-rate=0.3,budget=6,seed=2006");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_chaos_spec("").is_err());
+        assert!(parse_chaos_spec("budget=3").is_err());
+        assert!(parse_chaos_spec("kill-rate=1.5").is_err());
+        assert!(parse_chaos_spec("kill-rate=0.5,frobnicate=1").is_err());
+        assert!(parse_chaos_spec("kill-rate").is_err());
+    }
+
+    #[test]
+    fn budget_bounds_kills() {
+        let mut st = ChaosState::new(ChaosConfig {
+            kill_rate: 1.0,
+            budget: Some(3),
+            seed: 7,
+        });
+        let kills = (0..100).filter(|_| st.should_kill()).count();
+        assert_eq!(kills, 3);
+        assert!(st.exhausted());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = ChaosConfig {
+            kill_rate: 0.5,
+            budget: None,
+            seed: 42,
+        };
+        let a: Vec<bool> = {
+            let mut st = ChaosState::new(cfg);
+            (0..64).map(|_| st.should_kill()).collect()
+        };
+        let b: Vec<bool> = {
+            let mut st = ChaosState::new(cfg);
+            (0..64).map(|_| st.should_kill()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&k| k) && a.iter().any(|&k| !k));
+    }
+
+    #[test]
+    fn zero_rate_never_kills_even_with_seed_zero() {
+        let mut st = ChaosState::new(ChaosConfig {
+            kill_rate: 0.0,
+            budget: None,
+            seed: 0,
+        });
+        assert!((0..64).all(|_| !st.should_kill()));
+    }
+}

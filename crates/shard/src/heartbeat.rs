@@ -1,0 +1,102 @@
+//! Heartbeat files: how a supervisor tells "slow" from "hung" without
+//! signals, pipes, or shared memory.
+//!
+//! A worker owns one heartbeat file and rewrites it with a
+//! monotonically increasing beat counter between work items. The
+//! supervisor polls the file; as long as the *counter value* keeps
+//! changing the worker is alive, however slowly it is making progress.
+//! A counter that stays put past the heartbeat timeout means the
+//! worker is wedged (deadlocked simulation, stuck I/O) even though the
+//! process may still exist — exactly the case `Child::try_wait` cannot
+//! catch.
+//!
+//! Writes go through a temp-file rename so the supervisor can never
+//! read a half-written counter; no fsync, because a heartbeat lost to
+//! a power cut is indistinguishable from (and handled like) a dead
+//! worker.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writer side: owned by a worker, beats between work items.
+#[derive(Debug)]
+pub struct HeartbeatWriter {
+    path: PathBuf,
+    beats: u64,
+}
+
+impl HeartbeatWriter {
+    /// Creates a writer that will beat into `path`. Writes beat 0
+    /// immediately so the supervisor sees the worker come up.
+    pub fn new(path: PathBuf) -> io::Result<Self> {
+        let mut w = HeartbeatWriter { path, beats: 0 };
+        w.write_current()?;
+        Ok(w)
+    }
+
+    /// Records one beat. Errors are returned, not panicked on — a
+    /// worker that cannot beat should keep computing; the supervisor
+    /// will treat it as hung and restart it, which is the correct
+    /// degraded behaviour.
+    pub fn beat(&mut self) -> io::Result<()> {
+        self.beats += 1;
+        self.write_current()
+    }
+
+    /// Number of beats recorded so far (excluding the initial 0).
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+
+    fn write_current(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("hb.tmp");
+        fs::write(
+            &tmp,
+            format!("beat={}\npid={}\n", self.beats, std::process::id()),
+        )?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+/// Reader side: the current beat counter, or `None` if the file is
+/// missing or unparseable (a just-spawned worker that has not beaten
+/// yet looks the same as a missing one — the supervisor's staleness
+/// clock starts at spawn either way).
+pub fn read_heartbeat(path: &Path) -> Option<u64> {
+    let text = fs::read_to_string(path).ok()?;
+    let line = text.lines().find(|l| l.starts_with("beat="))?;
+    line.strip_prefix("beat=")?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cord-hb-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn beats_are_monotonic_and_readable() {
+        let path = tmp("mono.hb");
+        let mut w = HeartbeatWriter::new(path.clone()).expect("writer");
+        assert_eq!(read_heartbeat(&path), Some(0));
+        w.beat().expect("beat");
+        w.beat().expect("beat");
+        assert_eq!(read_heartbeat(&path), Some(2));
+        assert_eq!(w.beats(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_or_garbled_reads_none() {
+        assert_eq!(read_heartbeat(Path::new("/nonexistent/x.hb")), None);
+        let path = tmp("garbled.hb");
+        fs::write(&path, "not a heartbeat").expect("write");
+        assert_eq!(read_heartbeat(&path), None);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,50 @@
+//! Multi-process campaign sharding for the CORD reproduction.
+//!
+//! cord-pool scales a sweep or fuzz campaign across the threads of one
+//! process; this crate scales it across *processes* — the prerequisite
+//! for distributing CORD's (app × run × injection-config) matrix and
+//! the million-case fuzz campaigns over many machines or simply over a
+//! supervisor that survives its workers dying.
+//!
+//! The crate is deliberately dependency-light (`cord-json` for durable
+//! documents, `cord-obs` for supervision metrics, otherwise `std`) and
+//! knows nothing about simulations. It provides three orthogonal
+//! pieces that `cord-bench`'s `shard` driver composes:
+//!
+//! * [`plan`] — deterministic shard assignment. A shard plan is pure
+//!   arithmetic over global case indices (`index % shards`, with seeds
+//!   derived from the golden-ratio mix the fuzz campaign already
+//!   uses), so *which* shard runs a case can never change *what* the
+//!   case computes. This is what makes the merged output byte-identical
+//!   across `--shards 1`, `--shards 8`, and any kill/resume history.
+//! * [`heartbeat`] — tiny monotonic-counter heartbeat files workers
+//!   touch between work items, letting the supervisor tell "slow" from
+//!   "hung" without signals or shared memory.
+//! * [`supervisor`] + [`chaos`] — the coordinator loop: spawn workers,
+//!   watch exits and heartbeats, retry crashed/hung shards with capped
+//!   exponential backoff, abandon shards that exhaust their budget
+//!   (with diagnostics, not a panic), drain cleanly on request, and —
+//!   under chaos mode — randomly kill its own workers so the recovery
+//!   path is exercised by CI rather than discovered in production.
+//!
+//! The crash-safety contract the supervisor leans on is *checkpoint
+//! monotonicity*: workers persist progress via `cord_json::durable`
+//! (atomic rename, checksum footer, previous-good fallback), so a
+//! worker killed at any instruction leaves a resumable shard behind
+//! and a respawn strictly extends it. Chaos kills therefore do not
+//! charge the retry budget — they cannot cause livelock, only delay.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod chaos;
+pub mod heartbeat;
+pub mod plan;
+pub mod supervisor;
+
+pub use chaos::{parse_chaos_spec, ChaosConfig, ChaosState};
+pub use heartbeat::{read_heartbeat, HeartbeatWriter};
+pub use plan::ShardPlan;
+pub use supervisor::{
+    supervise, ShardReport, ShardStatus, SupervisionOutcome, SupervisorConfig, WorkerHooks,
+};

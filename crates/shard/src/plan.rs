@@ -1,0 +1,143 @@
+//! Deterministic shard plans: pure arithmetic from global case index
+//! to shard, so sharding can never change what a case computes.
+//!
+//! The golden rule of the byte-identity guarantee is that a worker
+//! never derives anything from *local* position. Every case keeps its
+//! campaign-global index; the shard is `index % shards`; and the seed
+//! of case `i` is the same golden-ratio mix (`master · φ⁻¹ mod 2⁶⁴ +
+//! i`) that `cord_fuzz::case_seed` and the sweep runner's `run_seed`
+//! already pin with tests. Merging sorted-by-global-index shard
+//! outputs therefore reproduces the serial run byte for byte.
+//!
+//! Round-robin (rather than contiguous block) assignment is load
+//! balancing: expensive cases cluster by index (e.g. the later, larger
+//! injection configs of one app), and striding spreads such a cluster
+//! over all shards.
+
+use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+
+/// The golden-ratio increment (⌊2⁶⁴/φ⌋, forced odd) — the same
+/// constant `cord_fuzz::case_seed` and the sweep `run_seed` use.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the deterministic seed of global case `i` from a master
+/// seed. Must stay in lock-step with `cord_fuzz::case_seed` (pinned
+/// there by test): shard workers re-derive seeds through the campaign
+/// code itself, and this copy lets the planner reason about them
+/// without depending on cord-fuzz.
+pub fn derived_seed(master_seed: u64, i: usize) -> u64 {
+    master_seed
+        .wrapping_mul(GOLDEN_GAMMA)
+        .wrapping_add(i as u64)
+}
+
+/// A deterministic partition of `total` global case indices over
+/// `shards` round-robin shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Total global case count being partitioned.
+    pub total: usize,
+}
+
+impl ShardPlan {
+    /// Creates a plan; `shards` is clamped to at least 1.
+    pub fn new(shards: usize, total: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            total,
+        }
+    }
+
+    /// The shard that owns global case `index`.
+    pub fn shard_of(&self, index: usize) -> usize {
+        index % self.shards
+    }
+
+    /// Global case indices owned by `shard`, in increasing order.
+    pub fn indices(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (shard..self.total).step_by(self.shards)
+    }
+
+    /// Number of cases `shard` owns.
+    pub fn len_of(&self, shard: usize) -> usize {
+        if shard >= self.shards || shard >= self.total {
+            0
+        } else {
+            (self.total - shard).div_ceil(self.shards)
+        }
+    }
+}
+
+impl ToJson for ShardPlan {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("shards", (self.shards as u64).to_json()),
+            ("total", (self.total as u64).to_json()),
+        ])
+    }
+}
+
+impl FromJson for ShardPlan {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ShardPlan {
+            shards: (u64::from_json(v.get("shards").unwrap_or(&Json::Null))? as usize).max(1),
+            total: u64::from_json(v.get("total").unwrap_or(&Json::Null))? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seed_matches_pinned_campaign_values() {
+        // Mirrors cord_fuzz::campaign::case_seeds_are_stable.
+        assert_eq!(derived_seed(1, 0), 0x9E37_79B9_7F4A_7C15);
+        assert_eq!(derived_seed(1, 1), 0x9E37_79B9_7F4A_7C16);
+    }
+
+    #[test]
+    fn shards_partition_exactly() {
+        for shards in 1..=7 {
+            for total in [0usize, 1, 5, 16, 97] {
+                let plan = ShardPlan::new(shards, total);
+                let mut seen = vec![false; total];
+                for s in 0..shards {
+                    let mut count = 0;
+                    for i in plan.indices(s) {
+                        assert_eq!(plan.shard_of(i), s);
+                        assert!(!seen[i], "index {i} assigned twice");
+                        seen[i] = true;
+                        count += 1;
+                    }
+                    assert_eq!(count, plan.len_of(s), "shards={shards} total={total}");
+                }
+                assert!(seen.iter().all(|&b| b), "shards={shards} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let plan = ShardPlan::new(1, 10);
+        assert_eq!(
+            plan.indices(0).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardPlan::new(0, 4).shards, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = ShardPlan::new(8, 1000);
+        let back = ShardPlan::from_json(&plan.to_json()).expect("roundtrip");
+        assert_eq!(back, plan);
+    }
+}

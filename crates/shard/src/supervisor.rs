@@ -1,0 +1,699 @@
+//! The coordinator's supervision loop: spawn shard workers, watch
+//! exits and heartbeats, retry with capped exponential backoff,
+//! abandon gracefully, drain cleanly, and (under chaos mode) kill its
+//! own workers.
+//!
+//! The loop is generic over *what a worker is* via [`WorkerHooks`]:
+//! three closures that spawn a worker process for a shard, decide
+//! whether a shard's persisted output is complete, and locate the
+//! shard's heartbeat file. That keeps this crate free of any
+//! simulation knowledge and makes the loop testable with `sh -c`
+//! stand-in workers.
+//!
+//! Failure taxonomy (one poll tick at a time):
+//!
+//! * **crash** — the worker exited (any status) without its shard
+//!   checkpoint showing completion. Charges the retry budget.
+//! * **hang** — the worker is alive but its heartbeat counter has not
+//!   changed for `heartbeat_timeout`. The supervisor kills it; charges
+//!   the retry budget.
+//! * **chaos kill** — the supervisor killed the worker itself. Does
+//!   *not* charge the retry budget: checkpoints make progress
+//!   monotonic, so self-inflicted deaths can delay but never livelock
+//!   a campaign (CI always bounds chaos with a kill budget).
+//! * **abandonment** — a shard whose charged failures exceed
+//!   `max_retries` becomes [`ShardStatus::Abandoned`] with a
+//!   diagnostic string; the campaign continues and the merged report
+//!   carries the gap rather than the whole run sinking.
+//! * **drain** — when the drain flag (or drain file) is raised, all
+//!   workers are killed and unfinished shards are reported as
+//!   [`ShardStatus::Drained`]; a later invocation resumes them from
+//!   their checkpoints.
+
+use crate::chaos::{ChaosConfig, ChaosState};
+use crate::heartbeat::read_heartbeat;
+use cord_json::{obj, Json, ToJson};
+use cord_obs::SupervisionProfile;
+use std::io;
+use std::path::PathBuf;
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one supervision run.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of shards to supervise (shard ids `0..shards`).
+    pub shards: usize,
+    /// Maximum concurrently running workers.
+    pub max_workers: usize,
+    /// How often exits, heartbeats, chaos, and drain are checked.
+    pub poll_interval: Duration,
+    /// A heartbeat counter unchanged for this long means "hung".
+    pub heartbeat_timeout: Duration,
+    /// Charged failures allowed per shard before abandonment.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per charged failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff.
+    pub backoff_cap: Duration,
+    /// Chaos mode, if any.
+    pub chaos: Option<ChaosConfig>,
+    /// Existence of this file requests a drain (SIGTERM stand-in for
+    /// an environment without signal handling).
+    pub drain_file: Option<PathBuf>,
+}
+
+impl SupervisorConfig {
+    /// A config with sensible defaults for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        SupervisorConfig {
+            shards,
+            max_workers: shards.max(1),
+            poll_interval: Duration::from_millis(50),
+            heartbeat_timeout: Duration::from_secs(30),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            chaos: None,
+            drain_file: None,
+        }
+    }
+
+    fn backoff_for(&self, charged: u32) -> Duration {
+        let factor = 1u32 << charged.min(16).saturating_sub(1);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Terminal state of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// The shard's output is complete.
+    Completed,
+    /// Retry budget exhausted; `reason` is the diagnostic trail.
+    Abandoned {
+        /// Human-readable diagnosis (last failures, exit statuses).
+        reason: String,
+    },
+    /// Supervision was drained before the shard finished; resumable.
+    Drained,
+}
+
+impl ShardStatus {
+    /// Stable lower-case tag (`"completed"` / `"abandoned"` /
+    /// `"drained"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShardStatus::Completed => "completed",
+            ShardStatus::Abandoned { .. } => "abandoned",
+            ShardStatus::Drained => "drained",
+        }
+    }
+}
+
+/// Outcome of one shard across all its attempts.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: usize,
+    /// Terminal status.
+    pub status: ShardStatus,
+    /// Worker processes spawned for this shard.
+    pub attempts: u32,
+    /// Failures that charged the retry budget (crashes + hangs).
+    pub retries_charged: u32,
+    /// Times this shard's worker was chaos-killed.
+    pub chaos_kills: u64,
+    /// Times this shard's worker was killed for a stale heartbeat.
+    pub heartbeat_misses: u64,
+    /// Total worker wall-clock across attempts, in seconds.
+    pub wall_s: f64,
+}
+
+impl ToJson for ShardReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("shard", (self.shard as u64).to_json()),
+            ("status", Json::Str(self.status.kind().to_owned())),
+        ];
+        if let ShardStatus::Abandoned { reason } = &self.status {
+            fields.push(("reason", Json::Str(reason.clone())));
+        }
+        fields.push(("attempts", u64::from(self.attempts).to_json()));
+        fields.push(("retries_charged", u64::from(self.retries_charged).to_json()));
+        fields.push(("chaos_kills", self.chaos_kills.to_json()));
+        fields.push(("heartbeat_misses", self.heartbeat_misses.to_json()));
+        fields.push(("wall_s", self.wall_s.to_json()));
+        obj(fields)
+    }
+}
+
+/// Everything a supervision run produced.
+#[derive(Debug, Clone)]
+pub struct SupervisionOutcome {
+    /// One report per shard, in shard order.
+    pub reports: Vec<ShardReport>,
+    /// Aggregated supervision metrics (`shard.*`).
+    pub profile: SupervisionProfile,
+    /// `true` when the run ended because drain was requested.
+    pub drained: bool,
+}
+
+impl SupervisionOutcome {
+    /// `true` iff every shard completed.
+    pub fn all_completed(&self) -> bool {
+        self.reports
+            .iter()
+            .all(|r| r.status == ShardStatus::Completed)
+    }
+
+    /// Shard ids that were abandoned.
+    pub fn abandoned_shards(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.status, ShardStatus::Abandoned { .. }))
+            .map(|r| r.shard)
+            .collect()
+    }
+}
+
+/// The environment-specific half of supervision: how to start a
+/// worker, how to recognise a finished shard, where its heartbeat is.
+pub struct WorkerHooks<'a> {
+    /// Spawns a worker for `(shard, attempt)`. The hook owns stdio
+    /// redirection (per-shard log files and the like).
+    pub spawn: Box<dyn FnMut(usize, u32) -> io::Result<Child> + 'a>,
+    /// `true` when the shard's persisted output is complete. Must be
+    /// based on durable state (the shard checkpoint), not on worker
+    /// exit codes — a worker can die *after* finishing.
+    pub is_done: Box<dyn FnMut(usize) -> bool + 'a>,
+    /// The shard's heartbeat file, or `None` to disable hang
+    /// detection for it.
+    pub heartbeat_path: Box<dyn FnMut(usize) -> Option<PathBuf> + 'a>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillCause {
+    Chaos,
+    Hang,
+    Drain,
+}
+
+struct Running {
+    child: Child,
+    started: Instant,
+    last_beat: Option<u64>,
+    last_change: Instant,
+    kill_cause: Option<KillCause>,
+}
+
+enum Slot {
+    /// Waiting to (re)spawn once `eligible_at` passes.
+    Pending {
+        eligible_at: Instant,
+    },
+    Running(Running),
+    Done(ShardStatus),
+}
+
+struct ShardState {
+    slot: Slot,
+    attempts: u32,
+    retries_charged: u32,
+    chaos_kills: u64,
+    heartbeat_misses: u64,
+    wall_s: f64,
+    last_failure: String,
+}
+
+/// Runs the supervision loop to completion (all shards terminal) or
+/// drain. `drain` may be flipped from another thread; the
+/// `drain_file` in the config serves the same purpose across
+/// processes.
+pub fn supervise(
+    cfg: &SupervisorConfig,
+    hooks: &mut WorkerHooks<'_>,
+    drain: &AtomicBool,
+) -> SupervisionOutcome {
+    let mut chaos = cfg.chaos.map(ChaosState::new);
+    let mut profile = SupervisionProfile::default();
+    let now = Instant::now();
+    let mut shards: Vec<ShardState> = (0..cfg.shards)
+        .map(|_| ShardState {
+            slot: Slot::Pending { eligible_at: now },
+            attempts: 0,
+            retries_charged: 0,
+            chaos_kills: 0,
+            heartbeat_misses: 0,
+            wall_s: 0.0,
+            last_failure: String::new(),
+        })
+        .collect();
+    let mut drained = false;
+
+    loop {
+        let drain_requested =
+            drain.load(Ordering::Relaxed) || cfg.drain_file.as_ref().is_some_and(|p| p.exists());
+        if drain_requested {
+            drained = true;
+            for (s, st) in shards.iter_mut().enumerate() {
+                let started = if let Slot::Running(r) = &mut st.slot {
+                    r.kill_cause = Some(KillCause::Drain);
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    Some(r.started)
+                } else {
+                    None
+                };
+                if let Some(started) = started {
+                    record_wall(&mut profile, s, st, started);
+                    st.slot = if (hooks.is_done)(s) {
+                        Slot::Done(ShardStatus::Completed)
+                    } else {
+                        Slot::Done(ShardStatus::Drained)
+                    };
+                }
+                if matches!(st.slot, Slot::Pending { .. }) {
+                    st.slot = Slot::Done(if (hooks.is_done)(s) {
+                        ShardStatus::Completed
+                    } else {
+                        ShardStatus::Drained
+                    });
+                }
+            }
+            break;
+        }
+
+        // Reap exits and police heartbeats/chaos on running workers.
+        for (s, st) in shards.iter_mut().enumerate() {
+            let Slot::Running(r) = &mut st.slot else {
+                continue;
+            };
+            match r.child.try_wait() {
+                Ok(Some(status)) => {
+                    let started = r.started;
+                    let cause = r.kill_cause;
+                    record_wall(&mut profile, s, st, started);
+                    if (hooks.is_done)(s) {
+                        st.slot = Slot::Done(ShardStatus::Completed);
+                        continue;
+                    }
+                    // Failure: classify and decide charge.
+                    let charge = match cause {
+                        Some(KillCause::Chaos) => {
+                            st.chaos_kills += 1;
+                            profile.chaos_kills += 1;
+                            st.last_failure = "chaos kill".to_owned();
+                            false
+                        }
+                        Some(KillCause::Hang) => {
+                            st.heartbeat_misses += 1;
+                            profile.heartbeat_misses += 1;
+                            st.last_failure =
+                                format!("heartbeat stale for {:?} (killed)", cfg.heartbeat_timeout);
+                            true
+                        }
+                        Some(KillCause::Drain) => unreachable!("drain handled above"),
+                        None => {
+                            st.last_failure =
+                                format!("worker exited ({status}) without completing its shard");
+                            true
+                        }
+                    };
+                    if charge {
+                        st.retries_charged += 1;
+                    }
+                    if st.retries_charged > cfg.max_retries {
+                        profile.abandoned += 1;
+                        st.slot = Slot::Done(ShardStatus::Abandoned {
+                            reason: format!(
+                                "gave up after {} attempts ({} charged of {} allowed): {}",
+                                st.attempts,
+                                st.retries_charged,
+                                cfg.max_retries + 1,
+                                st.last_failure
+                            ),
+                        });
+                    } else {
+                        profile.retries += 1;
+                        let backoff = if charge {
+                            cfg.backoff_for(st.retries_charged)
+                        } else {
+                            Duration::ZERO
+                        };
+                        profile.backoff_ms += backoff.as_millis() as u64;
+                        st.slot = Slot::Pending {
+                            eligible_at: Instant::now() + backoff,
+                        };
+                    }
+                }
+                Ok(None) => {
+                    // Still running: heartbeat staleness, then chaos.
+                    if r.kill_cause.is_none() {
+                        if let Some(hb) = (hooks.heartbeat_path)(s) {
+                            let beat = read_heartbeat(&hb);
+                            if beat != r.last_beat {
+                                r.last_beat = beat;
+                                r.last_change = Instant::now();
+                            } else if r.last_change.elapsed() > cfg.heartbeat_timeout {
+                                r.kill_cause = Some(KillCause::Hang);
+                                let _ = r.child.kill();
+                            }
+                        }
+                    }
+                    if r.kill_cause.is_none() {
+                        if let Some(c) = chaos.as_mut() {
+                            if c.should_kill() {
+                                r.kill_cause = Some(KillCause::Chaos);
+                                let _ = r.child.kill();
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    // try_wait failing is exotic (EINTR-ish); treat as
+                    // a charged failure rather than spinning forever.
+                    let started = r.started;
+                    let _ = r.child.kill();
+                    let _ = r.child.wait();
+                    record_wall(&mut profile, s, st, started);
+                    st.retries_charged += 1;
+                    st.last_failure = format!("wait failed: {e}");
+                    st.slot = if st.retries_charged > cfg.max_retries {
+                        profile.abandoned += 1;
+                        Slot::Done(ShardStatus::Abandoned {
+                            reason: st.last_failure.clone(),
+                        })
+                    } else {
+                        profile.retries += 1;
+                        Slot::Pending {
+                            eligible_at: Instant::now() + cfg.backoff_for(st.retries_charged),
+                        }
+                    };
+                }
+            }
+        }
+
+        // Spawn eligible pending shards into free slots.
+        let mut running = shards
+            .iter()
+            .filter(|st| matches!(st.slot, Slot::Running(_)))
+            .count();
+        for (s, st) in shards.iter_mut().enumerate() {
+            if running >= cfg.max_workers {
+                break;
+            }
+            let Slot::Pending { eligible_at } = st.slot else {
+                continue;
+            };
+            if eligible_at > Instant::now() {
+                continue;
+            }
+            // Resume fast path: a shard whose checkpoint is already
+            // complete (earlier run, or an orphaned worker that
+            // finished after its coordinator died) needs no worker.
+            if (hooks.is_done)(s) {
+                st.slot = Slot::Done(ShardStatus::Completed);
+                continue;
+            }
+            st.attempts += 1;
+            match (hooks.spawn)(s, st.attempts - 1) {
+                Ok(child) => {
+                    let now = Instant::now();
+                    st.slot = Slot::Running(Running {
+                        child,
+                        started: now,
+                        last_beat: None,
+                        last_change: now,
+                        kill_cause: None,
+                    });
+                    running += 1;
+                }
+                Err(e) => {
+                    st.retries_charged += 1;
+                    st.last_failure = format!("spawn failed: {e}");
+                    if st.retries_charged > cfg.max_retries {
+                        profile.abandoned += 1;
+                        st.slot = Slot::Done(ShardStatus::Abandoned {
+                            reason: st.last_failure.clone(),
+                        });
+                    } else {
+                        profile.retries += 1;
+                        let backoff = cfg.backoff_for(st.retries_charged);
+                        profile.backoff_ms += backoff.as_millis() as u64;
+                        st.slot = Slot::Pending {
+                            eligible_at: Instant::now() + backoff,
+                        };
+                    }
+                }
+            }
+        }
+
+        if shards.iter().all(|st| matches!(st.slot, Slot::Done(_))) {
+            break;
+        }
+        std::thread::sleep(cfg.poll_interval);
+    }
+
+    let reports = shards
+        .into_iter()
+        .enumerate()
+        .map(|(s, st)| ShardReport {
+            shard: s,
+            status: match st.slot {
+                Slot::Done(status) => status,
+                // Unreachable in practice; defensive for drain races.
+                _ => ShardStatus::Drained,
+            },
+            attempts: st.attempts,
+            retries_charged: st.retries_charged,
+            chaos_kills: st.chaos_kills,
+            heartbeat_misses: st.heartbeat_misses,
+            wall_s: st.wall_s,
+        })
+        .collect();
+    SupervisionOutcome {
+        reports,
+        profile,
+        drained,
+    }
+}
+
+fn record_wall(
+    profile: &mut SupervisionProfile,
+    shard: usize,
+    st: &mut ShardState,
+    started: Instant,
+) {
+    let secs = started.elapsed().as_secs_f64();
+    st.wall_s += secs;
+    profile.record_shard_wall(&format!("shard-{shard}"), secs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::Path;
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::AtomicBool;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cord-sup-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("temp dir");
+        d
+    }
+
+    fn sh(script: String) -> io::Result<Child> {
+        Command::new("sh")
+            .arg("-c")
+            .arg(script)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+
+    fn fast_cfg(shards: usize) -> SupervisorConfig {
+        let mut cfg = SupervisorConfig::new(shards);
+        cfg.poll_interval = Duration::from_millis(20);
+        cfg.backoff_base = Duration::from_millis(10);
+        cfg.backoff_cap = Duration::from_millis(50);
+        cfg
+    }
+
+    fn done_marker(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("done-{shard}"))
+    }
+
+    #[test]
+    fn clean_workers_complete() {
+        let dir = tmpdir("clean");
+        let cfg = fast_cfg(3);
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(|s, _a| sh(format!("touch {}", done_marker(&dir, s).display()))),
+            is_done: Box::new(|s| done_marker(&dir, s).exists()),
+            heartbeat_path: Box::new(|_| None),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        assert!(out.all_completed(), "{:?}", out.reports);
+        assert!(!out.drained);
+        assert_eq!(out.profile.retries, 0);
+        assert_eq!(out.profile.shard_wall.count, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exit_zero_without_done_is_charged_and_abandoned() {
+        let dir = tmpdir("abandon");
+        let mut cfg = fast_cfg(1);
+        cfg.max_retries = 1;
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(|_s, _a| sh("true".to_owned())),
+            is_done: Box::new(|_s| false),
+            heartbeat_path: Box::new(|_| None),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        let r = &out.reports[0];
+        assert_eq!(r.status.kind(), "abandoned");
+        assert_eq!(r.attempts, 2, "{r:?}");
+        assert_eq!(r.retries_charged, 2);
+        let ShardStatus::Abandoned { reason } = &r.status else {
+            panic!("not abandoned: {r:?}");
+        };
+        assert!(reason.contains("without completing"), "{reason}");
+        assert_eq!(out.profile.abandoned, 1);
+        assert_eq!(out.profile.retries, 1); // one respawn before giving up
+        assert!(out.profile.backoff_ms > 0);
+        assert!(!out.all_completed());
+        assert_eq!(out.abandoned_shards(), vec![0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_worker_is_killed_and_retried() {
+        let dir = tmpdir("hang");
+        let mut cfg = fast_cfg(1);
+        cfg.heartbeat_timeout = Duration::from_millis(100);
+        let hb = dir.join("hb");
+        fs::write(&hb, "beat=0\n").expect("seed heartbeat");
+        let dir2 = dir.clone();
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(move |s, attempt| {
+                if attempt == 0 {
+                    // Hangs: never beats.
+                    sh("sleep 30".to_owned())
+                } else {
+                    sh(format!("touch {}", done_marker(&dir2, s).display()))
+                }
+            }),
+            is_done: Box::new(|s| done_marker(&dir, s).exists()),
+            heartbeat_path: Box::new(move |_| Some(hb.clone())),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        let r = &out.reports[0];
+        assert_eq!(r.status, ShardStatus::Completed, "{r:?}");
+        assert_eq!(r.heartbeat_misses, 1);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(out.profile.heartbeat_misses, 1);
+        assert_eq!(out.profile.retries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_kills_workers_and_is_resumable_state() {
+        let dir = tmpdir("drain");
+        let cfg = fast_cfg(2);
+        let drain = AtomicBool::new(false);
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(|_s, _a| sh("sleep 30".to_owned())),
+            is_done: Box::new(|_s| false),
+            heartbeat_path: Box::new(|_| None),
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(150));
+                drain.store(true, Ordering::Relaxed);
+            });
+            let out = supervise(&cfg, &mut hooks, &drain);
+            assert!(out.drained);
+            for r in &out.reports {
+                assert_eq!(r.status, ShardStatus::Drained, "{r:?}");
+            }
+        });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_file_requests_drain() {
+        let dir = tmpdir("drainfile");
+        let mut cfg = fast_cfg(1);
+        let flag = dir.join("DRAIN");
+        cfg.drain_file = Some(flag.clone());
+        fs::write(&flag, "").expect("raise drain");
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(|_s, _a| sh("sleep 30".to_owned())),
+            is_done: Box::new(|_s| false),
+            heartbeat_path: Box::new(|_| None),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        assert!(out.drained);
+        assert_eq!(out.reports[0].status, ShardStatus::Drained);
+        assert_eq!(out.reports[0].attempts, 0, "drain beat the first spawn");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_kills_do_not_charge_retries_and_campaign_recovers() {
+        let dir = tmpdir("chaos");
+        let mut cfg = fast_cfg(1);
+        cfg.max_retries = 0; // any *charged* failure would abandon
+        cfg.chaos = Some(ChaosConfig {
+            kill_rate: 1.0,
+            budget: Some(2),
+            seed: 1,
+        });
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(|s, _a| {
+                sh(format!(
+                    "sleep 0.3 && touch {}",
+                    done_marker(&dir, s).display()
+                ))
+            }),
+            is_done: Box::new(|s| done_marker(&dir, s).exists()),
+            heartbeat_path: Box::new(|_| None),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        let r = &out.reports[0];
+        assert_eq!(r.status, ShardStatus::Completed, "{r:?}");
+        assert_eq!(r.chaos_kills, 2);
+        assert_eq!(r.retries_charged, 0);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(out.profile.chaos_kills, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn already_done_shards_complete_without_spawning() {
+        let dir = tmpdir("resume");
+        let cfg = fast_cfg(2);
+        fs::write(done_marker(&dir, 0), "").expect("pre-complete shard 0");
+        let dir2 = dir.clone();
+        let mut hooks = WorkerHooks {
+            spawn: Box::new(move |s, _a| sh(format!("touch {}", done_marker(&dir2, s).display()))),
+            is_done: Box::new(|s| done_marker(&dir, s).exists()),
+            heartbeat_path: Box::new(|_| None),
+        };
+        let out = supervise(&cfg, &mut hooks, &AtomicBool::new(false));
+        assert!(out.all_completed());
+        assert_eq!(
+            out.reports[0].attempts, 0,
+            "resumed shard spawned no worker"
+        );
+        assert_eq!(out.reports[1].attempts, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,6 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p cord-pool --all-targets -- -D warnings
 cargo clippy -p cord-obs --all-targets -- -D warnings
 cargo clippy -p cord-fuzz --all-targets -- -D warnings
+cargo clippy -p cord-shard --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
@@ -47,6 +48,36 @@ diff "$smoke_dir/fuzz-serial.txt" "$smoke_dir/fuzz-parallel.txt"
 grep -q "200 of 200 cases, 0 failures" "$smoke_dir/fuzz-serial.txt"
 ./target/release/fuzz replay crates/fuzz/corpus > "$smoke_dir/fuzz-replay.txt" 2> /dev/null
 grep -q ", 0 failures" "$smoke_dir/fuzz-replay.txt"
+
+echo "== shard smoke: chaos-killed 4-shard campaign must match --shards 1 byte-for-byte =="
+./target/release/shard fuzz --dir "$smoke_dir/shard-serial" --shards 1 \
+    --count 60 --short --seed 2006 --worker-jobs 2 2> /dev/null
+./target/release/shard fuzz --dir "$smoke_dir/shard-chaos" --shards 4 \
+    --count 60 --short --seed 2006 --worker-jobs 2 --poll-ms 5 \
+    --chaos kill-rate=0.3,budget=6,seed=2006 2> /dev/null
+diff "$smoke_dir/shard-serial/merged/report.txt" "$smoke_dir/shard-chaos/merged/report.txt"
+diff "$smoke_dir/shard-serial/merged/metrics.json" "$smoke_dir/shard-chaos/merged/metrics.json"
+
+echo "== shard smoke: forced abandonment, then resume heals to identical bytes =="
+abandon_rc=0
+CORD_SHARD_FAIL_SHARDS=2 ./target/release/shard fuzz --dir "$smoke_dir/shard-abandon" \
+    --shards 4 --count 60 --short --seed 2006 --worker-jobs 2 --poll-ms 5 \
+    --max-retries 1 2> /dev/null || abandon_rc=$?
+test "$abandon_rc" -eq 2
+grep -q "shard 2: abandoned" "$smoke_dir/shard-abandon/merged/report.txt"
+./target/release/shard resume --dir "$smoke_dir/shard-abandon" --poll-ms 5 2> /dev/null
+diff "$smoke_dir/shard-serial/merged/report.txt" "$smoke_dir/shard-abandon/merged/report.txt"
+diff "$smoke_dir/shard-serial/merged/metrics.json" "$smoke_dir/shard-abandon/merged/metrics.json"
+
+echo "== shard smoke: sharded sweep matches --shards 1 byte-for-byte =="
+./target/release/shard sweep --dir "$smoke_dir/shard-sweep1" --shards 1 \
+    --apps fft,radix --injections 2 --scale tiny --seed 13 --worker-jobs 2 2> /dev/null
+./target/release/shard sweep --dir "$smoke_dir/shard-sweep4" --shards 4 \
+    --apps fft,radix --injections 2 --scale tiny --seed 13 --worker-jobs 2 \
+    --poll-ms 5 2> /dev/null
+diff "$smoke_dir/shard-sweep1/merged/results.json" "$smoke_dir/shard-sweep4/merged/results.json"
+diff "$smoke_dir/shard-sweep1/merged/report.txt" "$smoke_dir/shard-sweep4/merged/report.txt"
+diff "$smoke_dir/shard-sweep1/merged/metrics.json" "$smoke_dir/shard-sweep4/merged/metrics.json"
 
 echo "== refactor guard: mini sweep must match the committed fixtures =="
 ./target/release/refactor_guard "$smoke_dir/guard"
