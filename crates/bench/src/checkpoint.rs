@@ -24,7 +24,8 @@
 
 use crate::configs::DetectorConfig;
 use crate::sweep::{AppSweep, SweepOptions};
-use cord_json::{durable, obj, FromJson, Json, ToJson};
+use cord_json::durable::{self, RecoveryEvent};
+use cord_json::{obj, FromJson, Json, ToJson};
 use std::io;
 use std::path::Path;
 
@@ -83,13 +84,14 @@ impl Checkpoint {
     pub fn load_matching_with_warnings(
         path: &Path,
         hash: u64,
-    ) -> (Option<Checkpoint>, Vec<String>) {
+    ) -> (Option<Checkpoint>, Vec<RecoveryEvent>) {
         let load = durable::load_checkpoint(path);
         let mut warnings = load.warnings;
         if load.from_previous {
-            warnings.push(format!(
-                "checkpoint {}: resumed from previous good generation",
-                path.display()
+            warnings.push(RecoveryEvent::new(
+                "resumed-previous",
+                path,
+                "resumed from previous good generation",
             ));
         }
         let cp = load
@@ -97,9 +99,10 @@ impl Checkpoint {
             .and_then(|doc| match Checkpoint::from_doc(&doc) {
                 Ok(cp) => Some(cp),
                 Err(e) => {
-                    warnings.push(format!(
-                        "checkpoint {}: verified but malformed ({e}); ignoring",
-                        path.display()
+                    warnings.push(RecoveryEvent::new(
+                        "malformed-document",
+                        path,
+                        format!("verified but malformed ({e}); ignoring"),
                     ));
                     None
                 }
@@ -201,7 +204,11 @@ mod tests {
         assert!(
             warnings
                 .iter()
-                .any(|w| w.contains("previous good generation")),
+                .any(|w| w.to_string().contains("previous good generation")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.kind == "resumed-previous"),
             "{warnings:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,358 +1,9 @@
-//! The detector configurations compared in §4.
+//! Re-exports of the detector configurations compared in §4.
+//!
+//! The definitions moved to [`cord_detectors::config`] so detectors can
+//! be named and built without the benchmark harness (the `cord-serve`
+//! daemon resolves stream-header labels through
+//! [`DetectorConfig::from_label`]). This shim keeps
+//! `cord_bench::configs::*` paths working.
 
-use cord_core::{CordConfig, CordDetector, Detector};
-use cord_detectors::{IdealDetector, VcConfig, VcLimitedDetector};
-use cord_obs::{MetricsRegistry, TraceHandle};
-use cord_sim::config::MachineConfig;
-use cord_sim::observer::{
-    AccessEvent, CoreId, Level, LineRemoval, MemoryObserver, ObserverOutcome,
-};
-use cord_trace::types::{LineAddr, ThreadId};
-
-/// A named detector configuration from the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DetectorConfig {
-    /// CORD with the given `D` (the paper's default is 16; Figures 16–17
-    /// sweep 1, 4, 16, 256).
-    Cord {
-        /// The sync-read clock-update window.
-        d: u64,
-    },
-    /// Vector clocks, two timestamps per line, unlimited cache
-    /// (InfCache, §4.3).
-    VcInfCache,
-    /// Vector clocks limited to the L2 (the "vector clock" reference of
-    /// Figures 12–13/16–17).
-    VcL2Cache,
-    /// Vector clocks limited to the L1 (the severe constraint of
-    /// Figures 14–15).
-    VcL1Cache,
-    /// The Ideal oracle: vector clocks, infinite cache, unlimited
-    /// per-word history.
-    Ideal,
-    /// A deliberately faulty detector for fault-tolerance tests: runs
-    /// with an odd seed panic (caught by the sweep's per-run isolation
-    /// boundary and recorded as `RunStatus::Panicked`), even-seeded runs
-    /// report zero races, so a probed sweep mixes panicked and completed
-    /// records. Never part of [`DetectorConfig::all_for_sweep`].
-    PanicProbe,
-}
-
-impl DetectorConfig {
-    /// The figure label.
-    pub fn label(self) -> String {
-        match self {
-            DetectorConfig::Cord { d } => format!("CORD-D{d}"),
-            DetectorConfig::VcInfCache => "InfCache".to_string(),
-            DetectorConfig::VcL2Cache => "L2Cache(VC)".to_string(),
-            DetectorConfig::VcL1Cache => "L1Cache(VC)".to_string(),
-            DetectorConfig::Ideal => "Ideal".to_string(),
-            DetectorConfig::PanicProbe => "PanicProbe".to_string(),
-        }
-    }
-
-    /// The machine this configuration runs on: Ideal and InfCache use
-    /// the infinite-cache machine ("Ideal's L2 cache is infinite and
-    /// always hits", §4.2), everything else uses the paper's 4-core CMP.
-    pub fn machine(self) -> MachineConfig {
-        match self {
-            DetectorConfig::Ideal | DetectorConfig::VcInfCache => MachineConfig::infinite_cache(),
-            _ => MachineConfig::paper_4core(),
-        }
-    }
-
-    /// The CORD detector configuration, when this is a CORD variant.
-    pub fn cord_config(self) -> Option<CordConfig> {
-        match self {
-            DetectorConfig::Cord { d } => Some(CordConfig::with_d(d)),
-            _ => None,
-        }
-    }
-
-    /// The vector-clock detector configuration, when applicable.
-    pub fn vc_config(self) -> Option<VcConfig> {
-        match self {
-            DetectorConfig::VcInfCache => Some(VcConfig::inf_cache()),
-            DetectorConfig::VcL2Cache => Some(VcConfig::l2_cache()),
-            DetectorConfig::VcL1Cache => Some(VcConfig::l1_cache()),
-            _ => None,
-        }
-    }
-
-    /// Constructs the detector this configuration names as the concrete
-    /// [`DetectorEnum`], ready to attach to a machine with `cores` cores
-    /// running a `threads`-thread workload. This is the single
-    /// construction point every sweep and figure goes through — adding a
-    /// detector means adding a variant here, not touching each call
-    /// site. The sweep hot path runs `Machine<DetectorEnum>`, so every
-    /// observer callback dispatches through one match instead of a
-    /// vtable.
-    ///
-    /// `seed` is the run's scheduling seed; real detectors ignore it,
-    /// but [`DetectorConfig::PanicProbe`] uses its parity to decide
-    /// whether to fault (odd seeds panic at the first observed access,
-    /// or at run end if nothing was observed).
-    pub fn dispatch(&self, threads: usize, cores: usize, seed: u64) -> DetectorEnum {
-        match *self {
-            DetectorConfig::Cord { d } => {
-                DetectorEnum::Cord(CordDetector::new(CordConfig::with_d(d), threads, cores))
-            }
-            DetectorConfig::Ideal => DetectorEnum::Ideal(IdealDetector::new(threads)),
-            DetectorConfig::VcInfCache => DetectorEnum::VcLimited(VcLimitedDetector::new(
-                VcConfig::inf_cache(),
-                threads,
-                cores,
-            )),
-            DetectorConfig::VcL2Cache => DetectorEnum::VcLimited(VcLimitedDetector::new(
-                VcConfig::l2_cache(),
-                threads,
-                cores,
-            )),
-            DetectorConfig::VcL1Cache => DetectorEnum::VcLimited(VcLimitedDetector::new(
-                VcConfig::l1_cache(),
-                threads,
-                cores,
-            )),
-            DetectorConfig::PanicProbe => DetectorEnum::PanicProbe(PanicProbeDetector { seed }),
-        }
-    }
-
-    /// [`DetectorConfig::dispatch`] behind the object-safe session-API
-    /// edge: callers that store heterogeneous detectors (the experiment
-    /// harness, external consumers) get a box; the sweep inner loop
-    /// uses [`DetectorConfig::dispatch`] directly and stays
-    /// monomorphized.
-    pub fn build(&self, threads: usize, cores: usize, seed: u64) -> Box<dyn Detector> {
-        Box::new(self.dispatch(threads, cores, seed))
-    }
-
-    /// Every configuration any figure needs, so one sweep serves all of
-    /// Figures 12–17.
-    pub fn all_for_sweep() -> Vec<DetectorConfig> {
-        vec![
-            DetectorConfig::Cord { d: 1 },
-            DetectorConfig::Cord { d: 4 },
-            DetectorConfig::Cord { d: 16 },
-            DetectorConfig::Cord { d: 256 },
-            DetectorConfig::VcInfCache,
-            DetectorConfig::VcL2Cache,
-            DetectorConfig::VcL1Cache,
-        ]
-    }
-}
-
-/// Every detector a [`DetectorConfig`] can name, as one concrete type.
-///
-/// `Machine<DetectorEnum>` is what the sweep's (app × run) inner loop
-/// executes: the observer callbacks on the per-access hot path compile
-/// to a jump over this enum's variants instead of virtual calls through
-/// `Box<dyn Detector>`, which stays confined to the session-API edge
-/// ([`DetectorConfig::build`]).
-#[derive(Debug)]
-pub enum DetectorEnum {
-    /// A [`CordDetector`] (any `D`).
-    Cord(CordDetector),
-    /// The [`IdealDetector`] oracle.
-    Ideal(IdealDetector),
-    /// A [`VcLimitedDetector`] (InfCache / L2Cache / L1Cache).
-    VcLimited(VcLimitedDetector),
-    /// The fault-injection probe.
-    PanicProbe(PanicProbeDetector),
-}
-
-impl MemoryObserver for DetectorEnum {
-    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
-        match self {
-            DetectorEnum::Cord(d) => d.on_access(ev),
-            DetectorEnum::Ideal(d) => d.on_access(ev),
-            DetectorEnum::VcLimited(d) => d.on_access(ev),
-            DetectorEnum::PanicProbe(d) => d.on_access(ev),
-        }
-    }
-
-    fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
-        match self {
-            DetectorEnum::Cord(d) => d.on_line_filled(core, level, line),
-            DetectorEnum::Ideal(d) => d.on_line_filled(core, level, line),
-            DetectorEnum::VcLimited(d) => d.on_line_filled(core, level, line),
-            DetectorEnum::PanicProbe(d) => d.on_line_filled(core, level, line),
-        }
-    }
-
-    fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
-        match self {
-            DetectorEnum::Cord(d) => d.on_line_removed(removal),
-            DetectorEnum::Ideal(d) => d.on_line_removed(removal),
-            DetectorEnum::VcLimited(d) => d.on_line_removed(removal),
-            DetectorEnum::PanicProbe(d) => d.on_line_removed(removal),
-        }
-    }
-
-    fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
-        match self {
-            DetectorEnum::Cord(d) => d.on_thread_migrated(thread, from, to),
-            DetectorEnum::Ideal(d) => d.on_thread_migrated(thread, from, to),
-            DetectorEnum::VcLimited(d) => d.on_thread_migrated(thread, from, to),
-            DetectorEnum::PanicProbe(d) => d.on_thread_migrated(thread, from, to),
-        }
-    }
-
-    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
-        match self {
-            DetectorEnum::Cord(d) => d.on_run_end(final_instr_counts),
-            DetectorEnum::Ideal(d) => d.on_run_end(final_instr_counts),
-            DetectorEnum::VcLimited(d) => d.on_run_end(final_instr_counts),
-            DetectorEnum::PanicProbe(d) => d.on_run_end(final_instr_counts),
-        }
-    }
-}
-
-impl Detector for DetectorEnum {
-    fn race_count(&self) -> u64 {
-        match self {
-            DetectorEnum::Cord(d) => d.race_count(),
-            DetectorEnum::Ideal(d) => d.race_count(),
-            DetectorEnum::VcLimited(d) => d.race_count(),
-            DetectorEnum::PanicProbe(d) => d.race_count(),
-        }
-    }
-
-    fn set_trace(&mut self, trace: TraceHandle) {
-        match self {
-            DetectorEnum::Cord(d) => d.set_trace(trace),
-            DetectorEnum::Ideal(d) => d.set_trace(trace),
-            DetectorEnum::VcLimited(d) => d.set_trace(trace),
-            DetectorEnum::PanicProbe(d) => d.set_trace(trace),
-        }
-    }
-
-    fn record_metrics(&self, reg: &mut MetricsRegistry) {
-        match self {
-            DetectorEnum::Cord(d) => d.record_metrics(reg),
-            DetectorEnum::Ideal(d) => d.record_metrics(reg),
-            DetectorEnum::VcLimited(d) => d.record_metrics(reg),
-            DetectorEnum::PanicProbe(d) => d.record_metrics(reg),
-        }
-    }
-}
-
-/// The deliberately faulty detector behind
-/// [`DetectorConfig::PanicProbe`]: odd-seeded runs panic at the first
-/// observed access — or at run end, for workloads with no observed
-/// accesses, so odd seeds *always* fault (exercising the sweep's
-/// per-job panic boundary); even-seeded runs observe everything and
-/// report zero races.
-#[derive(Debug, Clone, Copy)]
-pub struct PanicProbeDetector {
-    seed: u64,
-}
-
-impl MemoryObserver for PanicProbeDetector {
-    fn on_access(&mut self, _ev: &AccessEvent) -> ObserverOutcome {
-        if self.seed % 2 == 1 {
-            panic!("panic probe fired (injected detector fault)");
-        }
-        ObserverOutcome::NONE
-    }
-
-    // `on_run_end` always fires, so an odd seed faults even for a
-    // workload that performs zero observed memory accesses.
-    fn on_run_end(&mut self, _final_instr_counts: &[u64]) {
-        if self.seed % 2 == 1 {
-            panic!("panic probe fired (injected detector fault)");
-        }
-    }
-}
-
-impl Detector for PanicProbeDetector {
-    fn race_count(&self) -> u64 {
-        0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_are_figure_style() {
-        assert_eq!(DetectorConfig::Cord { d: 16 }.label(), "CORD-D16");
-        assert_eq!(DetectorConfig::VcL2Cache.label(), "L2Cache(VC)");
-    }
-
-    #[test]
-    fn machines_match_paper_setup() {
-        assert!(
-            DetectorConfig::Ideal.machine().l2.capacity_bytes
-                > DetectorConfig::VcL2Cache.machine().l2.capacity_bytes
-        );
-        assert_eq!(
-            DetectorConfig::Cord { d: 16 }.machine(),
-            MachineConfig::paper_4core()
-        );
-    }
-
-    #[test]
-    fn config_conversions() {
-        assert_eq!(
-            DetectorConfig::Cord { d: 4 }
-                .cord_config()
-                .unwrap()
-                .policy
-                .d(),
-            4
-        );
-        assert!(DetectorConfig::Cord { d: 4 }.vc_config().is_none());
-        assert_eq!(
-            DetectorConfig::VcL1Cache.vc_config().unwrap().capacity,
-            cord_detectors::CapacityMode::Level(cord_sim::observer::Level::L1)
-        );
-        assert_eq!(DetectorConfig::all_for_sweep().len(), 7);
-    }
-
-    #[test]
-    fn build_constructs_every_sweep_detector() {
-        for cfg in DetectorConfig::all_for_sweep() {
-            let det = cfg.build(4, 4, 2);
-            assert_eq!(det.race_count(), 0, "{cfg:?} starts clean");
-        }
-        let probe = DetectorConfig::PanicProbe.build(4, 4, 2);
-        assert_eq!(probe.race_count(), 0);
-    }
-
-    #[test]
-    fn panic_probe_fires_on_odd_seeds_only() {
-        use cord_sim::observer::{AccessKind, AccessPath, CoreId};
-        use cord_trace::types::{Addr, ThreadId};
-        let ev = AccessEvent {
-            core: CoreId(0),
-            thread: ThreadId(0),
-            addr: Addr::new(0x40),
-            kind: AccessKind::DataRead,
-            path: AccessPath::L1Hit,
-            instr_index: 0,
-            cycle: 0,
-        };
-        let mut even = PanicProbeDetector { seed: 4 };
-        assert_eq!(even.on_access(&ev), ObserverOutcome::NONE);
-        let mut odd = PanicProbeDetector { seed: 5 };
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            odd.on_access(&ev);
-        }));
-        assert!(caught.is_err(), "odd-seeded probe must panic");
-    }
-
-    #[test]
-    fn panic_probe_faults_at_run_end_even_without_accesses() {
-        let mut even = PanicProbeDetector { seed: 4 };
-        even.on_run_end(&[0, 0]);
-        let mut odd = PanicProbeDetector { seed: 5 };
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            odd.on_run_end(&[0, 0]);
-        }));
-        assert!(
-            caught.is_err(),
-            "odd-seeded probe must fault even for access-free runs"
-        );
-    }
-}
+pub use cord_detectors::config::{DetectorConfig, DetectorEnum, PanicProbeDetector};

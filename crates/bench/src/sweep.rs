@@ -10,7 +10,7 @@
 
 use crate::configs::DetectorConfig;
 use crate::obs::ObsSink;
-use cord_core::Detector;
+use cord_core::{Detector, DetectorSink, ObsCtx, SinkObserver};
 use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
 use cord_obs::{MetricsRegistry, TraceHandle};
@@ -355,10 +355,13 @@ pub(crate) struct RunObsCtx<'a> {
 /// Shared implementation behind
 /// [`SweepRunner::run_detector`](crate::runner::SweepRunner::run_detector):
 /// construct the configuration's detector through
-/// [`DetectorConfig::dispatch`], run it on the configuration's machine
-/// under the sweep's watchdog, and count what it found. The machine is
-/// `Machine<DetectorEnum>`, so the whole (app × run) inner loop is
-/// monomorphized — no virtual dispatch per access.
+/// [`DetectorConfig::build_sink`], run it on the configuration's
+/// machine under the sweep's watchdog, and count what it found. The
+/// machine is `Machine<SinkObserver<DetectorEnum>>` — the sink API with
+/// the observer adapter over it — so the whole (app × run) inner loop
+/// is monomorphized: no virtual dispatch per access, and inline
+/// detection exercises the very ingestion path a capture replay or the
+/// daemon uses.
 ///
 /// With `obs` set, the machine and detector share a bounded trace ring
 /// whose snapshot is written per cell, and the run's simulator and
@@ -374,31 +377,31 @@ pub(crate) fn run_config_impl(
     obs: Option<RunObsCtx<'_>>,
 ) -> Result<Detection, SimError> {
     let machine = opts.machine_for(config);
-    let mut det = config.dispatch(workload.num_threads(), machine.cores, seed);
     let trace = match obs {
-        Some(o) if o.sink.tracing() => {
-            let h = TraceHandle::bounded(o.sink.trace_capacity());
-            det.set_trace(h.clone());
-            Some(h)
-        }
+        Some(o) if o.sink.tracing() => Some(TraceHandle::bounded(o.sink.trace_capacity())),
         _ => None,
     };
-    let mut m = Machine::new(machine, workload, det, seed, plan);
+    let ctx = match &trace {
+        Some(h) => ObsCtx::with_trace(h.clone()),
+        None => ObsCtx::disabled(),
+    };
+    let det = config.build_sink(workload.num_threads(), machine.cores, seed, ctx);
+    let mut m = Machine::new(machine, workload, SinkObserver::new(det), seed, plan);
     if let Some(h) = &trace {
         m = m.with_trace(h.clone());
     }
-    let (out, det) = m.run()?;
+    let (out, mut det) = m.run()?;
     if let Some(o) = obs {
         let mut reg = MetricsRegistry::default();
         out.stats.record_into(&mut reg);
-        det.record_metrics(&mut reg);
+        reg.merge(&det.sink_mut().drain().metrics);
         o.sink.merge(&reg);
         if let Some(h) = &trace {
             o.sink.write_trace(o.app, o.run_index, &config.label(), h);
         }
     }
     Ok(Detection {
-        races: det.race_count(),
+        races: det.sink().race_count(),
     })
 }
 

@@ -49,7 +49,7 @@ fn cord_cell(w: &cord_trace::program::Workload, seed: u64, plan: InjectionPlan) 
     let (out, det) = m.run().expect("golden matrix runs complete");
     let mut reg = MetricsRegistry::default();
     out.stats.record_into(&mut reg);
-    det.record_metrics(&mut reg);
+    det.stats().record_into(&mut reg);
     let log = encode_log(det.recorder().entries());
     obj(vec![
         ("races", det.race_count().to_json()),

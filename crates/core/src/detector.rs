@@ -205,6 +205,18 @@ impl CordDetector {
         (self.races, self.recorder, self.stats)
     }
 
+    /// Attaches a run-event trace sink. Prefer passing the handle at
+    /// construction time through [`crate::sink::ObsCtx`]; this exists
+    /// for callers that build the detector directly.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The detector label used in reports and sweep tables.
+    pub fn label(&self) -> String {
+        format!("CORD-D{}", self.cfg.policy.d())
+    }
+
     /// Order-recording race test, shadow-audited through the 16-bit
     /// hardware datapath when the walker is enabled: the comparison the
     /// real CORD would perform on truncated clocks must agree with the
@@ -343,31 +355,58 @@ impl CordDetector {
 /// `Send` is a supertrait so a `Box<dyn Detector>` can be built on one
 /// thread and executed on a sweep worker — the parallel injection
 /// executor constructs detectors through
-/// `DetectorConfig::build` and fans the runs across a pool.
+/// `DetectorConfig::build_sink` and fans the runs across a pool.
+///
+/// Observability wiring (trace handle in, metrics out) is no longer
+/// part of this trait: the trace handle arrives at construction time
+/// via [`crate::sink::ObsCtx`], and metrics leave through
+/// [`crate::sink::DetectorSink::drain`].
 pub trait Detector: MemoryObserver + Send {
     /// Number of data races reported so far.
     fn race_count(&self) -> u64;
-
-    /// Attaches a run-event trace sink. Detectors that don't trace
-    /// ignore it (the default), so implementing this is opt-in.
-    fn set_trace(&mut self, _trace: TraceHandle) {}
-
-    /// Accumulates this detector's counters into a metrics registry.
-    /// No-op by default for detectors without structured stats.
-    fn record_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 impl Detector for CordDetector {
     fn race_count(&self) -> u64 {
         self.races.len() as u64
     }
+}
 
-    fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+/// Stable serialization of a race report, used by
+/// [`crate::sink::SinkReport`] for the capture→replay byte-identity
+/// contract. Kind names match the wire JSON codec
+/// (`data-read`/`data-write`/`sync-read`/`sync-write`).
+impl cord_json::ToJson for RaceReport {
+    fn to_json(&self) -> cord_json::Json {
+        let kind = cord_obs::kind_name(self.kind);
+        cord_json::obj(vec![
+            ("thread", cord_json::Json::UInt(u64::from(self.thread.0))),
+            ("addr", cord_json::Json::UInt(self.addr.byte())),
+            ("kind", cord_json::Json::Str(kind.to_string())),
+            (
+                "other_core",
+                cord_json::Json::UInt(u64::from(self.other_core.0)),
+            ),
+            ("my_clock", cord_json::Json::UInt(self.my_clock.ticks())),
+            ("other_ts", cord_json::Json::UInt(self.other_ts.ticks())),
+            ("instr_index", cord_json::Json::UInt(self.instr_index)),
+            ("cycle", cord_json::Json::UInt(self.cycle)),
+        ])
+    }
+}
+
+impl crate::sink::DetectorSink for CordDetector {
+    fn ingest(&mut self, ev: &cord_obs::StreamEvent) -> ObserverOutcome {
+        crate::sink::apply_stream_event(self, ev)
     }
 
-    fn record_metrics(&self, reg: &mut MetricsRegistry) {
-        self.stats.record_into(reg);
+    fn drain(&mut self) -> crate::sink::SinkReport {
+        use cord_json::ToJson;
+        let mut report = crate::sink::SinkReport::new(self.label());
+        report.race_count = self.races.len() as u64;
+        report.races = self.races.iter().map(|r| r.to_json()).collect();
+        self.stats.record_into(&mut report.metrics);
+        report
     }
 }
 

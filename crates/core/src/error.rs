@@ -32,6 +32,12 @@ pub enum CordError {
     /// A detector failed internally (e.g. a panic caught at the sweep
     /// boundary); the payload is its message.
     Detector(String),
+    /// A durable snapshot or checkpoint was recovered abnormally —
+    /// the primary generation was corrupt and a previous generation
+    /// (or nothing) was loaded instead. Carries the human-readable
+    /// recovery description so daemons can surface it in `status`
+    /// responses instead of burying it in stderr.
+    SnapshotRecovery(String),
     /// The parallel sweep executor failed at the worker-pool level —
     /// a job was lost or a result slot was never filled. Distinct from
     /// a *job* panicking (which the sweep records as a per-run
@@ -68,6 +74,7 @@ impl fmt::Display for CordError {
                  (enable MachineConfig::capture_resolved)"
             ),
             CordError::Detector(msg) => write!(f, "detector failure: {msg}"),
+            CordError::SnapshotRecovery(msg) => write!(f, "snapshot recovery: {msg}"),
             CordError::Pool(msg) => write!(f, "worker pool failure: {msg}"),
         }
     }
@@ -100,6 +107,7 @@ impl CordError {
             CordError::LogOverflow { .. } => "log-overflow",
             CordError::MissingResolvedStreams => "missing-resolved-streams",
             CordError::Detector(_) => "detector-failure",
+            CordError::SnapshotRecovery(_) => "snapshot-recovery",
             CordError::Pool(_) => "pool-failure",
         }
     }

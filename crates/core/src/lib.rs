@@ -20,6 +20,9 @@
 //!   verification (§3.3).
 //! * [`area`] — the analytic 19%-vs-38%-vs-200% state-overhead model
 //!   (§2.3).
+//! * [`sink`] — detectors as event-stream sinks ([`DetectorSink`]):
+//!   the ingestion surface shared by inline simulation, capture replay,
+//!   and the `cord-serve` streaming daemon.
 //! * [`error`] — the workspace-wide [`CordError`] failure taxonomy.
 //! * [`harness`] — one-call experiment runs.
 //!
@@ -57,6 +60,7 @@ pub mod memts;
 pub mod record;
 pub mod replay;
 pub mod shadow;
+pub mod sink;
 
 pub use config::CordConfig;
 pub use detector::{CordDetector, CordStats, Detector, RaceReport};
@@ -70,6 +74,9 @@ pub use replay::{
     replay_and_verify, replay_parallelism, ReplayError, ReplayParallelism, ReplayReport,
 };
 pub use shadow::{LineTable, ShadowSpace};
+pub use sink::{
+    apply_stream_event, CaptureObserver, DetectorSink, ObsCtx, SinkObserver, SinkReport,
+};
 
 /// One-stop imports for experiment code.
 ///
@@ -98,6 +105,7 @@ pub mod prelude {
     pub use crate::error::CordError;
     pub use crate::harness::{CordOutcome, ExperimentHarness};
     pub use crate::replay::{replay_and_verify, ReplayError, ReplayReport};
+    pub use crate::sink::{CaptureObserver, DetectorSink, ObsCtx, SinkObserver, SinkReport};
     pub use cord_sim::config::{MachineConfig, Watchdog};
     pub use cord_sim::engine::{InjectionPlan, Machine, RunOutput, SimError};
     pub use cord_sim::observer::{MemoryObserver, NullObserver};

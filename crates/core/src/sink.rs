@@ -1,0 +1,442 @@
+//! Detectors as event-stream sinks.
+//!
+//! The redesigned ingestion surface: a detector is a [`DetectorSink`]
+//! that consumes [`StreamEvent`]s one at a time, regardless of whether
+//! they come from a live simulator, a capture file, or a socket. The
+//! Machine-coupled path is a thin adapter — [`SinkObserver`] turns the
+//! `MemoryObserver` callback stream into `StreamEvent`s — so inline
+//! detection and stream replay execute the *same* detector code on the
+//! *same* event sequence. That is what makes the capture→replay
+//! byte-identity contract (enforced by the cord-fuzz oracle and the
+//! cord-serve smoke) meaningful rather than aspirational.
+//!
+//! * [`ObsCtx`] — observability wiring handed to
+//!   `DetectorConfig::build_sink()` at construction time, replacing the
+//!   old post-construction `set_trace`/`record_metrics` mutation pair.
+//! * [`SinkReport`] — what [`DetectorSink::drain`] returns: the race
+//!   report plus metrics, with a canonical byte serialization
+//!   ([`SinkReport::to_bytes`]) that replay legs compare bit-for-bit.
+//! * [`apply_stream_event`] — the one dispatch table from reified
+//!   events back to observer callbacks.
+//! * [`CaptureObserver`] — tee: records the event stream while
+//!   forwarding it, without perturbing the inner observer.
+
+use cord_json::{obj, FromJson, Json, JsonError, ToJson};
+use cord_obs::{MetricsRegistry, ObserverOutcome, StreamEvent, TraceHandle};
+use cord_sim::observer::{AccessEvent, CoreId, Level, LineRemoval, MemoryObserver};
+use cord_trace::types::{LineAddr, ThreadId};
+
+/// Observability context handed to a sink at construction time: one
+/// value instead of the old `set_trace` + `record_metrics` mutation
+/// pair. Metrics now travel *out* of the sink (in
+/// [`SinkReport::metrics`]); the trace handle travels *in* here.
+#[derive(Debug, Clone, Default)]
+pub struct ObsCtx {
+    /// Run-event trace sink; [`TraceHandle::disabled`] for no tracing.
+    pub trace: TraceHandle,
+}
+
+impl ObsCtx {
+    /// No observability: disabled trace handle.
+    pub fn disabled() -> Self {
+        ObsCtx::default()
+    }
+
+    /// Wires a trace handle in.
+    pub fn with_trace(trace: TraceHandle) -> Self {
+        ObsCtx { trace }
+    }
+}
+
+/// The drained result of a detector sink: who checked, what it found,
+/// and the counters it accumulated.
+///
+/// The compact-JSON byte serialization ([`SinkReport::to_bytes`]) is
+/// the unit of the capture→replay contract: a daemon replaying a
+/// captured stream must drain to bytes identical to inline detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkReport {
+    /// Detector label (e.g. `"CORD-D16"`).
+    pub detector: String,
+    /// Number of races reported.
+    pub race_count: u64,
+    /// Per-race records, detector-specific but stably serialized.
+    pub races: Vec<Json>,
+    /// Detector counters (empty for detectors without structured stats).
+    pub metrics: MetricsRegistry,
+}
+
+impl SinkReport {
+    /// An empty report for `detector`.
+    pub fn new(detector: impl Into<String>) -> Self {
+        SinkReport {
+            detector: detector.into(),
+            race_count: 0,
+            races: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Canonical byte serialization (compact JSON). Two reports are
+    /// *the same report* iff these bytes are equal.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string_compact().into_bytes()
+    }
+}
+
+impl ToJson for SinkReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("detector", self.detector.to_json()),
+            ("race_count", self.race_count.to_json()),
+            ("races", Json::Array(self.races.clone())),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SinkReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SinkReport {
+            detector: FromJson::from_json(v.field("detector")?)?,
+            race_count: FromJson::from_json(v.field("race_count")?)?,
+            races: v.field("races")?.as_array()?.to_vec(),
+            metrics: FromJson::from_json(v.field("metrics")?)?,
+        })
+    }
+}
+
+/// A race detector as an event-stream sink — the ingestion surface
+/// shared by inline simulation, capture replay, and the cord-serve
+/// daemon.
+///
+/// `Send` is a supertrait for the same reason it is on
+/// [`Detector`](crate::Detector): sinks are built on one thread and
+/// driven on another (sweep workers, daemon sessions).
+pub trait DetectorSink: Send {
+    /// Consumes one event, returning any extra bus work it caused (only
+    /// meaningful to a live simulator; replay drivers ignore it).
+    fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome;
+
+    /// A synchronization point: any buffered work must be applied
+    /// before `flush` returns. The default is a no-op for sinks that
+    /// apply events eagerly.
+    fn flush(&mut self) {}
+
+    /// Produces the race report accumulated so far. Does not reset the
+    /// sink; draining twice yields the same report.
+    fn drain(&mut self) -> SinkReport;
+}
+
+impl<S: DetectorSink + ?Sized> DetectorSink for Box<S> {
+    fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome {
+        (**self).ingest(ev)
+    }
+
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+
+    fn drain(&mut self) -> SinkReport {
+        (**self).drain()
+    }
+}
+
+/// Dispatches one reified event to the matching [`MemoryObserver`]
+/// callback — the single translation table between the wire vocabulary
+/// and the callback vocabulary. [`StreamEvent::Trace`] passthroughs are
+/// not detector inputs and are ignored.
+pub fn apply_stream_event<O: MemoryObserver + ?Sized>(
+    obs: &mut O,
+    ev: &StreamEvent,
+) -> ObserverOutcome {
+    match ev {
+        StreamEvent::Access(a) => obs.on_access(a),
+        StreamEvent::LineFilled { core, level, line } => {
+            obs.on_line_filled(*core, *level, *line);
+            ObserverOutcome::NONE
+        }
+        StreamEvent::LineRemoved(r) => obs.on_line_removed(r),
+        StreamEvent::ThreadMigrated { thread, from, to } => {
+            obs.on_thread_migrated(*thread, *from, *to);
+            ObserverOutcome::NONE
+        }
+        StreamEvent::RunEnd { instr_counts } => {
+            obs.on_run_end(instr_counts);
+            ObserverOutcome::NONE
+        }
+        StreamEvent::Trace(_) => ObserverOutcome::NONE,
+    }
+}
+
+/// The thin adapter that keeps the `Machine` path on the sink API: a
+/// [`MemoryObserver`] that reifies each callback as a [`StreamEvent`]
+/// and feeds it to the wrapped sink. Inline detection is therefore
+/// *defined* as replaying the callback stream through the sink — the
+/// same code path a capture replay takes.
+#[derive(Debug)]
+pub struct SinkObserver<S> {
+    sink: S,
+}
+
+impl<S> SinkObserver<S> {
+    /// Wraps a sink for attachment to a `Machine`.
+    pub fn new(sink: S) -> Self {
+        SinkObserver { sink }
+    }
+
+    /// The wrapped sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The wrapped sink, mutably.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> S {
+        self.sink
+    }
+}
+
+impl<S: DetectorSink> MemoryObserver for SinkObserver<S> {
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.sink.ingest(&StreamEvent::Access(*ev))
+    }
+
+    fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.sink
+            .ingest(&StreamEvent::LineFilled { core, level, line });
+    }
+
+    fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.sink.ingest(&StreamEvent::LineRemoved(*removal))
+    }
+
+    fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.sink
+            .ingest(&StreamEvent::ThreadMigrated { thread, from, to });
+    }
+
+    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
+        self.sink.ingest(&StreamEvent::RunEnd {
+            instr_counts: final_instr_counts.to_vec(),
+        });
+        self.sink.flush();
+    }
+}
+
+/// A tee observer: records every event as a [`StreamEvent`] while
+/// forwarding it (and its outcome) unchanged to the inner observer.
+/// Wrapping a detector in a capture changes nothing about the run —
+/// which is exactly why a capture replayed through a fresh sink must
+/// reproduce the inline result bit-for-bit.
+#[derive(Debug)]
+pub struct CaptureObserver<O> {
+    inner: O,
+    events: Vec<StreamEvent>,
+}
+
+impl<O> CaptureObserver<O> {
+    /// Wraps `inner`, capturing into an empty buffer.
+    pub fn new(inner: O) -> Self {
+        CaptureObserver {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The captured events so far.
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// The wrapped observer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps into `(inner, captured events)`.
+    pub fn into_parts(self) -> (O, Vec<StreamEvent>) {
+        (self.inner, self.events)
+    }
+}
+
+impl<O: MemoryObserver> MemoryObserver for CaptureObserver<O> {
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.events.push(StreamEvent::Access(*ev));
+        self.inner.on_access(ev)
+    }
+
+    fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.events
+            .push(StreamEvent::LineFilled { core, level, line });
+        self.inner.on_line_filled(core, level, line)
+    }
+
+    fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.events.push(StreamEvent::LineRemoved(*removal));
+        self.inner.on_line_removed(removal)
+    }
+
+    fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.events
+            .push(StreamEvent::ThreadMigrated { thread, from, to });
+        self.inner.on_thread_migrated(thread, from, to)
+    }
+
+    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
+        self.events.push(StreamEvent::RunEnd {
+            instr_counts: final_instr_counts.to_vec(),
+        });
+        self.inner.on_run_end(final_instr_counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_obs::AccessKind;
+    use cord_trace::types::Addr;
+
+    /// A sink that counts what it ingested.
+    struct CountingSink {
+        events: u64,
+        accesses: u64,
+        flushed: bool,
+    }
+
+    impl DetectorSink for CountingSink {
+        fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome {
+            self.events += 1;
+            if matches!(ev, StreamEvent::Access(_)) {
+                self.accesses += 1;
+            }
+            ObserverOutcome::NONE
+        }
+
+        fn flush(&mut self) {
+            self.flushed = true;
+        }
+
+        fn drain(&mut self) -> SinkReport {
+            let mut r = SinkReport::new("counting");
+            r.metrics.add("test.events", self.events);
+            r
+        }
+    }
+
+    fn access(addr: u64) -> AccessEvent {
+        AccessEvent {
+            core: CoreId(0),
+            thread: ThreadId(0),
+            addr: Addr::new(addr),
+            kind: AccessKind::DataRead,
+            path: cord_obs::AccessPath::L1Hit,
+            instr_index: 0,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn sink_observer_reifies_every_callback() {
+        let mut obs = SinkObserver::new(CountingSink {
+            events: 0,
+            accesses: 0,
+            flushed: false,
+        });
+        obs.on_access(&access(0x40));
+        obs.on_line_filled(CoreId(1), Level::L2, LineAddr(3));
+        obs.on_line_removed(&LineRemoval {
+            core: CoreId(1),
+            level: Level::L2,
+            line: LineAddr(3),
+            cause: cord_obs::RemovalCause::Capacity,
+            dirty: false,
+        });
+        obs.on_thread_migrated(ThreadId(0), CoreId(0), CoreId(1));
+        obs.on_run_end(&[5, 5]);
+        let sink = obs.into_inner();
+        assert_eq!(sink.events, 5);
+        assert_eq!(sink.accesses, 1);
+        assert!(sink.flushed, "on_run_end must flush the sink");
+    }
+
+    #[test]
+    fn capture_observer_is_a_transparent_tee() {
+        let mut cap = CaptureObserver::new(cord_obs::NullObserver);
+        cap.on_access(&access(0x80));
+        cap.on_run_end(&[1]);
+        let (_, events) = cap.into_parts();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], StreamEvent::Access(_)));
+        assert!(matches!(events[1], StreamEvent::RunEnd { .. }));
+    }
+
+    impl CountingSink {
+        fn fresh() -> Self {
+            CountingSink {
+                events: 0,
+                accesses: 0,
+                flushed: false,
+            }
+        }
+    }
+
+    #[test]
+    fn captured_events_replay_identically_through_apply() {
+        // Capture a short callback sequence, then replay it through a
+        // fresh sink via apply_stream_event: the sink must see the same
+        // event count as one driven live through SinkObserver.
+        let mut cap = CaptureObserver::new(cord_obs::NullObserver);
+        cap.on_access(&access(0x40));
+        cap.on_line_filled(CoreId(0), Level::L1, LineAddr(1));
+        cap.on_run_end(&[1]);
+        let (_, events) = cap.into_parts();
+
+        let mut live = SinkObserver::new(CountingSink::fresh());
+        live.on_access(&access(0x40));
+        live.on_line_filled(CoreId(0), Level::L1, LineAddr(1));
+        live.on_run_end(&[1]);
+
+        let mut replayed = CountingSink::fresh();
+        for ev in &events {
+            replayed.ingest(ev);
+        }
+        replayed.flush();
+
+        let live = live.into_inner();
+        assert_eq!(replayed.events, live.events);
+        assert_eq!(replayed.accesses, live.accesses);
+        assert_eq!(replayed.flushed, live.flushed);
+    }
+
+    #[test]
+    fn sink_report_roundtrips_and_byte_compares() {
+        let mut a = SinkReport::new("cord");
+        a.race_count = 2;
+        a.races.push(cord_json::Json::UInt(1));
+        a.metrics.add("cord.data_races", 2);
+        let back = SinkReport::from_json(&a.to_json()).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.to_bytes(), a.to_bytes());
+        let mut b = a.clone();
+        b.race_count = 3;
+        assert_ne!(b.to_bytes(), a.to_bytes());
+    }
+
+    #[test]
+    fn apply_ignores_trace_passthrough() {
+        let outcome = apply_stream_event(
+            &mut cord_obs::NullObserver,
+            &StreamEvent::Trace(cord_obs::TraceEvent {
+                cycle: 0,
+                thread: 0,
+                kind: cord_obs::EventKind::MemtsBroadcast { count: 1 },
+            }),
+        );
+        assert_eq!(outcome, ObserverOutcome::NONE);
+    }
+}

@@ -146,6 +146,42 @@ impl cord_core::Detector for IdealDetector {
     }
 }
 
+impl cord_json::ToJson for IdealRace {
+    fn to_json(&self) -> cord_json::Json {
+        cord_json::obj(vec![
+            ("thread", cord_json::Json::UInt(u64::from(self.thread.0))),
+            ("addr", cord_json::Json::UInt(self.addr.byte())),
+            (
+                "kind",
+                cord_json::Json::Str(cord_obs::kind_name(self.kind).to_string()),
+            ),
+            (
+                "other_thread",
+                cord_json::Json::UInt(u64::from(self.other_thread.0)),
+            ),
+            (
+                "other_was_write",
+                cord_json::Json::Bool(self.other_was_write),
+            ),
+            ("instr_index", cord_json::Json::UInt(self.instr_index)),
+        ])
+    }
+}
+
+impl cord_core::DetectorSink for IdealDetector {
+    fn ingest(&mut self, ev: &cord_obs::StreamEvent) -> ObserverOutcome {
+        cord_core::apply_stream_event(self, ev)
+    }
+
+    fn drain(&mut self) -> cord_core::SinkReport {
+        use cord_json::ToJson;
+        let mut report = cord_core::SinkReport::new("Ideal");
+        report.race_count = self.data_race_count();
+        report.races = self.races.iter().map(|r| r.to_json()).collect();
+        report
+    }
+}
+
 impl MemoryObserver for IdealDetector {
     fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
         let t = ev.thread.index();

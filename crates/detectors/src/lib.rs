@@ -19,8 +19,10 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod config;
 pub mod ideal;
 pub mod vc_limited;
 
+pub use config::{DetectorConfig, DetectorEnum, PanicProbeDetector};
 pub use ideal::{IdealDetector, IdealRace};
 pub use vc_limited::{CapacityMode, VcConfig, VcLimitedDetector, VcRace};

@@ -166,6 +166,16 @@ impl VcLimitedDetector {
         &self.vcs[thread.index()]
     }
 
+    /// The figure label of this configuration (`InfCache`,
+    /// `L2Cache(VC)`, or `L1Cache(VC)`).
+    pub fn label(&self) -> &'static str {
+        match self.cfg.capacity {
+            CapacityMode::Unlimited => "InfCache",
+            CapacityMode::Level(Level::L2) => "L2Cache(VC)",
+            CapacityMode::Level(Level::L1) => "L1Cache(VC)",
+        }
+    }
+
     fn tracks_level(&self, level: Level) -> bool {
         match self.cfg.capacity {
             CapacityMode::Unlimited => level == Level::L2,
@@ -177,6 +187,38 @@ impl VcLimitedDetector {
 impl cord_core::Detector for VcLimitedDetector {
     fn race_count(&self) -> u64 {
         self.data_race_count()
+    }
+}
+
+impl cord_json::ToJson for VcRace {
+    fn to_json(&self) -> cord_json::Json {
+        cord_json::obj(vec![
+            ("thread", cord_json::Json::UInt(u64::from(self.thread.0))),
+            ("addr", cord_json::Json::UInt(self.addr.byte())),
+            (
+                "kind",
+                cord_json::Json::Str(cord_obs::kind_name(self.kind).to_string()),
+            ),
+            (
+                "other_core",
+                cord_json::Json::UInt(u64::from(self.other_core.0)),
+            ),
+            ("instr_index", cord_json::Json::UInt(self.instr_index)),
+        ])
+    }
+}
+
+impl cord_core::DetectorSink for VcLimitedDetector {
+    fn ingest(&mut self, ev: &cord_obs::StreamEvent) -> ObserverOutcome {
+        cord_core::apply_stream_event(self, ev)
+    }
+
+    fn drain(&mut self) -> cord_core::SinkReport {
+        use cord_json::ToJson;
+        let mut report = cord_core::SinkReport::new(self.label());
+        report.race_count = self.data_race_count();
+        report.races = self.races.iter().map(|r| r.to_json()).collect();
+        report
     }
 }
 

@@ -51,7 +51,9 @@ impl ToJson for Violation {
             Violation::Window16Mismatch { count } | Violation::WindowViolation { count } => {
                 fields.push(("count", count.to_json()));
             }
-            Violation::ReplayFailed { detail } | Violation::NondeterministicRerun { detail } => {
+            Violation::ReplayFailed { detail }
+            | Violation::NondeterministicRerun { detail }
+            | Violation::CaptureReplayDiverged { detail } => {
                 fields.push(("detail", Json::Str(detail.clone())));
             }
             Violation::RaceFreeHadRaces {
@@ -95,6 +97,7 @@ impl FromJson for Violation {
             "window-violation" => Violation::WindowViolation { count: count()? },
             "replay-failed" => Violation::ReplayFailed { detail: detail()? },
             "nondeterministic-rerun" => Violation::NondeterministicRerun { detail: detail()? },
+            "capture-replay-diverged" => Violation::CaptureReplayDiverged { detail: detail()? },
             "race-free-had-races" => Violation::RaceFreeHadRaces {
                 config: config()?,
                 count: usize_field(v, "count")?,
@@ -225,6 +228,9 @@ mod tests {
             },
             Violation::NondeterministicRerun {
                 detail: "racy set differed".into(),
+            },
+            Violation::CaptureReplayDiverged {
+                detail: "report bytes differ".into(),
             },
             Violation::RaceFreeHadRaces {
                 config: "ideal",

@@ -27,10 +27,13 @@
 
 use crate::truthhb::{racy_words, sync_event_indices, RecordedAccess, Tandem};
 use cord_core::replay::replay_and_verify;
-use cord_core::{CordConfig, CordDetector};
+use cord_core::{CaptureObserver, CordConfig, CordDetector, DetectorSink, ObsCtx};
 use cord_detectors::ideal::IdealDetector;
 use cord_detectors::vc_limited::{VcConfig, VcLimitedDetector};
+use cord_detectors::DetectorConfig;
 use cord_inject::count_instances;
+use cord_obs::wire::{self, StreamHeader};
+use cord_obs::StreamEvent;
 use cord_sim::config::{MachineConfig, Watchdog};
 use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_trace::program::Workload;
@@ -50,6 +53,11 @@ pub struct OracleOptions {
     /// How many acquire-side `cord-inject` removals to re-run through
     /// the CORD battery.
     pub max_injections: usize,
+    /// Round-trip the base CORD run's event stream through the wire
+    /// codec and replay it into a fresh sink built from the stream
+    /// header: the drained report must be byte-identical to the inline
+    /// detector's (the daemon contract).
+    pub check_capture_replay: bool,
     /// The workload came from the race-free generator: ground truth
     /// must be empty.
     pub expect_race_free: bool,
@@ -65,6 +73,7 @@ impl Default for OracleOptions {
             check_rerun: true,
             max_suppressions: 3,
             max_injections: 2,
+            check_capture_replay: true,
             expect_race_free: false,
             max_cycles: 50_000_000,
         }
@@ -80,6 +89,7 @@ impl OracleOptions {
             check_rerun: false,
             max_suppressions: 0,
             max_injections: 0,
+            check_capture_replay: false,
             ..self.clone()
         }
     }
@@ -144,6 +154,13 @@ pub enum Violation {
         /// The lowest racy word address.
         first_addr: u64,
     },
+    /// Replaying the captured event stream through the wire codec and
+    /// a header-built sink did not reproduce the inline report
+    /// byte-for-byte — the daemon contract is broken.
+    CaptureReplayDiverged {
+        /// What diverged (codec failure, unknown label, or byte diff).
+        detail: String,
+    },
     /// Suppressing a sync event's happens-before edges *shrank* the
     /// racy-word set — monotonicity broken in the truth analysis.
     MetamorphicShrunk {
@@ -168,6 +185,7 @@ impl Violation {
             Violation::WindowViolation { .. } => "window-violation",
             Violation::ReplayFailed { .. } => "replay-failed",
             Violation::NondeterministicRerun { .. } => "nondeterministic-rerun",
+            Violation::CaptureReplayDiverged { .. } => "capture-replay-diverged",
             Violation::RaceFreeHadRaces { .. } => "race-free-had-races",
             Violation::MetamorphicShrunk { .. } => "metamorphic-shrunk",
         }
@@ -201,6 +219,9 @@ impl fmt::Display for Violation {
             Violation::ReplayFailed { detail } => write!(f, "order-log replay failed: {detail}"),
             Violation::NondeterministicRerun { detail } => {
                 write!(f, "same-seed rerun differed: {detail}")
+            }
+            Violation::CaptureReplayDiverged { detail } => {
+                write!(f, "capture→replay diverged from inline detection: {detail}")
             }
             Violation::RaceFreeHadRaces {
                 config,
@@ -263,6 +284,13 @@ struct CordRun {
     window_violations: u64,
     thread_hashes: Vec<u64>,
     replay_error: Option<String>,
+    /// The reified stream the detector saw, as a daemon would see it.
+    captured: Vec<StreamEvent>,
+    /// The inline detector's drained report, canonical bytes.
+    inline_report: Vec<u8>,
+    /// The inline detector's configuration label.
+    label: String,
+    cores: usize,
 }
 
 fn run_cord(
@@ -272,10 +300,16 @@ fn run_cord(
 ) -> Result<CordRun, SimError> {
     let machine = watchdogged(MachineConfig::paper_4core(), opts).with_resolved_capture();
     let threads = workload.num_threads();
-    let det = CordDetector::new(CordConfig::paper(), threads, machine.cores);
-    let m = Machine::new(machine, workload, Tandem::new(det), opts.sim_seed, plan);
-    let (sim, tandem) = m.run()?;
-    let (races, recorder, stats) = tandem.det.into_parts();
+    let cores = machine.cores;
+    let det = CordDetector::new(CordConfig::paper(), threads, cores);
+    let obs = CaptureObserver::new(Tandem::new(det));
+    let m = Machine::new(machine, workload, obs, opts.sim_seed, plan);
+    let (sim, obs) = m.run()?;
+    let (tandem, captured) = obs.into_parts();
+    let mut det = tandem.det;
+    let label = det.label();
+    let inline_report = DetectorSink::drain(&mut det).to_bytes();
+    let (races, recorder, stats) = det.into_parts();
     let racy = races.iter().map(|r| r.addr.byte()).collect();
     let replay_error = match &sim.truth.resolved {
         Some(resolved) => replay_and_verify(
@@ -295,7 +329,63 @@ fn run_cord(
         window_violations: stats.window_violations,
         thread_hashes: sim.truth.thread_hashes,
         replay_error,
+        captured,
+        inline_report,
+        label,
+        cores,
     })
+}
+
+/// The daemon contract, checked in-process: encode the captured stream
+/// with the wire codec, decode it back, build a fresh sink from the
+/// decoded header (exactly as `cord-serve` does), replay every event,
+/// and require the drained report to be byte-identical to the inline
+/// detector's.
+fn capture_replay_check(
+    base: &CordRun,
+    workload: &Workload,
+    opts: &OracleOptions,
+    out: &mut Vec<Violation>,
+) {
+    let threads = workload.num_threads();
+    let geometry = wire::StreamGeometry::new(threads, base.cores, workload.layout());
+    let header = StreamHeader::new(workload.name(), &base.label, opts.sim_seed, geometry);
+    let bytes = wire::encode_capture(&header, &base.captured);
+    let (decoded, events) = match wire::decode_capture(&bytes) {
+        Ok(x) => x,
+        Err(e) => {
+            out.push(Violation::CaptureReplayDiverged {
+                detail: format!("capture failed to decode: {e}"),
+            });
+            return;
+        }
+    };
+    let Some(config) = DetectorConfig::from_label(&decoded.detector) else {
+        out.push(Violation::CaptureReplayDiverged {
+            detail: format!("header label `{}` names no detector", decoded.detector),
+        });
+        return;
+    };
+    let mut sink = config.build_sink(
+        decoded.geometry.threads as usize,
+        decoded.geometry.cores as usize,
+        decoded.seed,
+        ObsCtx::disabled(),
+    );
+    for ev in &events {
+        sink.ingest(ev);
+    }
+    sink.flush();
+    let replayed = sink.drain().to_bytes();
+    if replayed != base.inline_report {
+        out.push(Violation::CaptureReplayDiverged {
+            detail: format!(
+                "report bytes differ: replay {} bytes vs inline {} bytes",
+                replayed.len(),
+                base.inline_report.len()
+            ),
+        });
+    }
 }
 
 fn check_cord_run(run: &CordRun, threads: usize, out: &mut Vec<Violation>) -> BTreeSet<u64> {
@@ -375,6 +465,11 @@ pub fn check_workload(workload: &Workload, opts: &OracleOptions) -> OracleReport
     report.cord_races = base.racy.len();
     report.events = base.events.len();
     race_free_check(&truth, "cord-d16", opts, &mut report.violations);
+
+    // --- Capture→replay byte-identity (the daemon contract) -----------------
+    if opts.check_capture_replay {
+        capture_replay_check(&base, workload, opts, &mut report.violations);
+    }
 
     // --- Same-seed rerun must be bit-identical ------------------------------
     if opts.check_rerun {

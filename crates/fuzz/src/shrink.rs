@@ -37,6 +37,7 @@ pub struct ShrinkOutcome {
 fn reproduction_options(kind: &str, opts: &OracleOptions) -> OracleOptions {
     let mut o = opts.clone();
     o.check_rerun = kind == "nondeterministic-rerun";
+    o.check_capture_replay = kind == "capture-replay-diverged";
     if kind != "metamorphic-shrunk" {
         o.max_suppressions = 0;
     }

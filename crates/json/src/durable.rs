@@ -24,7 +24,7 @@
 //! still accepts legacy footer-less files so pre-existing checkpoints
 //! keep resuming.
 
-use crate::{Json, JsonError};
+use crate::{obj, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -248,6 +248,74 @@ pub fn write_checkpoint(path: &Path, doc: &Json) -> io::Result<()> {
     write_sealed_atomic(path, doc)
 }
 
+/// One abnormal thing a checkpoint load (or its caller) had to do:
+/// a generation skipped as corrupt, a fallback taken, a verified
+/// document rejected as malformed. Structured — not a bare string — so
+/// services can surface recovery history in status responses and
+/// durable snapshots instead of burying it in stderr; the [`Display`]
+/// rendering keeps the old log lines working.
+///
+/// [`Display`]: fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Machine-readable kind (one of the `KIND_*` constants here, or a
+    /// caller-defined kind for caller-level recovery steps).
+    pub kind: String,
+    /// The file involved.
+    pub path: String,
+    /// Human-readable detail — typically the underlying error text.
+    pub detail: String,
+}
+
+impl RecoveryEvent {
+    /// A generation could not be read (I/O error other than not-found).
+    pub const KIND_UNREADABLE: &'static str = "unreadable";
+    /// The primary generation failed verification; the loader moved on
+    /// to the previous generation.
+    pub const KIND_CORRUPT_PRIMARY: &'static str = "corrupt-primary";
+    /// The previous generation failed verification too.
+    pub const KIND_CORRUPT_PREVIOUS: &'static str = "corrupt-previous";
+
+    /// A recovery event of `kind` for `path`.
+    pub fn new(kind: impl Into<String>, path: &Path, detail: impl Into<String>) -> Self {
+        RecoveryEvent {
+            kind: kind.into(),
+            path: path.display().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checkpoint {} [{}]: {}",
+            self.path, self.kind, self.detail
+        )
+    }
+}
+
+impl ToJson for RecoveryEvent {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("kind", Json::Str(self.kind.clone())),
+            ("path", Json::Str(self.path.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+impl FromJson for RecoveryEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RecoveryEvent {
+            kind: FromJson::from_json(v.field("kind")?)?,
+            path: FromJson::from_json(v.field("path")?)?,
+            detail: FromJson::from_json(v.field("detail")?)?,
+        })
+    }
+}
+
 /// What [`load_checkpoint`] found.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointLoad {
@@ -258,8 +326,9 @@ pub struct CheckpointLoad {
     /// `true` when the recovered document carried a verified footer
     /// (`false` for legacy footer-less files).
     pub sealed: bool,
-    /// Human-readable recovery warnings (corrupt generations skipped).
-    pub warnings: Vec<String>,
+    /// Structured recovery reports (corrupt generations skipped,
+    /// fallbacks taken).
+    pub warnings: Vec<RecoveryEvent>,
 }
 
 /// Loads a checkpoint written by [`write_checkpoint`]: tries `path`,
@@ -278,8 +347,11 @@ pub fn load_checkpoint(path: &Path) -> CheckpointLoad {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
             Err(e) => {
-                load.warnings
-                    .push(format!("checkpoint {}: {e}", candidate.display()));
+                load.warnings.push(RecoveryEvent::new(
+                    RecoveryEvent::KIND_UNREADABLE,
+                    &candidate,
+                    e.to_string(),
+                ));
                 continue;
             }
         };
@@ -291,15 +363,19 @@ pub fn load_checkpoint(path: &Path) -> CheckpointLoad {
                 return load;
             }
             Err(e) => {
-                load.warnings.push(format!(
-                    "checkpoint {}: {e}{}",
-                    candidate.display(),
-                    if is_prev {
-                        ""
-                    } else {
-                        "; falling back to previous generation"
-                    }
-                ));
+                load.warnings.push(if is_prev {
+                    RecoveryEvent::new(
+                        RecoveryEvent::KIND_CORRUPT_PREVIOUS,
+                        &candidate,
+                        e.to_string(),
+                    )
+                } else {
+                    RecoveryEvent::new(
+                        RecoveryEvent::KIND_CORRUPT_PRIMARY,
+                        &candidate,
+                        format!("{e}; falling back to previous generation"),
+                    )
+                });
             }
         }
     }
@@ -395,6 +471,12 @@ mod tests {
         assert_eq!(load.doc, Some(doc(1)));
         assert!(load.from_previous);
         assert_eq!(load.warnings.len(), 1, "{:?}", load.warnings);
+        assert_eq!(load.warnings[0].kind, RecoveryEvent::KIND_CORRUPT_PRIMARY);
+        assert!(load.warnings[0]
+            .to_string()
+            .contains("falling back to previous generation"));
+        let back = RecoveryEvent::from_json(&load.warnings[0].to_json()).expect("round-trips");
+        assert_eq!(back, load.warnings[0]);
 
         // A corrupt primary must never be rotated over the good .prev.
         write_checkpoint(&path, &doc(3)).expect("gen 3");

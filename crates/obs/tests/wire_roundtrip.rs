@@ -1,0 +1,331 @@
+//! Wire-format drift guards.
+//!
+//! Two layers of protection for the versioned stream format:
+//!
+//! * **Round-trip properties** — randomized `StreamEvent`s (including
+//!   `Trace` passthroughs over all nine `EventKind`s) must survive
+//!   binary encode→decode and JSON `to_json`→`from_json` unchanged,
+//!   and the two codecs must agree with each other.
+//! * **A pinned golden stream** — the exact bytes `encode_capture`
+//!   produces for a fixed synthetic session are committed at
+//!   `tests/fixtures/golden.stream`. Any change to the frame layout,
+//!   tags, varint packing, or header JSON shows up as a byte diff.
+//!
+//! To regenerate the fixture after an *intentional* format change
+//! (which must also bump `WIRE_VERSION`):
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test -p cord-obs --test wire_roundtrip
+//! ```
+
+use cord_obs::wire::{
+    decode_capture, decode_events, encode_capture, encode_events, StreamGeometry,
+};
+use cord_obs::{
+    AccessEvent, AccessKind, AccessPath, BusKind, CoreId, EventKind, Level, LineRemoval,
+    RemovalCause, StreamEvent, StreamHeader, TraceEvent, NO_THREAD,
+};
+use cord_trace::types::{Addr, LineAddr, ThreadId, WORD_BYTES};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn arb_core() -> impl Strategy<Value = CoreId> {
+    (0u8..16).prop_map(CoreId)
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![Just(Level::L1), Just(Level::L2)]
+}
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::DataRead),
+        Just(AccessKind::DataWrite),
+        Just(AccessKind::SyncRead),
+        Just(AccessKind::SyncWrite),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = AccessPath> {
+    prop_oneof![
+        Just(AccessPath::L1Hit),
+        Just(AccessPath::L2Hit),
+        Just(AccessPath::UpgradeHit),
+        (0u8..16).prop_map(|c| AccessPath::FillFromSibling(CoreId(c))),
+        Just(AccessPath::FillFromMemory),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    // Word-aligned byte addresses (the codec stores word indices).
+    (0u64..1 << 40).prop_map(|w| Addr::new(w * WORD_BYTES))
+}
+
+fn arb_line() -> impl Strategy<Value = LineAddr> {
+    (0u64..1 << 40).prop_map(LineAddr)
+}
+
+/// Every one of the nine `EventKind` payloads a trace entry can carry.
+fn arb_event_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(BusKind::Data),
+                Just(BusKind::Addr),
+                Just(BusKind::Ts),
+                Just(BusKind::Mem),
+            ],
+            any::<u64>()
+        )
+            .prop_map(|(bus, line)| EventKind::Bus { bus, line }),
+        (0u8..16, 1u8..3, any::<u64>()).prop_map(|(core, level, line)| EventKind::Fill {
+            core,
+            level,
+            line
+        }),
+        (0u8..16, 1u8..3, any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(core, level, line, dirty, invalidation)| EventKind::Remove {
+                core,
+                level,
+                line,
+                dirty,
+                invalidation,
+            }
+        ),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(line, requests)| EventKind::RaceCheck { line, requests }),
+        any::<u32>().prop_map(|count| EventKind::MemtsBroadcast { count }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(evicted, bound)| EventKind::WalkerPass { evicted, bound }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(instance, release)| EventKind::Injection { instance, release }),
+        (0u8..16, 0u8..16).prop_map(|(from, to)| EventKind::Migration { from, to }),
+        (any::<u64>(), 0u8..16).prop_map(|(addr, other_core)| EventKind::Race { addr, other_core }),
+    ]
+}
+
+fn arb_trace_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        prop_oneof![(0u16..64).boxed(), Just(NO_THREAD).boxed()],
+        arb_event_kind(),
+    )
+        .prop_map(|(cycle, thread, kind)| TraceEvent {
+            cycle,
+            thread,
+            kind,
+        })
+}
+
+fn arb_stream_event() -> impl Strategy<Value = StreamEvent> {
+    prop_oneof![
+        (
+            arb_core(),
+            (0u16..64).prop_map(ThreadId),
+            arb_addr(),
+            arb_kind(),
+            arb_path(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(core, thread, addr, kind, path, instr_index, cycle)| {
+                StreamEvent::Access(AccessEvent {
+                    core,
+                    thread,
+                    addr,
+                    kind,
+                    path,
+                    instr_index,
+                    cycle,
+                })
+            }),
+        (arb_core(), arb_level(), arb_line())
+            .prop_map(|(core, level, line)| StreamEvent::LineFilled { core, level, line }),
+        (
+            arb_core(),
+            arb_level(),
+            arb_line(),
+            prop_oneof![
+                Just(RemovalCause::Capacity),
+                Just(RemovalCause::Invalidation)
+            ],
+            any::<bool>(),
+        )
+            .prop_map(|(core, level, line, cause, dirty)| {
+                StreamEvent::LineRemoved(LineRemoval {
+                    core,
+                    level,
+                    line,
+                    cause,
+                    dirty,
+                })
+            }),
+        ((0u16..64).prop_map(ThreadId), arb_core(), arb_core())
+            .prop_map(|(thread, from, to)| StreamEvent::ThreadMigrated { thread, from, to }),
+        proptest::collection::vec(any::<u64>(), 0..8)
+            .prop_map(|instr_counts| StreamEvent::RunEnd { instr_counts }),
+        arb_trace_event().prop_map(StreamEvent::Trace),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_codec_roundtrips(events in proptest::collection::vec(arb_stream_event(), 0..64)) {
+        let bytes = encode_events(&events);
+        let back = decode_events(&bytes).expect("well-formed encoding decodes");
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn json_codec_roundtrips(ev in arb_stream_event()) {
+        use cord_json::{FromJson, ToJson};
+        let back = StreamEvent::from_json(&ev.to_json()).expect("own JSON parses");
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn codecs_agree_through_each_other(ev in arb_stream_event()) {
+        use cord_json::{FromJson, ToJson};
+        // struct → binary → struct → JSON → struct: any asymmetry
+        // between the two codecs surfaces as a mismatch here.
+        let via_binary = decode_events(&encode_events(std::slice::from_ref(&ev)))
+            .expect("decodes")
+            .remove(0);
+        let via_json = StreamEvent::from_json(&via_binary.to_json()).expect("parses");
+        prop_assert_eq!(via_json, ev);
+    }
+
+    #[test]
+    fn capture_roundtrips_with_header(
+        events in proptest::collection::vec(arb_stream_event(), 0..40),
+        seed in any::<u64>(),
+        threads in 1usize..16,
+    ) {
+        let geometry = StreamGeometry {
+            threads: threads as u32,
+            cores: 4,
+            user_locks: 3,
+            user_flags: 2,
+            barriers: 1,
+            data_words: 1 << 16,
+        };
+        let header = StreamHeader::new("prop", "CORD-D16", seed, geometry);
+        let (h, back) = decode_capture(&encode_capture(&header, &events)).expect("decodes");
+        prop_assert_eq!(h, header);
+        prop_assert_eq!(back, events);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden stream fixture
+// ---------------------------------------------------------------------
+
+/// A fixed synthetic session touching every event tag and several
+/// varint width classes; its encoding is pinned byte-for-byte.
+fn golden_session() -> (StreamHeader, Vec<StreamEvent>) {
+    let header = StreamHeader::new(
+        "golden",
+        "CORD-D16",
+        0xC02D,
+        StreamGeometry {
+            threads: 4,
+            cores: 4,
+            user_locks: 2,
+            user_flags: 1,
+            barriers: 1,
+            data_words: 4096,
+        },
+    );
+    let mut events = vec![
+        StreamEvent::LineFilled {
+            core: CoreId(0),
+            level: Level::L2,
+            line: LineAddr(0x41),
+        },
+        StreamEvent::Access(AccessEvent {
+            core: CoreId(0),
+            thread: ThreadId(0),
+            addr: Addr::new(0x1040),
+            kind: AccessKind::DataWrite,
+            path: AccessPath::FillFromMemory,
+            instr_index: 1,
+            cycle: 100,
+        }),
+        StreamEvent::Access(AccessEvent {
+            core: CoreId(1),
+            thread: ThreadId(1),
+            addr: Addr::new(0x1040),
+            kind: AccessKind::SyncRead,
+            path: AccessPath::FillFromSibling(CoreId(0)),
+            instr_index: 128,
+            cycle: 0x1_0000,
+        }),
+        StreamEvent::LineRemoved(LineRemoval {
+            core: CoreId(1),
+            level: Level::L1,
+            line: LineAddr(7),
+            cause: RemovalCause::Invalidation,
+            dirty: true,
+        }),
+        StreamEvent::ThreadMigrated {
+            thread: ThreadId(3),
+            from: CoreId(1),
+            to: CoreId(2),
+        },
+        StreamEvent::Trace(TraceEvent {
+            cycle: 0xFFFF_FFFF,
+            thread: NO_THREAD,
+            kind: EventKind::WalkerPass {
+                evicted: 300,
+                bound: 1 << 33,
+            },
+        }),
+        StreamEvent::RunEnd {
+            instr_counts: vec![128, 1, 0, 1 << 21],
+        },
+    ];
+    // Enough filler to span more than one CAPTURE_BATCH frame.
+    for i in 0..600u64 {
+        events.push(StreamEvent::LineFilled {
+            core: CoreId((i % 4) as u8),
+            level: Level::L2,
+            line: LineAddr(i * 3),
+        });
+    }
+    (header, events)
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden.stream")
+}
+
+#[test]
+fn golden_stream_matches_fixture() {
+    let (header, events) = golden_session();
+    let current = encode_capture(&header, &events);
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &current).expect("write fixture");
+        eprintln!("golden stream updated: {}", path.display());
+        return;
+    }
+    let pinned = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden stream {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current, pinned,
+        "wire encoding drifted from the pinned stream; an intentional \
+         format change must bump WIRE_VERSION and regenerate with GOLDEN_UPDATE=1"
+    );
+    // The pinned bytes must also still decode to the same session.
+    let (h, back) = decode_capture(&pinned).expect("pinned stream decodes");
+    assert_eq!(h, header);
+    assert_eq!(back, events);
+}

@@ -1,0 +1,211 @@
+//! End-to-end daemon tests: a replayed stream must drain to bytes
+//! identical to inline detection, and queries must reflect what was
+//! ingested.
+
+use cord_core::{DetectorSink, ObsCtx};
+use cord_detectors::DetectorConfig;
+use cord_obs::wire;
+use cord_obs::{AccessEvent, AccessKind, AccessPath, CoreId, Level, StreamEvent, StreamHeader};
+use cord_serve::{Daemon, DaemonConfig, Query, ServeClient};
+use cord_trace::layout::AddressLayout;
+use cord_trace::types::{Addr, ThreadId, WORD_BYTES};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cord-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+/// A synthetic but detector-meaningful stream: two threads on two
+/// cores racing on word 0 with no synchronization, plus line fills so
+/// cache-resident history exists.
+fn racy_events() -> Vec<StreamEvent> {
+    let w0 = Addr::new(0);
+    let line = w0.line();
+    let mut events = Vec::new();
+    let mut cycle = 0u64;
+    let mut retired = [0u64; 2];
+    let mut access = |core: u8, thread: u16, addr: Addr, kind: AccessKind, path: AccessPath| {
+        cycle += 10;
+        retired[thread as usize] += 1;
+        StreamEvent::Access(AccessEvent {
+            core: CoreId(core),
+            thread: ThreadId(thread),
+            addr,
+            kind,
+            path,
+            instr_index: retired[thread as usize],
+            cycle,
+        })
+    };
+    events.push(StreamEvent::LineFilled {
+        core: CoreId(0),
+        level: Level::L2,
+        line,
+    });
+    events.push(access(
+        0,
+        0,
+        w0,
+        AccessKind::DataWrite,
+        AccessPath::FillFromMemory,
+    ));
+    events.push(StreamEvent::LineFilled {
+        core: CoreId(1),
+        level: Level::L2,
+        line,
+    });
+    events.push(access(
+        1,
+        1,
+        w0,
+        AccessKind::DataWrite,
+        AccessPath::FillFromSibling(CoreId(0)),
+    ));
+    events.push(access(
+        0,
+        0,
+        Addr::new(WORD_BYTES),
+        AccessKind::DataRead,
+        AccessPath::L2Hit,
+    ));
+    events.push(StreamEvent::LineRemoved(cord_obs::LineRemoval {
+        core: CoreId(1),
+        level: Level::L2,
+        line,
+        cause: cord_obs::RemovalCause::Capacity,
+        dirty: true,
+    }));
+    events.push(StreamEvent::RunEnd {
+        instr_counts: vec![2, 1],
+    });
+    events
+}
+
+fn header(detector: &str) -> StreamHeader {
+    let layout = AddressLayout::new(2, 2, 1, 64);
+    let geometry = wire::StreamGeometry::new(2, 2, &layout);
+    StreamHeader::new("synthetic", detector, 7, geometry)
+}
+
+fn inline_bytes(config: DetectorConfig, events: &[StreamEvent]) -> Vec<u8> {
+    let mut sink = config.build_sink(2, 2, 7, ObsCtx::disabled());
+    for ev in events {
+        sink.ingest(ev);
+    }
+    sink.flush();
+    sink.drain().to_bytes()
+}
+
+#[test]
+fn daemon_replay_matches_inline_bytes() {
+    let dir = tmpdir("roundtrip");
+    let socket = dir.join("serve.sock");
+    let snapshot = dir.join("snapshot.json");
+    let daemon = Daemon::new(DaemonConfig {
+        socket: socket.clone(),
+        snapshot: Some(snapshot.clone()),
+        snapshot_every: 2,
+        queue_depth: 2,
+        shards: 4,
+    });
+    let handle = std::thread::spawn(move || daemon.run());
+    let client = ServeClient::new(&socket);
+    assert!(client.wait_ready(250), "daemon came up");
+
+    let events = racy_events();
+    for label in ["CORD-D16", "Ideal", "L2Cache(VC)"] {
+        let config = DetectorConfig::from_label(label).expect("known label");
+        let inline = inline_bytes(config, &events);
+        let via_daemon = client
+            .replay_events(&header(label), &events)
+            .expect("daemon replay");
+        assert_eq!(
+            via_daemon, inline,
+            "daemon report for {label} must be byte-identical to inline"
+        );
+        assert!(
+            String::from_utf8_lossy(&inline).contains(label),
+            "report names its detector"
+        );
+    }
+
+    let status = client.query(Query::Status).expect("status");
+    let events_seen: u64 =
+        cord_json::FromJson::from_json(status.field("events").expect("events field"))
+            .expect("uint");
+    assert_eq!(events_seen, 3 * events.len() as u64);
+    let races = client.query(Query::Races).expect("races");
+    assert!(
+        !races.as_array().expect("array").is_empty(),
+        "the unsynchronized writes race"
+    );
+    let metrics = client.query(Query::Metrics).expect("metrics");
+    assert!(metrics.field("counters").is_ok(), "{metrics:?}");
+    assert!(snapshot.exists(), "periodic snapshots landed");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread").expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_recovery_surfaces_in_status() {
+    let dir = tmpdir("recovery");
+    let socket = dir.join("serve.sock");
+    let snapshot = dir.join("snapshot.json");
+    // Two generations, then a corrupted primary: the daemon must load
+    // past it and say so in status, structurally.
+    cord_json::durable::write_checkpoint(&snapshot, &cord_json::Json::UInt(1)).expect("gen 1");
+    cord_json::durable::write_checkpoint(&snapshot, &cord_json::Json::UInt(2)).expect("gen 2");
+    std::fs::write(&snapshot, "garbage{{{").expect("corrupt");
+
+    let daemon = Daemon::new(DaemonConfig {
+        socket: socket.clone(),
+        snapshot: Some(snapshot),
+        ..DaemonConfig::default()
+    });
+    let handle = std::thread::spawn(move || daemon.run());
+    let client = ServeClient::new(&socket);
+    assert!(client.wait_ready(250), "daemon came up");
+
+    let status = client.query(Query::Status).expect("status");
+    let recovery = status.field("recovery").expect("recovery field");
+    let events = recovery.as_array().expect("array");
+    assert!(!events.is_empty(), "recovery events surfaced: {status:?}");
+    let first: cord_json::durable::RecoveryEvent =
+        cord_json::FromJson::from_json(&events[0]).expect("structured");
+    assert_eq!(first.kind, "corrupt-primary");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread").expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_detector_label_is_rejected_cleanly() {
+    let dir = tmpdir("badlabel");
+    let socket = dir.join("serve.sock");
+    let daemon = Daemon::new(DaemonConfig {
+        socket: socket.clone(),
+        snapshot: None,
+        ..DaemonConfig::default()
+    });
+    let handle = std::thread::spawn(move || daemon.run());
+    let client = ServeClient::new(&socket);
+    assert!(client.wait_ready(250), "daemon came up");
+
+    let bad = client.replay_events(&header("NoSuchDetector"), &racy_events());
+    assert!(bad.is_err(), "unknown label must not produce a report");
+
+    // The daemon survives the bad session and still answers.
+    let status = client
+        .query(Query::Status)
+        .expect("status after bad session");
+    assert!(status.field("sessions_started").is_ok());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread").expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,9 +6,9 @@
 //! cargo run --release --example race_hunt [app] [injections]
 //! ```
 
-use cord::detectors::IdealDetector;
 use cord::inject::Campaign;
 use cord::prelude::*;
+use cord::stream::{DetectorConfig, ObsCtx, SinkObserver};
 use cord::workloads::{all_apps, kernel, AppKind, ScaleClass};
 
 fn main() {
@@ -40,37 +40,51 @@ fn main() {
         let plan = target.plan();
         let seed = 1000 + i as u64;
 
-        let ideal = IdealDetector::new(4);
+        // Detectors are stream sinks now: built from a config label and
+        // fed events through a SinkObserver adapter, exactly as a
+        // capture replay or the cord-serve daemon would feed them.
+        let ideal_machine = MachineConfig::infinite_cache();
+        let sink =
+            DetectorConfig::Ideal.build_sink(4, ideal_machine.cores, seed, ObsCtx::disabled());
         let m = Machine::new(
-            MachineConfig::infinite_cache(),
+            ideal_machine,
             &workload,
-            ideal,
+            SinkObserver::new(sink),
             seed,
             plan,
         );
-        let (_, ideal) = m.run().expect("run ok");
+        let (_, mut obs) = m.run().expect("run ok");
+        let ideal = obs.sink_mut().drain();
 
-        let cord = CordDetector::new(CordConfig::paper(), 4, machine.cores);
-        let m = Machine::new(machine.clone(), &workload, cord, seed, plan);
-        let (_, cord) = m.run().expect("run ok");
+        let sink =
+            DetectorConfig::Cord { d: 16 }.build_sink(4, machine.cores, seed, ObsCtx::disabled());
+        let m = Machine::new(
+            machine.clone(),
+            &workload,
+            SinkObserver::new(sink),
+            seed,
+            plan,
+        );
+        let (_, mut obs) = m.run().expect("run ok");
+        let cord = obs.sink_mut().drain();
 
-        let verdict = match (ideal.found_any(), !cord.races().is_empty()) {
+        let verdict = match (ideal.race_count > 0, cord.race_count > 0) {
             (true, true) => "CAUGHT",
             (true, false) => "missed",
             (false, false) => "benign",
             (false, true) => "caught*", // different interleaving (§4.2)
         };
-        if ideal.found_any() {
+        if ideal.race_count > 0 {
             manifested += 1;
         }
-        if !cord.races().is_empty() {
+        if cord.race_count > 0 {
             detected += 1;
         }
         println!(
             "{:>12} {:>12} {:>12} {:>10}",
             target.to_string(),
-            ideal.data_race_count(),
-            cord.races().len(),
+            ideal.race_count,
+            cord.race_count,
             verdict
         );
     }

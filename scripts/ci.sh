@@ -15,6 +15,7 @@ cargo clippy -p cord-pool --all-targets -- -D warnings
 cargo clippy -p cord-obs --all-targets -- -D warnings
 cargo clippy -p cord-fuzz --all-targets -- -D warnings
 cargo clippy -p cord-shard --all-targets -- -D warnings
+cargo clippy -p cord-serve --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
@@ -78,6 +79,24 @@ echo "== shard smoke: sharded sweep matches --shards 1 byte-for-byte =="
 diff "$smoke_dir/shard-sweep1/merged/results.json" "$smoke_dir/shard-sweep4/merged/results.json"
 diff "$smoke_dir/shard-sweep1/merged/report.txt" "$smoke_dir/shard-sweep4/merged/report.txt"
 diff "$smoke_dir/shard-sweep1/merged/metrics.json" "$smoke_dir/shard-sweep4/merged/metrics.json"
+
+echo "== serve smoke: daemon replay must match inline detection byte-for-byte =="
+./target/release/serve smoke > "$smoke_dir/serve-smoke.txt" 2> /dev/null
+grep -q ", 0 mismatches" "$smoke_dir/serve-smoke.txt"
+
+echo "== serve smoke: capture file streamed to a daemon over the socket =="
+./target/release/serve capture --app fft --config CORD-D16 --seed 42 \
+    --out "$smoke_dir/fft.stream" 2> /dev/null
+./target/release/serve daemon --socket "$smoke_dir/serve.sock" 2> /dev/null &
+serve_pid=$!
+for _ in $(seq 50); do test -S "$smoke_dir/serve.sock" && break; sleep 0.1; done
+./target/release/serve replay --socket "$smoke_dir/serve.sock" \
+    --capture "$smoke_dir/fft.stream" > "$smoke_dir/serve-report.json"
+./target/release/serve status --socket "$smoke_dir/serve.sock" > "$smoke_dir/serve-status.json"
+grep -q '"detector":"CORD-D16"' "$smoke_dir/serve-report.json"
+grep -q '"events":' "$smoke_dir/serve-status.json"
+./target/release/serve shutdown --socket "$smoke_dir/serve.sock" > /dev/null
+wait "$serve_pid"
 
 echo "== refactor guard: mini sweep must match the committed fixtures =="
 ./target/release/refactor_guard "$smoke_dir/guard"
