@@ -91,6 +91,74 @@ fn bench_walker_partition(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stage-by-stage decomposition of the per-access pipeline, in the
+/// order the detector executes them: the L1/L2 tag probe, the shadow
+/// history lookup (dense `LineTable` indexing), the timestamp
+/// synchronization check, and the per-word race check. Comparing these
+/// against `detector/cord_on_access_l1_hit` shows where the end-to-end
+/// budget goes.
+fn bench_pipeline_stages(c: &mut Criterion) {
+    use cord_core::LineTable;
+    use cord_sim::cache::{Cache, Mesi};
+    use cord_sim::config::CacheGeometry;
+    use cord_trace::types::LineAddr;
+
+    let mut g = c.benchmark_group("stages");
+
+    // Stage 1: cache tag lookup. Warm an 8 KiB 4-way L1 and probe a
+    // resident line (hit) and an absent one (miss).
+    let mut l1 = Cache::new(CacheGeometry::new(8 * 1024, 4));
+    for i in 0..64u64 {
+        l1.insert(LineAddr(i), Mesi::Shared);
+    }
+    g.bench_function("cache_lookup_hit", |b| {
+        b.iter(|| black_box(l1.probe(black_box(LineAddr(17)))))
+    });
+    g.bench_function("cache_lookup_miss", |b| {
+        b.iter(|| black_box(l1.probe(black_box(LineAddr(9999)))))
+    });
+
+    // Stage 2: shadow history lookup — the dense per-line table probe
+    // that replaced HashMap addressing (one state byte + one value
+    // index per line).
+    let mut tbl: LineTable<LineHistory<ScalarTime>> = LineTable::new();
+    for i in 0..64u64 {
+        tbl.entry_or_default(LineAddr(i))
+            .push_stamp(ScalarTime::new(100 + i), 2);
+    }
+    g.bench_function("shadow_history_lookup", |b| {
+        b.iter(|| black_box(tbl.get(black_box(LineAddr(17)))))
+    });
+
+    // Stage 3: timestamp check — check filter plus the scalar
+    // synchronized-order test against the newest stamp.
+    let policy = ClockPolicy::cord();
+    let mut h: LineHistory<ScalarTime> = LineHistory::new();
+    h.push_stamp(ScalarTime::new(100), 2);
+    h.push_stamp(ScalarTime::new(140), 2);
+    h.newest_mut().expect("entry").set(3, true);
+    g.bench_function("timestamp_check", |b| {
+        b.iter(|| {
+            let h = black_box(&h);
+            let clk = black_box(ScalarTime::new(150));
+            let newest = h.newest().expect("entry");
+            black_box(h.filter_allows(false) && policy.is_synchronized(clk, newest.stamp))
+        })
+    });
+
+    // Stage 4: race check — the per-word conflict-bit scan over both
+    // history entries plus the unsynchronized-order test.
+    g.bench_function("race_check", |b| {
+        b.iter(|| {
+            let h = black_box(&h);
+            let clk = black_box(ScalarTime::new(150));
+            let newest = h.newest().expect("entry");
+            black_box(h.any_conflict(black_box(3), false) && clk.is_race_with(newest.stamp))
+        })
+    });
+    g.finish();
+}
+
 fn bench_detector_access(c: &mut Criterion) {
     let mut g = c.benchmark_group("detector");
     g.bench_function("cord_on_access_l1_hit", |b| {
@@ -189,6 +257,7 @@ criterion_group!(
     bench_clock_compares,
     bench_line_history,
     bench_walker_partition,
+    bench_pipeline_stages,
     bench_detector_access,
     bench_engine_end_to_end
 );

@@ -19,7 +19,7 @@
 //! [`SweepResults`](crate::sweep::SweepResults) or checkpoint bytes.
 
 use cord_json::{obj, Json, ToJson};
-use cord_obs::{MetricsRegistry, SweepProfile, TraceHandle};
+use cord_obs::{Histogram, MetricsRegistry, SweepProfile, TraceHandle};
 use cord_pool::{lock_unpoisoned, BatchProgress};
 use std::fs;
 use std::io;
@@ -80,6 +80,12 @@ impl ObsSink {
     pub fn record_flush(&self, secs: f64) {
         let worker = std::thread::current().name().unwrap_or("main").to_string();
         lock_unpoisoned(&self.profile).record_flush(&worker, secs);
+    }
+
+    /// Folds one run's per-access detector latency histogram into the
+    /// sweep-wide distribution (pointwise bucket merge).
+    pub fn record_access_latency(&self, hist: &Histogram) {
+        lock_unpoisoned(&self.profile).access_latency.merge(hist);
     }
 
     /// Keeps the most recent pool batch snapshot (folded into the

@@ -10,7 +10,7 @@
 
 use crate::configs::DetectorConfig;
 use crate::obs::ObsSink;
-use cord_core::{Detector, DetectorSink, ObsCtx, SinkObserver};
+use cord_core::{Detector, DetectorSink, LatencyObserver, ObsCtx, SinkObserver};
 use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
 use cord_obs::{MetricsRegistry, TraceHandle};
@@ -386,11 +386,33 @@ pub(crate) fn run_config_impl(
         None => ObsCtx::disabled(),
     };
     let det = config.build_sink(workload.num_threads(), machine.cores, seed, ctx);
-    let mut m = Machine::new(machine, workload, SinkObserver::new(det), seed, plan);
-    if let Some(h) = &trace {
-        m = m.with_trace(h.clone());
-    }
-    let (out, mut det) = m.run()?;
+    // Two machine instantiations, not a runtime flag: the disabled path
+    // is the plain `Machine<SinkObserver<_>>` with no timing code in it
+    // at all, so observability stays provably free when off. The
+    // obs-enabled path wraps the observer in a LatencyObserver that
+    // times every on_access into a histogram.
+    let (out, mut det, access_latency) = if obs.is_some() {
+        let mut m = Machine::new(
+            machine,
+            workload,
+            LatencyObserver::new(SinkObserver::new(det)),
+            seed,
+            plan,
+        );
+        if let Some(h) = &trace {
+            m = m.with_trace(h.clone());
+        }
+        let (out, lat) = m.run()?;
+        let (det, hist) = lat.into_parts();
+        (out, det, Some(hist))
+    } else {
+        let mut m = Machine::new(machine, workload, SinkObserver::new(det), seed, plan);
+        if let Some(h) = &trace {
+            m = m.with_trace(h.clone());
+        }
+        let (out, det) = m.run()?;
+        (out, det, None)
+    };
     if let Some(o) = obs {
         let mut reg = MetricsRegistry::default();
         out.stats.record_into(&mut reg);
@@ -398,6 +420,9 @@ pub(crate) fn run_config_impl(
         o.sink.merge(&reg);
         if let Some(h) = &trace {
             o.sink.write_trace(o.app, o.run_index, &config.label(), h);
+        }
+        if let Some(hist) = &access_latency {
+            o.sink.record_access_latency(hist);
         }
     }
     Ok(Detection {

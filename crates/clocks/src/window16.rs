@@ -44,14 +44,17 @@ pub fn truncate(ticks: u64) -> Ts16 {
 /// ```
 #[inline]
 pub fn wrapped_lt(a: Ts16, b: Ts16) -> bool {
-    let diff = b.wrapping_sub(a);
-    diff != 0 && diff <= WINDOW
+    // Branchless: `b - a` lands in 1..=WINDOW exactly when its signed
+    // 16-bit interpretation is positive — one subtract and one compare,
+    // no short-circuit chain on the per-access race-check path.
+    (b.wrapping_sub(a) as i16) > 0
 }
 
 /// Windowed `a <= b`.
 #[inline]
 pub fn wrapped_le(a: Ts16, b: Ts16) -> bool {
-    b.wrapping_sub(a) <= WINDOW
+    // Branchless: `b - a` in 0..=WINDOW iff non-negative as signed.
+    (b.wrapping_sub(a) as i16) >= 0
 }
 
 /// Windowed distance `b - a`, meaningful when `wrapped_le(a, b)`.
@@ -71,9 +74,17 @@ pub fn is_race_with(clk: Ts16, ts: Ts16) -> bool {
 /// (mirrors
 /// [`ScalarTime::is_synchronized_after`](crate::scalar::ScalarTime::is_synchronized_after)).
 /// `d` must be much smaller than [`WINDOW`] for the result to be exact,
-/// which holds for all values the paper sweeps (max 256).
+/// which holds for all values the paper sweeps (max 256). Enforced in
+/// debug builds: `d >= WINDOW` would push `ts + d` past the half-range
+/// the wrapped comparison can represent, silently inverting results —
+/// the same precondition the detector's audit guard checks before
+/// calling (`d < WINDOW`).
 #[inline]
 pub fn is_synchronized_after(clk: Ts16, ts: Ts16, d: u16) -> bool {
+    debug_assert!(
+        d < WINDOW,
+        "is_synchronized_after requires d < WINDOW (= {WINDOW}), got {d}"
+    );
     // synchronized <=> ts + d <= clk within the window.
     wrapped_le(ts.wrapping_add(d), clk)
 }
@@ -193,6 +204,34 @@ mod tests {
         assert!(!is_race_with(6, 5));
         // across wrap: clk=2 (really 65538), ts=65535: clk > ts, no race.
         assert!(!is_race_with(2, u16::MAX));
+    }
+
+    #[test]
+    fn synchronized_at_d_window_minus_one_is_exact() {
+        // The largest permitted distance: d = WINDOW - 1 still keeps
+        // `ts + d` within the wrapped half-range when clk and ts are
+        // close, so the comparison stays exact.
+        let d = WINDOW - 1;
+        // clk = ts + d => synchronized.
+        assert!(is_synchronized_after(truncate(u64::from(d)), 0, d));
+        // clk = ts + d - 1 => not yet.
+        assert!(!is_synchronized_after(truncate(u64::from(d) - 1), 0, d));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "requires d < WINDOW")]
+    fn synchronized_at_d_window_asserts() {
+        // d = WINDOW is the first oversized distance: the audit guard in
+        // the detector skips it, and the primitive refuses it.
+        is_synchronized_after(0, 0, WINDOW);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "requires d < WINDOW")]
+    fn synchronized_past_d_window_asserts() {
+        is_synchronized_after(0, 0, WINDOW + 1);
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub struct CordDetector {
     reported: HashSet<(u16, u64, u64, u8)>,
     stats: CordStats,
     accesses_since_walk: u64,
+    /// Reusable buffer for entries displaced by line removals and walker
+    /// passes, so neither path allocates in steady state.
+    fold_scratch: Vec<crate::history::HistEntry<ScalarTime>>,
     trace: TraceHandle,
     /// Cycle of the most recent access, stamped onto events the
     /// detector raises outside an access context (walker passes).
@@ -170,6 +173,7 @@ impl CordDetector {
             reported: HashSet::new(),
             stats: CordStats::default(),
             accesses_since_walk: 0,
+            fold_scratch: Vec::new(),
             trace: TraceHandle::disabled(),
             last_cycle: 0,
         }
@@ -296,16 +300,13 @@ impl CordDetector {
         }
     }
 
-    fn fold_entries_to_memts(
-        &mut self,
-        entries: impl IntoIterator<Item = crate::history::HistEntry<ScalarTime>>,
-    ) -> bool {
+    fn fold_entries_to_memts(&mut self, entries: &[crate::history::HistEntry<ScalarTime>]) -> bool {
         if !self.cfg.mem_ts {
             return false;
         }
         let mut changed = false;
         for e in entries {
-            changed |= self.memts.fold(&e);
+            changed |= self.memts.fold(e);
         }
         changed
     }
@@ -318,15 +319,16 @@ impl CordDetector {
             return; // plenty of headroom
         }
         let bound = max_clock - u64::from(WINDOW) / 2;
-        let mut folded = Vec::new();
+        let mut folded = std::mem::take(&mut self.fold_scratch);
+        folded.clear();
         let mut min_live = u64::MAX;
         for core_hist in &mut self.hist {
             for h in core_hist.values_mut() {
                 // Single order-preserving partition: stale entries move
                 // to `folded` with their bits intact, survivors keep
-                // their newest-first order, and resident-line metadata
-                // (check filters, shed-write bound) is untouched.
-                folded.extend(h.take_entries_where(|e| e.stamp.ticks() < bound));
+                // their push order, and resident-line metadata (check
+                // filters, shed-write bound) is untouched.
+                h.take_entries_into(|e| e.stamp.ticks() < bound, &mut folded);
                 for e in h.entries() {
                     min_live = min_live.min(e.stamp.ticks());
                 }
@@ -339,9 +341,10 @@ impl CordDetector {
             thread: NO_THREAD,
             kind: EventKind::WalkerPass { evicted, bound },
         });
-        if self.fold_entries_to_memts(folded) {
+        if self.fold_entries_to_memts(&folded) {
             self.stats.memts_broadcasts += 1;
         }
+        self.fold_scratch = folded;
         if min_live != u64::MAX && max_clock - min_live > u64::from(WINDOW) {
             self.stats.window_violations += 1;
         }
@@ -637,7 +640,7 @@ impl MemoryObserver for CordDetector {
                     .expect("line history just touched")
                     .note_shed_write(stamp);
             }
-            if self.fold_entries_to_memts([old]) {
+            if self.fold_entries_to_memts(&[old]) {
                 posted += 1;
                 self.stats.memts_broadcasts += 1;
             }
@@ -703,7 +706,9 @@ impl MemoryObserver for CordDetector {
 
     fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
         if level == Level::L2 {
-            self.hist[core.index()].insert(line, LineHistory::new());
+            // Revive-and-reset: a previously parked arena slot hands its
+            // entry buffer back instead of allocating a fresh history.
+            self.hist[core.index()].entry_or_default(line).reset();
         }
     }
 
@@ -711,24 +716,29 @@ impl MemoryObserver for CordDetector {
         if removal.level != Level::L2 {
             return ObserverOutcome::NONE;
         }
-        let Some(mut h) = self.hist[removal.core.index()].remove(removal.line) else {
-            return ObserverOutcome::NONE;
-        };
-        let entries = h.drain();
+        let mut entries = std::mem::take(&mut self.fold_scratch);
+        entries.clear();
+        match self.hist[removal.core.index()].vacate(removal.line) {
+            Some(h) => h.drain_into(&mut entries),
+            None => {
+                self.fold_scratch = entries;
+                return ObserverOutcome::NONE;
+            }
+        }
         // Capacity evictions fold into the memory timestamps (§2.5).
         // Invalidations do not: the requesting writer's response-tag
         // clock update already ordered it after the line's maximum
         // stamp, and its new history entry dominates the dropped ones
         // from then on.
-        if removal.cause != RemovalCause::Capacity {
-            return ObserverOutcome::NONE;
-        }
-        if self.fold_entries_to_memts(entries) {
-            self.stats.memts_broadcasts += 1;
-            ObserverOutcome::posted(1)
-        } else {
-            ObserverOutcome::NONE
-        }
+        let outcome =
+            if removal.cause == RemovalCause::Capacity && self.fold_entries_to_memts(&entries) {
+                self.stats.memts_broadcasts += 1;
+                ObserverOutcome::posted(1)
+            } else {
+                ObserverOutcome::NONE
+            };
+        self.fold_scratch = entries;
+        outcome
     }
 
     fn on_thread_migrated(&mut self, thread: ThreadId, _from: CoreId, to: CoreId) {

@@ -92,10 +92,26 @@ impl<S> HistEntry<S> {
     }
 }
 
-/// The CORD state attached to one resident cache line: newest-first
-/// history entries plus the two check-filter bits of §2.7.2.
+/// The CORD state attached to one resident cache line: history entries
+/// in push order (oldest first) plus the two check-filter bits of
+/// §2.7.2.
+///
+/// Entries are stored oldest-first so a push is an O(1) append — the
+/// unlimited-entry configurations (*Ideal*, VC-inf) would otherwise pay
+/// a front-insert shift per access. Every conflict/filter consumer is
+/// order-insensitive (any/all/max over entries), so the physical order
+/// is an implementation detail; the one order-sensitive operation, the
+/// displacement tie-break in [`LineHistory::push_stamp_displace_min`],
+/// explicitly preserves the historical "newest tied minimum" choice.
+///
+/// Histories are designed to live in an arena slot
+/// ([`ShadowSpace`](crate::shadow::ShadowSpace)): [`LineHistory::reset`]
+/// and [`LineHistory::drain_into`] return a history to its
+/// freshly-filled state while keeping the entry buffer's allocation, so
+/// a line fill/evict cycle allocates nothing in steady state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineHistory<S> {
+    /// Oldest-first (push-order) entries.
     entries: Vec<HistEntry<S>>,
     /// Line-level permission: the whole line may be *read* without
     /// race-check broadcasts.
@@ -128,24 +144,24 @@ impl<S> LineHistory<S> {
         Self::default()
     }
 
-    /// Newest-first entries.
+    /// Entries in push order (oldest first).
     pub fn entries(&self) -> &[HistEntry<S>] {
         &self.entries
     }
 
-    /// Mutable newest-first entries.
+    /// Mutable entries in push order (oldest first).
     pub fn entries_mut(&mut self) -> &mut [HistEntry<S>] {
         &mut self.entries
     }
 
     /// The newest entry, if any.
     pub fn newest(&self) -> Option<&HistEntry<S>> {
-        self.entries.first()
+        self.entries.last()
     }
 
     /// Mutable access to the newest entry.
     pub fn newest_mut(&mut self) -> Option<&mut HistEntry<S>> {
-        self.entries.first_mut()
+        self.entries.last_mut()
     }
 
     /// Pushes a new newest entry with `stamp`; if the history already
@@ -155,11 +171,11 @@ impl<S> LineHistory<S> {
     pub fn push_stamp(&mut self, stamp: S, max_entries: usize) -> Option<HistEntry<S>> {
         debug_assert!(max_entries >= 1);
         let displaced = if self.entries.len() >= max_entries {
-            self.entries.pop()
+            Some(self.entries.remove(0))
         } else {
             None
         };
-        self.entries.insert(0, HistEntry::new(stamp));
+        self.entries.push(HistEntry::new(stamp));
         displaced
     }
 
@@ -177,17 +193,21 @@ impl<S> LineHistory<S> {
     {
         debug_assert!(max_entries >= 1);
         let displaced = if self.entries.len() >= max_entries {
-            let (idx, _) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.stamp.cmp(&b.stamp))
-                .expect("non-empty at capacity");
+            // Tie-break: among equal minimum stamps, displace the
+            // *newest* — the historical behaviour of a first-match
+            // `min_by` over the old newest-first layout. In push order
+            // that is the last tied minimum, hence `<=`.
+            let mut idx = 0;
+            for i in 1..self.entries.len() {
+                if self.entries[i].stamp <= self.entries[idx].stamp {
+                    idx = i;
+                }
+            }
             Some(self.entries.remove(idx))
         } else {
             None
         };
-        self.entries.insert(0, HistEntry::new(stamp));
+        self.entries.push(HistEntry::new(stamp));
         displaced
     }
 
@@ -199,34 +219,59 @@ impl<S> LineHistory<S> {
         self.entries.iter().map(|e| &e.stamp).max()
     }
 
-    /// Removes and returns every entry matching `pred`, keeping the
-    /// survivors in their original newest-first order with their access
-    /// bits intact. Unlike [`LineHistory::drain`], the check filters and
+    /// Moves every entry matching `pred` into `out`, keeping the
+    /// survivors in their original push order with their access bits
+    /// intact. Unlike [`LineHistory::drain_into`], the check filters and
     /// shed-write bound are left untouched — the line stays resident
     /// (this is the walker's eviction primitive, not a line removal).
-    pub fn take_entries_where<F>(&mut self, mut pred: F) -> Vec<HistEntry<S>>
+    /// Taken entries are appended to `out` in push order (oldest first).
+    pub fn take_entries_into<F>(&mut self, mut pred: F, out: &mut Vec<HistEntry<S>>)
+    where
+        F: FnMut(&HistEntry<S>) -> bool,
+    {
+        out.extend(self.entries.extract_if(.., |e| pred(e)));
+    }
+
+    /// Removes and returns every entry matching `pred` (see
+    /// [`LineHistory::take_entries_into`], which cold callers with a
+    /// reusable scratch buffer should prefer).
+    pub fn take_entries_where<F>(&mut self, pred: F) -> Vec<HistEntry<S>>
     where
         F: FnMut(&HistEntry<S>) -> bool,
     {
         let mut taken = Vec::new();
-        let mut kept = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
-            if pred(&e) {
-                taken.push(e);
-            } else {
-                kept.push(e);
-            }
-        }
-        self.entries = kept;
+        self.take_entries_into(pred, &mut taken);
         taken
     }
 
-    /// Drains all entries (line leaving the cache).
-    pub fn drain(&mut self) -> Vec<HistEntry<S>> {
+    /// Drains all entries into `out` (line leaving the cache), appending
+    /// them in push order (oldest first), and resets the filters and
+    /// shed-write bound. The entry buffer's allocation is retained, so a
+    /// history parked in an arena slot costs nothing to refill.
+    pub fn drain_into(&mut self, out: &mut Vec<HistEntry<S>>) {
         self.read_filter = false;
         self.write_filter = false;
         self.shed_write_stamp = None;
-        std::mem::take(&mut self.entries)
+        out.append(&mut self.entries);
+    }
+
+    /// Drains all entries (line leaving the cache). Hot callers should
+    /// prefer [`LineHistory::drain_into`] with a reusable scratch buffer.
+    pub fn drain(&mut self) -> Vec<HistEntry<S>> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Returns the history to its freshly-filled state — no entries, no
+    /// filters, no shed-write bound — retaining the entry buffer's
+    /// allocation. Called on line fill so a parked arena slot is reused
+    /// without reallocating.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.read_filter = false;
+        self.write_filter = false;
+        self.shed_write_stamp = None;
     }
 
     /// Records that a write-carrying entry with `stamp` was displaced
@@ -327,7 +372,23 @@ mod tests {
         assert!(displaced.written(0));
         assert_eq!(h.entries().len(), 2);
         assert_eq!(h.newest().unwrap().stamp, ts(17));
-        assert_eq!(h.entries()[1].stamp, ts(14));
+        assert_eq!(h.entries()[0].stamp, ts(14));
+    }
+
+    #[test]
+    fn displace_min_evicts_newest_tied_minimum() {
+        let mut h: LineHistory<ScalarTime> = LineHistory::new();
+        h.push_stamp(ts(5), 3);
+        h.newest_mut().unwrap().set(0, false);
+        h.push_stamp(ts(9), 3);
+        h.push_stamp(ts(5), 3);
+        h.newest_mut().unwrap().set(1, false);
+        // Two entries tie at ts(5); the newest of them (word-1 bits) must
+        // be the one displaced, matching the historical tie-break.
+        let displaced = h.push_stamp_displace_min(ts(12), 3).expect("displacement");
+        assert_eq!(displaced.stamp, ts(5));
+        assert!(displaced.read(1) && !displaced.read(0));
+        assert!(h.entries().iter().any(|e| e.stamp == ts(5) && e.read(0)));
     }
 
     #[test]
@@ -386,19 +447,19 @@ mod tests {
         }
         h.grant_filter(true);
         h.note_shed_write(ts(7));
-        // Entries are newest-first: stamps [11, 4, 9, 2].
+        // Entries are push-ordered (oldest first): stamps [2, 9, 4, 11].
         let taken = h.take_entries_where(|e| e.stamp.ticks() < 5);
         assert_eq!(
             taken.iter().map(|e| e.stamp).collect::<Vec<_>>(),
-            vec![ts(4), ts(2)]
+            vec![ts(2), ts(4)]
         );
-        // Survivors keep newest-first order and their bits.
+        // Survivors keep push order and their bits.
         assert_eq!(
             h.entries().iter().map(|e| e.stamp).collect::<Vec<_>>(),
-            vec![ts(11), ts(9)]
+            vec![ts(9), ts(11)]
         );
         assert_eq!(h.newest().unwrap().stamp, ts(11));
-        assert!(h.entries()[1].read(1));
+        assert!(h.entries()[0].read(1));
         // Resident-line metadata survives, unlike drain().
         assert!(h.filter_allows(true));
         assert_eq!(h.shed_write_stamp, Some(ts(7)));

@@ -75,7 +75,8 @@ pub use replay::{
 };
 pub use shadow::{LineTable, ShadowSpace};
 pub use sink::{
-    apply_stream_event, CaptureObserver, DetectorSink, ObsCtx, SinkObserver, SinkReport,
+    apply_stream_event, CaptureObserver, DetectorSink, LatencyObserver, ObsCtx, SinkObserver,
+    SinkReport,
 };
 
 /// One-stop imports for experiment code.

@@ -17,26 +17,53 @@
 use cord_trace::layout::dense_line_index;
 use cord_trace::types::LineAddr;
 
-/// A flat, auto-growing map from small dense indices to `T`.
+/// Occupancy state of one shadow slot (one byte in the state array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum SlotState {
+    /// Never occupied (value is `T::default()`).
+    Empty = 0,
+    /// Previously occupied, vacated with buffers parked for reuse. The
+    /// parked value is *logically* default (see [`ShadowSpace::vacate`])
+    /// but keeps its heap allocations.
+    Parked = 1,
+    /// Occupied.
+    Live = 2,
+}
+
+/// A flat, auto-growing map from small dense indices to `T`, laid out as
+/// a structure of arrays: a one-byte-per-slot occupancy array probed on
+/// the hot path, and a parallel value array touched only on live slots.
 ///
-/// `get`/`get_mut`/`insert`/`remove` are O(1) vector indexing;
-/// iteration is O(capacity) over the slot vector in index order.
+/// `get`/`get_mut`/`insert`/`remove` are O(1) vector indexing; the
+/// presence test reads a single dense byte, so scanning several spaces
+/// for the same index (the detector's remote-core probe) stays friendly
+/// to the cache even when the values themselves are large. Iteration is
+/// O(capacity) over the state array in index order.
+///
+/// Vacating instead of removing ([`ShadowSpace::vacate`]) parks the
+/// value in place, so per-slot heap buffers (history vectors, clock
+/// allocations) survive an occupant's removal and are reused by the next
+/// [`ShadowSpace::entry_or_default`] — the arena behaviour the detectors
+/// rely on to keep line fill/evict cycles allocation-free.
 #[derive(Debug, Clone)]
 pub struct ShadowSpace<T> {
-    slots: Vec<Option<T>>,
+    state: Vec<SlotState>,
+    values: Vec<T>,
     len: usize,
 }
 
 impl<T> Default for ShadowSpace<T> {
     fn default() -> Self {
         ShadowSpace {
-            slots: Vec::new(),
+            state: Vec::new(),
+            values: Vec::new(),
             len: 0,
         }
     }
 }
 
-impl<T> ShadowSpace<T> {
+impl<T: Default> ShadowSpace<T> {
     /// An empty space.
     pub fn new() -> Self {
         Self::default()
@@ -45,9 +72,16 @@ impl<T> ShadowSpace<T> {
     /// An empty space pre-sized for indices `0..capacity` (e.g. from
     /// [`DenseLineMap::line_capacity`](cord_trace::layout::DenseLineMap)).
     pub fn with_capacity(capacity: usize) -> Self {
-        let mut slots = Vec::new();
-        slots.resize_with(capacity, || None);
-        ShadowSpace { slots, len: 0 }
+        let mut s = Self::default();
+        s.grow_to(capacity);
+        s
+    }
+
+    fn grow_to(&mut self, capacity: usize) {
+        if capacity > self.state.len() {
+            self.state.resize(capacity, SlotState::Empty);
+            self.values.resize_with(capacity, T::default);
+        }
     }
 
     /// Number of occupied slots.
@@ -63,78 +97,124 @@ impl<T> ShadowSpace<T> {
     /// The value at `index`, if present.
     #[inline]
     pub fn get(&self, index: usize) -> Option<&T> {
-        self.slots.get(index).and_then(Option::as_ref)
+        match self.state.get(index) {
+            Some(SlotState::Live) => Some(&self.values[index]),
+            _ => None,
+        }
     }
 
     /// Mutable access to the value at `index`, if present.
     #[inline]
     pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
-        self.slots.get_mut(index).and_then(Option::as_mut)
+        match self.state.get(index) {
+            Some(SlotState::Live) => Some(&mut self.values[index]),
+            _ => None,
+        }
     }
 
     /// Inserts `value` at `index`, returning the previous occupant.
     #[inline]
     pub fn insert(&mut self, index: usize, value: T) -> Option<T> {
-        if index >= self.slots.len() {
-            self.slots.resize_with(index + 1, || None);
-        }
-        let prev = self.slots[index].replace(value);
-        if prev.is_none() {
+        self.grow_to(index + 1);
+        let prev = std::mem::replace(&mut self.values[index], value);
+        let was_live = self.state[index] == SlotState::Live;
+        self.state[index] = SlotState::Live;
+        if was_live {
+            Some(prev)
+        } else {
             self.len += 1;
+            None
         }
-        prev
     }
 
-    /// Removes and returns the value at `index`.
+    /// Removes and returns the value at `index`, resetting the slot to
+    /// `T::default()`. Prefer [`ShadowSpace::vacate`] on hot paths — it
+    /// keeps the occupant's buffers parked in the slot for reuse.
     #[inline]
     pub fn remove(&mut self, index: usize) -> Option<T> {
-        let v = self.slots.get_mut(index).and_then(Option::take);
-        if v.is_some() {
-            self.len -= 1;
+        match self.state.get(index) {
+            Some(SlotState::Live) => {
+                self.state[index] = SlotState::Empty;
+                self.len -= 1;
+                Some(std::mem::take(&mut self.values[index]))
+            }
+            _ => None,
         }
-        v
     }
 
-    /// The slot at `index`, inserting `T::default()` if vacant.
+    /// Vacates the slot at `index`, returning a mutable reference the
+    /// caller uses to drain the occupant in place. The value stays
+    /// parked in the slot with its heap buffers intact and will be
+    /// handed back by the next [`ShadowSpace::entry_or_default`] on this
+    /// index — so the caller MUST leave it logically equivalent to
+    /// `T::default()` (e.g. a drained [`LineHistory`]) before the
+    /// reference is dropped.
+    ///
+    /// [`LineHistory`]: crate::history::LineHistory
     #[inline]
-    pub fn entry_or_default(&mut self, index: usize) -> &mut T
-    where
-        T: Default,
-    {
-        if index >= self.slots.len() {
-            self.slots.resize_with(index + 1, || None);
+    pub fn vacate(&mut self, index: usize) -> Option<&mut T> {
+        match self.state.get(index) {
+            Some(SlotState::Live) => {
+                self.state[index] = SlotState::Parked;
+                self.len -= 1;
+                Some(&mut self.values[index])
+            }
+            _ => None,
         }
-        if self.slots[index].is_none() {
-            self.slots[index] = Some(T::default());
-            self.len += 1;
+    }
+
+    /// The slot at `index`, inserting `T::default()` if vacant. A parked
+    /// occupant ([`ShadowSpace::vacate`]) is revived in place — by the
+    /// vacate contract it is logically default, but keeps its buffers.
+    #[inline]
+    pub fn entry_or_default(&mut self, index: usize) -> &mut T {
+        self.grow_to(index + 1);
+        match self.state[index] {
+            SlotState::Live => {}
+            SlotState::Parked => {
+                self.state[index] = SlotState::Live;
+                self.len += 1;
+            }
+            SlotState::Empty => {
+                self.state[index] = SlotState::Live;
+                self.len += 1;
+            }
         }
-        self.slots[index].as_mut().expect("slot just filled")
+        &mut self.values[index]
     }
 
     /// Iterates occupied slots as `(index, &value)` in index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.slots
+        self.state
             .iter()
+            .zip(self.values.iter())
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+            .filter_map(|(i, (s, v))| (*s == SlotState::Live).then_some((i, v)))
     }
 
     /// Iterates occupied slots mutably in index order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
-        self.slots
-            .iter_mut()
+        self.state
+            .iter()
+            .zip(self.values.iter_mut())
             .enumerate()
-            .filter_map(|(i, s)| s.as_mut().map(|v| (i, v)))
+            .filter_map(|(i, (s, v))| (*s == SlotState::Live).then_some((i, v)))
     }
 
     /// Iterates occupied values in index order.
     pub fn values(&self) -> impl Iterator<Item = &T> {
-        self.slots.iter().filter_map(Option::as_ref)
+        self.state
+            .iter()
+            .zip(self.values.iter())
+            .filter_map(|(s, v)| (*s == SlotState::Live).then_some(v))
     }
 
     /// Iterates occupied values mutably in index order.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
-        self.slots.iter_mut().filter_map(Option::as_mut)
+        self.state
+            .iter()
+            .zip(self.values.iter_mut())
+            .filter_map(|(s, v)| (*s == SlotState::Live).then_some(v))
     }
 }
 
@@ -146,7 +226,7 @@ pub struct LineTable<T> {
     space: ShadowSpace<T>,
 }
 
-impl<T> LineTable<T> {
+impl<T: Default> LineTable<T> {
     /// An empty table.
     pub fn new() -> Self {
         LineTable {
@@ -195,12 +275,16 @@ impl<T> LineTable<T> {
         self.space.remove(dense_line_index(line))
     }
 
+    /// Vacates the state for `line` in place — see
+    /// [`ShadowSpace::vacate`] for the drain-before-drop contract.
+    #[inline]
+    pub fn vacate(&mut self, line: LineAddr) -> Option<&mut T> {
+        self.space.vacate(dense_line_index(line))
+    }
+
     /// The state for `line`, inserting `T::default()` if vacant.
     #[inline]
-    pub fn entry_or_default(&mut self, line: LineAddr) -> &mut T
-    where
-        T: Default,
-    {
+    pub fn entry_or_default(&mut self, line: LineAddr) -> &mut T {
         self.space.entry_or_default(dense_line_index(line))
     }
 

@@ -118,6 +118,49 @@ pub trait DetectorSink: Send {
     /// meaningful to a live simulator; replay drivers ignore it).
     fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome;
 
+    /// Inline fast path for [`StreamEvent::Access`]: consumes the
+    /// access without reifying it as a `StreamEvent`.
+    ///
+    /// The provided default routes through [`DetectorSink::ingest`], so
+    /// any sink is correct out of the box; sinks on the simulator's
+    /// per-access hot path override these `ingest_*` methods to
+    /// dispatch straight to their callback handlers. Overrides must
+    /// stay observationally identical to the default — inline
+    /// detection and capture replay are required to produce
+    /// bit-identical reports.
+    #[inline]
+    fn ingest_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.ingest(&StreamEvent::Access(*ev))
+    }
+
+    /// Inline fast path for [`StreamEvent::LineFilled`].
+    #[inline]
+    fn ingest_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.ingest(&StreamEvent::LineFilled { core, level, line });
+    }
+
+    /// Inline fast path for [`StreamEvent::LineRemoved`].
+    #[inline]
+    fn ingest_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.ingest(&StreamEvent::LineRemoved(*removal))
+    }
+
+    /// Inline fast path for [`StreamEvent::ThreadMigrated`].
+    #[inline]
+    fn ingest_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.ingest(&StreamEvent::ThreadMigrated { thread, from, to });
+    }
+
+    /// Inline fast path for [`StreamEvent::RunEnd`]. The default pays
+    /// the `instr_counts` clone the wire event requires; overrides
+    /// hand the slice to the detector directly.
+    #[inline]
+    fn ingest_run_end(&mut self, instr_counts: &[u64]) {
+        self.ingest(&StreamEvent::RunEnd {
+            instr_counts: instr_counts.to_vec(),
+        });
+    }
+
     /// A synchronization point: any buffered work must be applied
     /// before `flush` returns. The default is a no-op for sinks that
     /// apply events eagerly.
@@ -131,6 +174,26 @@ pub trait DetectorSink: Send {
 impl<S: DetectorSink + ?Sized> DetectorSink for Box<S> {
     fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome {
         (**self).ingest(ev)
+    }
+
+    fn ingest_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        (**self).ingest_access(ev)
+    }
+
+    fn ingest_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        (**self).ingest_line_filled(core, level, line)
+    }
+
+    fn ingest_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        (**self).ingest_line_removed(removal)
+    }
+
+    fn ingest_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        (**self).ingest_thread_migrated(thread, from, to)
+    }
+
+    fn ingest_run_end(&mut self, instr_counts: &[u64]) {
+        (**self).ingest_run_end(instr_counts)
     }
 
     fn flush(&mut self) {
@@ -170,10 +233,16 @@ pub fn apply_stream_event<O: MemoryObserver + ?Sized>(
 }
 
 /// The thin adapter that keeps the `Machine` path on the sink API: a
-/// [`MemoryObserver`] that reifies each callback as a [`StreamEvent`]
-/// and feeds it to the wrapped sink. Inline detection is therefore
-/// *defined* as replaying the callback stream through the sink — the
-/// same code path a capture replay takes.
+/// [`MemoryObserver`] that feeds each callback to the wrapped sink.
+/// Inline detection is therefore *defined* as replaying the callback
+/// stream through the sink — the same event sequence a capture replay
+/// drives through [`DetectorSink::ingest`].
+///
+/// Dispatch goes through the sink's `ingest_*` fast-path methods, so a
+/// sink that overrides them (the concrete `DetectorEnum` does) pays no
+/// `StreamEvent` reification on the inline path; stream-driven sinks
+/// fall back to the provided defaults, which reify and route through
+/// [`DetectorSink::ingest`] exactly as this adapter used to.
 #[derive(Debug)]
 pub struct SinkObserver<S> {
     sink: S,
@@ -202,29 +271,106 @@ impl<S> SinkObserver<S> {
 }
 
 impl<S: DetectorSink> MemoryObserver for SinkObserver<S> {
+    #[inline]
     fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
-        self.sink.ingest(&StreamEvent::Access(*ev))
+        self.sink.ingest_access(ev)
     }
 
+    #[inline]
     fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
-        self.sink
-            .ingest(&StreamEvent::LineFilled { core, level, line });
+        self.sink.ingest_line_filled(core, level, line);
     }
 
+    #[inline]
     fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
-        self.sink.ingest(&StreamEvent::LineRemoved(*removal))
+        self.sink.ingest_line_removed(removal)
     }
 
+    #[inline]
     fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
-        self.sink
-            .ingest(&StreamEvent::ThreadMigrated { thread, from, to });
+        self.sink.ingest_thread_migrated(thread, from, to);
     }
 
     fn on_run_end(&mut self, final_instr_counts: &[u64]) {
-        self.sink.ingest(&StreamEvent::RunEnd {
-            instr_counts: final_instr_counts.to_vec(),
-        });
+        self.sink.ingest_run_end(final_instr_counts);
         self.sink.flush();
+    }
+}
+
+/// A per-access latency profiler: times each `on_access` callback of
+/// the wrapped observer and records it into a
+/// [`Histogram`](cord_obs::Histogram), forwarding everything unchanged.
+///
+/// This wrapper exists so the hot path stays provably zero-cost when
+/// profiling is off: instead of a branch (or worse, a clock read) inside
+/// every access, the sweep instantiates `Machine<LatencyObserver<...>>`
+/// only when observability is enabled, and the plain
+/// `Machine<SinkObserver<...>>` otherwise — the disabled path never even
+/// contains the timing code. Latencies are timing-dependent by nature,
+/// so the harvested histogram must only flow into the profile side of
+/// sweep output, never into deterministic results.
+#[derive(Debug)]
+pub struct LatencyObserver<O> {
+    inner: O,
+    hist: cord_obs::Histogram,
+}
+
+impl<O> LatencyObserver<O> {
+    /// Wraps `inner` with an empty histogram.
+    pub fn new(inner: O) -> Self {
+        LatencyObserver {
+            inner,
+            hist: cord_obs::Histogram::new(),
+        }
+    }
+
+    /// The wrapped observer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The wrapped observer, mutably.
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
+    /// The latency histogram collected so far.
+    pub fn histogram(&self) -> &cord_obs::Histogram {
+        &self.hist
+    }
+
+    /// Unwraps into `(inner, histogram)`.
+    pub fn into_parts(self) -> (O, cord_obs::Histogram) {
+        (self.inner, self.hist)
+    }
+}
+
+impl<O: MemoryObserver> MemoryObserver for LatencyObserver<O> {
+    #[inline]
+    fn on_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        let start = std::time::Instant::now();
+        let out = self.inner.on_access(ev);
+        self.hist.record_ns(start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    #[inline]
+    fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.inner.on_line_filled(core, level, line);
+    }
+
+    #[inline]
+    fn on_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.inner.on_line_removed(removal)
+    }
+
+    #[inline]
+    fn on_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.inner.on_thread_migrated(thread, from, to);
+    }
+
+    fn on_run_end(&mut self, final_instr_counts: &[u64]) {
+        self.inner.on_run_end(final_instr_counts);
     }
 }
 

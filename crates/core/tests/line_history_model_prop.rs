@@ -1,0 +1,250 @@
+//! Model-based property test pinning the arena-backed
+//! [`LineHistory`] (oldest-first entry storage, buffer-retaining
+//! `reset`/`drain_into`, O(n) `take_entries_into` partition) against a
+//! straightforward reference model.
+//!
+//! The model is written from the documented semantics, not the
+//! implementation: entries live in push order; `push_stamp` displaces
+//! the oldest entry when full; `push_stamp_displace_min` displaces the
+//! *newest among the tied minimum stamps* (the historical behaviour of
+//! a first-match `min_by` over the old newest-first layout);
+//! `take_entries_into` stably partitions by predicate without touching
+//! filters or the shed-write bound; `drain_into`/`reset` clear
+//! everything. Any divergence — entry order, access bits, filter
+//! state, displaced-entry identity — fails the property.
+
+use cord_clocks::scalar::ScalarTime;
+use cord_core::history::{HistEntry, LineHistory};
+use proptest::prelude::*;
+
+const WORDS: usize = 16;
+
+/// Reference model entry: stamp plus per-word read/write flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ModelEntry {
+    stamp: u64,
+    read: [bool; WORDS],
+    written: [bool; WORDS],
+}
+
+impl ModelEntry {
+    fn new(stamp: u64) -> Self {
+        ModelEntry {
+            stamp,
+            read: [false; WORDS],
+            written: [false; WORDS],
+        }
+    }
+}
+
+/// Reference model: the documented `LineHistory` semantics over plain
+/// vectors, with no buffer reuse or layout tricks.
+#[derive(Debug, Default)]
+struct Model {
+    entries: Vec<ModelEntry>,
+    read_filter: bool,
+    write_filter: bool,
+    shed_write_stamp: Option<u64>,
+}
+
+impl Model {
+    fn push_stamp(&mut self, stamp: u64, max: usize) -> Option<ModelEntry> {
+        let displaced = if self.entries.len() >= max {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push(ModelEntry::new(stamp));
+        displaced
+    }
+
+    fn push_stamp_displace_min(&mut self, stamp: u64, max: usize) -> Option<ModelEntry> {
+        let displaced = if self.entries.len() >= max {
+            let min = self
+                .entries
+                .iter()
+                .map(|e| e.stamp)
+                .min()
+                .expect("non-empty");
+            // Newest among the tied minima = the last one in push order.
+            let idx = self
+                .entries
+                .iter()
+                .rposition(|e| e.stamp == min)
+                .expect("min exists");
+            Some(self.entries.remove(idx))
+        } else {
+            None
+        };
+        self.entries.push(ModelEntry::new(stamp));
+        displaced
+    }
+
+    fn take_below(&mut self, bound: u64) -> Vec<ModelEntry> {
+        let (taken, kept): (Vec<_>, Vec<_>) = self.entries.drain(..).partition(|e| e.stamp < bound);
+        self.entries = kept;
+        taken
+    }
+
+    fn drain_all(&mut self) -> Vec<ModelEntry> {
+        self.read_filter = false;
+        self.write_filter = false;
+        self.shed_write_stamp = None;
+        std::mem::take(&mut self.entries)
+    }
+
+    fn reset(&mut self) {
+        self.drain_all();
+    }
+
+    fn note_shed_write(&mut self, stamp: u64) {
+        self.shed_write_stamp = Some(match self.shed_write_stamp {
+            Some(old) => old.max(stamp),
+            None => stamp,
+        });
+    }
+}
+
+/// Asserts the real history and the model agree on every observable.
+fn assert_equiv(h: &LineHistory<ScalarTime>, m: &Model) -> Result<(), String> {
+    prop_assert_eq!(h.entries().len(), m.entries.len());
+    for (he, me) in h.entries().iter().zip(&m.entries) {
+        prop_assert_eq!(he.stamp.ticks(), me.stamp);
+        for w in 0..WORDS {
+            prop_assert_eq!(he.read(w), me.read[w]);
+            prop_assert_eq!(he.written(w), me.written[w]);
+        }
+    }
+    prop_assert_eq!(h.read_filter, m.read_filter);
+    prop_assert_eq!(h.write_filter, m.write_filter);
+    prop_assert_eq!(h.shed_write_stamp.map(|s| s.ticks()), m.shed_write_stamp);
+    prop_assert_eq!(
+        h.newest().map(|e| e.stamp.ticks()),
+        m.entries.last().map(|e| e.stamp)
+    );
+    prop_assert_eq!(
+        h.max_stamp().map(|s| s.ticks()),
+        m.entries.iter().map(|e| e.stamp).max()
+    );
+    for w in 0..WORDS {
+        let model_conflict = |is_write: bool| {
+            m.entries
+                .iter()
+                .any(|e| e.written[w] || (is_write && e.read[w]))
+        };
+        prop_assert_eq!(h.any_conflict(w, false), model_conflict(false));
+        prop_assert_eq!(h.any_conflict(w, true), model_conflict(true));
+    }
+    prop_assert_eq!(
+        h.any_access(),
+        m.entries
+            .iter()
+            .any(|e| e.read.iter().chain(&e.written).any(|&b| b))
+    );
+    Ok(())
+}
+
+fn assert_taken_equiv(
+    taken: &[HistEntry<ScalarTime>],
+    model_taken: &[ModelEntry],
+) -> Result<(), String> {
+    prop_assert_eq!(taken.len(), model_taken.len());
+    for (te, me) in taken.iter().zip(model_taken) {
+        prop_assert_eq!(te.stamp.ticks(), me.stamp);
+        for w in 0..WORDS {
+            prop_assert_eq!(te.read(w), me.read[w]);
+            prop_assert_eq!(te.written(w), me.written[w]);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random op sequences hit every public mutator; the real history
+    /// must track the reference model exactly — including the entries
+    /// it displaces and takes out.
+    #[test]
+    fn arena_history_matches_vec_model(
+        ops in proptest::collection::vec(
+            (0u8..9, 0u64..64, 0u8..(2 * WORDS as u8), 1usize..4),
+            0..64,
+        ),
+    ) {
+        let mut h: LineHistory<ScalarTime> = LineHistory::new();
+        let mut m = Model::default();
+        // A couple of reusable scratch buffers, as the detector holds.
+        let mut scratch: Vec<HistEntry<ScalarTime>> = Vec::new();
+
+        for (op, stamp, wordmode, max) in ops {
+            let word = usize::from(wordmode) % WORDS;
+            let is_write = wordmode >= WORDS as u8;
+            match op {
+                0 => {
+                    let d = h.push_stamp(ScalarTime::new(stamp), max);
+                    let md = m.push_stamp(stamp, max);
+                    prop_assert_eq!(d.is_some(), md.is_some());
+                    if let (Some(d), Some(md)) = (d, md) {
+                        assert_taken_equiv(&[d], &[md])?;
+                    }
+                }
+                1 => {
+                    let d = h.push_stamp_displace_min(ScalarTime::new(stamp), max);
+                    let md = m.push_stamp_displace_min(stamp, max);
+                    prop_assert_eq!(d.is_some(), md.is_some());
+                    if let (Some(d), Some(md)) = (d, md) {
+                        assert_taken_equiv(&[d], &[md])?;
+                    }
+                }
+                2 => {
+                    if let Some(e) = h.newest_mut() {
+                        e.set(word, is_write);
+                        let me = m.entries.last_mut().expect("model newest in sync");
+                        if is_write {
+                            me.written[word] = true;
+                        } else {
+                            me.read[word] = true;
+                        }
+                    }
+                }
+                3 => {
+                    h.grant_filter(is_write);
+                    if is_write {
+                        m.write_filter = true;
+                    } else {
+                        m.read_filter = true;
+                    }
+                }
+                4 => {
+                    h.clear_filters();
+                    m.read_filter = false;
+                    m.write_filter = false;
+                }
+                5 => {
+                    h.note_shed_write(ScalarTime::new(stamp));
+                    m.note_shed_write(stamp);
+                }
+                6 => {
+                    scratch.clear();
+                    h.take_entries_into(|e| e.stamp.ticks() < stamp, &mut scratch);
+                    let model_taken = m.take_below(stamp);
+                    assert_taken_equiv(&scratch, &model_taken)?;
+                }
+                7 => {
+                    scratch.clear();
+                    h.drain_into(&mut scratch);
+                    let model_taken = m.drain_all();
+                    assert_taken_equiv(&scratch, &model_taken)?;
+                }
+                _ => {
+                    h.reset();
+                    m.reset();
+                }
+            }
+            assert_equiv(&h, &m)?;
+            prop_assert_eq!(h.filter_allows(false), m.read_filter);
+            prop_assert_eq!(h.filter_allows(true), m.write_filter);
+        }
+    }
+}

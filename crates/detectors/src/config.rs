@@ -274,6 +274,38 @@ impl DetectorSink for DetectorEnum {
         cord_core::apply_stream_event(self, ev)
     }
 
+    // Inline fast paths: the sweep hot path is
+    // `Machine<SinkObserver<DetectorEnum>>`, and these overrides keep
+    // each observer callback to a single enum match — no `StreamEvent`
+    // reification, no second dispatch through `apply_stream_event`.
+    // They are observationally identical to `ingest` because
+    // `apply_stream_event` routes each event kind straight back to the
+    // corresponding `MemoryObserver` callback on this enum.
+    #[inline]
+    fn ingest_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.on_access(ev)
+    }
+
+    #[inline]
+    fn ingest_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.on_line_filled(core, level, line);
+    }
+
+    #[inline]
+    fn ingest_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.on_line_removed(removal)
+    }
+
+    #[inline]
+    fn ingest_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.on_thread_migrated(thread, from, to);
+    }
+
+    #[inline]
+    fn ingest_run_end(&mut self, instr_counts: &[u64]) {
+        self.on_run_end(instr_counts);
+    }
+
     fn drain(&mut self) -> SinkReport {
         match self {
             DetectorEnum::Cord(d) => d.drain(),
@@ -321,6 +353,31 @@ impl Detector for PanicProbeDetector {
 impl DetectorSink for PanicProbeDetector {
     fn ingest(&mut self, ev: &StreamEvent) -> ObserverOutcome {
         cord_core::apply_stream_event(self, ev)
+    }
+
+    #[inline]
+    fn ingest_access(&mut self, ev: &AccessEvent) -> ObserverOutcome {
+        self.on_access(ev)
+    }
+
+    #[inline]
+    fn ingest_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
+        self.on_line_filled(core, level, line);
+    }
+
+    #[inline]
+    fn ingest_line_removed(&mut self, removal: &LineRemoval) -> ObserverOutcome {
+        self.on_line_removed(removal)
+    }
+
+    #[inline]
+    fn ingest_thread_migrated(&mut self, thread: ThreadId, from: CoreId, to: CoreId) {
+        self.on_thread_migrated(thread, from, to);
+    }
+
+    #[inline]
+    fn ingest_run_end(&mut self, instr_counts: &[u64]) {
+        self.on_run_end(instr_counts);
     }
 
     fn drain(&mut self) -> SinkReport {

@@ -117,6 +117,9 @@ pub struct VcLimitedDetector {
     /// lost and lock-protected data would look concurrent.
     shed_writes: Vec<LineTable<VectorClock>>,
     next_version: u64,
+    /// Reusable buffer for entries drained on line removal, so evictions
+    /// do not allocate in steady state.
+    fold_scratch: Vec<cord_core::history::HistEntry<VectorClock>>,
 }
 
 impl VcLimitedDetector {
@@ -143,6 +146,7 @@ impl VcLimitedDetector {
             stamp_versions: (0..cores).map(|_| LineTable::new()).collect(),
             shed_writes: (0..cores).map(|_| LineTable::new()).collect(),
             next_version: 0,
+            fold_scratch: Vec::new(),
         }
     }
 
@@ -370,7 +374,9 @@ impl MemoryObserver for VcLimitedDetector {
 
     fn on_line_filled(&mut self, core: CoreId, level: Level, line: LineAddr) {
         if self.tracks_level(level) && self.cfg.capacity != CapacityMode::Unlimited {
-            self.hist[core.index()].insert(line, LineHistory::new());
+            // Revive-and-reset a parked arena slot rather than allocating
+            // a fresh history per fill.
+            self.hist[core.index()].entry_or_default(line).reset();
         }
     }
 
@@ -379,12 +385,15 @@ impl MemoryObserver for VcLimitedDetector {
             return ObserverOutcome::NONE;
         }
         self.shed_writes[removal.core.index()].remove(removal.line);
-        if let Some(mut h) = self.hist[removal.core.index()].remove(removal.line) {
+        let mut drained = std::mem::take(&mut self.fold_scratch);
+        drained.clear();
+        if let Some(h) = self.hist[removal.core.index()].vacate(removal.line) {
+            h.drain_into(&mut drained);
             // Capacity evictions fold into the memory vector timestamps;
             // invalidations are already covered by the requester's
             // response-tag join.
             if removal.cause == cord_sim::observer::RemovalCause::Capacity {
-                for e in h.drain() {
+                for e in &drained {
                     if e.any_read() {
                         self.mem_read_vc.join(&e.stamp);
                     }
@@ -394,6 +403,8 @@ impl MemoryObserver for VcLimitedDetector {
                 }
             }
         }
+        drained.clear();
+        self.fold_scratch = drained;
         ObserverOutcome::NONE
     }
 }

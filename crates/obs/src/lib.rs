@@ -568,6 +568,190 @@ impl ToJson for DurStat {
     }
 }
 
+/// A log-bucketed latency histogram with tail quantiles — the
+/// distribution-shaped sibling of [`DurStat`].
+///
+/// Samples are nanosecond latencies. Buckets are powers of two (bucket
+/// `i` holds samples in `[2^(i-1), 2^i)`, bucket 0 holds zeros), so the
+/// histogram is fixed-size, allocation-free to record into, and merges
+/// pointwise across workers. Quantiles are resolved to a bucket's upper
+/// bound, which bounds the relative error at 2× — plenty for the
+/// order-of-magnitude questions the hot-path work asks (is the p999 a
+/// cache miss or a walker pass?).
+///
+/// Like [`DurStat`], a histogram is timing-dependent and must only ever
+/// be surfaced through the profile/finalize side of sweep output, never
+/// through the deterministic merged metrics that byte-identity checks
+/// cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts; bucket `i` covers `[2^(i-1), 2^i)` ns.
+    buckets: [u64; 64],
+    /// Total samples recorded.
+    count: u64,
+    /// Smallest sample seen, in ns.
+    min_ns: u64,
+    /// Largest sample seen, in ns.
+    max_ns: u64,
+    /// Sum of all samples, in ns.
+    total_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        (64 - ns.leading_zeros()) as usize
+    }
+
+    /// Upper bound (exclusive) of bucket `i` in nanoseconds, saturating
+    /// at `u64::MAX` for the last bucket.
+    fn bucket_upper_ns(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns).min(63)] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+        if ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample in nanoseconds (0 with no samples).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample in nanoseconds (0 with no samples).
+    pub fn max_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_ns
+        }
+    }
+
+    /// Smallest sample in nanoseconds (0 with no samples).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound in
+    /// nanoseconds, clamped to the observed max. Returns 0 with no
+    /// samples.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_ns(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency (see [`Histogram::quantile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
+    /// Folds `other` into `self` pointwise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        // Sparse bucket encoding: only non-empty buckets, as
+        // [index, count] pairs, so empty histograms stay tiny.
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| Json::Array(vec![(i as u64).to_json(), c.to_json()]))
+            .collect();
+        obj(vec![
+            ("count", self.count.to_json()),
+            ("min_ns", self.min_ns().to_json()),
+            ("mean_ns", self.mean_ns().to_json()),
+            ("p50_ns", self.p50_ns().to_json()),
+            ("p99_ns", self.p99_ns().to_json()),
+            ("p999_ns", self.p999_ns().to_json()),
+            ("max_ns", self.max_ns().to_json()),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
 /// Wall-clock profile of one parallel sweep: how long jobs ran, how
 /// long they waited for a worker, and how long each worker spent
 /// flushing checkpoints.
@@ -579,6 +763,10 @@ pub struct SweepProfile {
     pub queue_wait: DurStat,
     /// Checkpoint-flush time, keyed by worker thread name.
     pub flush_by_worker: BTreeMap<String, DurStat>,
+    /// Per-access detector latency across all observed runs (merged
+    /// pointwise from each run's [`Histogram`]); empty unless the sweep
+    /// ran with observability enabled.
+    pub access_latency: Histogram,
 }
 
 impl SweepProfile {
@@ -605,6 +793,15 @@ impl SweepProfile {
         reg.add("sweep.checkpoint_flushes", flush.count);
         reg.gauge("sweep.checkpoint_flush_total_s", flush.total_s);
         reg.gauge("sweep.checkpoint_flush_max_s", flush.max_s);
+        reg.add("sweep.access_latency_samples", self.access_latency.count());
+        if !self.access_latency.is_empty() {
+            let lat = &self.access_latency;
+            reg.gauge("sweep.access_latency_mean_ns", lat.mean_ns());
+            reg.gauge("sweep.access_latency_p50_ns", lat.p50_ns() as f64);
+            reg.gauge("sweep.access_latency_p99_ns", lat.p99_ns() as f64);
+            reg.gauge("sweep.access_latency_p999_ns", lat.p999_ns() as f64);
+            reg.gauge("sweep.access_latency_max_ns", lat.max_ns() as f64);
+        }
     }
 }
 
@@ -622,6 +819,7 @@ impl ToJson for SweepProfile {
                         .collect(),
                 ),
             ),
+            ("access_latency", self.access_latency.to_json()),
         ])
     }
 }
@@ -711,6 +909,104 @@ mod tests {
             thread: 0,
             kind: EventKind::MemtsBroadcast { count: 1 },
         }
+    }
+
+    #[test]
+    fn histogram_empty_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p999_ns(), 0);
+    }
+
+    #[test]
+    fn histogram_records_and_buckets_log2() {
+        let mut h = Histogram::new();
+        for ns in [0, 1, 3, 100, 1000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 1000);
+        assert_eq!(h.mean_ns(), 1104.0 / 5.0);
+        // 3 → bucket [2,4): upper bound 4; the median of
+        // {0, 1, 3, 100, 1000} lands there.
+        assert_eq!(h.p50_ns(), 4);
+        // Tail quantiles resolve to the top bucket, clamped to the
+        // observed max (1024-bucket upper bound would overshoot).
+        assert_eq!(h.p99_ns(), 1000);
+        assert_eq!(h.p999_ns(), 1000);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded_by_bucket_width() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record_ns(700);
+        }
+        // All mass in bucket [512, 1024): every quantile reports the
+        // bucket's upper bound clamped to the observed max — within 2×
+        // of the true value.
+        for q in [0.01, 0.5, 0.99, 0.999] {
+            assert_eq!(h.quantile_ns(q), 700);
+        }
+        h.record_ns(10_000_000);
+        assert_eq!(h.p50_ns(), 1024); // now unclamped: true upper bound
+        assert_eq!(h.p999_ns(), 1024);
+        assert_eq!(h.max_ns(), 10_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_is_pointwise_and_preserves_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_ns(10);
+        a.record_ns(20);
+        b.record_ns(5);
+        b.record_ns(40_000);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.min_ns(), 5);
+        assert_eq!(merged.max_ns(), 40_000);
+        // Merging an empty histogram is the identity.
+        let before = merged.clone();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, before);
+        // Merge order does not matter.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(other, merged);
+    }
+
+    #[test]
+    fn histogram_json_uses_sparse_buckets() {
+        let mut h = Histogram::new();
+        h.record_ns(3);
+        h.record_ns(3);
+        h.record_ns(1000);
+        let doc = h.to_json();
+        let uint = |j: &Json| match j {
+            Json::UInt(u) => *u,
+            other => panic!("expected integer, got {other:?}"),
+        };
+        assert_eq!(uint(doc.field("count").expect("count")), 3);
+        assert_eq!(uint(doc.field("min_ns").expect("min_ns")), 3);
+        assert_eq!(uint(doc.field("max_ns").expect("max_ns")), 1000);
+        let buckets = doc
+            .field("buckets")
+            .expect("buckets")
+            .as_array()
+            .expect("buckets array");
+        // Two non-empty buckets: [2,4) with 2 samples, [512,1024) with 1.
+        assert_eq!(buckets.len(), 2);
+        let pair = buckets[0].as_array().expect("pair");
+        assert_eq!(uint(&pair[0]), 2);
+        assert_eq!(uint(&pair[1]), 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use cord_detectors::DetectorConfig;
 use cord_json::durable::{self, RecoveryEvent};
 use cord_json::{obj, Json, ToJson};
 use cord_obs::wire::{decode_events, read_frame, write_frame, FRAME_EVENTS, FRAME_HEADER};
-use cord_obs::{MetricsRegistry, StreamEvent, StreamHeader};
+use cord_obs::{Histogram, MetricsRegistry, StreamEvent, StreamHeader};
 use cord_pool::{lock_unpoisoned, Pool};
 use cord_trace::layout::dense_line_index;
 use cord_trace::types::LineAddr;
@@ -65,6 +65,9 @@ struct DaemonState {
     races: Vec<Json>,
     /// Merged metrics of drained sessions.
     metrics: MetricsRegistry,
+    /// Per-access ingest latency across drained sessions (how long the
+    /// sink spent on each Access event), merged pointwise.
+    ingest_latency: Histogram,
     /// Per-shard event counts, summed across sessions.
     shard_events: Vec<u64>,
     /// Header info of the most recent session.
@@ -245,6 +248,7 @@ fn session_worker(
         ObsCtx::disabled(),
     );
     let mut shard_events = vec![0u64; shards];
+    let mut ingest_latency = Histogram::new();
     let mut events: u64 = 0;
     let mut since_snapshot: u64 = 0;
     let mut drained = false;
@@ -257,7 +261,13 @@ fn session_worker(
                     if let Some(line) = event_line(ev) {
                         shard_events[dense_line_index(line) % shards] += 1;
                     }
-                    sink.ingest(ev);
+                    if matches!(ev, StreamEvent::Access(_)) {
+                        let start = std::time::Instant::now();
+                        sink.ingest(ev);
+                        ingest_latency.record_ns(start.elapsed().as_nanos() as u64);
+                    } else {
+                        sink.ingest(ev);
+                    }
                 }
                 let n = batch.len() as u64;
                 events += n;
@@ -276,7 +286,8 @@ fn session_worker(
                 sink.flush();
                 let report = sink.drain();
                 let bytes = report.to_bytes();
-                record_report(&report, &shard_events, shared);
+                record_report(&report, &shard_events, &ingest_latency, shared);
+                ingest_latency = Histogram::new();
                 drained = true;
                 write_snapshot(header, &mut sink, events, &shard_events, &pool, shared);
                 let _ = reply.send(bytes);
@@ -288,7 +299,7 @@ fn session_worker(
         // anyway so daemon-wide queries still see them.
         sink.flush();
         let report = sink.drain();
-        record_report(&report, &shard_events, shared);
+        record_report(&report, &shard_events, &ingest_latency, shared);
         write_snapshot(header, &mut sink, events, &shard_events, &pool, shared);
     }
     let mut st = lock_unpoisoned(&shared.state);
@@ -305,11 +316,17 @@ fn event_line(ev: &StreamEvent) -> Option<LineAddr> {
     }
 }
 
-fn record_report(report: &cord_core::SinkReport, shard_events: &[u64], shared: &Arc<Shared>) {
+fn record_report(
+    report: &cord_core::SinkReport,
+    shard_events: &[u64],
+    ingest_latency: &Histogram,
+    shared: &Arc<Shared>,
+) {
     let mut st = lock_unpoisoned(&shared.state);
     st.races_reported += report.race_count;
     st.races.extend(report.races.iter().cloned());
     st.metrics.merge(&report.metrics);
+    st.ingest_latency.merge(ingest_latency);
     for (acc, n) in st.shard_events.iter_mut().zip(shard_events) {
         *acc += n;
     }
@@ -379,7 +396,13 @@ fn answer_query(
         }
         Query::Metrics => {
             let st = lock_unpoisoned(&shared.state);
-            encode_response(&st.metrics.to_json())
+            // Registry shape (counters/gauges) plus the per-access
+            // ingest-latency distribution as a sibling field.
+            let mut doc = st.metrics.to_json();
+            if let Json::Object(fields) = &mut doc {
+                fields.push(("ingest_latency".into(), st.ingest_latency.to_json()));
+            }
+            encode_response(&doc)
         }
         Query::Drain => {
             let worker = worker

@@ -91,12 +91,17 @@ pub struct Cache {
     geometry: CacheGeometry,
     sets: SetStore,
     tick: u64,
+    /// `num_sets - 1`, precomputed so the per-access set index is a
+    /// mask instead of a division (set counts are asserted to be powers
+    /// of two at geometry construction).
+    set_mask: u64,
 }
 
 impl Cache {
     /// An empty cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
         let num_sets = geometry.num_sets();
+        debug_assert!(num_sets.is_power_of_two());
         let sets = if num_sets <= SPARSE_THRESHOLD {
             SetStore::Dense((0..num_sets).map(|_| Vec::new()).collect())
         } else if num_sets <= MAPPED_THRESHOLD {
@@ -111,12 +116,13 @@ impl Cache {
             geometry,
             sets,
             tick: 0,
+            set_mask: num_sets - 1,
         }
     }
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> u64 {
-        line.0 % self.geometry.num_sets()
+        line.0 & self.set_mask
     }
 
     #[inline]
@@ -159,6 +165,46 @@ impl Cache {
             .iter()
             .find(|e| e.line == line)
             .map(|e| e.state)
+    }
+
+    /// Probe and touch in one set scan: if `line` is present, marks it
+    /// most-recently-used and returns its state. Equivalent to
+    /// `probe(line)` followed by `touch(line)` on a hit (the LRU tick
+    /// only advances on hits, exactly as a probe-then-touch pair would),
+    /// but pays a single scan — the hot-path fusion the per-access
+    /// pipeline relies on.
+    #[inline]
+    pub fn touch_probe(&mut self, line: LineAddr) -> Option<Mesi> {
+        let idx = self.set_index(line);
+        // Read path first: an absent set (Mapped/Sparse) must not
+        // allocate storage the way `set_mut` would.
+        let pos = self.set(idx)?.iter().position(|e| e.line == line)?;
+        self.tick += 1;
+        let tick = self.tick;
+        let e = &mut self.set_mut(idx)[pos];
+        e.lru = tick;
+        Some(e.state)
+    }
+
+    /// Set-state and touch in one scan: changes the state of a present
+    /// line and marks it most-recently-used. Equivalent to `set_state`
+    /// followed by `touch`, in one scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    #[inline]
+    pub fn set_state_touch(&mut self, line: LineAddr, state: Mesi) {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let e = self
+            .set_mut(idx)
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("set_state_touch of absent line");
+        e.state = state;
+        e.lru = tick;
     }
 
     /// `true` if `line` is present in any state.

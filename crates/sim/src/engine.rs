@@ -231,7 +231,34 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
                     if let Some(err) = self.watchdog_check(self.ctxs[t].ready_at) {
                         return Err(err);
                     }
-                    self.step_core(t);
+                    loop {
+                        let at = self.ctxs[t].ready_at;
+                        let heap_len = self.ready.len();
+                        self.step_core(t);
+                        // Same-thread fast path: if the step left this
+                        // thread Ready on its core at an unchanged
+                        // ready time, pushed nothing onto the ready
+                        // heap, and requested no migration, then
+                        // re-pushing `(at, t)` and popping would return
+                        // `(at, t)` itself — it was the heap's minimum
+                        // when popped, every surviving entry is still
+                        // `>= (at, t)`, and no new entry appeared (heap
+                        // pushes are the only way another thread's key
+                        // can change). Skipping the round-trip is
+                        // therefore bit-identical to the slow path; the
+                        // watchdog re-check is also a no-op because the
+                        // simulated time `at` did not advance.
+                        let fast = self.ctxs[t].status == Status::Ready
+                            && self.ctxs[t].ready_at == at
+                            && !self.pending_migration
+                            && self.ready.len() == heap_len
+                            && self.core_of[t].is_some();
+                        if !fast {
+                            break;
+                        }
+                        #[cfg(debug_assertions)]
+                        self.assert_pick_matches_scan(Some(t));
+                    }
                     // A finished thread frees its core; a *blocked*
                     // thread keeps it until another thread actually
                     // needs one (so with threads <= cores everything

@@ -97,14 +97,19 @@ impl MemorySystem {
         let mut events = Vec::new();
 
         // ---- L1 probe ----
-        if let Some(state) = self.l1[c].probe(line) {
+        // `touch_probe` fuses the hit test with the LRU touch into one
+        // set scan; the tick sequence is identical to the previous
+        // probe-then-touch pair (self-core ticks only ever advance on
+        // self-core touches, so bumping before `invalidate_others` —
+        // which touches *other* cores' caches — changes nothing).
+        if let Some(state) = self.l1[c].touch_probe(line) {
             if !write || state.writable() {
                 if write && state == Mesi::Exclusive {
                     self.l1[c].set_state(line, Mesi::Modified);
-                    self.l2[c].set_state(line, Mesi::Modified);
+                    self.l2[c].set_state_touch(line, Mesi::Modified);
+                } else {
+                    self.l2[c].touch(line);
                 }
-                self.l1[c].touch(line);
-                self.l2[c].touch(line);
                 return AccessResult {
                     done: now + self.cfg.l1_hit_cycles,
                     path: AccessPath::L1Hit,
@@ -115,9 +120,7 @@ impl MemorySystem {
             let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
             self.invalidate_others(core, line, &mut events);
             self.l1[c].set_state(line, Mesi::Modified);
-            self.l2[c].set_state(line, Mesi::Modified);
-            self.l1[c].touch(line);
-            self.l2[c].touch(line);
+            self.l2[c].set_state_touch(line, Mesi::Modified);
             return AccessResult {
                 done: start
                     + self.cfg.addr_bus_slot_cycles
@@ -129,7 +132,7 @@ impl MemorySystem {
         }
 
         // ---- L2 probe ----
-        if let Some(state) = self.l2[c].probe(line) {
+        if let Some(state) = self.l2[c].touch_probe(line) {
             if !write || state.writable() {
                 let l1_state = if write {
                     self.l2[c].set_state(line, Mesi::Modified);
@@ -137,7 +140,6 @@ impl MemorySystem {
                 } else {
                     state
                 };
-                self.l2[c].touch(line);
                 self.fill_l1(core, line, l1_state, &mut events);
                 return AccessResult {
                     done: now + self.cfg.l2_hit_cycles,
@@ -149,7 +151,6 @@ impl MemorySystem {
             let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
             self.invalidate_others(core, line, &mut events);
             self.l2[c].set_state(line, Mesi::Modified);
-            self.l2[c].touch(line);
             self.fill_l1(core, line, Mesi::Modified, &mut events);
             return AccessResult {
                 done: start

@@ -38,6 +38,13 @@ impl ReadyQueue {
     pub(crate) fn push(&mut self, ready_at: u64, idx: usize) {
         self.heap.push(Reverse((ready_at, idx)));
     }
+
+    /// Number of (possibly stale) entries currently in the heap. The
+    /// engine's same-thread fast path uses this to detect that a step
+    /// pushed no new scheduling entries.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
 }
 
 impl<O: MemoryObserver> Machine<'_, O> {

@@ -44,6 +44,21 @@ pub fn fnv_fold(hash: u64, value: u64) -> u64 {
 /// from).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// One committed access whose hash fold has been deferred (see
+/// [`GroundTruth::commit`]).
+#[derive(Debug, Clone, Copy)]
+struct PendingFold {
+    thread: u32,
+    is_write: u32,
+    instr_index: u64,
+    addr_byte: u64,
+    version: u64,
+}
+
+/// Deferred-fold chunk size: bounds the buffer at ~128 KiB while
+/// keeping flushes rare.
+const FOLD_CHUNK: usize = 4096;
+
 /// Tracks write versions and per-thread outcome hashes during a run.
 #[derive(Debug, Clone)]
 pub struct GroundTruth {
@@ -54,6 +69,15 @@ pub struct GroundTruth {
     /// only be sensitive to conflict outcomes.
     versions: Vec<u64>,
     thread_hashes: Vec<u64>,
+    /// Commits whose FNV folds have not been applied yet. Each
+    /// [`fnv_fold`] chain is a 32-deep serial multiply per commit;
+    /// folding inline puts that latency on the engine's critical path.
+    /// Buffering commits and folding a chunk at a time keeps the exact
+    /// per-thread fold order (the buffer is drained in global commit
+    /// order) while adjacent buffer entries — which usually belong to
+    /// different threads and therefore different hash chains — overlap
+    /// in the CPU's out-of-order window.
+    pending: Vec<PendingFold>,
     resolved: Option<Vec<Vec<ResolvedAccess>>>,
     total_writes: u64,
     total_reads: u64,
@@ -66,6 +90,7 @@ impl GroundTruth {
         GroundTruth {
             versions: Vec::new(),
             thread_hashes: vec![FNV_OFFSET; threads],
+            pending: Vec::with_capacity(FOLD_CHUNK),
             resolved: capture_resolved.then(|| vec![Vec::new(); threads]),
             total_writes: 0,
             total_reads: 0,
@@ -73,6 +98,12 @@ impl GroundTruth {
     }
 
     /// Commits one access and folds its outcome into the thread's hash.
+    ///
+    /// The version bookkeeping happens immediately (it is
+    /// order-sensitive across threads); the hash folds themselves are
+    /// buffered and applied chunk-wise in the same global order, which
+    /// produces bit-identical per-thread hashes — each thread's chain
+    /// still sees its own commits in program order.
     pub fn commit(&mut self, thread: ThreadId, instr_index: u64, addr: Addr, kind: AccessKind) {
         let w = dense_word_index(addr);
         let version = if kind.is_write() {
@@ -86,11 +117,16 @@ impl GroundTruth {
             self.total_reads += 1;
             self.versions.get(w).copied().unwrap_or(0)
         };
-        let h = &mut self.thread_hashes[thread.index()];
-        *h = fnv_fold(*h, instr_index);
-        *h = fnv_fold(*h, addr.byte());
-        *h = fnv_fold(*h, kind.is_write() as u64);
-        *h = fnv_fold(*h, version);
+        self.pending.push(PendingFold {
+            thread: thread.index() as u32,
+            is_write: kind.is_write() as u32,
+            instr_index,
+            addr_byte: addr.byte(),
+            version,
+        });
+        if self.pending.len() >= FOLD_CHUNK {
+            self.flush_folds();
+        }
         if let Some(streams) = &mut self.resolved {
             streams[thread.index()].push(ResolvedAccess {
                 instr_index,
@@ -100,8 +136,25 @@ impl GroundTruth {
         }
     }
 
+    /// Applies every buffered fold in global commit order. Distinct
+    /// threads' chains are independent, so the serial multiply chains of
+    /// adjacent (different-thread) entries overlap instead of
+    /// serializing behind the engine's step loop.
+    fn flush_folds(&mut self) {
+        for p in self.pending.drain(..) {
+            let h = &mut self.thread_hashes[p.thread as usize];
+            let mut v = *h;
+            v = fnv_fold(v, p.instr_index);
+            v = fnv_fold(v, p.addr_byte);
+            v = fnv_fold(v, u64::from(p.is_write));
+            v = fnv_fold(v, p.version);
+            *h = v;
+        }
+    }
+
     /// Finalizes into a summary.
-    pub fn into_summary(self) -> TruthSummary {
+    pub fn into_summary(mut self) -> TruthSummary {
+        self.flush_folds();
         TruthSummary {
             thread_hashes: self.thread_hashes,
             resolved: self.resolved,
