@@ -9,20 +9,23 @@
 //!
 //! Subcommands: `table1`, `fig10`..`fig17`, `logsize`, `area`, `replay`,
 //! `ablations`, `cachestats`, `replaypar`, `directory`, `recordonly`,
-//! `cachesweep`, `threadsweep`, `all`. Options: `--injections N`,
-//! `--scale tiny|small|paper`, `--seed S`, `--jobs N` (sweep worker
-//! threads; defaults to the host's available parallelism, output is
-//! bit-identical for every value), `--json PATH` (dump the raw sweep
-//! results), `--checkpoint PATH` (persist partial sweep results
-//! after every app and resume from them on restart), `--trace-dir DIR`
-//! (write per-run event traces as JSON, one file per app/run/config
-//! cell), `--metrics-out PATH` (write the sweep's aggregate metrics
-//! and wall-clock profile as JSON). See EXPERIMENTS.md for the trace
-//! and metrics schemas.
+//! `cachesweep`, `threadsweep`, `scaling`, `all`. Options:
+//! `--injections N`, `--scale tiny|small|paper`, `--seed S`, `--jobs N`
+//! (sweep worker threads; defaults to the host's available parallelism,
+//! output is bit-identical for every value), `--cores N` (simulated
+//! core count for sweep subcommands; default 4), `--backend
+//! snooping|directory` (coherence backend for sweep subcommands;
+//! default snooping), `--json PATH` (dump the raw sweep results — or,
+//! for `scaling`, the `BENCH_scaling.json` document), `--checkpoint
+//! PATH` (persist partial sweep results after every app and resume
+//! from them on restart), `--trace-dir DIR` (write per-run event
+//! traces as JSON, one file per app/run/config cell), `--metrics-out
+//! PATH` (write the sweep's aggregate metrics and wall-clock profile
+//! as JSON). See EXPERIMENTS.md for the trace and metrics schemas.
 
 use cord_bench::figures;
 use cord_bench::runner::SweepRunner;
-use cord_bench::sweep::{ScaleClassOpt, SweepOptions, SweepResults};
+use cord_bench::sweep::{CoherenceOpt, ScaleClassOpt, SweepOptions, SweepResults};
 use cord_bench::DetectorConfig;
 use cord_json::ToJson;
 use cord_pool::Pool;
@@ -37,6 +40,8 @@ struct Args {
     scale: ScaleClassOpt,
     seed: u64,
     jobs: usize,
+    cores: usize,
+    backend: CoherenceOpt,
     json: Option<String>,
     checkpoint: Option<String>,
     trace_dir: Option<String>,
@@ -50,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         scale: ScaleClassOpt::Small,
         seed: 2006,
         jobs: Pool::available_parallelism(),
+        cores: 4,
+        backend: CoherenceOpt::Snooping,
         json: None,
         checkpoint: None,
         trace_dir: None,
@@ -85,6 +92,17 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--jobs needs a number")?;
             }
+            "--cores" => {
+                args.cores = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cores needs a number")?;
+            }
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs snooping|directory")?;
+                args.backend = CoherenceOpt::from_name(&name)
+                    .ok_or_else(|| format!("unknown backend {name:?}"))?;
+            }
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
@@ -118,6 +136,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         scale: args.scale,
         threads: 4,
         seed: args.seed,
+        cores: args.cores,
+        backend: args.backend,
         ..SweepOptions::default()
     };
     let needs_sweep = matches!(
@@ -264,6 +284,14 @@ fn main() -> Result<(), Box<dyn Error>> {
             "{}",
             figures::thread_sweep(args.seed, args.injections.min(16))?
         );
+    }
+    if cmd == "scaling" {
+        let report = figures::cores_scaling(args.seed, args.injections.min(4))?;
+        println!("{}", report.table());
+        if let Some(path) = &args.json {
+            std::fs::write(path, report.to_json().to_string_pretty())?;
+            eprintln!("scaling curve written to {path}");
+        }
     }
     Ok(())
 }

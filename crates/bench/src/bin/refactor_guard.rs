@@ -35,6 +35,9 @@ fn guard_options() -> SweepOptions {
         seed: 2006,
         include_releases: true,
         spin_waits: None,
+        // The scaling axes stay at their defaults (4-core snooping):
+        // the guard pins the legacy machine byte-for-byte.
+        ..SweepOptions::default()
     }
 }
 

@@ -657,6 +657,237 @@ pub fn thread_sweep(seed: u64, injections: usize) -> Result<FigureTable, CordErr
     .with_average())
 }
 
+/// One measured point of the cores-scaling curve: one coherence backend
+/// at one core count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Backend name (`"snooping"` or `"directory"`).
+    pub backend: String,
+    /// Core count (the sweep axis: 4/8/16/32).
+    pub cores: usize,
+    /// Mean clean-run execution cycles over the probe apps.
+    pub mean_cycles: f64,
+    /// Injected races found across the campaign.
+    pub detections: u64,
+    /// Injected runs executed.
+    pub injected_runs: u64,
+    /// Directory home-bank lookups (0 under snooping).
+    pub directory_lookups: u64,
+    /// Cycles requests waited for busy home banks (0 under snooping).
+    pub directory_home_wait: u64,
+    /// 16-bit comparisons audited through the hardware encoding.
+    pub window16_audits: u64,
+    /// Audited comparisons that disagreed with the wide reference.
+    pub window16_mismatches: u64,
+    /// 2^16 epoch boundaries crossed by committed clock updates.
+    pub clock_rollovers: u64,
+    /// Skew model: ordered clock pairs whose windowed D-sync test
+    /// diverges from the unbounded reference at this core count.
+    pub skew_divergent_pairs: u64,
+    /// Skew model: fastest-to-slowest clock spread, in ticks.
+    pub skew_spread: u64,
+}
+
+/// The cores-scaling characterization: every backend × core-count
+/// combination, plus the skew model's window-16 divergence counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// Base seed of every run.
+    pub seed: u64,
+    /// Injected runs per app per point.
+    pub injections: usize,
+    /// The D window used by the detector and the skew model.
+    pub d: u16,
+    /// One point per backend × core count, snooping first.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// The `BENCH_scaling.json` document.
+    pub fn to_json(&self) -> cord_json::Json {
+        use cord_json::{obj, Json, ToJson};
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("backend", Json::Str(p.backend.clone())),
+                    ("cores", (p.cores as u64).to_json()),
+                    ("mean_cycles", p.mean_cycles.to_json()),
+                    ("detections", p.detections.to_json()),
+                    ("injected_runs", p.injected_runs.to_json()),
+                    ("directory_lookups", p.directory_lookups.to_json()),
+                    ("directory_home_wait", p.directory_home_wait.to_json()),
+                    ("window16_audits", p.window16_audits.to_json()),
+                    ("window16_mismatches", p.window16_mismatches.to_json()),
+                    ("clock_rollovers", p.clock_rollovers.to_json()),
+                    ("skew_divergent_pairs", p.skew_divergent_pairs.to_json()),
+                    ("skew_spread", p.skew_spread.to_json()),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("bench", Json::Str("cores_scaling".into())),
+            ("seed", self.seed.to_json()),
+            ("injections_per_app", (self.injections as u64).to_json()),
+            ("d", u64::from(self.d).to_json()),
+            ("points", Json::Array(points)),
+        ])
+    }
+
+    /// Text rendering: one table row per metric × backend, one column
+    /// per core count.
+    pub fn table(&self) -> FigureTable {
+        let cores: Vec<usize> = {
+            let mut cs: Vec<usize> = self.points.iter().map(|p| p.cores).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            cs
+        };
+        let by = |backend: &str, f: &dyn Fn(&ScalingPoint) -> f64| -> Vec<Option<f64>> {
+            cores
+                .iter()
+                .map(|&c| {
+                    self.points
+                        .iter()
+                        .find(|p| p.backend == backend && p.cores == c)
+                        .map(f)
+                })
+                .collect()
+        };
+        let mut rows = Vec::new();
+        for b in ["snooping", "directory"] {
+            rows.push((format!("{b} cyc"), by(b, &|p| p.mean_cycles)));
+            rows.push((format!("{b} found"), by(b, &|p| p.detections as f64)));
+        }
+        rows.push((
+            "dir wait".to_string(),
+            by("directory", &|p| p.directory_home_wait as f64),
+        ));
+        rows.push((
+            "w16 miss".to_string(),
+            by("snooping", &|p| p.window16_mismatches as f64),
+        ));
+        rows.push((
+            "skew div".to_string(),
+            by("snooping", &|p| p.skew_divergent_pairs as f64),
+        ));
+        FigureTable {
+            title: "Extension: cores scaling (4/8/16/32) per coherence backend".into(),
+            columns: cores.iter().map(|c| format!("{c} cores")).collect(),
+            rows,
+            unit: Unit::Count,
+            note: "window-16 divergences begin once clock spread passes WINDOW - D + 1".into(),
+        }
+    }
+}
+
+/// Skew model of a wide machine: thread `i` synchronizes once every
+/// `i + 1` rounds, so after `rounds` rounds its clock is about
+/// `rounds / (i + 1)`. Returns how many ordered pairs of those clocks
+/// the windowed D-sync test gets wrong, and the fastest-to-slowest
+/// spread. The divergent-pair count is 0 at 4 cores and grows once the
+/// spread passes `WINDOW - d + 1` — the mis-synchronization onset the
+/// scaling curve characterizes.
+fn skew_divergence(cores: usize, rounds: u64, d: u16) -> (u64, u64) {
+    use cord_clocks::window16::sync_audit_agrees;
+    let clocks: Vec<u64> = (0..cores).map(|i| rounds / (i as u64 + 1)).collect();
+    let mut divergent = 0u64;
+    for &a in &clocks {
+        for &b in &clocks {
+            if a != b && !sync_audit_agrees(a, b, d) {
+                divergent += 1;
+            }
+        }
+    }
+    let spread = clocks[0] - clocks[cores - 1];
+    (divergent, spread)
+}
+
+/// The cores-scaling sweep: both coherence backends at 4/8/16/32 cores,
+/// measuring execution cycles, detection parity under injection,
+/// directory occupancy, and the 16-bit clock machinery's rollover and
+/// mismatch counters as synchronization widens.
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing run.
+pub fn cores_scaling(seed: u64, injections: usize) -> Result<ScalingReport, CordError> {
+    use cord_core::CordDetector;
+    use cord_inject::Campaign;
+    use cord_sim::config::CoherenceKind;
+    use cord_sim::engine::Machine;
+
+    const D: u16 = 16;
+    const SKEW_ROUNDS: u64 = 40_000;
+    let core_counts = [4usize, 8, 16, 32];
+    let backends = [
+        ("snooping", CoherenceKind::SnoopingBus),
+        ("directory", CoherenceKind::Directory),
+    ];
+    let apps = [
+        cord_workloads::AppKind::Fft,
+        cord_workloads::AppKind::WaterN2,
+    ];
+    let mut points = Vec::new();
+    for (name, kind) in backends {
+        for &cores in &core_counts {
+            let mc = MachineConfig::paper_4core()
+                .with_cores(cores)
+                .with_coherence(kind);
+            let mut p = ScalingPoint {
+                backend: name.to_string(),
+                cores,
+                mean_cycles: 0.0,
+                detections: 0,
+                injected_runs: 0,
+                directory_lookups: 0,
+                directory_home_wait: 0,
+                window16_audits: 0,
+                window16_mismatches: 0,
+                clock_rollovers: 0,
+                skew_divergent_pairs: 0,
+                skew_spread: 0,
+            };
+            let mut cycles_sum = 0u64;
+            for app in apps {
+                // One thread per core: widening the machine widens the
+                // workload with it.
+                let w = kernel(app, ScaleClass::Tiny, cores, seed);
+                let det = CordDetector::new(CordConfig::paper(), cores, mc.cores);
+                let m = Machine::new(mc.clone(), &w, det, seed, InjectionPlan::none());
+                let (out, det) = m.run()?;
+                cycles_sum += out.stats.cycles;
+                p.directory_lookups += out.stats.directory_lookups;
+                p.directory_home_wait += out.stats.directory_home_wait;
+                let cs = det.stats();
+                p.window16_audits += cs.window16_audits;
+                p.window16_mismatches += cs.window16_mismatches;
+                p.clock_rollovers += cs.clock_rollovers;
+                let campaign = Campaign::plan(&mc, &w, injections, seed ^ app as u64)?;
+                for (i, plan) in campaign.plans().enumerate() {
+                    let det = CordDetector::new(CordConfig::paper(), cores, mc.cores);
+                    let m = Machine::new(mc.clone(), &w, det, seed + i as u64, plan);
+                    let (_, det) = m.run()?;
+                    p.injected_runs += 1;
+                    p.detections += u64::from(!det.races().is_empty());
+                }
+            }
+            p.mean_cycles = cycles_sum as f64 / apps.len() as f64;
+            let (divergent, spread) = skew_divergence(cores, SKEW_ROUNDS, D);
+            p.skew_divergent_pairs = divergent;
+            p.skew_spread = spread;
+            points.push(p);
+        }
+    }
+    Ok(ScalingReport {
+        seed,
+        injections,
+        d: D,
+        points,
+    })
+}
+
 /// The §2.5 directory extension: CORD overhead and detection parity
 /// under directory coherence vs. the paper's snooping machine.
 ///

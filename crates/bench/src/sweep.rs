@@ -15,7 +15,7 @@ use cord_inject::{Campaign, InjectionTarget};
 use cord_json::{obj, FromJson, Json, JsonError, ToJson};
 use cord_obs::{MetricsRegistry, TraceHandle};
 use cord_pool::panic_message;
-use cord_sim::config::{MachineConfig, Watchdog};
+use cord_sim::config::{CoherenceKind, MachineConfig, Watchdog};
 use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_trace::program::Workload;
 use cord_workloads::{kernel, AppKind, ScaleClass};
@@ -29,8 +29,13 @@ pub struct SweepOptions {
     pub injections_per_app: usize,
     /// Workload scale.
     pub scale: ScaleClassOpt,
-    /// Threads (= cores).
+    /// Threads (= cores on the paper machine).
     pub threads: usize,
+    /// Processor cores of the simulated machine — the scaling sweep
+    /// axis (4/8/16/32). Defaults to the paper's 4.
+    pub cores: usize,
+    /// Coherence backend of the simulated machine.
+    pub backend: CoherenceOpt,
     /// Master seed.
     pub seed: u64,
     /// Also draw release-side removals (flag sets). These strand the
@@ -65,6 +70,44 @@ impl From<ScaleClassOpt> for ScaleClass {
     }
 }
 
+/// Serializable mirror of
+/// [`CoherenceKind`](cord_sim::config::CoherenceKind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceOpt {
+    /// Broadcast snooping over shared buses (the paper's machine).
+    Snooping,
+    /// Directory-based MESI with per-home occupancy.
+    Directory,
+}
+
+impl From<CoherenceOpt> for CoherenceKind {
+    fn from(c: CoherenceOpt) -> CoherenceKind {
+        match c {
+            CoherenceOpt::Snooping => CoherenceKind::SnoopingBus,
+            CoherenceOpt::Directory => CoherenceKind::Directory,
+        }
+    }
+}
+
+impl CoherenceOpt {
+    /// Short machine-readable name (CLI flag values and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoherenceOpt::Snooping => "snooping",
+            CoherenceOpt::Directory => "directory",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "snooping" => Some(CoherenceOpt::Snooping),
+            "directory" => Some(CoherenceOpt::Directory),
+            _ => None,
+        }
+    }
+}
+
 impl ScaleClassOpt {
     /// Default watchdog for sweep runs at this scale: a cycle budget two
     /// to three orders of magnitude above a healthy run plus a
@@ -95,6 +138,8 @@ impl Default for SweepOptions {
             injections_per_app: 24,
             scale: ScaleClassOpt::Small,
             threads: 4,
+            cores: 4,
+            backend: CoherenceOpt::Snooping,
             seed: 2006,
             include_releases: false,
             spin_waits: None,
@@ -109,10 +154,16 @@ impl SweepOptions {
         self.scale.watchdog()
     }
 
-    /// Applies the sweep's run environment (watchdog, wait mode) to a
-    /// detector configuration's machine.
+    /// Applies the sweep's run environment (core count, coherence
+    /// backend, watchdog, wait mode) to a detector configuration's
+    /// machine. The defaults reproduce each configuration's machine
+    /// unchanged — 4-core snooping stays bit-identical.
     pub fn machine_for(&self, config: DetectorConfig) -> MachineConfig {
-        let mut mc = config.machine().with_watchdog(self.watchdog());
+        let mut mc = config
+            .machine()
+            .with_cores(self.cores)
+            .with_coherence(self.backend.into())
+            .with_watchdog(self.watchdog());
         if let Some(spin) = self.spin_waits {
             mc = mc.with_spin_waits(spin);
         }
@@ -547,16 +598,40 @@ impl FromJson for ScaleClassOpt {
     }
 }
 
+impl ToJson for CoherenceOpt {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for CoherenceOpt {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str()?;
+        CoherenceOpt::from_name(s)
+            .ok_or_else(|| JsonError::new(format!("unknown coherence backend {s:?}")))
+    }
+}
+
 impl ToJson for SweepOptions {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("injections_per_app", self.injections_per_app.to_json()),
             ("scale", self.scale.to_json()),
             ("threads", self.threads.to_json()),
             ("seed", self.seed.to_json()),
             ("include_releases", self.include_releases.to_json()),
             ("spin_waits", self.spin_waits.to_json()),
-        ])
+        ];
+        // The scaling axes serialize only at non-default values: the
+        // default encoding (and therefore checkpoint bytes and
+        // options hashes of every pre-existing sweep) is unchanged.
+        if self.cores != 4 {
+            fields.push(("cores", self.cores.to_json()));
+        }
+        if self.backend != CoherenceOpt::Snooping {
+            fields.push(("backend", self.backend.to_json()));
+        }
+        obj(fields)
     }
 }
 
@@ -566,6 +641,14 @@ impl FromJson for SweepOptions {
             injections_per_app: usize::from_json(v.field("injections_per_app")?)?,
             scale: ScaleClassOpt::from_json(v.field("scale")?)?,
             threads: usize::from_json(v.field("threads")?)?,
+            cores: match v.field("cores") {
+                Ok(f) => usize::from_json(f)?,
+                Err(_) => 4,
+            },
+            backend: match v.field("backend") {
+                Ok(f) => CoherenceOpt::from_json(f)?,
+                Err(_) => CoherenceOpt::Snooping,
+            },
             seed: u64::from_json(v.field("seed")?)?,
             include_releases: bool::from_json(v.field("include_releases")?)?,
             spin_waits: Option::<u64>::from_json(v.field("spin_waits")?)?,
@@ -799,6 +882,35 @@ mod tests {
         assert_eq!(s, back);
         // Byte-stable re-serialization (what checkpoint resume relies on).
         assert_eq!(json, back.to_json().to_string_pretty());
+    }
+
+    #[test]
+    fn default_scaling_axes_leave_encoding_unchanged() {
+        // Checkpoint compatibility: at the default 4-core snooping
+        // setting the options JSON must not mention the new axes at
+        // all (options hashes and fixture bytes are pinned to it).
+        let json = SweepOptions::default().to_json().to_string_compact();
+        assert!(!json.contains("cores"));
+        assert!(!json.contains("backend"));
+        // And a pre-scaling-era encoding still decodes (to defaults).
+        let back = SweepOptions::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
+        assert_eq!(back, SweepOptions::default());
+    }
+
+    #[test]
+    fn scaling_axes_roundtrip_at_non_default_values() {
+        let opts = SweepOptions {
+            cores: 16,
+            backend: CoherenceOpt::Directory,
+            ..quick_opts()
+        };
+        let json = opts.to_json().to_string_compact();
+        assert!(json.contains("\"cores\": 16") || json.contains("\"cores\":16"));
+        let back = SweepOptions::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
+        assert_eq!(back, opts);
+        let mc = opts.machine_for(DetectorConfig::Cord { d: 16 });
+        assert_eq!(mc.cores, 16);
+        assert_eq!(mc.coherence, CoherenceKind::Directory);
     }
 
     #[test]

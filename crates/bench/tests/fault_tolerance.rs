@@ -24,6 +24,7 @@ fn probe_opts(spin: Option<u64>) -> SweepOptions {
         seed: 2006,
         include_releases: true,
         spin_waits: spin,
+        ..SweepOptions::default()
     }
 }
 

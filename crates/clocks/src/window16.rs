@@ -89,6 +89,52 @@ pub fn is_synchronized_after(clk: Ts16, ts: Ts16, d: u16) -> bool {
     wrapped_le(ts.wrapping_add(d), clk)
 }
 
+/// The 16-bit *epoch* of an unbounded clock: how many times its
+/// hardware encoding has wrapped. Two clocks in different epochs only
+/// compare correctly while their distance stays within [`WINDOW`].
+#[inline]
+pub fn epoch(ticks: u64) -> u64 {
+    ticks >> 16
+}
+
+/// Number of 16-bit rollovers a clock advance from `old` to `new`
+/// crosses (0 when both lie in the same epoch, or when `new <= old`).
+/// The detector counts these per run: every crossing is a wrap the
+/// windowed comparisons must survive, and the count grows with
+/// synchronization intensity — i.e. with core count.
+#[inline]
+pub fn rollovers_crossed(old: u64, new: u64) -> u64 {
+    epoch(new).saturating_sub(epoch(old))
+}
+
+/// `true` when the windowed race test for this unbounded pair agrees
+/// with the reference comparison. Disagreement begins once the pair's
+/// distance leaves the window — e.g. a full epoch apart the truncated
+/// values collide and a long-retired timestamp looks concurrent again.
+#[inline]
+pub fn race_audit_agrees(clk: u64, ts: u64) -> bool {
+    let wide = clk <= ts;
+    is_race_with(truncate(clk), truncate(ts)) == wide
+}
+
+/// `true` when the windowed D-synchronization test for this unbounded
+/// triple agrees with the reference comparison. Exact while `clk` is at
+/// most `WINDOW + d` ahead of `ts` and at most `WINDOW - d + 1` behind
+/// it. The first divergence as deltas grow is therefore on the *behind*
+/// side, at distance `WINDOW - d + 2` — and it errs dangerously: the
+/// narrow test reports "synchronized" for a pair the wide reference
+/// says is not. (The ahead side diverges later, at `WINDOW + d + 1`,
+/// and errs conservatively — it misses established synchronization.)
+/// This behind-side onset is what the cores-scaling characterization
+/// sweeps for: inter-core clock deltas grow with core count until they
+/// cross this line. `d` must be below [`WINDOW`] like
+/// [`is_synchronized_after`]'s precondition.
+#[inline]
+pub fn sync_audit_agrees(clk: u64, ts: u64, d: u16) -> bool {
+    let wide = clk >= ts + u64::from(d);
+    is_synchronized_after(truncate(clk), truncate(ts), d) == wide
+}
+
 /// Tracks the minimum (oldest) live timestamp so the cache walker can
 /// enforce the window invariant (§2.7.5).
 ///

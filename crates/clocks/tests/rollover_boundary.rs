@@ -1,0 +1,187 @@
+//! Clock-rollover boundary behavior (§2.7.5): what the 16-bit windowed
+//! comparisons do as inter-core clock deltas approach, reach, and pass
+//! WINDOW — the regime the cores-scaling sweep drives machines into.
+//!
+//! On a 4-core machine with one barrier per phase, per-thread clocks
+//! stay within a few ticks of each other. At 32 cores with skewed
+//! synchronization rates, the fastest and slowest threads drift apart
+//! by thousands of ticks per phase. Once a reader's clock falls more
+//! than `WINDOW - d + 1` behind a writer's timestamp the windowed sync
+//! test diverges from the unbounded reference — and in the dangerous
+//! direction (it reports "synchronized" for a pair that is not). A
+//! clock running *ahead* diverges later (`WINDOW + d + 1`) and only
+//! conservatively. A full epoch apart the race test inverts too (a
+//! long-retired timestamp looks concurrent again). These tests pin
+//! down those boundaries exactly.
+
+use cord_clocks::scalar::ScalarTime;
+use cord_clocks::window16::{
+    epoch, is_race_with, is_synchronized_after, race_audit_agrees, rollovers_crossed,
+    sync_audit_agrees, truncate, WindowTracker, WINDOW,
+};
+use proptest::prelude::*;
+
+#[test]
+fn rollover_counting_tracks_epochs() {
+    assert_eq!(rollovers_crossed(0, 0xFFFF), 0);
+    assert_eq!(rollovers_crossed(0xFFFF, 0x1_0000), 1);
+    assert_eq!(rollovers_crossed(0x1_0000, 0x3_0000), 2);
+    // Non-advances (same epoch, or backwards) cross nothing.
+    assert_eq!(rollovers_crossed(0x2_0000, 0x2_FFFF), 0);
+    assert_eq!(rollovers_crossed(0x3_0000, 0x2_0000), 0);
+    assert_eq!(epoch(0x12_3456), 0x12);
+}
+
+#[test]
+fn sync_check_is_exact_inside_both_boundaries() {
+    // Behind side: exact up to delta = WINDOW - d + 1; ahead side:
+    // exact up to delta = WINDOW + d.
+    for d in [1u16, 16, 256, WINDOW - 1] {
+        for base in [70_000u64, 1 << 20, (1 << 32) - 5] {
+            let behind_edge = u64::from(WINDOW - d) + 1;
+            assert!(
+                sync_audit_agrees(base, base + behind_edge, d),
+                "d={d} base={base}: behind by {behind_edge} must agree"
+            );
+            let ahead_edge = u64::from(WINDOW) + u64::from(d);
+            assert!(
+                sync_audit_agrees(base + ahead_edge, base, d),
+                "d={d} base={base}: ahead by {ahead_edge} must agree"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_check_first_diverges_behind_at_window_minus_d_plus_two() {
+    // A reader's clock one tick past WINDOW - d + 1 behind the
+    // writer's timestamp: the narrow check claims synchronization the
+    // wide reference denies — the mis-synchronization the scaling
+    // sweep's mismatch counters count.
+    for d in [16u16, 256, WINDOW - 1] {
+        let ts = 70_000u64; // past one rollover already
+        let delta = u64::from(WINDOW - d) + 2;
+        let clk = ts - delta;
+        assert!(
+            !sync_audit_agrees(clk, ts, d),
+            "d={d}: behind by {delta} must be the first divergence"
+        );
+        assert!(!ScalarTime::new(clk).is_synchronized_after(ScalarTime::new(ts), u64::from(d)));
+        assert!(is_synchronized_after(truncate(clk), truncate(ts), d));
+    }
+}
+
+#[test]
+fn sync_check_first_diverges_ahead_at_window_plus_d_plus_one() {
+    // The ahead side holds out longer and then errs conservatively:
+    // the wide reference says synchronized, the narrow check misses it.
+    for d in [16u16, 256, WINDOW - 1] {
+        let ts = 70_000u64;
+        let delta = u64::from(WINDOW) + u64::from(d) + 1;
+        let clk = ts + delta;
+        assert!(
+            !sync_audit_agrees(clk, ts, d),
+            "d={d}: ahead by {delta} must be the first divergence"
+        );
+        assert!(ScalarTime::new(clk).is_synchronized_after(ScalarTime::new(ts), u64::from(d)));
+        assert!(!is_synchronized_after(truncate(clk), truncate(ts), d));
+    }
+}
+
+#[test]
+fn race_check_inverts_a_full_epoch_apart() {
+    // Distance 2^16: the truncations collide, so an ancient timestamp
+    // compares as "concurrent" — the false positive the walker exists
+    // to prevent. Within the window the audit always agrees.
+    let ts = 10u64;
+    let clk = ts + (1 << 16);
+    assert!(!race_audit_agrees(clk, ts));
+    assert!(is_race_with(truncate(clk), truncate(ts))); // narrow: race
+                                                        // Wide reference: properly ordered, no race.
+    assert!(!ScalarTime::new(clk).is_race_with(ScalarTime::new(ts)));
+    assert!(race_audit_agrees(ts + u64::from(WINDOW), ts));
+}
+
+#[test]
+fn skewed_core_clocks_cross_the_window_as_cores_grow() {
+    // Model of the scaling sweep's skew: thread i performs one sync
+    // write every i+1 rounds, so after N rounds its clock is about
+    // N/(i+1). The fastest-to-slowest spread grows with the core
+    // count; find where the d=16 sync check stops being exact for the
+    // dangerous pairing — the slow reader's clock audited against the
+    // fast writer's timestamp.
+    let rounds = 40_000u64;
+    let d = 16u16;
+    let mut first_bad_cores = None;
+    for cores in [4usize, 8, 16, 32] {
+        let clocks: Vec<u64> = (0..cores).map(|i| rounds / (i as u64 + 1)).collect();
+        let fastest = clocks[0];
+        let slowest = *clocks.last().expect("nonempty");
+        let spread = fastest - slowest;
+        let exact = sync_audit_agrees(slowest, fastest, d);
+        assert_eq!(
+            exact,
+            spread <= u64::from(WINDOW - d) + 1,
+            "cores={cores} spread={spread}"
+        );
+        if !exact && first_bad_cores.is_none() {
+            first_bad_cores = Some(cores);
+        }
+    }
+    // With 40k rounds the 4-core spread (30k ticks) already sits near
+    // the edge; by 8 cores (35k) the window is blown. The sweep's
+    // per-core-count mismatch counters trace this same onset.
+    assert_eq!(first_bad_cores, Some(8));
+}
+
+#[test]
+fn tracker_survives_rollover_with_walker_but_not_without() {
+    // With rescans (the walker) the tracker stays inside the window
+    // across many epochs; without them violations accumulate.
+    let mut walked = WindowTracker::new();
+    let mut unwalked = WindowTracker::new();
+    let mut live = Vec::new();
+    for step in 1..=20u64 {
+        let clk = step * 10_000; // crosses several 65 536 boundaries
+        live.push(clk);
+        walked.on_timestamp_live(clk);
+        unwalked.on_timestamp_live(clk);
+        // Walker: evict everything older than the half-window bound.
+        let bound = walked.eviction_bound();
+        live.retain(|&t| t >= bound);
+        walked.rescan(live.iter().copied());
+        assert!(walked.on_clock_advance(clk), "walker keeps step {step} ok");
+        unwalked.on_clock_advance(clk);
+    }
+    assert_eq!(walked.violations(), 0);
+    assert!(unwalked.violations() > 0);
+    assert!(epoch(200_000) >= 3, "the run really crossed epochs");
+}
+
+proptest! {
+    /// Within the window the audits agree everywhere, for every d the
+    /// paper sweeps and beyond, at arbitrary epochs.
+    #[test]
+    fn audits_agree_inside_window_at_any_epoch(
+        base in 0u64..(1 << 40),
+        delta in 0u64..=u64::from(WINDOW) - 512,
+        d in 1u16..=512,
+    ) {
+        prop_assume!(delta + u64::from(d) <= u64::from(WINDOW));
+        prop_assert!(sync_audit_agrees(base + delta, base, d));
+        prop_assert!(sync_audit_agrees(base, base + delta, d));
+        prop_assert!(race_audit_agrees(base + delta, base));
+        prop_assert!(race_audit_agrees(base, base + delta));
+    }
+
+    /// Rollover counting is consistent with epoch arithmetic for any
+    /// forward advance.
+    #[test]
+    fn rollovers_match_epoch_difference(
+        old in 0u64..(1 << 40),
+        advance in 0u64..(1 << 20),
+    ) {
+        let new = old + advance;
+        prop_assert_eq!(rollovers_crossed(old, new), epoch(new) - epoch(old));
+    }
+}

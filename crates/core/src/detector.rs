@@ -28,7 +28,7 @@ use crate::memts::MemTimestamps;
 use crate::record::OrderRecorder;
 use crate::shadow::LineTable;
 use cord_clocks::scalar::ScalarTime;
-use cord_clocks::window16::WINDOW;
+use cord_clocks::window16::{self, WINDOW};
 use cord_obs::{EventKind, MetricsRegistry, TraceEvent, TraceHandle, NO_THREAD};
 use cord_sim::observer::{
     AccessEvent, AccessKind, CoreId, Level, LineRemoval, MemoryObserver, ObserverOutcome,
@@ -97,6 +97,11 @@ pub struct CordStats {
     pub walker_evictions: u64,
     /// Clock bumps due to thread migration (§2.7.4).
     pub migration_bumps: u64,
+    /// 16-bit epoch boundaries (multiples of 2^16 ticks) crossed by
+    /// committed clock updates — each one is a hardware-counter
+    /// rollover the windowed comparisons must survive. Grows with
+    /// synchronization intensity, i.e. with core count.
+    pub clock_rollovers: u64,
 }
 
 impl CordStats {
@@ -119,6 +124,13 @@ impl CordStats {
         reg.add("cord.window16_mismatches", self.window16_mismatches);
         reg.add("cord.walker_evictions", self.walker_evictions);
         reg.add("cord.migration_bumps", self.migration_bumps);
+        // Rollovers only show up on long or wide (high-core-count)
+        // runs; emitting the counter conditionally keeps the key set of
+        // existing registries — and the fixtures that pin their bytes —
+        // unchanged.
+        if self.clock_rollovers > 0 {
+            reg.add("cord.clock_rollovers", self.clock_rollovers);
+        }
     }
 }
 
@@ -616,6 +628,8 @@ impl MemoryObserver for CordDetector {
                 .record_change(ev.thread, new_clk, ev.instr_index);
             self.clocks[t] = new_clk;
             self.stats.clock_updates += 1;
+            self.stats.clock_rollovers +=
+                window16::rollovers_crossed(orig_clk.ticks(), new_clk.ticks());
         }
         let stamp = self.clocks[t];
 
@@ -685,6 +699,7 @@ impl MemoryObserver for CordDetector {
                 .record_change(ev.thread, next, ev.instr_index + 1);
             self.clocks[t] = next;
             self.stats.clock_updates += 1;
+            self.stats.clock_rollovers += window16::rollovers_crossed(cur.ticks(), next.ticks());
         }
 
         self.last_instr[t] = ev.instr_index + 1;
@@ -750,16 +765,18 @@ impl MemoryObserver for CordDetector {
         // histories are never compared) and must be ordered here for
         // replay to stay exact.
         let t = thread.index();
+        let prev = self.clocks[t];
         let next = self
             .cfg
             .policy
-            .migration_update(self.clocks[t])
+            .migration_update(prev)
             .max(self.core_max_stamp[to.index()].succ());
         self.recorder
             .record_change(thread, next, self.last_instr[t]);
         self.clocks[t] = next;
         self.stats.migration_bumps += 1;
         self.stats.clock_updates += 1;
+        self.stats.clock_rollovers += window16::rollovers_crossed(prev.ticks(), next.ticks());
     }
 
     fn on_run_end(&mut self, final_instr_counts: &[u64]) {
@@ -949,6 +966,35 @@ mod tests {
             "self-races after migration: {:?}",
             det.races()
         );
+    }
+
+    #[test]
+    fn sync_write_storm_counts_rollovers() {
+        // Enough synchronization writes to push the single thread's
+        // clock across at least one 2^16 epoch boundary. With a
+        // monotone clock the per-commit rollover increments telescope
+        // to the final clock's epoch.
+        let mut b = WorkloadBuilder::new("rollover", 1);
+        let g = b.alloc_flag();
+        for _ in 0..70_000 {
+            b.thread_mut(0).flag_set(g);
+        }
+        let w = b.build();
+        let (_, det) = run(&w, CordConfig::paper(), 17, InjectionPlan::none());
+        let stats = *det.stats();
+        assert!(stats.clock_rollovers >= 1, "the clock never wrapped");
+        assert_eq!(
+            stats.clock_rollovers,
+            det.clock_of(ThreadId(0)).ticks() >> 16
+        );
+        // Nonzero counts reach the registry; all-zero stats leave the
+        // key out entirely (fixture byte-compatibility).
+        let mut reg = MetricsRegistry::default();
+        stats.record_into(&mut reg);
+        assert_eq!(reg.counter("cord.clock_rollovers"), stats.clock_rollovers);
+        let mut reg0 = MetricsRegistry::default();
+        CordStats::default().record_into(&mut reg0);
+        assert!(reg0.counters().keys().all(|k| k != "cord.clock_rollovers"));
     }
 
     #[test]

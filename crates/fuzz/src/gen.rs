@@ -73,6 +73,19 @@ impl GenConfig {
         self.max_compute = self.max_compute.min(60);
         self
     }
+
+    /// Widens the knobs to a `cores`-sized machine (the 8/16/32-core
+    /// sweep axis): thread counts track the core count with slight
+    /// oversubscription so scheduling and migration stay exercised,
+    /// and the shared region grows with the machine so traffic spreads
+    /// across directory home banks instead of one hot line.
+    #[must_use]
+    pub fn wide(mut self, cores: usize) -> Self {
+        self.min_threads = cores.max(2);
+        self.max_threads = cores + 2;
+        self.max_region_words = self.max_region_words.max(4 * cores as u64);
+        self
+    }
 }
 
 /// The phase vocabulary. Safe phases come first; the racy tail is only
@@ -354,6 +367,22 @@ mod tests {
         for seed in 0..100 {
             let w = generate(&GenConfig::race_free(), seed);
             assert!(w.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn wide_topologies_scale_with_cores() {
+        for cores in [8usize, 16, 32] {
+            let cfg = GenConfig::default().wide(cores);
+            for seed in 0..10 {
+                let w = generate(&cfg, seed);
+                assert!(w.validate().is_ok());
+                assert!(
+                    (cores..=cores + 2).contains(&w.num_threads()),
+                    "cores={cores}: got {} threads",
+                    w.num_threads()
+                );
+            }
         }
     }
 

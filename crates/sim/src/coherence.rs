@@ -1,0 +1,453 @@
+//! Pluggable coherence-transaction timing: the paper's snooping bus and
+//! the §2.5 directory extension as interchangeable backends.
+//!
+//! [`MemorySystem`](crate::memsys::MemorySystem) owns the *functional*
+//! MESI protocol — who holds which line in which state, inclusion,
+//! invalidation events. What differs between a snooping-bus machine and
+//! a directory-based one is purely *when* transactions complete and
+//! which shared resources they occupy. That timing is factored out here
+//! behind [`CoherenceBackend`], with one implementation per
+//! [`CoherenceKind`](crate::config::CoherenceKind):
+//!
+//! * [`SnoopingBackend`] — every transaction broadcasts on the shared
+//!   address bus; data moves on the data or memory bus. This reproduces
+//!   the pre-refactor timing *byte for byte* (the refactor-guard and
+//!   golden-determinism fixtures pin it).
+//! * [`DirectoryBackend`] — each line has a *home* directory bank,
+//!   chosen by hashing its [`dense_line_index`] over the banks. A
+//!   transaction first reaches the home over the address network, then
+//!   serializes on that bank's occupancy port and pays a lookup
+//!   latency; transfers that involve a third party (sibling supplier or
+//!   sharer invalidations) pay an additional forwarding hop. This
+//!   replaces the old flat `directory_penalty()` constant with a model
+//!   in which *contention at hot homes* — not a fixed adder — is what
+//!   grows with core count.
+//!
+//! Every access in a run flows through exactly one of three completion
+//! shapes, mirroring the three timed paths in
+//! [`MemorySystem::access`](crate::memsys::MemorySystem::access):
+//! permission upgrades, fills from memory, and fills from a sibling
+//! cache. The backend is handed `granted` — the cycle its own
+//! [`request`](CoherenceBackend::request) returned — so arbitration and
+//! completion stay paired even when the protocol layer mutates cache
+//! state in between.
+
+use crate::bus::{Bus, Buses};
+use crate::config::{CoherenceKind, MachineConfig};
+use cord_trace::layout::dense_line_index;
+use cord_trace::types::LineAddr;
+
+/// Counters a backend accumulates over a run; harvested into
+/// [`SimStats`](crate::stats::SimStats) when the machine finishes.
+/// All-zero for the snooping backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Directory lookups performed (one per coherence transaction).
+    pub directory_lookups: u64,
+    /// Transactions that needed a forwarding hop to a third party
+    /// (sibling supplier or directed sharer invalidation).
+    pub directory_forwards: u64,
+    /// Total busy cycles across all home-bank occupancy ports.
+    pub home_busy_cycles: u64,
+    /// Total cycles transactions waited for a busy home bank.
+    pub home_wait_cycles: u64,
+}
+
+/// Timing model for coherence transactions.
+///
+/// The protocol layer calls [`request`](Self::request) once per bus
+/// transaction (upgrade or miss) and then exactly one of the three
+/// `*_done` methods to learn the completion cycle. Implementations may
+/// acquire shared buses and private resources; they must not look at
+/// cache state.
+pub trait CoherenceBackend {
+    /// Arbitrates a coherence transaction for `line` issued at `now`.
+    /// Returns the cycle at which the protocol has resolved ownership
+    /// (snooping: the bus grant; directory: the home lookup result).
+    fn request(&mut self, buses: &mut Buses, now: u64, line: LineAddr) -> u64;
+
+    /// Completion of a permission upgrade whose request resolved at
+    /// `granted`; `hit_cycles` is the local hit latency the write still
+    /// pays once permission arrives.
+    fn upgrade_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        line: LineAddr,
+        hit_cycles: u64,
+    ) -> u64;
+
+    /// Completion of a fill supplied by main memory.
+    fn memory_fill_done(&mut self, buses: &mut Buses, granted: u64, line: LineAddr) -> u64;
+
+    /// Completion of a fill supplied by a sibling cache.
+    /// `dirty_writebacks` dirty holders additionally post a line
+    /// write-back on the memory bus.
+    fn sibling_fill_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        line: LineAddr,
+        dirty_writebacks: usize,
+    ) -> u64;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> CoherenceStats;
+}
+
+/// Broadcast snooping over the shared buses — the paper's machine.
+///
+/// The call sequence into [`Buses`] is identical, acquire for acquire,
+/// to the timing that used to live inline in `MemorySystem::access`, so
+/// 4-core snooping runs remain bit-identical under the refactor.
+#[derive(Debug, Clone)]
+pub struct SnoopingBackend {
+    addr_slot_cycles: u64,
+    data_occupancy: u64,
+    mem_occupancy: u64,
+    cache_to_cache_cycles: u64,
+    memory_cycles: u64,
+}
+
+impl SnoopingBackend {
+    /// Snooping timing from `cfg`'s bus parameters.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        SnoopingBackend {
+            addr_slot_cycles: cfg.addr_bus_slot_cycles,
+            data_occupancy: cfg.data_bus_line_occupancy,
+            mem_occupancy: cfg.mem_bus_line_occupancy,
+            cache_to_cache_cycles: cfg.cache_to_cache_cycles,
+            memory_cycles: cfg.memory_cycles,
+        }
+    }
+}
+
+impl CoherenceBackend for SnoopingBackend {
+    fn request(&mut self, buses: &mut Buses, now: u64, _line: LineAddr) -> u64 {
+        buses.addr.acquire(now, self.addr_slot_cycles)
+    }
+
+    fn upgrade_done(
+        &mut self,
+        _buses: &mut Buses,
+        granted: u64,
+        _line: LineAddr,
+        hit_cycles: u64,
+    ) -> u64 {
+        // The upgrade completes once the broadcast slot has drained and
+        // the local write replays.
+        granted + self.addr_slot_cycles + hit_cycles
+    }
+
+    fn memory_fill_done(&mut self, buses: &mut Buses, granted: u64, _line: LineAddr) -> u64 {
+        let mstart = buses.mem.acquire(granted, self.mem_occupancy);
+        mstart + self.memory_cycles
+    }
+
+    fn sibling_fill_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        _line: LineAddr,
+        dirty_writebacks: usize,
+    ) -> u64 {
+        // A Modified holder's data also updates memory (posted
+        // write-back that occupies the memory bus but does not delay
+        // the requester beyond data-bus arbitration).
+        for _ in 0..dirty_writebacks {
+            buses.mem.acquire(granted, self.mem_occupancy);
+        }
+        let dstart = buses.data.acquire(granted, self.data_occupancy);
+        dstart + self.cache_to_cache_cycles
+    }
+
+    fn stats(&self) -> CoherenceStats {
+        CoherenceStats::default()
+    }
+}
+
+/// Directory-based MESI: per-line home banks with occupancy and
+/// forwarding latency (§2.5's sketch, made concrete).
+///
+/// Homes are assigned by `dense_line_index(line) % banks` with one bank
+/// per core, so growing the machine also grows directory bandwidth —
+/// the scaling question is whether hot lines serialize at their home.
+#[derive(Debug, Clone)]
+pub struct DirectoryBackend {
+    addr_slot_cycles: u64,
+    data_occupancy: u64,
+    mem_occupancy: u64,
+    cache_to_cache_cycles: u64,
+    memory_cycles: u64,
+    lookup_cycles: u64,
+    forward_cycles: u64,
+    occupancy_cycles: u64,
+    homes: Vec<Bus>,
+    lookups: u64,
+    forwards: u64,
+}
+
+impl DirectoryBackend {
+    /// Directory timing from `cfg`, with one home bank per core.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        DirectoryBackend {
+            addr_slot_cycles: cfg.addr_bus_slot_cycles,
+            data_occupancy: cfg.data_bus_line_occupancy,
+            mem_occupancy: cfg.mem_bus_line_occupancy,
+            cache_to_cache_cycles: cfg.cache_to_cache_cycles,
+            memory_cycles: cfg.memory_cycles,
+            lookup_cycles: cfg.directory_lookup_cycles,
+            forward_cycles: cfg.directory_forward_cycles,
+            occupancy_cycles: cfg.directory_occupancy_cycles,
+            homes: vec![Bus::new(); cfg.cores.max(1)],
+            lookups: 0,
+            forwards: 0,
+        }
+    }
+
+    /// The home bank serving `line`.
+    pub fn home_of(&self, line: LineAddr) -> usize {
+        dense_line_index(line) % self.homes.len()
+    }
+}
+
+impl CoherenceBackend for DirectoryBackend {
+    fn request(&mut self, buses: &mut Buses, now: u64, line: LineAddr) -> u64 {
+        // Reach the home over the address network, serialize on the
+        // bank's port, then pay the lookup.
+        let sent = buses.addr.acquire(now, self.addr_slot_cycles);
+        let home = self.home_of(line);
+        let served = self.homes[home].acquire(sent + self.addr_slot_cycles, self.occupancy_cycles);
+        self.lookups += 1;
+        served + self.lookup_cycles
+    }
+
+    fn upgrade_done(
+        &mut self,
+        _buses: &mut Buses,
+        granted: u64,
+        _line: LineAddr,
+        hit_cycles: u64,
+    ) -> u64 {
+        // The home forwards directed invalidations to the sharers and
+        // the writer proceeds once the acks drain (one hop, since the
+        // sharers respond in parallel).
+        self.forwards += 1;
+        granted + self.forward_cycles + hit_cycles
+    }
+
+    fn memory_fill_done(&mut self, buses: &mut Buses, granted: u64, _line: LineAddr) -> u64 {
+        // The directory lives at the memory controller, so an
+        // uncached line needs no forwarding hop — the lookup result
+        // feeds the fetch directly.
+        let mstart = buses.mem.acquire(granted, self.mem_occupancy);
+        mstart + self.memory_cycles
+    }
+
+    fn sibling_fill_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        _line: LineAddr,
+        dirty_writebacks: usize,
+    ) -> u64 {
+        // Forward the request to the owner, who supplies the line
+        // (and, if dirty, posts write-backs as in the snooping case).
+        self.forwards += 1;
+        let at_owner = granted + self.forward_cycles;
+        for _ in 0..dirty_writebacks {
+            buses.mem.acquire(at_owner, self.mem_occupancy);
+        }
+        let dstart = buses.data.acquire(at_owner, self.data_occupancy);
+        dstart + self.cache_to_cache_cycles
+    }
+
+    fn stats(&self) -> CoherenceStats {
+        CoherenceStats {
+            directory_lookups: self.lookups,
+            directory_forwards: self.forwards,
+            home_busy_cycles: self.homes.iter().map(Bus::busy_cycles).sum(),
+            home_wait_cycles: self.homes.iter().map(Bus::contention_cycles).sum(),
+        }
+    }
+}
+
+/// Closed enum over the backends so the hot path stays monomorphic
+/// (no vtable between `MemorySystem::access` and the bus model).
+#[derive(Debug, Clone)]
+pub enum BackendEnum {
+    /// Broadcast snooping (the paper's machine).
+    Snooping(SnoopingBackend),
+    /// Directory-based MESI.
+    Directory(DirectoryBackend),
+}
+
+impl BackendEnum {
+    /// The backend `cfg.coherence` selects.
+    pub fn for_config(cfg: &MachineConfig) -> Self {
+        match cfg.coherence {
+            CoherenceKind::SnoopingBus => BackendEnum::Snooping(SnoopingBackend::new(cfg)),
+            CoherenceKind::Directory => BackendEnum::Directory(DirectoryBackend::new(cfg)),
+        }
+    }
+}
+
+impl CoherenceBackend for BackendEnum {
+    fn request(&mut self, buses: &mut Buses, now: u64, line: LineAddr) -> u64 {
+        match self {
+            BackendEnum::Snooping(b) => b.request(buses, now, line),
+            BackendEnum::Directory(b) => b.request(buses, now, line),
+        }
+    }
+
+    fn upgrade_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        line: LineAddr,
+        hit_cycles: u64,
+    ) -> u64 {
+        match self {
+            BackendEnum::Snooping(b) => b.upgrade_done(buses, granted, line, hit_cycles),
+            BackendEnum::Directory(b) => b.upgrade_done(buses, granted, line, hit_cycles),
+        }
+    }
+
+    fn memory_fill_done(&mut self, buses: &mut Buses, granted: u64, line: LineAddr) -> u64 {
+        match self {
+            BackendEnum::Snooping(b) => b.memory_fill_done(buses, granted, line),
+            BackendEnum::Directory(b) => b.memory_fill_done(buses, granted, line),
+        }
+    }
+
+    fn sibling_fill_done(
+        &mut self,
+        buses: &mut Buses,
+        granted: u64,
+        line: LineAddr,
+        dirty_writebacks: usize,
+    ) -> u64 {
+        match self {
+            BackendEnum::Snooping(b) => b.sibling_fill_done(buses, granted, line, dirty_writebacks),
+            BackendEnum::Directory(b) => {
+                b.sibling_fill_done(buses, granted, line, dirty_writebacks)
+            }
+        }
+    }
+
+    fn stats(&self) -> CoherenceStats {
+        match self {
+            BackendEnum::Snooping(b) => b.stats(),
+            BackendEnum::Directory(b) => b.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_trace::layout::SYNC_BASE_LINE;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn snooping_matches_legacy_bus_sequence() {
+        let cfg = MachineConfig::paper_4core();
+        let mut b = SnoopingBackend::new(&cfg);
+        let mut buses = Buses::new();
+
+        // Upgrade: one address slot, then slot + hit.
+        let granted = b.request(&mut buses, 100, line(1));
+        assert_eq!(granted, 100);
+        assert_eq!(
+            b.upgrade_done(&mut buses, granted, line(1), cfg.l1_hit_cycles),
+            100 + cfg.addr_bus_slot_cycles + cfg.l1_hit_cycles
+        );
+        assert_eq!(buses.addr.busy_cycles(), cfg.addr_bus_slot_cycles);
+
+        // Memory fill: memory-bus occupancy overlaps the fetch.
+        let granted = b.request(&mut buses, 1000, line(2));
+        assert_eq!(
+            b.memory_fill_done(&mut buses, granted, line(2)),
+            1000 + cfg.memory_cycles
+        );
+
+        // Sibling fill with one dirty holder: a posted write-back plus
+        // the data-bus transfer.
+        let granted = b.request(&mut buses, 2000, line(3));
+        let done = b.sibling_fill_done(&mut buses, granted, line(3), 1);
+        assert_eq!(done, 2000 + cfg.cache_to_cache_cycles);
+        assert_eq!(buses.mem.transactions(), 2);
+        assert_eq!(b.stats(), CoherenceStats::default());
+    }
+
+    #[test]
+    fn directory_homes_follow_dense_indices() {
+        let cfg = MachineConfig::paper_4core_directory();
+        let b = DirectoryBackend::new(&cfg);
+        // Data line L homes at 2L % cores; sync line o at (2o + 1) % cores.
+        assert_eq!(b.home_of(line(0)), 0);
+        assert_eq!(b.home_of(line(1)), 2);
+        assert_eq!(b.home_of(line(3)), 6 % cfg.cores);
+        assert_eq!(b.home_of(line(SYNC_BASE_LINE)), 1);
+        assert_eq!(b.home_of(line(SYNC_BASE_LINE + 1)), 3);
+    }
+
+    #[test]
+    fn directory_serializes_same_home_but_not_different_homes() {
+        // A long bank occupancy makes home contention visible even
+        // though the address network already spaces requests apart.
+        let mut cfg = MachineConfig::paper_4core_directory();
+        cfg.directory_occupancy_cycles = 4 * cfg.addr_bus_slot_cycles;
+        let mut b = DirectoryBackend::new(&cfg);
+        let mut buses = Buses::new();
+
+        // Lines 0 and 2 (dense 0 and 4) both home at bank 0 with 4
+        // cores; line 1 (dense 2) homes at bank 2.
+        let first = b.request(&mut buses, 0, line(0));
+        let contended = b.request(&mut buses, 0, line(2));
+        assert!(
+            contended > first,
+            "same-home requests must serialize at the bank"
+        );
+
+        let mut fresh = DirectoryBackend::new(&cfg);
+        let mut fresh_buses = Buses::new();
+        let a = fresh.request(&mut fresh_buses, 0, line(0));
+        let c = fresh.request(&mut fresh_buses, 0, line(1));
+        // Different homes: only address-network arbitration separates
+        // them, not home occupancy.
+        assert_eq!(c - a, cfg.addr_bus_slot_cycles);
+        assert!(fresh.stats().home_wait_cycles == 0);
+        assert!(b.stats().home_wait_cycles > 0);
+    }
+
+    #[test]
+    fn directory_counts_lookups_and_forwards() {
+        let cfg = MachineConfig::paper_4core_directory();
+        let mut b = DirectoryBackend::new(&cfg);
+        let mut buses = Buses::new();
+
+        let g = b.request(&mut buses, 0, line(0));
+        b.memory_fill_done(&mut buses, g, line(0));
+        let g = b.request(&mut buses, 100, line(0));
+        b.sibling_fill_done(&mut buses, g, line(0), 0);
+        let g = b.request(&mut buses, 200, line(0));
+        b.upgrade_done(&mut buses, g, line(0), cfg.l1_hit_cycles);
+
+        let s = b.stats();
+        assert_eq!(s.directory_lookups, 3);
+        assert_eq!(s.directory_forwards, 2);
+        assert_eq!(s.home_busy_cycles, 3 * cfg.directory_occupancy_cycles);
+    }
+
+    #[test]
+    fn enum_dispatch_matches_config_kind() {
+        let snoop = BackendEnum::for_config(&MachineConfig::paper_4core());
+        assert!(matches!(snoop, BackendEnum::Snooping(_)));
+        let dir = BackendEnum::for_config(&MachineConfig::paper_4core_directory());
+        assert!(matches!(dir, BackendEnum::Directory(_)));
+    }
+}

@@ -171,9 +171,16 @@ pub struct MachineConfig {
     pub reschedule_cycles: u64,
     /// Coherence organization.
     pub coherence: CoherenceKind,
-    /// Directory lookup + forward latency added to cache-to-cache
-    /// transfers and upgrades in [`CoherenceKind::Directory`] mode.
+    /// Directory lookup latency: cycles between a request being served
+    /// at its home bank and the sharer set being known
+    /// ([`CoherenceKind::Directory`] only).
     pub directory_lookup_cycles: u64,
+    /// One-hop forwarding latency the home pays to reach a third party
+    /// (sibling supplier or directed invalidations).
+    pub directory_forward_cycles: u64,
+    /// Occupancy of a home directory bank per transaction; back-to-back
+    /// requests to the same home serialize by this much.
+    pub directory_occupancy_cycles: u64,
     /// Maximum per-op scheduling jitter in cycles (models timing noise so
     /// different seeds produce different interleavings; 0 disables).
     pub jitter_cycles: u32,
@@ -211,6 +218,8 @@ impl MachineConfig {
             reschedule_cycles: 400,
             coherence: CoherenceKind::SnoopingBus,
             directory_lookup_cycles: 16,
+            directory_forward_cycles: 12,
+            directory_occupancy_cycles: 4,
             jitter_cycles: 3,
             migrate_at_barriers: false,
             capture_resolved: false,
@@ -237,6 +246,21 @@ impl MachineConfig {
             coherence: CoherenceKind::Directory,
             ..Self::paper_4core()
         }
+    }
+
+    /// Returns a copy with `cores` processor cores — the scaling sweep
+    /// axis (4/8/16/32). Validity is checked by [`validate`](Self::validate).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Returns a copy using the given coherence organization.
+    #[must_use]
+    pub fn with_coherence(mut self, kind: CoherenceKind) -> Self {
+        self.coherence = kind;
+        self
     }
 
     /// Returns a copy with `capture_resolved` enabled.
@@ -272,9 +296,15 @@ impl MachineConfig {
     /// # Panics
     ///
     /// Panics if the L1 is larger than the L2 (inclusion would be
-    /// impossible) or there are no cores.
+    /// impossible), there are no cores, or there are more cores than
+    /// [`CoreId`](crate::observer::CoreId)'s `u8` can address.
     pub fn validate(&self) {
         assert!(self.cores > 0, "need at least one core");
+        assert!(
+            self.cores <= 256,
+            "at most 256 cores (CoreId is a u8), got {}",
+            self.cores
+        );
         assert!(
             self.l1.capacity_bytes <= self.l2.capacity_bytes,
             "L1 must not exceed L2 (inclusive hierarchy)"
@@ -347,6 +377,24 @@ mod tests {
         assert_eq!(c.flag_spin_cycles, Some(25));
         assert!(c.watchdog.is_enabled());
         assert_eq!(c.watchdog.max_cycles, Some(1_000_000));
+    }
+
+    #[test]
+    fn cores_axis_builder_and_bounds() {
+        for cores in [4usize, 8, 16, 32] {
+            let c = MachineConfig::paper_4core()
+                .with_cores(cores)
+                .with_coherence(CoherenceKind::Directory);
+            c.validate();
+            assert_eq!(c.cores, cores);
+            assert_eq!(c.coherence, CoherenceKind::Directory);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 cores")]
+    fn more_cores_than_coreid_rejected() {
+        MachineConfig::paper_4core().with_cores(257).validate();
     }
 
     #[test]

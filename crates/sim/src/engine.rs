@@ -308,6 +308,11 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
         self.stats.addr_bus_wait = self.memsys.buses.addr.contention_cycles();
         self.stats.mem_bus_busy = self.memsys.buses.mem.busy_cycles();
         self.stats.ts_bus_busy = self.memsys.buses.ts.busy_cycles();
+        let coh = self.memsys.coherence_stats();
+        self.stats.directory_lookups = coh.directory_lookups;
+        self.stats.directory_forwards = coh.directory_forwards;
+        self.stats.directory_home_busy = coh.home_busy_cycles;
+        self.stats.directory_home_wait = coh.home_wait_cycles;
         self.observer.on_run_end(&instr_counts);
         (
             RunOutput {

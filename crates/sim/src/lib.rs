@@ -8,7 +8,10 @@
 //!
 //! * [`config`] — machine parameters with the paper's defaults.
 //! * [`cache`] / [`memsys`] — set-associative L1/L2 caches with MESI
-//!   snooping coherence, inclusion, and per-access timing.
+//!   coherence, inclusion, and per-access timing.
+//! * [`coherence`] — pluggable transaction-timing backends: the
+//!   paper's snooping bus and a directory-based MESI organization with
+//!   per-home occupancy and forwarding latency.
 //! * [`bus`] — the three shared buses with FIFO arbitration and
 //!   contention accounting (where CORD's overhead comes from).
 //! * [`sync`] — functional lock/flag/barrier semantics.
@@ -54,6 +57,7 @@
 
 pub mod bus;
 pub mod cache;
+pub mod coherence;
 pub mod config;
 pub mod engine;
 pub mod errors;

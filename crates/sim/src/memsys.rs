@@ -1,5 +1,5 @@
-//! The coherent memory hierarchy: private L1/L2 per core, snooping MESI
-//! over the shared buses, and main memory.
+//! The coherent memory hierarchy: private L1/L2 per core, MESI over a
+//! pluggable [`CoherenceBackend`], and main memory.
 //!
 //! Invariants maintained:
 //!
@@ -18,7 +18,8 @@
 
 use crate::bus::Buses;
 use crate::cache::{Cache, Mesi};
-use crate::config::{CoherenceKind, MachineConfig};
+use crate::coherence::{BackendEnum, CoherenceBackend, CoherenceStats};
+use crate::config::MachineConfig;
 use crate::observer::{AccessPath, CoreId, Level, LineRemoval, RemovalCause};
 use cord_trace::types::{Addr, LineAddr};
 
@@ -57,6 +58,7 @@ pub struct MemorySystem {
     /// Shared buses (public so the engine can charge observer-issued
     /// address-bus transactions and read statistics).
     pub buses: Buses,
+    backend: BackendEnum,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
 }
@@ -65,11 +67,13 @@ impl MemorySystem {
     /// An empty hierarchy for `cfg.cores` cores.
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate();
+        let backend = BackendEnum::for_config(&cfg);
         let l1 = (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect();
         let l2 = (0..cfg.cores).map(|_| Cache::new(cfg.l2)).collect();
         MemorySystem {
             cfg,
             buses: Buses::new(),
+            backend,
             l1,
             l2,
         }
@@ -78,6 +82,12 @@ impl MemorySystem {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Counters the coherence backend accumulated (all-zero when
+    /// snooping).
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.backend.stats()
     }
 
     /// Read-only view of a core's L2 (used by tests and debugging).
@@ -116,16 +126,18 @@ impl MemorySystem {
                     events,
                 };
             }
-            // Write to a Shared line: permission upgrade broadcast.
-            let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
+            // Write to a Shared line: permission upgrade.
+            let granted = self.backend.request(&mut self.buses, now, line);
             self.invalidate_others(core, line, &mut events);
             self.l1[c].set_state(line, Mesi::Modified);
             self.l2[c].set_state_touch(line, Mesi::Modified);
             return AccessResult {
-                done: start
-                    + self.cfg.addr_bus_slot_cycles
-                    + self.directory_penalty()
-                    + self.cfg.l1_hit_cycles,
+                done: self.backend.upgrade_done(
+                    &mut self.buses,
+                    granted,
+                    line,
+                    self.cfg.l1_hit_cycles,
+                ),
                 path: AccessPath::UpgradeHit,
                 events,
             };
@@ -148,22 +160,24 @@ impl MemorySystem {
                 };
             }
             // Write to Shared in L2: upgrade.
-            let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
+            let granted = self.backend.request(&mut self.buses, now, line);
             self.invalidate_others(core, line, &mut events);
             self.l2[c].set_state(line, Mesi::Modified);
             self.fill_l1(core, line, Mesi::Modified, &mut events);
             return AccessResult {
-                done: start
-                    + self.cfg.addr_bus_slot_cycles
-                    + self.directory_penalty()
-                    + self.cfg.l2_hit_cycles,
+                done: self.backend.upgrade_done(
+                    &mut self.buses,
+                    granted,
+                    line,
+                    self.cfg.l2_hit_cycles,
+                ),
                 path: AccessPath::UpgradeHit,
                 events,
             };
         }
 
-        // ---- Full miss: bus transaction ----
-        let start = self.buses.addr.acquire(now, self.cfg.addr_bus_slot_cycles);
+        // ---- Full miss: coherence transaction ----
+        let granted = self.backend.request(&mut self.buses, now, line);
 
         let holders: Vec<usize> = (0..self.cfg.cores)
             .filter(|&h| h != c && self.l2[h].contains(line))
@@ -171,10 +185,6 @@ impl MemorySystem {
 
         let (path, done, fill_state) = if holders.is_empty() {
             // Memory supplies.
-            let mstart = self
-                .buses
-                .mem
-                .acquire(start, self.cfg.mem_bus_line_occupancy);
             let state = if write {
                 Mesi::Modified
             } else {
@@ -182,7 +192,8 @@ impl MemorySystem {
             };
             (
                 AccessPath::FillFromMemory,
-                mstart + self.cfg.memory_cycles,
+                self.backend
+                    .memory_fill_done(&mut self.buses, granted, line),
                 state,
             )
         } else {
@@ -192,18 +203,18 @@ impl MemorySystem {
                 .copied()
                 .find(|&h| self.l2[h].probe(line).is_some_and(Mesi::writable))
                 .unwrap_or(holders[0]);
+            let mut dirty_writebacks = 0;
             if write {
                 // Read-for-ownership: all holders invalidate.
                 self.invalidate_others(core, line, &mut events);
             } else {
                 // Downgrade holders to Shared; a Modified holder's data
-                // also updates memory (posted write-back).
+                // also updates memory (posted write-back, charged by
+                // the backend).
                 for &h in &holders {
                     let st = self.l2[h].probe(line).expect("holder has line");
                     if st.dirty() {
-                        self.buses
-                            .mem
-                            .acquire(start, self.cfg.mem_bus_line_occupancy);
+                        dirty_writebacks += 1;
                     }
                     if st != Mesi::Shared {
                         self.l2[h].set_state(line, Mesi::Shared);
@@ -213,14 +224,13 @@ impl MemorySystem {
                     }
                 }
             }
-            let dstart = self
-                .buses
-                .data
-                .acquire(start, self.cfg.data_bus_line_occupancy);
+            let done =
+                self.backend
+                    .sibling_fill_done(&mut self.buses, granted, line, dirty_writebacks);
             let state = if write { Mesi::Modified } else { Mesi::Shared };
             (
                 AccessPath::FillFromSibling(CoreId(supplier as u8)),
-                dstart + self.cfg.cache_to_cache_cycles + self.directory_penalty(),
+                done,
                 state,
             )
         };
@@ -229,15 +239,6 @@ impl MemorySystem {
         self.fill_l1(core, line, fill_state, &mut events);
 
         AccessResult { done, path, events }
-    }
-
-    /// Extra latency a directory's lookup-and-forward indirection adds
-    /// to transfers and permission upgrades (zero when snooping).
-    fn directory_penalty(&self) -> u64 {
-        match self.cfg.coherence {
-            CoherenceKind::SnoopingBus => 0,
-            CoherenceKind::Directory => self.cfg.directory_lookup_cycles,
-        }
     }
 
     /// Invalidates every other core's copy of `line`, recording removal
@@ -509,20 +510,54 @@ mod directory_tests {
         };
         let (snoop_c2c, snoop_upg) = run(snoop_cfg.clone());
         let (dir_c2c, dir_upg) = run(dir_cfg.clone());
-        assert_eq!(dir_c2c, snoop_c2c + dir_cfg.directory_lookup_cycles);
-        assert_eq!(dir_upg, snoop_upg + dir_cfg.directory_lookup_cycles);
+        // Uncontended, the directory's indirection costs exactly one
+        // address hop + home lookup + one forwarding hop on both paths.
+        let indirection = dir_cfg.addr_bus_slot_cycles
+            + dir_cfg.directory_lookup_cycles
+            + dir_cfg.directory_forward_cycles;
+        assert_eq!(dir_c2c, snoop_c2c + indirection);
+        // Snooping upgrades already pay the broadcast slot; the
+        // directory replaces that slot's drain with the forward hop.
+        assert_eq!(
+            dir_upg,
+            snoop_upg + dir_cfg.directory_lookup_cycles + dir_cfg.directory_forward_cycles
+        );
     }
 
     #[test]
-    fn directory_mode_keeps_memory_latency_identical() {
+    fn directory_pays_lookup_before_memory_fills() {
         let run = |cfg: MachineConfig| {
             let mut m = MemorySystem::new(cfg);
             m.access(CoreId(0), Addr::new(0x40), false, 0).done
         };
+        let dir_cfg = MachineConfig::paper_4core_directory();
+        // The home lookup is on the critical path of a memory fetch
+        // (no forward: the directory sits at the memory controller).
         assert_eq!(
-            run(MachineConfig::paper_4core()),
-            run(MachineConfig::paper_4core_directory())
+            run(dir_cfg.clone()),
+            run(MachineConfig::paper_4core())
+                + dir_cfg.addr_bus_slot_cycles
+                + dir_cfg.directory_lookup_cycles
         );
+    }
+
+    #[test]
+    fn backend_stats_count_directory_work_only() {
+        let mut snoop = MemorySystem::new(MachineConfig::paper_4core());
+        let mut dir = MemorySystem::new(MachineConfig::paper_4core_directory());
+        for m in [&mut snoop, &mut dir] {
+            m.access(CoreId(0), Addr::new(0x40), true, 0);
+            m.access(CoreId(1), Addr::new(0x40), false, 10_000);
+            m.access(CoreId(1), Addr::new(0x40), true, 20_000);
+        }
+        assert_eq!(
+            snoop.coherence_stats(),
+            crate::coherence::CoherenceStats::default()
+        );
+        let s = dir.coherence_stats();
+        assert_eq!(s.directory_lookups, 3);
+        assert_eq!(s.directory_forwards, 2); // sibling fill + upgrade
+        assert!(s.home_busy_cycles > 0);
     }
 
     #[test]

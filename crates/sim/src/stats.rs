@@ -59,6 +59,15 @@ pub struct SimStats {
     pub retirement_stall_cycles: u64,
     /// Thread migrations performed.
     pub migrations: u64,
+    /// Directory lookups served by home banks (directory backend only;
+    /// zero when snooping).
+    pub directory_lookups: u64,
+    /// Directory transactions that needed a forwarding hop.
+    pub directory_forwards: u64,
+    /// Total busy cycles across home-bank occupancy ports.
+    pub directory_home_busy: u64,
+    /// Total cycles requests waited for a busy home bank.
+    pub directory_home_wait: u64,
 }
 
 impl SimStats {
@@ -114,6 +123,15 @@ impl SimStats {
         reg.add("sim.ts_bus_busy", self.ts_bus_busy);
         reg.add("sim.retirement_stall_cycles", self.retirement_stall_cycles);
         reg.add("sim.migrations", self.migrations);
+        // Directory counters only exist on directory-backend runs;
+        // emitting them conditionally keeps snooping registries (and
+        // the fixtures that pin their bytes) unchanged.
+        if self.directory_lookups > 0 {
+            reg.add("sim.directory_lookups", self.directory_lookups);
+            reg.add("sim.directory_forwards", self.directory_forwards);
+            reg.add("sim.directory_home_busy", self.directory_home_busy);
+            reg.add("sim.directory_home_wait", self.directory_home_wait);
+        }
         reg.add("sim.runs", 1);
     }
 }
@@ -139,6 +157,21 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_hit_rate() {
         assert_eq!(SimStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn directory_counters_are_conditional() {
+        let mut reg = MetricsRegistry::default();
+        SimStats::default().record_into(&mut reg);
+        assert!(reg.counters().keys().all(|k| !k.contains("directory")));
+        let s = SimStats {
+            directory_lookups: 3,
+            directory_home_busy: 12,
+            ..SimStats::default()
+        };
+        s.record_into(&mut reg);
+        assert_eq!(reg.counter("sim.directory_lookups"), 3);
+        assert_eq!(reg.counter("sim.directory_home_busy"), 12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and inclusion invariants of the memory system.
 
 use cord_fuzz::gen::{generate, GenConfig};
-use cord_sim::config::MachineConfig;
+use cord_sim::config::{CoherenceKind, MachineConfig};
 use cord_sim::memsys::{MemEvent, MemorySystem};
 use cord_sim::observer::{AccessPath, CoreId, RemovalCause};
 use cord_trace::op::Op;
@@ -111,6 +111,79 @@ fn fuzzed_workloads_preserve_coherence_and_cover_mesi_paths() {
     }
     assert!(siblings > 0, "no cache-to-cache transfer exercised");
     assert!(upgrades > 0, "no Shared→Modified upgrade exercised");
+}
+
+/// The scaling axis: fuzzed workloads sized to the machine, replayed
+/// at 8/16/32 cores on BOTH coherence backends with the invariants
+/// asserted after every access. The directory's home-bank indirection
+/// must change timing only — never protocol states — at any width.
+#[test]
+fn fuzzed_workloads_stay_coherent_at_scale_on_both_backends() {
+    for cores in [8usize, 16, 32] {
+        for kind in [CoherenceKind::SnoopingBus, CoherenceKind::Directory] {
+            let cfg = MachineConfig::paper_4core()
+                .with_cores(cores)
+                .with_coherence(kind);
+            let (mut siblings, mut upgrades) = (0usize, 0usize);
+            // Fewer seeds at the wider (slower to check) machines.
+            let seeds = (64 / cores).max(2) as u64;
+            for gen_seed in 0..seeds {
+                let w = generate(&GenConfig::default().short().wide(cores), gen_seed);
+                let mut m = MemorySystem::new(cfg.clone());
+                let (s, u, _) = drive_workload(&w, &mut m, cores);
+                siblings += s;
+                upgrades += u;
+            }
+            assert!(
+                siblings > 0,
+                "{kind:?} at {cores} cores: no cache-to-cache transfer"
+            );
+            assert!(
+                upgrades > 0,
+                "{kind:?} at {cores} cores: no Shared→Modified upgrade"
+            );
+        }
+    }
+}
+
+/// Cross-backend equivalence at the protocol level: the same fixed
+/// round-robin replay on snooping and directory machines must leave
+/// every cache of every core in the identical MESI state, and take the
+/// identical fill/upgrade paths — the backends may only disagree about
+/// *when*, never about *what*. (Race-report equivalence on top of the
+/// same replay lives in cord-bench's `backend_equivalence` test, where
+/// the detector is in scope.)
+#[test]
+fn backends_agree_on_states_and_paths_at_scale() {
+    use cord_sim::cache::Mesi;
+    for cores in [8usize, 16, 32] {
+        for gen_seed in 0..3u64 {
+            let w = generate(&GenConfig::default().short().wide(cores), gen_seed);
+            let base = MachineConfig::paper_4core().with_cores(cores);
+            let mut snoop = MemorySystem::new(base.clone());
+            let mut dir = MemorySystem::new(base.with_coherence(CoherenceKind::Directory));
+            let s = drive_workload(&w, &mut snoop, cores);
+            let d = drive_workload(&w, &mut dir, cores);
+            assert_eq!(s, d, "path counts diverged at {cores} cores");
+            for c in 0..cores {
+                let core = CoreId(c as u8);
+                let collect = |m: &MemorySystem| -> Vec<(u64, Mesi)> {
+                    let mut v: Vec<(u64, Mesi)> = m
+                        .l2_of(core)
+                        .lines()
+                        .map(|(line, st)| (line.0, st))
+                        .collect();
+                    v.sort_unstable_by_key(|(l, _)| *l);
+                    v
+                };
+                assert_eq!(
+                    collect(&snoop),
+                    collect(&dir),
+                    "L2 state diverged on core {c} at {cores} cores"
+                );
+            }
+        }
+    }
 }
 
 /// Eviction during an upgrade sequence: two cores share a line, the

@@ -11,6 +11,7 @@ cargo test --release --workspace --quiet
 
 echo "== clippy (deny warnings; unwrap_used denied outside tests) =="
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p cord-sim --all-targets -- -D warnings
 cargo clippy -p cord-pool --all-targets -- -D warnings
 cargo clippy -p cord-obs --all-targets -- -D warnings
 cargo clippy -p cord-fuzz --all-targets -- -D warnings
@@ -29,6 +30,25 @@ trap 'rm -rf "$smoke_dir"' EXIT
     --json "$smoke_dir/parallel.json" > "$smoke_dir/parallel.txt" 2> /dev/null
 diff "$smoke_dir/serial.json" "$smoke_dir/parallel.json"
 diff "$smoke_dir/serial.txt" "$smoke_dir/parallel.txt"
+
+echo "== coherence-backend smoke: explicit 4-core snooping flags are the default, byte-for-byte =="
+./target/release/figures fig10 --scale tiny --injections 2 --jobs 1 \
+    --cores 4 --backend snooping \
+    --json "$smoke_dir/explicit4.json" > "$smoke_dir/explicit4.txt" 2> /dev/null
+diff "$smoke_dir/serial.json" "$smoke_dir/explicit4.json"
+diff "$smoke_dir/serial.txt" "$smoke_dir/explicit4.txt"
+
+echo "== coherence-backend smoke: 8-core directory sweep completes and tags its options =="
+./target/release/figures fig10 --scale tiny --injections 2 --jobs 2 \
+    --cores 8 --backend directory \
+    --json "$smoke_dir/dir8.json" > "$smoke_dir/dir8.txt" 2> /dev/null
+test -s "$smoke_dir/dir8.json"
+grep -q '"cores": 8' "$smoke_dir/dir8.json"
+grep -q '"backend": "directory"' "$smoke_dir/dir8.json"
+if diff -q "$smoke_dir/serial.json" "$smoke_dir/dir8.json" > /dev/null; then
+    echo "8-core directory sweep unexpectedly identical to 4-core snooping" >&2
+    exit 1
+fi
 
 echo "== observability smoke: tracing/metrics must not perturb results =="
 ./target/release/figures fig10 --scale tiny --injections 2 --jobs 2 \
