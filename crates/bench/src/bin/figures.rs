@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `table1`, `fig10`..`fig17`, `logsize`, `area`, `replay`,
 //! `ablations`, `cachestats`, `replaypar`, `directory`, `recordonly`,
-//! `cachesweep`, `threadsweep`, `scaling`, `all`. Options:
+//! `lockfree`, `cachesweep`, `threadsweep`, `scaling`, `all`. Options:
 //! `--injections N`, `--scale tiny|small|paper`, `--seed S`, `--jobs N`
 //! (sweep worker threads; defaults to the host's available parallelism,
 //! output is bit-identical for every value), `--cores N` (simulated
@@ -272,6 +272,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     if cmd == "recordonly" || cmd == "all" {
         println!("{}", figures::record_only_cost(scale, args.seed)?);
+    }
+    if cmd == "lockfree" || cmd == "all" {
+        println!("{}", figures::lockfree_family(ScaleClass::Tiny, args.seed)?);
     }
     if cmd == "cachesweep" {
         println!(

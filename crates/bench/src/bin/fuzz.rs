@@ -12,7 +12,9 @@
 //! for every value), `--mode mixed|race-free`, `--corpus-dir DIR`
 //! (write shrunk reproducers for failing cases), `--budget-secs N`
 //! (wall-clock safety valve; when it fires the report says so),
-//! `--no-inject` / `--no-rerun` (trim the battery). The `replay DIR`
+//! `--no-inject` / `--no-rerun` (trim the battery), `--lockfree`
+//! (restrict generation to the atomic/CAS-loop sync vocabulary so
+//! the campaign exercises lock-free topologies only). The `replay DIR`
 //! subcommand loads every reproducer in DIR and re-runs the full
 //! oracle battery on each.
 //!
@@ -38,6 +40,7 @@ struct Args {
     budget_secs: Option<u64>,
     inject: bool,
     rerun: bool,
+    lockfree: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         budget_secs: None,
         inject: true,
         rerun: true,
+        lockfree: false,
     };
     let mut it = std::env::args().skip(1);
     let mut first = true;
@@ -92,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-inject" => args.inject = false,
             "--no-rerun" => args.rerun = false,
+            "--lockfree" => args.lockfree = true,
             other if first && !other.starts_with("--") => {
                 args.command = other.to_string();
                 if args.command == "replay" {
@@ -118,7 +123,10 @@ fn campaign(args: &Args) -> Result<i32, Box<dyn Error>> {
         count: args.count,
         jobs: args.jobs,
         mode: args.mode,
-        gen: GenConfig::default(),
+        gen: GenConfig {
+            lockfree: args.lockfree,
+            ..GenConfig::default()
+        },
         oracle,
         corpus_dir: args.corpus_dir.clone().map(PathBuf::from),
         budget_secs: args.budget_secs,

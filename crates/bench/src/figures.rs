@@ -5,7 +5,7 @@ use crate::sweep::{SweepOptions, SweepResults};
 use cord_core::{area, CordConfig, CordError, ExperimentHarness};
 use cord_sim::config::MachineConfig;
 use cord_sim::engine::InjectionPlan;
-use cord_workloads::{all_apps, kernel, ScaleClass};
+use cord_workloads::{all_apps, kernel, lockfree_apps, ScaleClass};
 use std::fmt;
 
 /// How a figure's values should be displayed.
@@ -938,6 +938,87 @@ pub fn replay_concurrency(scale: ScaleClass, seed: u64) -> Result<FigureTable, C
         note: "§2.7.1: equal-clock segments are conflict-free and can replay concurrently".into(),
     }
     .with_average())
+}
+
+/// Lock-free workload family (post-paper sync vocabulary): per app,
+/// the races CORD reports on the clean run (must be zero — the kernels
+/// are race-free by construction) and the §3.4-style injection yield
+/// on each coherence backend: how many removable-sync removals produce
+/// a ground-truth race, and how many of those CORD itself reports.
+///
+/// # Errors
+///
+/// Returns the [`CordError`] of the first failing clean run; injected
+/// runs are allowed to abort (removals may deadlock) and are skipped.
+pub fn lockfree_family(scale: ScaleClass, seed: u64) -> Result<FigureTable, CordError> {
+    use cord_core::CordDetector;
+    use cord_fuzz::truthhb::{racy_words, Tandem};
+    use cord_inject::count_instances;
+    use cord_sim::config::{CoherenceKind, Watchdog};
+    use cord_sim::engine::Machine;
+    use std::collections::BTreeSet;
+
+    let backends = [CoherenceKind::SnoopingBus, CoherenceKind::Directory];
+    let mut rows = Vec::new();
+    for app in lockfree_apps() {
+        let w = kernel(app, scale, 4, seed);
+        let threads = w.num_threads();
+        let mut clean_races = 0u64;
+        let mut cols: Vec<Option<f64>> = Vec::new();
+        for backend in backends {
+            let cfg = MachineConfig::paper_4core()
+                .with_coherence(backend)
+                .with_watchdog(Watchdog::new(200_000_000, 20_000_000));
+            let det = CordDetector::new(CordConfig::paper(), threads, cfg.cores);
+            let m = Machine::new(
+                cfg.clone(),
+                &w,
+                Tandem::new(det),
+                seed,
+                InjectionPlan::none(),
+            );
+            let (_, tandem) = m.run()?;
+            clean_races += tandem.det.races().len() as u64;
+            let counts = count_instances(&cfg, &w, seed)?;
+            let mut truth_racy = 0u64;
+            let mut caught = 0u64;
+            for n in 0..counts.acquires {
+                let det = CordDetector::new(CordConfig::paper(), threads, cfg.cores);
+                let m = Machine::new(
+                    cfg.clone(),
+                    &w,
+                    Tandem::new(det),
+                    seed,
+                    InjectionPlan::remove_nth(n),
+                );
+                let Ok((_, tandem)) = m.run() else { continue };
+                if racy_words(&tandem.rec.events, threads, &BTreeSet::new()).is_empty() {
+                    continue;
+                }
+                truth_racy += 1;
+                if !tandem.det.races().is_empty() {
+                    caught += 1;
+                }
+            }
+            cols.push(Some(truth_racy as f64));
+            cols.push(Some(caught as f64));
+        }
+        cols.insert(0, Some(clean_races as f64));
+        rows.push((app.name().to_string(), cols));
+    }
+    Ok(FigureTable {
+        title: "Lock-free family: clean-run reports and injection yield per backend".into(),
+        columns: vec![
+            "clean races".into(),
+            "racy inj (snoop)".into(),
+            "caught (snoop)".into(),
+            "racy inj (dir)".into(),
+            "caught (dir)".into(),
+        ],
+        rows,
+        unit: Unit::Count,
+        note: "clean races must be 0; every app must catch >=1 injected race per backend".into(),
+    })
 }
 
 /// Non-completed runs of a sweep, per app and status — the injection

@@ -42,6 +42,10 @@ fn accesses_of(w: &Workload, t: usize) -> Vec<(Addr, AccessKind)> {
                 out.push((a, AccessKind::SyncRead));
                 out.push((a, AccessKind::SyncWrite));
             }
+            Op::Atomic(id, _) => {
+                out.push((l.atomic_addr(id), AccessKind::SyncRead));
+                out.push((l.atomic_addr(id), AccessKind::SyncWrite));
+            }
             Op::Compute(_) => {}
         }
     }

@@ -38,6 +38,10 @@ pub struct GenConfig {
     /// construction; the oracle then treats *any* reported race as a
     /// false positive.
     pub race_free: bool,
+    /// Restrict sampling to the lock-free phase vocabulary (atomic RMW
+    /// shapes: fetch-add counters, CAS publication, CAS hammering, and
+    /// their racy torn variants). Composes with `race_free`.
+    pub lockfree: bool,
 }
 
 impl Default for GenConfig {
@@ -49,6 +53,7 @@ impl Default for GenConfig {
             max_region_words: 12,
             max_compute: 150,
             race_free: false,
+            lockfree: false,
         }
     }
 }
@@ -58,6 +63,14 @@ impl GenConfig {
     pub fn race_free() -> Self {
         GenConfig {
             race_free: true,
+            ..Self::default()
+        }
+    }
+
+    /// The lock-free (atomic RMW) phase vocabulary, mixed mode.
+    pub fn lockfree() -> Self {
+        GenConfig {
+            lockfree: true,
             ..Self::default()
         }
     }
@@ -111,6 +124,24 @@ enum PhaseKind {
     Unprotected,
     /// A locked region with one thread bypassing the lock.
     MixedProtection,
+    /// Threads hammer one fetch-add counter between private updates
+    /// (pure RMW traffic, no shared data: safe at any timing).
+    FetchAddCounter,
+    /// Write own slice, CAS-publish, barrier, CAS-acquire, read the
+    /// left neighbour's slice (the barrier makes it sound for every
+    /// seed; the CASes add the RMW clock traffic under test).
+    CasPublish,
+    /// All threads CAS-loop one word repeatedly around private updates
+    /// (retry storms; no shared data).
+    CasHammer,
+    /// Producer writes then CAS-publishes; consumers CAS then read with
+    /// no barrier — ordered only if timing cooperates (ground truth
+    /// decides).
+    CasPublishNoBarrier,
+    /// A seqlock with the readers' acquire bracket missing: snapshot
+    /// reads race the writer's bracketed writes (the classic torn
+    /// read).
+    SeqlockTorn,
 }
 
 const SAFE_KINDS: &[PhaseKind] = &[
@@ -123,6 +154,14 @@ const SAFE_KINDS: &[PhaseKind] = &[
 ];
 
 const RACY_KINDS: &[PhaseKind] = &[PhaseKind::Unprotected, PhaseKind::MixedProtection];
+
+const LOCKFREE_SAFE_KINDS: &[PhaseKind] = &[
+    PhaseKind::FetchAddCounter,
+    PhaseKind::CasPublish,
+    PhaseKind::CasHammer,
+];
+
+const LOCKFREE_RACY_KINDS: &[PhaseKind] = &[PhaseKind::CasPublishNoBarrier, PhaseKind::SeqlockTorn];
 
 /// Generates one workload from `(cfg, seed)`.
 ///
@@ -140,11 +179,16 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Workload {
     // barrier-shaped phase (reuse exercises the sense flip).
     let mut barrier: Option<BarrierId> = None;
 
+    let (safe, racy) = if cfg.lockfree {
+        (LOCKFREE_SAFE_KINDS, LOCKFREE_RACY_KINDS)
+    } else {
+        (SAFE_KINDS, RACY_KINDS)
+    };
     for _ in 0..phases {
         let kind = if cfg.race_free || rng.gen_bool(0.7) {
-            SAFE_KINDS[rng.gen_range(0..SAFE_KINDS.len())]
+            safe[rng.gen_range(0..safe.len())]
         } else {
-            RACY_KINDS[rng.gen_range(0..RACY_KINDS.len())]
+            racy[rng.gen_range(0..racy.len())]
         };
         emit_phase(&mut b, &mut rng, cfg, threads, kind, &mut barrier);
     }
@@ -322,6 +366,88 @@ fn emit_phase(
                 jitter(b, rng, cfg, t);
             }
         }
+        PhaseKind::FetchAddCounter => {
+            let counter = b.alloc_atomic();
+            let per = rng.gen_range(1..=cfg.max_region_words.min(4));
+            let region = b.alloc_line_aligned(per * tn);
+            let rounds = rng.gen_range(2..=5u64);
+            for t in 0..threads {
+                for r in 0..rounds {
+                    let tb = &mut b.thread_mut(t);
+                    tb.fetch_add(counter);
+                    tb.update(region.word(t as u64 * per + r % per));
+                }
+                jitter(b, rng, cfg, t);
+            }
+        }
+        PhaseKind::CasPublish => {
+            let bar = the_barrier(b, barrier);
+            let a = b.alloc_atomic();
+            let per = rng.gen_range(1..=3u64);
+            let region = b.alloc_line_aligned(16 * tn);
+            for t in 0..threads {
+                let tb = &mut b.thread_mut(t);
+                for i in 0..per {
+                    tb.write(region.word(t as u64 * 16 + i));
+                }
+                tb.cas_loop(a);
+                tb.barrier(bar);
+                tb.cas_loop(a);
+                let left = (t + threads - 1) % threads;
+                for i in 0..per {
+                    tb.read(region.word(left as u64 * 16 + i));
+                }
+                tb.barrier(bar);
+            }
+        }
+        PhaseKind::CasHammer => {
+            let a = b.alloc_atomic();
+            let per = rng.gen_range(1..=2u64);
+            let region = b.alloc_line_aligned(per * tn);
+            let rounds = rng.gen_range(2..=4u64);
+            for t in 0..threads {
+                for r in 0..rounds {
+                    let tb = &mut b.thread_mut(t);
+                    tb.cas_loop(a);
+                    tb.update(region.word(t as u64 * per + r % per));
+                }
+                jitter(b, rng, cfg, t);
+            }
+        }
+        PhaseKind::CasPublishNoBarrier => {
+            let a = b.alloc_atomic();
+            let span = rng.gen_range(1..=4u64);
+            let region = b.alloc_line_aligned(span);
+            for i in 0..span {
+                b.thread_mut(0).write(region.word(i));
+            }
+            b.thread_mut(0).cas_loop(a);
+            for t in 1..threads {
+                let tb = &mut b.thread_mut(t);
+                tb.cas_loop(a);
+                tb.read(region.word(rng.gen_range(0..span)));
+                jitter(b, rng, cfg, t);
+            }
+        }
+        PhaseKind::SeqlockTorn => {
+            let a = b.alloc_atomic();
+            let region = b.alloc_line_aligned(2);
+            let writer = rng.gen_range(0..threads);
+            for t in 0..threads {
+                let tb = &mut b.thread_mut(t);
+                if t == writer {
+                    tb.cas_loop(a);
+                    tb.write(region.word(0));
+                    tb.write(region.word(1));
+                    tb.cas_loop(a);
+                } else {
+                    // No acquire bracket: the snapshot can tear.
+                    tb.read(region.word(0));
+                    tb.read(region.word(1));
+                }
+                jitter(b, rng, cfg, t);
+            }
+        }
     }
 }
 
@@ -383,6 +509,45 @@ mod tests {
                     w.num_threads()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn lockfree_mode_emits_atomics_and_validates() {
+        let mut with_atomics = 0;
+        for seed in 0..100 {
+            let w = generate(&GenConfig::lockfree(), seed);
+            w.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if w.op_counts().atomics > 0 {
+                with_atomics += 1;
+            }
+        }
+        // Every lock-free phase allocates an atomic, so every workload
+        // (>= 1 phase) carries RMW ops.
+        assert_eq!(with_atomics, 100);
+        let cfg = GenConfig {
+            race_free: true,
+            ..GenConfig::lockfree()
+        };
+        for seed in 0..100 {
+            generate(&cfg, seed).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn lockfree_knob_leaves_the_default_stream_alone() {
+        // The knob must only restrict the sampling pool when set:
+        // default-config generation is byte-identical to a config that
+        // merely spells out the new field.
+        let spelled = GenConfig {
+            lockfree: false,
+            ..GenConfig::default()
+        };
+        for seed in [0, 7, 99] {
+            assert_eq!(
+                textfmt::to_text(&generate(&GenConfig::default(), seed)),
+                textfmt::to_text(&generate(&spelled, seed))
+            );
         }
     }
 

@@ -34,7 +34,7 @@ use cord_detectors::DetectorConfig;
 use cord_inject::count_instances;
 use cord_obs::wire::{self, StreamHeader};
 use cord_obs::StreamEvent;
-use cord_sim::config::{MachineConfig, Watchdog};
+use cord_sim::config::{CoherenceKind, MachineConfig, Watchdog};
 use cord_sim::engine::{InjectionPlan, Machine, SimError};
 use cord_trace::program::Workload;
 use std::collections::BTreeSet;
@@ -64,6 +64,11 @@ pub struct OracleOptions {
     /// Watchdog cycle budget for every run (fuzzed workloads must
     /// terminate; a hang is an engine or generator bug).
     pub max_cycles: u64,
+    /// Core count for every timed run (the Ideal referee keeps its
+    /// infinite cache but shares the topology).
+    pub cores: usize,
+    /// Coherence backend for every timed run.
+    pub backend: CoherenceKind,
 }
 
 impl Default for OracleOptions {
@@ -76,6 +81,8 @@ impl Default for OracleOptions {
             check_capture_replay: true,
             expect_race_free: false,
             max_cycles: 50_000_000,
+            cores: 4,
+            backend: CoherenceKind::SnoopingBus,
         }
     }
 }
@@ -274,7 +281,10 @@ impl OracleReport {
 
 fn watchdogged(machine: MachineConfig, opts: &OracleOptions) -> MachineConfig {
     let window = (opts.max_cycles / 8).max(1);
-    machine.with_watchdog(Watchdog::new(opts.max_cycles, window))
+    machine
+        .with_cores(opts.cores)
+        .with_coherence(opts.backend)
+        .with_watchdog(Watchdog::new(opts.max_cycles, window))
 }
 
 struct CordRun {

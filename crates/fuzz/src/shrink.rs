@@ -75,6 +75,18 @@ fn flag_ids(w: &Workload) -> BTreeSet<u32> {
     ids
 }
 
+fn atomic_ids(w: &Workload) -> BTreeSet<u32> {
+    let mut ids = BTreeSet::new();
+    for t in w.threads() {
+        for op in t.ops() {
+            if let Op::Atomic(a, _) = op {
+                ids.insert(a.0);
+            }
+        }
+    }
+    ids
+}
+
 fn barrier_ids(w: &Workload) -> BTreeSet<u32> {
     let mut ids = BTreeSet::new();
     for t in w.threads() {
@@ -111,6 +123,9 @@ fn drop_sync_objects(w: &Workload) -> Vec<Workload> {
         out.push(w.filter_ops(|_, _, op| {
             !matches!(op, Op::FlagSet(g) | Op::FlagWait(g) | Op::FlagReset(g) if g.0 == id)
         }));
+    }
+    for id in atomic_ids(w) {
+        out.push(w.filter_ops(|_, _, op| !matches!(op, Op::Atomic(a, _) if a.0 == id)));
     }
     out
 }
@@ -334,6 +349,58 @@ mod tests {
             out.workload.total_ops()
         );
         assert_eq!(out.violation.kind(), "race-free-had-races");
+        assert_eq!(out.workload.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sabotaged_cas_shrinks_to_a_two_thread_reproducer() {
+        // A lock-free publish whose publishing CAS was "forgotten":
+        // thread 0 writes a block but never commits on `top`, thread 1
+        // joins `top` and reads the block — racy. Threads 2 and 3
+        // hammer a separate atomic over private words, clean noise the
+        // atomic-aware sync-object pass should strip whole.
+        let mut b = WorkloadBuilder::new("cas-sabotage", 4);
+        let top = b.alloc_atomic();
+        let noise = b.alloc_atomic();
+        let shared = b.alloc_line_aligned(4);
+        let private = b.alloc_line_aligned(64);
+        b.thread_mut(0).write(shared.word(0));
+        {
+            let mut h = b.thread_mut(1);
+            h.cas_loop(top);
+            h.read(shared.word(0));
+        }
+        for t in 2..4 {
+            let mut h = b.thread_mut(t);
+            for r in 0..3u64 {
+                h.cas_loop(noise);
+                h.update(private.word(t as u64 * 16 + r));
+            }
+        }
+        let w = b.build();
+        let opts = OracleOptions {
+            expect_race_free: true,
+            max_injections: 0,
+            ..OracleOptions::default()
+        };
+        let out = shrink_workload(&w, "race-free-had-races", &opts, 600)
+            .expect("workload must reproduce");
+        assert!(out.accepted > 0, "nothing shrunk");
+        assert!(out.workload.num_threads() <= 2, "{:?}", out.workload);
+        assert!(
+            out.workload.total_ops() <= 4,
+            "still {} ops",
+            out.workload.total_ops()
+        );
+        // The noise atomic's whole CAS traffic must be gone.
+        let atomics_left = out
+            .workload
+            .threads()
+            .iter()
+            .flat_map(|t| t.ops())
+            .filter(|op| matches!(op, Op::Atomic(_, _)))
+            .count();
+        assert_eq!(atomics_left, 0, "{:?}", out.workload);
         assert_eq!(out.workload.validate(), Ok(()));
     }
 

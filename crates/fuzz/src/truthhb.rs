@@ -259,6 +259,40 @@ mod tests {
     }
 
     #[test]
+    fn cas_commit_stream_is_indistinguishable_from_a_lock_pair() {
+        // An RMW expands to acquire-read + release-write at the atomic's
+        // word — byte-for-byte the kinds a lock()/unlock() pair emits.
+        // The ground truth therefore orders a publish-then-join CAS
+        // chain exactly like a lock handoff on the same address.
+        let lock_pair = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, 0x8, AccessKind::SyncRead),  // lock acquired
+            ev(0, 0x8, AccessKind::SyncWrite), // unlock released
+            ev(1, 0x8, AccessKind::SyncRead),  // lock acquired
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        let cas_chain = vec![
+            ev(0, 0x100, AccessKind::DataWrite),
+            ev(0, 0x8, AccessKind::SyncRead),  // CAS attempt
+            ev(0, 0x8, AccessKind::SyncWrite), // CAS commit
+            ev(1, 0x8, AccessKind::SyncRead),  // CAS attempt joins
+            ev(1, 0x100, AccessKind::DataRead),
+        ];
+        let none = BTreeSet::new();
+        assert_eq!(
+            racy_words(&lock_pair, 2, &none),
+            racy_words(&cas_chain, 2, &none)
+        );
+        assert!(racy_words(&cas_chain, 2, &none).is_empty());
+        // Suppressing the commit exposes the race in both vocabularies.
+        assert_eq!(
+            racy_words(&lock_pair, 2, &BTreeSet::from([2])),
+            racy_words(&cas_chain, 2, &BTreeSet::from([2])),
+        );
+        assert!(racy_words(&cas_chain, 2, &BTreeSet::from([2])).contains(&0x100));
+    }
+
+    #[test]
     fn sync_indices_enumerated_in_order() {
         let events = vec![
             ev(0, 0x100, AccessKind::DataWrite),

@@ -210,6 +210,168 @@ fn barrier_exchange() -> Reproducer {
     pin(b.build(), "sense-reversing barrier exchange")
 }
 
+/// Treiber-stack push/pop with the consumer's pop CAS sabotaged: two
+/// producers publish line-padded nodes through `top`, but the consumer
+/// reads them without ever joining — every payload word is a true
+/// race. Pins the atomic-op text format and the oracle's consistency
+/// on a racy lock-free stream.
+fn treiber_pop_race() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-treiber-pop-race", 3);
+    let top = b.alloc_atomic();
+    let nodes: Vec<_> = (0..2).map(|_| b.alloc_line_aligned(16)).collect();
+    for (t, node) in nodes.iter().enumerate() {
+        let mut h = b.thread_mut(t);
+        h.compute(7 * t as u32 + 1);
+        for i in 0..16u64 {
+            h.write(node.word(i));
+        }
+        h.cas_loop(top);
+    }
+    let mut h = b.thread_mut(2);
+    h.compute(50_000);
+    // Sabotage: no pop CAS — the consumer never joins the chain.
+    for node in &nodes {
+        for i in 0..16u64 {
+            h.read(node.word(i));
+        }
+    }
+    pin(
+        b.build(),
+        "Treiber push/pop with the pop CAS removed: all payload reads race",
+    )
+}
+
+/// Minimal clean Michael-Scott queue: one enqueuer links two
+/// line-padded nodes (link CAS covers the payload, tail CAS swings the
+/// end), one dequeuer joins each link before reading.
+fn ms_queue_handoff() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-ms-queue-handoff", 2);
+    let _head = b.alloc_atomic();
+    let tail = b.alloc_atomic();
+    let links = b.alloc_atomics(2);
+    let nodes: Vec<_> = (0..2).map(|_| b.alloc_line_aligned(4)).collect();
+    {
+        let mut h = b.thread_mut(0);
+        for item in 0..2usize {
+            for w in 0..4u64 {
+                h.write(nodes[item].word(w));
+            }
+            h.cas_loop(links[item]);
+            h.cas_loop(tail);
+        }
+    }
+    let mut h = b.thread_mut(1);
+    h.compute(50_000);
+    for item in 0..2usize {
+        h.cas_loop(links[item]);
+        for w in 0..4u64 {
+            h.read(nodes[item].word(w));
+        }
+    }
+    pin(
+        b.build(),
+        "clean MS-queue handoff: per-node link CAS carries the HB edge",
+    )
+}
+
+/// Seqlock with the writer's closing CAS sabotaged: the open CAS
+/// publishes *before* the data writes (publish-then-tick), so the
+/// same-round writes are uncovered and the readers' validated reads
+/// are torn — a true race on every data word.
+fn seqlock_torn() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-seqlock-torn", 3);
+    let seq = b.alloc_atomic();
+    let data = b.alloc_line_aligned(4);
+    {
+        let mut h = b.thread_mut(0);
+        h.cas_loop(seq); // open — publishes pre-write state
+        for i in 0..4u64 {
+            h.write(data.word(i));
+        }
+        // Sabotage: the closing CAS that would publish the writes is
+        // missing.
+    }
+    for t in 1..3 {
+        let mut h = b.thread_mut(t);
+        h.compute(40_000 + 17 * t as u32);
+        h.cas_loop(seq); // acquire
+        for i in 0..4u64 {
+            h.read(data.word(i));
+        }
+        h.cas_loop(seq); // validate
+    }
+    pin(
+        b.build(),
+        "seqlock writer round without the closing CAS: torn reads race",
+    )
+}
+
+/// Clean fetch-add combining counter: unconditional RMWs hammer one
+/// atomic (never removable), per-worker line-padded partials hand off
+/// through flags.
+fn fa_counter_clean() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-fa-counter-clean", 3);
+    let counter = b.alloc_atomic();
+    let done = b.alloc_flags(2);
+    let partials: Vec<_> = (0..2).map(|_| b.alloc_line_aligned(2)).collect();
+    for t in 0..2 {
+        let mut h = b.thread_mut(t);
+        for k in 0..3u32 {
+            h.compute(k % 3 + 2 * t as u32 + 1);
+            h.fetch_add(counter);
+        }
+        for w in 0..2u64 {
+            h.write(partials[t].word(w));
+        }
+        h.flag_set(done[t]);
+    }
+    let mut h = b.thread_mut(2);
+    h.fetch_add(counter);
+    for t in 0..2usize {
+        h.flag_wait(done[t]);
+        for w in 0..2u64 {
+            h.read(partials[t].word(w));
+        }
+    }
+    pin(
+        b.build(),
+        "fetch-add counter traffic is noise; flags carry the partials",
+    )
+}
+
+/// A release chain T0 → T1 → T2 through one atomic: the CAS-loop
+/// analogue of `lock_chain` — each committer's attempt joined its
+/// predecessor's publish, so the ordering is transitive.
+fn cas_chain() -> Reproducer {
+    let mut b = WorkloadBuilder::new("pin-cas-chain", 3);
+    let a = b.alloc_atomic();
+    let region = b.alloc_line_aligned(1);
+    for t in 0..3 {
+        let mut h = b.thread_mut(t);
+        h.compute(30_000 * t as u32 + 1);
+        h.cas_loop(a);
+        h.update(region.word(0));
+        h.cas_loop(a);
+    }
+    pin(
+        b.build(),
+        "transitive happens-before through a CAS commit chain",
+    )
+}
+
+/// One lock-free generator output, pinned by seed: atomic-RMW phases
+/// only (fetch-add counters, CAS publication, CAS hammering).
+fn lockfree_combo() -> Reproducer {
+    let seed = 0x5EED_0002u64;
+    let w = generate(&GenConfig::lockfree(), seed);
+    Reproducer {
+        workload: w.renamed("pin-lockfree-combo"),
+        seed: Some(seed),
+        violation_kind: None,
+        detail: Some("generator snapshot: lock-free phase vocabulary".to_owned()),
+    }
+}
+
 /// One generator output, pinned by seed: a multi-phase mixed workload
 /// combining pipeline flags, locked updates, and unprotected traffic.
 fn mixed_combo() -> Reproducer {
@@ -244,6 +406,12 @@ fn curated() -> Vec<Reproducer> {
         lock_chain(),
         barrier_exchange(),
         mixed_combo(),
+        treiber_pop_race(),
+        ms_queue_handoff(),
+        seqlock_torn(),
+        fa_counter_clean(),
+        cas_chain(),
+        lockfree_combo(),
     ]
 }
 
@@ -251,7 +419,7 @@ fn curated() -> Vec<Reproducer> {
 fn committed_corpus_replays_clean() {
     let entries = corpus::load_dir(&corpus_dir()).expect("corpus loads");
     assert!(
-        entries.len() >= 10,
+        entries.len() >= 16,
         "regression corpus shrank to {} entries — run regenerate_corpus",
         entries.len()
     );

@@ -1,0 +1,48 @@
+//! Property coverage for the lock-free generator vocabulary at scale:
+//! every race-free lock-free topology passes the full differential
+//! battery — zero violations, zero ground-truth races, and a clean
+//! window16 audit (`window16_mismatches != 0` surfaces as a violation)
+//! — at 4, 8, and 16 cores on both coherence backends.
+
+use cord_fuzz::gen::{generate, GenConfig};
+use cord_fuzz::oracle::{check_workload, OracleOptions};
+use cord_sim::config::CoherenceKind;
+
+#[test]
+fn race_free_lockfree_topologies_stay_clean_across_cores_and_backends() {
+    let mut checked = 0usize;
+    for cores in [4usize, 8, 16] {
+        for backend in [CoherenceKind::SnoopingBus, CoherenceKind::Directory] {
+            for seed in 0..4u64 {
+                let gen_cfg = GenConfig {
+                    race_free: true,
+                    ..GenConfig::lockfree()
+                }
+                .wide(cores);
+                let w = generate(&gen_cfg, 0xA70_0000 + seed);
+                let opts = OracleOptions {
+                    expect_race_free: true,
+                    max_injections: 0,
+                    cores,
+                    backend,
+                    ..OracleOptions::default()
+                };
+                let report = check_workload(&w, &opts);
+                assert!(
+                    report.passed(),
+                    "{} (seed {seed}, {cores} cores, {backend:?}): {:?}",
+                    w.name(),
+                    report.violations
+                );
+                assert_eq!(
+                    report.truth_races,
+                    0,
+                    "{} (seed {seed}, {cores} cores, {backend:?})",
+                    w.name()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 24);
+}

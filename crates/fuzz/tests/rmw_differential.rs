@@ -1,0 +1,149 @@
+//! Tandem differential: the atomic RMW vocabulary is ordering-
+//! equivalent to the lock vocabulary.
+//!
+//! An `Op::Atomic` expands to an acquire-read plus a release-write at
+//! the atomic's word — the same labeled micro-steps a `lock`/`unlock`
+//! pair emits at a lock's word. So a handoff guarded by a CAS chain
+//! must be exactly as race-free as the same handoff guarded by a lock,
+//! under both the ground truth and CORD itself; and replacing the
+//! lock pair with CAS loops must never *shrink* the racy-word set of a
+//! workload (the CAS edge is the weaker-or-equal one: it only covers
+//! what the last committer published).
+
+use cord_core::{CordConfig, CordDetector};
+use cord_fuzz::truthhb::{racy_words, Tandem};
+use cord_sim::config::MachineConfig;
+use cord_sim::engine::{InjectionPlan, Machine};
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+use std::collections::BTreeSet;
+
+const BLOCK: u64 = 4;
+
+/// A one-shot publish/consume handoff, guarded either by a lock pair
+/// or by a CAS chain on one atomic; optionally with one deliberately
+/// unguarded word (the metamorphic marker).
+fn handoff(use_cas: bool, with_bare_race: bool) -> Workload {
+    let name = if use_cas {
+        "handoff-cas"
+    } else {
+        "handoff-lock"
+    };
+    let mut b = WorkloadBuilder::new(name, 2);
+    let block = b.alloc_line_aligned(BLOCK);
+    let bare = b.alloc_line_aligned(1);
+    if use_cas {
+        let a = b.alloc_atomic();
+        {
+            let mut h = b.thread_mut(0);
+            for i in 0..BLOCK {
+                h.write(block.word(i));
+            }
+            h.cas_loop(a);
+            if with_bare_race {
+                h.write(bare.word(0));
+            }
+        }
+        let mut h = b.thread_mut(1);
+        // The consumer joins well after the publish has committed.
+        h.compute(50_000);
+        h.cas_loop(a);
+        for i in 0..BLOCK {
+            h.read(block.word(i));
+        }
+        if with_bare_race {
+            h.read(bare.word(0));
+        }
+    } else {
+        let l = b.alloc_lock();
+        {
+            let mut h = b.thread_mut(0);
+            h.lock(l);
+            for i in 0..BLOCK {
+                h.write(block.word(i));
+            }
+            h.unlock(l);
+            if with_bare_race {
+                h.write(bare.word(0));
+            }
+        }
+        let mut h = b.thread_mut(1);
+        h.compute(50_000);
+        h.lock(l);
+        for i in 0..BLOCK {
+            h.read(block.word(i));
+        }
+        h.unlock(l);
+        if with_bare_race {
+            h.read(bare.word(0));
+        }
+    }
+    b.build()
+}
+
+/// Runs the workload in tandem (CORD + ground-truth recorder) and
+/// returns (truth racy words, CORD-reported race count).
+fn run(w: &Workload, seed: u64) -> (BTreeSet<u64>, usize) {
+    let cfg = MachineConfig::paper_4core();
+    let det = CordDetector::new(CordConfig::paper(), w.num_threads(), cfg.cores);
+    let m = Machine::new(cfg, w, Tandem::new(det), seed, InjectionPlan::none());
+    let (_, tandem) = m.run().expect("run completes");
+    let truth = racy_words(&tandem.rec.events, w.num_threads(), &BTreeSet::new());
+    (truth, tandem.det.races().len())
+}
+
+#[test]
+fn cas_handoff_is_exactly_as_clean_as_the_lock_handoff() {
+    for seed in [3, 7, 11] {
+        let (lock_truth, lock_cord) = run(&handoff(false, false), seed);
+        let (cas_truth, cas_cord) = run(&handoff(true, false), seed);
+        assert!(lock_truth.is_empty(), "seed {seed}: {lock_truth:?}");
+        assert!(cas_truth.is_empty(), "seed {seed}: {cas_truth:?}");
+        assert_eq!(lock_cord, 0, "seed {seed}");
+        assert_eq!(cas_cord, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn replacing_the_lock_pair_with_cas_loops_never_shrinks_the_racy_set() {
+    // Metamorphic: with one unguarded word alongside the handoff, the
+    // CAS twin's truth must contain every racy word the lock twin has
+    // (here: exactly the bare word, in both vocabularies).
+    for seed in [3, 7, 11] {
+        let (lock_truth, _) = run(&handoff(false, true), seed);
+        let (cas_truth, _) = run(&handoff(true, true), seed);
+        assert!(
+            cas_truth.is_superset(&lock_truth),
+            "seed {seed}: lock {lock_truth:?} vs cas {cas_truth:?}"
+        );
+        assert_eq!(lock_truth.len(), 1, "seed {seed}: {lock_truth:?}");
+        assert_eq!(cas_truth.len(), 1, "seed {seed}: {cas_truth:?}");
+    }
+}
+
+#[test]
+fn removing_the_consumer_acquire_races_identically_in_both_vocabularies() {
+    // §3.4 injection, differentially: dynamic removable instance 1 is
+    // the consumer's acquire in both vocabularies (thread 1's `lock` /
+    // thread 1's CAS attempt — removing a lock skips the acquire and
+    // keeps the release, removing a CAS skips the whole RMW; either
+    // way the consumer never joins the publish). The ground truth must
+    // flag the handoff block, and CORD — whose consumer clock stayed
+    // at its initial value — must report it too.
+    for use_cas in [false, true] {
+        let w = handoff(use_cas, false);
+        let cfg = MachineConfig::paper_4core();
+        let det = CordDetector::new(CordConfig::paper(), w.num_threads(), cfg.cores);
+        let m = Machine::new(cfg, &w, Tandem::new(det), 7, InjectionPlan::remove_nth(1));
+        let (_, tandem) = m.run().expect("run completes");
+        let truth = racy_words(&tandem.rec.events, w.num_threads(), &BTreeSet::new());
+        assert!(
+            !truth.is_empty(),
+            "cas={use_cas}: removing the consumer's acquire must race"
+        );
+        assert!(
+            !tandem.det.races().is_empty(),
+            "cas={use_cas}: CORD missed the removed-acquire race"
+        );
+    }
+}

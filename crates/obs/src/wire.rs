@@ -108,6 +108,11 @@ pub struct StreamGeometry {
     pub barriers: u32,
     /// Data-heap size in words.
     pub data_words: u64,
+    /// User-allocated atomic RMW words in the address layout. Zero for
+    /// every stream produced before the atomic vocabulary existed; the
+    /// field is omitted from the wire encoding when zero, so such
+    /// streams (and their byte-pinned fixtures) are unchanged.
+    pub user_atomics: u32,
 }
 
 impl StreamGeometry {
@@ -121,6 +126,7 @@ impl StreamGeometry {
             user_flags: layout.user_flags(),
             barriers: layout.barriers(),
             data_words: layout.data_words(),
+            user_atomics: layout.user_atomics(),
         }
     }
 
@@ -132,6 +138,7 @@ impl StreamGeometry {
             self.barriers,
             self.data_words,
         )
+        .with_atomics(self.user_atomics)
     }
 
     /// Dense-index capacity bounds for shadow state (see
@@ -143,14 +150,18 @@ impl StreamGeometry {
 
 impl ToJson for StreamGeometry {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("threads", self.threads.to_json()),
             ("cores", self.cores.to_json()),
             ("user_locks", self.user_locks.to_json()),
             ("user_flags", self.user_flags.to_json()),
             ("barriers", self.barriers.to_json()),
             ("data_words", self.data_words.to_json()),
-        ])
+        ];
+        if self.user_atomics != 0 {
+            fields.push(("user_atomics", self.user_atomics.to_json()));
+        }
+        obj(fields)
     }
 }
 
@@ -163,6 +174,10 @@ impl FromJson for StreamGeometry {
             user_flags: FromJson::from_json(v.field("user_flags")?)?,
             barriers: FromJson::from_json(v.field("barriers")?)?,
             data_words: FromJson::from_json(v.field("data_words")?)?,
+            user_atomics: match v.get("user_atomics") {
+                Some(j) => FromJson::from_json(j)?,
+                None => 0,
+            },
         })
     }
 }
@@ -997,6 +1012,7 @@ mod tests {
                 user_flags: 1,
                 barriers: 1,
                 data_words: 4096,
+                user_atomics: 0,
             },
         )
     }

@@ -208,6 +208,7 @@ proptest! {
             user_flags: 2,
             barriers: 1,
             data_words: 1 << 16,
+            user_atomics: 0,
         };
         let header = StreamHeader::new("prop", "CORD-D16", seed, geometry);
         let (h, back) = decode_capture(&encode_capture(&header, &events)).expect("decodes");
@@ -234,6 +235,7 @@ fn golden_session() -> (StreamHeader, Vec<StreamEvent>) {
             user_flags: 1,
             barriers: 1,
             data_words: 4096,
+            user_atomics: 0,
         },
     );
     let mut events = vec![
@@ -293,6 +295,45 @@ fn golden_session() -> (StreamHeader, Vec<StreamEvent>) {
         });
     }
     (header, events)
+}
+
+#[test]
+fn geometry_with_atomics_roundtrips_and_rebuilds_the_layout() {
+    use cord_json::{FromJson, ToJson};
+    let g = StreamGeometry {
+        threads: 4,
+        cores: 4,
+        user_locks: 1,
+        user_flags: 0,
+        barriers: 0,
+        data_words: 256,
+        user_atomics: 3,
+    };
+    let back = StreamGeometry::from_json(&g.to_json()).expect("decodes");
+    assert_eq!(back, g);
+    assert_eq!(back.layout().user_atomics(), 3);
+    let header = StreamHeader::new("atomics", "CORD-D16", 1, g);
+    let (h, events) = decode_capture(&encode_capture(&header, &[])).expect("decodes");
+    assert_eq!(h, header);
+    assert!(events.is_empty());
+}
+
+#[test]
+fn zero_atomics_geometry_encodes_without_the_field() {
+    use cord_json::ToJson;
+    let g = StreamGeometry {
+        threads: 2,
+        cores: 2,
+        user_locks: 0,
+        user_flags: 0,
+        barriers: 0,
+        data_words: 16,
+        user_atomics: 0,
+    };
+    // Pre-atomics consumers parse this object field-for-field; the new
+    // field must not appear for them (the golden fixture pins the full
+    // encoding, this pins the reason it still passes).
+    assert!(!g.to_json().to_string_compact().contains("user_atomics"));
 }
 
 fn fixture_path() -> PathBuf {

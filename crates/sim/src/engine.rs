@@ -159,7 +159,8 @@ impl<'w, O: MemoryObserver> Machine<'w, O> {
             layout.total_flags(),
             layout.barriers(),
             n,
-        );
+        )
+        .with_atomics(layout.user_atomics());
         let ctxs = (0..n).map(|t| CoreCtx::new(ThreadId(t as u16))).collect();
         let truth = GroundTruth::new(n, cfg.capture_resolved);
         let core_of: Vec<Option<usize>> = (0..n)

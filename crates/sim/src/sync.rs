@@ -10,7 +10,7 @@
 //! primitive's *accesses and ordering* without ever deadlocking the
 //! simulation; see DESIGN.md.
 
-use cord_trace::types::{BarrierId, FlagId, LockId, ThreadId};
+use cord_trace::types::{AtomicId, BarrierId, FlagId, LockId, ThreadId};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Default)]
@@ -44,6 +44,10 @@ pub struct SyncManager {
     locks: Vec<LockState>,
     flags: Vec<FlagState>,
     barriers: Vec<BarrierState>,
+    /// Per-atomic version counters backing CAS success/failure: a CAS
+    /// attempt snapshots the version, and its commit succeeds only if
+    /// no other thread's RMW committed (bumped the version) in between.
+    atomics: Vec<u64>,
     participants: usize,
 }
 
@@ -66,8 +70,27 @@ impl SyncManager {
             locks: vec![LockState::default(); total_locks as usize],
             flags: vec![FlagState::default(); total_flags as usize],
             barriers: vec![BarrierState::default(); barriers as usize],
+            atomics: Vec::new(),
             participants,
         }
+    }
+
+    /// Adds `atomics` RMW word version counters (all starting at 0).
+    #[must_use]
+    pub fn with_atomics(mut self, atomics: u32) -> Self {
+        self.atomics = vec![0; atomics as usize];
+        self
+    }
+
+    /// Current version of atomic word `a` (bumped by every committed
+    /// RMW, so a CAS whose snapshot is stale must retry).
+    pub fn atomic_version(&self, a: AtomicId) -> u64 {
+        self.atomics[a.0 as usize]
+    }
+
+    /// Records a committed RMW on atomic word `a`.
+    pub fn atomic_bump(&mut self, a: AtomicId) {
+        self.atomics[a.0 as usize] += 1;
     }
 
     /// Attempts to acquire `lock` for `thread`; on failure the thread is
@@ -230,6 +253,16 @@ mod tests {
         assert!(s.flag_is_set(FlagId(0)));
         s.flag_reset(FlagId(0));
         assert!(!s.flag_is_set(FlagId(0)));
+    }
+
+    #[test]
+    fn atomic_versions_start_zero_and_bump() {
+        let mut s = SyncManager::new(0, 0, 0, 2).with_atomics(2);
+        assert_eq!(s.atomic_version(AtomicId(0)), 0);
+        assert_eq!(s.atomic_version(AtomicId(1)), 0);
+        s.atomic_bump(AtomicId(1));
+        assert_eq!(s.atomic_version(AtomicId(0)), 0);
+        assert_eq!(s.atomic_version(AtomicId(1)), 1);
     }
 
     #[test]

@@ -11,13 +11,23 @@
 //!   wake;
 //! * `barrier`: lock + counter read/update + (last arrival: counter
 //!   reset, next-flag reset, current-flag set) + unlock + flag wait,
-//!   the sense-reversing mutex+flag composition of §3.4.
+//!   the sense-reversing mutex+flag composition of §3.4;
+//! * `atomic RMW` (`cas_loop` / `fetch_add` / `exchange`): a sync read
+//!   of the atomic word (the acquire side — a CAS attempt's load, or
+//!   an unconditional RMW's fetch) followed by a sync write that
+//!   commits the new value (the release side). A CAS whose version
+//!   snapshot went stale between attempt and commit — another thread's
+//!   RMW committed in the window — re-reads and retries, which is
+//!   exactly the failure-path re-read of a hardware CAS loop. The
+//!   sync-labeled read/write pair gives an RMW the same clock
+//!   semantics as a lock acquire + release on the same word (see
+//!   DESIGN.md "RMW clock-commit semantics").
 
 use crate::engine::{Machine, Status};
 use crate::errors::StuckState;
 use crate::observer::{AccessKind, MemoryObserver};
-use cord_trace::op::Op;
-use cord_trace::types::{BarrierId, FlagId, LockId, ThreadId};
+use cord_trace::op::{AtomicRmwKind, Op};
+use cord_trace::types::{AtomicId, BarrierId, FlagId, LockId, ThreadId};
 
 /// One executable micro-step of an expanded workload op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +46,15 @@ pub(crate) enum Step {
     BarrierCtl(BarrierId),
     BarrierWait(BarrierId, u64),
     BarrierUnlock(BarrierId),
+    /// CAS attempt: sync-read the atomic word and snapshot its version.
+    CasAttempt(AtomicId),
+    /// CAS commit: if the snapshot version is still current, sync-write
+    /// (success); otherwise re-attempt (the failure-path re-read).
+    CasCommit(AtomicId, u64),
+    /// Unconditional RMW (fetch_add/exchange) fetch: sync-read.
+    RmwAcquire(AtomicId),
+    /// Unconditional RMW commit: sync-write, always succeeds.
+    RmwCommit(AtomicId),
 }
 
 impl<O: MemoryObserver> Machine<'_, O> {
@@ -76,6 +95,21 @@ impl<O: MemoryObserver> Machine<'_, O> {
                     self.ctxs[c].steps.push_back(Step::WaitFlag(g));
                 }
             }
+            Op::Atomic(a, kind) => match kind {
+                AtomicRmwKind::CasLoop => {
+                    // A removed CAS loop (§3.4's removed acquire,
+                    // extended to lock-free code) skips the whole RMW:
+                    // neither the acquire-read nor the release-write
+                    // happens, exactly as a removed lock skips both
+                    // its acquire and the matching release.
+                    if !self.take_instance(c) {
+                        self.ctxs[c].steps.push_back(Step::CasAttempt(a));
+                    }
+                }
+                AtomicRmwKind::FetchAdd | AtomicRmwKind::Exchange => {
+                    self.ctxs[c].steps.push_back(Step::RmwAcquire(a));
+                }
+            },
             Op::Barrier(b) => {
                 let counter = layout.barrier_counter_addr(b);
                 if self.take_instance(c) {
@@ -210,6 +244,31 @@ impl<O: MemoryObserver> Machine<'_, O> {
                     let flag = if episode % 2 == 0 { f0 } else { f1 };
                     self.ctxs[c].steps.push_front(Step::WaitFlag(flag));
                 }
+            }
+            Step::CasAttempt(a) => {
+                self.do_access(c, layout.atomic_addr(a), AccessKind::SyncRead);
+                let seen = self.sync.atomic_version(a);
+                self.ctxs[c].steps.push_front(Step::CasCommit(a, seen));
+            }
+            Step::CasCommit(a, seen) => {
+                if self.sync.atomic_version(a) == seen {
+                    self.do_access(c, layout.atomic_addr(a), AccessKind::SyncWrite);
+                    self.sync.atomic_bump(a);
+                } else {
+                    // Lost the race to another committer: the CAS
+                    // fails and the loop re-reads the word. Progress
+                    // is guaranteed — every failure implies some other
+                    // thread committed, consuming its finite ops.
+                    self.ctxs[c].steps.push_front(Step::CasAttempt(a));
+                }
+            }
+            Step::RmwAcquire(a) => {
+                self.do_access(c, layout.atomic_addr(a), AccessKind::SyncRead);
+                self.ctxs[c].steps.push_front(Step::RmwCommit(a));
+            }
+            Step::RmwCommit(a) => {
+                self.do_access(c, layout.atomic_addr(a), AccessKind::SyncWrite);
+                self.sync.atomic_bump(a);
             }
             Step::BarrierUnlock(b) => {
                 if self.ctxs[c].barrier_lock_skipped {

@@ -374,6 +374,80 @@ mod engine_edge_tests {
         assert_eq!(out.stats.data_reads, 20);
         assert_eq!(out.stats.data_writes, 20);
     }
+
+    /// An uncontended CAS expands to exactly one acquire-read and one
+    /// release-write of the atomic word, and counts as one removable
+    /// sync instance (its failure-path re-read is what §3.4-style
+    /// injection removes).
+    #[test]
+    fn uncontended_cas_is_one_read_one_write() {
+        let mut b = WorkloadBuilder::new("cas1", 1);
+        let a = b.alloc_atomic();
+        b.thread_mut(0).cas_loop(a);
+        let w = b.build();
+        let out = run_workload(&w, 1);
+        assert_eq!(out.stats.sync_reads, 1);
+        assert_eq!(out.stats.sync_writes, 1);
+        assert_eq!(out.stats.removable_sync_instances, 1);
+    }
+
+    /// Contended CAS loops all eventually commit: exactly one sync
+    /// write per loop, with failures showing up as extra sync reads.
+    #[test]
+    fn contended_cas_loops_all_commit() {
+        let mut b = WorkloadBuilder::new("cas-contend", 4);
+        let a = b.alloc_atomic();
+        for t in 0..4 {
+            for _ in 0..5 {
+                b.thread_mut(t).cas_loop(a);
+            }
+        }
+        let w = b.build();
+        let out = run_workload(&w, 3);
+        assert_eq!(out.stats.sync_writes, 20);
+        assert!(out.stats.sync_reads >= 20);
+        assert_eq!(out.stats.removable_sync_instances, 20);
+    }
+
+    /// fetch_add and exchange never fail and are never removable.
+    #[test]
+    fn unconditional_rmws_always_commit() {
+        let mut b = WorkloadBuilder::new("rmw", 2);
+        let a = b.alloc_atomic();
+        b.thread_mut(0).fetch_add(a).fetch_add(a);
+        b.thread_mut(1).exchange(a);
+        let w = b.build();
+        let out = run_workload(&w, 5);
+        assert_eq!(out.stats.sync_reads, 3);
+        assert_eq!(out.stats.sync_writes, 3);
+        assert_eq!(out.stats.removable_sync_instances, 0);
+    }
+
+    /// An injected CAS skips the whole RMW — no acquire-read, no
+    /// release-write — mirroring how a removed lock skips both the
+    /// acquire and its matching release.
+    #[test]
+    fn injection_removes_whole_cas() {
+        let mut b = WorkloadBuilder::new("inj-cas", 2);
+        let a = b.alloc_atomic();
+        b.thread_mut(0).cas_loop(a);
+        b.thread_mut(1).compute(5000).cas_loop(a);
+        let w = b.build();
+        let baseline = run_workload(&w, 9);
+        assert_eq!(baseline.stats.sync_writes, 2);
+        let m = Machine::new(
+            MachineConfig::paper_4core(),
+            &w,
+            NullObserver,
+            9,
+            InjectionPlan::remove_nth(0),
+        );
+        let (out, _) = m.run().expect("no deadlock");
+        assert!(out.stats.injection_applied);
+        assert_eq!(out.stats.sync_writes, 1);
+        assert_eq!(out.stats.sync_reads, 1);
+        assert_eq!(out.stats.removable_sync_instances, 2);
+    }
 }
 
 mod watchdog_tests {

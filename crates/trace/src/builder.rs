@@ -1,9 +1,9 @@
 //! Fluent construction of [`Workload`]s.
 
 use crate::layout::AddressLayout;
-use crate::op::Op;
+use crate::op::{AtomicRmwKind, Op};
 use crate::program::{ThreadProgram, Workload};
-use crate::types::{Addr, BarrierId, FlagId, LockId, WordRange, LINE_BYTES, WORD_BYTES};
+use crate::types::{Addr, AtomicId, BarrierId, FlagId, LockId, WordRange, LINE_BYTES, WORD_BYTES};
 
 /// Builder for a [`Workload`]: allocates synchronization objects and data
 /// ranges, then lets each thread's program be emitted through
@@ -29,6 +29,7 @@ pub struct WorkloadBuilder {
     locks: u32,
     flags: u32,
     barriers: u32,
+    atomics: u32,
     data_cursor: u64,
 }
 
@@ -46,6 +47,7 @@ impl WorkloadBuilder {
             locks: 0,
             flags: 0,
             barriers: 0,
+            atomics: 0,
             data_cursor: 0,
         }
     }
@@ -86,6 +88,18 @@ impl WorkloadBuilder {
         id
     }
 
+    /// Allocates a new atomic RMW word.
+    pub fn alloc_atomic(&mut self) -> AtomicId {
+        let id = AtomicId(self.atomics);
+        self.atomics += 1;
+        id
+    }
+
+    /// Allocates `n` new atomic words.
+    pub fn alloc_atomics(&mut self, n: u32) -> Vec<AtomicId> {
+        (0..n).map(|_| self.alloc_atomic()).collect()
+    }
+
     /// Allocates `words` contiguous data words.
     pub fn alloc_words(&mut self, words: u64) -> WordRange {
         let base = Addr::new(self.data_cursor * WORD_BYTES);
@@ -116,7 +130,8 @@ impl WorkloadBuilder {
 
     /// Finalizes the workload.
     pub fn build(self) -> Workload {
-        let layout = AddressLayout::new(self.locks, self.flags, self.barriers, self.data_cursor);
+        let layout = AddressLayout::new(self.locks, self.flags, self.barriers, self.data_cursor)
+            .with_atomics(self.atomics);
         Workload::new(
             self.name,
             self.threads
@@ -204,6 +219,24 @@ impl ThreadBuilder<'_> {
         self
     }
 
+    /// Emits a compare-and-swap retry loop on atomic `a`.
+    pub fn cas_loop(&mut self, a: AtomicId) -> &mut Self {
+        self.ops.push(Op::Atomic(a, AtomicRmwKind::CasLoop));
+        self
+    }
+
+    /// Emits an unconditional fetch-and-add on atomic `a`.
+    pub fn fetch_add(&mut self, a: AtomicId) -> &mut Self {
+        self.ops.push(Op::Atomic(a, AtomicRmwKind::FetchAdd));
+        self
+    }
+
+    /// Emits an unconditional exchange on atomic `a`.
+    pub fn exchange(&mut self, a: AtomicId) -> &mut Self {
+        self.ops.push(Op::Atomic(a, AtomicRmwKind::Exchange));
+        self
+    }
+
     /// Emits `cycles` of local computation (skipped when 0).
     pub fn compute(&mut self, cycles: u32) -> &mut Self {
         if cycles > 0 {
@@ -243,6 +276,27 @@ mod tests {
         assert_eq!(b.alloc_barrier(), BarrierId(0));
         let ls = b.alloc_locks(3);
         assert_eq!(ls, vec![LockId(2), LockId(3), LockId(4)]);
+        assert_eq!(b.alloc_atomic(), AtomicId(0));
+        assert_eq!(b.alloc_atomics(2), vec![AtomicId(1), AtomicId(2)]);
+    }
+
+    #[test]
+    fn atomic_ops_chain_and_build() {
+        let mut b = WorkloadBuilder::new("t", 2);
+        let a = b.alloc_atomic();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).write(d.word(0)).cas_loop(a);
+        b.thread_mut(1).fetch_add(a).exchange(a);
+        let w = b.build();
+        w.validate().unwrap();
+        assert_eq!(w.layout().user_atomics(), 1);
+        assert_eq!(
+            w.thread(crate::types::ThreadId(1)).ops(),
+            &[
+                Op::Atomic(a, AtomicRmwKind::FetchAdd),
+                Op::Atomic(a, AtomicRmwKind::Exchange),
+            ]
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! sense-reversing flags, and its arrival counter word) resolve to stable
 //! addresses.
 
-use crate::types::{Addr, BarrierId, FlagId, LineAddr, LockId, LINE_BYTES, WORDS_PER_LINE};
+use crate::types::{
+    Addr, AtomicId, BarrierId, FlagId, LineAddr, LockId, LINE_BYTES, WORDS_PER_LINE,
+};
 
 /// First byte of the synchronization-object region. Data allocations must
 /// stay below this.
@@ -63,7 +65,8 @@ impl DenseLineMap {
         let data_lines = layout.data_words().div_ceil(WORDS_PER_LINE);
         let sync_lines = u64::from(layout.total_locks())
             + u64::from(layout.total_flags())
-            + u64::from(layout.barriers());
+            + u64::from(layout.barriers())
+            + u64::from(layout.user_atomics());
         let max_index = (2 * data_lines).max(2 * sync_lines);
         DenseLineMap {
             line_capacity: max_index as usize,
@@ -108,6 +111,7 @@ pub struct AddressLayout {
     user_locks: u32,
     user_flags: u32,
     barriers: u32,
+    atomics: u32,
     data_words: u64,
 }
 
@@ -119,8 +123,23 @@ impl AddressLayout {
             user_locks,
             user_flags,
             barriers,
+            atomics: 0,
             data_words,
         }
+    }
+
+    /// The same layout with `atomics` atomic RMW words (each on its own
+    /// line, after the barrier counters so pre-atomic layouts keep their
+    /// addresses byte for byte).
+    #[must_use]
+    pub fn with_atomics(mut self, atomics: u32) -> Self {
+        self.atomics = atomics;
+        self
+    }
+
+    /// Number of user-allocated atomic words.
+    pub fn user_atomics(&self) -> u32 {
+        self.atomics
     }
 
     /// Number of user-allocated locks.
@@ -221,6 +240,22 @@ impl AddressLayout {
         Addr::new(base + u64::from(b.0) * LINE_BYTES)
     }
 
+    /// Address of atomic word `a` (one line per atomic, after the
+    /// barrier counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range (≥ [`AddressLayout::user_atomics`]).
+    pub fn atomic_addr(&self, a: AtomicId) -> Addr {
+        assert!(a.0 < self.atomics, "atomic id {} out of range", a.0);
+        let base = SYNC_BASE
+            + (u64::from(self.total_locks())
+                + u64::from(self.total_flags())
+                + u64::from(self.barriers))
+                * LINE_BYTES;
+        Addr::new(base + u64::from(a.0) * LINE_BYTES)
+    }
+
     /// `true` if `addr` belongs to the synchronization-object region
     /// (including barrier counters).
     pub fn is_sync_region(&self, addr: Addr) -> bool {
@@ -233,7 +268,8 @@ impl AddressLayout {
         SYNC_BASE
             + (u64::from(self.total_locks())
                 + u64::from(self.total_flags())
-                + u64::from(self.barriers))
+                + u64::from(self.barriers)
+                + u64::from(self.atomics))
                 * LINE_BYTES
     }
 }
@@ -326,6 +362,39 @@ mod tests {
         }
         assert!(dense_line_index(LineAddr(63)) < m.line_capacity());
         assert_eq!(m.word_capacity(), m.line_capacity() * 16);
+    }
+
+    #[test]
+    fn atomics_band_follows_barrier_counters() {
+        let l = AddressLayout::new(2, 1, 1, 256).with_atomics(3);
+        assert_eq!(l.user_atomics(), 3);
+        // The first atomic sits one line past the last barrier counter,
+        // so layouts without atomics are byte-identical to before.
+        let base = AddressLayout::new(2, 1, 1, 256);
+        assert_eq!(l.lock_addr(LockId(0)), base.lock_addr(LockId(0)));
+        assert_eq!(
+            l.barrier_counter_addr(BarrierId(0)),
+            base.barrier_counter_addr(BarrierId(0))
+        );
+        assert_eq!(l.atomic_addr(AtomicId(0)).byte(), base.address_space_end());
+        assert!(l.is_sync_region(l.atomic_addr(AtomicId(2))));
+        assert!(l.atomic_addr(AtomicId(2)).byte() < l.address_space_end());
+        let mut lines = std::collections::HashSet::new();
+        for i in 0..3 {
+            assert!(lines.insert(l.atomic_addr(AtomicId(i)).line()));
+        }
+        let m = DenseLineMap::new(&l);
+        for i in 0..3 {
+            assert!(dense_line_index(l.atomic_addr(AtomicId(i)).line()) < m.line_capacity());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_atomic_panics() {
+        AddressLayout::new(0, 0, 0, 0)
+            .with_atomics(1)
+            .atomic_addr(AtomicId(1));
     }
 
     #[test]

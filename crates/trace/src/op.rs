@@ -1,6 +1,6 @@
 //! The operation vocabulary of thread programs.
 
-use crate::types::{Addr, BarrierId, FlagId, LockId};
+use crate::types::{Addr, AtomicId, BarrierId, FlagId, LockId};
 use std::fmt;
 
 /// One dynamic operation in a thread's program.
@@ -36,8 +36,31 @@ pub enum Op {
     /// synchronization "uses a combination of mutex and flag operations in
     /// its implementation").
     Barrier(BarrierId),
+    /// A read-modify-write on an atomic word (resolved to a sync-region
+    /// address through the layout). Expanded by the simulator into an
+    /// acquire-flavored sync read of the word followed by a
+    /// release-flavored sync write that commits the new value; a CAS loop
+    /// additionally re-reads on commit failure (contention-driven
+    /// retries).
+    Atomic(AtomicId, AtomicRmwKind),
     /// `n` cycles (and `n` instructions) of local computation.
     Compute(u32),
+}
+
+/// The read-modify-write flavors of [`Op::Atomic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicRmwKind {
+    /// A compare-and-swap retry loop: sync read (observe), then a commit
+    /// sync write that succeeds only if the word is unchanged — on
+    /// failure the loop re-reads and retries. Success has release
+    /// semantics, the observing read acquire semantics.
+    CasLoop,
+    /// An unconditional fetch-and-add: one sync read, one committing
+    /// sync write. Never fails, never retries.
+    FetchAdd,
+    /// An unconditional exchange (swap): one sync read, one committing
+    /// sync write.
+    Exchange,
 }
 
 impl Op {
@@ -55,11 +78,19 @@ impl Op {
     }
 
     /// `true` for primitives the fault injector may remove: lock
-    /// acquisitions and flag waits (§3.4). Unlocks are removed *with*
-    /// their lock, never independently; flag sets are never removed.
+    /// acquisitions, flag waits (§3.4), and CAS loops (whose
+    /// acquire-side failure re-read is the lock-free analogue of a
+    /// removed acquire). Unlocks are removed *with* their lock, never
+    /// independently; flag sets are never removed, and the committing
+    /// writes of unconditional RMWs (`FetchAdd`, `Exchange`) are never
+    /// removed — dropping a committed store is data corruption, not a
+    /// missing happens-before edge.
     #[inline]
     pub fn is_removable_sync(&self) -> bool {
-        matches!(self, Op::Lock(_) | Op::FlagWait(_))
+        matches!(
+            self,
+            Op::Lock(_) | Op::FlagWait(_) | Op::Atomic(_, AtomicRmwKind::CasLoop)
+        )
     }
 
     /// Number of instructions this op retires (for the order log's
@@ -85,6 +116,9 @@ impl fmt::Display for Op {
             Op::FlagWait(g) => write!(f, "WAIT #{}", g.0),
             Op::FlagReset(g) => write!(f, "RESET #{}", g.0),
             Op::Barrier(b) => write!(f, "BARRIER #{}", b.0),
+            Op::Atomic(a, AtomicRmwKind::CasLoop) => write!(f, "CAS #{}", a.0),
+            Op::Atomic(a, AtomicRmwKind::FetchAdd) => write!(f, "FADD #{}", a.0),
+            Op::Atomic(a, AtomicRmwKind::Exchange) => write!(f, "XCHG #{}", a.0),
             Op::Compute(n) => write!(f, "COMPUTE {n}"),
         }
     }
@@ -101,6 +135,9 @@ mod tests {
         assert!(!Op::Lock(LockId(0)).is_data_access());
         assert!(Op::Lock(LockId(0)).is_sync());
         assert!(Op::Barrier(BarrierId(0)).is_sync());
+        assert!(Op::Atomic(AtomicId(0), AtomicRmwKind::CasLoop).is_sync());
+        assert!(Op::Atomic(AtomicId(0), AtomicRmwKind::FetchAdd).is_sync());
+        assert!(!Op::Atomic(AtomicId(0), AtomicRmwKind::Exchange).is_data_access());
         assert!(!Op::Compute(5).is_sync());
         assert!(!Op::Compute(5).is_data_access());
     }
@@ -116,8 +153,22 @@ mod tests {
     }
 
     #[test]
+    fn removable_set_matches_paper_for_atomics() {
+        // The CAS failure re-read is an acquire the injector may drop;
+        // the committing writes of unconditional RMWs are stores whose
+        // removal would corrupt data, not weaken ordering, so they stay.
+        assert!(Op::Atomic(AtomicId(0), AtomicRmwKind::CasLoop).is_removable_sync());
+        assert!(!Op::Atomic(AtomicId(0), AtomicRmwKind::FetchAdd).is_removable_sync());
+        assert!(!Op::Atomic(AtomicId(0), AtomicRmwKind::Exchange).is_removable_sync());
+    }
+
+    #[test]
     fn instruction_counts() {
         assert_eq!(Op::Read(Addr::new(0)).instructions(), 1);
+        assert_eq!(
+            Op::Atomic(AtomicId(0), AtomicRmwKind::CasLoop).instructions(),
+            1
+        );
         assert_eq!(Op::Compute(250).instructions(), 250);
     }
 
@@ -125,6 +176,18 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(format!("{}", Op::Read(Addr::new(0x40))), "RD 0x40");
         assert_eq!(format!("{}", Op::Lock(LockId(2))), "LOCK #2");
+        assert_eq!(
+            format!("{}", Op::Atomic(AtomicId(1), AtomicRmwKind::CasLoop)),
+            "CAS #1"
+        );
+        assert_eq!(
+            format!("{}", Op::Atomic(AtomicId(0), AtomicRmwKind::FetchAdd)),
+            "FADD #0"
+        );
+        assert_eq!(
+            format!("{}", Op::Atomic(AtomicId(2), AtomicRmwKind::Exchange)),
+            "XCHG #2"
+        );
         assert_eq!(format!("{}", Op::Compute(9)), "COMPUTE 9");
     }
 }

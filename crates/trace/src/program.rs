@@ -77,6 +77,8 @@ pub struct OpCounts {
     pub flag_waits: u64,
     /// Barrier arrivals (per thread per barrier op).
     pub barriers: u64,
+    /// Atomic read-modify-writes (all three RMW flavors).
+    pub atomics: u64,
     /// Total compute cycles.
     pub compute_cycles: u64,
 }
@@ -253,6 +255,7 @@ impl Workload {
                     Op::FlagSet(_) | Op::FlagReset(_) => c.flag_sets += 1,
                     Op::FlagWait(_) => c.flag_waits += 1,
                     Op::Barrier(_) => c.barriers += 1,
+                    Op::Atomic(_, _) => c.atomics += 1,
                     Op::Compute(n) => c.compute_cycles += u64::from(*n),
                 }
             }
@@ -418,6 +421,14 @@ impl Workload {
                             });
                         }
                     }
+                    Op::Atomic(a, _) => {
+                        if a.0 >= self.layout.user_atomics() {
+                            return Err(WorkloadError::IdOutOfRange {
+                                thread,
+                                op_index: i,
+                            });
+                        }
+                    }
                     Op::Compute(_) => {}
                 }
             }
@@ -555,6 +566,35 @@ mod tests {
     fn unset_flag_rejected() {
         let w = wl(vec![vec![Op::FlagWait(FlagId(1))]]);
         assert_eq!(w.validate(), Err(WorkloadError::FlagNeverSet { flag: 1 }));
+    }
+
+    #[test]
+    fn atomic_ops_validated_and_counted() {
+        use crate::op::AtomicRmwKind;
+        use crate::types::AtomicId;
+        let l = AddressLayout::new(0, 0, 0, 64).with_atomics(1);
+        let ok = Workload::new(
+            "a",
+            vec![ThreadProgram::from_ops(vec![
+                Op::Atomic(AtomicId(0), AtomicRmwKind::CasLoop),
+                Op::Atomic(AtomicId(0), AtomicRmwKind::FetchAdd),
+            ])],
+            l,
+        );
+        ok.validate().unwrap();
+        assert_eq!(ok.op_counts().atomics, 2);
+        let bad = Workload::new(
+            "b",
+            vec![ThreadProgram::from_ops(vec![Op::Atomic(
+                AtomicId(1),
+                AtomicRmwKind::Exchange,
+            )])],
+            l,
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(WorkloadError::IdOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -22,13 +22,15 @@
 //! ```
 //!
 //! `locks`/`flags`/`barriers` in the header are the *user* object counts
-//! (barrier-internal objects are derived). Round-tripping any valid
+//! (barrier-internal objects are derived). A trailing `atomics=N` header
+//! token appears only when the workload allocates atomic RMW words, so
+//! pre-atomic fixtures stay byte-identical. Round-tripping any valid
 //! workload is lossless.
 
 use crate::layout::AddressLayout;
-use crate::op::Op;
+use crate::op::{AtomicRmwKind, Op};
 use crate::program::{ThreadProgram, Workload};
-use crate::types::{Addr, BarrierId, FlagId, LockId};
+use crate::types::{Addr, AtomicId, BarrierId, FlagId, LockId};
 use std::fmt::Write as _;
 
 /// Magic first line of the format.
@@ -91,6 +93,9 @@ fn op_line(op: &Op) -> String {
         Op::FlagWait(g) => format!("  flag_wait {}", g.0),
         Op::FlagReset(g) => format!("  flag_reset {}", g.0),
         Op::Barrier(b) => format!("  barrier {}", b.0),
+        Op::Atomic(a, AtomicRmwKind::CasLoop) => format!("  cas_loop {}", a.0),
+        Op::Atomic(a, AtomicRmwKind::FetchAdd) => format!("  fetch_add {}", a.0),
+        Op::Atomic(a, AtomicRmwKind::Exchange) => format!("  exchange {}", a.0),
         Op::Compute(n) => format!("  compute {n}"),
     }
 }
@@ -100,7 +105,7 @@ pub fn to_text(w: &Workload) -> String {
     let l = w.layout();
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER}");
-    let _ = writeln!(
+    let _ = write!(
         out,
         "workload {} threads={} locks={} flags={} barriers={} data_words={}",
         w.name(),
@@ -110,6 +115,10 @@ pub fn to_text(w: &Workload) -> String {
         l.barriers(),
         l.data_words(),
     );
+    if l.user_atomics() > 0 {
+        let _ = write!(out, " atomics={}", l.user_atomics());
+    }
+    out.push('\n');
     for (t, prog) in w.threads().iter().enumerate() {
         let _ = writeln!(out, "thread {t}");
         for op in prog.iter() {
@@ -150,7 +159,7 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
         .ok_or(ParseError::BadWorkloadLine { line: 2 })?;
     let toks: Vec<&str> = wline.split_whitespace().collect();
     let err = ParseError::BadWorkloadLine { line: wline_no + 1 };
-    if toks.len() != 7 || toks[0] != "workload" {
+    if !(7..=8).contains(&toks.len()) || toks[0] != "workload" {
         return Err(err.clone());
     }
     let name = toks[1].to_string();
@@ -158,7 +167,11 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
     let locks = parse_kv(toks[3], "locks").ok_or(err.clone())? as u32;
     let flags = parse_kv(toks[4], "flags").ok_or(err.clone())? as u32;
     let barriers = parse_kv(toks[5], "barriers").ok_or(err.clone())? as u32;
-    let data_words = parse_kv(toks[6], "data_words").ok_or(err)?;
+    let data_words = parse_kv(toks[6], "data_words").ok_or(err.clone())?;
+    let atomics = match toks.get(7) {
+        Some(tok) => parse_kv(tok, "atomics").ok_or(err)? as u32,
+        None => 0,
+    };
 
     let mut programs: Vec<Vec<Op>> = vec![Vec::new(); threads];
     let mut current: Option<usize> = None;
@@ -195,13 +208,25 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
             "flag_wait" => Op::FlagWait(FlagId(parse_u64(arg).ok_or_else(bad)? as u32)),
             "flag_reset" => Op::FlagReset(FlagId(parse_u64(arg).ok_or_else(bad)? as u32)),
             "barrier" => Op::Barrier(BarrierId(parse_u64(arg).ok_or_else(bad)? as u32)),
+            "cas_loop" => Op::Atomic(
+                AtomicId(parse_u64(arg).ok_or_else(bad)? as u32),
+                AtomicRmwKind::CasLoop,
+            ),
+            "fetch_add" => Op::Atomic(
+                AtomicId(parse_u64(arg).ok_or_else(bad)? as u32),
+                AtomicRmwKind::FetchAdd,
+            ),
+            "exchange" => Op::Atomic(
+                AtomicId(parse_u64(arg).ok_or_else(bad)? as u32),
+                AtomicRmwKind::Exchange,
+            ),
             "compute" => Op::Compute(parse_u64(arg).ok_or_else(bad)? as u32),
             _ => return Err(bad()),
         };
         programs[t].push(op);
     }
 
-    let layout = AddressLayout::new(locks, flags, barriers, data_words);
+    let layout = AddressLayout::new(locks, flags, barriers, data_words).with_atomics(atomics);
     Ok(Workload::new(
         name,
         programs.into_iter().map(ThreadProgram::from_ops).collect(),
@@ -252,6 +277,30 @@ mod tests {
         assert!(text.contains("  lock 0"));
         assert!(text.contains("  flag_wait 0"));
         assert!(text.contains("  compute 99"));
+    }
+
+    #[test]
+    fn atomics_header_token_only_when_used() {
+        let text = to_text(&demo());
+        assert!(
+            !text.contains("atomics="),
+            "pre-atomic fixtures must not drift"
+        );
+
+        let mut b = WorkloadBuilder::new("atomic-demo", 2);
+        let a = b.alloc_atomic();
+        let d = b.alloc_words(1);
+        b.thread_mut(0).write(d.word(0)).cas_loop(a);
+        b.thread_mut(1).fetch_add(a).exchange(a);
+        let w = b.build();
+        let text = to_text(&w);
+        assert!(text.contains("data_words=1 atomics=1"));
+        assert!(text.contains("  cas_loop 0"));
+        assert!(text.contains("  fetch_add 0"));
+        assert!(text.contains("  exchange 0"));
+        let back = from_text(&text).expect("parses");
+        assert_eq!(w, back);
+        back.validate().expect("still valid");
     }
 
     #[test]

@@ -116,6 +116,10 @@ pub struct FlagId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
 
+/// An atomic word identifier (the target of a read-modify-write op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomicId(pub u32);
+
 /// A contiguous range of data words allocated by the workload builder.
 ///
 /// # Examples

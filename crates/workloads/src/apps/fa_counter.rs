@@ -1,0 +1,100 @@
+//! `fa-counter` — fetch-add combining counter with per-worker result
+//! flags.
+//!
+//! Workers hammer one shared counter with unconditional fetch-adds
+//! (never removable — a committed RMW's release-write must stay), then
+//! write a per-worker partial result and raise a done flag; the reader
+//! contributes its own fetch-add *first* and only then waits each flag
+//! and reads that worker's partial.
+//!
+//! The ordering discipline is deliberate: each worker writes its
+//! partial *after* its last fetch-add, so the counter's CAS/RMW chain
+//! never covers the partial, and the reader joins the counter before
+//! any flag wait, so its counter join cannot rescue a removed wait.
+//! The only edge protecting `partial[t]` is `done[t]` — removing that
+//! flag wait (§3.4's removed acquire) is a guaranteed true race, and
+//! the fetch-add traffic around it is pure noise a detector must not
+//! mistake for ordering.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+/// Result words each worker publishes.
+const PARTIAL_WORDS: u64 = 4;
+/// Fetch-adds per worker, multiplied by the scale factor.
+const ADDS_PER_WORKER: u64 = 8;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let workers = if p.threads > 1 { p.threads - 1 } else { 1 };
+    let adds = ADDS_PER_WORKER * p.scale;
+    let mut b = WorkloadBuilder::new("fa-counter", p.threads);
+    let counter = b.alloc_atomic();
+    let done = b.alloc_flags(workers as u32);
+    // One line per worker's partial: packed partials would false-share,
+    // and a neighbour's later write folds this worker's stamps into the
+    // memory timestamps where a sibling-served read fill never looks.
+    let partials: Vec<_> = (0..workers)
+        .map(|_| b.alloc_line_aligned(PARTIAL_WORDS))
+        .collect();
+
+    for t in 0..workers {
+        let tb = &mut b.thread_mut(t);
+        for k in 0..adds {
+            tb.compute((k % 5) as u32 + 3 * t as u32 + 1);
+            tb.fetch_add(counter);
+        }
+        // The partial goes out after the last fetch-add on purpose:
+        // counter joins must never cover it (see module docs).
+        for w in 0..PARTIAL_WORDS {
+            tb.write(partials[t].word(w));
+        }
+        tb.flag_set(done[t]);
+    }
+
+    // The reader (last thread; the sole thread when single-threaded)
+    // adds its own contribution before waiting on anyone.
+    let tb = &mut b.thread_mut(p.threads - 1);
+    tb.fetch_add(counter);
+    for t in 0..workers {
+        tb.flag_wait(done[t]);
+        for w in 0..PARTIAL_WORDS {
+            tb.read(partials[t].word(w));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_structure() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // 3 workers x 8 adds + the reader's 1.
+        assert_eq!(c.atomics, 3 * ADDS_PER_WORKER + 1);
+        assert_eq!(c.flag_sets, 3);
+        assert_eq!(c.flag_waits, 3);
+        assert_eq!(c.writes, 3 * PARTIAL_WORDS);
+        assert_eq!(c.reads, 3 * PARTIAL_WORDS);
+    }
+
+    #[test]
+    fn single_thread_degenerates_cleanly() {
+        let p = KernelParams {
+            threads: 1,
+            seed: 1,
+            scale: 1,
+        };
+        build(p).validate().unwrap();
+    }
+}

@@ -1,14 +1,19 @@
-//! One module per Table-1 application.
+//! One module per Table-1 application, plus the lock-free family
+//! (post-paper sync vocabulary: CAS loops, fetch-add, exchange).
 
 pub mod barnes;
 pub mod cholesky;
+pub mod fa_counter;
 pub mod fft;
 pub mod fmm;
 pub mod lu;
+pub mod ms_queue;
 pub mod ocean;
 pub mod radiosity;
 pub mod radix;
 pub mod raytrace;
+pub mod seqlock;
+pub mod treiber_stack;
 pub mod volrend;
 pub mod water_n2;
 pub mod water_sp;

@@ -1,0 +1,129 @@
+//! `ms-queue` — Michael-Scott two-lock-free FIFO: CAS-linked nodes,
+//! CAS-swung head/tail.
+//!
+//! Enqueuers write a node's payload, link it with a CAS on the node's
+//! `next` slot, then swing `tail` with a second CAS. Dequeuers re-CAS
+//! the dequeued node's link (the acquire load of `next`, modeled as a
+//! CAS on the same word), advance `head` with a CAS, and read the
+//! payload. The per-item happens-before edge runs through the link
+//! word: the enqueuer's link commit covers its payload writes and the
+//! dequeuer's link join picks them up — `head`/`tail` only order the
+//! queue ends among their own contenders. The payload reads sit
+//! between the link acquire and the head swing (as in the real
+//! algorithm, where the value is read before the CAS that may hand
+//! the node to another thread), so removing a dequeuer's first link
+//! CAS leaves its clock at zero across the reads — exactly where a
+//! scalar-clock detector must see the payload race.
+//!
+//! Removing either side's link CAS (injection) severs that edge and
+//! leaves the payload transfer racy; removing a `head`/`tail` CAS is
+//! harmless, which is exactly the asymmetry a detector must resolve.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+/// Payload words per queue node.
+const PAYLOAD_WORDS: u64 = 4;
+/// Items each enqueuer produces, multiplied by the scale factor.
+const ITEMS_PER_ENQUEUER: u64 = 2;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let enqueuers = (p.threads / 2).max(1);
+    let dequeuers = p.threads - enqueuers;
+    let items_per = ITEMS_PER_ENQUEUER * p.scale;
+    let total = enqueuers as u64 * items_per;
+
+    let mut b = WorkloadBuilder::new("ms-queue", p.threads);
+    let head = b.alloc_atomic();
+    let tail = b.alloc_atomic();
+    let links = b.alloc_atomics(total as u32);
+    // One cache line per node, as real implementations pad: packed
+    // nodes would false-share, and a later enqueuer's invalidation
+    // folds the earlier payload stamps into the memory timestamps —
+    // where a sibling-served fill never looks.
+    let payload: Vec<_> = (0..total)
+        .map(|_| b.alloc_line_aligned(PAYLOAD_WORDS))
+        .collect();
+
+    for t in 0..enqueuers {
+        let tb = &mut b.thread_mut(t);
+        tb.compute(11 * t as u32 + 1);
+        for k in 0..items_per {
+            let item = t as u64 * items_per + k;
+            for w in 0..PAYLOAD_WORDS {
+                tb.write(payload[item as usize].word(w));
+            }
+            // Link the node (covers the payload), then swing the tail.
+            tb.cas_loop(links[item as usize]);
+            tb.cas_loop(tail);
+        }
+    }
+
+    // Dequeuers split the items; when single-threaded (or no second
+    // half) the enqueuer threads drain their own items in order.
+    let drain = |b: &mut WorkloadBuilder, thread: usize, items: std::ops::Range<u64>| {
+        let tb = &mut b.thread_mut(thread);
+        tb.compute(60_000 * p.scale as u32);
+        for item in items {
+            // As in the real algorithm, the value is read before the
+            // head swing (after the CAS another dequeuer may own the
+            // node). The link join must therefore cover the reads on
+            // its own — and its removal is detectable before `head`
+            // jumps the dequeuer's clock.
+            tb.cas_loop(links[item as usize]);
+            for w in 0..PAYLOAD_WORDS {
+                tb.read(payload[item as usize].word(w));
+            }
+            tb.cas_loop(head);
+        }
+    };
+    if dequeuers == 0 {
+        drain(&mut b, 0, 0..total);
+    } else {
+        let base = total / dequeuers as u64;
+        let rem = total % dequeuers as u64;
+        let mut start = 0;
+        for d in 0..dequeuers {
+            let len = base + u64::from((d as u64) < rem);
+            drain(&mut b, enqueuers + d, start..start + len);
+            start += len;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_is_linked_swung_and_drained() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        let total = 2 * ITEMS_PER_ENQUEUER; // 2 enqueuers
+                                            // Enqueue: link + tail per item; dequeue: head + link per item.
+        assert_eq!(c.atomics, 4 * total);
+        assert_eq!(c.writes, total * PAYLOAD_WORDS);
+        assert_eq!(c.reads, total * PAYLOAD_WORDS);
+    }
+
+    #[test]
+    fn odd_thread_counts_partition_items() {
+        for threads in [1, 2, 3, 5] {
+            let p = KernelParams {
+                threads,
+                seed: 1,
+                scale: 1,
+            };
+            build(p).validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `seqlock` — sequence-locked snapshot: a writer briefly "opens" the
+//! sequence word, updates the shared block, and "closes" it; readers
+//! bracket their snapshot with acquire/validate RMWs on the same word.
+//!
+//! Each writer round is `cas(seq); writes; cas(seq)` — the real
+//! seqlock's odd/even increments. The opening CAS *joins* the readers'
+//! latest validates (so this round's writes happen-after every earlier
+//! snapshot) and the closing CAS *publishes* the writes (so the next
+//! snapshots happen-after them). Reader rounds are
+//! `cas(seq); reads; cas(seq)` — acquire then validate — paced into
+//! the gap between writer rounds by generous compute delays, so the
+//! race-free mode holds on every backend and core count.
+//!
+//! Injection tears the bracket: removing a writer's opening CAS races
+//! its writes against the previous snapshots; removing its closing CAS
+//! (or a reader's acquire) races the snapshot against the writes it
+//! reads — the torn-read seqlock bug detectors are famous for flagging.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+/// Words in the snapshotted block.
+const DATA_WORDS: u64 = 12;
+/// Cycle gap between rounds — large against memory latency and jitter
+/// so reader rounds always land between writer rounds.
+const GAP: u32 = 100_000;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let rounds = 2 + p.scale.min(8);
+    let mut b = WorkloadBuilder::new("seqlock", p.threads);
+    let seq = b.alloc_atomic();
+    let data = b.alloc_line_aligned(DATA_WORDS);
+
+    {
+        let tb = &mut b.thread_mut(0);
+        for _ in 0..rounds {
+            tb.cas_loop(seq); // open: join every published snapshot
+            for w in 0..DATA_WORDS {
+                tb.write(data.word(w));
+            }
+            tb.cas_loop(seq); // close: publish this round's writes
+            tb.compute(GAP);
+        }
+    }
+
+    for t in 1..p.threads {
+        let tb = &mut b.thread_mut(t);
+        // Start mid-gap, staggered per reader, so every snapshot falls
+        // strictly between two writer rounds.
+        tb.compute(GAP / 2 + 31 * t as u32);
+        for _ in 0..rounds {
+            tb.cas_loop(seq); // acquire: happens-after the last close
+            for w in 0..DATA_WORDS {
+                tb.read(data.word(w));
+            }
+            tb.cas_loop(seq); // validate: publish the snapshot
+            tb.compute(GAP);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_are_paired() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        let rounds = 3;
+        // Writer + 3 readers each bracket every round with two RMWs.
+        assert_eq!(c.atomics, 4 * 2 * rounds);
+        assert_eq!(c.writes, rounds * DATA_WORDS);
+        assert_eq!(c.reads, 3 * rounds * DATA_WORDS);
+    }
+
+    #[test]
+    fn writer_only_run_validates() {
+        let p = KernelParams {
+            threads: 1,
+            seed: 1,
+            scale: 1,
+        };
+        build(p).validate().unwrap();
+    }
+}

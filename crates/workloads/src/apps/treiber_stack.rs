@@ -1,0 +1,89 @@
+//! `treiber-stack` — lock-free LIFO: CAS-loop pushes, CAS pop-all.
+//!
+//! Producers each build one node (a payload block written before the
+//! push) and publish it with a single CAS on `top`; the consumer grabs
+//! the whole chain with one CAS (the classic "pop-all" idiom) and
+//! walks every node. Race-free by construction: each producer's
+//! payload writes precede its CAS commit, the CAS chain on `top` is
+//! transitively ordered, and the consumer's pop CAS joins the last
+//! committer after a delay long enough that every push has committed.
+//!
+//! The injectable variant is the §3.4 analogue for lock-free code:
+//! removing any CAS (the whole RMW — acquire-read and release-write)
+//! leaves payload transfers unordered, a guaranteed true race. The two
+//! sides differ for a scalar-clock detector, though: removing the
+//! consumer's pop CAS leaves its clock untouched, so every payload
+//! read races detectably, while removing one producer's push still
+//! lets the surviving pushes jump the consumer's clock `+D` past the
+//! orphaned node's write stamps — CORD's documented false-negative
+//! mode for overlapping synchronization on one variable.
+
+use crate::common::KernelParams;
+use cord_trace::builder::WorkloadBuilder;
+use cord_trace::program::Workload;
+
+/// Payload words per node, multiplied by the scale factor.
+const NODE_WORDS: u64 = 16;
+
+/// Builds the kernel.
+pub fn build(p: KernelParams) -> Workload {
+    let payload = NODE_WORDS * p.scale;
+    let producers = if p.threads > 1 { p.threads - 1 } else { 1 };
+    let mut b = WorkloadBuilder::new("treiber-stack", p.threads);
+    let top = b.alloc_atomic();
+    let nodes = b.alloc_line_aligned(producers as u64 * payload);
+
+    for t in 0..producers {
+        let tb = &mut b.thread_mut(t);
+        // Small stagger keeps the pushes contended but not lockstep.
+        tb.compute(7 * t as u32 + 1);
+        let base = t as u64 * payload;
+        for i in 0..payload {
+            tb.write(nodes.word(base + i));
+        }
+        // The push: this commit's sync write covers every payload
+        // write above, and chains on the previous push's commit.
+        tb.cas_loop(top);
+    }
+
+    // The consumer (the last thread; the sole thread when single
+    // threaded) waits out every push, then takes the whole stack.
+    let tb = &mut b.thread_mut(p.threads - 1);
+    tb.compute(100_000 * p.scale as u32);
+    tb.cas_loop(top);
+    for i in 0..producers as u64 * payload {
+        tb.read(nodes.word(i));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cas_per_producer_and_one_pop() {
+        let p = KernelParams {
+            threads: 4,
+            seed: 1,
+            scale: 1,
+        };
+        let w = build(p);
+        w.validate().unwrap();
+        let c = w.op_counts();
+        // 3 producers push once each; the consumer pops-all once.
+        assert_eq!(c.atomics, 4);
+        assert_eq!(c.writes, 3 * NODE_WORDS);
+        assert_eq!(c.reads, 3 * NODE_WORDS);
+    }
+
+    #[test]
+    fn single_thread_degenerates_cleanly() {
+        let p = KernelParams {
+            threads: 1,
+            seed: 1,
+            scale: 1,
+        };
+        build(p).validate().unwrap();
+    }
+}

@@ -24,6 +24,16 @@
 //! | `water-n2` | O(n²) pair forces with per-molecule locks + barriers |
 //! | `water-sp` | spatial cells, neighbour reads, fewer locks |
 //!
+//! Beyond Table 1, a lock-free family ([`lockfree_apps`]) exercises the
+//! atomic RMW vocabulary the 2006 paper never saw:
+//!
+//! | Kernel | Sync structure |
+//! |---|---|
+//! | `treiber-stack` | CAS-loop pushes, take-all exchange pop |
+//! | `ms-queue` | CAS-linked FIFO, CAS-swung head/tail |
+//! | `fa-counter` | fetch-add combining counter + done flags |
+//! | `seqlock` | writer open/close RMW bracket, reader acquire/validate |
+//!
 //! # Example
 //!
 //! ```
@@ -69,6 +79,14 @@ pub enum AppKind {
     WaterN2,
     /// Water, spatial decomposition.
     WaterSp,
+    /// Treiber stack (CAS pushes, exchange pop-all). Lock-free family.
+    TreiberStack,
+    /// Michael-Scott queue (CAS-linked nodes). Lock-free family.
+    MsQueue,
+    /// Fetch-add combining counter + flags. Lock-free family.
+    FaCounter,
+    /// Seqlock snapshot (RMW brackets). Lock-free family.
+    Seqlock,
 }
 
 impl AppKind {
@@ -87,10 +105,15 @@ impl AppKind {
             AppKind::Volrend => "volrend",
             AppKind::WaterN2 => "water-n2",
             AppKind::WaterSp => "water-sp",
+            AppKind::TreiberStack => "treiber-stack",
+            AppKind::MsQueue => "ms-queue",
+            AppKind::FaCounter => "fa-counter",
+            AppKind::Seqlock => "seqlock",
         }
     }
 
-    /// The input set the paper used (Table 1).
+    /// The input set the paper used (Table 1); the lock-free family is
+    /// post-paper, so its "input" names the workload shape instead.
     pub fn paper_input(self) -> &'static str {
         match self {
             AppKind::Barnes => "n2048",
@@ -105,7 +128,19 @@ impl AppKind {
             AppKind::Volrend => "head-sd2",
             AppKind::WaterN2 => "2^16",
             AppKind::WaterSp => "2^16",
+            AppKind::TreiberStack => "1 node/producer",
+            AppKind::MsQueue => "2·scale items/enq",
+            AppKind::FaCounter => "8·scale adds/worker",
+            AppKind::Seqlock => "scale+2 rounds",
         }
+    }
+
+    /// `true` for the lock-free (atomic RMW) family.
+    pub fn is_lockfree(self) -> bool {
+        matches!(
+            self,
+            AppKind::TreiberStack | AppKind::MsQueue | AppKind::FaCounter | AppKind::Seqlock
+        )
     }
 }
 
@@ -124,6 +159,19 @@ pub fn all_apps() -> [AppKind; 12] {
         AppKind::Volrend,
         AppKind::WaterN2,
         AppKind::WaterSp,
+    ]
+}
+
+/// The lock-free workload family (not part of the paper's Table 1).
+///
+/// Each kernel has a race-free-by-construction default and becomes a
+/// guaranteed-true-race workload under §3.4-style injection.
+pub fn lockfree_apps() -> [AppKind; 4] {
+    [
+        AppKind::TreiberStack,
+        AppKind::MsQueue,
+        AppKind::FaCounter,
+        AppKind::Seqlock,
     ]
 }
 
@@ -176,6 +224,10 @@ pub fn kernel(kind: AppKind, scale: ScaleClass, threads: usize, seed: u64) -> Wo
         AppKind::Volrend => apps::volrend::build(params),
         AppKind::WaterN2 => apps::water_n2::build(params),
         AppKind::WaterSp => apps::water_sp::build(params),
+        AppKind::TreiberStack => apps::treiber_stack::build(params),
+        AppKind::MsQueue => apps::ms_queue::build(params),
+        AppKind::FaCounter => apps::fa_counter::build(params),
+        AppKind::Seqlock => apps::seqlock::build(params),
     };
     debug_assert!(w.validate().is_ok(), "{} failed validation", kind.name());
     w
@@ -238,6 +290,34 @@ mod tests {
         assert_eq!(AppKind::WaterN2.name(), "water-n2");
         assert_eq!(AppKind::Radix.paper_input(), "256K keys");
         assert_eq!(all_apps().len(), 12);
+        // Table 1 stays twelve; the lock-free family is separate.
+        assert!(all_apps().iter().all(|a| !a.is_lockfree()));
+        assert!(lockfree_apps().iter().all(|a| a.is_lockfree()));
+        assert_eq!(AppKind::TreiberStack.name(), "treiber-stack");
+        assert_eq!(AppKind::MsQueue.name(), "ms-queue");
+        assert_eq!(AppKind::FaCounter.name(), "fa-counter");
+        assert_eq!(AppKind::Seqlock.name(), "seqlock");
+    }
+
+    #[test]
+    fn lockfree_kernels_validate_and_use_atomics() {
+        for kind in lockfree_apps() {
+            for scale in [ScaleClass::Tiny, ScaleClass::Small] {
+                for threads in [1, 2, 4, 8] {
+                    let w = kernel(kind, scale, threads, 42);
+                    w.validate()
+                        .unwrap_or_else(|e| panic!("{} {scale:?} x{threads}: {e}", kind.name()));
+                    assert!(
+                        w.op_counts().atomics > 0,
+                        "{} emits no atomic RMWs",
+                        kind.name()
+                    );
+                }
+            }
+            let tiny = kernel(kind, ScaleClass::Tiny, 4, 1).total_ops();
+            let small = kernel(kind, ScaleClass::Small, 4, 1).total_ops();
+            assert!(small > tiny, "{} does not scale", kind.name());
+        }
     }
 
     #[test]
@@ -264,7 +344,7 @@ mod textfmt_tests {
 
     #[test]
     fn every_kernel_roundtrips_through_the_text_format() {
-        for kind in all_apps() {
+        for kind in all_apps().into_iter().chain(lockfree_apps()) {
             let w = kernel(kind, ScaleClass::Tiny, 4, 7);
             let text = textfmt::to_text(&w);
             let back = textfmt::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));

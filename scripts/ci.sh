@@ -70,6 +70,22 @@ grep -q "200 of 200 cases, 0 failures" "$smoke_dir/fuzz-serial.txt"
 ./target/release/fuzz replay crates/fuzz/corpus > "$smoke_dir/fuzz-replay.txt" 2> /dev/null
 grep -q ", 0 failures" "$smoke_dir/fuzz-replay.txt"
 
+echo "== lockfree fuzz smoke: 200 CAS-loop-only cases, oracle clean =="
+./target/release/fuzz --seed 1 --count 200 --jobs 2 --budget-secs 600 --lockfree \
+    > "$smoke_dir/fuzz-lockfree.txt" 2> /dev/null
+grep -q "200 of 200 cases, 0 failures" "$smoke_dir/fuzz-lockfree.txt"
+
+echo "== lockfree figures smoke: clean runs report zero races, injections are caught =="
+./target/release/figures lockfree > "$smoke_dir/lockfree.txt" 2> /dev/null
+grep -q "Lock-free family" "$smoke_dir/lockfree.txt"
+for app in treiber-stack ms-queue fa-counter seqlock; do
+    # columns: app, clean races, racy inj (snoop), caught (snoop), racy inj (dir), caught (dir)
+    awk -v app="$app" '$1 == app {
+        found = 1
+        if ($2 != 0 || $4 < 1 || $6 < 1) exit 1
+    } END { exit !found }' "$smoke_dir/lockfree.txt"
+done
+
 echo "== shard smoke: chaos-killed 4-shard campaign must match --shards 1 byte-for-byte =="
 ./target/release/shard fuzz --dir "$smoke_dir/shard-serial" --shards 1 \
     --count 60 --short --seed 2006 --worker-jobs 2 2> /dev/null
